@@ -1,0 +1,37 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation (Section 5) or design discussion (Table 1).  Measurements come
+from *simulated* time on the calibrated cost models, so they are exactly
+reproducible run to run; pytest-benchmark additionally times the wall-clock
+cost of running each simulation.
+
+Each benchmark prints a paper-versus-measured comparison and asserts the
+paper's *shape*: orderings, ratios and crossovers -- not absolute values.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import pytest
+
+
+def report(title: str, headers: Sequence[str], rows: List[Sequence]) -> str:
+    """Format a paper-vs-measured table and print it."""
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows))
+        for i in range(len(headers))
+    ]
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    text = "\n".join(lines)
+    print("\n" + text + "\n")
+    return text
+
+
+@pytest.fixture
+def compare():
+    return report

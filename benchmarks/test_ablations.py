@@ -1,0 +1,373 @@
+"""Ablation benchmarks: design choices the paper argues for, quantified.
+
+Three studies beyond the paper's own tables:
+
+1. **QoS on/off** -- Section 5.3 observes data accumulating in the
+   translation buffer when one side of a bridge is slow, and Section 7
+   calls QoS control the major future work.  We implement it and measure
+   the effect: drops without pacing, none with.
+2. **Translator-count scaling** -- Section 2.2.1's scalability argument
+   for mediated translation: n(n-1) direct translators versus one
+   per device type.
+3. **Calibration sensitivity** -- Figure 11's MB > RMI > RMI-MB ordering
+   must be structural, not a knife-edge artifact of our calibration: it
+   survives +/-50% perturbation of the RMI marshal cost.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.calibration import DEFAULT, RmiCosts
+from repro.core.messages import UMessage
+from repro.core.qos import QosPolicy
+from repro.core.translator import Translator
+from repro.testbed import build_testbed
+
+from repro.experiments.fig11 import run_mb_test, run_rmi_mb_test, run_rmi_test
+
+
+# ---------------------------------------------------------------------------
+# 1. QoS: translation-buffer overflow with and without pacing
+# ---------------------------------------------------------------------------
+
+BLUETOOTH_RATE_BPS = 723_200.0
+MESSAGE_SIZE = 1400
+BURST = 400
+
+
+def run_qos_ablation():
+    """A fast producer feeding a Bluetooth-rate consumer, three ways:
+
+    - ``fire-and-forget``: plain sends into a small translation buffer --
+      the overflow the paper observes in Section 5.3;
+    - ``drop-oldest``: same load, but the buffer keeps the freshest data;
+    - ``backpressure``: the flow-controlled send waits for buffer space,
+      so the producer is paced to the consumer and nothing is lost.
+
+    Returns per-variant (delivered, dropped, makespan seconds).
+    """
+    results = {}
+    for variant in ("fire-and-forget", "drop-oldest", "backpressure"):
+        bed = build_testbed(hosts=["h1"])
+        runtime = bed.add_runtime("h1")
+        kernel = bed.kernel
+
+        source = Translator("fast-producer")
+        out = source.add_digital_output("out", "application/octet-stream")
+        runtime.register_translator(source)
+
+        delivered = []
+        slow = Translator("bluetooth-rate-sink")
+
+        def handler(message):
+            # Consuming at Bluetooth ACL rate.
+            yield kernel.timeout(message.size * 8 / BLUETOOTH_RATE_BPS)
+            delivered.append(message.sequence)
+
+        slow.add_digital_input("in", "application/octet-stream", handler)
+        runtime.register_translator(slow)
+        from repro.core.qos import DropPolicy
+
+        qos = QosPolicy(
+            buffer_capacity=32,
+            drop_policy=(
+                DropPolicy.DROP_OLDEST
+                if variant == "drop-oldest"
+                else DropPolicy.DROP_NEWEST
+            ),
+        )
+        path = runtime.connect(out, slow.input_port("in"), qos=qos)
+
+        def producer(k):
+            # ~8 Mbps offered load, far beyond the consumer's ~0.7 Mbps.
+            started = k.now
+            for index in range(BURST):
+                message = UMessage(
+                    "application/octet-stream", index, MESSAGE_SIZE
+                )
+                if variant == "backpressure":
+                    yield from out.send_flow(message)
+                else:
+                    out.send(message)
+                    yield k.timeout(MESSAGE_SIZE * 8 / 8_000_000)
+            return k.now - started
+
+        bed.run(producer(bed.kernel))
+        bed.settle(BURST * MESSAGE_SIZE * 8 / BLUETOOTH_RATE_BPS + 30.0)
+        results[variant] = (path.messages_delivered, path.messages_dropped)
+    return results
+
+
+def test_ablation_qos_buffer_overflow(benchmark, compare):
+    results = benchmark.pedantic(run_qos_ablation, rounds=1, iterations=1)
+    compare(
+        "Ablation: QoS strategies into a Bluetooth-rate consumer "
+        f"({BURST} x {MESSAGE_SIZE} B at ~8 Mbps offered)",
+        ["variant", "delivered", "dropped"],
+        [(name, d, p) for name, (d, p) in results.items()],
+    )
+    # Without QoS the translation buffer overflows badly (Section 5.3)...
+    assert results["fire-and-forget"][1] > BURST / 2
+    # ...drop-oldest loses as much but keeps the freshest messages...
+    assert results["drop-oldest"][1] > BURST / 2
+    # ...and backpressure paces the producer: everything arrives.
+    assert results["backpressure"] == (BURST, 0)
+
+
+# ---------------------------------------------------------------------------
+# 1b. Translation-buffer capacity sweep
+# ---------------------------------------------------------------------------
+
+def run_buffer_sweep(capacities=(8, 32, 128, 512)):
+    """Same overload as the QoS ablation, across buffer capacities."""
+    results = {}
+    for capacity in capacities:
+        bed = build_testbed(hosts=["h1"])
+        runtime = bed.add_runtime("h1")
+        kernel = bed.kernel
+        source = Translator("producer")
+        out = source.add_digital_output("out", "application/octet-stream")
+        runtime.register_translator(source)
+        slow = Translator("sink")
+
+        def handler(message):
+            yield kernel.timeout(message.size * 8 / BLUETOOTH_RATE_BPS)
+
+        slow.add_digital_input("in", "application/octet-stream", handler)
+        runtime.register_translator(slow)
+        path = runtime.connect(
+            out, slow.input_port("in"), qos=QosPolicy(buffer_capacity=capacity)
+        )
+
+        def producer(k):
+            for index in range(BURST):
+                out.send(UMessage("application/octet-stream", index, MESSAGE_SIZE))
+                yield k.timeout(MESSAGE_SIZE * 8 / 8_000_000)
+
+        bed.run(producer(bed.kernel))
+        bed.settle(BURST * MESSAGE_SIZE * 8 / BLUETOOTH_RATE_BPS + 30.0)
+        results[capacity] = (path.messages_delivered, path.messages_dropped)
+    return results
+
+
+def test_ablation_buffer_capacity_sweep(benchmark, compare):
+    """Bigger translation buffers absorb more of a transient burst, but no
+    finite buffer survives a sustained rate mismatch -- the structural
+    argument for the paper's QoS future work."""
+    results = benchmark.pedantic(run_buffer_sweep, rounds=1, iterations=1)
+    compare(
+        f"Ablation: translation-buffer capacity under a {BURST}-message burst "
+        "at ~11x the consumer rate",
+        ["capacity", "delivered", "dropped"],
+        [(c, d, p) for c, (d, p) in results.items()],
+    )
+    capacities = sorted(results)
+    dropped = [results[c][1] for c in capacities]
+    # More buffer, fewer drops...
+    assert dropped == sorted(dropped, reverse=True)
+    # ...but every undersized buffer still drops under sustained mismatch.
+    assert results[capacities[0]][1] > 0
+    # A buffer sized for the whole burst absorbs it completely.
+    assert results[512] == (BURST, 0)
+
+
+# ---------------------------------------------------------------------------
+# 2. Mediated vs direct translation: translator-count scaling
+# ---------------------------------------------------------------------------
+
+def translator_counts(device_types: int):
+    """(direct, mediated) translator counts for n device types (§2.2.1)."""
+    return device_types * (device_types - 1), device_types
+
+
+def test_ablation_translation_model_scaling(benchmark, compare):
+    counts = benchmark(
+        lambda: {n: translator_counts(n) for n in (2, 4, 8, 16, 32, 64)}
+    )
+    compare(
+        "Ablation: translators required per translation model (Section 2.2.1)",
+        ["device types", "direct n(n-1)", "mediated n", "ratio"],
+        [
+            (n, direct, mediated, f"{direct / mediated:.0f}x")
+            for n, (direct, mediated) in counts.items()
+        ],
+    )
+    for n, (direct, mediated) in counts.items():
+        assert direct == n * (n - 1)
+        assert mediated == n
+    # The gap grows linearly with the population -- the paper's
+    # scalability argument for mediated translation.
+    ratios = [direct / mediated for direct, mediated in counts.values()]
+    assert ratios == sorted(ratios)
+    # Our own USDL library already covers 10 device types: mediated needs
+    # 10 documents where direct would need 90 translators.
+    from repro.bridges.usdl_library import KNOWN_DOCUMENTS
+
+    n = len(KNOWN_DOCUMENTS)
+    assert translator_counts(n)[0] == n * (n - 1)
+
+
+# ---------------------------------------------------------------------------
+# 2b. Translator-generation cost scaling (what drives Figure 10)
+# ---------------------------------------------------------------------------
+
+def run_port_scaling(port_counts=(2, 4, 8, 12, 16)):
+    """Map synthetic devices with growing port counts; return mean times."""
+    from repro.core.mapper import Mapper
+    from repro.core.translator import NativeHandle
+    from repro.core.usdl import parse_usdl
+
+    class _Handle(NativeHandle):
+        def invoke(self, binding, message):
+            yield  # pragma: no cover
+
+        def subscribe(self, binding, callback):
+            pass
+
+    class _Mapper(Mapper):
+        platform = "synthetic"
+
+        def discover(self):
+            return
+            yield  # pragma: no cover
+
+    bed = build_testbed(hosts=["h1"])
+    runtime = bed.add_runtime("h1")
+    mapper = _Mapper(runtime)
+    times = {}
+
+    def driver(kernel):
+        for count in port_counts:
+            ports = "".join(
+                f'<digital name="p{i}" direction="out" mime="text/plain">'
+                f'<binding kind="event" target="E{i}"/></digital>'
+                for i in range(count)
+            )
+            document = parse_usdl(
+                f'<usdl name="syn-{count}" platform="synthetic" '
+                f'device-type="syn-{count}"><profile role="r"/>'
+                f"<ports>{ports}</ports></usdl>"
+            )
+            started = kernel.now
+            yield from mapper.map_device(document, _Handle())
+            times[count] = kernel.now - started
+
+    bed.run(driver(bed.kernel))
+    return times
+
+
+def test_ablation_fig10_port_scaling(benchmark, compare):
+    """Translator-generation time is linear in the digital port count --
+    the mechanism behind the clock-vs-light gap in Figure 10."""
+    times = benchmark.pedantic(run_port_scaling, rounds=1, iterations=1)
+    compare(
+        "Ablation: translator generation time vs digital port count",
+        ["ports", "map time (ms)", "ms/port"],
+        [
+            (count, f"{t * 1000:.1f}", f"{t * 1000 / count:.1f}")
+            for count, t in times.items()
+        ],
+    )
+    counts = sorted(times)
+    # Monotone growth...
+    values = [times[c] for c in counts]
+    assert values == sorted(values)
+    # ...and linear: incremental cost per port is constant.
+    increments = [
+        (times[b] - times[a]) / (b - a) for a, b in zip(counts, counts[1:])
+    ]
+    assert max(increments) - min(increments) < 1e-9
+
+
+# ---------------------------------------------------------------------------
+# 3. Fine- vs coarse-grained representation (Section 2.2.3)
+# ---------------------------------------------------------------------------
+
+def test_ablation_granularity(benchmark, compare):
+    """Fine-grained (port-type) matching reaches far more device pairs than
+    coarse-grained (device-type-name) matching, and applications written
+    against data types keep working as new device types appear."""
+    from repro.designspace import run_study
+
+    rows = benchmark(lambda: run_study(sizes=(8, 16, 32, 64), app_written_at=8))
+    compare(
+        "Ablation: compatibility granularity over a growing device population "
+        "(app written when 8 types existed)",
+        [
+            "device types",
+            "data types",
+            "fine pairs",
+            "coarse pairs",
+            "app reach (coarse)",
+            "app reach (fine)",
+        ],
+        [
+            (
+                row.population,
+                row.data_types,
+                row.fine_pairs,
+                row.coarse_pairs,
+                row.app_reach_coarse,
+                row.app_reach_fine,
+            )
+            for row in rows
+        ],
+    )
+    for row in rows:
+        # Fine-grained matching never loses pairs relative to coarse.
+        assert row.fine_pairs >= row.coarse_pairs
+        # Data types grow far more slowly than device types (the premise).
+        assert row.data_types < row.population or row.population <= 8
+    # The frozen application's coarse reach stays at its birth population,
+    # while its fine reach keeps growing with the ecosystem.
+    reaches_coarse = [row.app_reach_coarse for row in rows]
+    reaches_fine = [row.app_reach_fine for row in rows]
+    assert reaches_coarse == [8] * len(rows)
+    assert reaches_fine == sorted(reaches_fine)
+    assert reaches_fine[-1] > 4 * reaches_coarse[-1]
+
+
+# ---------------------------------------------------------------------------
+# 4. Calibration sensitivity of Figure 11's ordering
+# ---------------------------------------------------------------------------
+
+def run_sensitivity():
+    """Perturb the RMI marshal cost +/-50%; the Figure 11 ordering must hold."""
+    outcomes = {}
+    for label, factor in (("-50%", 0.5), ("baseline", 1.0), ("+50%", 1.5)):
+        rmi = dataclasses.replace(
+            DEFAULT.rmi,
+            marshal_per_byte_s=DEFAULT.rmi.marshal_per_byte_s * factor,
+        )
+        calibration = DEFAULT.with_overrides(rmi=rmi)
+        outcomes[label] = {
+            "mb": run_mb_test(calibration),
+            "rmi": run_rmi_test(calibration),
+            "rmi-mb": run_rmi_mb_test(calibration),
+        }
+    return outcomes
+
+
+def test_ablation_fig11_ordering_is_structural(benchmark, compare):
+    outcomes = benchmark.pedantic(run_sensitivity, rounds=1, iterations=1)
+    compare(
+        "Ablation: Figure 11 ordering under RMI marshal-cost perturbation",
+        ["RMI marshal cost", "MB (Mbps)", "RMI (Mbps)", "RMI-MB (Mbps)", "ordering"],
+        [
+            (
+                label,
+                f"{v['mb'] / 1e6:.2f}",
+                f"{v['rmi'] / 1e6:.2f}",
+                f"{v['rmi-mb'] / 1e6:.2f}",
+                "MB > RMI > RMI-MB"
+                if v["mb"] > v["rmi"] > v["rmi-mb"]
+                else "BROKEN",
+            )
+            for label, v in outcomes.items()
+        ],
+    )
+    for label, v in outcomes.items():
+        assert v["mb"] > v["rmi"] > v["rmi-mb"], label
+    # And the knob actually matters: cheaper serialization -> faster RMI.
+    assert outcomes["-50%"]["rmi"] > outcomes["baseline"]["rmi"] > outcomes["+50%"]["rmi"]

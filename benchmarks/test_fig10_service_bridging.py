@@ -1,0 +1,58 @@
+"""Experiment F10: Figure 10 -- service-level bridging performance.
+
+"The experiment illustrates the time needed by the uMiddle mapper to
+dynamically generate translators for devices after they are discovered in
+their native platforms."
+
+Paper results (ThinkPad T42p testbed):
+
+- UPnP clock (14 ports + 2 hierarchy entities): > 1.4 s, ~0.7 inst/s;
+- UPnP light and air conditioner: ~4 instantiations/second;
+- Bluetooth HIDP mouse: ~5 instantiations/second.
+
+The runner lives in :mod:`repro.experiments.fig10`; this benchmark times
+it, prints the paper-versus-measured table and asserts the shape.
+"""
+
+import pytest
+
+from repro.experiments.fig10 import PAPER_RATES, run_fig10
+
+REPEATS = 5
+
+
+def test_fig10_translator_instantiation(benchmark, compare):
+    result = benchmark.pedantic(
+        lambda: run_fig10(repeats=REPEATS), rounds=1, iterations=1
+    )
+
+    compare(
+        "Figure 10: translator generation (mapping) per device",
+        ["device", "samples", "mean map time (s)", "inst/s", "paper inst/s"],
+        [
+            (
+                name,
+                len(result.durations[name]),
+                f"{result.mean(name):.3f}",
+                f"{result.rate(name):.2f}",
+                PAPER_RATES[name],
+            )
+            for name in PAPER_RATES
+        ],
+    )
+
+    for name in PAPER_RATES:
+        assert len(result.durations[name]) >= REPEATS
+
+    # Shape assertions from the paper's text:
+    # (1) the clock translator takes "more than 1.4 seconds";
+    assert result.mean("upnp-clock") > 1.4
+    assert result.rate("upnp-clock") == pytest.approx(0.7, rel=0.15)
+    # (2) light and air conditioner reach ~4 instantiations/second;
+    assert result.rate("upnp-light") == pytest.approx(4.0, rel=0.25)
+    assert result.rate("upnp-air-conditioner") == pytest.approx(4.0, rel=0.25)
+    # (3) the HIDP mouse reaches ~5 instantiations/second;
+    assert result.rate("bt-hid-mouse") == pytest.approx(5.0, rel=0.25)
+    # (4) orderings: clock is by far the slowest, mouse the fastest.
+    assert result.mean("upnp-clock") > 4 * result.mean("upnp-light")
+    assert result.mean("bt-hid-mouse") < result.mean("upnp-light")

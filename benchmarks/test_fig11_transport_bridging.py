@@ -1,0 +1,40 @@
+"""Experiment F11: Figure 11 -- transport-level bridging throughput.
+
+Four series on the paper's three-node 10 Mbps Ethernet topology with
+1400-byte messages: raw-TCP baseline (7.9 Mbps), MB echo (6.2), RMI echo
+(3.2), and the MB-to-RMI cross-platform bridge (2.9) -- the cost of full
+transport-level bridging.  Runners in :mod:`repro.experiments.fig11`.
+"""
+
+import pytest
+
+from repro.experiments.fig11 import PAPER_MBPS, run_fig11
+
+
+def test_fig11_transport_bridging(benchmark, compare):
+    measured = benchmark.pedantic(run_fig11, rounds=1, iterations=1)
+
+    compare(
+        "Figure 11: transport-level bridging throughput (1400 B messages)",
+        ["series", "paper (Mbps)", "measured (Mbps)", "ratio vs baseline"],
+        [
+            (
+                name,
+                PAPER_MBPS[name],
+                f"{measured[name] / 1e6:.2f}",
+                f"{measured[name] / measured['baseline']:.2f}",
+            )
+            for name in ("baseline", "mb", "rmi", "rmi-mb")
+        ],
+    )
+
+    # Approximate magnitudes.
+    for name, expected in PAPER_MBPS.items():
+        assert measured[name] / 1e6 == pytest.approx(expected, rel=0.12), name
+    # The defining shape: baseline > MB > RMI > RMI-MB.
+    assert (
+        measured["baseline"] > measured["mb"] > measured["rmi"] > measured["rmi-mb"]
+    )
+    # Transport-level bridging (marshal/unmarshal of platform packets)
+    # costs real throughput: the full bridge is well under half the raw TCP.
+    assert measured["rmi-mb"] < 0.5 * measured["baseline"]

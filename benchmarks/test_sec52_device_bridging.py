@@ -1,0 +1,49 @@
+"""Experiment S52: Section 5.2 -- device-level bridging latency.
+
+The paper reports (in text; we treat it as a two-row table):
+
+- **UPnP light switch**: 100 controls average 160 ms each, ~150 ms in the
+  UPnP domain, ~10 ms in uMiddle.
+- **Bluetooth mouse**: ~23 ms of uMiddle translation per click.
+
+"These results show that the infrastructure itself contributes little to
+the performance overhead."  Runners in :mod:`repro.experiments.sec52`.
+"""
+
+import pytest
+
+from repro.experiments.sec52 import run_light_control, run_mouse_clicks
+
+ACTIONS = 100
+
+
+def test_sec52_upnp_light_control(benchmark, compare):
+    result = benchmark.pedantic(
+        lambda: run_light_control(actions=ACTIONS), rounds=1, iterations=1
+    )
+    compare(
+        "Section 5.2: UPnP light-switch control (100 actions)",
+        ["metric", "paper (ms)", "measured (ms)"],
+        [
+            ("total per action", 160, f"{result.mean_total * 1000:.1f}"),
+            ("UPnP domain", 150, f"{result.upnp_domain * 1000:.1f}"),
+            ("uMiddle translation", 10, f"{result.umiddle_share * 1000:.1f}"),
+        ],
+    )
+    assert result.actions_served == ACTIONS
+    assert result.mean_total == pytest.approx(0.160, rel=0.10)
+    assert result.upnp_domain == pytest.approx(0.150, rel=0.10)
+    assert result.umiddle_share < 0.2 * result.mean_total
+
+
+def test_sec52_bluetooth_mouse_translation(benchmark, compare):
+    result = benchmark.pedantic(
+        lambda: run_mouse_clicks(clicks=ACTIONS), rounds=1, iterations=1
+    )
+    compare(
+        "Section 5.2: Bluetooth mouse click translation (100 clicks)",
+        ["metric", "paper (ms)", "measured (ms)"],
+        [("uMiddle overhead per click", 23, f"{result.umiddle_overhead * 1000:.1f}")],
+    )
+    assert result.delivered == ACTIONS
+    assert result.umiddle_overhead == pytest.approx(0.023, rel=0.15)

@@ -1,0 +1,57 @@
+"""Experiment T1: regenerate Table 1 (mutual compatibility chart).
+
+The paper derives, by architectural argument, which of the eight design
+approaches can coexist.  We regenerate the full 8x8 chart from the modeled
+dependency rules and assert it matches the paper cell by cell.
+"""
+
+from repro.designspace import compatibility_chart, format_chart, validate_design
+from repro.designspace import UMIDDLE_CHOICES, UIC_CHOICES
+from repro.designspace.compatibility import ORDER
+
+#: Table 1 as printed in the paper: row -> columns marked 'O'.
+PAPER_TABLE_1 = {
+    "1-a": {"2-a", "4-a", "4-b"},
+    "1-b": {"2-a", "2-b", "3-a", "3-b", "4-a", "4-b"},
+    "2-a": {"1-a", "1-b", "3-a", "3-b", "4-a", "4-b"},
+    "2-b": {"1-b", "3-a", "3-b", "4-a", "4-b"},
+    "3-a": {"1-b", "2-a", "2-b", "4-a", "4-b"},
+    "3-b": {"1-b", "2-a", "2-b", "4-a", "4-b"},
+    "4-a": {"1-a", "1-b", "2-a", "2-b", "3-a", "3-b"},
+    "4-b": {"1-a", "1-b", "2-a", "2-b", "3-a", "3-b"},
+}
+
+
+def test_table1_mutual_compatibility(benchmark, compare):
+    chart = benchmark(compatibility_chart)
+
+    mismatches = []
+    for row in ORDER:
+        for column in ORDER:
+            if row == column:
+                continue
+            expected = column in PAPER_TABLE_1[row]
+            if chart[(row, column)] != expected:
+                mismatches.append((row, column))
+
+    compare(
+        "Table 1: mutual compatibility (paper vs derived)",
+        ["row", "paper 'O' columns", "derived 'O' columns", "match"],
+        [
+            (
+                row,
+                " ".join(sorted(PAPER_TABLE_1[row])),
+                " ".join(
+                    sorted(c for c in ORDER if c != row and chart[(row, column := c)])
+                ),
+                "yes" if all(m[0] != row for m in mismatches) else "NO",
+            )
+            for row in ORDER
+        ],
+    )
+    print(format_chart())
+
+    assert mismatches == [], f"chart differs from the paper at {mismatches}"
+    # The designs the paper positions in this space must validate.
+    validate_design(UMIDDLE_CHOICES)
+    validate_design(UIC_CHOICES)

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Federated campus: mappers distributed across rooms (Section 3.6).
+
+The paper: "If it is used to cover a larger area, such as a house or a
+university campus, mappers can be located in different rooms based on the
+specifics of the environment.  In a room where only Bluetooth devices are
+used, an intermediary translation node would be configured with the
+Bluetooth mapper.  In another room ... an intermediary node would host
+mappers for those various platforms.  These intermediary nodes communicate
+with one another through the directory and transport modules."
+
+Topology: two room LANs joined by a campus router.  The Bluetooth room has
+a camera; the media room has a UPnP TV.  Multicast discovery is
+link-local, so the rooms federate their directories explicitly; the
+application runs in the media room and uses the remote camera as if it
+were local.
+
+Run:  python examples/federated_campus.py
+"""
+
+from repro.bridges import BluetoothMapper, UPnPMapper
+from repro.calibration import DEFAULT
+from repro.core import Query, UMiddleRuntime
+from repro.platforms.bluetooth import BipCamera, Piconet
+from repro.platforms.upnp import make_media_renderer
+from repro.simnet import Kernel, Network
+
+
+def main():
+    calibration = DEFAULT
+    kernel = Kernel()
+    network = Network(kernel)
+    network_costs = calibration.network
+
+    def room_lan(name):
+        return network.add_hub(
+            name,
+            bandwidth_bps=network_costs.ethernet_bandwidth_bps,
+            latency_s=network_costs.ethernet_latency_s,
+            frame_overhead_bytes=network_costs.ethernet_frame_overhead_bytes,
+        )
+
+    bt_room = room_lan("bt-room-lan")
+    media_room = room_lan("media-room-lan")
+    router = network.add_node("campus-router", forwards=True)
+    router.attach(bt_room)
+    router.attach(media_room)
+
+    # Bluetooth room: an intermediary node with only the Bluetooth mapper.
+    bt_host = network.add_node("bt-room-host")
+    bt_host.attach(bt_room)
+    bt_runtime = UMiddleRuntime(bt_host, name="rt-bt-room")
+    piconet = Piconet(network, calibration)
+    camera = BipCamera(piconet, calibration, name="lab-camera")
+    bt_runtime.add_mapper(BluetoothMapper(bt_runtime, piconet))
+
+    # Media room: an intermediary node with the UPnP mapper, plus the TV.
+    media_host = network.add_node("media-room-host")
+    media_host.attach(media_room)
+    media_runtime = UMiddleRuntime(media_host, name="rt-media-room")
+    tv_host = network.add_node("tv-host")
+    tv_host.attach(media_room)
+    tv = make_media_renderer(tv_host, calibration, "Lecture Hall TV")
+    tv.start()
+    media_runtime.add_mapper(UPnPMapper(media_runtime))
+
+    kernel.run(until=kernel.now + 3.0)
+
+    # Before federation the rooms are isolated islands.
+    assert not media_runtime.lookup(Query(role="camera"))
+    print("before federation: media room sees",
+          [p.name for p in media_runtime.lookup(Query())])
+
+    # Federate the rooms (multicast does not cross the router).
+    media_runtime.federate(bt_runtime)
+    kernel.run(until=kernel.now + 3.0)
+    print("after federation:  media room sees",
+          [p.name for p in media_runtime.lookup(Query())])
+
+    # The media-room application composes the remote camera with the TV.
+    camera_profile = media_runtime.lookup(Query(role="camera"))[0]
+    tv_profile = media_runtime.lookup(Query(role="display"))[0]
+    media_runtime.connect(
+        camera_profile.port_ref("image-out"), tv_profile.port_ref("image-in")
+    )
+    kernel.run(until=kernel.now + 1.0)
+
+    camera.take_photo(size=40_000)
+    kernel.run(until=kernel.now + 6.0)
+    print(f"TV rendered {len(tv.rendered)} photo(s) from the remote room")
+
+    # Federation is soft state: if the Bluetooth room's runtime dies, its
+    # translators age out of the media room's directory.
+    bt_runtime.shutdown()
+    kernel.run(until=kernel.now + 20.0)
+    remaining = [p.name for p in media_runtime.lookup(Query(role="camera"))]
+    print(f"after bt-room shutdown, cameras visible: {remaining}")
+
+    assert len(tv.rendered) == 1
+    assert remaining == []
+    print("\nfederated_campus OK: cross-room bridging via explicit "
+          "directory federation")
+
+
+if __name__ == "__main__":
+    main()

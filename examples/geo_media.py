@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""G2 UI: geographic media composition (Section 4.2).
+
+Gadgets -- a Bluetooth camera (capture), a UPnP MediaRenderer TV (player)
+and a MediaBroker storage stream (storage) -- are registered at coordinates
+of a floor plan.  Dragging the camera into the living room triggers
+*geoplay* (its photos show on the TV); dragging it to the studio triggers
+*geostore* (photos are archived through MediaBroker).
+
+Run:  python examples/geo_media.py
+"""
+
+from repro.apps.g2ui import CAPTURE, G2Space, PLAYER, Region, STORAGE
+from repro.bridges import BluetoothMapper, MediaBrokerMapper, UPnPMapper
+from repro.core import Query
+from repro.platforms.bluetooth import BipCamera, Piconet
+from repro.platforms.mediabroker import Broker, MBConsumer
+from repro.platforms.upnp import make_media_renderer
+from repro.testbed import build_testbed
+
+
+def main():
+    bed = build_testbed(hosts=["hub-host", "tv-host", "mb-host"])
+    runtime = bed.add_runtime("hub-host")
+
+    # Native devices on three platforms.
+    piconet = Piconet(bed.network, bed.calibration)
+    camera = BipCamera(piconet, bed.calibration, name="field-camera")
+
+    tv = make_media_renderer(bed.hosts["tv-host"], bed.calibration, "LivingRoom TV")
+    tv.start()
+
+    Broker(bed.hosts["mb-host"], bed.calibration)
+    archived = []
+
+    def start_archive(kernel):
+        # A native MB service that stores whatever is published to it: it
+        # subscribes to the return stream of the bridged "archive" stream.
+        from repro.platforms.mediabroker import MBProducer
+
+        producer = MBProducer(
+            bed.hosts["mb-host"], bed.calibration, bed.hosts["mb-host"].address,
+            "archive", "image/jpeg",
+        )
+        yield from producer.register()
+        consumer = MBConsumer(
+            bed.hosts["mb-host"], bed.calibration, bed.hosts["mb-host"].address,
+            "archive.return",
+        )
+        yield from consumer.subscribe(
+            lambda payload, size, mtype: archived.append((payload, size))
+        )
+
+    bed.run(start_archive(bed.kernel))
+
+    runtime.add_mapper(BluetoothMapper(runtime, piconet))
+    runtime.add_mapper(UPnPMapper(runtime))
+    runtime.add_mapper(MediaBrokerMapper(runtime, bed.hosts["mb-host"].address))
+    bed.settle(5.0)
+
+    # The floor plan.
+    space = G2Space(runtime)
+    living_room = space.add_region(Region("living-room", 0, 0, 10, 10))
+    studio = space.add_region(Region("studio", 20, 0, 30, 10))
+
+    camera_profile = runtime.lookup(Query(role="camera"))[0]
+    tv_profile = runtime.lookup(Query(role="display"))[0]
+    archive_profile = runtime.lookup(Query(platform="mediabroker"))[0]
+
+    space.register(tv_profile, PLAYER, 5, 5)          # TV in the living room
+    space.register(archive_profile, STORAGE, 25, 5)   # archive in the studio
+    space.register(camera_profile, CAPTURE, 50, 50)   # camera: nowhere yet
+    print("gadgets registered; no co-location yet:",
+          space.active_connections)
+
+    # Walk into the living room: geoplay.
+    space.move(camera_profile.translator_id, 4, 4)
+    print("camera moved to the living room ->",
+          [f"{e.kind} in {e.region}" for e in space.events])
+    camera.take_photo(32_000)
+    bed.settle(4.0)
+    print(f"TV now shows {len(tv.rendered)} photo(s)")
+
+    # Walk to the studio: the TV path is torn down, geostore kicks in.
+    space.move(camera_profile.translator_id, 24, 4)
+    print("camera moved to the studio ->",
+          [f"{e.kind} in {e.region}" for e in space.events])
+    camera.take_photo(32_000)
+    bed.settle(4.0)
+    print(f"archive holds {len(archived)} photo(s); TV still shows "
+          f"{len(tv.rendered)}")
+
+    assert len(tv.rendered) == 1
+    assert len(archived) == 1
+    print("\ngeo_media OK: co-location drove geoplay then geostore across "
+          "three platforms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Print anywhere: selecting devices by physical affordance (Section 3.3).
+
+The paper's Service Shaping example: "If a user wishes to view a document
+in one way or another, the application can select a device with an input
+port of the document's MIME-type and physical output port of 'visible/*'.
+If the user wants to print it, the application specifies 'visible/paper'."
+
+We put a UPnP MediaRenderer TV (visible/screen) and a Bluetooth BIP photo
+printer (visible/paper) in the same space and show that the two queries
+select different devices for the same image -- the roles are expressed
+purely through shapes, never through device-type names.
+
+Run:  python examples/print_anywhere.py
+"""
+
+from repro.bridges import BluetoothMapper, UPnPMapper
+from repro.core import Query, Translator, UMessage
+from repro.platforms.bluetooth import BipPrinter, Piconet
+from repro.platforms.upnp import make_media_renderer
+from repro.testbed import build_testbed
+
+
+def main():
+    bed = build_testbed(hosts=["hub-host", "tv-host"])
+    runtime = bed.add_runtime("hub-host")
+
+    tv = make_media_renderer(bed.hosts["tv-host"], bed.calibration, "Office TV")
+    tv.start()
+    piconet = Piconet(bed.network, bed.calibration)
+    printer = BipPrinter(piconet, bed.calibration, name="photo-printer")
+
+    runtime.add_mapper(UPnPMapper(runtime))
+    runtime.add_mapper(BluetoothMapper(runtime, piconet))
+    bed.settle(4.0)
+
+    # The user's document, held by a native uMiddle service.
+    holder = Translator("document-holder", role="application")
+    out = holder.add_digital_output("doc-out", "image/jpeg")
+    runtime.register_translator(holder)
+
+    view_query = Query(input_mime="image/jpeg", physical_output="visible/*")
+    print_query = Query(input_mime="image/jpeg", physical_output="visible/paper")
+
+    viewers = [p.name for p in runtime.lookup(view_query)]
+    printers = [p.name for p in runtime.lookup(print_query)]
+    print(f"devices that can VIEW the image (visible/*):     {sorted(viewers)}")
+    print(f"devices that can PRINT the image (visible/paper): {printers}")
+
+    # "View it": the template matches both; "print it": only the printer.
+    assert set(viewers) == {"Office TV", "photo-printer"}
+    assert printers == ["photo-printer"]
+
+    # The user prints: one template-based connection, one send.
+    binding = runtime.connect_query(out, print_query)
+    bed.settle(0.5)
+    out.send(UMessage("image/jpeg", "<jpeg vacation.jpg>", 56_000))
+    bed.settle(6.0)  # radio transfer + print time
+
+    print(f"printer produced {len(printer.printed)} page(s): "
+          f"{[p['name'] for p in printer.printed]}")
+    assert len(printer.printed) == 1
+    assert tv.rendered == []  # viewing devices untouched by the print query
+    binding.close()
+    print("\nprint_anywhere OK: 'visible/paper' selected the printer, "
+          "'visible/*' would select both")
+
+
+if __name__ == "__main__":
+    main()

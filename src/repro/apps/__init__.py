@@ -1,0 +1,12 @@
+"""The paper's applications, built on the uMiddle public API.
+
+- :mod:`repro.apps.pads` -- uMiddle Pads (Section 4.1): a GUI-less model of
+  the visual "virtual cabling" application generator.
+- :mod:`repro.apps.g2ui` -- G2 UI (Section 4.2): the geographical user
+  interface with geoplay/geostore triggered by device co-location.
+"""
+
+from repro.apps.pads import Pads, PadsError, Wire
+from repro.apps.g2ui import G2Space, Gadget, GeoEvent, Region
+
+__all__ = ["Pads", "PadsError", "Wire", "G2Space", "Region", "Gadget", "GeoEvent"]

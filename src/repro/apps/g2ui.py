@@ -1,0 +1,241 @@
+"""G2 UI: the Geographical User Interface (Section 4.2).
+
+G2 UI registers gadgets -- media storage, player and capture devices -- at
+regions of a geographic coordinate system.  Co-location of devices inside
+one region triggers:
+
+- **geoplay**: media from co-located storage/capture devices plays on the
+  co-located player(s);
+- **geostore**: a co-located storage device records data produced by a
+  co-located capture device.
+
+Because G2 UI is built entirely on the common semantic space (shape-based
+queries plus dynamic message paths), the paper's example "co-locate a
+Bluetooth digital camera and a UPnP MediaRenderer TV and the images in the
+camera serve as the source for the TV" works across platforms unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.errors import UMiddleError
+from repro.core.profile import TranslatorProfile
+from repro.core.query import Query
+from repro.core.runtime import UMiddleRuntime
+from repro.core.shapes import DigitalType
+
+__all__ = ["G2Error", "Region", "Gadget", "GeoEvent", "G2Space"]
+
+
+class G2Error(UMiddleError):
+    """Bad gadget registrations or region definitions."""
+
+
+@dataclass(frozen=True)
+class Region:
+    """An axis-aligned region of the coordinate space."""
+
+    name: str
+    x_min: float
+    y_min: float
+    x_max: float
+    y_max: float
+
+    def contains(self, x: float, y: float) -> bool:
+        return self.x_min <= x <= self.x_max and self.y_min <= y <= self.y_max
+
+
+#: The roles G2 UI distinguishes (Section 4.2's gadget kinds).
+CAPTURE = "capture"
+PLAYER = "player"
+STORAGE = "storage"
+KINDS = (CAPTURE, PLAYER, STORAGE)
+
+
+@dataclass
+class Gadget:
+    """One registered device with a location."""
+
+    profile: TranslatorProfile
+    kind: str
+    x: float
+    y: float
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise G2Error(f"unknown gadget kind {self.kind!r} (expected {KINDS})")
+
+    @property
+    def translator_id(self) -> str:
+        return self.profile.translator_id
+
+
+@dataclass(frozen=True)
+class GeoEvent:
+    """A geoplay or geostore activation, for inspection by tests/apps."""
+
+    kind: str               # "geoplay" | "geostore"
+    region: str
+    source_id: str
+    sink_id: str
+
+
+class G2Space:
+    """The coordinate space, gadget registry and co-location engine."""
+
+    def __init__(self, runtime: UMiddleRuntime):
+        self.runtime = runtime
+        self.regions: List[Region] = []
+        self.gadgets: Dict[str, Gadget] = {}
+        #: (source_id, sink_id) -> path, the live geo connections
+        self._paths: Dict[Tuple[str, str], object] = {}
+        self.events: List[GeoEvent] = []
+
+    # -- setup -----------------------------------------------------------------
+
+    def add_region(self, region: Region) -> Region:
+        self.regions.append(region)
+        return region
+
+    def register(
+        self, profile: TranslatorProfile, kind: str, x: float, y: float
+    ) -> Gadget:
+        """Register a device at coordinates; re-evaluates co-location."""
+        gadget = Gadget(profile=profile, kind=kind, x=x, y=y)
+        self.gadgets[profile.translator_id] = gadget
+        self._evaluate()
+        return gadget
+
+    def move(self, translator_id: str, x: float, y: float) -> None:
+        """Relocate a gadget (the user dragging it on the atlas)."""
+        gadget = self.gadgets.get(translator_id)
+        if gadget is None:
+            raise G2Error(f"unknown gadget {translator_id!r}")
+        gadget.x, gadget.y = x, y
+        self._evaluate()
+
+    def unregister(self, translator_id: str) -> None:
+        self.gadgets.pop(translator_id, None)
+        self._evaluate()
+
+    # -- co-location engine ----------------------------------------------------------
+
+    def region_of(self, gadget: Gadget) -> Optional[Region]:
+        for region in self.regions:
+            if region.contains(gadget.x, gadget.y):
+                return region
+        return None
+
+    def co_located(self, region: Region) -> List[Gadget]:
+        return [g for g in self.gadgets.values() if self.region_of(g) is region]
+
+    def _evaluate(self) -> None:
+        """Recompute the wanted geo connections and diff against the live set."""
+        wanted: Dict[Tuple[str, str], Tuple[str, Region]] = {}
+        for region in self.regions:
+            members = self.co_located(region)
+            sources = [g for g in members if g.kind == CAPTURE]
+            players = [g for g in members if g.kind == PLAYER]
+            storages = [g for g in members if g.kind == STORAGE]
+            # geoplay: capture/storage media -> players
+            for player in players:
+                for source in sources + storages:
+                    if self._flow(source, player):
+                        wanted[(source.translator_id, player.translator_id)] = (
+                            "geoplay",
+                            region,
+                        )
+            # geostore: capture -> storage
+            for storage in storages:
+                for source in sources:
+                    if self._flow(source, storage):
+                        wanted[(source.translator_id, storage.translator_id)] = (
+                            "geostore",
+                            region,
+                        )
+
+        # Tear down paths no longer wanted.
+        for key in list(self._paths):
+            if key not in wanted:
+                self._paths.pop(key).close()
+        # Establish newly wanted paths.
+        for key, (kind, region) in wanted.items():
+            if key in self._paths:
+                continue
+            path = self._connect(*key)
+            if path is not None:
+                self._paths[key] = path
+                self.events.append(
+                    GeoEvent(
+                        kind=kind, region=region.name, source_id=key[0], sink_id=key[1]
+                    )
+                )
+
+    @staticmethod
+    def _flow(source: Gadget, sink: Gadget) -> bool:
+        return source.profile.shape.can_send_to(sink.profile.shape)
+
+    def _connect(self, source_id: str, sink_id: str):
+        source = self.gadgets[source_id].profile
+        sink = self.gadgets[sink_id].profile
+        pairs = source.shape.flows_to(sink.shape)
+        if not pairs:
+            return None
+        out_spec, in_spec = pairs[0]
+        return self.runtime.connect(
+            source.port_ref(out_spec.name), sink.port_ref(in_spec.name)
+        )
+
+    # -- inspection -------------------------------------------------------------------
+
+    @property
+    def active_connections(self) -> List[Tuple[str, str]]:
+        return sorted(self._paths)
+
+    def render_ascii(self) -> str:
+        """A textual 'atlas' of the coordinate space (Figure 9, headlessly)."""
+        lines = ["G2 UI -- geographic atlas"]
+        for region in self.regions:
+            members = self.co_located(region)
+            lines.append(
+                f"  [{region.name}] ({region.x_min},{region.y_min})-"
+                f"({region.x_max},{region.y_max}): "
+                + (", ".join(
+                    f"{g.profile.name}({g.kind}@{g.x:g},{g.y:g})" for g in members
+                ) or "empty")
+            )
+        homeless = [
+            g for g in self.gadgets.values() if self.region_of(g) is None
+        ]
+        if homeless:
+            lines.append(
+                "  (outside all regions): "
+                + ", ".join(f"{g.profile.name}@{g.x:g},{g.y:g}" for g in homeless)
+            )
+        lines.append(f"  active geo connections: {len(self._paths)}")
+        for kind, region, source, sink in (
+            (e.kind, e.region, e.source_id, e.sink_id) for e in self.events
+        ):
+            lines.append(f"    {kind} in {region}: {source} -> {sink}")
+        return "\n".join(lines)
+
+    def auto_register(self, kind_by_role: Optional[Dict[str, str]] = None) -> int:
+        """Register every translator in the space whose role maps to a
+        gadget kind, placing them at the origin (the application moves them
+        later).  Returns how many gadgets were added."""
+        kind_by_role = kind_by_role or {
+            "camera": CAPTURE,
+            "display": PLAYER,
+            "storage": STORAGE,
+            "media-stream": STORAGE,
+        }
+        added = 0
+        for profile in self.runtime.lookup(Query()):
+            kind = kind_by_role.get(profile.role)
+            if kind is None or profile.translator_id in self.gadgets:
+                continue
+            self.register(profile, kind, 0.0, 0.0)
+            added += 1
+        return added

@@ -1,0 +1,171 @@
+"""uMiddle Pads: cross-platform virtual cabling (Section 4.1).
+
+Pads is the paper's GUI application generator: it (1) visualizes the
+intermediary semantic space as a canvas of translator icons, (2) lets the
+user hot-wire devices by drawing lines between icons, and (3) backs each
+line with an end-to-end uMiddle connection.  This is the headless model of
+that application: the canvas is a data structure, ``wire`` is the
+line-drawing gesture, and everything underneath uses only the public
+directory/transport APIs -- so "application development is as low as
+drawing lines on a GUI".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.directory import DirectoryListener
+from repro.core.errors import UMiddleError
+from repro.core.profile import PortRef, TranslatorProfile
+from repro.core.qos import QosPolicy
+from repro.core.query import Query
+from repro.core.runtime import UMiddleRuntime
+
+__all__ = ["PadsError", "Icon", "Wire", "Pads"]
+
+
+class PadsError(UMiddleError):
+    """Bad wiring gestures (unknown icons, incompatible ports...)."""
+
+
+@dataclass
+class Icon:
+    """One translator's representation on the canvas."""
+
+    profile: TranslatorProfile
+    position: Tuple[float, float] = (0.0, 0.0)
+
+    @property
+    def label(self) -> str:
+        return self.profile.name
+
+    @property
+    def translator_id(self) -> str:
+        return self.profile.translator_id
+
+
+@dataclass
+class Wire:
+    """One drawn connection, backed by a live message path."""
+
+    source: PortRef
+    destination: PortRef
+    path: object = field(repr=False, default=None)
+
+    def close(self) -> None:
+        if self.path is not None:
+            self.path.close()
+
+
+class Pads(DirectoryListener):
+    """The Pads canvas bound to one uMiddle runtime."""
+
+    def __init__(self, runtime: UMiddleRuntime):
+        self.runtime = runtime
+        self.icons: Dict[str, Icon] = {}
+        self.wires: List[Wire] = []
+        runtime.add_directory_listener(self)
+        # Populate with everything already in the semantic space.
+        for profile in runtime.lookup(Query()):
+            self.translator_added(profile)
+
+    # -- canvas maintenance (DirectoryListener) --------------------------------
+
+    def translator_added(self, profile: TranslatorProfile) -> None:
+        index = len(self.icons)
+        self.icons[profile.translator_id] = Icon(
+            profile=profile,
+            position=(40.0 + 90.0 * (index % 8), 40.0 + 90.0 * (index // 8)),
+        )
+
+    def translator_removed(self, profile: TranslatorProfile) -> None:
+        self.icons.pop(profile.translator_id, None)
+        for wire in [
+            w
+            for w in self.wires
+            if profile.translator_id
+            in (w.source.translator_id, w.destination.translator_id)
+        ]:
+            wire.close()
+            self.wires.remove(wire)
+
+    # -- inspection -----------------------------------------------------------------
+
+    def icon(self, label: str) -> Icon:
+        """Find an icon by its (unique) label."""
+        matches = [icon for icon in self.icons.values() if icon.label == label]
+        if not matches:
+            raise PadsError(f"no icon labelled {label!r} on the canvas")
+        if len(matches) > 1:
+            raise PadsError(f"ambiguous label {label!r}: {len(matches)} icons")
+        return matches[0]
+
+    def labels(self) -> List[str]:
+        return sorted(icon.label for icon in self.icons.values())
+
+    def compatible_pairs(
+        self, source_label: str, destination_label: str
+    ) -> List[Tuple[str, str]]:
+        """Port-name pairs through which source could feed destination."""
+        source = self.icon(source_label).profile.shape
+        destination = self.icon(destination_label).profile.shape
+        return [
+            (out_spec.name, in_spec.name)
+            for out_spec, in_spec in source.flows_to(destination)
+        ]
+
+    # -- the hot-wiring gesture ----------------------------------------------------------
+
+    def wire(
+        self,
+        source_label: str,
+        destination_label: str,
+        source_port: Optional[str] = None,
+        destination_port: Optional[str] = None,
+        qos: Optional[QosPolicy] = None,
+    ) -> Wire:
+        """Draw a line between two icons.
+
+        Without explicit port names, Pads picks the first type-compatible
+        (output, input) pair -- the user just connects devices; types make
+        the gesture valid or not, exactly as in the paper's GUI.
+        """
+        source_icon = self.icon(source_label)
+        destination_icon = self.icon(destination_label)
+        if source_port is None or destination_port is None:
+            pairs = source_icon.profile.shape.flows_to(destination_icon.profile.shape)
+            if not pairs:
+                raise PadsError(
+                    f"{source_label!r} has no output type-compatible with "
+                    f"{destination_label!r}"
+                )
+            picked_out, picked_in = pairs[0]
+            source_port = source_port or picked_out.name
+            destination_port = destination_port or picked_in.name
+        source_ref = source_icon.profile.port_ref(source_port)
+        destination_ref = destination_icon.profile.port_ref(destination_port)
+        path = self.runtime.connect(source_ref, destination_ref, qos=qos)
+        wire = Wire(source=source_ref, destination=destination_ref, path=path)
+        self.wires.append(wire)
+        return wire
+
+    def unwire(self, wire: Wire) -> None:
+        if wire in self.wires:
+            wire.close()
+            self.wires.remove(wire)
+
+    def clear_wires(self) -> None:
+        for wire in list(self.wires):
+            self.unwire(wire)
+
+    def render_ascii(self) -> str:
+        """A textual 'screenshot' of the canvas (Figure 8, headlessly)."""
+        lines = ["uMiddle Pads -- intermediary semantic space"]
+        for icon in sorted(self.icons.values(), key=lambda i: i.label):
+            ports = ", ".join(spec.describe() for spec in icon.profile.shape)
+            lines.append(f"  [{icon.label}] ({icon.profile.platform}) {ports}")
+        lines.append(f"  wires: {len(self.wires)}")
+        for wire in self.wires:
+            lines.append(f"    {wire.source} --> {wire.destination}")
+        return "\n".join(lines)

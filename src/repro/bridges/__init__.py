@@ -1,0 +1,30 @@
+"""Platform bridges: the mappers and native handles for every platform.
+
+Each module pairs a :class:`~repro.core.mapper.Mapper` subclass (discovery
+plus translator lifecycle for one platform) with the
+:class:`~repro.core.translator.NativeHandle` implementations that let the
+generic, USDL-parameterized translators drive real (simulated) devices.
+The USDL documents themselves live in
+:mod:`repro.bridges.usdl_library`.
+"""
+
+from repro.bridges.usdl_library import document_for, KNOWN_DOCUMENTS
+from repro.bridges.upnp_bridge import UPnPMapper
+from repro.bridges.bluetooth_bridge import BluetoothMapper
+from repro.bridges.rmi_bridge import RmiMapper
+from repro.bridges.jini_bridge import JiniMapper
+from repro.bridges.mediabroker_bridge import MediaBrokerMapper
+from repro.bridges.motes_bridge import MotesMapper
+from repro.bridges.webservices_bridge import WebServicesMapper
+
+__all__ = [
+    "document_for",
+    "KNOWN_DOCUMENTS",
+    "UPnPMapper",
+    "BluetoothMapper",
+    "RmiMapper",
+    "JiniMapper",
+    "MediaBrokerMapper",
+    "MotesMapper",
+    "WebServicesMapper",
+]

@@ -1,0 +1,181 @@
+"""The Jini bridge.
+
+The mapper discovers a lookup service over Jini multicast announcement,
+polls its registrations, and maps each (non-uMiddle) service into the
+semantic space.  Like the RMI bridge it is bidirectional:
+
+- ``data-in`` (sink): messages become remote calls on the native service's
+  ``receive`` method;
+- ``data-out`` (source): the bridge exports an ingress remote object and
+  *joins it back into the lookup service* (interface ``umiddle.Ingress``,
+  attribute ``for`` naming the bridged service) so native Jini clients can
+  send data into uMiddle through ordinary Jini lookup + RMI.
+
+Lease semantics drive unmapping: a crashed service stops renewing, its
+registration evaporates from the lookup service, and the next poll unmaps
+its translator.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, Optional
+
+from repro.core.mapper import Mapper
+from repro.core.messages import UMessage
+from repro.core.shapes import Direction, DigitalType
+from repro.core.translator import NativeHandle
+from repro.core.usdl import UsdlBinding, UsdlDocument, UsdlPort
+from repro.platforms.jini.lookup import LookupError
+from repro.platforms.jini.service import JiniClient, JoinManager, discover_lookup
+from repro.platforms.rmi.remote import RmiConnection, RmiExporter
+from repro.simnet.addresses import Address
+
+__all__ = ["JiniMapper", "JiniServiceHandle", "JINI_SERVICE_DOCUMENT"]
+
+INGRESS_INTERFACE = "umiddle.Ingress"
+
+JINI_SERVICE_DOCUMENT = UsdlDocument(
+    name="jini-service",
+    platform="jini",
+    device_type="jini-service",
+    role="service",
+    description="A Jini service joined to a lookup service",
+    ports=[
+        UsdlPort(
+            name="data-in",
+            direction=Direction.IN,
+            digital_type=DigitalType("application/octet-stream"),
+            binding=UsdlBinding(kind="sink", target="receive"),
+        ),
+        UsdlPort(
+            name="data-out",
+            direction=Direction.OUT,
+            digital_type=DigitalType("application/octet-stream"),
+            binding=UsdlBinding(kind="source", target="ingress"),
+        ),
+    ],
+)
+
+
+class JiniServiceHandle(NativeHandle):
+    """Drives one Jini service; receives ingress traffic for it."""
+
+    def __init__(self, mapper: "JiniMapper", item):
+        self.mapper = mapper
+        self.item = item
+        self.connection = RmiConnection(
+            mapper.runtime.node, mapper.runtime.calibration, item.ref
+        )
+        self._callback: Optional[Callable[[UMessage], None]] = None
+        self._join: Optional[JoinManager] = None
+
+    def invoke(self, binding: UsdlBinding, message: UMessage) -> Generator:
+        yield from self.connection.call_oneway(
+            binding.target, message.payload, message.size
+        )
+
+    def subscribe(self, binding: UsdlBinding, callback) -> None:
+        self._callback = callback
+
+    def unsubscribe_all(self) -> None:
+        self._callback = None
+        self.connection.close()
+        if self._join is not None:
+            self.mapper.runtime.kernel.process(
+                self._join.leave(), name=f"jini-leave:{self.item.service_id}"
+            )
+
+    def activate(self) -> Generator:
+        """Export the ingress object and join it to the lookup service."""
+
+        def ingress_send(args, args_size):
+            if self._callback is not None:
+                self._callback(
+                    UMessage(
+                        mime="application/octet-stream",
+                        payload=args,
+                        size=args_size,
+                        headers={"jini_service": self.item.service_id},
+                    )
+                )
+            return None, 0
+
+        ref = self.mapper.exporter.export(
+            {"send": ingress_send}, interface=INGRESS_INTERFACE
+        )
+        self._join = JoinManager(
+            self.mapper.runtime.node,
+            self.mapper.runtime.calibration,
+            self.mapper.lookup_address,
+            self.mapper.lookup_port,
+            interface=INGRESS_INTERFACE,
+            ref=ref,
+            attributes={"for": self.item.service_id},
+        )
+        yield from self._join.join()
+
+
+class JiniMapper(Mapper):
+    """Service-level bridge for Jini."""
+
+    platform = "jini"
+
+    def __init__(self, runtime, poll_interval: float = 5.0):
+        super().__init__(runtime)
+        self.poll_interval = poll_interval
+        self.exporter = RmiExporter(runtime.node, runtime.calibration)
+        self.lookup_address: Optional[Address] = None
+        self.lookup_port: Optional[int] = None
+        self._client: Optional[JiniClient] = None
+        #: lookup service_id -> translator
+        self._mapped: Dict[str, object] = {}
+
+    def discover(self) -> Generator:
+        # Phase 1: find a lookup service via multicast announcement.
+        while self.lookup_address is None:
+            try:
+                self.lookup_address, self.lookup_port = yield from discover_lookup(
+                    self.runtime.node, self.runtime.calibration
+                )
+            except LookupError:
+                yield self.runtime.kernel.timeout(self.poll_interval)
+        self._client = JiniClient(
+            self.runtime.node,
+            self.runtime.calibration,
+            self.lookup_address,
+            self.lookup_port,
+        )
+        # Phase 2: poll registrations; map new services, unmap lapsed ones.
+        while True:
+            try:
+                items = yield from self._client.lookup()
+            except LookupError:
+                yield self.runtime.kernel.timeout(self.poll_interval)
+                continue
+            current = {
+                item.service_id: item
+                for item in items
+                if item.interface != INGRESS_INTERFACE  # skip our own joins
+            }
+            for service_id in sorted(set(current) - set(self._mapped)):
+                yield from self._map(current[service_id])
+            for service_id in sorted(set(self._mapped) - set(current)):
+                translator = self._mapped.pop(service_id)
+                self.unmap(translator)
+            yield self.runtime.kernel.timeout(self.poll_interval)
+
+    def _map(self, item) -> Generator:
+        handle = JiniServiceHandle(self, item)
+        yield from handle.activate()
+        translator = yield from self.map_device(
+            JINI_SERVICE_DOCUMENT,
+            handle,
+            instance_name=item.attributes.get("name", item.service_id),
+            extra_attributes={
+                "jini_service_id": item.service_id,
+                "jini_interface": item.interface,
+                **item.attributes,
+            },
+        )
+        self._mapped[item.service_id] = translator
+        return translator

@@ -1,0 +1,182 @@
+"""The MediaBroker bridge.
+
+The mapper polls the broker's stream listing.  Each registered stream
+``S`` becomes a translator with:
+
+- ``data-out`` (source): a broker subscription to ``S`` -- whatever the
+  native producer publishes surfaces on the output port;
+- ``data-in`` (sink): a producer registration on ``S.return`` -- messages
+  delivered to the translator are published there, where the native
+  service can subscribe (the echo direction of the paper's MB test).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, Optional
+
+from repro.core.errors import ShapeError
+from repro.core.mapper import Mapper
+from repro.core.messages import UMessage
+from repro.core.shapes import Direction, DigitalType
+from repro.core.translator import NativeHandle
+from repro.core.usdl import UsdlBinding, UsdlDocument, UsdlPort
+from repro.platforms.mediabroker.broker import BROKER_PORT, FRAME_OVERHEAD
+from repro.platforms.mediabroker.service import MBConsumer, MBProducer
+from repro.simnet.addresses import Address
+from repro.simnet.sockets import StreamSocket
+
+__all__ = ["MediaBrokerMapper", "MBStreamHandle", "usdl_for_stream"]
+
+RETURN_SUFFIX = ".return"
+
+
+def usdl_for_stream(stream_name: str, media_type: str) -> UsdlDocument:
+    """Generate the USDL document for one MediaBroker stream.
+
+    MB streams are typed, so the translator's port MIME types are
+    parameterized by the stream's declared media type (a stream of
+    ``image/jpeg`` interoperates with cameras and displays directly);
+    unusable type strings fall back to ``application/octet-stream``.
+    """
+    try:
+        mime = DigitalType(media_type)
+        if mime.is_pattern:
+            raise ShapeError("stream types must be concrete")
+    except ShapeError:
+        mime = DigitalType("application/octet-stream")
+    ports = [
+        UsdlPort(
+            name="data-out",
+            direction=Direction.OUT,
+            digital_type=mime,
+            binding=UsdlBinding(kind="source", target="outbound"),
+        ),
+        UsdlPort(
+            name="data-in",
+            direction=Direction.IN,
+            digital_type=mime,
+            binding=UsdlBinding(kind="sink", target="inbound"),
+        ),
+    ]
+    return UsdlDocument(
+        name=f"mb-stream-{stream_name}",
+        platform="mediabroker",
+        device_type="mb-stream",
+        role="media-stream",
+        description=f"MediaBroker stream {stream_name!r} ({mime})",
+        ports=ports,
+    )
+
+
+class MBStreamHandle(NativeHandle):
+    """Bridges one MediaBroker stream."""
+
+    def __init__(self, mapper: "MediaBrokerMapper", stream_name: str, media_type: str):
+        self.mapper = mapper
+        self.stream_name = stream_name
+        self.media_type = media_type
+        runtime = mapper.runtime
+        self.consumer = MBConsumer(
+            runtime.node,
+            runtime.calibration,
+            mapper.broker_address,
+            stream_name,
+            broker_port=mapper.broker_port,
+        )
+        self.producer = MBProducer(
+            runtime.node,
+            runtime.calibration,
+            mapper.broker_address,
+            stream_name + RETURN_SUFFIX,
+            media_type,
+            broker_port=mapper.broker_port,
+        )
+        self._callback: Optional[Callable[[UMessage], None]] = None
+        #: The MIME type carried by the translator's ports (set at map time
+        #: from the generated USDL document).
+        self.port_mime = DigitalType("application/octet-stream")
+
+    def invoke(self, binding: UsdlBinding, message: UMessage) -> Generator:
+        yield from self.producer.publish(message.payload, message.size)
+
+    def subscribe(self, binding: UsdlBinding, callback) -> None:
+        self._callback = callback
+
+    def unsubscribe_all(self) -> None:
+        self._callback = None
+        self.consumer.close()
+        self.producer.close()
+
+    def activate(self) -> Generator:
+        yield from self.producer.register()
+        yield from self.consumer.subscribe(self._on_data)
+
+    def _on_data(self, payload, size: int, media_type: str) -> None:
+        if self._callback is not None:
+            self._callback(
+                UMessage(
+                    mime=self.port_mime,
+                    payload=payload,
+                    size=size,
+                    headers={"mb_stream": self.stream_name, "mb_type": media_type},
+                )
+            )
+
+
+class MediaBrokerMapper(Mapper):
+    """Service-level bridge for MediaBroker."""
+
+    platform = "mediabroker"
+
+    def __init__(
+        self,
+        runtime,
+        broker_address: Address,
+        poll_interval: float = 5.0,
+        broker_port: int = BROKER_PORT,
+    ):
+        super().__init__(runtime)
+        self.broker_address = broker_address
+        self.broker_port = broker_port
+        self.poll_interval = poll_interval
+        self._control: Optional[StreamSocket] = None
+        self._mapped: Dict[str, tuple] = {}
+
+    def discover(self) -> Generator:
+        while True:
+            listing = yield from self._list_streams()
+            names = {
+                name for name in listing if not name.endswith(RETURN_SUFFIX)
+            }
+            for name in sorted(names - set(self._mapped)):
+                yield from self._map(name, listing[name])
+            for name in sorted(set(self._mapped) - names):
+                translator, _handle = self._mapped.pop(name)
+                self.unmap(translator)
+            yield self.runtime.kernel.timeout(self.poll_interval)
+
+    def _list_streams(self) -> Generator:
+        if self._control is None or self._control.closed:
+            self._control = yield StreamSocket.connect(
+                self.runtime.node,
+                self.runtime.calibration.network,
+                self.broker_address,
+                self.broker_port,
+            )
+        self._control.send({"op": "list"}, FRAME_OVERHEAD)
+        response, _size = yield self._control.recv()
+        return response.get("streams", {})
+
+    def _map(self, name: str, media_type: str) -> Generator:
+        document = usdl_for_stream(name, media_type)
+        handle = MBStreamHandle(self, name, media_type)
+        handle.port_mime = document.port("data-out").digital_type
+        yield from handle.activate()
+        translator = yield from self.map_device(
+            document,
+            handle,
+            instance_name=name,
+            extra_attributes={"mb_stream": name, "mb_type": media_type},
+        )
+        self._mapped[name] = (translator, handle)
+        return translator

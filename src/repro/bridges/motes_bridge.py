@@ -1,0 +1,120 @@
+"""The Berkeley Motes bridge.
+
+The mapper listens to a base station.  The first active message from an
+unknown mote id maps a translator for it; motes silent for longer than the
+presence timeout are unmapped (motes have no departure protocol -- they
+just die or move away).  Readings surface on the translator's ``readings``
+output port as ``application/x-umiddle-sensor`` messages.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, Optional
+
+from repro.bridges.usdl_library import KNOWN_DOCUMENTS, MIME_SENSOR
+from repro.core.errors import TranslationError
+from repro.core.mapper import Mapper
+from repro.core.messages import UMessage
+from repro.core.translator import NativeHandle
+from repro.core.usdl import UsdlBinding
+from repro.platforms.motes.am import ActiveMessage
+from repro.platforms.motes.basestation import BaseStation
+from repro.platforms.motes.mote import AM_SENSOR_READING
+
+__all__ = ["MotesMapper", "MoteHandle"]
+
+
+class MoteHandle(NativeHandle):
+    """One mote's event conduit plus its command channel."""
+
+    def __init__(self, mote_id: int, base_station: BaseStation):
+        self.mote_id = mote_id
+        self.base_station = base_station
+        self._callback: Optional[Callable[[UMessage], None]] = None
+
+    def invoke(self, binding: UsdlBinding, message: UMessage) -> Generator:
+        """Command bindings: retask the mote via a command AM."""
+        kernel = self.base_station.kernel
+        yield kernel.timeout(0.001)  # command AM marshaling on the host
+        payload = {"command": binding.target}
+        if binding.payload_argument and message.payload is not None:
+            payload[binding.payload_argument] = message.payload
+        self.base_station.send_command(self.mote_id, payload)
+
+    def subscribe(self, binding: UsdlBinding, callback) -> None:
+        self._callback = callback
+
+    def unsubscribe_all(self) -> None:
+        self._callback = None
+
+    def deliver(self, message: ActiveMessage) -> None:
+        if self._callback is None:
+            return
+        self._callback(
+            UMessage(
+                mime=MIME_SENSOR,
+                payload=dict(message.payload),
+                size=message.payload_size,
+                headers={"mote_id": self.mote_id},
+            )
+        )
+
+
+class MotesMapper(Mapper):
+    """Service-level bridge for the Berkeley Motes platform."""
+
+    platform = "motes"
+
+    def __init__(
+        self,
+        runtime,
+        base_station: BaseStation,
+        presence_timeout: float = 30.0,
+        sweep_interval: float = 5.0,
+    ):
+        super().__init__(runtime)
+        self.base_station = base_station
+        self.presence_timeout = presence_timeout
+        self.sweep_interval = sweep_interval
+        #: mote id -> (translator, handle)
+        self._mapped: Dict[int, tuple] = {}
+        self._pending: set = set()
+        base_station.on_message(self._on_message)
+
+    def discover(self) -> Generator:
+        """Presence sweep: unmap motes that have fallen silent."""
+        while True:
+            yield self.runtime.kernel.timeout(self.sweep_interval)
+            deadline = self.runtime.kernel.now - self.presence_timeout
+            for mote_id, (translator, _handle) in list(self._mapped.items()):
+                last = self.base_station.last_heard.get(mote_id, 0.0)
+                if last < deadline:
+                    del self._mapped[mote_id]
+                    self.unmap(translator)
+
+    def _on_message(self, message: ActiveMessage) -> None:
+        if message.am_type != AM_SENSOR_READING:
+            return
+        entry = self._mapped.get(message.source)
+        if entry is not None:
+            entry[1].deliver(message)
+            return
+        if message.source not in self._pending:
+            self._pending.add(message.source)
+            self.runtime.kernel.process(
+                self._map(message.source), name=f"mote-map:{message.source}"
+            )
+
+    def _map(self, mote_id: int) -> Generator:
+        try:
+            document = KNOWN_DOCUMENTS["berkeley-mote"]
+            handle = MoteHandle(mote_id, self.base_station)
+            translator = yield from self.map_device(
+                document,
+                handle,
+                instance_name=f"mote-{mote_id}",
+                extra_attributes={"mote_id": mote_id},
+            )
+            self._mapped[mote_id] = (translator, handle)
+        finally:
+            self._pending.discard(mote_id)

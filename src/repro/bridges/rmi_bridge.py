@@ -1,0 +1,148 @@
+"""The Java RMI bridge.
+
+The mapper polls an RMI registry.  Each bound name becomes a translator
+with two octet-stream ports:
+
+- ``data-in`` (sink): messages are marshaled and delivered to the native
+  service's ``receive`` remote method.
+- ``data-out`` (source): the bridge exports an *ingress* remote object and
+  binds it as ``<name>.umiddle`` so native services can send data into the
+  semantic space with an ordinary RMI call (this is how the paper's RMI
+  test pushes 1400-byte messages through uMiddle).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, Optional
+
+from repro.bridges.usdl_library import KNOWN_DOCUMENTS
+from repro.core.mapper import Mapper
+from repro.core.messages import UMessage
+from repro.core.translator import NativeHandle
+from repro.core.usdl import UsdlBinding
+from repro.platforms.rmi.registry import RegistryClient, RegistryError
+from repro.platforms.rmi.remote import RemoteRef, RmiConnection, RmiExporter
+from repro.simnet.addresses import Address
+
+__all__ = ["RmiMapper", "RmiServiceHandle"]
+
+INGRESS_SUFFIX = ".umiddle"
+
+
+class RmiServiceHandle(NativeHandle):
+    """Drives one remote RMI service; receives ingress calls for it."""
+
+    def __init__(self, mapper: "RmiMapper", name: str, ref: RemoteRef):
+        self.mapper = mapper
+        self.name = name
+        self.ref = ref
+        self.connection = RmiConnection(
+            mapper.runtime.node, mapper.runtime.calibration, ref
+        )
+        self._callback: Optional[Callable[[UMessage], None]] = None
+        self._ingress_ref: Optional[RemoteRef] = None
+
+    # -- sink: uMiddle -> native service ------------------------------------------
+
+    def invoke(self, binding: UsdlBinding, message: UMessage) -> Generator:
+        # Data pushes are pipelined (one-way) so a stream of messages is
+        # not throttled to one per round-trip; see RmiConnection.call_oneway.
+        yield from self.connection.call_oneway(
+            binding.target, message.payload, message.size
+        )
+
+    # -- source: native service -> uMiddle -------------------------------------------
+
+    def subscribe(self, binding: UsdlBinding, callback) -> None:
+        self._callback = callback
+
+    def unsubscribe_all(self) -> None:
+        self._callback = None
+        self.connection.close()
+
+    def activate(self) -> Generator:
+        """Export the ingress object and bind it next to the service."""
+
+        def ingress_send(args, args_size):
+            if self._callback is not None:
+                self._callback(
+                    UMessage(
+                        mime="application/octet-stream",
+                        payload=args,
+                        size=args_size,
+                        headers={"rmi_service": self.name},
+                    )
+                )
+            return None, 0
+
+        self._ingress_ref = self.mapper.exporter.export(
+            {"send": ingress_send}, interface="umiddle.Ingress"
+        )
+        yield from self.mapper.registry_client.bind(
+            self.name + INGRESS_SUFFIX, self._ingress_ref, rebind=True
+        )
+
+    def deactivate(self) -> Generator:
+        if self._ingress_ref is not None:
+            self.mapper.exporter.unexport(self._ingress_ref)
+            try:
+                yield from self.mapper.registry_client.unbind(
+                    self.name + INGRESS_SUFFIX
+                )
+            except RegistryError:
+                pass
+
+
+class RmiMapper(Mapper):
+    """Service-level bridge for Java RMI."""
+
+    platform = "rmi"
+
+    def __init__(
+        self,
+        runtime,
+        registry_address: Address,
+        poll_interval: float = 5.0,
+        registry_port: int = 1099,
+    ):
+        super().__init__(runtime)
+        self.poll_interval = poll_interval
+        self.registry_client = RegistryClient(
+            runtime.node, runtime.calibration, registry_address, port=registry_port
+        )
+        self.exporter = RmiExporter(runtime.node, runtime.calibration)
+        #: service name -> (translator, handle)
+        self._mapped: Dict[str, tuple] = {}
+
+    def discover(self) -> Generator:
+        while True:
+            try:
+                bindings = yield from self.registry_client.list()
+            except RegistryError:
+                yield self.runtime.kernel.timeout(self.poll_interval)
+                continue
+            names = {
+                name
+                for name in bindings
+                if not name.endswith(INGRESS_SUFFIX)  # skip our own ingress refs
+            }
+            for name in sorted(names - set(self._mapped)):
+                yield from self._map(name, bindings[name])
+            for name in sorted(set(self._mapped) - names):
+                translator, handle = self._mapped.pop(name)
+                yield from handle.deactivate()
+                self.unmap(translator)
+            yield self.runtime.kernel.timeout(self.poll_interval)
+
+    def _map(self, name: str, ref: RemoteRef) -> Generator:
+        document = KNOWN_DOCUMENTS["rmi-remote-object"]
+        handle = RmiServiceHandle(self, name, ref)
+        yield from handle.activate()
+        translator = yield from self.map_device(
+            document,
+            handle,
+            instance_name=name,
+            extra_attributes={"rmi_name": name, "interface": ref.interface},
+        )
+        self._mapped[name] = (translator, handle)
+        return translator

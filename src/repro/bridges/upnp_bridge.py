@@ -1,0 +1,186 @@
+"""The UPnP bridge: mapper plus native handle.
+
+The mapper plays the CyberLink control-point role of the paper's testbed:
+it watches SSDP (both passive NOTIFY traffic and periodic active searches),
+fetches device descriptions, and instantiates the USDL-parameterized
+translator for each known device type.  Devices saying ``byebye`` -- or
+silently vanishing, detected when a refresh search stops seeing them -- are
+unmapped.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, List, Optional
+
+from repro.bridges.usdl_library import KNOWN_DOCUMENTS
+from repro.core.mapper import Mapper
+from repro.core.messages import UMessage
+from repro.core.translator import NativeHandle
+from repro.core.usdl import UsdlBinding
+from repro.platforms.upnp.control_point import ControlPoint, DiscoveredDevice
+from repro.platforms.upnp.description import DeviceDescription
+from repro.platforms.upnp.soap import SoapFault
+
+__all__ = ["UPnPMapper", "UPnPNativeHandle"]
+
+
+class UPnPNativeHandle(NativeHandle):
+    """Drives one UPnP device through the mapper's control point."""
+
+    def __init__(
+        self,
+        control_point: ControlPoint,
+        device: DiscoveredDevice,
+        description: DeviceDescription,
+    ):
+        self.control_point = control_point
+        self.device = device
+        self.description = description
+        #: action name -> (service_type, service_id)
+        self._action_index: Dict[str, tuple] = {}
+        #: evented variable -> (service_type, service_id)
+        self._variable_index: Dict[str, tuple] = {}
+        for service in description.services:
+            for action in service.actions:
+                self._action_index[action.name] = (
+                    service.service_type,
+                    service.service_id,
+                )
+            for variable in service.state_variables:
+                if variable.evented:
+                    self._variable_index[variable.name] = (
+                        service.service_type,
+                        service.service_id,
+                    )
+        #: binding target -> callback, populated before activation
+        self._event_callbacks: Dict[str, Callable[[UMessage], None]] = {}
+        self._sids: List[str] = []
+
+    # -- inbound: uMiddle -> device -----------------------------------------------
+
+    def invoke(self, binding: UsdlBinding, message: UMessage) -> Generator:
+        entry = self._action_index.get(binding.target)
+        if entry is None:
+            raise SoapFault(401, f"device has no action {binding.target!r}")
+        service_type, service_id = entry
+        arguments = dict(binding.arguments)
+        if binding.payload_argument:
+            arguments[binding.payload_argument] = message.payload
+        yield from self.control_point.invoke(
+            self.device, service_type, service_id, binding.target, arguments
+        )
+
+    # -- outbound: device -> uMiddle ------------------------------------------------
+
+    def subscribe(
+        self, binding: UsdlBinding, callback: Callable[[UMessage], None]
+    ) -> None:
+        self._event_callbacks[binding.target] = callback
+
+    def unsubscribe_all(self) -> None:
+        for sid in self._sids:
+            self.control_point.unsubscribe(sid)
+        self._sids.clear()
+        self._event_callbacks.clear()
+
+    def activate(self) -> Generator:
+        """Establish the GENA subscriptions behind the event bindings."""
+        service_ids = set()
+        for target in self._event_callbacks:
+            entry = self._variable_index.get(target)
+            if entry is not None:
+                service_ids.add(entry[1])
+        for service_id in sorted(service_ids):
+            sid = yield from self.control_point.subscribe(
+                self.device, service_id, self._on_gena_event
+            )
+            self._sids.append(sid)
+
+    def _on_gena_event(self, variable: str, value: str) -> None:
+        callback = self._event_callbacks.get(variable)
+        if callback is None:
+            return
+        callback(
+            UMessage(
+                mime="text/plain",
+                payload=value,
+                size=len(str(value)) + 16,
+                headers={"upnp_variable": variable, "udn": self.description.udn},
+            )
+        )
+
+
+class UPnPMapper(Mapper):
+    """Service-level bridge for UPnP (Section 3.2's UPnP mapper)."""
+
+    platform = "upnp"
+
+    def __init__(self, runtime, search_interval: float = 10.0):
+        super().__init__(runtime)
+        self.search_interval = search_interval
+        self.control_point = ControlPoint(runtime.node, runtime.calibration)
+        #: UDN -> translator
+        self._mapped: Dict[str, object] = {}
+        self._pending: set = set()
+        self.control_point.on_presence(self._on_presence)
+
+    # -- discovery -----------------------------------------------------------------
+
+    def discover(self) -> Generator:
+        while True:
+            devices = yield from self.control_point.search()
+            seen = {device.usn for device in devices}
+            for device in devices:
+                if device.usn not in self._mapped and device.usn not in self._pending:
+                    yield from self._map(device)
+            # Devices that dropped off the network without a byebye.
+            for udn in list(self._mapped):
+                if udn not in seen:
+                    self._unmap_udn(udn)
+            yield self.runtime.kernel.timeout(self.search_interval)
+
+    def _on_presence(self, kind: str, device: DiscoveredDevice) -> None:
+        if kind == "alive":
+            if device.usn not in self._mapped and device.usn not in self._pending:
+                self._pending.add(device.usn)
+                self.runtime.kernel.process(
+                    self._map_from_notify(device), name=f"upnp-map:{device.usn}"
+                )
+        elif kind == "byebye":
+            self._unmap_udn(device.usn)
+
+    def _map_from_notify(self, device: DiscoveredDevice) -> Generator:
+        try:
+            yield from self._map(device)
+        finally:
+            self._pending.discard(device.usn)
+
+    # -- mapping ----------------------------------------------------------------------
+
+    def _map(self, device: DiscoveredDevice) -> Generator:
+        document = KNOWN_DOCUMENTS.get(device.device_type)
+        if document is None:
+            self.runtime.trace(
+                "mapper.skipped", f"upnp: no USDL for {device.device_type}"
+            )
+            return None
+        if device.usn in self._mapped:
+            return self._mapped[device.usn]
+        description = yield from self.control_point.fetch_description(device)
+        if device.usn in self._mapped:  # mapped concurrently by notify path
+            return self._mapped[device.usn]
+        handle = UPnPNativeHandle(self.control_point, device, description)
+        translator = yield from self.map_device(
+            document,
+            handle,
+            instance_name=description.friendly_name,
+            extra_attributes={"udn": device.usn, "location": device.location},
+        )
+        self._mapped[device.usn] = translator
+        yield from handle.activate()
+        return translator
+
+    def _unmap_udn(self, udn: str) -> None:
+        translator = self._mapped.pop(udn, None)
+        if translator is not None:
+            self.unmap(translator)

@@ -1,0 +1,309 @@
+"""The USDL document library: one document per supported device type.
+
+Documents are stored as XML text and parsed through the real USDL parser at
+import, so the library exercises the same code path a deployment would.
+Port counts matter: they drive Figure 10's translator instantiation costs
+(the clock's 12 digital + 2 physical ports and 2 hierarchy entities are the
+paper's "fourteen ports and two more uMiddle entities").
+
+Well-known uMiddle MIME types used across documents:
+
+- ``application/x-umiddle-switch`` -- unit trigger (switch on/off, press).
+- ``application/x-umiddle-click`` -- pointer click events.
+- ``application/x-umiddle-sensor`` -- sensor readings.
+- ``text/plain`` -- human-readable state (times, temperatures).
+- ``image/jpeg`` -- images.
+- ``application/octet-stream`` -- untyped data relays (RMI/MB bridging).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.errors import UsdlError
+from repro.core.usdl import UsdlDocument, parse_usdl
+
+__all__ = [
+    "KNOWN_DOCUMENTS",
+    "document_for",
+    "register_document",
+    "load_usdl_file",
+    "load_usdl_directory",
+    "unregister_document",
+    "MIME_SWITCH",
+    "MIME_CLICK",
+    "MIME_SENSOR",
+]
+
+MIME_SWITCH = "application/x-umiddle-switch"
+MIME_CLICK = "application/x-umiddle-click"
+MIME_SENSOR = "application/x-umiddle-sensor"
+
+
+UPNP_BINARY_LIGHT = """
+<usdl name="upnp-binary-light" platform="upnp"
+      device-type="urn:schemas-upnp-org:device:BinaryLight:1">
+  <profile role="light" description="A switchable UPnP light"/>
+  <ports>
+    <digital name="power-on" direction="in" mime="application/x-umiddle-switch">
+      <binding kind="action" target="SetPower">
+        <argument name="Power" value="1"/>
+      </binding>
+    </digital>
+    <digital name="power-off" direction="in" mime="application/x-umiddle-switch">
+      <binding kind="action" target="SetPower">
+        <argument name="Power" value="0"/>
+      </binding>
+    </digital>
+    <physical name="illumination" direction="out" perception="visible" media="light"/>
+  </ports>
+</usdl>
+"""
+
+UPNP_CLOCK = """
+<usdl name="upnp-clock" platform="upnp"
+      device-type="urn:schemas-upnp-org:device:Clock:1">
+  <profile role="clock" description="A UPnP clock with time/date/alarm/chime"/>
+  <ports>
+    <digital name="set-time" direction="in" mime="text/plain">
+      <binding kind="action" target="SetTime" payload-argument="NewTime"/>
+    </digital>
+    <digital name="set-date" direction="in" mime="text/plain">
+      <binding kind="action" target="SetDate" payload-argument="NewDate"/>
+    </digital>
+    <digital name="set-alarm" direction="in" mime="text/plain">
+      <binding kind="action" target="SetAlarm" payload-argument="AlarmTime"/>
+    </digital>
+    <digital name="cancel-alarm" direction="in" mime="application/x-umiddle-switch">
+      <binding kind="action" target="CancelAlarm"/>
+    </digital>
+    <digital name="query-time" direction="in" mime="application/x-umiddle-switch">
+      <binding kind="action" target="GetTime"/>
+    </digital>
+    <digital name="query-date" direction="in" mime="application/x-umiddle-switch">
+      <binding kind="action" target="GetDate"/>
+    </digital>
+    <digital name="chime-on" direction="in" mime="application/x-umiddle-switch">
+      <binding kind="action" target="SetChime">
+        <argument name="NewChime" value="1"/>
+      </binding>
+    </digital>
+    <digital name="chime-off" direction="in" mime="application/x-umiddle-switch">
+      <binding kind="action" target="SetChime">
+        <argument name="NewChime" value="0"/>
+      </binding>
+    </digital>
+    <digital name="time" direction="out" mime="text/plain">
+      <binding kind="event" target="Time"/>
+    </digital>
+    <digital name="date" direction="out" mime="text/plain">
+      <binding kind="event" target="Date"/>
+    </digital>
+    <digital name="alarm" direction="out" mime="text/plain">
+      <binding kind="event" target="Alarm"/>
+    </digital>
+    <digital name="chime" direction="out" mime="text/plain">
+      <binding kind="event" target="Chime"/>
+    </digital>
+    <physical name="face" direction="out" perception="visible" media="screen"/>
+    <physical name="bell" direction="out" perception="audible" media="air"/>
+  </ports>
+  <entities>
+    <entity name="upnp-device:Clock"/>
+    <entity name="upnp-service:TimeService"/>
+  </entities>
+</usdl>
+"""
+
+UPNP_AIR_CONDITIONER = """
+<usdl name="upnp-air-conditioner" platform="upnp"
+      device-type="urn:schemas-upnp-org:device:AirConditioner:1">
+  <profile role="climate" description="A UPnP air conditioner"/>
+  <ports>
+    <digital name="set-temperature" direction="in" mime="text/plain">
+      <binding kind="action" target="SetTemperature"
+               payload-argument="NewTemperature"/>
+    </digital>
+    <digital name="temperature" direction="out" mime="text/plain">
+      <binding kind="event" target="Temperature"/>
+    </digital>
+    <physical name="airflow" direction="out" perception="tangible" media="air"/>
+  </ports>
+</usdl>
+"""
+
+UPNP_MEDIA_RENDERER = """
+<usdl name="upnp-media-renderer" platform="upnp"
+      device-type="urn:schemas-upnp-org:device:MediaRenderer:1">
+  <profile role="display" description="A UPnP MediaRenderer TV"/>
+  <ports>
+    <digital name="image-in" direction="in" mime="image/jpeg">
+      <binding kind="sink" target="Render" payload-argument="Data">
+        <argument name="ContentType" value="image/jpeg"/>
+      </binding>
+    </digital>
+    <digital name="now-showing" direction="out" mime="text/plain">
+      <binding kind="event" target="CurrentItem"/>
+    </digital>
+    <physical name="screen" direction="out" perception="visible" media="screen"/>
+    <physical name="speaker" direction="out" perception="audible" media="air"/>
+  </ports>
+</usdl>
+"""
+
+BLUETOOTH_BIP_CAMERA = """
+<usdl name="bt-bip-camera" platform="bluetooth" device-type="bip-imaging">
+  <profile role="camera" description="A Bluetooth Basic Imaging Profile camera"/>
+  <ports>
+    <digital name="image-out" direction="out" mime="image/jpeg">
+      <binding kind="source" target="ImagePush"/>
+    </digital>
+    <physical name="lens" direction="in" perception="visible" media="light"/>
+  </ports>
+</usdl>
+"""
+
+BLUETOOTH_BIP_PRINTER = """
+<usdl name="bt-bip-printer" platform="bluetooth" device-type="bip-printing">
+  <profile role="printer" description="A Bluetooth BIP photo printer"/>
+  <ports>
+    <digital name="image-in" direction="in" mime="image/jpeg">
+      <binding kind="sink" target="ImagePush"/>
+    </digital>
+    <physical name="output" direction="out" perception="visible" media="paper"/>
+  </ports>
+</usdl>
+"""
+
+BLUETOOTH_HID_MOUSE = """
+<usdl name="bt-hid-mouse" platform="bluetooth" device-type="hid-mouse">
+  <profile role="pointer" description="A Bluetooth HIDP mouse"/>
+  <ports>
+    <digital name="clicks" direction="out" mime="application/x-umiddle-click">
+      <binding kind="event" target="Click"/>
+    </digital>
+  </ports>
+</usdl>
+"""
+
+RMI_SERVICE = """
+<usdl name="rmi-service" platform="rmi" device-type="rmi-remote-object">
+  <profile role="service" description="A Java RMI remote service"/>
+  <ports>
+    <digital name="data-in" direction="in" mime="application/octet-stream">
+      <binding kind="sink" target="receive"/>
+    </digital>
+    <digital name="data-out" direction="out" mime="application/octet-stream">
+      <binding kind="source" target="ingress"/>
+    </digital>
+  </ports>
+</usdl>
+"""
+
+MEDIABROKER_STREAM = """
+<usdl name="mediabroker-stream" platform="mediabroker" device-type="mb-stream">
+  <profile role="media-stream" description="A MediaBroker media stream"/>
+  <ports>
+    <digital name="data-out" direction="out" mime="application/octet-stream">
+      <binding kind="source" target="outbound"/>
+    </digital>
+    <digital name="data-in" direction="in" mime="application/octet-stream">
+      <binding kind="sink" target="inbound"/>
+    </digital>
+  </ports>
+</usdl>
+"""
+
+MOTE_SENSOR = """
+<usdl name="mote-sensor" platform="motes" device-type="berkeley-mote">
+  <profile role="sensor" description="A Berkeley sensor mote"/>
+  <ports>
+    <digital name="readings" direction="out" mime="application/x-umiddle-sensor">
+      <binding kind="event" target="reading"/>
+    </digital>
+    <digital name="set-interval" direction="in" mime="text/plain">
+      <binding kind="action" target="set-interval" payload-argument="interval"/>
+    </digital>
+    <digital name="sample-now" direction="in" mime="application/x-umiddle-switch">
+      <binding kind="action" target="sample-now"/>
+    </digital>
+    <physical name="environment" direction="in" perception="tangible" media="air"/>
+  </ports>
+</usdl>
+"""
+
+_RAW_DOCUMENTS = {
+    "urn:schemas-upnp-org:device:BinaryLight:1": UPNP_BINARY_LIGHT,
+    "urn:schemas-upnp-org:device:Clock:1": UPNP_CLOCK,
+    "urn:schemas-upnp-org:device:AirConditioner:1": UPNP_AIR_CONDITIONER,
+    "urn:schemas-upnp-org:device:MediaRenderer:1": UPNP_MEDIA_RENDERER,
+    "bip-imaging": BLUETOOTH_BIP_CAMERA,
+    "bip-printing": BLUETOOTH_BIP_PRINTER,
+    "hid-mouse": BLUETOOTH_HID_MOUSE,
+    "rmi-remote-object": RMI_SERVICE,
+    "mb-stream": MEDIABROKER_STREAM,
+    "berkeley-mote": MOTE_SENSOR,
+}
+
+#: device_type -> parsed, validated document.
+KNOWN_DOCUMENTS: Dict[str, UsdlDocument] = {
+    device_type: parse_usdl(text) for device_type, text in _RAW_DOCUMENTS.items()
+}
+
+
+def document_for(device_type: str) -> UsdlDocument:
+    """The USDL document for ``device_type``; raises UsdlError if unknown."""
+    try:
+        return KNOWN_DOCUMENTS[device_type]
+    except KeyError:
+        raise UsdlError(f"no USDL document for device type {device_type!r}") from None
+
+
+def register_document(document: UsdlDocument, replace: bool = False) -> UsdlDocument:
+    """Add a USDL document to the library at runtime.
+
+    This is the paper's extensibility story (Section 3.2): "a new device
+    type in a known platform can be incorporated into uMiddle by simply
+    writing a translator for that device" -- here, by writing its USDL
+    document.  Mappers consult the library on discovery, so devices of the
+    new type are bridged without any code changes.
+    """
+    if document.device_type in KNOWN_DOCUMENTS and not replace:
+        raise UsdlError(
+            f"device type {document.device_type!r} already registered "
+            "(pass replace=True to override)"
+        )
+    KNOWN_DOCUMENTS[document.device_type] = document
+    return document
+
+
+def load_usdl_file(path, replace: bool = False) -> UsdlDocument:
+    """Parse one USDL XML file and register it."""
+    with open(path, encoding="utf-8") as handle:
+        document = parse_usdl(handle.read())
+    return register_document(document, replace=replace)
+
+
+def load_usdl_directory(path, replace: bool = False) -> Dict[str, UsdlDocument]:
+    """Register every ``*.xml`` USDL document under ``path``.
+
+    Returns the documents loaded, keyed by device type.  This is how a
+    deployment extends uMiddle declaratively: drop a USDL file into the
+    library directory, no code changes.
+    """
+    import os
+
+    loaded: Dict[str, UsdlDocument] = {}
+    for name in sorted(os.listdir(path)):
+        if not name.endswith(".xml"):
+            continue
+        document = load_usdl_file(os.path.join(path, name), replace=replace)
+        loaded[document.device_type] = document
+    return loaded
+
+
+def unregister_document(device_type: str) -> None:
+    """Remove a runtime-registered document (tests/teardown)."""
+    if device_type not in KNOWN_DOCUMENTS:
+        raise UsdlError(f"device type {device_type!r} is not registered")
+    KNOWN_DOCUMENTS.pop(device_type)

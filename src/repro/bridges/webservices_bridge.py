@@ -1,0 +1,143 @@
+"""The web-services bridge.
+
+Unlike the other platforms, web services have no fixed device types: the
+mapper *generates* a USDL document from each service's description, one
+action input port per operation plus one event output port per operation's
+results.  This exercises the dynamic-translator-generation story of
+Section 3.4 end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, List, Optional, Tuple
+
+from repro.core.mapper import Mapper
+from repro.core.messages import UMessage
+from repro.core.shapes import Direction, DigitalType
+from repro.core.translator import NativeHandle
+from repro.core.usdl import UsdlBinding, UsdlDocument, UsdlPort
+from repro.platforms.webservices.http import HttpError
+from repro.platforms.webservices.service import Operation, WebServiceClient
+from repro.simnet.addresses import Address
+from repro.simnet.sockets import ConnectionRefused
+
+__all__ = ["WebServicesMapper", "WebServiceHandle", "usdl_from_operations"]
+
+MIME_INVOKE = "application/x-umiddle-invoke"
+
+
+def usdl_from_operations(service_name: str, operations: List[Operation]) -> UsdlDocument:
+    """Generate the USDL document for a described web service."""
+    ports: List[UsdlPort] = []
+    for operation in operations:
+        ports.append(
+            UsdlPort(
+                name=f"call-{operation.name.lower()}",
+                direction=Direction.IN,
+                digital_type=DigitalType(MIME_INVOKE),
+                binding=UsdlBinding(kind="action", target=operation.name),
+            )
+        )
+        if operation.output_elements:
+            ports.append(
+                UsdlPort(
+                    name=f"result-{operation.name.lower()}",
+                    direction=Direction.OUT,
+                    digital_type=DigitalType("text/plain"),
+                    binding=UsdlBinding(kind="event", target=operation.name),
+                )
+            )
+    return UsdlDocument(
+        name=f"ws-{service_name}",
+        platform="webservices",
+        device_type=f"webservice:{service_name}",
+        role="web-service",
+        description=f"Generated from the description of {service_name!r}",
+        ports=ports,
+    )
+
+
+class WebServiceHandle(NativeHandle):
+    """Invokes operations; results surface on the matching event port."""
+
+    def __init__(self, mapper: "WebServicesMapper", address: Address, port: int):
+        self.mapper = mapper
+        self.address = address
+        self.port = port
+        self.client = WebServiceClient(mapper.runtime.node, mapper.runtime.calibration)
+        self._callbacks: Dict[str, Callable[[UMessage], None]] = {}
+
+    def invoke(self, binding: UsdlBinding, message: UMessage) -> Generator:
+        params = message.payload if isinstance(message.payload, dict) else {
+            "value": message.payload
+        }
+        result = yield from self.client.invoke(
+            self.address, self.port, binding.target, params, params_size=message.size
+        )
+        callback = self._callbacks.get(binding.target)
+        if callback is not None:
+            callback(
+                UMessage(
+                    mime="text/plain",
+                    payload=str(result),
+                    size=len(str(result)) + 16,
+                    headers={"operation": binding.target},
+                )
+            )
+
+    def subscribe(self, binding: UsdlBinding, callback) -> None:
+        self._callbacks[binding.target] = callback
+
+    def unsubscribe_all(self) -> None:
+        self._callbacks.clear()
+        self.client.close()
+
+
+class WebServicesMapper(Mapper):
+    """Service-level bridge for web services.
+
+    Web services have no multicast discovery; endpoints are configured
+    (``add_endpoint``) and probed periodically, mirroring how the paper's
+    deployment would enumerate known service URLs.
+    """
+
+    platform = "webservices"
+
+    def __init__(self, runtime, poll_interval: float = 10.0):
+        super().__init__(runtime)
+        self.poll_interval = poll_interval
+        self._endpoints: List[Tuple[Address, int]] = []
+        self._mapped: Dict[Tuple[Address, int], object] = {}
+
+    def add_endpoint(self, address: Address, port: int) -> None:
+        self._endpoints.append((address, port))
+
+    def discover(self) -> Generator:
+        probe_client = WebServiceClient(self.runtime.node, self.runtime.calibration)
+        while True:
+            for endpoint in list(self._endpoints):
+                if endpoint in self._mapped:
+                    continue
+                try:
+                    name, operations = yield from probe_client.describe(*endpoint)
+                except (ConnectionRefused, HttpError):
+                    continue
+                yield from self._map(endpoint, name, operations)
+            yield self.runtime.kernel.timeout(self.poll_interval)
+
+    def _map(
+        self,
+        endpoint: Tuple[Address, int],
+        name: str,
+        operations: List[Operation],
+    ) -> Generator:
+        document = usdl_from_operations(name, operations)
+        handle = WebServiceHandle(self, endpoint[0], endpoint[1])
+        translator = yield from self.map_device(
+            document,
+            handle,
+            instance_name=name,
+            extra_attributes={"endpoint": f"{endpoint[0]}:{endpoint[1]}"},
+        )
+        self._mapped[endpoint] = translator
+        return translator

@@ -1,0 +1,88 @@
+"""The uMiddle core: the paper's primary contribution.
+
+This package implements the intermediary semantic space of Section 3:
+
+- :mod:`repro.core.shapes` -- Service Shaping (Section 3.3): digital and
+  physical port types, shapes and wildcard compatibility.
+- :mod:`repro.core.ports` -- runtime port objects owned by translators.
+- :mod:`repro.core.messages` -- the common message representation.
+- :mod:`repro.core.profile` -- translator profiles advertised in the
+  intermediary semantic space.
+- :mod:`repro.core.query` -- shape/attribute queries (Figure 6's Query).
+- :mod:`repro.core.usdl` -- the Universal Service Description Language
+  (Section 3.4): XML documents that parameterize generic translators.
+- :mod:`repro.core.translator` -- device-level bridges (Section 3.2).
+- :mod:`repro.core.mapper` -- service-/transport-level bridges per platform.
+- :mod:`repro.core.directory` -- Figure 6's directory API plus inter-runtime
+  advertisement exchange.
+- :mod:`repro.core.transport` -- Figure 7's transport API: message paths,
+  the translation buffer, and inter-node message delivery.
+- :mod:`repro.core.binding` -- dynamic device binding (Section 3.5).
+- :mod:`repro.core.qos` -- QoS control on message paths (the paper's stated
+  future work, implemented here as an extension).
+- :mod:`repro.core.runtime` -- the uMiddle runtime hosting all of the above
+  on a simulated network node.
+"""
+
+from repro.core.errors import (
+    BindingError,
+    DirectoryError,
+    PortError,
+    ShapeError,
+    TranslationError,
+    TransportError,
+    UMiddleError,
+    UsdlError,
+)
+from repro.core.shapes import (
+    Direction,
+    DigitalType,
+    PhysicalType,
+    PortSpec,
+    Shape,
+)
+from repro.core.messages import UMessage
+from repro.core.profile import PortRef, TranslatorProfile
+from repro.core.query import Query
+from repro.core.usdl import UsdlBinding, UsdlDocument, UsdlPort, parse_usdl
+from repro.core.ports import DigitalInputPort, DigitalOutputPort, PhysicalPort
+from repro.core.translator import GenericTranslator, NativeHandle, Translator
+from repro.core.mapper import Mapper
+from repro.core.query import Query  # noqa: F811  (re-export convenience)
+from repro.core.qos import DropPolicy, QosPolicy, TokenBucket
+from repro.core.runtime import UMiddleRuntime
+
+__all__ = [
+    "UMiddleError",
+    "ShapeError",
+    "PortError",
+    "UsdlError",
+    "TranslationError",
+    "TransportError",
+    "DirectoryError",
+    "BindingError",
+    "Direction",
+    "DigitalType",
+    "PhysicalType",
+    "PortSpec",
+    "Shape",
+    "UMessage",
+    "PortRef",
+    "TranslatorProfile",
+    "Query",
+    "UsdlDocument",
+    "UsdlPort",
+    "UsdlBinding",
+    "parse_usdl",
+    "DigitalInputPort",
+    "DigitalOutputPort",
+    "PhysicalPort",
+    "Translator",
+    "GenericTranslator",
+    "NativeHandle",
+    "Mapper",
+    "DropPolicy",
+    "QosPolicy",
+    "TokenBucket",
+    "UMiddleRuntime",
+]

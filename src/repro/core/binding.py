@@ -1,0 +1,130 @@
+"""Dynamic device binding (Section 3.5, Figure 7-2).
+
+``connect(port, query)`` establishes a *dynamic message path* between a
+specific port and the ports matching a query.  Because native devices are
+mapped and unmapped dynamically, the binding engine evaluates the query
+template adaptively against the presence of translators: when a matching
+translator appears, a concrete path is established, bound to the matching
+translator's port whose data type equals the source port's; when the
+translator disappears, the path is torn down.
+
+This yields the paper's *fine-grained device polymorphism*: a camera's
+``image/jpeg`` output can be simultaneously wired to a player, a storage
+device, and anything else whose input MIME type matches, through a single
+template-based connection request.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union, TYPE_CHECKING
+
+from repro.core.directory import DirectoryListener
+from repro.core.errors import BindingError
+from repro.core.ports import DigitalInputPort, DigitalOutputPort
+from repro.core.profile import PortRef, TranslatorProfile
+from repro.core.query import Query
+from repro.core.shapes import Direction
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.runtime import UMiddleRuntime
+    from repro.core.transport import MessagePath, RemotePathHandle
+
+__all__ = ["DynamicBinding"]
+
+
+class DynamicBinding(DirectoryListener):
+    """A standing template connection between one port and a query.
+
+    The anchor port may be an output (we fan out to every matching
+    translator's compatible input) or an input (every matching translator's
+    compatible output is wired to us, including remote sources via the
+    transport module's remote-connect control protocol).
+    """
+
+    def __init__(
+        self,
+        runtime: "UMiddleRuntime",
+        port: Union[DigitalOutputPort, DigitalInputPort],
+        query: Query,
+    ):
+        if not isinstance(port, (DigitalOutputPort, DigitalInputPort)):
+            raise BindingError(f"cannot bind from port {port!r}")
+        query.require_some_criterion()
+        self.runtime = runtime
+        self.port = port
+        self.query = query
+        #: translator_id -> list of paths/handles bound for that translator.
+        self._bound: Dict[str, List] = {}
+        self.closed = False
+
+        runtime.directory.add_directory_listener(self)
+        for profile in runtime.directory.lookup(query):
+            self._bind_profile(profile)
+
+    # -- DirectoryListener ---------------------------------------------------
+
+    def translator_added(self, profile: TranslatorProfile) -> None:
+        if self.closed:
+            return
+        if profile.translator_id == self.port.translator.translator_id:
+            return  # never self-bind
+        if self.query.matches(profile):
+            self._bind_profile(profile)
+
+    def translator_removed(self, profile: TranslatorProfile) -> None:
+        paths = self._bound.pop(profile.translator_id, None)
+        if not paths:
+            return
+        for path in paths:
+            path.close()
+        self.runtime.trace(
+            "binding.unbound",
+            f"{self.port.name} x {profile.translator_id}",
+        )
+
+    # -- binding -----------------------------------------------------------------
+
+    def _bind_profile(self, profile: TranslatorProfile) -> None:
+        if profile.translator_id in self._bound:
+            return
+        if profile.translator_id == self.port.translator.translator_id:
+            return
+        paths = []
+        if isinstance(self.port, DigitalOutputPort):
+            specs = profile.shape.inputs_accepting(self.port.mime)
+            for spec in specs:
+                dst_ref = profile.port_ref(spec.name)
+                paths.append(self.runtime.transport.connect(self.port, dst_ref))
+        else:
+            specs = profile.shape.outputs_producing(self.port.mime)
+            for spec in specs:
+                src_ref = profile.port_ref(spec.name)
+                paths.append(self.runtime.transport.connect(src_ref, self.port))
+        if paths:
+            self._bound[profile.translator_id] = paths
+            self.runtime.trace(
+                "binding.bound",
+                f"{self.port.name} x {profile.translator_id} "
+                f"({len(paths)} path(s))",
+            )
+
+    # -- inspection --------------------------------------------------------------
+
+    @property
+    def bound_translators(self) -> List[str]:
+        return sorted(self._bound)
+
+    @property
+    def path_count(self) -> int:
+        return sum(len(paths) for paths in self._bound.values())
+
+    def close(self) -> None:
+        """Tear down the template and every concrete path it created."""
+        if self.closed:
+            return
+        self.closed = True
+        self.runtime.directory.remove_directory_listener(self)
+        for paths in self._bound.values():
+            for path in paths:
+                path.close()
+        self._bound.clear()

@@ -1,0 +1,349 @@
+"""The uMiddle directory module (Figure 6).
+
+The directory handles the exchange of device advertisements among uMiddle
+runtimes: each runtime advertises the profiles of its local translators,
+learns the profiles hosted by its peers, and notifies registered
+:class:`DirectoryListener` objects when translators appear or disappear --
+the discovery mechanism that is independent of the native discovery
+protocols used by particular devices (Section 3.2).
+
+Gossip transport: UDP.  Runtimes on the same network segment find each
+other via a well-known multicast group; runtimes on different segments are
+federated explicitly with :meth:`Directory.federate`.  Advertisements are
+periodic full-state announcements plus immediate incremental updates;
+remote entries are soft state with a lease, so crashed runtimes age out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Generator, List, Optional, Set, TYPE_CHECKING
+
+from repro.core.errors import DirectoryError
+from repro.core.profile import TranslatorProfile
+from repro.core.query import Query
+from repro.simnet.addresses import Address
+from repro.simnet.sockets import ConnectionClosed, DatagramSocket
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.runtime import UMiddleRuntime
+
+__all__ = ["DirectoryListener", "RuntimeInfo", "Directory"]
+
+#: Well-known multicast group and port for runtime presence + advertisements.
+DIRECTORY_GROUP = "umiddle-directory"
+DIRECTORY_PORT = 7701
+
+#: Period between full-state announcements.
+ANNOUNCE_INTERVAL = 5.0
+#: Remote entries (and runtimes) older than this are expired.
+LEASE = 3 * ANNOUNCE_INTERVAL
+#: Period of the expiry sweep.
+SWEEP_INTERVAL = 1.0
+
+
+class DirectoryListener:
+    """Receives notifications when translators are mapped or unmapped.
+
+    Subclass and override, or use :meth:`from_callbacks`.
+    """
+
+    def translator_added(self, profile: TranslatorProfile) -> None:
+        """A translator became visible in the semantic space."""
+
+    def translator_removed(self, profile: TranslatorProfile) -> None:
+        """A translator left the semantic space."""
+
+    @classmethod
+    def from_callbacks(
+        cls,
+        added: Optional[Callable[[TranslatorProfile], None]] = None,
+        removed: Optional[Callable[[TranslatorProfile], None]] = None,
+    ) -> "DirectoryListener":
+        listener = cls()
+        if added is not None:
+            listener.translator_added = added  # type: ignore[method-assign]
+        if removed is not None:
+            listener.translator_removed = removed  # type: ignore[method-assign]
+        return listener
+
+
+@dataclass
+class RuntimeInfo:
+    """What we know about one uMiddle runtime in the federation."""
+
+    runtime_id: str
+    address: Address
+    transport_port: int
+    directory_port: int
+    last_seen: float
+
+
+@dataclass
+class _Entry:
+    profile: TranslatorProfile
+    local: bool
+    last_seen: float
+
+
+class Directory:
+    """One runtime's directory module."""
+
+    def __init__(self, runtime: "UMiddleRuntime", port: int = DIRECTORY_PORT):
+        self.runtime = runtime
+        self.port = port
+        self._entries: Dict[str, _Entry] = {}
+        self._listeners: List[DirectoryListener] = []
+        self._runtimes: Dict[str, RuntimeInfo] = {}
+        self._peers: Dict[Address, int] = {}
+        self._socket: Optional[DatagramSocket] = None
+        self.announcements_sent = 0
+        self.announcements_received = 0
+        self.started = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        if self.started:
+            return
+        self.started = True
+        self._socket = DatagramSocket(
+            self.runtime.node, self.runtime.calibration.network, port=self.port
+        )
+        self._socket.join(DIRECTORY_GROUP, self.port)
+        kernel = self.runtime.kernel
+        kernel.process(self._receiver(), name=f"dir-recv:{self.runtime.runtime_id}")
+        kernel.process(self._announcer(), name=f"dir-announce:{self.runtime.runtime_id}")
+        kernel.process(self._sweeper(), name=f"dir-sweep:{self.runtime.runtime_id}")
+
+    def stop(self) -> None:
+        if self._socket is not None:
+            self._socket.close()
+
+    # -- Figure 6 API ------------------------------------------------------------
+
+    def lookup(self, query: Query) -> List[TranslatorProfile]:
+        """Profiles of translators that match ``query`` (Figure 6-1)."""
+        return [
+            entry.profile
+            for entry in self._entries.values()
+            if query.matches(entry.profile)
+        ]
+
+    def add_directory_listener(self, listener: DirectoryListener) -> None:
+        """Register for map/unmap notifications (Figure 6-2)."""
+        self._listeners.append(listener)
+
+    def remove_directory_listener(self, listener: DirectoryListener) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    # -- local registration ---------------------------------------------------------
+
+    def register(self, profile: TranslatorProfile) -> None:
+        if profile.translator_id in self._entries:
+            raise DirectoryError(f"duplicate translator id {profile.translator_id!r}")
+        self._entries[profile.translator_id] = _Entry(
+            profile, local=True, last_seen=self.runtime.kernel.now
+        )
+        self._notify_added(profile)
+        if self.started:
+            self._announce(profiles=[profile])
+
+    def unregister(self, translator_id: str) -> None:
+        entry = self._entries.pop(translator_id, None)
+        if entry is None:
+            raise DirectoryError(f"unknown translator id {translator_id!r}")
+        self._notify_removed(entry.profile)
+        if self.started:
+            self._announce(removed=[translator_id])
+
+    # -- queries used by other modules ------------------------------------------------
+
+    def profiles(self) -> List[TranslatorProfile]:
+        return [entry.profile for entry in self._entries.values()]
+
+    def profile_of(self, translator_id: str) -> Optional[TranslatorProfile]:
+        entry = self._entries.get(translator_id)
+        return entry.profile if entry else None
+
+    def platform_of(self, translator_id: str) -> Optional[str]:
+        profile = self.profile_of(translator_id)
+        return profile.platform if profile else None
+
+    def runtime_info(self, runtime_id: str) -> Optional[RuntimeInfo]:
+        if runtime_id == self.runtime.runtime_id:
+            return RuntimeInfo(
+                runtime_id=runtime_id,
+                address=self.runtime.node.address,
+                transport_port=self.runtime.transport.port,
+                directory_port=self.port,
+                last_seen=self.runtime.kernel.now,
+            )
+        return self._runtimes.get(runtime_id)
+
+    def known_runtimes(self) -> List[RuntimeInfo]:
+        return list(self._runtimes.values())
+
+    # -- federation ------------------------------------------------------------------------
+
+    def federate(self, peer: Address, peer_port: int = DIRECTORY_PORT) -> None:
+        """Add an explicit unicast peer (for cross-segment federations) and
+        push it our full state immediately."""
+        self._peers[peer] = peer_port
+        if self.started:
+            self._announce(full=True, to=[(peer, peer_port)])
+
+    # -- notification helpers -----------------------------------------------------------------
+
+    def _notify_added(self, profile: TranslatorProfile) -> None:
+        self.runtime.trace(
+            "directory.added", f"{profile.translator_id} ({profile.name})"
+        )
+        for listener in list(self._listeners):
+            listener.translator_added(profile)
+
+    def _notify_removed(self, profile: TranslatorProfile) -> None:
+        self.runtime.trace(
+            "directory.removed", f"{profile.translator_id} ({profile.name})"
+        )
+        for listener in list(self._listeners):
+            listener.translator_removed(profile)
+
+    # -- announcements ---------------------------------------------------------------------------
+
+    def _local_profiles(self) -> List[TranslatorProfile]:
+        return [e.profile for e in self._entries.values() if e.local]
+
+    def _announcement(self, profiles, removed, full) -> dict:
+        return {
+            "kind": "umiddle-directory",
+            "runtime": {
+                "id": self.runtime.runtime_id,
+                "address": str(self.runtime.node.address),
+                "transport_port": self.runtime.transport.port,
+                "directory_port": self.port,
+            },
+            "full": full,
+            "profiles": [p.to_dict() for p in profiles],
+            "removed": list(removed),
+        }
+
+    def _estimate_size(self, profiles, removed) -> int:
+        return (
+            96
+            + sum(p.estimated_size() for p in profiles)
+            + sum(len(r) + 4 for r in removed)
+        )
+
+    def _announce(
+        self,
+        profiles: Optional[List[TranslatorProfile]] = None,
+        removed: Optional[List[str]] = None,
+        full: bool = False,
+        to: Optional[List] = None,
+    ) -> None:
+        if self._socket is None or self._socket.closed:
+            return
+        profiles = profiles if profiles is not None else []
+        removed = removed or []
+        if full:
+            profiles = self._local_profiles()
+        payload = self._announcement(profiles, removed, full)
+        size = self._estimate_size(profiles, removed)
+        if to is None:
+            self._socket.send_multicast(payload, size, DIRECTORY_GROUP, self.port)
+            for peer, port in self._peers.items():
+                self._socket.sendto(payload, size, peer, port)
+        else:
+            for address, port in to:
+                self._socket.sendto(payload, size, address, port)
+        self.announcements_sent += 1
+
+    def _announcer(self) -> Generator:
+        kernel = self.runtime.kernel
+        while self._socket is not None and not self._socket.closed:
+            self._announce(full=True)
+            yield kernel.timeout(ANNOUNCE_INTERVAL)
+
+    def _sweeper(self) -> Generator:
+        kernel = self.runtime.kernel
+        while self._socket is not None and not self._socket.closed:
+            yield kernel.timeout(SWEEP_INTERVAL)
+            deadline = kernel.now - LEASE
+            for translator_id, entry in list(self._entries.items()):
+                if not entry.local and entry.last_seen < deadline:
+                    del self._entries[translator_id]
+                    self._notify_removed(entry.profile)
+            for runtime_id, info in list(self._runtimes.items()):
+                if info.last_seen < deadline:
+                    del self._runtimes[runtime_id]
+                    self.runtime.trace("directory.runtime-lost", runtime_id)
+
+    # -- receiving ----------------------------------------------------------------------------------
+
+    def _receiver(self) -> Generator:
+        kernel = self.runtime.kernel
+        per_entry = self.runtime.calibration.umiddle.directory_entry_s
+        while True:
+            try:
+                datagram = yield self._socket.recv()
+            except ConnectionClosed:
+                return
+            payload = datagram.payload
+            if not isinstance(payload, dict) or payload.get("kind") != "umiddle-directory":
+                continue
+            origin = payload["runtime"]
+            if origin["id"] == self.runtime.runtime_id:
+                continue
+            self.announcements_received += 1
+            work = len(payload["profiles"]) + len(payload["removed"])
+            if work:
+                yield kernel.timeout(per_entry * work)
+            self._apply_announcement(payload)
+
+    def _apply_announcement(self, payload: dict) -> None:
+        now = self.runtime.kernel.now
+        origin = payload["runtime"]
+        runtime_id = origin["id"]
+        address = Address(origin["address"])
+        self._runtimes[runtime_id] = RuntimeInfo(
+            runtime_id=runtime_id,
+            address=address,
+            transport_port=origin["transport_port"],
+            directory_port=origin["directory_port"],
+            last_seen=now,
+        )
+        self._peers[address] = origin["directory_port"]
+
+        mentioned = set()
+        for data in payload["profiles"]:
+            profile = TranslatorProfile.from_dict(data)
+            mentioned.add(profile.translator_id)
+            existing = self._entries.get(profile.translator_id)
+            if existing is None:
+                self._entries[profile.translator_id] = _Entry(
+                    profile, local=False, last_seen=now
+                )
+                self._notify_added(profile)
+            elif not existing.local:
+                existing.profile = profile
+                existing.last_seen = now
+
+        for translator_id in payload["removed"]:
+            entry = self._entries.get(translator_id)
+            if entry is not None and not entry.local:
+                del self._entries[translator_id]
+                self._notify_removed(entry.profile)
+
+        if payload["full"]:
+            # Entries claimed by this runtime but absent from its full state
+            # are gone.
+            for translator_id, entry in list(self._entries.items()):
+                if (
+                    not entry.local
+                    and entry.profile.runtime_id == runtime_id
+                    and translator_id not in mentioned
+                ):
+                    del self._entries[translator_id]
+                    self._notify_removed(entry.profile)

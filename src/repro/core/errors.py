@@ -1,0 +1,46 @@
+"""Exception hierarchy for the uMiddle core."""
+
+from __future__ import annotations
+
+__all__ = [
+    "UMiddleError",
+    "ShapeError",
+    "PortError",
+    "UsdlError",
+    "TranslationError",
+    "TransportError",
+    "DirectoryError",
+    "BindingError",
+]
+
+
+class UMiddleError(Exception):
+    """Base class for all uMiddle errors."""
+
+
+class ShapeError(UMiddleError):
+    """Malformed data types, port specs or shapes."""
+
+
+class PortError(UMiddleError):
+    """Port misuse: wrong direction, detached translator, duplicate names."""
+
+
+class UsdlError(UMiddleError):
+    """Invalid USDL documents (parse or validation failures)."""
+
+
+class TranslationError(UMiddleError):
+    """A device-level translation failed (native invocation errors)."""
+
+
+class TransportError(UMiddleError):
+    """Message-path failures: unknown ports, unreachable runtimes."""
+
+
+class DirectoryError(UMiddleError):
+    """Directory failures: duplicate registrations, unknown translators."""
+
+
+class BindingError(UMiddleError):
+    """Dynamic-binding failures: incompatible ports, bad queries."""

@@ -1,0 +1,150 @@
+"""Mappers: service-level and transport-level bridges (Section 3.2).
+
+A mapper encapsulates one native platform: it discovers native devices via
+the platform's own discovery protocol (SSDP, SDP, registry polling, ...)
+and imports each into the intermediary semantic space by instantiating the
+device-specific translator from a USDL document.  It also contains the
+base-protocol support for the platform (its native handles wrap the
+platform's protocol stack).
+
+The base class provides the instantiation machinery, the per-device-type
+mapping-duration statistics that Figure 10 reports, and unmapping.  Each
+platform bridge subclasses :class:`Mapper` and implements :meth:`discover`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, TYPE_CHECKING
+
+from repro.core.errors import TranslationError
+from repro.core.translator import GenericTranslator, NativeHandle, Translator
+from repro.core.usdl import UsdlDocument
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.runtime import UMiddleRuntime
+
+__all__ = ["Mapper"]
+
+
+class Mapper:
+    """Base class for platform mappers."""
+
+    #: The native platform this mapper bridges; subclasses override.
+    platform = "abstract"
+
+    def __init__(self, runtime: "UMiddleRuntime"):
+        self.runtime = runtime
+        self.translators: List[Translator] = []
+        #: device_type -> list of mapping durations (simulated seconds);
+        #: this is the data series of Figure 10.
+        self.mapping_durations: Dict[str, List[float]] = {}
+        self.started = False
+        self._discovery_process = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin platform discovery (idempotent)."""
+        if self.started:
+            return
+        self.started = True
+        self._discovery_process = self.runtime.kernel.process(
+            self.discover(), name=f"discover:{self.platform}"
+        )
+
+    def stop(self) -> None:
+        if self._discovery_process is not None and self._discovery_process.is_alive:
+            self._discovery_process.kill("mapper stopped")
+        self._discovery_process = None
+        self.started = False
+        for translator in list(self.translators):
+            self.unmap(translator)
+
+    def discover(self) -> Generator:
+        """Platform-specific discovery loop; subclasses implement.
+
+        The generator runs as a kernel process for the life of the mapper.
+        It should call :meth:`map_device` (with ``yield from``) whenever a
+        native device appears, and :meth:`unmap` when one disappears.
+        """
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    # -- mapping ------------------------------------------------------------------
+
+    def map_device(
+        self,
+        document: UsdlDocument,
+        native: NativeHandle,
+        instance_name: Optional[str] = None,
+        extra_attributes: Optional[dict] = None,
+        started_at: Optional[float] = None,
+    ) -> Generator:
+        """Instantiate and register the translator for one native device.
+
+        Generator (run with ``yield from`` inside a process): charges the
+        calibrated USDL-parse and translator-construction costs that
+        Figure 10 measures, then registers the translator with the runtime.
+        Returns the :class:`GenericTranslator`.
+
+        ``started_at`` backdates the recorded mapping duration, for mappers
+        whose translator generation includes platform channel setup (e.g.
+        Bluetooth paging/SDP before the translator can proxy).
+        """
+        if document.platform != self.platform:
+            raise TranslationError(
+                f"{self.platform} mapper cannot map a {document.platform!r} document"
+            )
+        kernel = self.runtime.kernel
+        costs = self.runtime.calibration.umiddle
+        started = started_at if started_at is not None else kernel.now
+
+        digital_ports = sum(1 for p in document.ports if p.is_digital)
+        physical_ports = document.port_count - digital_ports
+        # Parse/validate the USDL document describing the device.
+        yield kernel.timeout(costs.usdl_parse_per_port_s * document.port_count)
+        # Reflection-heavy construction of the translator's object graph.
+        yield kernel.timeout(
+            costs.translator_fixed_s
+            + costs.translator_per_digital_port_s * digital_ports
+            + costs.translator_per_physical_port_s * physical_ports
+            + costs.translator_per_entity_s * document.entity_count
+        )
+
+        translator = GenericTranslator(
+            document,
+            native,
+            instance_name=instance_name,
+            extra_attributes=extra_attributes,
+        )
+        self.runtime.register_translator(translator)
+        self.translators.append(translator)
+
+        duration = kernel.now - started
+        self.mapping_durations.setdefault(document.device_type, []).append(duration)
+        self.runtime.trace(
+            "mapper.mapped",
+            f"{self.platform}: {translator.name} "
+            f"({document.port_count} ports) in {duration * 1000:.1f} ms",
+            duration=duration,
+            device_type=document.device_type,
+        )
+        return translator
+
+    def unmap(self, translator: Translator) -> None:
+        """Remove a translator when its native device disappears."""
+        if translator not in self.translators:
+            raise TranslationError(
+                f"{translator.translator_id!r} was not mapped by this mapper"
+            )
+        self.translators.remove(translator)
+        self.runtime.unregister_translator(translator)
+        self.runtime.trace("mapper.unmapped", f"{self.platform}: {translator.name}")
+
+    # -- statistics -----------------------------------------------------------------
+
+    def mean_mapping_duration(self, device_type: str) -> float:
+        durations = self.mapping_durations.get(device_type)
+        if not durations:
+            raise TranslationError(f"no mappings recorded for {device_type!r}")
+        return sum(durations) / len(durations)

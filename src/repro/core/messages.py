@@ -1,0 +1,60 @@
+"""The common message representation of the intermediary semantic space.
+
+Every piece of data flowing between translators is carried as a
+:class:`UMessage`: a MIME-typed payload with an explicit size (the simulated
+wire cost) and free-form headers.  Translators produce these from native
+protocol data and consume them when proxying back out to native devices.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional
+
+from repro.core.errors import ShapeError
+from repro.core.shapes import DigitalType
+
+__all__ = ["UMessage"]
+
+_sequence = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class UMessage:
+    """One message in the common representation.
+
+    Attributes:
+        mime: the digital data type of the payload.
+        payload: arbitrary Python object standing in for the payload bytes.
+        size: payload size in bytes (drives simulated wire/marshal costs).
+        source: port reference string of the producing port, if any.
+        headers: free-form metadata (e.g. the VML document for UI events).
+        sequence: monotonically increasing id, useful in tests.
+    """
+
+    mime: DigitalType
+    payload: Any
+    size: int
+    source: Optional[str] = None
+    headers: Dict[str, Any] = field(default_factory=dict)
+    sequence: int = field(default_factory=lambda: next(_sequence))
+
+    def __post_init__(self):
+        if isinstance(self.mime, str):
+            object.__setattr__(self, "mime", DigitalType(self.mime))
+        if self.mime.is_pattern:
+            raise ShapeError(f"messages need a concrete MIME type, got {self.mime}")
+        if self.size < 0:
+            raise ShapeError(f"negative message size: {self.size}")
+
+    def with_source(self, source: str) -> "UMessage":
+        return replace(self, source=source)
+
+    def with_header(self, key: str, value: Any) -> "UMessage":
+        headers = dict(self.headers)
+        headers[key] = value
+        return replace(self, headers=headers)
+
+    def __str__(self) -> str:
+        return f"UMessage#{self.sequence}({self.mime}, {self.size}B)"

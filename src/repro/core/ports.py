@@ -1,0 +1,179 @@
+"""Runtime port objects owned by translators.
+
+These are the live counterparts of the static :class:`~repro.core.shapes.PortSpec`
+descriptions: a :class:`DigitalOutputPort` injects messages into the
+transport module, a :class:`DigitalInputPort` receives them (its handler may
+be a plain callable or a generator function, in which case delivery runs it
+as part of the message path's delivery process, providing natural
+backpressure into the translation buffer), and a :class:`PhysicalPort`
+records the device's physical-world effects so tests and the G2 UI
+application can observe them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, TYPE_CHECKING
+
+from repro.core.errors import PortError
+from repro.core.messages import UMessage
+from repro.core.profile import PortRef
+from repro.core.shapes import Direction, DigitalType, PhysicalType, PortSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.translator import Translator
+
+__all__ = ["Port", "DigitalInputPort", "DigitalOutputPort", "PhysicalPort"]
+
+
+class Port:
+    """Base class for live ports."""
+
+    def __init__(self, spec: PortSpec, translator: "Translator"):
+        self.spec = spec
+        self.translator = translator
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def direction(self) -> Direction:
+        return self.spec.direction
+
+    @property
+    def ref(self) -> PortRef:
+        runtime = self.translator.runtime
+        if runtime is None:
+            raise PortError(
+                f"port {self.name!r}: translator {self.translator.translator_id!r} "
+                "is not attached to a runtime"
+            )
+        return PortRef(runtime.runtime_id, self.translator.translator_id, self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{self.__class__.__name__} {self.translator.translator_id}/{self.name}>"
+
+
+class DigitalInputPort(Port):
+    """A digital input endpoint: messages arrive here.
+
+    ``handler(message)`` may return ``None`` (synchronous handling) or a
+    generator (asynchronous handling executed by the delivering message
+    path, charging simulated time and applying backpressure).
+    """
+
+    def __init__(
+        self,
+        spec: PortSpec,
+        translator: "Translator",
+        handler: Callable[[UMessage], Any],
+    ):
+        if spec.direction is not Direction.IN or not spec.is_digital:
+            raise PortError(f"{spec.name!r} is not a digital input spec")
+        super().__init__(spec, translator)
+        self.handler = handler
+        self.messages_received = 0
+        self.bytes_received = 0
+
+    @property
+    def mime(self) -> DigitalType:
+        return self.spec.digital_type
+
+    def deliver(self, message: UMessage) -> Any:
+        """Invoke the handler; returns its result (possibly a generator)."""
+        self.messages_received += 1
+        self.bytes_received += message.size
+        return self.handler(message)
+
+
+class DigitalOutputPort(Port):
+    """A digital output endpoint: translators send messages from here."""
+
+    def __init__(self, spec: PortSpec, translator: "Translator"):
+        if spec.direction is not Direction.OUT or not spec.is_digital:
+            raise PortError(f"{spec.name!r} is not a digital output spec")
+        super().__init__(spec, translator)
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    @property
+    def mime(self) -> DigitalType:
+        return self.spec.digital_type
+
+    def send(self, message: UMessage) -> None:
+        """Hand ``message`` to the transport module for all bound paths.
+
+        The message's MIME type must equal the port's type: ports are the
+        unit of type compatibility in the semantic space, so sending a
+        mistyped message would silently defeat shape matching.
+        """
+        if message.mime != self.mime:
+            raise PortError(
+                f"port {self.name!r} carries {self.mime}, not {message.mime}"
+            )
+        runtime = self.translator.runtime
+        if runtime is None:
+            raise PortError(
+                f"cannot send from detached translator "
+                f"{self.translator.translator_id!r}"
+            )
+        self.messages_sent += 1
+        self.bytes_sent += message.size
+        runtime.transport.dispatch(self, message.with_source(str(self.ref)))
+
+    def send_flow(self, message: UMessage):
+        """Flow-controlled send (generator): waits for buffer space on every
+        bound path instead of risking drops -- the backpressure half of the
+        QoS mechanism.  Use from a kernel process: ``yield from
+        port.send_flow(msg)``."""
+        if message.mime != self.mime:
+            raise PortError(
+                f"port {self.name!r} carries {self.mime}, not {message.mime}"
+            )
+        runtime = self.translator.runtime
+        if runtime is None:
+            raise PortError(
+                f"cannot send from detached translator "
+                f"{self.translator.translator_id!r}"
+            )
+        self.messages_sent += 1
+        self.bytes_sent += message.size
+        admitted = yield from runtime.transport.dispatch_flow(
+            self, message.with_source(str(self.ref))
+        )
+        return admitted
+
+
+class PhysicalPort(Port):
+    """A physical endpoint: a perceptible effect in (or sensed from) the world.
+
+    Physical ports carry no digital traffic; they exist so shapes can
+    express affordances (``visible/paper``).  For observability, translators
+    may record *manifestations* -- e.g. the light translator records an
+    ``illumination`` change whenever the native light switches -- which
+    tests and applications can inspect.
+    """
+
+    def __init__(self, spec: PortSpec, translator: "Translator"):
+        if spec.is_digital:
+            raise PortError(f"{spec.name!r} is not a physical spec")
+        super().__init__(spec, translator)
+        self.manifestations: List[Any] = []
+        self._observers: List[Callable[[Any], None]] = []
+
+    @property
+    def physical_type(self) -> PhysicalType:
+        return self.spec.physical_type
+
+    def manifest(self, effect: Any) -> None:
+        """Record a physical-world effect and notify observers."""
+        self.manifestations.append(effect)
+        for observer in list(self._observers):
+            observer(effect)
+
+    def observe(self, observer: Callable[[Any], None]) -> None:
+        self._observers.append(observer)
+
+    @property
+    def last_manifestation(self) -> Optional[Any]:
+        return self.manifestations[-1] if self.manifestations else None

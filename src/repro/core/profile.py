@@ -1,0 +1,127 @@
+"""Translator profiles: what the directory advertises about a translator.
+
+A profile is the directory-visible description of a translator: identity,
+origin platform, role, shape, and free-form attributes.  Profiles are plain
+data (JSON-serializable) so they can be gossiped between uMiddle runtimes
+by the directory module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.core.errors import ShapeError
+from repro.core.shapes import Direction, DigitalType, PhysicalType, PortSpec, Shape
+
+__all__ = ["PortRef", "TranslatorProfile"]
+
+
+@dataclass(frozen=True, order=True)
+class PortRef:
+    """A globally unique reference to one port of one translator."""
+
+    runtime_id: str
+    translator_id: str
+    port_name: str
+
+    def __str__(self) -> str:
+        return f"{self.runtime_id}/{self.translator_id}/{self.port_name}"
+
+    @classmethod
+    def parse(cls, text: str) -> "PortRef":
+        parts = text.split("/")
+        if len(parts) != 3 or not all(parts):
+            raise ShapeError(f"malformed port reference: {text!r}")
+        return cls(*parts)
+
+
+@dataclass(frozen=True)
+class TranslatorProfile:
+    """The advertised description of one translator.
+
+    ``attributes`` carry platform- or application-specific metadata such as
+    G2 UI geographic coordinates or the native device's address.
+    """
+
+    translator_id: str
+    name: str
+    platform: str
+    device_type: str
+    role: str
+    runtime_id: str
+    shape: Shape
+    description: str = ""
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+    def port_ref(self, port_name: str) -> PortRef:
+        self.shape.port(port_name)  # validates existence
+        return PortRef(self.runtime_id, self.translator_id, port_name)
+
+    # -- wire form ---------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form used by directory advertisements."""
+        ports = []
+        for spec in self.shape:
+            entry: Dict[str, Any] = {
+                "name": spec.name,
+                "direction": spec.direction.value,
+            }
+            if spec.is_digital:
+                entry["mime"] = spec.digital_type.mime
+            else:
+                entry["physical"] = str(spec.physical_type)
+            ports.append(entry)
+        return {
+            "translator_id": self.translator_id,
+            "name": self.name,
+            "platform": self.platform,
+            "device_type": self.device_type,
+            "role": self.role,
+            "runtime_id": self.runtime_id,
+            "description": self.description,
+            "attributes": dict(self.attributes),
+            "ports": ports,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TranslatorProfile":
+        specs = []
+        for entry in data["ports"]:
+            direction = Direction(entry["direction"])
+            if "mime" in entry:
+                specs.append(
+                    PortSpec(
+                        name=entry["name"],
+                        direction=direction,
+                        digital_type=DigitalType(entry["mime"]),
+                    )
+                )
+            else:
+                specs.append(
+                    PortSpec(
+                        name=entry["name"],
+                        direction=direction,
+                        physical_type=PhysicalType.parse(entry["physical"]),
+                    )
+                )
+        return cls(
+            translator_id=data["translator_id"],
+            name=data["name"],
+            platform=data["platform"],
+            device_type=data["device_type"],
+            role=data["role"],
+            runtime_id=data["runtime_id"],
+            shape=Shape(specs),
+            description=data.get("description", ""),
+            attributes=dict(data.get("attributes", {})),
+        )
+
+    def estimated_size(self) -> int:
+        """Approximate advertisement size in bytes (for simulated costs)."""
+        base = 96
+        base += len(self.name) + len(self.device_type) + len(self.role)
+        base += 32 * len(self.shape)
+        base += sum(len(str(k)) + len(str(v)) for k, v in self.attributes.items())
+        return base

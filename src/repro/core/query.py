@@ -1,0 +1,116 @@
+"""Queries over the intermediary semantic space (Figure 6's ``Query``).
+
+A query selects translators by any combination of:
+
+- identity-ish criteria: ``platform``, ``device_type``, ``role``,
+  ``name_contains``;
+- shape criteria with wildcard types: ``input_mime`` ("accepts this data"),
+  ``output_mime`` ("produces this data"), ``physical_output`` /
+  ``physical_input`` ("affects the world this way" -- the paper's
+  ``visible/paper`` printing example);
+- a full shape ``template`` (every template port must be satisfied);
+- arbitrary ``attributes`` equality.
+
+All given criteria must hold (conjunction).  An empty query matches every
+translator, which is how Pads enumerates the semantic space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.core.errors import BindingError
+from repro.core.profile import TranslatorProfile
+from repro.core.shapes import DigitalType, PhysicalType, Shape
+
+__all__ = ["Query"]
+
+
+@dataclass(frozen=True)
+class Query:
+    """A conjunctive filter over translator profiles."""
+
+    platform: Optional[str] = None
+    device_type: Optional[str] = None
+    role: Optional[str] = None
+    name_contains: Optional[str] = None
+    input_mime: Optional[DigitalType] = None
+    output_mime: Optional[DigitalType] = None
+    physical_input: Optional[PhysicalType] = None
+    physical_output: Optional[PhysicalType] = None
+    template: Optional[Shape] = None
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        # Allow plain-string convenience at construction time.
+        if isinstance(self.input_mime, str):
+            object.__setattr__(self, "input_mime", DigitalType(self.input_mime))
+        if isinstance(self.output_mime, str):
+            object.__setattr__(self, "output_mime", DigitalType(self.output_mime))
+        if isinstance(self.physical_input, str):
+            object.__setattr__(
+                self, "physical_input", PhysicalType.parse(self.physical_input)
+            )
+        if isinstance(self.physical_output, str):
+            object.__setattr__(
+                self, "physical_output", PhysicalType.parse(self.physical_output)
+            )
+
+    def matches(self, profile: TranslatorProfile) -> bool:
+        """True if ``profile`` satisfies every criterion of this query."""
+        if self.platform is not None and profile.platform != self.platform:
+            return False
+        if self.device_type is not None and profile.device_type != self.device_type:
+            return False
+        if self.role is not None and profile.role != self.role:
+            return False
+        if (
+            self.name_contains is not None
+            and self.name_contains.lower() not in profile.name.lower()
+        ):
+            return False
+        shape = profile.shape
+        if self.input_mime is not None and not shape.inputs_accepting(self.input_mime):
+            return False
+        if self.output_mime is not None and not shape.outputs_producing(
+            self.output_mime
+        ):
+            return False
+        if self.physical_input is not None and not any(
+            p.physical_type.matches(self.physical_input)
+            for p in shape.physical_inputs()
+        ):
+            return False
+        if self.physical_output is not None and not any(
+            p.physical_type.matches(self.physical_output)
+            for p in shape.physical_outputs()
+        ):
+            return False
+        if self.template is not None and not shape.satisfies(self.template):
+            return False
+        for key, value in self.attributes.items():
+            if profile.attributes.get(key) != value:
+                return False
+        return True
+
+    def is_empty(self) -> bool:
+        """True if this query has no criteria (matches everything)."""
+        return (
+            self.platform is None
+            and self.device_type is None
+            and self.role is None
+            and self.name_contains is None
+            and self.input_mime is None
+            and self.output_mime is None
+            and self.physical_input is None
+            and self.physical_output is None
+            and self.template is None
+            and not self.attributes
+        )
+
+    def require_some_criterion(self) -> None:
+        """Raise if the query is empty; used by connect-by-query, where an
+        empty query would bind to *every* translator in the space."""
+        if self.is_empty():
+            raise BindingError("refusing to bind with an empty (match-all) query")

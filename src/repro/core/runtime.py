@@ -1,0 +1,181 @@
+"""The uMiddle runtime: one intermediary node of the infrastructure.
+
+A :class:`UMiddleRuntime` lives on a simulated network node and hosts the
+directory module, the transport module, any number of platform mappers and
+their translators, plus native uMiddle services (translators written
+directly against uMiddle).  Multiple runtimes on a network federate through
+their directory modules and exchange messages through their transport
+modules, forming the common intermediary semantic space (Section 3.6's
+room/house/campus deployments).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Union
+
+from repro.calibration import Calibration, DEFAULT
+from repro.core.binding import DynamicBinding
+from repro.core.directory import DIRECTORY_PORT, Directory
+from repro.core.errors import TransportError, UMiddleError
+from repro.core.ports import DigitalInputPort, DigitalOutputPort
+from repro.core.profile import PortRef, TranslatorProfile
+from repro.core.qos import QosPolicy
+from repro.core.query import Query
+from repro.core.translator import Translator
+from repro.core.transport import MessagePath, RemotePathHandle, Transport
+from repro.simnet.kernel import Kernel
+from repro.simnet.net import Node
+
+__all__ = ["UMiddleRuntime", "TRANSPORT_PORT"]
+
+TRANSPORT_PORT = 7700
+
+_runtime_counter = itertools.count(1)
+
+
+class UMiddleRuntime:
+    """One uMiddle intermediary node.
+
+    Construction wires the modules together; :meth:`start` (called
+    automatically unless ``auto_start=False``) begins the directory's
+    announcement processes and the transport server.
+    """
+
+    def __init__(
+        self,
+        node: Node,
+        name: Optional[str] = None,
+        calibration: Calibration = DEFAULT,
+        transport_port: int = TRANSPORT_PORT,
+        directory_port: int = DIRECTORY_PORT,
+        auto_start: bool = True,
+    ):
+        self.node = node
+        self.kernel: Kernel = node.network.kernel
+        self.network = node.network
+        self.calibration = calibration
+        self.runtime_id = name or f"umiddle-{next(_runtime_counter)}-{node.name}"
+        self.directory = Directory(self, port=directory_port)
+        self.transport = Transport(self, port=transport_port)
+        self.mappers: List = []
+        self.translators: Dict[str, Translator] = {}
+        if auto_start:
+            self.start()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        self.transport.start()
+        self.directory.start()
+
+    def shutdown(self) -> None:
+        """Stop mappers, unregister translators, close sockets."""
+        for mapper in list(self.mappers):
+            mapper.stop()
+        for translator in list(self.translators.values()):
+            self.unregister_translator(translator)
+        self.transport.stop()
+        self.directory.stop()
+
+    def trace(self, category: str, message: str, **details) -> None:
+        self.network.trace.emit(category, f"[{self.runtime_id}] {message}", **details)
+
+    # -- translators ---------------------------------------------------------------
+
+    def register_translator(self, translator: Translator) -> Translator:
+        """Admit a translator (native service or platform bridge) to the
+        semantic space: attaches it, indexes its ports and advertises it."""
+        if translator.translator_id in self.translators:
+            raise UMiddleError(
+                f"translator {translator.translator_id!r} already registered"
+            )
+        translator.attach(self)
+        self.translators[translator.translator_id] = translator
+        self.directory.register(translator.profile)
+        return translator
+
+    def unregister_translator(self, translator: Translator) -> None:
+        if translator.translator_id not in self.translators:
+            raise UMiddleError(
+                f"translator {translator.translator_id!r} is not registered here"
+            )
+        self.transport.close_paths_of_translator(translator.translator_id)
+        del self.translators[translator.translator_id]
+        self.directory.unregister(translator.translator_id)
+        translator.detach()
+
+    def translator(self, translator_id: str) -> Translator:
+        try:
+            return self.translators[translator_id]
+        except KeyError:
+            raise UMiddleError(f"no local translator {translator_id!r}") from None
+
+    # -- mappers ----------------------------------------------------------------------
+
+    def add_mapper(self, mapper, start: bool = True):
+        self.mappers.append(mapper)
+        if start:
+            mapper.start()
+        return mapper
+
+    # -- port resolution -----------------------------------------------------------------
+
+    def _local_port(self, ref: PortRef):
+        if ref.runtime_id != self.runtime_id:
+            raise TransportError(f"{ref} is not on runtime {self.runtime_id!r}")
+        translator = self.translators.get(ref.translator_id)
+        if translator is None:
+            raise TransportError(f"no local translator for {ref}")
+        return translator.port(ref.port_name)
+
+    def local_output_port(self, ref: PortRef) -> DigitalOutputPort:
+        port = self._local_port(ref)
+        if not isinstance(port, DigitalOutputPort):
+            raise TransportError(f"{ref} is not a digital output port")
+        return port
+
+    def local_input_port(self, ref: PortRef) -> DigitalInputPort:
+        port = self._local_port(ref)
+        if not isinstance(port, DigitalInputPort):
+            raise TransportError(f"{ref} is not a digital input port")
+        return port
+
+    def find_input_port(self, ref: PortRef) -> Optional[DigitalInputPort]:
+        """Non-raising lookup used by the transport's ingress path."""
+        try:
+            return self.local_input_port(ref)
+        except TransportError:
+            return None
+
+    # -- the application-facing API (Figures 6 and 7) -----------------------------------------
+
+    def lookup(self, query: Query) -> List[TranslatorProfile]:
+        """Figure 6-1: profiles of translators matching ``query``."""
+        return self.directory.lookup(query)
+
+    def add_directory_listener(self, listener) -> None:
+        """Figure 6-2: register for map/unmap notifications."""
+        self.directory.add_directory_listener(listener)
+
+    def connect(
+        self,
+        src: Union[DigitalOutputPort, PortRef],
+        dst: Union[DigitalInputPort, PortRef],
+        qos: Optional[QosPolicy] = None,
+    ) -> Union[MessagePath, RemotePathHandle]:
+        """Figure 7-1: a concrete path between two specific ports."""
+        return self.transport.connect(src, dst, qos=qos)
+
+    def connect_query(
+        self,
+        port: Union[DigitalOutputPort, DigitalInputPort],
+        query: Query,
+    ) -> DynamicBinding:
+        """Figure 7-2: a dynamic message path bound by a query template."""
+        return DynamicBinding(self, port, query)
+
+    def federate(self, peer: "UMiddleRuntime") -> None:
+        """Explicitly join another runtime's federation (both directions)."""
+        self.directory.federate(peer.node.address, peer.directory.port)
+        peer.directory.federate(self.node.address, self.directory.port)

@@ -1,0 +1,338 @@
+"""Service Shaping: data types, port specifications and shapes (Section 3.3).
+
+The paper represents the semantics of a native device as a set of
+communication endpoints, called *ports*, of two kinds:
+
+- **Digital ports** transmit digital information and are tagged with a
+  MIME type.  Two translators interoperate if one has an output and the
+  other an input port with the same MIME type.
+- **Physical ports** describe user-perceptible effects in the physical
+  world, tagged with a *perception type* (how users perceive the change:
+  ``visible``, ``audible`` or ``tangible``) and a *media type* (the physical
+  medium carrying it: ``paper``, ``light``, ``screen``, ``air``, ...).
+
+This combination of typed ports is the device's **shape** -- the affordances
+of the device.  Applications select devices by shape: "a device with a
+``image/jpeg`` digital input and a ``visible/*`` physical output" means
+*anything that can show me this image*; ``visible/paper`` narrows it to a
+printer (the paper's PostScript-printer example).
+
+Wildcard semantics: ``*`` matches any single component, so patterns are
+``type/subtype``, ``type/*`` or ``*/*`` for MIME types and
+``perception/media``, ``perception/*`` or ``*/*`` for physical types.
+Patterns appear in queries and templates; concrete ports always carry fully
+specified types.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Iterator, List, Optional, Tuple
+
+from repro.core.errors import ShapeError
+
+__all__ = [
+    "Direction",
+    "PortKind",
+    "PerceptionType",
+    "DigitalType",
+    "PhysicalType",
+    "PortSpec",
+    "Shape",
+]
+
+
+class Direction(enum.Enum):
+    """Dataflow direction of a port, from the device's point of view."""
+
+    IN = "in"
+    OUT = "out"
+
+    @property
+    def opposite(self) -> "Direction":
+        return Direction.OUT if self is Direction.IN else Direction.IN
+
+
+class PortKind(enum.Enum):
+    """Whether a port carries digital traffic or physical-world effects."""
+
+    DIGITAL = "digital"
+    PHYSICAL = "physical"
+
+
+class PerceptionType(enum.Enum):
+    """How users perceive a physical port's effect (Section 3.3)."""
+
+    VISIBLE = "visible"
+    AUDIBLE = "audible"
+    TANGIBLE = "tangible"
+
+
+def _split_two(value: str, what: str) -> Tuple[str, str]:
+    parts = value.split("/")
+    if len(parts) != 2 or not parts[0] or not parts[1]:
+        raise ShapeError(f"malformed {what}: {value!r} (expected 'a/b')")
+    return parts[0].lower(), parts[1].lower()
+
+
+def _component_matches(concrete: str, pattern: str) -> bool:
+    return pattern == "*" or concrete == pattern
+
+
+@dataclass(frozen=True, order=True)
+class DigitalType:
+    """A MIME type tag on a digital port, e.g. ``image/jpeg``.
+
+    ``matches(pattern)`` implements the wildcard semantics used by queries
+    and templates; two *concrete* types interoperate iff they are equal.
+    """
+
+    mime: str
+
+    def __post_init__(self):
+        _split_two(self.mime, "MIME type")
+        object.__setattr__(self, "mime", self.mime.lower())
+
+    @property
+    def major(self) -> str:
+        return self.mime.split("/")[0]
+
+    @property
+    def minor(self) -> str:
+        return self.mime.split("/")[1]
+
+    @property
+    def is_pattern(self) -> bool:
+        return "*" in self.mime
+
+    def matches(self, pattern: "DigitalType") -> bool:
+        """True if this type satisfies ``pattern`` (which may use ``*``)."""
+        if self.is_pattern:
+            raise ShapeError(f"cannot match a pattern against a pattern: {self.mime}")
+        return _component_matches(self.major, pattern.major) and _component_matches(
+            self.minor, pattern.minor
+        )
+
+    def __str__(self) -> str:
+        return self.mime
+
+
+@dataclass(frozen=True, order=True)
+class PhysicalType:
+    """A perception/media tag on a physical port, e.g. ``visible/paper``."""
+
+    perception: str
+    media: str
+
+    def __post_init__(self):
+        perception = self.perception.lower()
+        media = self.media.lower()
+        valid = {p.value for p in PerceptionType} | {"*"}
+        if perception not in valid:
+            raise ShapeError(
+                f"unknown perception type {perception!r} (expected one of {sorted(valid)})"
+            )
+        if not media:
+            raise ShapeError("empty media type")
+        object.__setattr__(self, "perception", perception)
+        object.__setattr__(self, "media", media)
+
+    @classmethod
+    def parse(cls, text: str) -> "PhysicalType":
+        perception, media = _split_two(text, "physical type")
+        return cls(perception, media)
+
+    @property
+    def is_pattern(self) -> bool:
+        return self.perception == "*" or self.media == "*"
+
+    def matches(self, pattern: "PhysicalType") -> bool:
+        """True if this type satisfies ``pattern`` (which may use ``*``)."""
+        if self.is_pattern:
+            raise ShapeError(
+                f"cannot match a pattern against a pattern: {self}"
+            )
+        return _component_matches(self.perception, pattern.perception) and (
+            _component_matches(self.media, pattern.media)
+        )
+
+    def __str__(self) -> str:
+        return f"{self.perception}/{self.media}"
+
+
+@dataclass(frozen=True, order=True)
+class PortSpec:
+    """The static description of one port in a shape.
+
+    Exactly one of ``digital_type`` / ``physical_type`` is set, matching the
+    port's kind.
+    """
+
+    name: str
+    direction: Direction
+    digital_type: Optional[DigitalType] = None
+    physical_type: Optional[PhysicalType] = None
+
+    def __post_init__(self):
+        if not self.name:
+            raise ShapeError("port name must be non-empty")
+        if (self.digital_type is None) == (self.physical_type is None):
+            raise ShapeError(
+                f"port {self.name!r} must have exactly one of digital/physical type"
+            )
+
+    @property
+    def kind(self) -> PortKind:
+        return PortKind.DIGITAL if self.digital_type else PortKind.PHYSICAL
+
+    @property
+    def is_digital(self) -> bool:
+        return self.digital_type is not None
+
+    def describe(self) -> str:
+        type_text = str(self.digital_type or self.physical_type)
+        return f"{self.kind.value} {self.direction.value} {self.name}: {type_text}"
+
+    @classmethod
+    def digital(cls, name: str, direction: Direction, mime: str) -> "PortSpec":
+        return cls(name=name, direction=direction, digital_type=DigitalType(mime))
+
+    @classmethod
+    def physical(cls, name: str, direction: Direction, tag: str) -> "PortSpec":
+        return cls(
+            name=name, direction=direction, physical_type=PhysicalType.parse(tag)
+        )
+
+
+class Shape:
+    """A device's shape: the immutable set of its port specifications.
+
+    The shape is the unit of compatibility in the intermediary semantic
+    space (Section 3.3): two devices are compatible if one has a digital
+    output whose MIME type equals a digital input of the other.
+    """
+
+    def __init__(self, ports: Iterable[PortSpec]):
+        port_list: List[PortSpec] = list(ports)
+        names = [p.name for p in port_list]
+        if len(set(names)) != len(names):
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            raise ShapeError(f"duplicate port names in shape: {duplicates}")
+        self._ports: FrozenSet[PortSpec] = frozenset(port_list)
+        self._by_name = {p.name: p for p in port_list}
+
+    # -- access -----------------------------------------------------------
+
+    @property
+    def ports(self) -> FrozenSet[PortSpec]:
+        return self._ports
+
+    def port(self, name: str) -> PortSpec:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ShapeError(f"no port named {name!r} in shape") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __iter__(self) -> Iterator[PortSpec]:
+        return iter(sorted(self._ports))
+
+    def __len__(self) -> int:
+        return len(self._ports)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Shape) and self._ports == other._ports
+
+    def __hash__(self) -> int:
+        return hash(self._ports)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        inner = ", ".join(p.describe() for p in self)
+        return f"Shape({inner})"
+
+    # -- selections -----------------------------------------------------------
+
+    def digital_inputs(self) -> List[PortSpec]:
+        return [p for p in self if p.is_digital and p.direction is Direction.IN]
+
+    def digital_outputs(self) -> List[PortSpec]:
+        return [p for p in self if p.is_digital and p.direction is Direction.OUT]
+
+    def physical_inputs(self) -> List[PortSpec]:
+        return [p for p in self if not p.is_digital and p.direction is Direction.IN]
+
+    def physical_outputs(self) -> List[PortSpec]:
+        return [p for p in self if not p.is_digital and p.direction is Direction.OUT]
+
+    # -- compatibility ----------------------------------------------------------
+
+    def inputs_accepting(self, mime: DigitalType) -> List[PortSpec]:
+        """Digital input ports whose type equals ``mime`` (or, if ``mime``
+        is a pattern, whose type satisfies it)."""
+        result = []
+        for spec in self.digital_inputs():
+            if mime.is_pattern:
+                if spec.digital_type.matches(mime):
+                    result.append(spec)
+            elif spec.digital_type == mime:
+                result.append(spec)
+        return result
+
+    def outputs_producing(self, mime: DigitalType) -> List[PortSpec]:
+        result = []
+        for spec in self.digital_outputs():
+            if mime.is_pattern:
+                if spec.digital_type.matches(mime):
+                    result.append(spec)
+            elif spec.digital_type == mime:
+                result.append(spec)
+        return result
+
+    def compatible_with(self, other: "Shape") -> bool:
+        """True if data can flow between the two shapes in either direction.
+
+        Any two devices are compatible if they contain an output and an
+        input endpoint with the same associated data type (Section 2.2.3).
+        """
+        return self.can_send_to(other) or other.can_send_to(self)
+
+    def can_send_to(self, other: "Shape") -> bool:
+        """True if one of our digital outputs type-matches one of their inputs."""
+        our_outputs = {p.digital_type for p in self.digital_outputs()}
+        their_inputs = {p.digital_type for p in other.digital_inputs()}
+        return bool(our_outputs & their_inputs)
+
+    def flows_to(self, other: "Shape") -> List[Tuple[PortSpec, PortSpec]]:
+        """All (output, input) pairs through which we can send to ``other``."""
+        pairs = []
+        for out_spec in self.digital_outputs():
+            for in_spec in other.digital_inputs():
+                if out_spec.digital_type == in_spec.digital_type:
+                    pairs.append((out_spec, in_spec))
+        return pairs
+
+    # -- template satisfaction ------------------------------------------------------
+
+    def satisfies(self, template: "Shape") -> bool:
+        """True if every port in ``template`` is satisfied by some port here.
+
+        Template ports may use wildcard types; a template port is satisfied
+        by any same-kind, same-direction port whose type matches it.  Port
+        names in templates are ignored (shapes describe affordances, not
+        identities).
+        """
+        for wanted in template:
+            if not any(self._port_satisfies(p, wanted) for p in self):
+                return False
+        return True
+
+    @staticmethod
+    def _port_satisfies(concrete: PortSpec, wanted: PortSpec) -> bool:
+        if concrete.kind != wanted.kind or concrete.direction != wanted.direction:
+            return False
+        if concrete.is_digital:
+            return concrete.digital_type.matches(wanted.digital_type)
+        return concrete.physical_type.matches(wanted.physical_type)

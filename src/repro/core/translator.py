@@ -1,0 +1,321 @@
+"""Translators: device-level bridges (Section 3.2).
+
+A translator (1) projects a native device's semantics into the intermediary
+semantic space as a shape of typed ports, (2) acts as a proxy for the
+device -- traffic to the translator triggers actual native interactions --
+and (3) encapsulates all protocol knowledge specific to its device, using
+the base-protocol support of its platform's mapper.
+
+Two classes:
+
+- :class:`Translator` -- the base class.  "Native uMiddle devices" (services
+  written directly against uMiddle, like the eighteen devices in the Pads
+  screenshot of Figure 8) subclass this directly.
+- :class:`GenericTranslator` -- the USDL-parameterized translator: given a
+  USDL document and a :class:`NativeHandle` from the platform mapper, it
+  materializes the document's ports and wires each binding to the native
+  device.  This realizes Section 3.4's observation that translator
+  implementations can be generic, configured mechanically per device.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Generator, List, Optional, TYPE_CHECKING
+
+from repro.core.errors import PortError, TranslationError
+from repro.core.messages import UMessage
+from repro.core.ports import DigitalInputPort, DigitalOutputPort, PhysicalPort, Port
+from repro.core.profile import TranslatorProfile
+from repro.core.shapes import Direction, PortSpec, Shape
+from repro.core.usdl import UsdlBinding, UsdlDocument
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.runtime import UMiddleRuntime
+
+__all__ = ["Translator", "NativeHandle", "GenericTranslator"]
+
+_instance_counter = itertools.count(1)
+
+
+class Translator:
+    """Base class for all translators.
+
+    Subclasses declare ports with :meth:`add_digital_input`,
+    :meth:`add_digital_output` and :meth:`add_physical` (typically in
+    ``__init__``), then the translator is registered with a runtime via
+    :meth:`UMiddleRuntime.register_translator`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        platform: str = "umiddle",
+        device_type: str = "urn:umiddle:native",
+        role: str = "service",
+        description: str = "",
+        attributes: Optional[Dict[str, Any]] = None,
+        translator_id: Optional[str] = None,
+    ):
+        self.translator_id = translator_id or f"t{next(_instance_counter)}-{name}"
+        self.name = name
+        self.platform = platform
+        self.device_type = device_type
+        self.role = role
+        self.description = description
+        self.attributes: Dict[str, Any] = dict(attributes or {})
+        self.runtime: Optional["UMiddleRuntime"] = None
+        self._ports: Dict[str, Port] = {}
+
+    # -- port declaration ---------------------------------------------------
+
+    def _add_port(self, port: Port) -> Port:
+        if port.name in self._ports:
+            raise PortError(
+                f"translator {self.translator_id!r} already has a port "
+                f"named {port.name!r}"
+            )
+        self._ports[port.name] = port
+        return port
+
+    def add_digital_input(
+        self, name: str, mime: str, handler: Callable[[UMessage], Any]
+    ) -> DigitalInputPort:
+        spec = PortSpec.digital(name, Direction.IN, mime)
+        return self._add_port(DigitalInputPort(spec, self, handler))
+
+    def add_digital_output(self, name: str, mime: str) -> DigitalOutputPort:
+        spec = PortSpec.digital(name, Direction.OUT, mime)
+        return self._add_port(DigitalOutputPort(spec, self))
+
+    def add_physical(self, name: str, direction: Direction, tag: str) -> PhysicalPort:
+        spec = PortSpec.physical(name, direction, tag)
+        return self._add_port(PhysicalPort(spec, self))
+
+    # -- access -------------------------------------------------------------
+
+    def port(self, name: str) -> Port:
+        try:
+            return self._ports[name]
+        except KeyError:
+            raise PortError(
+                f"translator {self.translator_id!r} has no port {name!r}"
+            ) from None
+
+    def input_port(self, name: str) -> DigitalInputPort:
+        port = self.port(name)
+        if not isinstance(port, DigitalInputPort):
+            raise PortError(f"{name!r} is not a digital input port")
+        return port
+
+    def output_port(self, name: str) -> DigitalOutputPort:
+        port = self.port(name)
+        if not isinstance(port, DigitalOutputPort):
+            raise PortError(f"{name!r} is not a digital output port")
+        return port
+
+    def physical_port(self, name: str) -> PhysicalPort:
+        port = self.port(name)
+        if not isinstance(port, PhysicalPort):
+            raise PortError(f"{name!r} is not a physical port")
+        return port
+
+    @property
+    def ports(self) -> List[Port]:
+        return list(self._ports.values())
+
+    @property
+    def shape(self) -> Shape:
+        return Shape(p.spec for p in self._ports.values())
+
+    @property
+    def profile(self) -> TranslatorProfile:
+        if self.runtime is None:
+            raise TranslationError(
+                f"translator {self.translator_id!r} is not attached to a runtime"
+            )
+        return TranslatorProfile(
+            translator_id=self.translator_id,
+            name=self.name,
+            platform=self.platform,
+            device_type=self.device_type,
+            role=self.role,
+            runtime_id=self.runtime.runtime_id,
+            shape=self.shape,
+            description=self.description,
+            attributes=dict(self.attributes),
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def attach(self, runtime: "UMiddleRuntime") -> None:
+        if self.runtime is not None:
+            raise TranslationError(
+                f"translator {self.translator_id!r} is already attached"
+            )
+        self.runtime = runtime
+        self.on_attached()
+
+    def detach(self) -> None:
+        if self.runtime is None:
+            return
+        self.on_detached()
+        self.runtime = None
+
+    def on_attached(self) -> None:
+        """Hook: runs after the translator joins a runtime."""
+
+    def on_detached(self) -> None:
+        """Hook: runs before the translator leaves its runtime."""
+
+
+class NativeHandle:
+    """The mapper-provided adapter through which a generic translator talks
+    to one native device.
+
+    Platform bridges subclass this.  ``invoke`` handles ``action`` and
+    ``sink`` bindings and must return a *generator* (run as part of the
+    delivering message path, charging native-protocol time); ``subscribe``
+    registers a callback for ``event`` and ``source`` bindings -- the
+    platform stack calls it with a :class:`UMessage` whenever the native
+    device produces data.
+    """
+
+    def invoke(
+        self, binding: UsdlBinding, message: UMessage
+    ) -> Generator:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def subscribe(
+        self, binding: UsdlBinding, callback: Callable[[UMessage], None]
+    ) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def unsubscribe_all(self) -> None:
+        """Hook: stop delivering native events (device unmapped)."""
+
+
+class GenericTranslator(Translator):
+    """A USDL-parameterized translator for one native device.
+
+    Inbound (``action``/``sink``) ports charge uMiddle's device-level
+    translation cost and then invoke the native device through the handle;
+    outbound (``event``/``source``) ports are fed by the native handle's
+    subscriptions through an internal queue so that translation costs are
+    charged in this translator's own outbound process (Section 5.2:
+    "translating the mouse signal to a VML document ... and passes it to
+    the uMiddle's transport module").
+    """
+
+    def __init__(
+        self,
+        document: UsdlDocument,
+        native: NativeHandle,
+        instance_name: Optional[str] = None,
+        extra_attributes: Optional[Dict[str, Any]] = None,
+    ):
+        attributes: Dict[str, Any] = dict(document.attributes)
+        attributes.update(extra_attributes or {})
+        super().__init__(
+            name=instance_name or document.name,
+            platform=document.platform,
+            device_type=document.device_type,
+            role=document.role,
+            description=document.description,
+            attributes=attributes,
+        )
+        self.document = document
+        self.native = native
+        self._outbound: List = []  # queued (port, message) pairs before attach
+        self._outbound_event = None
+
+        for usdl_port in document.ports:
+            if not usdl_port.is_digital:
+                self.add_physical(
+                    usdl_port.name, usdl_port.direction, str(usdl_port.physical_type)
+                )
+            elif usdl_port.direction is Direction.IN:
+                binding = usdl_port.binding
+                if binding is None:
+                    raise TranslationError(
+                        f"USDL digital input {usdl_port.name!r} has no binding"
+                    )
+                handler = self._make_input_handler(binding)
+                self.add_digital_input(
+                    usdl_port.name, usdl_port.digital_type.mime, handler
+                )
+            else:
+                port = self.add_digital_output(
+                    usdl_port.name, usdl_port.digital_type.mime
+                )
+                if usdl_port.binding is not None:
+                    self._subscribe_output(port, usdl_port.binding)
+
+    # -- inbound: common space -> native device ----------------------------------
+
+    def _make_input_handler(self, binding: UsdlBinding):
+        def handler(message: UMessage) -> Generator:
+            return self._inbound(binding, message)
+
+        return handler
+
+    def _inbound(self, binding: UsdlBinding, message: UMessage) -> Generator:
+        runtime = self.runtime
+        if runtime is None:
+            raise TranslationError("message delivered to a detached translator")
+        costs = runtime.calibration.umiddle
+        if binding.kind == "action":
+            # Device-level control translation (~10 ms in the paper).
+            yield runtime.kernel.timeout(costs.message_translation_s)
+        else:  # sink: stream data passes through with only dispatch cost
+            yield runtime.kernel.timeout(costs.transport_dispatch_s)
+        yield from self.native.invoke(binding, message)
+
+    # -- outbound: native device -> common space -----------------------------------
+
+    def _subscribe_output(self, port: DigitalOutputPort, binding: UsdlBinding) -> None:
+        def on_native(message: UMessage) -> None:
+            self._enqueue_outbound(port, binding, message)
+
+        self.native.subscribe(binding, on_native)
+
+    def _enqueue_outbound(
+        self, port: DigitalOutputPort, binding: UsdlBinding, message: UMessage
+    ) -> None:
+        self._outbound.append((port, binding, message))
+        if self.runtime is not None and self._outbound_event is not None:
+            if not self._outbound_event.triggered:
+                self._outbound_event.succeed()
+
+    def on_attached(self) -> None:
+        self.runtime.kernel.process(
+            self._outbound_pump(), name=f"outbound:{self.translator_id}"
+        )
+
+    def on_detached(self) -> None:
+        self.native.unsubscribe_all()
+        if self._outbound_event is not None and not self._outbound_event.triggered:
+            self._outbound_event.succeed()
+
+    def _outbound_pump(self) -> Generator:
+        kernel = self.runtime.kernel
+        costs = self.runtime.calibration.umiddle
+        while self.runtime is not None:
+            if not self._outbound:
+                self._outbound_event = kernel.event(
+                    name=f"outbound-wait:{self.translator_id}"
+                )
+                yield self._outbound_event
+                self._outbound_event = None
+                continue
+            port, binding, message = self._outbound.pop(0)
+            if self.runtime is None:
+                return
+            if binding.kind == "event":
+                # Build the common (VML-like) representation and translate.
+                yield kernel.timeout(costs.vml_build_s + costs.message_translation_s)
+            else:  # source: stream data, dispatch cost only
+                yield kernel.timeout(costs.transport_dispatch_s)
+            if self.runtime is None:
+                return  # detached while translating: drop silently
+            port.send(message)

@@ -1,0 +1,575 @@
+"""The uMiddle transport module (Figure 7).
+
+Responsibilities:
+
+- **Message paths** between an output port and an input port, created with
+  :meth:`Transport.connect` (Figure 7-1).  Each path owns a bounded
+  *translation buffer* (the buffer Section 5.3 observes filling up when the
+  consumer side is slower) and an optional :class:`~repro.core.qos.QosPolicy`.
+- **Inter-node delivery**: translators on different uMiddle runtimes
+  communicate through per-peer TCP streams carrying envelope-marshaled
+  messages (Figure 5's transport modules on hosts H1/H2).
+- **Remote path control**: a runtime may request a *peer* runtime to create
+  or tear down a path whose source port lives on that peer, so applications
+  can wire any two ports in the federation from wherever they run.
+
+Query-based connection (Figure 7-2) lives in :mod:`repro.core.binding`,
+which drives this module.
+
+Cost model: each delivery charges the transport dispatch cost; paths whose
+endpoints translate *different* native platforms additionally charge the
+cross-representation conversion cost (this is what makes the paper's RMI-MB
+bridge slower than the RMI echo in Figure 11); remote deliveries charge
+envelope marshal costs plus TCP per-segment processing in the per-peer
+sender process.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Any, Deque, Dict, Generator, List, Optional, Tuple, Union, TYPE_CHECKING
+
+from repro.core.errors import TransportError
+from repro.core.messages import UMessage
+from repro.core.ports import DigitalInputPort, DigitalOutputPort
+from repro.core.profile import PortRef
+from repro.core.qos import DropPolicy, QosPolicy
+from repro.simnet.kernel import Event
+from repro.simnet.sockets import (
+    ConnectionClosed,
+    ConnectionRefused,
+    SocketError,
+    StreamListener,
+    StreamSocket,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.runtime import UMiddleRuntime
+
+__all__ = ["MessagePath", "RemotePathHandle", "Transport"]
+
+_path_counter = itertools.count(1)
+
+#: Fixed envelope header bytes on the wire for inter-runtime messages.
+ENVELOPE_HEADER_BYTES = 64
+
+
+class MessagePath:
+    """A unidirectional message path from a local output port to an input.
+
+    The destination is either a local :class:`DigitalInputPort` or a remote
+    :class:`PortRef`.  Messages flow through the path's translation buffer;
+    a delivery process drains it, charging the calibrated costs.
+    """
+
+    def __init__(
+        self,
+        transport: "Transport",
+        src: DigitalOutputPort,
+        dst: Union[DigitalInputPort, PortRef],
+        qos: Optional[QosPolicy] = None,
+        path_id: Optional[str] = None,
+    ):
+        self.transport = transport
+        self.src = src
+        self.dst = dst
+        self.qos = qos or QosPolicy()
+        self.path_id = path_id or f"{transport.runtime.runtime_id}:p{next(_path_counter)}"
+        umiddle = transport.runtime.calibration.umiddle
+        self.capacity = self.qos.buffer_capacity or umiddle.translation_buffer_capacity
+        self._buffer: Deque[UMessage] = deque()
+        self._wakeup: Optional[Event] = None
+        self.closed = False
+
+        # Destination platform, for cross-representation accounting.
+        if isinstance(dst, DigitalInputPort):
+            self._dst_platform: Optional[str] = dst.translator.platform
+        else:
+            self._dst_platform = transport.runtime.directory.platform_of(
+                dst.translator_id
+            )
+
+        self.messages_enqueued = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.bytes_delivered = 0
+        self.peak_buffer = 0
+        self._space_waiters: Deque[Event] = deque()
+
+        self._process = transport.runtime.kernel.process(
+            self._run(), name=f"path:{self.path_id}"
+        )
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def src_ref(self) -> PortRef:
+        return self.src.ref
+
+    @property
+    def dst_ref(self) -> PortRef:
+        if isinstance(self.dst, DigitalInputPort):
+            return self.dst.ref
+        return self.dst
+
+    @property
+    def is_remote(self) -> bool:
+        return not isinstance(self.dst, DigitalInputPort)
+
+    @property
+    def is_cross_platform(self) -> bool:
+        """True when source and destination translate different platforms.
+
+        Unknown destination platforms (remote translator already gone from
+        the directory) conservatively count as cross-platform.
+        """
+        return self._dst_platform is None or (
+            self.src.translator.platform != self._dst_platform
+        )
+
+    @property
+    def buffered(self) -> int:
+        return len(self._buffer)
+
+    # -- ingress --------------------------------------------------------------
+
+    def enqueue(self, message: UMessage) -> bool:
+        """Admit ``message`` to the translation buffer.
+
+        Returns False when the message was dropped by the overflow policy.
+        """
+        if self.closed:
+            return False
+        if len(self._buffer) >= self.capacity:
+            if self.qos.drop_policy is DropPolicy.DROP_OLDEST:
+                self._buffer.popleft()
+                self.messages_dropped += 1
+            else:
+                self.messages_dropped += 1
+                self.transport.runtime.trace(
+                    "transport.drop",
+                    f"path {self.path_id}: translation buffer full",
+                    size=message.size,
+                )
+                return False
+        self._buffer.append(message)
+        self.messages_enqueued += 1
+        self.peak_buffer = max(self.peak_buffer, len(self._buffer))
+        if self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.succeed()
+        return True
+
+    def enqueue_flow(self, message: UMessage):
+        """Flow-controlled admission (generator): waits for buffer space
+        instead of dropping.
+
+        This is the backpressure variant of :meth:`enqueue`, used by
+        cooperative senders (``DigitalOutputPort.send_flow``).  Returns
+        True once admitted, False if the path closed while waiting.
+        """
+        kernel = self.transport.runtime.kernel
+        while not self.closed and len(self._buffer) >= self.capacity:
+            waiter = kernel.event(name=f"path-space:{self.path_id}")
+            self._space_waiters.append(waiter)
+            yield waiter
+        if self.closed:
+            return False
+        return self.enqueue(message)
+
+    # -- delivery -------------------------------------------------------------
+
+    def _run(self) -> Generator:
+        runtime = self.transport.runtime
+        kernel = runtime.kernel
+        umiddle = runtime.calibration.umiddle
+        while not self.closed:
+            if not self._buffer:
+                self._wakeup = kernel.event(name=f"path-wait:{self.path_id}")
+                yield self._wakeup
+                self._wakeup = None
+                continue
+            message = self._buffer.popleft()
+            if self._space_waiters:
+                waiter = self._space_waiters.popleft()
+                if not waiter.triggered:
+                    waiter.succeed()
+            if self.qos.rate is not None:
+                delay = self.qos.rate.delay_for(message.size, kernel.now)
+                if delay > 0:
+                    yield kernel.timeout(delay)
+            yield kernel.timeout(umiddle.transport_dispatch_s)
+            if self.is_cross_platform:
+                yield kernel.timeout(
+                    umiddle.cross_representation_fixed_s
+                    + umiddle.cross_representation_per_byte_s * message.size
+                )
+            if self.closed:
+                return
+            if isinstance(self.dst, DigitalInputPort):
+                result = self.dst.deliver(message)
+                if hasattr(result, "send") and hasattr(result, "throw"):
+                    yield from result
+            else:
+                self.transport._enqueue_remote(self.dst, message)
+            self.messages_delivered += 1
+            self.bytes_delivered += message.size
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self._buffer.clear()
+        if self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.succeed()
+        while self._space_waiters:
+            waiter = self._space_waiters.popleft()
+            if not waiter.triggered:
+                waiter.succeed()
+        self.transport._forget_path(self)
+
+
+class RemotePathHandle:
+    """Handle for a path created on a *peer* runtime on our behalf."""
+
+    def __init__(self, transport: "Transport", owner_runtime_id: str, path_id: str):
+        self.transport = transport
+        self.owner_runtime_id = owner_runtime_id
+        self.path_id = path_id
+        self.closed = False
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self.transport._send_control(
+            self.owner_runtime_id, {"kind": "disconnect", "path_id": self.path_id}
+        )
+
+
+class Transport:
+    """One runtime's transport module."""
+
+    def __init__(self, runtime: "UMiddleRuntime", port: int):
+        self.runtime = runtime
+        self.port = port
+        self._paths_by_src: Dict[str, List[MessagePath]] = {}
+        self._paths_by_id: Dict[str, MessagePath] = {}
+        #: Streams to peers, keyed by runtime id.
+        self._peer_streams: Dict[str, StreamSocket] = {}
+        self._peer_outboxes: Dict[str, Deque[Tuple[str, dict, int]]] = {}
+        self._peer_wakeups: Dict[str, Event] = {}
+        self._peer_senders: Dict[str, object] = {}
+        self.messages_relayed = 0
+        self.undeliverable = 0
+        self._listener: Optional[StreamListener] = None
+        self.started = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        if self.started:
+            return
+        self.started = True
+        self._listener = StreamListener(
+            self.runtime.node, self.runtime.calibration.network, self.port
+        )
+        self.runtime.kernel.process(
+            self._accept_loop(), name=f"transport-accept:{self.runtime.runtime_id}"
+        )
+
+    def stop(self) -> None:
+        if self._listener is not None:
+            self._listener.close()
+        for stream in list(self._peer_streams.values()):
+            stream.close()
+        self._peer_streams.clear()
+        for path in list(self._paths_by_id.values()):
+            path.close()
+
+    # -- path management --------------------------------------------------------
+
+    def connect(
+        self,
+        src: Union[DigitalOutputPort, PortRef],
+        dst: Union[DigitalInputPort, PortRef],
+        qos: Optional[QosPolicy] = None,
+    ) -> Union[MessagePath, RemotePathHandle]:
+        """Establish a communication path between two ports (Figure 7-1).
+
+        ``src`` must be an output port; ``dst`` an input port.  Either may
+        be remote (a :class:`PortRef` on another runtime); a remote *source*
+        results in a control request to the owning runtime and returns a
+        :class:`RemotePathHandle`.
+        """
+        runtime_id = self.runtime.runtime_id
+        if isinstance(src, PortRef):
+            if src.runtime_id == runtime_id:
+                src = self.runtime.local_output_port(src)
+            else:
+                return self._connect_remote_source(src, dst, qos)
+        if not isinstance(src, DigitalOutputPort):
+            raise TransportError(f"source must be a digital output port, got {src!r}")
+        if isinstance(dst, PortRef) and dst.runtime_id == runtime_id:
+            dst = self.runtime.local_input_port(dst)
+        if isinstance(dst, DigitalInputPort):
+            if dst.mime != src.mime:
+                raise TransportError(
+                    f"type mismatch: {src.mime} output cannot feed {dst.mime} input"
+                )
+        path = MessagePath(self, src, dst, qos=qos)
+        self._register_path(path)
+        self.runtime.trace(
+            "transport.connect",
+            f"path {path.path_id}: {path.src_ref} -> {path.dst_ref}",
+        )
+        return path
+
+    def _connect_remote_source(
+        self,
+        src: PortRef,
+        dst: Union[DigitalInputPort, PortRef],
+        qos: Optional[QosPolicy],
+    ) -> RemotePathHandle:
+        if qos is not None:
+            raise TransportError(
+                "QoS policies apply where the path runs; create the path on "
+                "the source's runtime to attach one"
+            )
+        dst_ref = dst.ref if isinstance(dst, DigitalInputPort) else dst
+        path_id = f"{self.runtime.runtime_id}:rp{next(_path_counter)}"
+        self._send_control(
+            src.runtime_id,
+            {
+                "kind": "connect",
+                "path_id": path_id,
+                "src": str(src),
+                "dst": str(dst_ref),
+            },
+        )
+        return RemotePathHandle(self, src.runtime_id, path_id)
+
+    def _register_path(self, path: MessagePath) -> None:
+        self._paths_by_src.setdefault(str(path.src_ref), []).append(path)
+        self._paths_by_id[path.path_id] = path
+
+    def _forget_path(self, path: MessagePath) -> None:
+        self._paths_by_id.pop(path.path_id, None)
+        paths = self._paths_by_src.get(str(path.src_ref))
+        if paths and path in paths:
+            paths.remove(path)
+            if not paths:
+                del self._paths_by_src[str(path.src_ref)]
+
+    def paths_from(self, src: DigitalOutputPort) -> List[MessagePath]:
+        return list(self._paths_by_src.get(str(src.ref), []))
+
+    def close_paths_of_translator(self, translator_id: str) -> None:
+        """Tear down every path whose source or local sink is the translator."""
+        for path in list(self._paths_by_id.values()):
+            src_is_ours = path.src.translator.translator_id == translator_id
+            dst_is_ours = (
+                isinstance(path.dst, DigitalInputPort)
+                and path.dst.translator.translator_id == translator_id
+            )
+            if src_is_ours or dst_is_ours:
+                path.close()
+
+    # -- egress ---------------------------------------------------------------
+
+    def dispatch(self, src: DigitalOutputPort, message: UMessage) -> int:
+        """Fan ``message`` out to every path bound to ``src``.
+
+        Returns the number of paths that admitted the message.
+        """
+        paths = self._paths_by_src.get(str(src.ref))
+        if not paths:
+            return 0
+        admitted = 0
+        for path in list(paths):
+            if path.enqueue(message):
+                admitted += 1
+        return admitted
+
+    def dispatch_flow(self, src: DigitalOutputPort, message: UMessage):
+        """Flow-controlled fan-out (generator): waits for buffer space on
+        each bound path rather than dropping on overflow."""
+        paths = self._paths_by_src.get(str(src.ref))
+        if not paths:
+            return 0
+        admitted = 0
+        for path in list(paths):
+            ok = yield from path.enqueue_flow(message)
+            if ok:
+                admitted += 1
+        return admitted
+
+    # -- inter-runtime plumbing ---------------------------------------------------
+
+    def _enqueue_remote(self, dst: PortRef, message: UMessage) -> None:
+        envelope = {
+            "kind": "message",
+            "dst": str(dst),
+            "mime": message.mime.mime,
+            "payload": message.payload,
+            "size": message.size,
+            "source": message.source,
+            "headers": dict(message.headers),
+        }
+        self._enqueue_envelope(dst.runtime_id, envelope, message.size)
+
+    def _send_control(self, runtime_id: str, envelope: dict) -> None:
+        self._enqueue_envelope(runtime_id, envelope, 0)
+
+    def _enqueue_envelope(self, runtime_id: str, envelope: dict, size: int) -> None:
+        outbox = self._peer_outboxes.setdefault(runtime_id, deque())
+        outbox.append((runtime_id, envelope, size))
+        wakeup = self._peer_wakeups.get(runtime_id)
+        if wakeup is not None and not wakeup.triggered:
+            wakeup.succeed()
+        if runtime_id not in self._peer_senders:
+            self._peer_senders[runtime_id] = self.runtime.kernel.process(
+                self._peer_sender(runtime_id),
+                name=f"peer-sender:{self.runtime.runtime_id}->{runtime_id}",
+            )
+
+    def _peer_sender(self, runtime_id: str) -> Generator:
+        """Drains the outbox for one peer over a single stream.
+
+        Serializes envelope marshaling with TCP per-segment processing, the
+        way a single sender thread would.
+        """
+        runtime = self.runtime
+        kernel = runtime.kernel
+        umiddle = runtime.calibration.umiddle
+        outbox = self._peer_outboxes[runtime_id]
+        try:
+            while True:
+                if not outbox:
+                    wakeup = kernel.event(name=f"peer-outbox:{runtime_id}")
+                    self._peer_wakeups[runtime_id] = wakeup
+                    yield wakeup
+                    self._peer_wakeups.pop(runtime_id, None)
+                    continue
+                _rid, envelope, size = outbox[0]
+                try:
+                    stream = self._peer_streams.get(runtime_id)
+                    if stream is None or stream.closed:
+                        stream = yield from self._open_peer_stream(runtime_id)
+                    wire_size = size + ENVELOPE_HEADER_BYTES
+                    yield kernel.timeout(
+                        umiddle.envelope_fixed_s + umiddle.envelope_per_byte_s * size
+                    )
+                    yield from stream.send_inline(envelope, wire_size)
+                    outbox.popleft()
+                    self.messages_relayed += 1
+                except (SocketError, TransportError) as exc:
+                    outbox.popleft()
+                    self.undeliverable += 1
+                    runtime.trace(
+                        "transport.undeliverable",
+                        f"to {runtime_id}: {exc}",
+                    )
+                    self._peer_streams.pop(runtime_id, None)
+        finally:
+            self._peer_senders.pop(runtime_id, None)
+
+    def _open_peer_stream(self, runtime_id: str) -> Generator:
+        info = self.runtime.directory.runtime_info(runtime_id)
+        if info is None:
+            raise TransportError(f"unknown peer runtime {runtime_id!r}")
+        try:
+            stream = yield StreamSocket.connect(
+                self.runtime.node,
+                self.runtime.calibration.network,
+                info.address,
+                info.transport_port,
+            )
+        except ConnectionRefused as exc:
+            raise TransportError(f"peer {runtime_id} unreachable: {exc}") from exc
+        self._peer_streams[runtime_id] = stream
+        return stream
+
+    # -- ingress from peers ----------------------------------------------------------
+
+    def _accept_loop(self) -> Generator:
+        while True:
+            try:
+                stream = yield self._listener.accept()
+            except ConnectionClosed:
+                return
+            self.runtime.kernel.process(
+                self._serve_peer(stream),
+                name=f"transport-serve:{self.runtime.runtime_id}",
+            )
+
+    def _serve_peer(self, stream: StreamSocket) -> Generator:
+        runtime = self.runtime
+        kernel = runtime.kernel
+        umiddle = runtime.calibration.umiddle
+        while True:
+            try:
+                envelope, _wire_size = yield stream.recv()
+            except ConnectionClosed:
+                return
+            kind = envelope.get("kind")
+            if kind == "message":
+                size = envelope["size"]
+                yield kernel.timeout(
+                    umiddle.envelope_fixed_s + umiddle.envelope_per_byte_s * size
+                )
+                self._deliver_envelope(envelope)
+            elif kind == "connect":
+                self._handle_connect_request(envelope)
+            elif kind == "disconnect":
+                path = self._paths_by_id.get(envelope["path_id"])
+                if path is not None:
+                    path.close()
+            else:
+                runtime.trace(
+                    "transport.protocol-error", f"unknown envelope kind {kind!r}"
+                )
+
+    def _deliver_envelope(self, envelope: dict) -> None:
+        ref = PortRef.parse(envelope["dst"])
+        port = self.runtime.find_input_port(ref)
+        if port is None:
+            self.undeliverable += 1
+            self.runtime.trace(
+                "transport.undeliverable", f"no local input port {envelope['dst']}"
+            )
+            return
+        message = UMessage(
+            mime=envelope["mime"],
+            payload=envelope["payload"],
+            size=envelope["size"],
+            source=envelope.get("source"),
+            headers=dict(envelope.get("headers", {})),
+        )
+        result = port.deliver(message)
+        if hasattr(result, "send") and hasattr(result, "throw"):
+            # Run the handler as its own process: peer streams must not be
+            # blocked by one slow native device.
+            self.runtime.kernel.process(
+                result, name=f"remote-deliver:{envelope['dst']}"
+            )
+
+    def _handle_connect_request(self, envelope: dict) -> None:
+        src_ref = PortRef.parse(envelope["src"])
+        dst_ref = PortRef.parse(envelope["dst"])
+        try:
+            src = self.runtime.local_output_port(src_ref)
+        except TransportError:
+            self.runtime.trace(
+                "transport.protocol-error",
+                f"connect request for unknown local port {src_ref}",
+            )
+            return
+        dst: Union[DigitalInputPort, PortRef] = dst_ref
+        if dst_ref.runtime_id == self.runtime.runtime_id:
+            try:
+                dst = self.runtime.local_input_port(dst_ref)
+            except TransportError:
+                return
+        path = MessagePath(self, src, dst, path_id=envelope["path_id"])
+        self._register_path(path)

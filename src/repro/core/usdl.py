@@ -1,0 +1,359 @@
+"""USDL: the Universal Service Description Language (Section 3.4).
+
+USDL is the paper's XML language describing how a native device is
+represented in the intermediary semantic space.  A mapper creates a
+translator (and its shape) for a native device from a USDL document: the
+document lists the device's ports and, for each digital port, a *binding*
+describing how the generic per-platform translator realizes it against the
+native device.
+
+Binding kinds:
+
+``action``
+    An input port invokes a native action (e.g. UPnP ``SetPower``) with the
+    fixed ``<argument>`` values; the message payload is additionally passed
+    in the argument named by ``payload-argument``, if given.  This realizes
+    the paper's light example: two digital input ports, one bound to
+    ``SetPower`` with ``Power=1`` (switch on), one with ``Power=0``.
+
+``event``
+    A native event (UPnP GENA variable, Bluetooth HID report, mote reading)
+    is forwarded out of an output port.
+
+``sink``
+    An input port feeds a native data sink (e.g. the MediaRenderer's
+    rendering session, a BIP printer's OBEX PUT).
+
+``source``
+    A native data source feeds an output port (e.g. images pulled from a
+    BIP camera).
+
+Example document::
+
+    <usdl name="upnp-binary-light" platform="upnp"
+          device-type="urn:schemas-upnp-org:device:BinaryLight:1">
+      <profile role="light" description="A switchable light"/>
+      <ports>
+        <digital name="power-on" direction="in"
+                 mime="application/x-umiddle-switch">
+          <binding kind="action" target="SetPower">
+            <argument name="Power" value="1"/>
+          </binding>
+        </digital>
+        <physical name="illumination" direction="out"
+                  perception="visible" media="light"/>
+      </ports>
+      <entities>
+        <entity name="upnp-device"/>
+      </entities>
+    </usdl>
+
+The ``<entities>`` section declares auxiliary uMiddle entities the
+translator must materialize (the paper's Figure 10 notes the UPnP clock
+translator carries "two more uMiddle entities for the UPnP service/device
+hierarchy"); they contribute to translator instantiation cost.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core.errors import UsdlError
+from repro.core.shapes import (
+    Direction,
+    DigitalType,
+    PhysicalType,
+    PortSpec,
+    Shape,
+)
+
+__all__ = [
+    "BINDING_KINDS",
+    "UsdlBinding",
+    "UsdlPort",
+    "UsdlDocument",
+    "parse_usdl",
+]
+
+BINDING_KINDS = ("action", "event", "sink", "source")
+
+
+@dataclass(frozen=True)
+class UsdlBinding:
+    """How a digital port is realized against the native device."""
+
+    kind: str
+    target: str
+    arguments: Dict[str, str] = field(default_factory=dict)
+    payload_argument: Optional[str] = None
+
+    def __post_init__(self):
+        if self.kind not in BINDING_KINDS:
+            raise UsdlError(
+                f"unknown binding kind {self.kind!r} (expected one of {BINDING_KINDS})"
+            )
+        if not self.target:
+            raise UsdlError("binding target must be non-empty")
+
+
+@dataclass(frozen=True)
+class UsdlPort:
+    """One port declaration in a USDL document."""
+
+    name: str
+    direction: Direction
+    digital_type: Optional[DigitalType] = None
+    physical_type: Optional[PhysicalType] = None
+    binding: Optional[UsdlBinding] = None
+
+    def __post_init__(self):
+        if (self.digital_type is None) == (self.physical_type is None):
+            raise UsdlError(
+                f"port {self.name!r} must be exactly one of digital/physical"
+            )
+        if self.physical_type is not None and self.binding is not None:
+            raise UsdlError(f"physical port {self.name!r} cannot carry a binding")
+        if self.digital_type is not None and self.digital_type.is_pattern:
+            raise UsdlError(
+                f"port {self.name!r}: USDL ports need concrete MIME types, "
+                f"got {self.digital_type}"
+            )
+        if self.physical_type is not None and self.physical_type.is_pattern:
+            raise UsdlError(
+                f"port {self.name!r}: USDL ports need concrete physical types"
+            )
+        if self.binding is not None:
+            inbound = self.direction is Direction.IN
+            if self.binding.kind in ("action", "sink") and not inbound:
+                raise UsdlError(
+                    f"port {self.name!r}: {self.binding.kind} bindings require "
+                    "an input port"
+                )
+            if self.binding.kind in ("event", "source") and inbound:
+                raise UsdlError(
+                    f"port {self.name!r}: {self.binding.kind} bindings require "
+                    "an output port"
+                )
+
+    @property
+    def is_digital(self) -> bool:
+        return self.digital_type is not None
+
+    def to_spec(self) -> PortSpec:
+        return PortSpec(
+            name=self.name,
+            direction=self.direction,
+            digital_type=self.digital_type,
+            physical_type=self.physical_type,
+        )
+
+
+@dataclass(frozen=True)
+class UsdlDocument:
+    """A parsed, validated USDL document."""
+
+    name: str
+    platform: str
+    device_type: str
+    role: str
+    description: str = ""
+    attributes: Dict[str, str] = field(default_factory=dict)
+    ports: List[UsdlPort] = field(default_factory=list)
+    entities: List[str] = field(default_factory=list)
+
+    def __post_init__(self):
+        if not self.name:
+            raise UsdlError("document name must be non-empty")
+        if not self.platform:
+            raise UsdlError("platform must be non-empty")
+        # XML 1.0 cannot represent most control characters; reject them up
+        # front rather than producing unparseable documents.
+        for label, text in (("name", self.name), ("description", self.description)):
+            if any(ord(ch) < 0x20 and ch not in "\t\n\r" for ch in text):
+                raise UsdlError(f"control characters in document {label}")
+        names = [p.name for p in self.ports]
+        if len(set(names)) != len(names):
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            raise UsdlError(f"duplicate port names: {duplicates}")
+
+    # -- derived views ------------------------------------------------------
+
+    def shape(self) -> Shape:
+        return Shape(p.to_spec() for p in self.ports)
+
+    def port(self, name: str) -> UsdlPort:
+        for port in self.ports:
+            if port.name == name:
+                return port
+        raise UsdlError(f"no port named {name!r} in document {self.name!r}")
+
+    @property
+    def port_count(self) -> int:
+        return len(self.ports)
+
+    @property
+    def entity_count(self) -> int:
+        return len(self.entities)
+
+    def event_ports(self) -> List[UsdlPort]:
+        return [p for p in self.ports if p.binding and p.binding.kind == "event"]
+
+    def source_ports(self) -> List[UsdlPort]:
+        return [p for p in self.ports if p.binding and p.binding.kind == "source"]
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_xml(self) -> str:
+        root = ET.Element(
+            "usdl",
+            {
+                "name": self.name,
+                "platform": self.platform,
+                "device-type": self.device_type,
+            },
+        )
+        profile = ET.SubElement(
+            root, "profile", {"role": self.role, "description": self.description}
+        )
+        for key in sorted(self.attributes):
+            ET.SubElement(
+                profile, "attribute", {"name": key, "value": str(self.attributes[key])}
+            )
+        ports_el = ET.SubElement(root, "ports")
+        for port in self.ports:
+            if port.is_digital:
+                port_el = ET.SubElement(
+                    ports_el,
+                    "digital",
+                    {
+                        "name": port.name,
+                        "direction": port.direction.value,
+                        "mime": port.digital_type.mime,
+                    },
+                )
+                if port.binding is not None:
+                    attrs = {"kind": port.binding.kind, "target": port.binding.target}
+                    if port.binding.payload_argument:
+                        attrs["payload-argument"] = port.binding.payload_argument
+                    binding_el = ET.SubElement(port_el, "binding", attrs)
+                    for arg in sorted(port.binding.arguments):
+                        ET.SubElement(
+                            binding_el,
+                            "argument",
+                            {"name": arg, "value": port.binding.arguments[arg]},
+                        )
+            else:
+                ET.SubElement(
+                    ports_el,
+                    "physical",
+                    {
+                        "name": port.name,
+                        "direction": port.direction.value,
+                        "perception": port.physical_type.perception,
+                        "media": port.physical_type.media,
+                    },
+                )
+        if self.entities:
+            entities_el = ET.SubElement(root, "entities")
+            for entity in self.entities:
+                ET.SubElement(entities_el, "entity", {"name": entity})
+        return ET.tostring(root, encoding="unicode")
+
+
+def _require(element: ET.Element, attribute: str) -> str:
+    value = element.get(attribute)
+    if value is None or value == "":
+        raise UsdlError(
+            f"<{element.tag}> is missing required attribute {attribute!r}"
+        )
+    return value
+
+
+def _parse_binding(element: ET.Element) -> UsdlBinding:
+    arguments = {}
+    for arg in element.findall("argument"):
+        arguments[_require(arg, "name")] = arg.get("value", "")
+    return UsdlBinding(
+        kind=_require(element, "kind"),
+        target=_require(element, "target"),
+        arguments=arguments,
+        payload_argument=element.get("payload-argument"),
+    )
+
+
+def _parse_direction(element: ET.Element) -> Direction:
+    raw = _require(element, "direction")
+    try:
+        return Direction(raw)
+    except ValueError:
+        raise UsdlError(
+            f"<{element.tag} name={element.get('name')!r}>: bad direction {raw!r}"
+        ) from None
+
+
+def parse_usdl(text: str) -> UsdlDocument:
+    """Parse and validate a USDL document from its XML text."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise UsdlError(f"malformed XML: {exc}") from exc
+    if root.tag != "usdl":
+        raise UsdlError(f"root element must be <usdl>, got <{root.tag}>")
+
+    profile_el = root.find("profile")
+    if profile_el is None:
+        raise UsdlError("missing <profile> element")
+    attributes = {}
+    for attr in profile_el.findall("attribute"):
+        attributes[_require(attr, "name")] = attr.get("value", "")
+
+    ports: List[UsdlPort] = []
+    ports_el = root.find("ports")
+    if ports_el is not None:
+        for element in ports_el:
+            if element.tag == "digital":
+                binding_el = element.find("binding")
+                ports.append(
+                    UsdlPort(
+                        name=_require(element, "name"),
+                        direction=_parse_direction(element),
+                        digital_type=DigitalType(_require(element, "mime")),
+                        binding=(
+                            _parse_binding(binding_el)
+                            if binding_el is not None
+                            else None
+                        ),
+                    )
+                )
+            elif element.tag == "physical":
+                ports.append(
+                    UsdlPort(
+                        name=_require(element, "name"),
+                        direction=_parse_direction(element),
+                        physical_type=PhysicalType(
+                            _require(element, "perception"),
+                            _require(element, "media"),
+                        ),
+                    )
+                )
+            else:
+                raise UsdlError(f"unexpected element <{element.tag}> under <ports>")
+
+    entities = []
+    entities_el = root.find("entities")
+    if entities_el is not None:
+        for element in entities_el.findall("entity"):
+            entities.append(_require(element, "name"))
+
+    return UsdlDocument(
+        name=_require(root, "name"),
+        platform=_require(root, "platform"),
+        device_type=_require(root, "device-type"),
+        role=_require(profile_el, "role"),
+        description=profile_el.get("description", ""),
+        attributes=attributes,
+        ports=ports,
+        entities=entities,
+    )

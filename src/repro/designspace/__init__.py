@@ -1,0 +1,56 @@
+"""The Section 2 design-space model: dimensions, approaches, Table 1.
+
+Reifies the paper's four architectural dimensions and eight approaches,
+the dependency rules among them, and the mutual-compatibility chart
+(Table 1), which the ``table1`` benchmark regenerates from the rules.
+"""
+
+from repro.designspace.model import (
+    APPROACHES,
+    DIMENSIONS,
+    SPEAKEASY_CHOICES,
+    UIC_CHOICES,
+    UMIDDLE_CHOICES,
+    Approach,
+    Dimension,
+    approach,
+)
+from repro.designspace.compatibility import (
+    DesignError,
+    compatibility_chart,
+    compatible,
+    format_chart,
+    validate_design,
+)
+from repro.designspace.granularity import (
+    GranularityStudy,
+    SyntheticDeviceType,
+    application_reach,
+    coarse_grained_pairs,
+    fine_grained_pairs,
+    generate_population,
+    run_study,
+)
+
+__all__ = [
+    "Dimension",
+    "Approach",
+    "DIMENSIONS",
+    "APPROACHES",
+    "approach",
+    "UMIDDLE_CHOICES",
+    "UIC_CHOICES",
+    "SPEAKEASY_CHOICES",
+    "compatible",
+    "compatibility_chart",
+    "format_chart",
+    "validate_design",
+    "DesignError",
+    "SyntheticDeviceType",
+    "generate_population",
+    "fine_grained_pairs",
+    "coarse_grained_pairs",
+    "application_reach",
+    "GranularityStudy",
+    "run_study",
+]

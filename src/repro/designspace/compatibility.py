@@ -1,0 +1,102 @@
+"""Mutual compatibility of design approaches (Section 2.3, Table 1).
+
+Two approaches can coexist in one design unless:
+
+- they are alternatives along the *same* dimension, or
+- one of them presupposes an approach that conflicts with the other
+  (aggregated visibility and both granularity choices presuppose mediated
+  translation, so none of them coexists with direct translation).
+
+``compatibility_chart`` derives the full 8x8 chart from those rules; the
+``table1`` benchmark asserts it reproduces the paper's table cell by cell.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.designspace.model import APPROACHES, DIMENSIONS, approach
+
+__all__ = [
+    "DesignError",
+    "compatible",
+    "compatibility_chart",
+    "format_chart",
+    "validate_design",
+]
+
+ORDER: List[str] = ["1-a", "1-b", "2-a", "2-b", "3-a", "3-b", "4-a", "4-b"]
+
+
+class DesignError(Exception):
+    """An inconsistent set of design choices."""
+
+
+def compatible(first_id: str, second_id: str) -> bool:
+    """Can the two approaches coexist in one design?"""
+    first = approach(first_id)
+    second = approach(second_id)
+    if first.id == second.id:
+        return True
+    if first.dimension == second.dimension:
+        return False
+    # A requirement on an approach from another dimension excludes that
+    # dimension's alternative.
+    for left, right in ((first, second), (second, first)):
+        for required_id in left.requires:
+            required = approach(required_id)
+            if right.dimension == required.dimension and right.id != required.id:
+                return False
+    return True
+
+
+def compatibility_chart() -> Dict[Tuple[str, str], bool]:
+    """The full chart: (row, column) -> coexists? (diagonal omitted)."""
+    chart = {}
+    for row in ORDER:
+        for column in ORDER:
+            if row == column:
+                continue
+            chart[(row, column)] = compatible(row, column)
+    return chart
+
+
+def format_chart() -> str:
+    """Render the chart the way Table 1 prints it (O / -)."""
+    chart = compatibility_chart()
+    header = "     " + "  ".join(f"{c:>3}" for c in ORDER)
+    lines = [header]
+    for row in ORDER:
+        cells = []
+        for column in ORDER:
+            if row == column:
+                cells.append("  .")
+            else:
+                cells.append("  O" if chart[(row, column)] else "  -")
+        lines.append(f"{row:>4} " + "  ".join(cells))
+    return "\n".join(lines)
+
+
+def validate_design(choices: Iterable[str]) -> None:
+    """Check a full design: one approach per dimension, pairwise compatible.
+
+    Raises :class:`DesignError` describing the first violation.
+    """
+    chosen = [approach(c) for c in choices]
+    by_dimension: Dict[int, str] = {}
+    for item in chosen:
+        if item.dimension in by_dimension:
+            raise DesignError(
+                f"two choices along dimension {item.dimension} "
+                f"({DIMENSIONS[item.dimension].name}): "
+                f"{by_dimension[item.dimension]} and {item.id}"
+            )
+        by_dimension[item.dimension] = item.id
+    missing = set(DIMENSIONS) - set(by_dimension)
+    if missing:
+        raise DesignError(f"no choice along dimension(s) {sorted(missing)}")
+    ids = [item.id for item in chosen]
+    for i, first in enumerate(ids):
+        for second in ids[i + 1:]:
+            if not compatible(first, second):
+                raise DesignError(f"{first} cannot coexist with {second}")

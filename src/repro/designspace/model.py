@@ -1,0 +1,195 @@
+"""Dimensions and approaches of the interoperability design space.
+
+Section 2.2's four dimensions, each with two approaches:
+
+1. Translation model -- direct (1-a) vs mediated (1-b).
+2. Semantic distribution -- scattered (2-a) vs aggregated (2-b) proxies.
+3. Intermediary semantics granularity -- coarse- (3-a) vs fine-grained (3-b).
+4. Location of the interoperability layer -- at-the-edge (4-a) vs in the
+   infrastructure (4-b).
+
+Each approach records the paper's stated advantages and drawbacks, plus its
+dependencies (aggregation and both granularity choices presuppose a
+mediated translation).  Section 3.1's uMiddle choices and Section 6's
+characterizations of UIC and Speakeasy are exported as named designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "Dimension",
+    "Approach",
+    "DIMENSIONS",
+    "APPROACHES",
+    "approach",
+    "UMIDDLE_CHOICES",
+    "UIC_CHOICES",
+    "SPEAKEASY_CHOICES",
+]
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """One architectural dimension (Section 2.2)."""
+
+    number: int
+    name: str
+    question: str
+
+
+@dataclass(frozen=True)
+class Approach:
+    """One point along a dimension."""
+
+    id: str                      # "1-a", "3-b", ...
+    dimension: int
+    name: str
+    summary: str
+    pros: Tuple[str, ...] = ()
+    cons: Tuple[str, ...] = ()
+    #: Approaches this one presupposes (e.g. aggregation needs mediation).
+    requires: Tuple[str, ...] = ()
+
+
+DIMENSIONS: Dict[int, Dimension] = {
+    1: Dimension(1, "Translation Model", "How are device semantics translated?"),
+    2: Dimension(
+        2,
+        "Semantic Distribution",
+        "Are devices visible/usable from applications native to other platforms?",
+    ),
+    3: Dimension(
+        3,
+        "Intermediary Semantics Granularity",
+        "How are native devices represented in the intermediary space?",
+    ),
+    4: Dimension(
+        4,
+        "Location of Interoperability Layer",
+        "Where does translation happen at runtime?",
+    ),
+}
+
+
+APPROACHES: Dict[str, Approach] = {
+    a.id: a
+    for a in [
+        Approach(
+            id="1-a",
+            dimension=1,
+            name="Direct Translation",
+            summary="Translate one platform's semantics directly into another's.",
+            pros=("Minimized semantic loss: a dedicated translator per type pair.",),
+            cons=(
+                "Does not scale: n(n-1) translators for n device types.",
+            ),
+        ),
+        Approach(
+            id="1-b",
+            dimension=1,
+            name="Mediated Translation",
+            summary="Translate to/from common intermediary representations.",
+            pros=("Scales: at most one translator per device type.",),
+            cons=(
+                "Platform-neutral common representation may lose original "
+                "device semantics.",
+            ),
+        ),
+        Approach(
+            id="2-a",
+            dimension=2,
+            name="Scattered Proxies",
+            summary="Proxy representations of a device appear on peer platforms.",
+            pros=(
+                "Native applications can use foreign devices without "
+                "modification.",
+            ),
+            cons=("Per-platform proxies must be maintained everywhere.",),
+        ),
+        Approach(
+            id="2-b",
+            dimension=2,
+            name="Aggregated Proxies",
+            summary="Proxies are visible only in the intermediary semantic space.",
+            pros=(
+                "Applications atop the intermediary space see every platform; "
+                "such applications are portable across smart spaces.",
+            ),
+            cons=(
+                "Native (per-platform) applications cannot reach devices on "
+                "other platforms.",
+            ),
+            requires=("1-b",),
+        ),
+        Approach(
+            id="3-a",
+            dimension=3,
+            name="Coarse-grained Representation",
+            summary="Device types encapsulate all operations and semantics.",
+            pros=("Simple matching of devices to requests by type name.",),
+            cons=(
+                "Needs an ever-growing device-type ontology; applications only "
+                "use currently defined types.",
+                "Partially compatible devices (MediaRenderer vs Printer) are "
+                "treated as incompatible.",
+            ),
+            requires=("1-b",),
+        ),
+        Approach(
+            id="3-b",
+            dimension=3,
+            name="Fine-grained Representation",
+            summary="Devices decompose into typed communication endpoints.",
+            pros=(
+                "Data types change far less often than device types, so "
+                "applications cope with new devices without modification.",
+            ),
+            cons=(
+                "Interfaces no longer encode device roles; applications need "
+                "an extra facility to specify roles (Service Shaping).",
+            ),
+            requires=("1-b",),
+        ),
+        Approach(
+            id="4-a",
+            dimension=4,
+            name="At-the-Edge",
+            summary="Each device translates its own semantics for its peers.",
+            pros=("Direct communication without an intermediary node.",),
+            cons=(
+                "Devices need extra facilities (mobile code runtimes).",
+                "Cannot bridge different physical transports.",
+            ),
+        ),
+        Approach(
+            id="4-b",
+            dimension=4,
+            name="In-the-Infrastructure",
+            summary="Intermediary network nodes perform the translation.",
+            pros=(
+                "No device modification; bridges different physical "
+                "transports.",
+            ),
+            cons=("Requires deployed intermediary nodes.",),
+        ),
+    ]
+}
+
+
+def approach(approach_id: str) -> Approach:
+    try:
+        return APPROACHES[approach_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown approach {approach_id!r}; expected one of {sorted(APPROACHES)}"
+        ) from None
+
+
+#: Section 3.1: uMiddle's position in the design space.
+UMIDDLE_CHOICES: Tuple[str, ...] = ("1-b", "2-b", "3-b", "4-b")
+#: Section 6: UIC and Speakeasy "take the same design choices".
+UIC_CHOICES: Tuple[str, ...] = ("1-b", "2-b", "3-a", "4-a")
+SPEAKEASY_CHOICES: Tuple[str, ...] = ("1-b", "2-b", "3-a", "4-a")

@@ -1,0 +1,44 @@
+"""Programmatic runners for every experiment in the paper's evaluation.
+
+Each module exposes pure functions that build the simulated testbed, run
+one experiment and return structured results; the pytest benchmarks in
+``benchmarks/`` are thin wrappers over these runners, and
+``python -m repro.experiments`` regenerates the whole evaluation as one
+report.
+
+- :mod:`repro.experiments.table1` -- the design-space compatibility chart.
+- :mod:`repro.experiments.fig10` -- translator instantiation (Figure 10).
+- :mod:`repro.experiments.sec52` -- device-level latencies (Section 5.2).
+- :mod:`repro.experiments.fig11` -- transport-level throughput (Figure 11).
+"""
+
+from repro.experiments.table1 import run_table1
+from repro.experiments.fig10 import Fig10Result, run_fig10
+from repro.experiments.sec52 import (
+    LightControlResult,
+    MouseTranslationResult,
+    run_light_control,
+    run_mouse_clicks,
+)
+from repro.experiments.fig11 import (
+    run_baseline,
+    run_fig11,
+    run_mb_test,
+    run_rmi_mb_test,
+    run_rmi_test,
+)
+
+__all__ = [
+    "run_table1",
+    "Fig10Result",
+    "run_fig10",
+    "LightControlResult",
+    "MouseTranslationResult",
+    "run_light_control",
+    "run_mouse_clicks",
+    "run_baseline",
+    "run_mb_test",
+    "run_rmi_test",
+    "run_rmi_mb_test",
+    "run_fig11",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.experiments`` -- regenerate the paper's evaluation."""
+
+import sys
+
+from repro.experiments.report import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,87 @@
+"""Experiment F10: Figure 10, service-level bridging performance.
+
+"The time needed by the uMiddle mapper to dynamically generate translators
+for devices after they are discovered in their native platforms."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.bridges import BluetoothMapper, UPnPMapper
+from repro.calibration import Calibration, DEFAULT
+from repro.platforms.bluetooth import HidMouse, Piconet
+from repro.platforms.upnp import make_air_conditioner, make_binary_light, make_clock
+from repro.platforms.upnp.devices import (
+    AIR_CONDITIONER_TYPE,
+    BINARY_LIGHT_TYPE,
+    CLOCK_TYPE,
+)
+from repro.testbed import build_testbed
+
+__all__ = ["PAPER_RATES", "Fig10Result", "run_fig10"]
+
+#: The paper's reported instantiation rates (instances per second).
+PAPER_RATES = {
+    "upnp-clock": 0.7,
+    "upnp-light": 4.0,
+    "upnp-air-conditioner": 4.0,
+    "bt-hid-mouse": 5.0,
+}
+
+
+@dataclass
+class Fig10Result:
+    """Mapping durations per device (simulated seconds)."""
+
+    durations: Dict[str, List[float]]
+
+    def mean(self, device: str) -> float:
+        samples = self.durations[device]
+        return sum(samples) / len(samples)
+
+    def rate(self, device: str) -> float:
+        """Instantiations per second, the unit Figure 10 plots."""
+        return 1.0 / self.mean(device)
+
+
+def run_fig10(repeats: int = 5, calibration: Calibration = DEFAULT) -> Fig10Result:
+    """Map every benchmarked device ``repeats`` times; collect durations."""
+    bed = build_testbed(
+        calibration=calibration, hosts=["upnp-host", "bt-host", "device-host"]
+    )
+    upnp_runtime = bed.add_runtime("upnp-host")
+    bt_runtime = bed.add_runtime("bt-host")
+
+    for factory in (make_clock, make_binary_light, make_air_conditioner):
+        factory(bed.hosts["device-host"], bed.calibration).start()
+    piconet = Piconet(bed.network, bed.calibration)
+    HidMouse(piconet, bed.calibration)
+
+    upnp_mapper = upnp_runtime.add_mapper(
+        UPnPMapper(upnp_runtime, search_interval=3.0)
+    )
+    bt_mapper = bt_runtime.add_mapper(
+        BluetoothMapper(bt_runtime, piconet, poll_interval=3.0)
+    )
+
+    for _ in range(repeats):
+        bed.settle(6.0)
+        for mapper in (upnp_mapper, bt_mapper):
+            for translator in list(mapper.translators):
+                mapper.unmap(translator)
+        bt_mapper._mapped.clear()
+        upnp_mapper._mapped.clear()
+    bed.settle(6.0)
+
+    return Fig10Result(
+        durations={
+            "upnp-clock": upnp_mapper.mapping_durations[CLOCK_TYPE],
+            "upnp-light": upnp_mapper.mapping_durations[BINARY_LIGHT_TYPE],
+            "upnp-air-conditioner": upnp_mapper.mapping_durations[
+                AIR_CONDITIONER_TYPE
+            ],
+            "bt-hid-mouse": bt_mapper.mapping_durations["hid-mouse"],
+        }
+    )

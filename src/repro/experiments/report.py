@@ -1,0 +1,117 @@
+"""One-shot evaluation report: regenerate every table and figure.
+
+``python -m repro.experiments`` runs Table 1, Figure 10, Section 5.2 and
+Figure 11 on the simulated testbed and prints a paper-versus-measured
+report.  ``build_report()`` returns the same content as a structured dict
+for programmatic use (e.g. writing JSON for plots).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.designspace import format_chart
+from repro.experiments.fig10 import PAPER_RATES, run_fig10
+from repro.experiments.fig11 import PAPER_MBPS, run_fig11
+from repro.experiments.sec52 import run_light_control, run_mouse_clicks
+from repro.experiments.table1 import run_table1
+
+__all__ = ["build_report", "render_report", "main"]
+
+
+def build_report() -> Dict[str, Any]:
+    """Run every experiment; returns a JSON-serializable result tree."""
+    _chart, mismatches = run_table1()
+    fig10 = run_fig10()
+    light = run_light_control()
+    mouse = run_mouse_clicks()
+    fig11 = run_fig11()
+    return {
+        "table1": {
+            "matches_paper": not mismatches,
+            "mismatched_cells": mismatches,
+        },
+        "fig10": {
+            name: {
+                "mean_s": fig10.mean(name),
+                "instances_per_s": fig10.rate(name),
+                "paper_instances_per_s": PAPER_RATES[name],
+            }
+            for name in PAPER_RATES
+        },
+        "sec52": {
+            "light_total_ms": light.mean_total * 1000,
+            "light_upnp_domain_ms": light.upnp_domain * 1000,
+            "light_umiddle_ms": light.umiddle_share * 1000,
+            "light_paper_ms": {"total": 160, "upnp": 150, "umiddle": 10},
+            "mouse_umiddle_ms": mouse.umiddle_overhead * 1000,
+            "mouse_paper_ms": 23,
+        },
+        "fig11": {
+            name: {
+                "mbps": fig11[name] / 1e6,
+                "paper_mbps": PAPER_MBPS[name],
+            }
+            for name in PAPER_MBPS
+        },
+    }
+
+
+def render_report(report: Dict[str, Any]) -> str:
+    """Human-readable rendering of :func:`build_report`'s output."""
+    lines = []
+    lines.append("uMiddle reproduction -- evaluation report")
+    lines.append("=" * 41)
+
+    lines.append("")
+    lines.append("Table 1 (design-approach compatibility):")
+    lines.append(
+        "  matches the paper cell-by-cell"
+        if report["table1"]["matches_paper"]
+        else f"  MISMATCHES: {report['table1']['mismatched_cells']}"
+    )
+    lines.append(format_chart())
+
+    lines.append("")
+    lines.append("Figure 10 (translator instantiation):")
+    for name, row in report["fig10"].items():
+        lines.append(
+            f"  {name:<22} {row['mean_s'] * 1000:7.1f} ms  "
+            f"{row['instances_per_s']:5.2f} inst/s  "
+            f"(paper ~{row['paper_instances_per_s']})"
+        )
+
+    sec52 = report["sec52"]
+    lines.append("")
+    lines.append("Section 5.2 (device-level bridging):")
+    lines.append(
+        f"  UPnP light control   {sec52['light_total_ms']:6.1f} ms/action "
+        f"(paper 160), UPnP domain {sec52['light_upnp_domain_ms']:.1f} ms "
+        f"(paper 150), uMiddle {sec52['light_umiddle_ms']:.1f} ms (paper ~10)"
+    )
+    lines.append(
+        f"  BT mouse translation {sec52['mouse_umiddle_ms']:6.1f} ms/click "
+        f"(paper 23)"
+    )
+
+    lines.append("")
+    lines.append("Figure 11 (transport-level bridging):")
+    for name, row in report["fig11"].items():
+        lines.append(
+            f"  {name:<9} {row['mbps']:5.2f} Mbps  (paper {row['paper_mbps']})"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    """CLI entry point: print the report (add ``--json`` for raw data)."""
+    import sys
+
+    argv = list(sys.argv[1:] if argv is None else argv)
+    report = build_report()
+    if "--json" in argv:
+        print(json.dumps(report, indent=2))
+    else:
+        print(render_report(report))
+    return 0

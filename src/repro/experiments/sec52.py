@@ -1,0 +1,125 @@
+"""Experiment S52: Section 5.2, device-level bridging latencies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bridges import BluetoothMapper, UPnPMapper
+from repro.calibration import Calibration, DEFAULT
+from repro.core.messages import UMessage
+from repro.core.query import Query
+from repro.core.translator import Translator
+from repro.platforms.bluetooth import HidMouse, Piconet
+from repro.platforms.bluetooth.devices import HID_REPORT_SIZE
+from repro.platforms.upnp import make_binary_light
+from repro.testbed import build_testbed
+
+__all__ = [
+    "LightControlResult",
+    "MouseTranslationResult",
+    "run_light_control",
+    "run_mouse_clicks",
+]
+
+
+@dataclass
+class LightControlResult:
+    """Per-action latencies of the UPnP light control (seconds)."""
+
+    mean_total: float
+    upnp_domain: float
+    umiddle_share: float
+    actions_served: int
+
+
+@dataclass
+class MouseTranslationResult:
+    """Per-click uMiddle translation overhead (seconds)."""
+
+    umiddle_overhead: float
+    delivered: int
+
+
+def run_light_control(
+    actions: int = 100, calibration: Calibration = DEFAULT
+) -> LightControlResult:
+    """100 SetPower actions through the light's translator (paper: 160 ms
+    each, ~150 ms in the UPnP domain)."""
+    bed = build_testbed(calibration=calibration, hosts=["upnp-host", "device-host"])
+    runtime = bed.add_runtime("upnp-host")
+    light = make_binary_light(bed.hosts["device-host"], bed.calibration)
+    light.start()
+    runtime.add_mapper(UPnPMapper(runtime))
+    bed.settle(2.0)
+    translator = runtime.translators[
+        runtime.lookup(Query(role="light"))[0].translator_id
+    ]
+    port_names = ["power-on", "power-off"]
+    latencies = []
+
+    def driver(kernel):
+        for index in range(actions):
+            started = kernel.now
+            handler = translator.input_port(port_names[index % 2]).deliver(
+                UMessage("application/x-umiddle-switch", None, 8)
+            )
+            yield from handler
+            latencies.append(kernel.now - started)
+
+    bed.run(driver(bed.kernel))
+    mean_total = sum(latencies) / len(latencies)
+    umiddle_share = bed.calibration.umiddle.message_translation_s
+    return LightControlResult(
+        mean_total=mean_total,
+        upnp_domain=mean_total - umiddle_share,
+        umiddle_share=umiddle_share,
+        actions_served=light.actions_served,
+    )
+
+
+def run_mouse_clicks(
+    clicks: int = 100, calibration: Calibration = DEFAULT
+) -> MouseTranslationResult:
+    """100 clicks through the mouse's translator to another uMiddle device
+    (paper: ~23 ms of uMiddle translation per click)."""
+    bed = build_testbed(calibration=calibration, hosts=["bt-host"])
+    runtime = bed.add_runtime("bt-host")
+    piconet = Piconet(bed.network, bed.calibration)
+    mouse = HidMouse(piconet, bed.calibration)
+    runtime.add_mapper(BluetoothMapper(runtime, piconet, poll_interval=2.0))
+    bed.settle(3.0)
+    translator = runtime.translators[
+        runtime.lookup(Query(role="pointer"))[0].translator_id
+    ]
+
+    arrivals = []
+    listener = Translator("click-listener")
+    listener.add_digital_input(
+        "in",
+        "application/x-umiddle-click",
+        lambda message: arrivals.append(bed.kernel.now),
+    )
+    runtime.register_translator(listener)
+    runtime.connect(translator.output_port("clicks"), listener.input_port("in"))
+
+    sent_at = []
+
+    def clicker(kernel):
+        for _ in range(clicks):
+            sent_at.append(kernel.now)
+            mouse.click()
+            yield kernel.timeout(0.1)
+
+    bed.run(clicker(bed.kernel))
+    bed.settle(2.0)
+
+    bt = bed.calibration.bluetooth
+    report_wire = (HID_REPORT_SIZE + 4 + 9) * 8 / bt.acl_bandwidth_bps
+    bluetooth_share = (
+        report_wire + bt.baseband_latency_s + bt.hid_report_processing_s
+    )
+    totals = [arrival - sent for sent, arrival in zip(sent_at, arrivals)]
+    mean_total = sum(totals) / len(totals)
+    return MouseTranslationResult(
+        umiddle_overhead=mean_total - bluetooth_share, delivered=len(arrivals)
+    )

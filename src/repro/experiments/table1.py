@@ -1,0 +1,34 @@
+"""Experiment T1: Table 1, the mutual-compatibility chart."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.designspace import compatibility_chart
+
+__all__ = ["PAPER_TABLE_1", "run_table1"]
+
+#: Table 1 as printed in the paper: row -> columns marked 'O'.
+PAPER_TABLE_1 = {
+    "1-a": {"2-a", "4-a", "4-b"},
+    "1-b": {"2-a", "2-b", "3-a", "3-b", "4-a", "4-b"},
+    "2-a": {"1-a", "1-b", "3-a", "3-b", "4-a", "4-b"},
+    "2-b": {"1-b", "3-a", "3-b", "4-a", "4-b"},
+    "3-a": {"1-b", "2-a", "2-b", "4-a", "4-b"},
+    "3-b": {"1-b", "2-a", "2-b", "4-a", "4-b"},
+    "4-a": {"1-a", "1-b", "2-a", "2-b", "3-a", "3-b"},
+    "4-b": {"1-a", "1-b", "2-a", "2-b", "3-a", "3-b"},
+}
+
+
+def run_table1() -> Tuple[Dict[Tuple[str, str], bool], list]:
+    """Derive the chart; returns (chart, mismatches-vs-paper)."""
+    chart = compatibility_chart()
+    mismatches = []
+    for row, expected_columns in PAPER_TABLE_1.items():
+        for (chart_row, chart_column), value in chart.items():
+            if chart_row != row:
+                continue
+            if value != (chart_column in expected_columns):
+                mismatches.append((chart_row, chart_column))
+    return chart, mismatches

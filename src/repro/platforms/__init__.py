@@ -1,0 +1,18 @@
+"""Simulated native middleware platforms.
+
+Each subpackage is a from-scratch simulation of one platform the paper
+bridges, faithful to that platform's message flows and calibrated costs:
+
+- :mod:`repro.platforms.upnp` -- SSDP discovery, XML device descriptions,
+  SOAP control, GENA eventing, and the device models used in Section 5
+  (clock, binary light, air conditioner, MediaRenderer).
+- :mod:`repro.platforms.bluetooth` -- piconets, SDP, L2CAP, OBEX and the
+  BIP (imaging) and HIDP (mouse) profiles.
+- :mod:`repro.platforms.rmi` -- a Java-RMI-like registry and remote calls
+  with Java-serialization-shaped marshal costs.
+- :mod:`repro.platforms.mediabroker` -- the MediaBroker streaming
+  infrastructure (typed streams, broker relay, type ladder).
+- :mod:`repro.platforms.motes` -- Berkeley motes: TinyOS-style active
+  messages over a low-rate radio, plus a base station.
+- :mod:`repro.platforms.webservices` -- simple XML-over-HTTP services.
+"""

@@ -1,0 +1,36 @@
+"""A simulated Bluetooth 1.2 stack.
+
+Models the pieces the paper's testbed used through BlueZ: a piconet radio
+medium (≤8 active devices, ~723 kbps), inquiry-based discovery, SDP service
+records, L2CAP channels, OBEX object transfer, and the two profiles the
+paper bridges -- BIP (Basic Imaging Profile, the digital camera) and HIDP
+(the mouse of Sections 5.1-5.2).
+"""
+
+from repro.platforms.bluetooth.baseband import (
+    BluetoothAdapter,
+    BluetoothDevice,
+    Piconet,
+    PiconetError,
+    RemoteDevice,
+)
+from repro.platforms.bluetooth.sdp import ServiceRecord
+from repro.platforms.bluetooth.l2cap import l2cap_costs
+from repro.platforms.bluetooth.obex import ObexClient, ObexServer, ObexError
+from repro.platforms.bluetooth.devices import BipCamera, BipPrinter, HidMouse
+
+__all__ = [
+    "Piconet",
+    "PiconetError",
+    "BluetoothAdapter",
+    "BluetoothDevice",
+    "RemoteDevice",
+    "ServiceRecord",
+    "l2cap_costs",
+    "ObexClient",
+    "ObexServer",
+    "ObexError",
+    "BipCamera",
+    "BipPrinter",
+    "HidMouse",
+]

@@ -1,0 +1,265 @@
+"""Bluetooth baseband: piconets, inquiry and paging.
+
+A :class:`Piconet` is a shared radio segment (the paper notes "at most
+eight devices in one piconet covering a few tens of meters"): one master --
+typically the uMiddle host's adapter -- and up to seven active slaves.  The
+radio is modelled as a shared medium at ACL data rates.
+
+Discovery is *inquiry*: the adapter multicasts an inquiry probe and devices
+in discoverable mode answer with their address, class-of-device and name.
+Before any L2CAP traffic the adapter must *page* (connect) the device,
+which charges the calibrated page cost and claims one of the piconet's
+active-member slots.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional, Set
+
+from repro.calibration import Calibration
+from repro.platforms.bluetooth.l2cap import l2cap_costs
+from repro.platforms.bluetooth.sdp import SdpServer, ServiceRecord
+from repro.simnet.addresses import Address
+from repro.simnet.kernel import Kernel
+from repro.simnet.net import Hub, Network, Node
+from repro.simnet.sockets import (
+    ConnectionClosed,
+    DatagramSocket,
+    StreamListener,
+    StreamSocket,
+)
+
+__all__ = [
+    "PiconetError",
+    "Piconet",
+    "RemoteDevice",
+    "BluetoothDevice",
+    "BluetoothAdapter",
+]
+
+INQUIRY_GROUP = "bt-inquiry"
+INQUIRY_PORT = 99
+_piconet_counter = itertools.count(1)
+
+
+class PiconetError(Exception):
+    """Piconet capacity and connection errors."""
+
+
+@dataclass(frozen=True)
+class RemoteDevice:
+    """An inquiry result: what the adapter knows before paging."""
+
+    bd_addr: Address
+    device_class: str
+    name: str
+
+
+class Piconet:
+    """One Bluetooth radio cell: a shared medium plus membership accounting."""
+
+    def __init__(self, network: Network, calibration: Calibration, name: str = ""):
+        self.network = network
+        self.calibration = calibration
+        self.name = name or f"piconet-{next(_piconet_counter)}"
+        bt = calibration.bluetooth
+        self.medium: Hub = network.add_hub(
+            self.name,
+            bandwidth_bps=bt.acl_bandwidth_bps,
+            latency_s=bt.baseband_latency_s,
+            frame_overhead_bytes=9,
+        )
+        self.capacity = bt.piconet_capacity
+        self._active_slaves: Set[Address] = set()
+
+    def claim_slot(self, bd_addr: Address) -> None:
+        if bd_addr in self._active_slaves:
+            return
+        if len(self._active_slaves) >= self.capacity:
+            raise PiconetError(
+                f"{self.name}: piconet full ({self.capacity} active slaves)"
+            )
+        self._active_slaves.add(bd_addr)
+
+    def release_slot(self, bd_addr: Address) -> None:
+        self._active_slaves.discard(bd_addr)
+
+    @property
+    def active_slaves(self) -> int:
+        return len(self._active_slaves)
+
+
+class BluetoothDevice:
+    """Base class for slave devices (cameras, mice, printers...).
+
+    Handles inquiry responses and SDP serving; subclasses add their
+    profile-specific channels.
+    """
+
+    device_class = "misc"
+
+    def __init__(
+        self,
+        piconet: Piconet,
+        calibration: Calibration,
+        name: str,
+        records: Optional[List[ServiceRecord]] = None,
+    ):
+        self.piconet = piconet
+        self.calibration = calibration
+        self.name = name
+        self.network = piconet.network
+        self.kernel: Kernel = self.network.kernel
+        self.node: Node = self.network.add_node(f"bt-{name}")
+        self.node.attach(piconet.medium)
+        self.costs = l2cap_costs(calibration.bluetooth)
+        self.discoverable = True
+        self.online = True
+        self._inquiry_socket = DatagramSocket(self.node, self.costs)
+        self._inquiry_socket.join(INQUIRY_GROUP, INQUIRY_PORT)
+        self.sdp = SdpServer(self.node, self.costs, records or [])
+        self.kernel.process(
+            self._inquiry_responder(), name=f"bt-inq-resp:{name}"
+        )
+
+    @property
+    def bd_addr(self) -> Address:
+        return self.node.address
+
+    def _inquiry_responder(self) -> Generator:
+        bt = self.calibration.bluetooth
+        while self.online:
+            try:
+                probe = yield self._inquiry_socket.recv()
+            except ConnectionClosed:
+                return
+            if not self.discoverable or not self.online:
+                continue
+            # Inquiry-scan response latency.
+            yield self.kernel.timeout(bt.baseband_latency_s * 2)
+            self._inquiry_socket.sendto(
+                {
+                    "kind": "inquiry-response",
+                    "bd_addr": str(self.bd_addr),
+                    "device_class": self.device_class,
+                    "name": self.name,
+                },
+                32,
+                probe.src,
+                probe.sport,
+            )
+
+    def power_off(self) -> None:
+        """Abrupt disappearance (battery died, walked out of range)."""
+        self.online = False
+        self.discoverable = False
+        self._inquiry_socket.close()
+        self.sdp.close()
+
+
+class BluetoothAdapter:
+    """Host-side adapter (the BlueZ role): inquiry, paging, L2CAP, SDP."""
+
+    def __init__(self, node: Node, piconet: Piconet, calibration: Calibration):
+        self.node = node
+        self.piconet = piconet
+        self.calibration = calibration
+        self.kernel: Kernel = node.network.kernel
+        self.costs = l2cap_costs(calibration.bluetooth)
+        if node.interface_on(piconet.medium) is None:
+            node.attach(piconet.medium)
+        self._inquiry_socket = DatagramSocket(node, self.costs)
+        self._paged: Set[Address] = set()
+
+    @property
+    def bd_addr(self) -> Address:
+        return self.node.interface_on(self.piconet.medium).address
+
+    # -- inquiry -------------------------------------------------------------
+
+    def inquiry(self, duration: float = 0.5) -> Generator:
+        """Discover devices in range; returns list of :class:`RemoteDevice`.
+
+        Real inquiry scans take up to 10.24 s; our default covers the
+        simulated devices' deterministic response latency.
+        """
+        self._inquiry_socket.send_multicast(
+            {"kind": "inquiry"},
+            16,
+            INQUIRY_GROUP,
+            INQUIRY_PORT,
+            medium=self.piconet.medium,
+        )
+        deadline = self.kernel.now + duration
+        found: Dict[Address, RemoteDevice] = {}
+        while self.kernel.now < deadline:
+            recv = self._inquiry_socket.recv()
+            timeout = self.kernel.timeout(deadline - self.kernel.now)
+            outcome = yield self.kernel.any_of([recv, timeout])
+            if recv in outcome:
+                response = outcome[recv].payload
+                if response.get("kind") == "inquiry-response":
+                    bd_addr = Address(response["bd_addr"])
+                    found[bd_addr] = RemoteDevice(
+                        bd_addr=bd_addr,
+                        device_class=response["device_class"],
+                        name=response["name"],
+                    )
+            else:
+                # Scan over: withdraw the pending recv so it cannot swallow
+                # a later scan's responses.
+                self._inquiry_socket.cancel_recv(recv)
+                break
+        return list(found.values())
+
+    # -- paging (ACL connection) ------------------------------------------------
+
+    def page(self, bd_addr: Address) -> Generator:
+        """Establish the ACL connection, claiming a piconet slot."""
+        if bd_addr in self._paged:
+            return
+        self.piconet.claim_slot(bd_addr)
+        yield self.kernel.timeout(self.calibration.bluetooth.page_connect_s)
+        self._paged.add(bd_addr)
+
+    def detach(self, bd_addr: Address) -> None:
+        self._paged.discard(bd_addr)
+        self.piconet.release_slot(bd_addr)
+
+    @property
+    def connections(self) -> Set[Address]:
+        return set(self._paged)
+
+    # -- SDP ------------------------------------------------------------------------
+
+    def sdp_query(
+        self, bd_addr: Address, service_class: Optional[str] = None
+    ) -> Generator:
+        """Service search on a paged device; returns matching records."""
+        if bd_addr not in self._paged:
+            raise PiconetError(f"SDP query to unpaged device {bd_addr}")
+        yield self.kernel.timeout(self.calibration.bluetooth.sdp_query_s)
+        records = yield from SdpServer.query(
+            self.node, self.costs, bd_addr, service_class
+        )
+        return records
+
+    # -- L2CAP channels ----------------------------------------------------------------
+
+    def connect_l2cap(self, bd_addr: Address, psm: int) -> Generator:
+        """Open an L2CAP channel (a reliable stream) to a paged device."""
+        if bd_addr not in self._paged:
+            raise PiconetError(f"L2CAP connect to unpaged device {bd_addr}")
+        stream = yield StreamSocket.connect(self.node, self.costs, bd_addr, psm)
+        return stream
+
+    def listen_l2cap(self, psm: int) -> StreamListener:
+        """Accept inbound L2CAP channels on ``psm`` (e.g. HID interrupt)."""
+        return StreamListener(self.node, self.costs, psm)
+
+    def close(self) -> None:
+        for bd_addr in list(self._paged):
+            self.detach(bd_addr)
+        self._inquiry_socket.close()

@@ -1,0 +1,264 @@
+"""Concrete Bluetooth devices: the BIP camera and the HIDP mouse.
+
+These are the native devices of the paper's running example (Figure 5's
+Bluetooth digital camera) and of its benchmarks (the HIDP mouse of
+Sections 5.1-5.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Generator, List, Optional, Tuple
+
+from repro.calibration import Calibration
+from repro.platforms.bluetooth.baseband import BluetoothDevice, Piconet
+from repro.platforms.bluetooth.l2cap import (
+    PSM_HID_CONTROL,
+    PSM_HID_INTERRUPT,
+    PSM_OBEX,
+)
+from repro.platforms.bluetooth.obex import ObexClient, ObexServer
+from repro.platforms.bluetooth.sdp import ServiceRecord
+from repro.simnet.addresses import Address
+from repro.simnet.sockets import (
+    ConnectionClosed,
+    StreamListener,
+    StreamSocket,
+)
+
+__all__ = ["BipCamera", "BipPrinter", "HidMouse", "HID_REPORT_SIZE"]
+
+HID_REPORT_SIZE = 12
+_photo_counter = itertools.count(1)
+
+
+class BipCamera(BluetoothDevice):
+    """A digital camera speaking the Basic Imaging Profile.
+
+    Two BIP functions are modelled:
+
+    - **ImagePull**: the camera serves its stored images over OBEX GET
+      (peers browse ``camera.image_names()`` via the listing object).
+    - **ImagePush**: after :meth:`connect_push_target`, every new photo is
+      pushed to the target's OBEX server -- this is how images reach the
+      uMiddle bridge.
+    """
+
+    device_class = "imaging"
+
+    def __init__(self, piconet: Piconet, calibration: Calibration, name: str = "bip-camera"):
+        super().__init__(
+            piconet,
+            calibration,
+            name,
+            records=[
+                ServiceRecord(
+                    service_class="BIP",
+                    name=f"{name} imaging",
+                    psm=PSM_OBEX,
+                    attributes={"functions": "ImagePush,ImagePull"},
+                )
+            ],
+        )
+        self._obex_server = ObexServer(
+            StreamListener(self.node, self.costs, PSM_OBEX), calibration
+        )
+        # BIP push-target registration: a peer (the uMiddle bridge) tells
+        # the camera where to push new photos.
+        self._obex_server.on_custom("register-push", self._handle_register_push)
+        self._push_queue: List[Tuple[str, Any, int]] = []
+        self._push_wakeup = None
+        self._push_client: Optional[ObexClient] = None
+        self.photos_taken = 0
+        self.kernel.process(self._push_pump(), name=f"bip-push:{name}")
+
+    # -- ImagePull side -------------------------------------------------------
+
+    def image_names(self) -> List[str]:
+        return sorted(self._obex_server.objects)
+
+    def store_image(self, name: str, body: Any, size: int) -> None:
+        self._obex_server.publish(name, body, size, "image/jpeg")
+
+    # -- ImagePush side ----------------------------------------------------------
+
+    def connect_push_target(self, bd_addr: Address, psm: int) -> Generator:
+        """Open the OBEX session through which new photos are pushed."""
+        stream = yield StreamSocket.connect(self.node, self.costs, bd_addr, psm)
+        client = ObexClient(stream, self.calibration)
+        yield from client.connect()
+        self._push_client = client
+
+    def _handle_register_push(self, request: dict, stream: StreamSocket) -> None:
+        from repro.platforms.bluetooth.obex import OBEX_HEADER
+
+        stream.send({"status": "ok"}, OBEX_HEADER)
+        self.kernel.process(
+            self.connect_push_target(Address(request["address"]), request["psm"]),
+            name=f"bip-register-push:{self.name}",
+        )
+
+    def disconnect_push_target(self) -> None:
+        if self._push_client is not None:
+            client, self._push_client = self._push_client, None
+            client.stream.close()
+
+    def take_photo(self, size: int = 64_000, body: Any = None) -> str:
+        """Capture a photo; it is stored and (if connected) pushed."""
+        self.photos_taken += 1
+        name = f"img-{next(_photo_counter)}.jpg"
+        body = body if body is not None else f"<jpeg {name}>"
+        self.store_image(name, body, size)
+        self._push_queue.append((name, body, size))
+        if self._push_wakeup is not None and not self._push_wakeup.triggered:
+            self._push_wakeup.succeed()
+        return name
+
+    def _push_pump(self) -> Generator:
+        while self.online:
+            if not self._push_queue:
+                self._push_wakeup = self.kernel.event(name=f"bip-wait:{self.name}")
+                yield self._push_wakeup
+                self._push_wakeup = None
+                continue
+            name, body, size = self._push_queue.pop(0)
+            client = self._push_client
+            if client is None or client.stream.closed:
+                continue  # nobody to push to; the image stays pull-able
+            try:
+                yield from client.put(name, body, size, content_type="image/jpeg")
+            except Exception:
+                self._push_client = None
+
+    def power_off(self) -> None:
+        super().power_off()
+        self._obex_server.close()
+        self.disconnect_push_target()
+        if self._push_wakeup is not None and not self._push_wakeup.triggered:
+            self._push_wakeup.succeed()
+
+
+class BipPrinter(BluetoothDevice):
+    """A BIP photo printer: accepts images over OBEX PUT and 'prints' them.
+
+    Printed pages accumulate in :attr:`printed` for observation -- the
+    physical ``visible/paper`` effect of the paper's Service Shaping
+    example.
+    """
+
+    device_class = "printing"
+
+    #: Seconds to put one page on paper, after the transfer completes.
+    PRINT_TIME = 2.0
+
+    def __init__(self, piconet: Piconet, calibration: Calibration, name: str = "bip-printer"):
+        super().__init__(
+            piconet,
+            calibration,
+            name,
+            records=[
+                ServiceRecord(
+                    service_class="BIP",
+                    name=f"{name} printing",
+                    psm=PSM_OBEX,
+                    attributes={"functions": "ImagePush"},
+                )
+            ],
+        )
+        self.printed: List[dict] = []
+        self._printing = 0
+        self._obex_server = ObexServer(
+            StreamListener(self.node, self.costs, PSM_OBEX),
+            calibration,
+            on_put=self._on_image,
+        )
+
+    def _on_image(self, name: str, body: Any, size: int, content_type: str) -> None:
+        self._printing += 1
+        self.kernel.process(
+            self._print(name, body, size, content_type), name=f"print:{self.name}"
+        )
+
+    def _print(self, name, body, size, content_type) -> Generator:
+        yield self.kernel.timeout(self.PRINT_TIME)
+        self._printing -= 1
+        if self.online:
+            self.printed.append(
+                {"name": name, "body": body, "size": size, "content_type": content_type}
+            )
+
+    @property
+    def pages_in_progress(self) -> int:
+        return self._printing
+
+    def power_off(self) -> None:
+        super().power_off()
+        self._obex_server.close()
+
+
+class HidMouse(BluetoothDevice):
+    """A HIDP mouse: sends input reports on its interrupt channel.
+
+    The host (bridge) connects an L2CAP channel to the mouse's interrupt
+    PSM; :meth:`click` and :meth:`move` send reports down every connected
+    channel.
+    """
+
+    device_class = "peripheral"
+
+    def __init__(self, piconet: Piconet, calibration: Calibration, name: str = "hid-mouse"):
+        super().__init__(
+            piconet,
+            calibration,
+            name,
+            records=[
+                ServiceRecord(
+                    service_class="HID",
+                    name=f"{name} pointer",
+                    psm=PSM_HID_INTERRUPT,
+                    attributes={"subclass": "mouse"},
+                )
+            ],
+        )
+        self._interrupt_listener = StreamListener(
+            self.node, self.costs, PSM_HID_INTERRUPT
+        )
+        self._control_listener = StreamListener(
+            self.node, self.costs, PSM_HID_CONTROL
+        )
+        self._interrupt_channels: List[StreamSocket] = []
+        self.reports_sent = 0
+        self.kernel.process(self._accept_interrupt(), name=f"hid-accept:{name}")
+
+    def _accept_interrupt(self) -> Generator:
+        while True:
+            try:
+                stream = yield self._interrupt_listener.accept()
+            except ConnectionClosed:
+                return
+            self._interrupt_channels.append(stream)
+
+    # -- input events --------------------------------------------------------------
+
+    def click(self, button: int = 1) -> None:
+        self._send_report({"type": "click", "button": button})
+
+    def move(self, dx: int, dy: int) -> None:
+        self._send_report({"type": "move", "dx": dx, "dy": dy})
+
+    def _send_report(self, report: dict) -> None:
+        if not self.online:
+            return
+        self.reports_sent += 1
+        for stream in list(self._interrupt_channels):
+            if stream.closed:
+                self._interrupt_channels.remove(stream)
+                continue
+            stream.send(report, HID_REPORT_SIZE)
+
+    def power_off(self) -> None:
+        super().power_off()
+        self._interrupt_listener.close()
+        self._control_listener.close()
+        for stream in self._interrupt_channels:
+            stream.close()

@@ -1,0 +1,36 @@
+"""L2CAP channel parameters.
+
+We reuse the generic reliable-stream machinery of
+:mod:`repro.simnet.sockets` for L2CAP channels: the piconet medium supplies
+the radio's bandwidth and latency, and this module supplies the L2CAP-shaped
+cost parameters (small headers, 672-byte default MTU, channel-establishment
+cost) in the :class:`~repro.calibration.NetworkCosts` format the socket
+layer consumes.
+"""
+
+from __future__ import annotations
+
+from repro.calibration import BluetoothCosts, NetworkCosts
+
+__all__ = ["l2cap_costs", "PSM_SDP", "PSM_HID_CONTROL", "PSM_HID_INTERRUPT", "PSM_OBEX"]
+
+#: Protocol/Service Multiplexer values (L2CAP's "port numbers").
+PSM_SDP = 0x0001
+PSM_HID_CONTROL = 0x0011
+PSM_HID_INTERRUPT = 0x0013
+PSM_OBEX = 0x1001
+
+
+def l2cap_costs(bluetooth: BluetoothCosts) -> NetworkCosts:
+    """L2CAP channel parameters in the socket layer's cost format."""
+    return NetworkCosts(
+        ethernet_bandwidth_bps=bluetooth.acl_bandwidth_bps,
+        ethernet_latency_s=bluetooth.baseband_latency_s,
+        ethernet_frame_overhead_bytes=9,   # baseband packet overhead
+        tcp_header_bytes=4,                # L2CAP basic header
+        udp_header_bytes=4,
+        mtu_bytes=672,                     # default L2CAP MTU
+        tcp_segment_processing_s=0.000_4,
+        udp_datagram_processing_s=0.000_2,
+        tcp_handshake_processing_s=bluetooth.l2cap_connect_s,
+    )

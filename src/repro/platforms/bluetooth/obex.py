@@ -1,0 +1,171 @@
+"""OBEX: the object-exchange protocol (IrOBEX over L2CAP).
+
+The Basic Imaging Profile moves images with OBEX PUT (push) and GET (pull).
+We model sessions over an L2CAP stream: CONNECT negotiates the session,
+PUT streams an object in MTU-sized chunks (the stream layer charges honest
+radio time -- this is what makes Bluetooth the slow side of a bridge), GET
+retrieves a named object, DISCONNECT ends the session.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, Optional
+
+from repro.calibration import Calibration
+from repro.simnet.sockets import ConnectionClosed, StreamListener, StreamSocket
+
+__all__ = ["ObexError", "ObexClient", "ObexServer"]
+
+OBEX_HEADER = 24
+
+
+class ObexError(Exception):
+    """OBEX protocol failures."""
+
+
+class ObexClient:
+    """Client half of an OBEX session over an established L2CAP stream."""
+
+    def __init__(self, stream: StreamSocket, calibration: Calibration):
+        self.stream = stream
+        self.calibration = calibration
+        self.kernel = stream.kernel
+        self.connected = False
+
+    def connect(self) -> Generator:
+        yield self.kernel.timeout(self.calibration.bluetooth.obex_connect_s)
+        self.stream.send({"op": "connect"}, OBEX_HEADER)
+        response, _size = yield self.stream.recv()
+        if response.get("status") != "ok":
+            raise ObexError(f"OBEX connect refused: {response}")
+        self.connected = True
+
+    def put(self, name: str, body: Any, size: int, content_type: str = "") -> Generator:
+        """Push one object; returns when the server acknowledges it."""
+        self._require_session()
+        self.stream.send(
+            {
+                "op": "put",
+                "name": name,
+                "body": body,
+                "content_type": content_type,
+                "size": size,
+            },
+            OBEX_HEADER + size,
+        )
+        response, _size = yield self.stream.recv()
+        if response.get("status") != "ok":
+            raise ObexError(f"OBEX put failed: {response}")
+
+    def get(self, name: str) -> Generator:
+        """Pull one object; returns (body, size, content_type)."""
+        self._require_session()
+        self.stream.send({"op": "get", "name": name}, OBEX_HEADER + len(name))
+        response, _size = yield self.stream.recv()
+        if response.get("status") != "ok":
+            raise ObexError(f"OBEX get failed: {response}")
+        return response["body"], response["size"], response.get("content_type", "")
+
+    def disconnect(self) -> Generator:
+        if self.connected:
+            self.stream.send({"op": "disconnect"}, OBEX_HEADER)
+            self.connected = False
+            yield self.kernel.timeout(0)
+        self.stream.close()
+
+    def _require_session(self) -> None:
+        if not self.connected:
+            raise ObexError("OBEX session is not connected")
+
+
+class ObexServer:
+    """Server half: accepts sessions on a PSM and serves PUT/GET.
+
+    ``on_put(name, body, size, content_type)`` is called for each received
+    object; ``objects`` maps names to ``(body, size, content_type)`` tuples
+    served to GET.
+    """
+
+    def __init__(
+        self,
+        listener: StreamListener,
+        calibration: Calibration,
+        on_put: Optional[Callable[[str, Any, int, str], None]] = None,
+    ):
+        self.listener = listener
+        self.calibration = calibration
+        self.kernel = listener.kernel
+        self.on_put = on_put
+        self.objects: Dict[str, tuple] = {}
+        self.puts_received = 0
+        self.gets_served = 0
+        self._custom_ops: Dict[str, Callable[[dict, StreamSocket], None]] = {}
+        self.kernel.process(self._accept_loop(), name="obex-server")
+
+    def on_custom(self, op: str, handler: Callable[[dict, StreamSocket], None]) -> None:
+        """Handle a vendor-specific operation (e.g. BIP push-target
+        registration); the handler must send its own response."""
+        self._custom_ops[op] = handler
+
+    def publish(self, name: str, body: Any, size: int, content_type: str = "") -> None:
+        self.objects[name] = (body, size, content_type)
+
+    def close(self) -> None:
+        self.listener.close()
+
+    def _accept_loop(self) -> Generator:
+        while True:
+            try:
+                stream = yield self.listener.accept()
+            except ConnectionClosed:
+                return
+            self.kernel.process(self._serve(stream), name="obex-session")
+
+    def _serve(self, stream: StreamSocket) -> Generator:
+        while True:
+            try:
+                request, _size = yield stream.recv()
+            except ConnectionClosed:
+                return
+            op = request.get("op")
+            if op == "connect":
+                yield self.kernel.timeout(
+                    self.calibration.bluetooth.obex_connect_s
+                )
+                stream.send({"status": "ok"}, OBEX_HEADER)
+            elif op == "put":
+                self.puts_received += 1
+                self.objects[request["name"]] = (
+                    request["body"],
+                    request["size"],
+                    request.get("content_type", ""),
+                )
+                if self.on_put is not None:
+                    self.on_put(
+                        request["name"],
+                        request["body"],
+                        request["size"],
+                        request.get("content_type", ""),
+                    )
+                stream.send({"status": "ok"}, OBEX_HEADER)
+            elif op == "get":
+                stored = self.objects.get(request["name"])
+                if stored is None:
+                    stream.send({"status": "not-found"}, OBEX_HEADER)
+                else:
+                    body, size, content_type = stored
+                    self.gets_served += 1
+                    stream.send(
+                        {
+                            "status": "ok",
+                            "body": body,
+                            "size": size,
+                            "content_type": content_type,
+                        },
+                        OBEX_HEADER + size,
+                    )
+            elif op == "disconnect":
+                stream.close()
+                return
+            elif op in self._custom_ops:
+                self._custom_ops[op](request, stream)

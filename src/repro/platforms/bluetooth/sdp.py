@@ -1,0 +1,120 @@
+"""SDP: the Bluetooth Service Discovery Protocol.
+
+Devices publish :class:`ServiceRecord` entries; peers issue service
+searches over the SDP PSM.  We carry SDP over datagrams on the piconet
+(real SDP runs over a connection-oriented L2CAP channel; the request/
+response shape and costs are what matter for the reproduction, and the
+adapter charges the calibrated round-trip cost).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional
+
+from repro.calibration import NetworkCosts
+from repro.platforms.bluetooth.l2cap import PSM_SDP
+from repro.simnet.addresses import Address
+from repro.simnet.net import Node
+from repro.simnet.sockets import ConnectionClosed, DatagramSocket
+
+__all__ = ["ServiceRecord", "SdpServer"]
+
+_handle_counter = itertools.count(0x10000)
+
+
+@dataclass(frozen=True)
+class ServiceRecord:
+    """One SDP service record."""
+
+    service_class: str                  # e.g. "BIP", "HID"
+    name: str
+    psm: int                            # where the service listens
+    profile_version: str = "1.0"
+    attributes: Dict[str, str] = field(default_factory=dict)
+    handle: int = field(default_factory=lambda: next(_handle_counter))
+
+    def to_dict(self) -> dict:
+        return {
+            "service_class": self.service_class,
+            "name": self.name,
+            "psm": self.psm,
+            "profile_version": self.profile_version,
+            "attributes": dict(self.attributes),
+            "handle": self.handle,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServiceRecord":
+        return cls(**data)
+
+    def estimated_size(self) -> int:
+        return 48 + len(self.name) + len(self.service_class)
+
+
+class SdpServer:
+    """Device-side SDP responder."""
+
+    def __init__(self, node: Node, costs: NetworkCosts, records: List[ServiceRecord]):
+        self.node = node
+        self.costs = costs
+        self.kernel = node.network.kernel
+        self.records = list(records)
+        self._socket = DatagramSocket(node, costs, port=PSM_SDP)
+        self.queries_served = 0
+        self.kernel.process(self._serve(), name=f"sdp:{node.name}")
+
+    def add_record(self, record: ServiceRecord) -> None:
+        self.records.append(record)
+
+    def close(self) -> None:
+        self._socket.close()
+
+    def _serve(self) -> Generator:
+        while True:
+            try:
+                request = yield self._socket.recv()
+            except ConnectionClosed:
+                return
+            payload = request.payload
+            if not isinstance(payload, dict) or payload.get("kind") != "sdp-search":
+                continue
+            wanted = payload.get("service_class")
+            matches = [
+                record.to_dict()
+                for record in self.records
+                if wanted is None or record.service_class == wanted
+            ]
+            self.queries_served += 1
+            response = {"kind": "sdp-response", "records": matches}
+            size = 24 + sum(
+                ServiceRecord.from_dict(m).estimated_size() for m in matches
+            )
+            self._socket.sendto(response, size, request.src, request.sport)
+
+    # -- client side -----------------------------------------------------------
+
+    @staticmethod
+    def query(
+        node: Node,
+        costs: NetworkCosts,
+        bd_addr: Address,
+        service_class: Optional[str] = None,
+    ) -> Generator:
+        """One service search transaction; returns list of records."""
+        socket = DatagramSocket(node, costs)
+        try:
+            socket.sendto(
+                {"kind": "sdp-search", "service_class": service_class},
+                32,
+                bd_addr,
+                PSM_SDP,
+            )
+            response = yield socket.recv()
+            return [
+                ServiceRecord.from_dict(data)
+                for data in response.payload.get("records", [])
+            ]
+        finally:
+            socket.close()

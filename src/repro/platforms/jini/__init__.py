@@ -1,0 +1,33 @@
+"""A simulated Jini platform.
+
+Jini is the third middleware platform the paper's introduction names
+(alongside UPnP and Bluetooth).  Architecturally it is Java RMI plus a
+discovery story: *lookup services* announce themselves over multicast;
+services register remote references with them under **leases** that must
+be renewed or the registration evaporates; clients discover lookup
+services and query them by interface name and attributes.
+
+We build it on the RMI substrate (:mod:`repro.platforms.rmi` provides the
+remote-reference and call machinery) and add the Jini-specific pieces:
+
+- :mod:`repro.platforms.jini.lookup` -- the lookup service (Reggie's role):
+  multicast announcement, leased registrations, attribute queries.
+- :mod:`repro.platforms.jini.service` -- the service-side join protocol
+  (register + auto-renew) and the client-side discovery helper.
+"""
+
+from repro.platforms.jini.lookup import (
+    JiniLookupService,
+    LookupError,
+    ServiceItem,
+)
+from repro.platforms.jini.service import JiniClient, JoinManager, discover_lookup
+
+__all__ = [
+    "JiniLookupService",
+    "ServiceItem",
+    "LookupError",
+    "JoinManager",
+    "JiniClient",
+    "discover_lookup",
+]

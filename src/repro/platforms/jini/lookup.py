@@ -1,0 +1,208 @@
+"""The Jini lookup service: leased service registrations.
+
+The lookup service announces its presence on a well-known multicast group
+(real Jini uses UDP port 4160) and serves a small TCP protocol:
+
+- ``register`` -- store a :class:`ServiceItem` under a lease (seconds);
+  returns the service id and granted lease.
+- ``renew`` -- extend a lease before it expires.
+- ``cancel`` -- drop a registration immediately.
+- ``lookup`` -- query by interface name and/or attribute equality.
+
+Leases are the signature Jini mechanism: a service that crashes simply
+stops renewing and its registration evaporates -- exactly the soft-state
+behaviour the uMiddle Jini mapper relies on to unmap dead services.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional
+
+from repro.calibration import Calibration
+from repro.platforms.rmi.remote import RemoteRef
+from repro.simnet.net import Node
+from repro.simnet.sockets import (
+    ConnectionClosed,
+    DatagramSocket,
+    StreamListener,
+    StreamSocket,
+)
+
+__all__ = ["LookupError", "ServiceItem", "JiniLookupService"]
+
+JINI_ANNOUNCE_GROUP = "jini-announce"
+JINI_ANNOUNCE_PORT = 4160
+LOOKUP_PORT = 4161
+ANNOUNCE_INTERVAL = 5.0
+#: Default lease granted to registrations.
+DEFAULT_LEASE_S = 30.0
+REQUEST_SIZE = 128
+
+_service_id_counter = itertools.count(1)
+
+
+class LookupError(Exception):
+    """Registration/lookup failures."""
+
+
+@dataclass
+class ServiceItem:
+    """One registered service: a remote reference plus its metadata."""
+
+    service_id: str
+    interface: str
+    ref: RemoteRef
+    attributes: Dict[str, str] = field(default_factory=dict)
+    expires_at: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "service_id": self.service_id,
+            "interface": self.interface,
+            "ref": self.ref.to_dict(),
+            "attributes": dict(self.attributes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServiceItem":
+        return cls(
+            service_id=data["service_id"],
+            interface=data["interface"],
+            ref=RemoteRef.from_dict(data["ref"]),
+            attributes=dict(data.get("attributes", {})),
+        )
+
+
+class JiniLookupService:
+    """One lookup service on a network node."""
+
+    def __init__(
+        self,
+        node: Node,
+        calibration: Calibration,
+        port: int = LOOKUP_PORT,
+        default_lease_s: float = DEFAULT_LEASE_S,
+    ):
+        self.node = node
+        self.calibration = calibration
+        self.kernel = node.network.kernel
+        self.port = port
+        self.default_lease_s = default_lease_s
+        self.registrations: Dict[str, ServiceItem] = {}
+        self.online = True
+        self._listener = StreamListener(node, calibration.network, port)
+        self._announce_socket = DatagramSocket(node, calibration.network)
+        self.kernel.process(self._accept_loop(), name=f"jini-lookup:{node.name}")
+        self.kernel.process(self._announce_loop(), name=f"jini-announce:{node.name}")
+        self.kernel.process(self._sweep_loop(), name=f"jini-sweep:{node.name}")
+
+    @property
+    def address(self):
+        return self.node.address
+
+    def close(self) -> None:
+        self.online = False
+        self._listener.close()
+        self._announce_socket.close()
+
+    # -- multicast presence ---------------------------------------------------
+
+    def _announce_loop(self) -> Generator:
+        while self.online:
+            self._announce_socket.send_multicast(
+                {
+                    "kind": "jini-announce",
+                    "address": str(self.node.address),
+                    "port": self.port,
+                },
+                64,
+                JINI_ANNOUNCE_GROUP,
+                JINI_ANNOUNCE_PORT,
+            )
+            yield self.kernel.timeout(ANNOUNCE_INTERVAL)
+
+    # -- lease expiry ----------------------------------------------------------
+
+    def _sweep_loop(self) -> Generator:
+        while self.online:
+            yield self.kernel.timeout(1.0)
+            now = self.kernel.now
+            for service_id, item in list(self.registrations.items()):
+                if item.expires_at < now:
+                    del self.registrations[service_id]
+
+    # -- the request protocol ------------------------------------------------------
+
+    def _accept_loop(self) -> Generator:
+        while True:
+            try:
+                stream = yield self._listener.accept()
+            except ConnectionClosed:
+                return
+            self.kernel.process(self._serve(stream), name="jini-conn")
+
+    def _serve(self, stream: StreamSocket) -> Generator:
+        while True:
+            try:
+                request, _size = yield stream.recv()
+            except ConnectionClosed:
+                return
+            yield self.kernel.timeout(self.calibration.rmi.registry_lookup_s)
+            operation = request.get("op")
+            if operation == "register":
+                item = ServiceItem.from_dict(request["item"])
+                if not item.service_id:
+                    item.service_id = f"jini-{next(_service_id_counter)}"
+                lease = min(
+                    float(request.get("lease", self.default_lease_s)),
+                    self.default_lease_s,
+                )
+                item.expires_at = self.kernel.now + lease
+                self.registrations[item.service_id] = item
+                stream.send(
+                    {"status": "ok", "service_id": item.service_id, "lease": lease},
+                    REQUEST_SIZE,
+                )
+            elif operation == "renew":
+                item = self.registrations.get(request.get("service_id"))
+                if item is None:
+                    stream.send(
+                        {"status": "error", "error": "unknown lease"}, REQUEST_SIZE
+                    )
+                    continue
+                lease = min(
+                    float(request.get("lease", self.default_lease_s)),
+                    self.default_lease_s,
+                )
+                item.expires_at = self.kernel.now + lease
+                stream.send({"status": "ok", "lease": lease}, REQUEST_SIZE)
+            elif operation == "cancel":
+                removed = self.registrations.pop(request.get("service_id"), None)
+                stream.send(
+                    {"status": "ok" if removed else "error"}, REQUEST_SIZE
+                )
+            elif operation == "lookup":
+                interface = request.get("interface")
+                attributes = request.get("attributes") or {}
+                now = self.kernel.now
+                matches = [
+                    item.to_dict()
+                    for item in self.registrations.values()
+                    if item.expires_at >= now
+                    and (interface is None or item.interface == interface)
+                    and all(
+                        item.attributes.get(key) == value
+                        for key, value in attributes.items()
+                    )
+                ]
+                stream.send(
+                    {"status": "ok", "items": matches},
+                    REQUEST_SIZE + 96 * len(matches),
+                )
+            else:
+                stream.send(
+                    {"status": "error", "error": f"bad op {operation!r}"},
+                    REQUEST_SIZE,
+                )

@@ -1,0 +1,188 @@
+"""Jini join protocol (service side) and discovery/lookup (client side)."""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+from repro.calibration import Calibration
+from repro.platforms.jini.lookup import (
+    JINI_ANNOUNCE_GROUP,
+    JINI_ANNOUNCE_PORT,
+    LookupError,
+    ServiceItem,
+)
+from repro.platforms.rmi.remote import RemoteRef
+from repro.simnet.addresses import Address
+from repro.simnet.net import Node
+from repro.simnet.sockets import ConnectionClosed, DatagramSocket, StreamSocket
+
+__all__ = ["discover_lookup", "JoinManager", "JiniClient"]
+
+REQUEST_SIZE = 128
+
+
+def discover_lookup(
+    node: Node, calibration: Calibration, wait: float = 6.0
+) -> Generator:
+    """Listen for lookup-service announcements; returns (address, port).
+
+    Raises :class:`LookupError` if nothing announces within ``wait``
+    seconds (announcements arrive every ~5 s).
+    """
+    socket = DatagramSocket(node, calibration.network)
+    socket.join(JINI_ANNOUNCE_GROUP, JINI_ANNOUNCE_PORT)
+    kernel = node.network.kernel
+    deadline = kernel.now + wait
+    try:
+        while kernel.now < deadline:
+            recv = socket.recv()
+            timeout = kernel.timeout(deadline - kernel.now)
+            outcome = yield kernel.any_of([recv, timeout])
+            if recv not in outcome:
+                socket.cancel_recv(recv)
+                break
+            payload = outcome[recv].payload
+            if isinstance(payload, dict) and payload.get("kind") == "jini-announce":
+                return Address(payload["address"]), payload["port"]
+        raise LookupError("no Jini lookup service announced itself")
+    finally:
+        socket.close()
+
+
+class _LookupConnection:
+    """A reusable stream to one lookup service."""
+
+    def __init__(self, node: Node, calibration: Calibration, address: Address, port: int):
+        self.node = node
+        self.calibration = calibration
+        self.kernel = node.network.kernel
+        self.address = address
+        self.port = port
+        self._stream: Optional[StreamSocket] = None
+
+    def request(self, payload: dict) -> Generator:
+        if self._stream is None or self._stream.closed:
+            self._stream = yield StreamSocket.connect(
+                self.node, self.calibration.network, self.address, self.port
+            )
+        self._stream.send(payload, REQUEST_SIZE)
+        response, _size = yield self._stream.recv()
+        if response.get("status") != "ok":
+            raise LookupError(response.get("error", "lookup failure"))
+        return response
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+
+
+class JoinManager:
+    """Service-side join protocol: register, then keep the lease alive.
+
+    Mirrors Jini's ``JoinManager``: construction registers the service;
+    a background process renews at half-lease cadence until :meth:`leave`
+    (or the hosting process dies, after which the lease lapses and the
+    lookup entry evaporates -- crash semantics for free).
+    """
+
+    def __init__(
+        self,
+        node: Node,
+        calibration: Calibration,
+        lookup_address: Address,
+        lookup_port: int,
+        interface: str,
+        ref: RemoteRef,
+        attributes: Optional[Dict[str, str]] = None,
+    ):
+        self.node = node
+        self.calibration = calibration
+        self.kernel = node.network.kernel
+        self.connection = _LookupConnection(
+            node, calibration, lookup_address, lookup_port
+        )
+        self.interface = interface
+        self.ref = ref
+        self.attributes = dict(attributes or {})
+        self.service_id: Optional[str] = None
+        self.lease: float = 0.0
+        self.active = False
+        self.renewals = 0
+
+    def join(self) -> Generator:
+        """Register and start the renewal process; returns the service id."""
+        item = ServiceItem(
+            service_id="",
+            interface=self.interface,
+            ref=self.ref,
+            attributes=self.attributes,
+        )
+        response = yield from self.connection.request(
+            {"op": "register", "item": item.to_dict()}
+        )
+        self.service_id = response["service_id"]
+        self.lease = response["lease"]
+        self.active = True
+        self.kernel.process(self._renew_loop(), name=f"jini-renew:{self.service_id}")
+        return self.service_id
+
+    def _renew_loop(self) -> Generator:
+        while self.active:
+            yield self.kernel.timeout(self.lease / 2)
+            if not self.active:
+                return
+            try:
+                response = yield from self.connection.request(
+                    {"op": "renew", "service_id": self.service_id}
+                )
+                self.lease = response["lease"]
+                self.renewals += 1
+            except (LookupError, ConnectionClosed):
+                self.active = False
+                return
+
+    def leave(self) -> Generator:
+        """Cancel the registration explicitly (graceful departure)."""
+        self.active = False
+        if self.service_id is not None:
+            try:
+                yield from self.connection.request(
+                    {"op": "cancel", "service_id": self.service_id}
+                )
+            except (LookupError, ConnectionClosed):
+                pass
+        self.connection.close()
+
+    def crash(self) -> None:
+        """Simulate a crash: stop renewing without telling anyone."""
+        self.active = False
+        self.connection.close()
+
+
+class JiniClient:
+    """Client-side lookup: query a known lookup service."""
+
+    def __init__(
+        self,
+        node: Node,
+        calibration: Calibration,
+        lookup_address: Address,
+        lookup_port: int,
+    ):
+        self.connection = _LookupConnection(
+            node, calibration, lookup_address, lookup_port
+        )
+
+    def lookup(
+        self,
+        interface: Optional[str] = None,
+        attributes: Optional[Dict[str, str]] = None,
+    ) -> Generator:
+        """Matching :class:`ServiceItem` entries."""
+        response = yield from self.connection.request(
+            {"op": "lookup", "interface": interface, "attributes": attributes or {}}
+        )
+        return [ServiceItem.from_dict(data) for data in response["items"]]
+
+    def close(self) -> None:
+        self.connection.close()

@@ -1,0 +1,23 @@
+"""MediaBroker: a distributed media transformation infrastructure.
+
+Reproduces the Georgia Tech system the paper cites ([13], PerCom 2004) at
+the fidelity Section 5.3's "MB test" needs: producers register typed media
+streams with a broker, consumers subscribe, and the broker relays data --
+applying *type ladder* transformations when a consumer asks for a different
+type than the producer publishes.  MB's per-message framing is much leaner
+than RMI serialization, which is why it is the fast platform in Figure 11.
+"""
+
+from repro.platforms.mediabroker.types import MediaType, TypeLadder, TransformStep
+from repro.platforms.mediabroker.broker import Broker, BrokerError
+from repro.platforms.mediabroker.service import MBConsumer, MBProducer
+
+__all__ = [
+    "MediaType",
+    "TypeLadder",
+    "TransformStep",
+    "Broker",
+    "BrokerError",
+    "MBProducer",
+    "MBConsumer",
+]

@@ -1,0 +1,170 @@
+"""The MediaBroker broker node.
+
+Producers register named streams with a published type; consumers subscribe
+by stream name, optionally requesting a different type from the ladder.
+The broker relays each message, charging its calibrated relay cost plus any
+transformation cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.calibration import Calibration
+from repro.platforms.mediabroker.types import MediaType, TypeLadder
+from repro.simnet.net import Node
+from repro.simnet.sockets import ConnectionClosed, StreamListener, StreamSocket
+
+__all__ = ["BrokerError", "Broker"]
+
+BROKER_PORT = 6000
+FRAME_OVERHEAD = 24
+
+
+class BrokerError(Exception):
+    """Stream registration/subscription failures."""
+
+
+@dataclass
+class _StreamInfo:
+    name: str
+    media_type: MediaType
+    producer: Optional[StreamSocket] = None
+    #: (socket, requested_type)
+    consumers: List[Tuple[StreamSocket, MediaType]] = field(default_factory=list)
+
+
+class Broker:
+    """One broker node relaying typed media streams."""
+
+    def __init__(
+        self,
+        node: Node,
+        calibration: Calibration,
+        ladder: Optional[TypeLadder] = None,
+        port: int = BROKER_PORT,
+    ):
+        self.node = node
+        self.calibration = calibration
+        self.kernel = node.network.kernel
+        self.port = port
+        self.ladder = ladder or TypeLadder()
+        self.streams: Dict[str, _StreamInfo] = {}
+        self.messages_relayed = 0
+        self.bytes_relayed = 0
+        self._listener = StreamListener(node, calibration.network, port)
+        self.kernel.process(self._accept_loop(), name=f"mb-broker:{node.name}")
+
+    @property
+    def address(self):
+        return self.node.address
+
+    def close(self) -> None:
+        self._listener.close()
+
+    def _accept_loop(self) -> Generator:
+        while True:
+            try:
+                stream = yield self._listener.accept()
+            except ConnectionClosed:
+                return
+            self.kernel.process(self._serve(stream), name="mb-conn")
+
+    def _serve(self, stream: StreamSocket) -> Generator:
+        mb = self.calibration.mediabroker
+        while True:
+            try:
+                request, _size = yield stream.recv()
+            except ConnectionClosed:
+                self._drop_endpoint(stream)
+                return
+            op = request.get("op")
+            if op == "register":
+                yield self.kernel.timeout(mb.register_s)
+                info = self.streams.setdefault(
+                    request["stream"],
+                    _StreamInfo(
+                        name=request["stream"],
+                        media_type=MediaType(request["type"]),
+                    ),
+                )
+                info.media_type = MediaType(request["type"])
+                info.producer = stream
+                stream.send({"status": "ok"}, FRAME_OVERHEAD)
+            elif op == "subscribe":
+                yield self.kernel.timeout(mb.register_s)
+                info = self.streams.get(request["stream"])
+                if info is None:
+                    info = _StreamInfo(
+                        name=request["stream"],
+                        media_type=MediaType(request.get("type", "unknown/unknown")),
+                    )
+                    self.streams[request["stream"]] = info
+                wanted = MediaType(request.get("type", str(info.media_type)))
+                if self.ladder.path(info.media_type, wanted) is None:
+                    stream.send(
+                        {
+                            "status": "error",
+                            "error": f"no transform {info.media_type} -> {wanted}",
+                        },
+                        FRAME_OVERHEAD,
+                    )
+                    continue
+                info.consumers.append((stream, wanted))
+                stream.send({"status": "ok"}, FRAME_OVERHEAD)
+            elif op == "publish":
+                info = self.streams.get(request["stream"])
+                if info is None:
+                    continue  # publish to unknown stream: dropped
+                yield from self._relay(info, request)
+            elif op == "list":
+                listing = {
+                    name: str(info.media_type)
+                    for name, info in self.streams.items()
+                    if info.producer is not None
+                }
+                stream.send(
+                    {"status": "ok", "streams": listing},
+                    FRAME_OVERHEAD + 32 * len(listing),
+                )
+            else:
+                stream.send({"status": "error", "error": f"bad op {op!r}"}, FRAME_OVERHEAD)
+
+    def _relay(self, info: _StreamInfo, request: dict) -> Generator:
+        mb = self.calibration.mediabroker
+        size = request.get("size", 0)
+        payload = request.get("payload")
+        yield self.kernel.timeout(mb.relay_s)
+        for consumer, wanted in list(info.consumers):
+            if consumer.closed:
+                info.consumers.remove((consumer, wanted))
+                continue
+            out_size, out_payload = size, payload
+            chain = self.ladder.path(info.media_type, wanted)
+            if chain:
+                out_size, cpu = self.ladder.apply_metrics(chain, size)
+                yield self.kernel.timeout(cpu)
+                out_payload = {"transformed_from": str(info.media_type), "data": payload}
+            consumer.send(
+                {
+                    "op": "data",
+                    "stream": info.name,
+                    "type": str(wanted),
+                    "payload": out_payload,
+                    "size": out_size,
+                },
+                FRAME_OVERHEAD + out_size,
+            )
+            self.messages_relayed += 1
+            self.bytes_relayed += out_size
+
+    def _drop_endpoint(self, stream: StreamSocket) -> None:
+        for info in self.streams.values():
+            if info.producer is stream:
+                info.producer = None
+            info.consumers = [
+                (consumer, wanted)
+                for consumer, wanted in info.consumers
+                if consumer is not stream
+            ]

@@ -1,0 +1,141 @@
+"""MediaBroker client endpoints: producers and consumers.
+
+Both charge MB's lean per-message marshal cost on their own side; the
+broker charges relay and transform costs centrally.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from repro.calibration import Calibration
+from repro.platforms.mediabroker.broker import BROKER_PORT, FRAME_OVERHEAD, BrokerError
+from repro.simnet.addresses import Address
+from repro.simnet.net import Node
+from repro.simnet.sockets import ConnectionClosed, StreamSocket
+
+__all__ = ["MBProducer", "MBConsumer"]
+
+
+def _marshal_delay(calibration: Calibration, size: int) -> float:
+    mb = calibration.mediabroker
+    return mb.marshal_fixed_s + mb.marshal_per_byte_s * size
+
+
+class MBProducer:
+    """Publishes one named media stream through a broker."""
+
+    def __init__(
+        self,
+        node: Node,
+        calibration: Calibration,
+        broker_address: Address,
+        stream_name: str,
+        media_type: str,
+        broker_port: int = BROKER_PORT,
+    ):
+        self.node = node
+        self.calibration = calibration
+        self.kernel = node.network.kernel
+        self.broker_address = broker_address
+        self.broker_port = broker_port
+        self.stream_name = stream_name
+        self.media_type = media_type
+        self._stream: Optional[StreamSocket] = None
+        self.messages_published = 0
+
+    def register(self) -> Generator:
+        self._stream = yield StreamSocket.connect(
+            self.node, self.calibration.network, self.broker_address, self.broker_port
+        )
+        self._stream.send(
+            {"op": "register", "stream": self.stream_name, "type": self.media_type},
+            FRAME_OVERHEAD,
+        )
+        response, _size = yield self._stream.recv()
+        if response.get("status") != "ok":
+            raise BrokerError(response.get("error", "register failed"))
+
+    def publish(self, payload: Any, size: int) -> Generator:
+        """Marshal and send one message (generator: charges send-side cost).
+
+        Uses the inline stream send, so the caller pays both the marshal
+        and the TCP per-segment processing -- MB's sender path is a single
+        thread, and Figure 11's MB throughput depends on that serialization.
+        """
+        if self._stream is None or self._stream.closed:
+            raise BrokerError("producer is not registered")
+        yield self.kernel.timeout(_marshal_delay(self.calibration, size))
+        yield from self._stream.send_inline(
+            {
+                "op": "publish",
+                "stream": self.stream_name,
+                "payload": payload,
+                "size": size,
+            },
+            FRAME_OVERHEAD + size,
+        )
+        self.messages_published += 1
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+
+
+class MBConsumer:
+    """Subscribes to one named media stream through a broker."""
+
+    def __init__(
+        self,
+        node: Node,
+        calibration: Calibration,
+        broker_address: Address,
+        stream_name: str,
+        media_type: Optional[str] = None,
+        broker_port: int = BROKER_PORT,
+    ):
+        self.node = node
+        self.calibration = calibration
+        self.kernel = node.network.kernel
+        self.broker_address = broker_address
+        self.broker_port = broker_port
+        self.stream_name = stream_name
+        self.media_type = media_type
+        self._stream: Optional[StreamSocket] = None
+        self._callback: Optional[Callable[[Any, int, str], None]] = None
+        self.messages_received = 0
+
+    def subscribe(self, callback: Callable[[Any, int, str], None]) -> Generator:
+        """Subscribe; ``callback(payload, size, type)`` per message."""
+        self._callback = callback
+        self._stream = yield StreamSocket.connect(
+            self.node, self.calibration.network, self.broker_address, self.broker_port
+        )
+        request = {"op": "subscribe", "stream": self.stream_name}
+        if self.media_type is not None:
+            request["type"] = self.media_type
+        self._stream.send(request, FRAME_OVERHEAD)
+        response, _size = yield self._stream.recv()
+        if response.get("status") != "ok":
+            raise BrokerError(response.get("error", "subscribe failed"))
+        self.kernel.process(self._receive_loop(), name=f"mb-consume:{self.stream_name}")
+
+    def _receive_loop(self) -> Generator:
+        while True:
+            try:
+                message, _size = yield self._stream.recv()
+            except ConnectionClosed:
+                return
+            if message.get("op") != "data":
+                continue
+            # Consumer-side unmarshal.
+            yield self.kernel.timeout(
+                _marshal_delay(self.calibration, message["size"])
+            )
+            self.messages_received += 1
+            if self._callback is not None:
+                self._callback(message["payload"], message["size"], message["type"])
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()

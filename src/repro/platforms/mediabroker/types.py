@@ -1,0 +1,97 @@
+"""MediaBroker's type ladder.
+
+MediaBroker models media types in *ladders*: an ordered family of types for
+one medium (e.g. raw video → high-rate MPEG → low-rate MPEG → thumbnails)
+where data can be transformed downward.  Consumers name the type they want;
+the broker finds a transformation path from the producer's type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["MediaType", "TransformStep", "TypeLadder"]
+
+
+@dataclass(frozen=True, order=True)
+class MediaType:
+    """A named media type, e.g. ``video/raw`` or ``image/thumbnail``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class TransformStep:
+    """One registered transformation between adjacent ladder types."""
+
+    source: MediaType
+    target: MediaType
+    #: Output size as a fraction of input size.
+    size_factor: float
+    #: CPU seconds per input byte to run the transform.
+    cost_per_byte_s: float
+
+
+class TypeLadder:
+    """The registry of known transformations."""
+
+    def __init__(self):
+        self._steps: Dict[Tuple[MediaType, MediaType], TransformStep] = {}
+
+    def register(self, step: TransformStep) -> None:
+        self._steps[(step.source, step.target)] = step
+
+    def step(self, source: MediaType, target: MediaType) -> Optional[TransformStep]:
+        return self._steps.get((source, target))
+
+    def path(self, source: MediaType, target: MediaType) -> Optional[List[TransformStep]]:
+        """Shortest transformation chain from ``source`` to ``target``.
+
+        Returns ``[]`` when the types are equal, ``None`` when unreachable.
+        """
+        if source == target:
+            return []
+        # BFS over the registered steps.
+        frontier: List[Tuple[MediaType, List[TransformStep]]] = [(source, [])]
+        seen = {source}
+        while frontier:
+            current, chain = frontier.pop(0)
+            for (step_source, step_target), step in self._steps.items():
+                if step_source != current or step_target in seen:
+                    continue
+                extended = chain + [step]
+                if step_target == target:
+                    return extended
+                seen.add(step_target)
+                frontier.append((step_target, extended))
+        return None
+
+    def apply_metrics(
+        self, chain: List[TransformStep], size: int
+    ) -> Tuple[int, float]:
+        """(output_size, cpu_seconds) for running ``chain`` on ``size`` bytes."""
+        cost = 0.0
+        current = size
+        for step in chain:
+            cost += step.cost_per_byte_s * current
+            current = max(1, int(current * step.size_factor))
+        return current, cost
+
+
+def default_ladder() -> TypeLadder:
+    """The stock ladder used by examples and tests."""
+    ladder = TypeLadder()
+    raw = MediaType("video/raw")
+    mpeg = MediaType("video/mpeg")
+    thumb = MediaType("image/thumbnail")
+    jpeg_hi = MediaType("image/jpeg-high")
+    jpeg_lo = MediaType("image/jpeg-low")
+    ladder.register(TransformStep(raw, mpeg, size_factor=0.10, cost_per_byte_s=2e-8))
+    ladder.register(TransformStep(mpeg, thumb, size_factor=0.02, cost_per_byte_s=1e-8))
+    ladder.register(TransformStep(jpeg_hi, jpeg_lo, size_factor=0.25, cost_per_byte_s=1e-8))
+    ladder.register(TransformStep(jpeg_lo, thumb, size_factor=0.20, cost_per_byte_s=1e-8))
+    return ladder

@@ -1,0 +1,26 @@
+"""Berkeley Motes: a TinyOS-style sensor network.
+
+MICA-era motes on a 19.2 kbps radio send 29-byte active messages to a base
+station attached to a host.  uMiddle's motes mapper (Section 3.2 lists the
+"Berkeley Motes platform" among the bridged platforms) surfaces each mote
+as a translator with sensor output ports.
+"""
+
+from repro.platforms.motes.am import AM_PAYLOAD_LIMIT, ActiveMessage
+from repro.platforms.motes.basestation import BaseStation
+from repro.platforms.motes.mote import Mote
+from repro.platforms.motes.sensors import (
+    constant_sensor,
+    ramp_sensor,
+    sine_sensor,
+)
+
+__all__ = [
+    "ActiveMessage",
+    "AM_PAYLOAD_LIMIT",
+    "Mote",
+    "BaseStation",
+    "sine_sensor",
+    "ramp_sensor",
+    "constant_sensor",
+]

@@ -1,0 +1,38 @@
+"""TinyOS-style active messages."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+__all__ = ["AM_PAYLOAD_LIMIT", "AM_HEADER_BYTES", "ActiveMessage", "AmError"]
+
+#: The classic TOS_Msg payload limit.
+AM_PAYLOAD_LIMIT = 29
+AM_HEADER_BYTES = 7
+
+
+class AmError(Exception):
+    """Active-message framing errors."""
+
+
+@dataclass(frozen=True)
+class ActiveMessage:
+    """One active message: type id, source mote, small payload."""
+
+    am_type: int
+    source: int
+    payload: Dict[str, Any]
+    payload_size: int
+
+    def __post_init__(self):
+        if not 0 <= self.am_type <= 255:
+            raise AmError(f"AM type out of range: {self.am_type}")
+        if self.payload_size > AM_PAYLOAD_LIMIT:
+            raise AmError(
+                f"payload {self.payload_size}B exceeds the {AM_PAYLOAD_LIMIT}B limit"
+            )
+
+    @property
+    def wire_size(self) -> int:
+        return AM_HEADER_BYTES + self.payload_size

@@ -1,0 +1,91 @@
+"""The mote base station: bridges the radio to a host node."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, List
+
+from repro.calibration import Calibration, NetworkCosts
+from repro.platforms.motes.am import ActiveMessage
+from repro.platforms.motes.mote import RADIO_PORT
+from repro.simnet.net import Hub, Node
+from repro.simnet.sockets import ConnectionClosed, DatagramSocket
+
+__all__ = ["BaseStation"]
+
+
+class BaseStation:
+    """Receives active messages from the radio and hands them to the host.
+
+    The base station is attached to (or co-located with) a uMiddle host
+    node: the motes mapper registers callbacks with :meth:`on_message`.
+    It also tracks which motes have been heard recently, providing the
+    mapper's notion of presence (motes that fall silent disappear).
+    """
+
+    def __init__(self, host_node: Node, radio: Hub, calibration: Calibration):
+        self.node = host_node
+        self.calibration = calibration
+        self.kernel = host_node.network.kernel
+        if host_node.interface_on(radio) is None:
+            host_node.attach(radio)
+        self._costs = NetworkCosts(
+            ethernet_bandwidth_bps=calibration.motes.radio_bandwidth_bps,
+            ethernet_latency_s=calibration.motes.radio_latency_s,
+            ethernet_frame_overhead_bytes=5,
+            udp_header_bytes=0,
+            udp_datagram_processing_s=0.000_5,
+        )
+        self._socket = DatagramSocket(host_node, self._costs, port=RADIO_PORT)
+        self._callbacks: List[Callable[[ActiveMessage], None]] = []
+        #: mote id -> last heard simulated time
+        self.last_heard: Dict[int, float] = {}
+        #: mote id -> radio address, learned from received messages
+        self.addresses: Dict[int, object] = {}
+        self.messages_received = 0
+        self.commands_sent = 0
+        self.kernel.process(self._receive_loop(), name=f"basestation:{host_node.name}")
+
+    @property
+    def radio_address(self):
+        return self.node.interfaces[-1].address if self.node.interfaces else None
+
+    def on_message(self, callback: Callable[[ActiveMessage], None]) -> None:
+        self._callbacks.append(callback)
+
+    def heard_since(self, deadline: float) -> List[int]:
+        """Mote ids heard at or after ``deadline``."""
+        return sorted(
+            mote_id for mote_id, at in self.last_heard.items() if at >= deadline
+        )
+
+    def close(self) -> None:
+        self._socket.close()
+
+    def _receive_loop(self) -> Generator:
+        while True:
+            try:
+                datagram = yield self._socket.recv()
+            except ConnectionClosed:
+                return
+            message = datagram.payload
+            if not isinstance(message, ActiveMessage):
+                continue
+            self.messages_received += 1
+            self.last_heard[message.source] = self.kernel.now
+            self.addresses[message.source] = datagram.src
+            for callback in list(self._callbacks):
+                callback(message)
+
+    def send_command(self, mote_id: int, payload: Dict) -> None:
+        """Radio a command AM to a mote we have heard from."""
+        from repro.platforms.motes.am import AmError
+        from repro.platforms.motes.mote import AM_COMMAND, RADIO_PORT
+
+        address = self.addresses.get(mote_id)
+        if address is None:
+            raise AmError(f"never heard from mote {mote_id}")
+        message = ActiveMessage(
+            am_type=AM_COMMAND, source=0, payload=dict(payload), payload_size=14
+        )
+        self._socket.sendto(message, message.wire_size, address, RADIO_PORT)
+        self.commands_sent += 1

@@ -1,0 +1,152 @@
+"""A simulated Berkeley mote."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Generator, Optional
+
+from repro.calibration import Calibration
+from repro.platforms.motes.am import ActiveMessage
+from repro.platforms.motes.sensors import Sensor
+from repro.simnet.net import Hub, Network, Node
+from repro.simnet.sockets import DatagramSocket
+
+__all__ = ["Mote", "make_radio", "RADIO_PORT", "AM_SENSOR_READING"]
+
+RADIO_PORT = 7
+#: AM type carrying one sensor reading.
+AM_SENSOR_READING = 17
+#: AM type carrying a command to a mote (set-interval, sample-now).
+AM_COMMAND = 18
+
+_mote_counter = itertools.count(1)
+
+
+def make_radio(network: Network, calibration: Calibration, name: str = "mote-radio") -> Hub:
+    """The shared low-rate radio channel motes and the base station share."""
+    motes = calibration.motes
+    return network.add_hub(
+        name,
+        bandwidth_bps=motes.radio_bandwidth_bps,
+        latency_s=motes.radio_latency_s,
+        frame_overhead_bytes=5,
+    )
+
+
+class Mote:
+    """One sensor mote: samples its sensors periodically, radios readings.
+
+    ``sensors`` maps sensor names to deterministic signal functions from
+    :mod:`repro.platforms.motes.sensors`.
+    """
+
+    def __init__(
+        self,
+        radio: Hub,
+        calibration: Calibration,
+        sensors: Dict[str, Sensor],
+        sample_interval_s: float = 5.0,
+        mote_id: Optional[int] = None,
+    ):
+        self.network = radio.network
+        self.kernel = self.network.kernel
+        self.calibration = calibration
+        self.mote_id = mote_id if mote_id is not None else next(_mote_counter)
+        self.sensors = dict(sensors)
+        self.sample_interval_s = sample_interval_s
+        self.node: Node = self.network.add_node(f"mote-{self.mote_id}")
+        self.node.attach(radio.medium if hasattr(radio, "medium") else radio)
+        # Motes use a lightweight cost profile: tiny headers, no TCP.
+        from repro.calibration import NetworkCosts
+
+        self._costs = NetworkCosts(
+            ethernet_bandwidth_bps=calibration.motes.radio_bandwidth_bps,
+            ethernet_latency_s=calibration.motes.radio_latency_s,
+            ethernet_frame_overhead_bytes=5,
+            udp_header_bytes=0,
+            udp_datagram_processing_s=0.000_5,
+        )
+        self._socket = DatagramSocket(self.node, self._costs, port=RADIO_PORT)
+        self._base_station_address = None
+        self.readings_sent = 0
+        self.commands_received = 0
+        self.online = True
+        self._sample_wakeup = None
+        self._process = self.kernel.process(
+            self._sample_loop(), name=f"mote:{self.mote_id}"
+        )
+        self.kernel.process(self._command_loop(), name=f"mote-cmd:{self.mote_id}")
+
+    def attach_to(self, base_station_address) -> None:
+        self._base_station_address = base_station_address
+
+    def _sample_loop(self) -> Generator:
+        while self.online:
+            self._sample_wakeup = self.kernel.event(
+                name=f"mote-sleep:{self.mote_id}"
+            )
+            self.kernel.call_later(
+                self.sample_interval_s,
+                lambda e=self._sample_wakeup: None if e.triggered else e.succeed(),
+            )
+            yield self._sample_wakeup
+            if not self.online:
+                return
+            yield from self._sample_all()
+
+    def _sample_all(self) -> Generator:
+        if self._base_station_address is None:
+            return
+        motes = self.calibration.motes
+        for sensor_name, sensor in self.sensors.items():
+            yield self.kernel.timeout(motes.sample_s)
+            if not self.online:
+                return
+            value = sensor(self.kernel.now)
+            message = ActiveMessage(
+                am_type=AM_SENSOR_READING,
+                source=self.mote_id,
+                payload={
+                    "sensor": sensor_name,
+                    "value": round(value, 3),
+                },
+                payload_size=12,
+            )
+            self._socket.sendto(
+                message, message.wire_size, self._base_station_address, RADIO_PORT
+            )
+            self.readings_sent += 1
+
+    def _command_loop(self) -> Generator:
+        """TinyOS-style command dispatch: the base station can retask us."""
+        from repro.simnet.sockets import ConnectionClosed
+
+        while self.online:
+            try:
+                datagram = yield self._socket.recv()
+            except ConnectionClosed:
+                return
+            message = datagram.payload
+            if not isinstance(message, ActiveMessage):
+                continue
+            if message.am_type != AM_COMMAND or not self.online:
+                continue
+            self.commands_received += 1
+            command = message.payload.get("command")
+            if command == "set-interval":
+                self.sample_interval_s = max(
+                    0.1, float(message.payload.get("interval", self.sample_interval_s))
+                )
+                # Wake the sampler so the new cadence applies immediately.
+                if self._sample_wakeup is not None and not self._sample_wakeup.triggered:
+                    self._sample_wakeup.succeed()
+            elif command == "sample-now":
+                self.kernel.process(
+                    self._sample_all(), name=f"mote-sample-now:{self.mote_id}"
+                )
+
+    def power_off(self) -> None:
+        self.online = False
+        self._socket.close()
+        if self._sample_wakeup is not None and not self._sample_wakeup.triggered:
+            self._sample_wakeup.succeed()

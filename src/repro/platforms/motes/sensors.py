@@ -1,0 +1,49 @@
+"""Deterministic synthetic sensor signals.
+
+The paper's motes were physical sensor boards; these generators provide
+reproducible readings as functions of simulated time, so tests and
+benchmarks see identical traces on every run.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+__all__ = ["sine_sensor", "ramp_sensor", "constant_sensor", "step_sensor"]
+
+Sensor = Callable[[float], float]
+
+
+def sine_sensor(mean: float, amplitude: float, period_s: float) -> Sensor:
+    """A diurnal-style oscillation, e.g. room temperature."""
+
+    def read(now: float) -> float:
+        return mean + amplitude * math.sin(2 * math.pi * now / period_s)
+
+    return read
+
+
+def ramp_sensor(start: float, slope_per_s: float) -> Sensor:
+    """A steadily drifting value, e.g. battery voltage decay."""
+
+    def read(now: float) -> float:
+        return start + slope_per_s * now
+
+    return read
+
+
+def constant_sensor(value: float) -> Sensor:
+    def read(_now: float) -> float:
+        return value
+
+    return read
+
+
+def step_sensor(low: float, high: float, step_at_s: float) -> Sensor:
+    """A threshold event, e.g. a light turning on."""
+
+    def read(now: float) -> float:
+        return high if now >= step_at_s else low
+
+    return read

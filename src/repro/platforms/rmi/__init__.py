@@ -1,0 +1,22 @@
+"""A Java-RMI-like remote invocation platform.
+
+Models what the paper's Section 5.3 "RMI test" exercises: a registry
+(``rmiregistry`` on node 3 of the testbed), exported remote objects, and
+method calls whose dominant cost is Java-serialization-shaped marshaling
+(fixed + per-byte), which is why RMI is the slow platform in Figure 11.
+"""
+
+from repro.platforms.rmi.marshal import marshal_time
+from repro.platforms.rmi.registry import RegistryClient, RegistryError, RmiRegistry
+from repro.platforms.rmi.remote import RemoteError, RemoteRef, RmiExporter, rmi_call
+
+__all__ = [
+    "marshal_time",
+    "RmiRegistry",
+    "RegistryClient",
+    "RegistryError",
+    "RemoteRef",
+    "RmiExporter",
+    "RemoteError",
+    "rmi_call",
+]

@@ -1,0 +1,22 @@
+"""Serialization cost model for the RMI platform.
+
+Java object serialization has a high fixed cost (stream headers, class
+descriptors, reflection) plus a per-byte cost.  Both ends of every call pay
+it -- the asymmetry against MediaBroker's lean framing is exactly what
+Figure 11 measures.
+"""
+
+from __future__ import annotations
+
+from repro.calibration import RmiCosts
+
+__all__ = ["marshal_time", "WIRE_OVERHEAD"]
+
+#: Bytes added on the wire per serialized payload (stream magic, class
+#: descriptors, type codes).
+WIRE_OVERHEAD = 45
+
+
+def marshal_time(costs: RmiCosts, size_bytes: int) -> float:
+    """Seconds to serialize (or deserialize) ``size_bytes`` of object data."""
+    return costs.marshal_fixed_s + costs.marshal_per_byte_s * size_bytes

@@ -1,0 +1,153 @@
+"""The RMI registry: a name service for remote references.
+
+Equivalent to ``rmiregistry``: servers ``bind`` remote references under
+string names; clients ``lookup`` names (or ``list`` everything) to obtain
+:class:`~repro.platforms.rmi.remote.RemoteRef` stubs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+from repro.calibration import Calibration
+from repro.platforms.rmi.remote import RemoteRef
+from repro.simnet.addresses import Address
+from repro.simnet.net import Node
+from repro.simnet.sockets import ConnectionClosed, StreamListener, StreamSocket
+
+__all__ = ["RegistryError", "RmiRegistry", "RegistryClient"]
+
+REGISTRY_PORT = 1099
+REQUEST_SIZE = 96
+
+
+class RegistryError(Exception):
+    """Name-service failures (unknown name, duplicate bind)."""
+
+
+class RmiRegistry:
+    """The server side of the registry."""
+
+    def __init__(self, node: Node, calibration: Calibration, port: int = REGISTRY_PORT):
+        self.node = node
+        self.calibration = calibration
+        self.kernel = node.network.kernel
+        self.port = port
+        self.bindings: Dict[str, RemoteRef] = {}
+        self._listener = StreamListener(node, calibration.network, port)
+        self.kernel.process(self._accept_loop(), name=f"rmi-registry:{node.name}")
+
+    @property
+    def address(self) -> Address:
+        return self.node.address
+
+    def close(self) -> None:
+        self._listener.close()
+
+    def _accept_loop(self) -> Generator:
+        while True:
+            try:
+                stream = yield self._listener.accept()
+            except ConnectionClosed:
+                return
+            self.kernel.process(self._serve(stream), name="rmi-registry-conn")
+
+    def _serve(self, stream: StreamSocket) -> Generator:
+        while True:
+            try:
+                request, _size = yield stream.recv()
+            except ConnectionClosed:
+                return
+            yield self.kernel.timeout(self.calibration.rmi.registry_lookup_s)
+            op = request.get("op")
+            if op == "bind":
+                name = request["name"]
+                if name in self.bindings and not request.get("rebind"):
+                    stream.send(
+                        {"status": "error", "error": f"already bound: {name}"},
+                        REQUEST_SIZE,
+                    )
+                    continue
+                self.bindings[name] = RemoteRef.from_dict(request["ref"])
+                stream.send({"status": "ok"}, REQUEST_SIZE)
+            elif op == "unbind":
+                if self.bindings.pop(request["name"], None) is None:
+                    stream.send(
+                        {"status": "error", "error": "not bound"}, REQUEST_SIZE
+                    )
+                else:
+                    stream.send({"status": "ok"}, REQUEST_SIZE)
+            elif op == "lookup":
+                ref = self.bindings.get(request["name"])
+                if ref is None:
+                    stream.send(
+                        {"status": "error", "error": f"not bound: {request['name']}"},
+                        REQUEST_SIZE,
+                    )
+                else:
+                    stream.send({"status": "ok", "ref": ref.to_dict()}, REQUEST_SIZE)
+            elif op == "list":
+                stream.send(
+                    {
+                        "status": "ok",
+                        "names": sorted(self.bindings),
+                        "refs": {
+                            name: ref.to_dict() for name, ref in self.bindings.items()
+                        },
+                    },
+                    REQUEST_SIZE + 64 * len(self.bindings),
+                )
+            else:
+                stream.send({"status": "error", "error": f"bad op {op!r}"}, REQUEST_SIZE)
+
+
+class RegistryClient:
+    """Client-side stub for a registry at a known address."""
+
+    def __init__(
+        self,
+        node: Node,
+        calibration: Calibration,
+        registry_address: Address,
+        port: int = REGISTRY_PORT,
+    ):
+        self.node = node
+        self.calibration = calibration
+        self.kernel = node.network.kernel
+        self.registry_address = registry_address
+        self.port = port
+        self._stream: Optional[StreamSocket] = None
+
+    def _request(self, request: dict) -> Generator:
+        if self._stream is None or self._stream.closed:
+            self._stream = yield StreamSocket.connect(
+                self.node, self.calibration.network, self.registry_address, self.port
+            )
+        self._stream.send(request, REQUEST_SIZE)
+        response, _size = yield self._stream.recv()
+        if response.get("status") != "ok":
+            raise RegistryError(response.get("error", "registry failure"))
+        return response
+
+    def bind(self, name: str, ref: "RemoteRef", rebind: bool = False) -> Generator:
+        yield from self._request(
+            {"op": "bind", "name": name, "ref": ref.to_dict(), "rebind": rebind}
+        )
+
+    def unbind(self, name: str) -> Generator:
+        yield from self._request({"op": "unbind", "name": name})
+
+    def lookup(self, name: str) -> Generator:
+        response = yield from self._request({"op": "lookup", "name": name})
+        return RemoteRef.from_dict(response["ref"])
+
+    def list(self) -> Generator:
+        response = yield from self._request({"op": "list"})
+        return {
+            name: RemoteRef.from_dict(data)
+            for name, data in response["refs"].items()
+        }
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()

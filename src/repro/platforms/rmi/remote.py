@@ -1,0 +1,213 @@
+"""Remote objects and calls for the RMI platform.
+
+An :class:`RmiExporter` hosts remote objects on one node; each exported
+object is a dict of methods ``name -> handler(args, args_size) ->
+(result, result_size)`` (handlers may also be generators to model work
+taking simulated time).  Calls are made with :func:`rmi_call`, which
+charges marshal costs on the caller side; the exporter charges them on the
+server side.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, Optional, Tuple
+
+from repro.calibration import Calibration
+from repro.platforms.rmi.marshal import WIRE_OVERHEAD, marshal_time
+from repro.simnet.addresses import Address
+from repro.simnet.net import Node
+from repro.simnet.sockets import ConnectionClosed, StreamListener, StreamSocket
+
+__all__ = ["RemoteError", "RemoteRef", "RmiExporter", "rmi_call", "RmiConnection"]
+
+_object_counter = itertools.count(1)
+_export_port_counter = itertools.count(2000)
+
+
+class RemoteError(Exception):
+    """Remote invocation failures."""
+
+
+@dataclass(frozen=True)
+class RemoteRef:
+    """A stub pointing at one exported remote object."""
+
+    address: Address
+    port: int
+    object_id: str
+    interface: str = "java.rmi.Remote"
+
+    def to_dict(self) -> dict:
+        return {
+            "address": str(self.address),
+            "port": self.port,
+            "object_id": self.object_id,
+            "interface": self.interface,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RemoteRef":
+        return cls(
+            address=Address(data["address"]),
+            port=data["port"],
+            object_id=data["object_id"],
+            interface=data.get("interface", "java.rmi.Remote"),
+        )
+
+
+class RmiExporter:
+    """Hosts exported remote objects on one node."""
+
+    def __init__(self, node: Node, calibration: Calibration, port: Optional[int] = None):
+        self.node = node
+        self.calibration = calibration
+        self.kernel = node.network.kernel
+        self.port = port if port is not None else next(_export_port_counter)
+        self._objects: Dict[str, Dict[str, Callable]] = {}
+        self._listener = StreamListener(node, calibration.network, self.port)
+        self.calls_served = 0
+        self.kernel.process(self._accept_loop(), name=f"rmi-export:{node.name}")
+
+    def export(self, methods: Dict[str, Callable], interface: str = "java.rmi.Remote") -> RemoteRef:
+        """Export an object; returns the reference to bind in a registry."""
+        object_id = f"obj-{next(_object_counter)}"
+        self._objects[object_id] = dict(methods)
+        return RemoteRef(
+            address=self.node.address,
+            port=self.port,
+            object_id=object_id,
+            interface=interface,
+        )
+
+    def unexport(self, ref: RemoteRef) -> None:
+        self._objects.pop(ref.object_id, None)
+
+    def close(self) -> None:
+        self._listener.close()
+
+    def _accept_loop(self) -> Generator:
+        while True:
+            try:
+                stream = yield self._listener.accept()
+            except ConnectionClosed:
+                return
+            self.kernel.process(self._serve(stream), name="rmi-conn")
+
+    def _serve(self, stream: StreamSocket) -> Generator:
+        rmi = self.calibration.rmi
+        while True:
+            try:
+                request, _size = yield stream.recv()
+            except ConnectionClosed:
+                return
+            args_size = request.get("args_size", 0)
+            # Server-side unmarshal of the call arguments + dispatch.
+            yield self.kernel.timeout(marshal_time(rmi, args_size) + rmi.dispatch_s)
+            methods = self._objects.get(request.get("object_id"))
+            handler = methods.get(request.get("method")) if methods else None
+            if handler is None:
+                stream.send(
+                    {"status": "error", "error": "NoSuchObjectException"},
+                    WIRE_OVERHEAD,
+                )
+                continue
+            outcome = handler(request.get("args"), args_size)
+            if hasattr(outcome, "send") and hasattr(outcome, "throw"):
+                outcome = yield from outcome
+            result, result_size = outcome if outcome is not None else (None, 0)
+            self.calls_served += 1
+            if request.get("oneway"):
+                continue  # pipelined call: no result marshaling, no reply
+            # Server-side marshal of the result.
+            yield self.kernel.timeout(marshal_time(rmi, result_size))
+            stream.send(
+                {"status": "ok", "result": result, "result_size": result_size},
+                WIRE_OVERHEAD + result_size,
+            )
+
+
+class RmiConnection:
+    """A client connection to one exporter, reusable across calls."""
+
+    def __init__(self, node: Node, calibration: Calibration, ref: RemoteRef):
+        self.node = node
+        self.calibration = calibration
+        self.kernel = node.network.kernel
+        self.ref = ref
+        self._stream: Optional[StreamSocket] = None
+
+    def call(self, method: str, args: Any, args_size: int) -> Generator:
+        """Invoke ``method``; returns (result, result_size)."""
+        rmi = self.calibration.rmi
+        # Client-side marshal + stub dispatch.
+        yield self.kernel.timeout(marshal_time(rmi, args_size) + rmi.dispatch_s)
+        if self._stream is None or self._stream.closed:
+            self._stream = yield StreamSocket.connect(
+                self.node, self.calibration.network, self.ref.address, self.ref.port
+            )
+        self._stream.send(
+            {
+                "object_id": self.ref.object_id,
+                "method": method,
+                "args": args,
+                "args_size": args_size,
+            },
+            WIRE_OVERHEAD + args_size,
+        )
+        response, _size = yield self._stream.recv()
+        if response.get("status") != "ok":
+            raise RemoteError(response.get("error", "remote failure"))
+        result_size = response.get("result_size", 0)
+        # Client-side unmarshal of the result.
+        yield self.kernel.timeout(marshal_time(rmi, result_size))
+        return response.get("result"), result_size
+
+    def call_oneway(self, method: str, args: Any, args_size: int) -> Generator:
+        """Invoke ``method`` without waiting for the result.
+
+        Java RMI is synchronous; streaming senders get throughput by
+        pipelining calls across a sender thread (what MediaBroker-style
+        relays and the paper's RMI throughput test rely on).  This models
+        that thread: the caller pays marshal plus TCP send costs inline but
+        does not block for the round trip.  Failures surface only as
+        server-side traces.
+        """
+        rmi = self.calibration.rmi
+        yield self.kernel.timeout(marshal_time(rmi, args_size) + rmi.dispatch_s)
+        if self._stream is None or self._stream.closed:
+            self._stream = yield StreamSocket.connect(
+                self.node, self.calibration.network, self.ref.address, self.ref.port
+            )
+        yield from self._stream.send_inline(
+            {
+                "object_id": self.ref.object_id,
+                "method": method,
+                "args": args,
+                "args_size": args_size,
+                "oneway": True,
+            },
+            WIRE_OVERHEAD + args_size,
+        )
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+
+
+def rmi_call(
+    node: Node,
+    calibration: Calibration,
+    ref: RemoteRef,
+    method: str,
+    args: Any,
+    args_size: int,
+) -> Generator:
+    """One-shot convenience around :class:`RmiConnection`."""
+    connection = RmiConnection(node, calibration, ref)
+    try:
+        result = yield from connection.call(method, args, args_size)
+        return result
+    finally:
+        connection.close()

@@ -1,0 +1,56 @@
+"""A simulated UPnP stack (Universal Plug'n'Play).
+
+Protocol surface faithful to UPnP 1.0 as the paper used it (via the
+CyberLink Java library): SSDP multicast discovery, HTTP-served XML device
+descriptions, SOAP control and GENA eventing.  Payload bytes are simulated
+(documents are real XML strings so parse costs are honest), and every
+protocol step charges its calibrated cost.
+"""
+
+from repro.platforms.upnp.ssdp import SSDP_GROUP, SSDP_PORT, SsdpAgent, SsdpMessage
+from repro.platforms.upnp.description import (
+    ActionDescription,
+    DeviceDescription,
+    ServiceDescription,
+    StateVariable,
+    parse_device_description,
+)
+from repro.platforms.upnp.soap import (
+    SoapFault,
+    build_request,
+    build_response,
+    parse_request,
+    parse_response,
+)
+from repro.platforms.upnp.device import UPnPDevice
+from repro.platforms.upnp.control_point import ControlPoint, DiscoveredDevice
+from repro.platforms.upnp.devices import (
+    make_air_conditioner,
+    make_binary_light,
+    make_clock,
+    make_media_renderer,
+)
+
+__all__ = [
+    "SSDP_GROUP",
+    "SSDP_PORT",
+    "SsdpAgent",
+    "SsdpMessage",
+    "ActionDescription",
+    "DeviceDescription",
+    "ServiceDescription",
+    "StateVariable",
+    "parse_device_description",
+    "SoapFault",
+    "build_request",
+    "build_response",
+    "parse_request",
+    "parse_response",
+    "UPnPDevice",
+    "ControlPoint",
+    "DiscoveredDevice",
+    "make_air_conditioner",
+    "make_binary_light",
+    "make_clock",
+    "make_media_renderer",
+]

@@ -1,0 +1,233 @@
+"""A UPnP control point: discovery, description fetch, control, eventing.
+
+This is the CyberLink-library role in the paper's testbed: the uMiddle UPnP
+mapper drives a control point to find devices and talk to them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Generator, List, Optional, Tuple
+
+from repro.calibration import Calibration
+from repro.platforms.upnp import soap
+from repro.platforms.upnp.description import DeviceDescription, parse_device_description
+from repro.platforms.upnp.device import HTTP_HEADER_OVERHEAD
+from repro.platforms.upnp.gena import EventListener
+from repro.platforms.upnp.ssdp import (
+    NOTIFY_ALIVE,
+    NOTIFY_BYEBYE,
+    SEARCH_ALL,
+    SsdpAgent,
+    SsdpMessage,
+)
+from repro.simnet.addresses import Address
+from repro.simnet.net import Node
+from repro.simnet.sockets import ConnectionClosed, StreamSocket
+
+__all__ = ["DiscoveredDevice", "ControlPoint"]
+
+
+@dataclass(frozen=True)
+class DiscoveredDevice:
+    """What SSDP tells us before fetching the description."""
+
+    usn: str
+    device_type: str
+    location: str
+
+    @property
+    def address(self) -> Address:
+        host, _port = self.location.rsplit(":", 1)
+        return Address(host)
+
+    @property
+    def port(self) -> int:
+        return int(self.location.rsplit(":", 1)[1])
+
+
+class ControlPoint:
+    """Discovers and drives UPnP devices from one network node."""
+
+    def __init__(self, node: Node, calibration: Calibration):
+        self.node = node
+        self.calibration = calibration
+        self.kernel = node.network.kernel
+        self.ssdp = SsdpAgent(node, calibration)
+        self._streams: Dict[str, StreamSocket] = {}
+        self._event_listener: Optional[EventListener] = None
+        self._presence_callbacks: List[Callable[[str, DiscoveredDevice], None]] = []
+        self._active_sids: set = set()
+        self.ssdp.on_notify(self._on_notify)
+
+    # -- discovery ---------------------------------------------------------------
+
+    def search(self, target: str = SEARCH_ALL, wait: float = 0.3) -> Generator:
+        """Active M-SEARCH; returns a list of :class:`DiscoveredDevice`."""
+        responses = yield from self.ssdp.search(target, wait)
+        found: Dict[str, DiscoveredDevice] = {}
+        for response in responses:
+            found[response.usn] = DiscoveredDevice(
+                usn=response.usn,
+                device_type=response.notification_type,
+                location=response.location,
+            )
+        return list(found.values())
+
+    def on_presence(
+        self, callback: Callable[[str, DiscoveredDevice], None]
+    ) -> None:
+        """Passive discovery: ``callback(kind, device)`` for alive/byebye."""
+        self._presence_callbacks.append(callback)
+
+    def _on_notify(self, message: SsdpMessage, _source: Address) -> None:
+        device = DiscoveredDevice(
+            usn=message.usn,
+            device_type=message.notification_type,
+            location=message.location,
+        )
+        kind = "alive" if message.kind == NOTIFY_ALIVE else "byebye"
+        for callback in list(self._presence_callbacks):
+            callback(kind, device)
+
+    # -- description --------------------------------------------------------------
+
+    def fetch_description(self, device: DiscoveredDevice) -> Generator:
+        """GET and parse the device description document."""
+        stream = yield from self._stream_to(device)
+        stream.send({"method": "GET", "path": "/description.xml"}, HTTP_HEADER_OVERHEAD)
+        response, _size = yield stream.recv()
+        document = response["body"]
+        description = parse_device_description(document)
+        # Parsing cost proportional to the document's element count.
+        yield self.kernel.timeout(
+            self.calibration.upnp.xml_parse_per_element_s
+            * description.element_count()
+        )
+        return description
+
+    # -- control ------------------------------------------------------------------------
+
+    def invoke(
+        self,
+        device: DiscoveredDevice,
+        service_type: str,
+        service_id: str,
+        action: str,
+        arguments: Dict[str, str],
+    ) -> Generator:
+        """Invoke one action; returns the out-arguments or raises SoapFault."""
+        yield self.kernel.timeout(self.calibration.upnp.soap_marshal_s)
+        body = soap.build_request(service_type, action, arguments)
+        stream = yield from self._stream_to(device)
+        stream.send(
+            {"method": "POST", "path": f"/control/{service_id}", "body": body},
+            HTTP_HEADER_OVERHEAD + len(body),
+        )
+        response, _size = yield stream.recv()
+        yield self.kernel.timeout(self.calibration.upnp.soap_unmarshal_s)
+        return soap.parse_response(response["body"])
+
+    # -- eventing -----------------------------------------------------------------------------
+
+    def subscribe(
+        self,
+        device: DiscoveredDevice,
+        service_id: str,
+        callback: Callable[[str, str], None],
+        auto_renew: bool = True,
+    ) -> Generator:
+        """GENA-subscribe to a service; returns the subscription SID.
+
+        Subscriptions are leased soft state; with ``auto_renew`` (the
+        default) a background process renews before expiry, as real control
+        points do.
+        """
+        if self._event_listener is None:
+            self._event_listener = EventListener(self.node, self.calibration)
+        stream = yield from self._stream_to(device)
+        stream.send(
+            {
+                "method": "SUBSCRIBE",
+                "path": f"/events/{service_id}",
+                "callback_address": str(self.node.address),
+                "callback_port": self._event_listener.port,
+            },
+            HTTP_HEADER_OVERHEAD,
+        )
+        response, _size = yield stream.recv()
+        sid = response["sid"]
+        lease = response.get("lease", 300.0)
+        self._event_listener.expect(sid, callback)
+        if auto_renew:
+            self._active_sids.add(sid)
+            self.kernel.process(
+                self._renew_loop(device, service_id, sid, lease),
+                name=f"gena-renew:{sid}",
+            )
+        return sid
+
+    def _renew_loop(
+        self, device: DiscoveredDevice, service_id: str, sid: str, lease: float
+    ) -> Generator:
+        while sid in self._active_sids:
+            yield self.kernel.timeout(lease / 2)
+            if sid not in self._active_sids:
+                return
+            try:
+                stream = yield from self._stream_to(device)
+                stream.send(
+                    {
+                        "method": "SUBSCRIBE",
+                        "path": f"/events/{service_id}",
+                        "sid": sid,
+                    },
+                    HTTP_HEADER_OVERHEAD,
+                )
+                response, _size = yield stream.recv()
+                if response.get("status") != 200:
+                    self._active_sids.discard(sid)
+                    return
+                lease = response.get("lease", lease)
+            except (ConnectionClosed, Exception):
+                self._active_sids.discard(sid)
+                return
+
+    def unsubscribe(self, sid: str) -> None:
+        """Stop receiving (and renewing); the device-side lease just lapses.
+
+        Use :meth:`unsubscribe_at` to also tell the device immediately.
+        """
+        self._active_sids.discard(sid)
+        if self._event_listener is not None:
+            self._event_listener.forget(sid)
+
+    def unsubscribe_at(self, device: DiscoveredDevice, sid: str) -> Generator:
+        """Explicit GENA UNSUBSCRIBE at the device."""
+        self.unsubscribe(sid)
+        stream = yield from self._stream_to(device)
+        stream.send(
+            {"method": "UNSUBSCRIBE", "path": "/events/", "sid": sid},
+            HTTP_HEADER_OVERHEAD,
+        )
+        yield stream.recv()
+
+    # -- plumbing --------------------------------------------------------------------------------
+
+    def _stream_to(self, device: DiscoveredDevice) -> Generator:
+        stream = self._streams.get(device.location)
+        if stream is not None and not stream.closed:
+            return stream
+        stream = yield StreamSocket.connect(
+            self.node, self.calibration.network, device.address, device.port
+        )
+        self._streams[device.location] = stream
+        return stream
+
+    def close(self) -> None:
+        self.ssdp.close()
+        for stream in self._streams.values():
+            stream.close()
+        self._streams.clear()
+        if self._event_listener is not None:
+            self._event_listener.close()

@@ -1,0 +1,211 @@
+"""UPnP device descriptions.
+
+A UPnP device advertises an XML *device description* listing its services;
+each service has actions (with named arguments) and state variables (some
+evented via GENA).  Mappers fetch and parse these documents to learn what a
+device can do -- the element count drives the calibrated parse cost that
+dominates Figure 10's clock-translator instantiation time.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = [
+    "ArgumentDescription",
+    "ActionDescription",
+    "StateVariable",
+    "ServiceDescription",
+    "DeviceDescription",
+    "parse_device_description",
+    "DescriptionError",
+]
+
+
+class DescriptionError(Exception):
+    """Malformed device description documents."""
+
+
+@dataclass(frozen=True)
+class ArgumentDescription:
+    name: str
+    direction: str = "in"          # "in" | "out"
+    related_state_variable: str = ""
+
+
+@dataclass(frozen=True)
+class ActionDescription:
+    name: str
+    arguments: List[ArgumentDescription] = field(default_factory=list)
+
+    def in_arguments(self) -> List[ArgumentDescription]:
+        return [a for a in self.arguments if a.direction == "in"]
+
+
+@dataclass(frozen=True)
+class StateVariable:
+    name: str
+    data_type: str = "string"
+    evented: bool = False
+    default: str = ""
+
+
+@dataclass(frozen=True)
+class ServiceDescription:
+    service_type: str
+    service_id: str
+    actions: List[ActionDescription] = field(default_factory=list)
+    state_variables: List[StateVariable] = field(default_factory=list)
+
+    def action(self, name: str) -> ActionDescription:
+        for action in self.actions:
+            if action.name == name:
+                return action
+        raise DescriptionError(f"service {self.service_id}: no action {name!r}")
+
+    def evented_variables(self) -> List[StateVariable]:
+        return [v for v in self.state_variables if v.evented]
+
+
+@dataclass(frozen=True)
+class DeviceDescription:
+    device_type: str
+    friendly_name: str
+    udn: str                       # unique device name, "uuid:..."
+    manufacturer: str = "repro"
+    services: List[ServiceDescription] = field(default_factory=list)
+
+    def service(self, service_id: str) -> ServiceDescription:
+        for service in self.services:
+            if service.service_id == service_id:
+                return service
+        raise DescriptionError(f"device {self.udn}: no service {service_id!r}")
+
+    def element_count(self) -> int:
+        """Number of description elements, for the calibrated parse cost.
+
+        Counts the device, each service, each action (with its arguments)
+        and each state variable -- roughly what a DOM pass touches.
+        """
+        count = 1  # the device element
+        for service in self.services:
+            count += 1
+            for action in service.actions:
+                count += 1 + len(action.arguments)
+            count += len(service.state_variables)
+        return count
+
+    # -- XML ------------------------------------------------------------------
+
+    def to_xml(self) -> str:
+        root = ET.Element("root", {"xmlns": "urn:schemas-upnp-org:device-1-0"})
+        device_el = ET.SubElement(root, "device")
+        ET.SubElement(device_el, "deviceType").text = self.device_type
+        ET.SubElement(device_el, "friendlyName").text = self.friendly_name
+        ET.SubElement(device_el, "UDN").text = self.udn
+        ET.SubElement(device_el, "manufacturer").text = self.manufacturer
+        services_el = ET.SubElement(device_el, "serviceList")
+        for service in self.services:
+            service_el = ET.SubElement(services_el, "service")
+            ET.SubElement(service_el, "serviceType").text = service.service_type
+            ET.SubElement(service_el, "serviceId").text = service.service_id
+            actions_el = ET.SubElement(service_el, "actionList")
+            for action in service.actions:
+                action_el = ET.SubElement(actions_el, "action")
+                ET.SubElement(action_el, "name").text = action.name
+                args_el = ET.SubElement(action_el, "argumentList")
+                for argument in action.arguments:
+                    arg_el = ET.SubElement(args_el, "argument")
+                    ET.SubElement(arg_el, "name").text = argument.name
+                    ET.SubElement(arg_el, "direction").text = argument.direction
+                    ET.SubElement(
+                        arg_el, "relatedStateVariable"
+                    ).text = argument.related_state_variable
+            table_el = ET.SubElement(service_el, "serviceStateTable")
+            for variable in service.state_variables:
+                var_el = ET.SubElement(
+                    table_el,
+                    "stateVariable",
+                    {"sendEvents": "yes" if variable.evented else "no"},
+                )
+                ET.SubElement(var_el, "name").text = variable.name
+                ET.SubElement(var_el, "dataType").text = variable.data_type
+                ET.SubElement(var_el, "defaultValue").text = variable.default
+        return ET.tostring(root, encoding="unicode")
+
+    def document_size(self) -> int:
+        return len(self.to_xml())
+
+
+def _text(element: Optional[ET.Element], default: str = "") -> str:
+    return element.text or default if element is not None else default
+
+
+def parse_device_description(text: str) -> DeviceDescription:
+    """Parse a device description document (inverse of ``to_xml``)."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise DescriptionError(f"malformed description XML: {exc}") from exc
+    namespace = ""
+    if root.tag.startswith("{"):
+        namespace = root.tag[: root.tag.index("}") + 1]
+
+    def find(parent, tag):
+        return parent.find(f"{namespace}{tag}")
+
+    def findall(parent, tag):
+        return parent.findall(f"{namespace}{tag}")
+
+    device_el = find(root, "device")
+    if device_el is None:
+        raise DescriptionError("missing <device> element")
+    services: List[ServiceDescription] = []
+    services_el = find(device_el, "serviceList")
+    for service_el in findall(services_el, "service") if services_el is not None else []:
+        actions: List[ActionDescription] = []
+        actions_el = find(service_el, "actionList")
+        for action_el in findall(actions_el, "action") if actions_el is not None else []:
+            arguments: List[ArgumentDescription] = []
+            args_el = find(action_el, "argumentList")
+            for arg_el in findall(args_el, "argument") if args_el is not None else []:
+                arguments.append(
+                    ArgumentDescription(
+                        name=_text(find(arg_el, "name")),
+                        direction=_text(find(arg_el, "direction"), "in"),
+                        related_state_variable=_text(
+                            find(arg_el, "relatedStateVariable")
+                        ),
+                    )
+                )
+            actions.append(
+                ActionDescription(name=_text(find(action_el, "name")), arguments=arguments)
+            )
+        variables: List[StateVariable] = []
+        table_el = find(service_el, "serviceStateTable")
+        for var_el in findall(table_el, "stateVariable") if table_el is not None else []:
+            variables.append(
+                StateVariable(
+                    name=_text(find(var_el, "name")),
+                    data_type=_text(find(var_el, "dataType"), "string"),
+                    evented=var_el.get("sendEvents") == "yes",
+                    default=_text(find(var_el, "defaultValue")),
+                )
+            )
+        services.append(
+            ServiceDescription(
+                service_type=_text(find(service_el, "serviceType")),
+                service_id=_text(find(service_el, "serviceId")),
+                actions=actions,
+                state_variables=variables,
+            )
+        )
+    return DeviceDescription(
+        device_type=_text(find(device_el, "deviceType")),
+        friendly_name=_text(find(device_el, "friendlyName")),
+        udn=_text(find(device_el, "UDN")),
+        manufacturer=_text(find(device_el, "manufacturer"), "repro"),
+        services=services,
+    )

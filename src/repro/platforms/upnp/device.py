@@ -1,0 +1,304 @@
+"""A simulated UPnP device: SSDP presence, description/control/event server.
+
+The device serves three kinds of requests over its HTTP-like stream server:
+
+- ``GET /description.xml`` -- the device description document;
+- ``POST /control/<serviceId>`` -- SOAP action invocations;
+- ``SUBSCRIBE /events/<serviceId>`` -- GENA subscriptions.
+
+Action semantics come from *handlers* registered per (service, action);
+handlers read and mutate the device's per-service state tables.  Setting an
+evented state variable pushes GENA NOTIFYs to all subscribers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+from repro.calibration import Calibration
+from repro.platforms.upnp import soap
+from repro.platforms.upnp.description import DeviceDescription
+from repro.platforms.upnp.gena import (
+    DEFAULT_LEASE_S,
+    NOTIFY_SIZE_OVERHEAD,
+    Subscription,
+    new_sid,
+)
+from repro.platforms.upnp.ssdp import SsdpAgent, SsdpMessage, SEARCH_ALL, SEARCH_RESPONSE
+from repro.simnet.addresses import Address
+from repro.simnet.net import Node
+from repro.simnet.sockets import ConnectionClosed, StreamListener, StreamSocket
+
+__all__ = ["UPnPDevice", "ActionHandler"]
+
+_port_counter = itertools.count(5001)
+
+#: handler(args: dict, device: UPnPDevice) -> dict of out-arguments
+ActionHandler = Callable[[Dict[str, str], "UPnPDevice"], Dict[str, str]]
+
+HTTP_HEADER_OVERHEAD = 200
+
+
+class UPnPDevice:
+    """One native UPnP device on a network node."""
+
+    def __init__(
+        self,
+        node: Node,
+        calibration: Calibration,
+        description: DeviceDescription,
+        port: Optional[int] = None,
+    ):
+        self.node = node
+        self.calibration = calibration
+        self.kernel = node.network.kernel
+        self.description = description
+        self.port = port if port is not None else next(_port_counter)
+        self._handlers: Dict[Tuple[str, str], ActionHandler] = {}
+        #: service_id -> {variable: value}
+        self.state: Dict[str, Dict[str, str]] = {
+            service.service_id: {
+                var.name: var.default for var in service.state_variables
+            }
+            for service in description.services
+        }
+        self._subscriptions: List[Subscription] = []
+        self._notify_streams: Dict[Tuple[Address, int], StreamSocket] = {}
+        self._ssdp: Optional[SsdpAgent] = None
+        self._listener: Optional[StreamListener] = None
+        self.actions_served = 0
+        self.online = False
+
+    # -- configuration ----------------------------------------------------------
+
+    def on_action(self, service_id: str, action: str, handler: ActionHandler) -> None:
+        self.description.service(service_id).action(action)  # validate
+        self._handlers[(service_id, action)] = handler
+
+    @property
+    def location(self) -> str:
+        return f"{self.node.address}:{self.port}"
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        if self.online:
+            return
+        self.online = True
+        self._listener = StreamListener(
+            self.node, self.calibration.network, self.port
+        )
+        self.kernel.process(
+            self._accept_loop(), name=f"upnp-dev:{self.description.udn}"
+        )
+        self._ssdp = SsdpAgent(self.node, self.calibration)
+        self._ssdp.serve_searches(self._answer_search)
+        self._ssdp.announce_alive(
+            usn=self.description.udn,
+            notification_type=self.description.device_type,
+            location=self.location,
+        )
+
+    def stop(self) -> None:
+        """Graceful departure: byebye then tear the servers down."""
+        if not self.online:
+            return
+        self.online = False
+        if self._ssdp is not None:
+            self._ssdp.announce_byebye(
+                usn=self.description.udn,
+                notification_type=self.description.device_type,
+            )
+            self._ssdp.close()
+        if self._listener is not None:
+            self._listener.close()
+        for stream in self._notify_streams.values():
+            stream.close()
+        self._notify_streams.clear()
+
+    def vanish(self) -> None:
+        """Abrupt failure: no byebye (crash/power-loss simulation)."""
+        if not self.online:
+            return
+        self.online = False
+        if self._ssdp is not None:
+            self._ssdp.close()
+        if self._listener is not None:
+            self._listener.close()
+
+    def _answer_search(self, target: str) -> List[SsdpMessage]:
+        if target not in (SEARCH_ALL, self.description.device_type):
+            return []
+        return [
+            SsdpMessage(
+                kind=SEARCH_RESPONSE,
+                usn=self.description.udn,
+                notification_type=self.description.device_type,
+                location=self.location,
+            )
+        ]
+
+    # -- state table -------------------------------------------------------------------
+
+    def get_state(self, service_id: str, variable: str) -> str:
+        return self.state[service_id][variable]
+
+    def set_state(self, service_id: str, variable: str, value: str) -> None:
+        """Update a state variable; evented variables notify subscribers."""
+        self.state[service_id][variable] = value
+        service = self.description.service(service_id)
+        evented = any(
+            v.name == variable and v.evented for v in service.state_variables
+        )
+        if evented and self.online:
+            self.kernel.process(
+                self._notify_subscribers(service_id, variable, value),
+                name=f"gena-notify:{self.description.udn}",
+            )
+
+    def _notify_subscribers(
+        self, service_id: str, variable: str, value: str
+    ) -> Generator:
+        for subscription in list(self._subscriptions):
+            if subscription.service_id != service_id:
+                continue
+            if subscription.expires_at < self.kernel.now:
+                # Lease expired without renewal: GENA soft state.
+                self._subscriptions.remove(subscription)
+                continue
+            yield self.kernel.timeout(self.calibration.upnp.gena_notify_s)
+            stream = yield from self._notify_stream(subscription)
+            if stream is None:
+                continue
+            subscription.sequence += 1
+            notify = {
+                "kind": "gena-notify",
+                "sid": subscription.sid,
+                "variable": variable,
+                "value": str(value),
+                "seq": subscription.sequence,
+            }
+            try:
+                stream.send(notify, NOTIFY_SIZE_OVERHEAD + len(str(value)))
+            except Exception:
+                self._notify_streams.pop(
+                    (subscription.callback_address, subscription.callback_port), None
+                )
+
+    def _notify_stream(self, subscription: Subscription) -> Generator:
+        key = (subscription.callback_address, subscription.callback_port)
+        stream = self._notify_streams.get(key)
+        if stream is not None and not stream.closed:
+            return stream
+        try:
+            stream = yield StreamSocket.connect(
+                self.node, self.calibration.network, key[0], key[1]
+            )
+        except Exception:
+            self._subscriptions.remove(subscription)
+            return None
+        self._notify_streams[key] = stream
+        return stream
+
+    # -- request serving ------------------------------------------------------------------
+
+    def _accept_loop(self) -> Generator:
+        while True:
+            try:
+                stream = yield self._listener.accept()
+            except ConnectionClosed:
+                return
+            self.kernel.process(
+                self._serve(stream), name=f"upnp-serve:{self.description.udn}"
+            )
+
+    def _serve(self, stream: StreamSocket) -> Generator:
+        while True:
+            try:
+                request, _size = yield stream.recv()
+            except ConnectionClosed:
+                return
+            if not isinstance(request, dict):
+                continue
+            method = request.get("method")
+            path = request.get("path", "")
+            if method == "GET" and path == "/description.xml":
+                yield from self._serve_description(stream)
+            elif method == "POST" and path.startswith("/control/"):
+                yield from self._serve_control(stream, request)
+            elif method == "SUBSCRIBE" and path.startswith("/events/"):
+                self._serve_subscribe(stream, request)
+            elif method == "UNSUBSCRIBE":
+                self._serve_unsubscribe(stream, request)
+            else:
+                stream.send({"status": 404}, HTTP_HEADER_OVERHEAD)
+
+    def _serve_description(self, stream: StreamSocket) -> Generator:
+        # Generating the description document costs server-side time.
+        yield self.kernel.timeout(self.calibration.upnp.description_generation_s)
+        document = self.description.to_xml()
+        stream.send(
+            {"status": 200, "body": document},
+            HTTP_HEADER_OVERHEAD + len(document),
+        )
+
+    def _serve_control(self, stream: StreamSocket, request: dict) -> Generator:
+        service_id = request["path"][len("/control/"):]
+        # Device-side action cost: parse the SOAP request, run the action,
+        # build the response (Section 5.2's in-device share of the 150 ms).
+        yield self.kernel.timeout(self.calibration.upnp.device_action_processing_s)
+        try:
+            service_type, action, arguments = soap.parse_request(request["body"])
+            handler = self._handlers.get((service_id, action))
+            if handler is None:
+                body = soap.build_fault(401, f"Invalid Action {action!r}")
+            else:
+                results = handler(arguments, self) or {}
+                self.actions_served += 1
+                body = soap.build_response(service_type, action, results)
+        except soap.SoapError as exc:
+            body = soap.build_fault(402, str(exc))
+        stream.send({"status": 200, "body": body}, HTTP_HEADER_OVERHEAD + len(body))
+
+    def _serve_subscribe(self, stream: StreamSocket, request: dict) -> None:
+        lease = request.get("lease", DEFAULT_LEASE_S)
+        renewal_sid = request.get("sid")
+        if renewal_sid is not None:
+            # Renewal: refresh the existing subscription's lease.
+            for subscription in self._subscriptions:
+                if subscription.sid == renewal_sid:
+                    subscription.expires_at = self.kernel.now + lease
+                    stream.send(
+                        {"status": 200, "sid": renewal_sid, "lease": lease},
+                        HTTP_HEADER_OVERHEAD,
+                    )
+                    return
+            stream.send({"status": 412}, HTTP_HEADER_OVERHEAD)  # unknown SID
+            return
+        service_id = request["path"][len("/events/"):]
+        sid = new_sid()
+        self._subscriptions.append(
+            Subscription(
+                sid=sid,
+                callback_address=Address(request["callback_address"]),
+                callback_port=request["callback_port"],
+                service_id=service_id,
+                expires_at=self.kernel.now + lease,
+            )
+        )
+        stream.send(
+            {"status": 200, "sid": sid, "lease": lease}, HTTP_HEADER_OVERHEAD
+        )
+
+    def _serve_unsubscribe(self, stream: StreamSocket, request: dict) -> None:
+        sid = request.get("sid")
+        before = len(self._subscriptions)
+        self._subscriptions = [s for s in self._subscriptions if s.sid != sid]
+        status = 200 if len(self._subscriptions) < before else 412
+        stream.send({"status": status}, HTTP_HEADER_OVERHEAD)
+
+    @property
+    def active_subscriptions(self) -> int:
+        now = self.kernel.now
+        return sum(1 for s in self._subscriptions if s.expires_at >= now)

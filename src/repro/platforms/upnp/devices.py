@@ -1,0 +1,283 @@
+"""Concrete UPnP device models used throughout the reproduction.
+
+These are the devices Section 5 benchmarks: a binary light (the CyberLink
+emulated light switch of Section 5.2), a clock (whose 14-port translator
+dominates Figure 10), an air conditioner, and a MediaRenderer TV (the
+running example of Figure 5).  Each factory returns a fully wired
+:class:`UPnPDevice` with handlers that maintain honest device state.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional
+
+from repro.calibration import Calibration
+from repro.platforms.upnp.description import (
+    ActionDescription,
+    ArgumentDescription,
+    DeviceDescription,
+    ServiceDescription,
+    StateVariable,
+)
+from repro.platforms.upnp.device import UPnPDevice
+from repro.simnet.net import Node
+
+__all__ = [
+    "BINARY_LIGHT_TYPE",
+    "CLOCK_TYPE",
+    "AIR_CONDITIONER_TYPE",
+    "MEDIA_RENDERER_TYPE",
+    "make_binary_light",
+    "make_clock",
+    "make_air_conditioner",
+    "make_media_renderer",
+]
+
+BINARY_LIGHT_TYPE = "urn:schemas-upnp-org:device:BinaryLight:1"
+CLOCK_TYPE = "urn:schemas-upnp-org:device:Clock:1"
+AIR_CONDITIONER_TYPE = "urn:schemas-upnp-org:device:AirConditioner:1"
+MEDIA_RENDERER_TYPE = "urn:schemas-upnp-org:device:MediaRenderer:1"
+
+_udn_counter = itertools.count(1)
+
+
+def _udn(kind: str) -> str:
+    return f"uuid:{kind}-{next(_udn_counter)}"
+
+
+def _in(name: str, variable: str) -> ArgumentDescription:
+    return ArgumentDescription(name, "in", variable)
+
+
+def _out(name: str, variable: str) -> ArgumentDescription:
+    return ArgumentDescription(name, "out", variable)
+
+
+# ---------------------------------------------------------------------------
+# Binary light
+# ---------------------------------------------------------------------------
+
+def make_binary_light(
+    node: Node, calibration: Calibration, friendly_name: str = "Binary Light"
+) -> UPnPDevice:
+    """The emulated light switch of Section 5.2.
+
+    One SwitchPower service: ``SetPower(Power)`` and ``GetStatus``, with an
+    evented ``Status`` variable.  The physical light level is observable as
+    ``device.state['SwitchPower']['Status']``.
+    """
+    description = DeviceDescription(
+        device_type=BINARY_LIGHT_TYPE,
+        friendly_name=friendly_name,
+        udn=_udn("light"),
+        services=[
+            ServiceDescription(
+                service_type="urn:schemas-upnp-org:service:SwitchPower:1",
+                service_id="SwitchPower",
+                actions=[
+                    ActionDescription("SetPower", [_in("Power", "Status")]),
+                    ActionDescription("GetStatus", [_out("ResultStatus", "Status")]),
+                ],
+                state_variables=[
+                    StateVariable("Status", "boolean", evented=True, default="0")
+                ],
+            )
+        ],
+    )
+    device = UPnPDevice(node, calibration, description)
+
+    def set_power(arguments: Dict[str, str], dev: UPnPDevice) -> Dict[str, str]:
+        dev.set_state("SwitchPower", "Status", arguments["Power"])
+        return {}
+
+    def get_status(_arguments: Dict[str, str], dev: UPnPDevice) -> Dict[str, str]:
+        return {"ResultStatus": dev.get_state("SwitchPower", "Status")}
+
+    device.on_action("SwitchPower", "SetPower", set_power)
+    device.on_action("SwitchPower", "GetStatus", get_status)
+    return device
+
+
+# ---------------------------------------------------------------------------
+# Clock
+# ---------------------------------------------------------------------------
+
+def make_clock(
+    node: Node, calibration: Calibration, friendly_name: str = "Clock"
+) -> UPnPDevice:
+    """The clock whose translator carries 14 ports (Figure 10).
+
+    A TimeService with six actions over time/date/alarm state, four of the
+    variables evented.  The matching USDL document (see
+    :mod:`repro.bridges.usdl_library`) exposes 12 digital and 2 physical
+    ports plus the two service/device hierarchy entities.
+    """
+    description = DeviceDescription(
+        device_type=CLOCK_TYPE,
+        friendly_name=friendly_name,
+        udn=_udn("clock"),
+        services=[
+            ServiceDescription(
+                service_type="urn:schemas-upnp-org:service:TimeService:1",
+                service_id="TimeService",
+                actions=[
+                    ActionDescription("SetTime", [_in("NewTime", "Time")]),
+                    ActionDescription("GetTime", [_out("CurrentTime", "Time")]),
+                    ActionDescription("SetDate", [_in("NewDate", "Date")]),
+                    ActionDescription("GetDate", [_out("CurrentDate", "Date")]),
+                    ActionDescription("SetAlarm", [_in("AlarmTime", "Alarm")]),
+                    ActionDescription("CancelAlarm", []),
+                    ActionDescription("SetChime", [_in("NewChime", "Chime")]),
+                ],
+                state_variables=[
+                    StateVariable("Time", "string", evented=True, default="00:00:00"),
+                    StateVariable("Date", "string", evented=True, default="2006-01-01"),
+                    StateVariable("Alarm", "string", evented=True, default=""),
+                    StateVariable("Chime", "boolean", evented=True, default="0"),
+                ],
+            )
+        ],
+    )
+    device = UPnPDevice(node, calibration, description)
+
+    def set_time(arguments, dev):
+        dev.set_state("TimeService", "Time", arguments["NewTime"])
+        return {}
+
+    def get_time(_arguments, dev):
+        return {"CurrentTime": dev.get_state("TimeService", "Time")}
+
+    def set_date(arguments, dev):
+        dev.set_state("TimeService", "Date", arguments["NewDate"])
+        return {}
+
+    def get_date(_arguments, dev):
+        return {"CurrentDate": dev.get_state("TimeService", "Date")}
+
+    def set_alarm(arguments, dev):
+        dev.set_state("TimeService", "Alarm", arguments["AlarmTime"])
+        return {}
+
+    def cancel_alarm(_arguments, dev):
+        dev.set_state("TimeService", "Alarm", "")
+        return {}
+
+    def set_chime(arguments, dev):
+        dev.set_state("TimeService", "Chime", arguments["NewChime"])
+        return {}
+
+    device.on_action("TimeService", "SetChime", set_chime)
+    device.on_action("TimeService", "SetTime", set_time)
+    device.on_action("TimeService", "GetTime", get_time)
+    device.on_action("TimeService", "SetDate", set_date)
+    device.on_action("TimeService", "GetDate", get_date)
+    device.on_action("TimeService", "SetAlarm", set_alarm)
+    device.on_action("TimeService", "CancelAlarm", cancel_alarm)
+    return device
+
+
+# ---------------------------------------------------------------------------
+# Air conditioner
+# ---------------------------------------------------------------------------
+
+def make_air_conditioner(
+    node: Node, calibration: Calibration, friendly_name: str = "Air Conditioner"
+) -> UPnPDevice:
+    """An air conditioner: SetTemperature / GetTemperature, evented."""
+    description = DeviceDescription(
+        device_type=AIR_CONDITIONER_TYPE,
+        friendly_name=friendly_name,
+        udn=_udn("aircon"),
+        services=[
+            ServiceDescription(
+                service_type="urn:schemas-upnp-org:service:Thermostat:1",
+                service_id="Thermostat",
+                actions=[
+                    ActionDescription(
+                        "SetTemperature", [_in("NewTemperature", "Temperature")]
+                    ),
+                    ActionDescription(
+                        "GetTemperature", [_out("CurrentTemperature", "Temperature")]
+                    ),
+                ],
+                state_variables=[
+                    StateVariable("Temperature", "i4", evented=True, default="24")
+                ],
+            )
+        ],
+    )
+    device = UPnPDevice(node, calibration, description)
+
+    def set_temperature(arguments, dev):
+        dev.set_state("Thermostat", "Temperature", arguments["NewTemperature"])
+        return {}
+
+    def get_temperature(_arguments, dev):
+        return {"CurrentTemperature": dev.get_state("Thermostat", "Temperature")}
+
+    device.on_action("Thermostat", "SetTemperature", set_temperature)
+    device.on_action("Thermostat", "GetTemperature", get_temperature)
+    return device
+
+
+# ---------------------------------------------------------------------------
+# MediaRenderer
+# ---------------------------------------------------------------------------
+
+def make_media_renderer(
+    node: Node, calibration: Calibration, friendly_name: str = "MediaRenderer TV"
+) -> UPnPDevice:
+    """The MediaRenderer TV of Figure 5.
+
+    A RenderingControl service whose ``Render`` action accepts a media item
+    (URI plus inline data in our simulation); rendered items accumulate in
+    ``device.rendered`` so tests and the G2 UI can observe what is on
+    screen.
+    """
+    description = DeviceDescription(
+        device_type=MEDIA_RENDERER_TYPE,
+        friendly_name=friendly_name,
+        udn=_udn("renderer"),
+        services=[
+            ServiceDescription(
+                service_type="urn:schemas-upnp-org:service:RenderingControl:1",
+                service_id="RenderingControl",
+                actions=[
+                    ActionDescription(
+                        "Render",
+                        [_in("Data", "CurrentItem"), _in("ContentType", "ContentType")],
+                    ),
+                    ActionDescription("Stop", []),
+                    ActionDescription(
+                        "GetCurrentItem", [_out("Item", "CurrentItem")]
+                    ),
+                ],
+                state_variables=[
+                    StateVariable("CurrentItem", "string", evented=True, default=""),
+                    StateVariable("ContentType", "string", evented=False, default=""),
+                ],
+            )
+        ],
+    )
+    device = UPnPDevice(node, calibration, description)
+    device.rendered = []  # type: ignore[attr-defined]
+
+    def render(arguments, dev):
+        dev.rendered.append(
+            {"data": arguments["Data"], "content_type": arguments.get("ContentType", "")}
+        )
+        dev.set_state("RenderingControl", "CurrentItem", arguments["Data"])
+        return {}
+
+    def stop(_arguments, dev):
+        dev.set_state("RenderingControl", "CurrentItem", "")
+        return {}
+
+    def get_current_item(_arguments, dev):
+        return {"Item": dev.get_state("RenderingControl", "CurrentItem")}
+
+    device.on_action("RenderingControl", "Render", render)
+    device.on_action("RenderingControl", "Stop", stop)
+    device.on_action("RenderingControl", "GetCurrentItem", get_current_item)
+    return device

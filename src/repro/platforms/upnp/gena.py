@@ -1,0 +1,94 @@
+"""GENA: UPnP's General Event Notification Architecture.
+
+Control points SUBSCRIBE to a service's evented state variables; the device
+then pushes NOTIFY messages carrying variable changes.  In real UPnP the
+NOTIFY is an HTTP callback to a URL the subscriber serves; here the
+subscriber runs an event listener (a small stream server) and the device
+connects back to it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, Generator, Optional, Tuple
+
+from repro.calibration import Calibration
+from repro.simnet.addresses import Address
+from repro.simnet.net import Node
+from repro.simnet.sockets import ConnectionClosed, StreamListener, StreamSocket
+
+__all__ = ["EventListener", "Subscription", "NOTIFY_SIZE_OVERHEAD"]
+
+_sid_counter = itertools.count(1)
+_listener_port_counter = itertools.count(6100)
+
+NOTIFY_SIZE_OVERHEAD = 180  # HTTP NOTIFY headers + property-set XML wrapper
+
+
+#: Default GENA lease duration (real devices commonly use 1800 s; we use a
+#: shorter lease so tests exercise expiry and renewal quickly).
+DEFAULT_LEASE_S = 300.0
+
+
+@dataclass
+class Subscription:
+    """Device-side record of one subscriber."""
+
+    sid: str
+    callback_address: Address
+    callback_port: int
+    service_id: str
+    sequence: int = 0
+    expires_at: float = float("inf")
+
+
+class EventListener:
+    """Subscriber-side NOTIFY sink: dispatches variable changes by SID."""
+
+    def __init__(self, node: Node, calibration: Calibration):
+        self.node = node
+        self.calibration = calibration
+        self.kernel = node.network.kernel
+        self.port = next(_listener_port_counter)
+        self._listener = StreamListener(node, calibration.network, self.port)
+        self._callbacks: Dict[str, Callable[[str, str], None]] = {}
+        self.notifications_received = 0
+        self.kernel.process(self._accept_loop(), name=f"gena-listen:{node.name}")
+
+    def expect(self, sid: str, callback: Callable[[str, str], None]) -> None:
+        """Route NOTIFYs carrying ``sid`` to ``callback(variable, value)``."""
+        self._callbacks[sid] = callback
+
+    def forget(self, sid: str) -> None:
+        self._callbacks.pop(sid, None)
+
+    def close(self) -> None:
+        self._listener.close()
+
+    def _accept_loop(self) -> Generator:
+        while True:
+            try:
+                stream = yield self._listener.accept()
+            except ConnectionClosed:
+                return
+            self.kernel.process(
+                self._serve(stream), name=f"gena-serve:{self.node.name}"
+            )
+
+    def _serve(self, stream: StreamSocket) -> Generator:
+        while True:
+            try:
+                notify, _size = yield stream.recv()
+            except ConnectionClosed:
+                return
+            if not isinstance(notify, dict) or notify.get("kind") != "gena-notify":
+                continue
+            self.notifications_received += 1
+            callback = self._callbacks.get(notify["sid"])
+            if callback is not None:
+                callback(notify["variable"], notify["value"])
+
+
+def new_sid() -> str:
+    return f"uuid:gena-{next(_sid_counter)}"

@@ -1,0 +1,112 @@
+"""SOAP envelopes for UPnP control.
+
+UPnP actions travel as SOAP 1.1 envelopes over HTTP POST.  We build and
+parse real XML strings so payload sizes and parse work are honest; the
+calibrated marshal/unmarshal costs are charged by the device and control
+point, not here (this module is pure data transformation).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+__all__ = [
+    "SoapError",
+    "SoapFault",
+    "build_request",
+    "parse_request",
+    "build_response",
+    "build_fault",
+    "parse_response",
+]
+
+ENVELOPE_NS = "http://schemas.xmlsoap.org/soap/envelope/"
+
+
+class SoapError(Exception):
+    """Malformed SOAP documents."""
+
+
+@dataclass(frozen=True)
+class SoapFault(Exception):
+    """A UPnP error response (SOAP fault)."""
+
+    code: int
+    description: str
+
+    def __str__(self) -> str:
+        return f"UPnPError {self.code}: {self.description}"
+
+
+def build_request(service_type: str, action: str, arguments: Dict[str, str]) -> str:
+    """Serialize an action invocation to its SOAP envelope."""
+    envelope = ET.Element(f"{{{ENVELOPE_NS}}}Envelope")
+    body = ET.SubElement(envelope, f"{{{ENVELOPE_NS}}}Body")
+    action_el = ET.SubElement(body, f"{{{service_type}}}{action}")
+    for name in sorted(arguments):
+        ET.SubElement(action_el, name).text = str(arguments[name])
+    return ET.tostring(envelope, encoding="unicode")
+
+
+def parse_request(text: str) -> Tuple[str, str, Dict[str, str]]:
+    """Parse a request envelope; returns (service_type, action, arguments)."""
+    action_el = _body_element(text)
+    service_type, action = _split_qualified(action_el.tag)
+    arguments = {_local(child.tag): (child.text or "") for child in action_el}
+    return service_type, action, arguments
+
+
+def build_response(service_type: str, action: str, results: Dict[str, str]) -> str:
+    """Serialize an action response envelope."""
+    envelope = ET.Element(f"{{{ENVELOPE_NS}}}Envelope")
+    body = ET.SubElement(envelope, f"{{{ENVELOPE_NS}}}Body")
+    response_el = ET.SubElement(body, f"{{{service_type}}}{action}Response")
+    for name in sorted(results):
+        ET.SubElement(response_el, name).text = str(results[name])
+    return ET.tostring(envelope, encoding="unicode")
+
+
+def build_fault(code: int, description: str) -> str:
+    envelope = ET.Element(f"{{{ENVELOPE_NS}}}Envelope")
+    body = ET.SubElement(envelope, f"{{{ENVELOPE_NS}}}Body")
+    fault = ET.SubElement(body, f"{{{ENVELOPE_NS}}}Fault")
+    ET.SubElement(fault, "faultcode").text = str(code)
+    ET.SubElement(fault, "faultstring").text = description
+    return ET.tostring(envelope, encoding="unicode")
+
+
+def parse_response(text: str) -> Dict[str, str]:
+    """Parse a response envelope into its result dict; raises SoapFault."""
+    element = _body_element(text)
+    if _local(element.tag) == "Fault":
+        code_el = element.find("faultcode")
+        string_el = element.find("faultstring")
+        raise SoapFault(
+            code=int(code_el.text) if code_el is not None and code_el.text else 0,
+            description=string_el.text if string_el is not None else "",
+        )
+    return {_local(child.tag): (child.text or "") for child in element}
+
+
+def _body_element(text: str) -> ET.Element:
+    try:
+        envelope = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise SoapError(f"malformed SOAP XML: {exc}") from exc
+    body = envelope.find(f"{{{ENVELOPE_NS}}}Body")
+    if body is None or len(body) == 0:
+        raise SoapError("missing SOAP body")
+    return body[0]
+
+
+def _split_qualified(tag: str) -> Tuple[str, str]:
+    if not tag.startswith("{"):
+        raise SoapError(f"unqualified body element {tag!r}")
+    namespace, local = tag[1:].split("}", 1)
+    return namespace, local
+
+
+def _local(tag: str) -> str:
+    return tag.split("}", 1)[1] if tag.startswith("{") else tag

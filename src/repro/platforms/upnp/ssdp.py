@@ -1,0 +1,159 @@
+"""SSDP: Simple Service Discovery Protocol.
+
+UPnP's discovery layer: devices multicast ``NOTIFY ssdp:alive`` on arrival
+(and ``ssdp:byebye`` on departure), control points multicast ``M-SEARCH``
+queries and devices answer with unicast responses after a small random-ish
+delay (we use the calibrated fixed delay for determinism).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generator, List, Optional
+
+from repro.calibration import Calibration
+from repro.simnet.addresses import Address
+from repro.simnet.kernel import Kernel
+from repro.simnet.net import Node
+from repro.simnet.sockets import ConnectionClosed, DatagramSocket
+
+__all__ = ["SSDP_GROUP", "SSDP_PORT", "SsdpMessage", "SsdpAgent"]
+
+SSDP_GROUP = "239.255.255.250"
+SSDP_PORT = 1900
+
+NOTIFY_ALIVE = "ssdp:alive"
+NOTIFY_BYEBYE = "ssdp:byebye"
+M_SEARCH = "m-search"
+SEARCH_RESPONSE = "search-response"
+SEARCH_ALL = "ssdp:all"
+
+
+@dataclass(frozen=True)
+class SsdpMessage:
+    """One SSDP message (NOTIFY, M-SEARCH or a search response)."""
+
+    kind: str
+    usn: str = ""                 # unique service name (device UDN)
+    notification_type: str = ""   # device type urn, or ssdp:all in searches
+    location: str = ""            # "address:port" of the description server
+    max_age: int = 1800
+
+    def estimated_size(self) -> int:
+        return 120 + len(self.usn) + len(self.notification_type) + len(self.location)
+
+
+class SsdpAgent:
+    """Both halves of SSDP: device-side announcing and CP-side searching.
+
+    Device side::
+
+        agent.announce_alive(udn, device_type, location)
+        agent.serve_searches(lambda st: [answers...])   # starts a process
+
+    Control-point side::
+
+        found = yield from agent.search("ssdp:all", wait=0.3)
+        agent.on_notify(callback)                       # async NOTIFY watch
+    """
+
+    def __init__(self, node: Node, calibration: Calibration):
+        self.node = node
+        self.calibration = calibration
+        self.kernel: Kernel = node.network.kernel
+        self._socket = DatagramSocket(node, calibration.network)
+        self._socket.join(SSDP_GROUP, SSDP_PORT)
+        #: unicast socket for search responses addressed directly to us
+        self._notify_callbacks: List[Callable[[SsdpMessage, Address], None]] = []
+        self._search_responders: List[Callable[[str], List[SsdpMessage]]] = []
+        self._pending_searches: List[List] = []
+        self.closed = False
+        self.kernel.process(self._receive_loop(), name=f"ssdp:{node.name}")
+
+    # -- device side -----------------------------------------------------------
+
+    def announce_alive(self, usn: str, notification_type: str, location: str) -> None:
+        message = SsdpMessage(
+            kind=NOTIFY_ALIVE,
+            usn=usn,
+            notification_type=notification_type,
+            location=location,
+        )
+        self._socket.send_multicast(
+            message, message.estimated_size(), SSDP_GROUP, SSDP_PORT
+        )
+
+    def announce_byebye(self, usn: str, notification_type: str) -> None:
+        message = SsdpMessage(
+            kind=NOTIFY_BYEBYE, usn=usn, notification_type=notification_type
+        )
+        self._socket.send_multicast(
+            message, message.estimated_size(), SSDP_GROUP, SSDP_PORT
+        )
+
+    def serve_searches(
+        self, responder: Callable[[str], List[SsdpMessage]]
+    ) -> None:
+        """Register a responder answering M-SEARCH queries.
+
+        ``responder(search_target)`` returns the response messages to send;
+        responses are delayed by the calibrated SSDP response delay.
+        """
+        self._search_responders.append(responder)
+
+    # -- control-point side --------------------------------------------------------
+
+    def on_notify(self, callback: Callable[[SsdpMessage, Address], None]) -> None:
+        """Watch multicast NOTIFY traffic (alive and byebye)."""
+        self._notify_callbacks.append(callback)
+
+    def search(self, target: str = SEARCH_ALL, wait: float = 0.3) -> Generator:
+        """M-SEARCH and collect responses for ``wait`` seconds (generator)."""
+        message = SsdpMessage(kind=M_SEARCH, notification_type=target)
+        collector: List = []
+        self._pending_searches.append(collector)
+        self._socket.send_multicast(
+            message, message.estimated_size(), SSDP_GROUP, SSDP_PORT
+        )
+        yield self.kernel.timeout(wait)
+        self._pending_searches.remove(collector)
+        return list(collector)
+
+    # -- plumbing ----------------------------------------------------------------------
+
+    def close(self) -> None:
+        self.closed = True
+        self._socket.close()
+
+    def _receive_loop(self) -> Generator:
+        while not self.closed:
+            try:
+                datagram = yield self._socket.recv()
+            except ConnectionClosed:
+                return
+            message = datagram.payload
+            if not isinstance(message, SsdpMessage):
+                continue
+            if message.kind in (NOTIFY_ALIVE, NOTIFY_BYEBYE):
+                for callback in list(self._notify_callbacks):
+                    callback(message, datagram.src)
+            elif message.kind == M_SEARCH:
+                yield from self._answer_search(message, datagram)
+            elif message.kind == SEARCH_RESPONSE:
+                for collector in self._pending_searches:
+                    collector.append(message)
+
+    def _answer_search(self, message: SsdpMessage, datagram) -> Generator:
+        matches: List[SsdpMessage] = []
+        for responder in self._search_responders:
+            matches.extend(responder(message.notification_type))
+        if not matches:
+            return
+        yield self.kernel.timeout(self.calibration.upnp.ssdp_response_delay_s)
+        for response in matches:
+            self._socket.sendto(
+                response,
+                response.estimated_size(),
+                datagram.src,
+                datagram.sport,
+            )

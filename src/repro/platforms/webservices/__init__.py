@@ -1,0 +1,24 @@
+"""Simple XML-over-HTTP web services.
+
+The paper lists "various web services" among the platforms uMiddle
+bridges.  This package provides a minimal request/response web-service
+platform: services publish named operations behind an HTTP-like endpoint
+with a WSDL-ish description document; clients invoke operations with XML
+envelopes.
+"""
+
+from repro.platforms.webservices.http import HttpClient, HttpError, HttpServer
+from repro.platforms.webservices.service import (
+    Operation,
+    WebService,
+    WebServiceClient,
+)
+
+__all__ = [
+    "HttpServer",
+    "HttpClient",
+    "HttpError",
+    "Operation",
+    "WebService",
+    "WebServiceClient",
+]

@@ -1,0 +1,130 @@
+"""A minimal HTTP layer over simulated streams."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, Optional, Tuple
+
+from repro.calibration import Calibration
+from repro.simnet.addresses import Address
+from repro.simnet.net import Node
+from repro.simnet.sockets import ConnectionClosed, StreamListener, StreamSocket
+
+__all__ = ["HttpError", "HttpServer", "HttpClient", "HTTP_OVERHEAD"]
+
+HTTP_OVERHEAD = 180
+
+
+class HttpError(Exception):
+    """Transport-level or status-code failures."""
+
+    def __init__(self, status: int, message: str = ""):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class HttpServer:
+    """Routes ``(method, path)`` to handlers.
+
+    Handlers take the request dict and return ``(status, body, body_size)``;
+    generator handlers are supported for work that takes simulated time.
+    """
+
+    def __init__(self, node: Node, calibration: Calibration, port: int):
+        self.node = node
+        self.calibration = calibration
+        self.kernel = node.network.kernel
+        self.port = port
+        self._routes: Dict[Tuple[str, str], Callable] = {}
+        self._prefix_routes: Dict[Tuple[str, str], Callable] = {}
+        self._listener = StreamListener(node, calibration.network, port)
+        self.requests_served = 0
+        self.kernel.process(self._accept_loop(), name=f"http:{node.name}:{port}")
+
+    def route(self, method: str, path: str, handler: Callable) -> None:
+        self._routes[(method, path)] = handler
+
+    def route_prefix(self, method: str, prefix: str, handler: Callable) -> None:
+        self._prefix_routes[(method, prefix)] = handler
+
+    def close(self) -> None:
+        self._listener.close()
+
+    def _find_handler(self, method: str, path: str) -> Optional[Callable]:
+        handler = self._routes.get((method, path))
+        if handler is not None:
+            return handler
+        for (route_method, prefix), prefix_handler in self._prefix_routes.items():
+            if route_method == method and path.startswith(prefix):
+                return prefix_handler
+        return None
+
+    def _accept_loop(self) -> Generator:
+        while True:
+            try:
+                stream = yield self._listener.accept()
+            except ConnectionClosed:
+                return
+            self.kernel.process(self._serve(stream), name=f"http-conn:{self.port}")
+
+    def _serve(self, stream: StreamSocket) -> Generator:
+        while True:
+            try:
+                request, _size = yield stream.recv()
+            except ConnectionClosed:
+                return
+            method = request.get("method", "GET")
+            path = request.get("path", "/")
+            handler = self._find_handler(method, path)
+            if handler is None:
+                stream.send({"status": 404, "body": ""}, HTTP_OVERHEAD)
+                continue
+            outcome = handler(request)
+            if hasattr(outcome, "send") and hasattr(outcome, "throw"):
+                outcome = yield from outcome
+            status, body, body_size = outcome
+            self.requests_served += 1
+            stream.send(
+                {"status": status, "body": body}, HTTP_OVERHEAD + body_size
+            )
+
+
+class HttpClient:
+    """Issues requests, reusing one connection per server."""
+
+    def __init__(self, node: Node, calibration: Calibration):
+        self.node = node
+        self.calibration = calibration
+        self.kernel = node.network.kernel
+        self._streams: Dict[Tuple[Address, int], StreamSocket] = {}
+
+    def request(
+        self,
+        address: Address,
+        port: int,
+        method: str,
+        path: str,
+        body: object = None,
+        body_size: int = 0,
+    ) -> Generator:
+        """One request/response; returns the response body (dict['body'])."""
+        key = (address, port)
+        stream = self._streams.get(key)
+        if stream is None or stream.closed:
+            stream = yield StreamSocket.connect(
+                self.node, self.calibration.network, address, port
+            )
+            self._streams[key] = stream
+        stream.send(
+            {"method": method, "path": path, "body": body},
+            HTTP_OVERHEAD + body_size,
+        )
+        response, _size = yield stream.recv()
+        status = response.get("status", 500)
+        if status >= 400:
+            raise HttpError(status, path)
+        return response.get("body")
+
+    def close(self) -> None:
+        for stream in self._streams.values():
+            stream.close()
+        self._streams.clear()

@@ -1,0 +1,148 @@
+"""Web services: operations behind an XML endpoint with a description.
+
+A :class:`WebService` publishes named operations; ``GET /describe`` serves
+a WSDL-ish XML description (operation names plus input/output element
+names), and ``POST /invoke/<operation>`` executes one.  The web-services
+mapper reads the description to parameterize its translators.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Tuple
+
+from repro.calibration import Calibration
+from repro.platforms.webservices.http import HttpClient, HttpServer
+from repro.simnet.addresses import Address
+from repro.simnet.net import Node
+
+__all__ = ["Operation", "WebService", "WebServiceClient", "parse_ws_description"]
+
+WS_PORT_BASE = 8080
+
+#: handler(params: dict) -> (result: dict, result_size: int)
+OperationHandler = Callable[[Dict[str, Any]], Tuple[Dict[str, Any], int]]
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One operation's signature."""
+
+    name: str
+    input_elements: List[str] = field(default_factory=list)
+    output_elements: List[str] = field(default_factory=list)
+
+
+class WebService:
+    """One web service on a node."""
+
+    _port_counter = WS_PORT_BASE
+
+    def __init__(
+        self,
+        node: Node,
+        calibration: Calibration,
+        name: str,
+        port: int = 0,
+    ):
+        if port == 0:
+            WebService._port_counter += 1
+            port = WebService._port_counter
+        self.node = node
+        self.calibration = calibration
+        self.kernel = node.network.kernel
+        self.name = name
+        self.port = port
+        self.operations: Dict[str, Operation] = {}
+        self._handlers: Dict[str, OperationHandler] = {}
+        self.server = HttpServer(node, calibration, port)
+        self.server.route("GET", "/describe", self._serve_description)
+        self.server.route_prefix("POST", "/invoke/", self._serve_invoke)
+        self.invocations = 0
+
+    def add_operation(self, operation: Operation, handler: OperationHandler) -> None:
+        self.operations[operation.name] = operation
+        self._handlers[operation.name] = handler
+
+    @property
+    def address(self) -> Address:
+        return self.node.address
+
+    def describe_xml(self) -> str:
+        root = ET.Element("service", {"name": self.name})
+        for operation in self.operations.values():
+            op_el = ET.SubElement(root, "operation", {"name": operation.name})
+            for element in operation.input_elements:
+                ET.SubElement(op_el, "input", {"name": element})
+            for element in operation.output_elements:
+                ET.SubElement(op_el, "output", {"name": element})
+        return ET.tostring(root, encoding="unicode")
+
+    def close(self) -> None:
+        self.server.close()
+
+    # -- handlers ---------------------------------------------------------------
+
+    def _serve_description(self, _request: dict):
+        body = self.describe_xml()
+        return 200, body, len(body)
+
+    def _serve_invoke(self, request: dict):
+        operation_name = request["path"][len("/invoke/"):]
+        handler = self._handlers.get(operation_name)
+        if handler is None:
+            return 404, "", 0
+        params = request.get("body") or {}
+        result, result_size = handler(params)
+        self.invocations += 1
+        return 200, result, result_size
+
+
+def parse_ws_description(xml_text: str) -> Tuple[str, List[Operation]]:
+    """Parse a service description; returns (service_name, operations)."""
+    root = ET.fromstring(xml_text)
+    operations = []
+    for op_el in root.findall("operation"):
+        operations.append(
+            Operation(
+                name=op_el.get("name", ""),
+                input_elements=[e.get("name", "") for e in op_el.findall("input")],
+                output_elements=[e.get("name", "") for e in op_el.findall("output")],
+            )
+        )
+    return root.get("name", ""), operations
+
+
+class WebServiceClient:
+    """Invokes operations on a remote web service."""
+
+    def __init__(self, node: Node, calibration: Calibration):
+        self.node = node
+        self.calibration = calibration
+        self._http = HttpClient(node, calibration)
+
+    def describe(self, address: Address, port: int) -> Generator:
+        body = yield from self._http.request(address, port, "GET", "/describe")
+        return parse_ws_description(body)
+
+    def invoke(
+        self,
+        address: Address,
+        port: int,
+        operation: str,
+        params: Dict[str, Any],
+        params_size: int = 64,
+    ) -> Generator:
+        result = yield from self._http.request(
+            address,
+            port,
+            "POST",
+            f"/invoke/{operation}",
+            body=params,
+            body_size=params_size,
+        )
+        return result
+
+    def close(self) -> None:
+        self._http.close()

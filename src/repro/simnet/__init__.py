@@ -1,0 +1,65 @@
+"""Discrete-event simulation substrate for the uMiddle reproduction.
+
+The paper's evaluation ran on three ThinkPad laptops connected by a 10 Mbps
+Ethernet hub, with real Bluetooth and UPnP hardware.  This package replaces
+that testbed with a deterministic discrete-event simulation:
+
+- :mod:`repro.simnet.kernel` -- the event scheduler, simulated clock and
+  generator-based process model (a from-scratch mini ``simpy``).
+- :mod:`repro.simnet.net` -- nodes, links and shared media with bandwidth,
+  latency and loss models.
+- :mod:`repro.simnet.sockets` -- datagram, multicast and reliable stream
+  endpoints used by the simulated platforms and by uMiddle itself.
+- :mod:`repro.simnet.addresses` -- address allocation and name resolution.
+- :mod:`repro.simnet.trace` -- structured event tracing for tests/benches.
+
+All timing in the reproduction is *simulated* time produced by this package,
+so benchmark results are deterministic and hardware-independent.
+"""
+
+from repro.simnet.kernel import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Kernel,
+    Process,
+    ProcessKilled,
+    SimulationError,
+    Timeout,
+)
+from repro.simnet.net import Hub, Link, Network, Node
+from repro.simnet.addresses import Address, AddressAllocator
+from repro.simnet.sockets import (
+    DatagramSocket,
+    Datagram,
+    MulticastGroup,
+    StreamListener,
+    StreamSocket,
+)
+from repro.simnet.trace import TraceRecorder, TraceRecord
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "Kernel",
+    "Process",
+    "ProcessKilled",
+    "SimulationError",
+    "Timeout",
+    "Hub",
+    "Link",
+    "Network",
+    "Node",
+    "Address",
+    "AddressAllocator",
+    "Datagram",
+    "DatagramSocket",
+    "MulticastGroup",
+    "StreamListener",
+    "StreamSocket",
+    "TraceRecorder",
+    "TraceRecord",
+]

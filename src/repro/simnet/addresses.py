@@ -1,0 +1,78 @@
+"""Addressing for the simulated network.
+
+Addresses are lightweight, hashable host identifiers ("10.0.0.7"-style
+dotted strings by default).  The :class:`AddressAllocator` hands out unique
+addresses for a network, and supports symbolic name registration so tests
+and examples can refer to hosts by role ("upnp-host", "bt-host", ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator
+
+__all__ = ["Address", "AddressAllocator", "AddressError"]
+
+
+class AddressError(Exception):
+    """Raised for allocation/resolution failures."""
+
+
+@dataclass(frozen=True, order=True)
+class Address:
+    """An immutable host address on the simulated network."""
+
+    host: str
+
+    def __str__(self) -> str:
+        return self.host
+
+
+class AddressAllocator:
+    """Allocates unique :class:`Address` values and resolves symbolic names.
+
+    >>> alloc = AddressAllocator(prefix="10.0.0.")
+    >>> alloc.allocate("laptop-1")
+    Address(host='10.0.0.1')
+    >>> alloc.resolve("laptop-1")
+    Address(host='10.0.0.1')
+    """
+
+    def __init__(self, prefix: str = "10.0.0."):
+        self._prefix = prefix
+        self._next_suffix = 1
+        self._by_name: Dict[str, Address] = {}
+        self._names_by_address: Dict[Address, str] = {}
+
+    def allocate(self, name: str) -> Address:
+        """Allocate a fresh address registered under ``name``."""
+        if name in self._by_name:
+            raise AddressError(f"name already registered: {name!r}")
+        address = Address(f"{self._prefix}{self._next_suffix}")
+        self._next_suffix += 1
+        self._by_name[name] = address
+        self._names_by_address[address] = name
+        return address
+
+    def resolve(self, name: str) -> Address:
+        """Return the address registered under ``name``."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise AddressError(f"unknown name: {name!r}") from None
+
+    def name_of(self, address: Address) -> str:
+        """Reverse lookup: the symbolic name for ``address``."""
+        try:
+            return self._names_by_address[address]
+        except KeyError:
+            raise AddressError(f"unknown address: {address}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._by_name)
+
+    def __len__(self) -> int:
+        return len(self._by_name)

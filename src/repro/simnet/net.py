@@ -1,0 +1,534 @@
+"""Simulated network: nodes, links and shared media.
+
+The model is deliberately close to the paper's testbed: hosts with one or
+more network interfaces attached to *media*.  A :class:`Hub` models the
+paper's shared 10 Mbps Ethernet hub (one transmission at a time on the whole
+segment); a :class:`Link` models a dedicated point-to-point connection such
+as a Bluetooth ACL link between a host and a device.
+
+Frames carry an explicit ``wire_size`` (payload plus transport headers);
+media add their layer-2 framing overhead on top.  Nodes with multiple
+interfaces forward frames hop by hop, so multi-segment topologies (the
+"campus" deployments of Section 3.6) work without a separate router class.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.simnet.addresses import Address, AddressAllocator, AddressError
+from repro.simnet.kernel import Kernel
+from repro.simnet.trace import TraceRecorder
+
+__all__ = [
+    "Frame",
+    "NetworkError",
+    "Interface",
+    "Medium",
+    "Hub",
+    "Switch",
+    "Link",
+    "Node",
+    "Network",
+]
+
+#: Hop budget: frames are dropped (with a trace record) once exceeded.
+MAX_HOPS = 16
+
+
+class NetworkError(Exception):
+    """Raised for malformed sends, unknown destinations and similar misuse."""
+
+
+@dataclass
+class Frame:
+    """One frame in flight.
+
+    ``payload`` is an arbitrary Python object (the simulation never inspects
+    it); ``wire_size`` is the number of bytes the frame occupies on the wire
+    *excluding* layer-2 overhead, which each medium adds itself.
+    """
+
+    src: Address
+    dst: Optional[Address]
+    protocol: str
+    sport: int
+    dport: int
+    payload: Any
+    wire_size: int
+    multicast_group: Optional[str] = None
+    hops: int = 0
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def clone(self) -> "Frame":
+        return Frame(
+            src=self.src,
+            dst=self.dst,
+            protocol=self.protocol,
+            sport=self.sport,
+            dport=self.dport,
+            payload=self.payload,
+            wire_size=self.wire_size,
+            multicast_group=self.multicast_group,
+            hops=self.hops,
+            metadata=dict(self.metadata),
+        )
+
+
+class Interface:
+    """One attachment point of a node to a medium."""
+
+    def __init__(self, node: "Node", medium: "Medium", address: Address):
+        self.node = node
+        self.medium = medium
+        self.address = address
+        self.multicast_groups: Set[str] = set()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Interface {self.address} on {self.medium.name} of {self.node.name}>"
+
+
+class Medium:
+    """Base class for transmission media.
+
+    Subclasses decide contention (shared vs. per-direction) by implementing
+    :meth:`_reserve`, which returns the transmission *start* time for a frame
+    of a given duration and books the medium accordingly.
+    """
+
+    def __init__(
+        self,
+        network: "Network",
+        name: str,
+        bandwidth_bps: float,
+        latency_s: float,
+        frame_overhead_bytes: int = 0,
+        loss_rate: float = 0.0,
+        seed: int = 0,
+    ):
+        if bandwidth_bps <= 0:
+            raise NetworkError("bandwidth must be positive")
+        if not 0.0 <= loss_rate < 1.0:
+            raise NetworkError("loss_rate must be in [0, 1)")
+        self.network = network
+        self.name = name
+        self.bandwidth_bps = bandwidth_bps
+        self.latency_s = latency_s
+        self.frame_overhead_bytes = frame_overhead_bytes
+        self.loss_rate = loss_rate
+        self._rng = random.Random(seed)
+        self.interfaces: List[Interface] = []
+        #: Cumulative bytes transmitted (wire bytes incl. overhead).
+        self.bytes_transmitted = 0
+        self.frames_transmitted = 0
+        self.frames_dropped = 0
+
+    # -- attachment -----------------------------------------------------
+
+    def _attach(self, interface: Interface) -> None:
+        self.interfaces.append(interface)
+
+    def interface_for(self, address: Address) -> Optional[Interface]:
+        for interface in self.interfaces:
+            if interface.address == address:
+                return interface
+        return None
+
+    # -- transmission -----------------------------------------------------
+
+    def _reserve(self, sender: Interface, duration: float) -> float:
+        raise NotImplementedError
+
+    def transmit(self, sender: Interface, frame: Frame) -> float:
+        """Transmit ``frame`` from ``sender``; returns the delivery time.
+
+        Delivery is scheduled on the kernel; lost frames are recorded and
+        silently dropped (datagram semantics; the stream layer adds its own
+        reliability on top).
+        """
+        kernel = self.network.kernel
+        wire_bytes = frame.wire_size + self.frame_overhead_bytes
+        duration = wire_bytes * 8.0 / self.bandwidth_bps
+        start = self._reserve(sender, duration)
+        finish = start + duration
+        delivery = finish + self.latency_s
+        self.bytes_transmitted += wire_bytes
+        self.frames_transmitted += 1
+
+        if self.loss_rate and self._rng.random() < self.loss_rate:
+            self.frames_dropped += 1
+            self.network.trace.emit(
+                "net.drop",
+                f"{self.name}: dropped frame {frame.src}->{frame.dst}",
+                wire_bytes=wire_bytes,
+            )
+            return delivery
+
+        kernel.call_later(delivery - kernel.now, lambda: self._deliver(sender, frame))
+        self.network.trace.emit(
+            "net.tx",
+            f"{self.name}: {frame.src}:{frame.sport}->{frame.dst}:{frame.dport} "
+            f"{frame.protocol} {wire_bytes}B",
+            wire_bytes=wire_bytes,
+            protocol=frame.protocol,
+        )
+        return delivery
+
+    def _deliver(self, sender: Interface, frame: Frame) -> None:
+        if frame.multicast_group is not None:
+            for interface in self.interfaces:
+                if interface is sender:
+                    continue
+                if frame.multicast_group in interface.multicast_groups:
+                    interface.node._receive(frame.clone(), interface)
+            return
+        if frame.dst is None:
+            # Broadcast: every other interface on the segment.
+            for interface in self.interfaces:
+                if interface is not sender:
+                    interface.node._receive(frame.clone(), interface)
+            return
+        target = self.interface_for(frame.dst)
+        if target is not None:
+            target.node._receive(frame, target)
+            return
+        # Not local to this segment: hand to any forwarding node.
+        for interface in self.interfaces:
+            if interface is sender:
+                continue
+            if interface.node.forwards and interface.node.can_reach(frame.dst):
+                interface.node._forward(frame, interface)
+                return
+        self.frames_dropped += 1
+        self.network.trace.emit(
+            "net.unroutable", f"{self.name}: no route to {frame.dst}"
+        )
+
+
+class Hub(Medium):
+    """A shared-medium segment: one transmission at a time (the paper's hub)."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._busy_until = 0.0
+
+    def _reserve(self, sender: Interface, duration: float) -> float:
+        start = max(self.network.kernel.now, self._busy_until)
+        self._busy_until = start + duration
+        return start
+
+
+class Switch(Medium):
+    """A switched segment: each sender transmits at full rate concurrently.
+
+    The paper's Figure 11 throughput numbers (6.2 Mbps of *application*
+    echo throughput on "10 Mbps Ethernet") are only reachable if opposite
+    directions do not contend, so the transport-bridging benchmark models
+    the segment as switched full-duplex rather than a shared hub.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._busy_until: Dict[Address, float] = {}
+
+    def _reserve(self, sender: Interface, duration: float) -> float:
+        busy = self._busy_until.get(sender.address, 0.0)
+        start = max(self.network.kernel.now, busy)
+        self._busy_until[sender.address] = start + duration
+        return start
+
+
+class Link(Medium):
+    """A full-duplex point-to-point link (per-direction contention)."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._busy_until: Dict[Address, float] = {}
+
+    def _attach(self, interface: Interface) -> None:
+        if len(self.interfaces) >= 2:
+            raise NetworkError(f"link {self.name} already has two endpoints")
+        super()._attach(interface)
+
+    def _reserve(self, sender: Interface, duration: float) -> float:
+        busy = self._busy_until.get(sender.address, 0.0)
+        start = max(self.network.kernel.now, busy)
+        self._busy_until[sender.address] = start + duration
+        return start
+
+
+class Node:
+    """A host on the simulated network.
+
+    Frames arriving for one of the node's own addresses are dispatched to
+    registered frame handlers (the socket layer installs one).  Frames for
+    other destinations are forwarded if ``forwards`` is set, making any
+    multi-homed node a router.
+    """
+
+    def __init__(self, network: "Network", name: str, forwards: bool = False):
+        self.network = network
+        self.name = name
+        self.forwards = forwards
+        self.interfaces: List[Interface] = []
+        self._frame_handlers: List[Callable[[Frame, Interface], bool]] = []
+
+    # -- attachment ----------------------------------------------------
+
+    def attach(self, medium: Medium, address: Optional[Address] = None) -> Interface:
+        """Attach this node to ``medium`` with a (possibly fresh) address."""
+        if address is None:
+            address = self.network.allocator.allocate(
+                f"{self.name}@{medium.name}#{len(self.interfaces)}"
+            )
+        interface = Interface(self, medium, address)
+        self.interfaces.append(interface)
+        medium._attach(interface)
+        self.network._register_interface(interface)
+        return interface
+
+    @property
+    def address(self) -> Address:
+        """The node's primary address (first interface)."""
+        if not self.interfaces:
+            raise NetworkError(f"node {self.name} has no interfaces")
+        return self.interfaces[0].address
+
+    def addresses(self) -> List[Address]:
+        return [interface.address for interface in self.interfaces]
+
+    def interface_on(self, medium: Medium) -> Optional[Interface]:
+        for interface in self.interfaces:
+            if interface.medium is medium:
+                return interface
+        return None
+
+    # -- multicast -------------------------------------------------------
+
+    def join_multicast(self, group: str) -> None:
+        for interface in self.interfaces:
+            interface.multicast_groups.add(group)
+
+    def leave_multicast(self, group: str) -> None:
+        for interface in self.interfaces:
+            interface.multicast_groups.discard(group)
+
+    # -- sending -----------------------------------------------------------
+
+    def send_frame(self, frame: Frame, medium: Optional[Medium] = None) -> None:
+        """Send ``frame`` out of the appropriate interface.
+
+        Unicast frames are routed via the network's next-hop computation;
+        multicast/broadcast frames require an explicit ``medium`` (or a
+        single-homed node).
+        """
+        if not self.interfaces:
+            raise NetworkError(f"node {self.name} has no interfaces")
+        if frame.dst is None or frame.multicast_group is not None:
+            if medium is None:
+                # No explicit medium: send a copy on every attached segment
+                # (receivers elsewhere ignore groups they have not joined).
+                for interface in self.interfaces:
+                    copy = frame.clone()
+                    copy.src = interface.address
+                    interface.medium.transmit(interface, copy)
+                return
+            interface = self.interface_on(medium)
+            if interface is None:
+                raise NetworkError(f"{self.name} is not attached to {medium.name}")
+            frame.src = interface.address
+            medium.transmit(interface, frame)
+            return
+        # Loopback: traffic to one of our own addresses never hits the wire.
+        for interface in self.interfaces:
+            if interface.address == frame.dst:
+                self.network.kernel.call_soon(
+                    lambda i=interface, f=frame: self._receive(f, i)
+                )
+                return
+        interface = self.network.next_hop_interface(self, frame.dst)
+        if interface is None:
+            raise NetworkError(f"{self.name}: no route to {frame.dst}")
+        # Stamp the egress interface's address so replies route back over
+        # the same segment (multi-homed hosts: LAN + piconet + radio).
+        frame.src = interface.address
+        interface.medium.transmit(interface, frame)
+
+    def can_reach(self, address: Address) -> bool:
+        return self.network.next_hop_interface(self, address) is not None
+
+    # -- receiving ----------------------------------------------------------
+
+    def add_frame_handler(self, handler: Callable[[Frame, Interface], bool]) -> None:
+        """Register a handler; handlers returning True consume the frame."""
+        self._frame_handlers.append(handler)
+
+    def _receive(self, frame: Frame, interface: Interface) -> None:
+        for handler in self._frame_handlers:
+            if handler(frame, interface):
+                return
+        self.network.trace.emit(
+            "net.unclaimed",
+            f"{self.name}: unclaimed {frame.protocol} frame "
+            f"{frame.src}:{frame.sport}->{frame.dst}:{frame.dport}",
+        )
+
+    def _forward(self, frame: Frame, arrived_on: Interface) -> None:
+        frame.hops += 1
+        if frame.hops > MAX_HOPS:
+            self.network.trace.emit(
+                "net.ttl", f"{self.name}: hop budget exceeded for {frame.dst}"
+            )
+            return
+        out = self.network.next_hop_interface(self, frame.dst, exclude=arrived_on.medium)
+        if out is None:
+            self.network.trace.emit(
+                "net.unroutable", f"{self.name}: cannot forward to {frame.dst}"
+            )
+            return
+        out.medium.transmit(out, frame)
+
+
+class Network:
+    """Container for nodes and media; owns addressing, routing and tracing."""
+
+    def __init__(self, kernel: Kernel, trace: Optional[TraceRecorder] = None):
+        self.kernel = kernel
+        self.trace = trace or TraceRecorder()
+        self.trace.bind_clock(lambda: kernel.now)
+        self.allocator = AddressAllocator()
+        self.nodes: Dict[str, Node] = {}
+        self.media: Dict[str, Medium] = {}
+        self._interfaces_by_address: Dict[Address, Interface] = {}
+        self._route_cache: Dict[Tuple[str, Address], Optional[Interface]] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add_node(self, name: str, forwards: bool = False) -> Node:
+        if name in self.nodes:
+            raise NetworkError(f"duplicate node name: {name!r}")
+        node = Node(self, name, forwards=forwards)
+        self.nodes[name] = node
+        return node
+
+    def add_hub(
+        self,
+        name: str,
+        bandwidth_bps: float,
+        latency_s: float,
+        frame_overhead_bytes: int = 0,
+        loss_rate: float = 0.0,
+        seed: int = 0,
+    ) -> Hub:
+        return self._add_medium(
+            Hub(self, name, bandwidth_bps, latency_s, frame_overhead_bytes, loss_rate, seed)
+        )
+
+    def add_link(
+        self,
+        name: str,
+        bandwidth_bps: float,
+        latency_s: float,
+        frame_overhead_bytes: int = 0,
+        loss_rate: float = 0.0,
+        seed: int = 0,
+    ) -> Link:
+        return self._add_medium(
+            Link(self, name, bandwidth_bps, latency_s, frame_overhead_bytes, loss_rate, seed)
+        )
+
+    def add_switch(
+        self,
+        name: str,
+        bandwidth_bps: float,
+        latency_s: float,
+        frame_overhead_bytes: int = 0,
+        loss_rate: float = 0.0,
+        seed: int = 0,
+    ) -> Switch:
+        return self._add_medium(
+            Switch(self, name, bandwidth_bps, latency_s, frame_overhead_bytes, loss_rate, seed)
+        )
+
+    def _add_medium(self, medium: Medium) -> Medium:
+        if medium.name in self.media:
+            raise NetworkError(f"duplicate medium name: {medium.name!r}")
+        self.media[medium.name] = medium
+        self._route_cache.clear()
+        return medium
+
+    def _register_interface(self, interface: Interface) -> None:
+        if interface.address in self._interfaces_by_address:
+            raise NetworkError(f"duplicate address: {interface.address}")
+        self._interfaces_by_address[interface.address] = interface
+        self._route_cache.clear()
+
+    # -- lookup ------------------------------------------------------------
+
+    def node_of(self, address: Address) -> Node:
+        try:
+            return self._interfaces_by_address[address].node
+        except KeyError:
+            raise AddressError(f"no node has address {address}") from None
+
+    # -- routing ------------------------------------------------------------
+
+    def next_hop_interface(
+        self, node: Node, dst: Address, exclude: Optional[Medium] = None
+    ) -> Optional[Interface]:
+        """The interface ``node`` should send on to reach ``dst``.
+
+        Breadth-first search over the medium/forwarding-node graph; results
+        are cached (the cache is invalidated on topology changes).
+        """
+        if exclude is None:
+            key = (node.name, dst)
+            cached = self._route_cache.get(key, _MISSING)
+            if cached is not _MISSING:
+                return cached
+        result = self._bfs_next_hop(node, dst, exclude)
+        if exclude is None:
+            self._route_cache[(node.name, dst)] = result
+        return result
+
+    def _bfs_next_hop(
+        self, node: Node, dst: Address, exclude: Optional[Medium]
+    ) -> Optional[Interface]:
+        target = self._interfaces_by_address.get(dst)
+        if target is None:
+            return None
+        # Direct delivery if a shared medium reaches the target.
+        for interface in node.interfaces:
+            if interface.medium is exclude:
+                continue
+            if interface.medium.interface_for(dst) is not None:
+                return interface
+        # BFS through forwarding nodes.
+        visited_nodes = {node.name}
+        queue: List[Tuple[Interface, Node]] = []
+        for interface in node.interfaces:
+            if interface.medium is exclude:
+                continue
+            for peer in interface.medium.interfaces:
+                if peer.node.name not in visited_nodes and peer.node.forwards:
+                    visited_nodes.add(peer.node.name)
+                    queue.append((interface, peer.node))
+        while queue:
+            first_hop, current = queue.pop(0)
+            for interface in current.interfaces:
+                if interface.medium.interface_for(dst) is not None:
+                    return first_hop
+                for peer in interface.medium.interfaces:
+                    if peer.node.name not in visited_nodes and peer.node.forwards:
+                        visited_nodes.add(peer.node.name)
+                        queue.append((first_hop, peer.node))
+        return None
+
+
+class _Missing:
+    pass
+
+
+_MISSING = _Missing()

@@ -1,0 +1,74 @@
+"""Structured event tracing for simulations.
+
+A :class:`TraceRecorder` collects timestamped, categorized records emitted by
+the network, the platform stacks and the uMiddle runtime.  Tests assert on
+traces; benchmarks aggregate them (e.g. bytes-on-wire per category).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+__all__ = ["TraceRecord", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry: simulated time, category, human message, details."""
+
+    time: float
+    category: str
+    message: str
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return f"[{self.time:12.6f}] {self.category:<18} {self.message}"
+
+
+class TraceRecorder:
+    """Accumulates :class:`TraceRecord` entries.
+
+    The recorder is intentionally permissive: any component may emit any
+    category.  Filters are applied at read time, keeping the write path
+    cheap (simulation inner loops call :meth:`emit` frequently).
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
+        self._clock = clock or (lambda: 0.0)
+        self._records: List[TraceRecord] = []
+        self.enabled = True
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Attach the simulated-time source (usually ``kernel.now``)."""
+        self._clock = clock
+
+    def emit(self, category: str, message: str, **details: Any) -> None:
+        """Record one trace entry at the current simulated time."""
+        if not self.enabled:
+            return
+        self._records.append(
+            TraceRecord(self._clock(), category, message, dict(details))
+        )
+
+    def records(self, category: Optional[str] = None) -> List[TraceRecord]:
+        """All records, optionally filtered to one category."""
+        if category is None:
+            return list(self._records)
+        return [r for r in self._records if r.category == category]
+
+    def count(self, category: Optional[str] = None) -> int:
+        return len(self.records(category))
+
+    def total(self, category: str, key: str) -> float:
+        """Sum a numeric detail field across one category's records."""
+        return sum(r.details.get(key, 0) for r in self._records if r.category == category)
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)

@@ -1,0 +1,214 @@
+"""Unit tests for G2 UI (Section 4.2)."""
+
+import pytest
+
+from repro.apps.g2ui import CAPTURE, G2Error, G2Space, Gadget, PLAYER, Region, STORAGE
+from repro.core.messages import UMessage
+from repro.core.translator import Translator
+from repro.testbed import build_testbed
+
+
+@pytest.fixture
+def bed():
+    return build_testbed(hosts=["h1"])
+
+
+@pytest.fixture
+def runtime(bed):
+    return bed.add_runtime("h1")
+
+
+def camera_like(runtime, name="camera"):
+    translator = Translator(name, role="camera")
+    port = translator.add_digital_output("image-out", "image/jpeg")
+    runtime.register_translator(translator)
+    return translator, port
+
+
+def player_like(runtime, name="tv"):
+    received = []
+    translator = Translator(name, role="display")
+    translator.add_digital_input("image-in", "image/jpeg", received.append)
+    runtime.register_translator(translator)
+    return translator, received
+
+
+def storage_like(runtime, name="vault"):
+    received = []
+    translator = Translator(name, role="storage")
+    translator.add_digital_input("image-in", "image/jpeg", received.append)
+    port = translator.add_digital_output("image-out", "image/jpeg")
+    runtime.register_translator(translator)
+    return translator, received, port
+
+
+class TestRegions:
+    def test_containment(self):
+        region = Region("kitchen", 0, 0, 10, 10)
+        assert region.contains(5, 5)
+        assert region.contains(0, 0)
+        assert region.contains(10, 10)
+        assert not region.contains(11, 5)
+
+    def test_unknown_gadget_kind_rejected(self, runtime):
+        translator, _ = camera_like(runtime)
+        with pytest.raises(G2Error):
+            Gadget(profile=translator.profile, kind="teleporter", x=0, y=0)
+
+
+class TestGeoplay:
+    def test_colocated_camera_and_player_connect(self, bed, runtime):
+        """The paper: co-locate a camera and a TV; camera images serve as
+        the TV's source via a dynamic message path."""
+        camera, out = camera_like(runtime)
+        player, received = player_like(runtime)
+        space = G2Space(runtime)
+        space.add_region(Region("living-room", 0, 0, 10, 10))
+        space.register(camera.profile, CAPTURE, 2, 2)
+        space.register(player.profile, PLAYER, 8, 8)
+        assert space.active_connections == [
+            (camera.translator_id, player.translator_id)
+        ]
+        assert space.events[0].kind == "geoplay"
+        out.send(UMessage("image/jpeg", "IMG", 1000))
+        bed.settle(0.1)
+        assert [m.payload for m in received] == ["IMG"]
+
+    def test_different_regions_do_not_connect(self, runtime):
+        camera, _ = camera_like(runtime)
+        player, _ = player_like(runtime)
+        space = G2Space(runtime)
+        space.add_region(Region("kitchen", 0, 0, 10, 10))
+        space.add_region(Region("bedroom", 20, 0, 30, 10))
+        space.register(camera.profile, CAPTURE, 5, 5)
+        space.register(player.profile, PLAYER, 25, 5)
+        assert space.active_connections == []
+
+    def test_moving_into_region_triggers_connection(self, bed, runtime):
+        camera, out = camera_like(runtime)
+        player, received = player_like(runtime)
+        space = G2Space(runtime)
+        space.add_region(Region("kitchen", 0, 0, 10, 10))
+        space.register(camera.profile, CAPTURE, 5, 5)
+        space.register(player.profile, PLAYER, 50, 50)  # outside
+        assert space.active_connections == []
+        space.move(player.translator_id, 6, 6)  # dragged into the kitchen
+        assert len(space.active_connections) == 1
+        out.send(UMessage("image/jpeg", "after-move", 100))
+        bed.settle(0.1)
+        assert [m.payload for m in received] == ["after-move"]
+
+    def test_moving_out_tears_down(self, bed, runtime):
+        camera, out = camera_like(runtime)
+        player, received = player_like(runtime)
+        space = G2Space(runtime)
+        space.add_region(Region("kitchen", 0, 0, 10, 10))
+        space.register(camera.profile, CAPTURE, 5, 5)
+        space.register(player.profile, PLAYER, 6, 6)
+        space.move(player.translator_id, 50, 50)
+        assert space.active_connections == []
+        out.send(UMessage("image/jpeg", "gone", 100))
+        bed.settle(0.1)
+        assert received == []
+
+    def test_storage_media_also_plays(self, runtime):
+        storage, _, _port = storage_like(runtime)
+        player, _ = player_like(runtime)
+        space = G2Space(runtime)
+        space.add_region(Region("den", 0, 0, 10, 10))
+        space.register(storage.profile, STORAGE, 1, 1)
+        space.register(player.profile, PLAYER, 2, 2)
+        assert (storage.translator_id, player.translator_id) in space.active_connections
+
+    def test_incompatible_types_do_not_connect(self, runtime):
+        sensor = Translator("sensor", role="sensor")
+        sensor.add_digital_output("out", "text/plain")
+        runtime.register_translator(sensor)
+        player, _ = player_like(runtime)
+        space = G2Space(runtime)
+        space.add_region(Region("room", 0, 0, 10, 10))
+        space.register(sensor.profile, CAPTURE, 1, 1)
+        space.register(player.profile, PLAYER, 2, 2)
+        assert space.active_connections == []
+
+
+class TestGeostore:
+    def test_capture_to_storage(self, bed, runtime):
+        camera, out = camera_like(runtime)
+        storage, received, _ = storage_like(runtime)
+        space = G2Space(runtime)
+        space.add_region(Region("studio", 0, 0, 10, 10))
+        space.register(camera.profile, CAPTURE, 1, 1)
+        space.register(storage.profile, STORAGE, 2, 2)
+        events = [e.kind for e in space.events]
+        assert "geostore" in events
+        out.send(UMessage("image/jpeg", "KEEP", 500))
+        bed.settle(0.1)
+        assert [m.payload for m in received] == ["KEEP"]
+
+    def test_camera_player_storage_triangle(self, bed, runtime):
+        """Capture feeds both the player (geoplay) and storage (geostore);
+        stored media also plays."""
+        camera, out = camera_like(runtime)
+        player, played = player_like(runtime)
+        storage, stored, _ = storage_like(runtime)
+        space = G2Space(runtime)
+        space.add_region(Region("studio", 0, 0, 10, 10))
+        space.register(camera.profile, CAPTURE, 1, 1)
+        space.register(player.profile, PLAYER, 2, 2)
+        space.register(storage.profile, STORAGE, 3, 3)
+        kinds = sorted(e.kind for e in space.events)
+        assert kinds.count("geoplay") == 2  # camera->player, storage->player
+        assert kinds.count("geostore") == 1
+        out.send(UMessage("image/jpeg", "SHOT", 100))
+        bed.settle(0.1)
+        assert [m.payload for m in played] == ["SHOT"]
+        assert [m.payload for m in stored] == ["SHOT"]
+
+    def test_unregister_cleans_connections(self, runtime):
+        camera, _ = camera_like(runtime)
+        storage, _, _ = storage_like(runtime)
+        space = G2Space(runtime)
+        space.add_region(Region("studio", 0, 0, 10, 10))
+        space.register(camera.profile, CAPTURE, 1, 1)
+        space.register(storage.profile, STORAGE, 2, 2)
+        space.unregister(camera.translator_id)
+        assert space.active_connections == []
+
+
+class TestAutoRegister:
+    def test_roles_map_to_kinds(self, runtime):
+        camera_like(runtime)
+        player_like(runtime)
+        storage_like(runtime)
+        other = Translator("misc", role="unknown-role")
+        runtime.register_translator(other)
+        space = G2Space(runtime)
+        added = space.auto_register()
+        assert added == 3
+        kinds = sorted(g.kind for g in space.gadgets.values())
+        assert kinds == [CAPTURE, PLAYER, STORAGE]
+
+    def test_move_unknown_gadget_raises(self, runtime):
+        space = G2Space(runtime)
+        with pytest.raises(G2Error):
+            space.move("ghost", 1, 1)
+
+
+class TestAtlasRendering:
+    def test_render_ascii_shows_regions_gadgets_and_events(self, bed, runtime):
+        camera, _ = camera_like(runtime)
+        player, _ = player_like(runtime)
+        space = G2Space(runtime)
+        space.add_region(Region("den", 0, 0, 10, 10))
+        space.register(camera.profile, CAPTURE, 1, 1)
+        space.register(player.profile, PLAYER, 2, 2)
+        space.register(
+            storage_like(runtime)[0].profile, STORAGE, 99, 99
+        )  # outside all regions
+        text = space.render_ascii()
+        assert "den" in text
+        assert "camera" in text and "tv" in text
+        assert "outside all regions" in text
+        assert "geoplay in den" in text
+        assert "active geo connections: 1" in text

@@ -1,0 +1,163 @@
+"""Unit tests for uMiddle Pads (Section 4.1)."""
+
+import pytest
+
+from repro.apps.pads import Pads, PadsError
+from repro.core.messages import UMessage
+from repro.core.translator import Translator
+from repro.testbed import build_testbed
+
+
+@pytest.fixture
+def bed():
+    return build_testbed(hosts=["h1"])
+
+
+@pytest.fixture
+def runtime(bed):
+    return bed.add_runtime("h1")
+
+
+def add_source(runtime, name, mime="text/plain"):
+    translator = Translator(name)
+    port = translator.add_digital_output("out", mime)
+    runtime.register_translator(translator)
+    return translator, port
+
+
+def add_sink(runtime, name, mime="text/plain"):
+    received = []
+    translator = Translator(name)
+    translator.add_digital_input("in", mime, received.append)
+    runtime.register_translator(translator)
+    return translator, received
+
+
+class TestCanvas:
+    def test_existing_translators_become_icons(self, runtime):
+        add_source(runtime, "sensor")
+        add_sink(runtime, "display")
+        pads = Pads(runtime)
+        assert pads.labels() == ["display", "sensor"]
+
+    def test_new_translators_appear_dynamically(self, runtime):
+        pads = Pads(runtime)
+        assert pads.labels() == []
+        add_source(runtime, "late")
+        assert pads.labels() == ["late"]
+
+    def test_removed_translators_disappear(self, runtime):
+        translator, _ = add_source(runtime, "ephemeral")
+        pads = Pads(runtime)
+        runtime.unregister_translator(translator)
+        assert pads.labels() == []
+
+    def test_icons_get_distinct_positions(self, runtime):
+        for index in range(10):
+            add_source(runtime, f"svc-{index}")
+        pads = Pads(runtime)
+        positions = {icon.position for icon in pads.icons.values()}
+        assert len(positions) == 10
+
+    def test_unknown_label_raises(self, runtime):
+        pads = Pads(runtime)
+        with pytest.raises(PadsError):
+            pads.icon("ghost")
+
+    def test_ambiguous_label_raises(self, runtime):
+        add_source(runtime, "dup")
+        add_source(runtime, "dup")
+        pads = Pads(runtime)
+        with pytest.raises(PadsError, match="ambiguous"):
+            pads.icon("dup")
+
+
+class TestWiring:
+    def test_wire_connects_and_carries_messages(self, bed, runtime):
+        _, out = add_source(runtime, "sensor")
+        _, received = add_sink(runtime, "display")
+        pads = Pads(runtime)
+        pads.wire("sensor", "display")
+        out.send(UMessage("text/plain", "21C", 8))
+        bed.settle(0.1)
+        assert [m.payload for m in received] == ["21C"]
+
+    def test_wire_picks_compatible_ports_automatically(self, bed, runtime):
+        translator = Translator("multi")
+        translator.add_digital_output("text-out", "text/plain")
+        translator.add_digital_output("image-out", "image/jpeg")
+        runtime.register_translator(translator)
+        _, received = add_sink(runtime, "viewer", mime="image/jpeg")
+        pads = Pads(runtime)
+        wire = pads.wire("multi", "viewer")
+        assert wire.source.port_name == "image-out"
+
+    def test_incompatible_wire_rejected(self, runtime):
+        add_source(runtime, "sensor", mime="text/plain")
+        add_sink(runtime, "viewer", mime="image/jpeg")
+        pads = Pads(runtime)
+        with pytest.raises(PadsError, match="type-compatible"):
+            pads.wire("sensor", "viewer")
+
+    def test_compatible_pairs_enumeration(self, runtime):
+        add_source(runtime, "sensor")
+        add_sink(runtime, "display")
+        pads = Pads(runtime)
+        assert pads.compatible_pairs("sensor", "display") == [("out", "in")]
+        assert pads.compatible_pairs("display", "sensor") == []
+
+    def test_unwire_stops_flow(self, bed, runtime):
+        _, out = add_source(runtime, "sensor")
+        _, received = add_sink(runtime, "display")
+        pads = Pads(runtime)
+        wire = pads.wire("sensor", "display")
+        pads.unwire(wire)
+        out.send(UMessage("text/plain", "late", 8))
+        bed.settle(0.1)
+        assert received == []
+        assert pads.wires == []
+
+    def test_wires_cleaned_when_endpoint_disappears(self, bed, runtime):
+        _, out = add_source(runtime, "sensor")
+        sink, _ = add_sink(runtime, "display")
+        pads = Pads(runtime)
+        pads.wire("sensor", "display")
+        runtime.unregister_translator(sink)
+        assert pads.wires == []
+
+    def test_clear_wires(self, runtime):
+        add_source(runtime, "a")
+        add_sink(runtime, "b")
+        add_sink(runtime, "c")
+        pads = Pads(runtime)
+        pads.wire("a", "b")
+        pads.wire("a", "c")
+        pads.clear_wires()
+        assert pads.wires == []
+
+    def test_render_ascii_mentions_icons_and_wires(self, runtime):
+        add_source(runtime, "sensor")
+        add_sink(runtime, "display")
+        pads = Pads(runtime)
+        pads.wire("sensor", "display")
+        text = pads.render_ascii()
+        assert "sensor" in text
+        assert "display" in text
+        assert "wires: 1" in text
+
+    def test_cross_runtime_wiring(self):
+        """Pads wires devices hosted by other runtimes (Figure 8 shows 22
+        devices from several platforms on one canvas)."""
+        bed = build_testbed(hosts=["h1", "h2"])
+        r1 = bed.add_runtime("h1")
+        r2 = bed.add_runtime("h2")
+        _, out = add_source(r1, "far-sensor")
+        _, received = add_sink(r2, "near-display")
+        bed.settle(1.0)  # gossip
+        pads = Pads(r2)
+        assert sorted(pads.labels()) == ["far-sensor", "near-display"]
+        pads.wire("far-sensor", "near-display")
+        bed.settle(1.0)
+        out.send(UMessage("text/plain", "remote", 8))
+        bed.settle(1.0)
+        assert [m.payload for m in received] == ["remote"]

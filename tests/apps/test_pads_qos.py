@@ -1,0 +1,69 @@
+"""Pads wiring with QoS policies and directory-view edge cases."""
+
+import pytest
+
+from repro.apps.pads import Pads
+from repro.core.messages import UMessage
+from repro.core.qos import QosPolicy
+from repro.core.translator import Translator
+from repro.testbed import build_testbed
+
+
+@pytest.fixture
+def bed():
+    return build_testbed(hosts=["h1"])
+
+
+@pytest.fixture
+def runtime(bed):
+    return bed.add_runtime("h1")
+
+
+class TestPadsQos:
+    def test_wire_accepts_qos_policy(self, bed, runtime):
+        kernel = bed.kernel
+        source = Translator("burst-source")
+        out = source.add_digital_output("out", "text/plain")
+        runtime.register_translator(source)
+        slow = Translator("slow-sink")
+
+        def handler(message):
+            yield kernel.timeout(1.0)
+
+        slow.add_digital_input("in", "text/plain", handler)
+        runtime.register_translator(slow)
+
+        pads = Pads(runtime)
+        wire = pads.wire(
+            "burst-source", "slow-sink", qos=QosPolicy(buffer_capacity=2)
+        )
+        for index in range(10):
+            out.send(UMessage("text/plain", index, 10))
+        bed.settle(0.1)
+        assert wire.path.messages_dropped == 8
+        assert wire.path.capacity == 2
+
+    def test_wire_named_ports_override_auto_pick(self, bed, runtime):
+        multi = Translator("multi-out")
+        multi.add_digital_output("primary", "text/plain")
+        multi.add_digital_output("secondary", "text/plain")
+        runtime.register_translator(multi)
+        received = []
+        sink = Translator("sink")
+        sink.add_digital_input("in", "text/plain", received.append)
+        runtime.register_translator(sink)
+        pads = Pads(runtime)
+        wire = pads.wire(
+            "multi-out", "sink", source_port="secondary", destination_port="in"
+        )
+        assert wire.source.port_name == "secondary"
+        multi.output_port("secondary").send(UMessage("text/plain", "via-2nd", 8))
+        bed.settle(0.1)
+        assert [m.payload for m in received] == ["via-2nd"]
+
+    def test_directory_runtime_registry_accessors(self, runtime):
+        info = runtime.directory.runtime_info(runtime.runtime_id)
+        assert info.runtime_id == runtime.runtime_id
+        assert info.transport_port == runtime.transport.port
+        assert runtime.directory.known_runtimes() == []  # no peers yet
+        assert runtime.directory.runtime_info("ghost-runtime") is None

@@ -1,0 +1,167 @@
+"""The paper's extensibility claim, tested end to end.
+
+Section 3.2: "uMiddle is extensible along two dimensions ... First, a new
+device type in a known platform can be incorporated into uMiddle by simply
+writing a translator [USDL document] for that device.  Second, a new
+communication platform can be incorporated ... by writing a mapper."
+
+We introduce a brand-new UPnP device type (a dimmable light) purely by
+registering its USDL document -- no mapper or core changes -- and watch
+the existing UPnP mapper bridge it.
+"""
+
+import pytest
+
+from repro.bridges import UPnPMapper
+from repro.bridges.usdl_library import (
+    KNOWN_DOCUMENTS,
+    load_usdl_directory,
+    load_usdl_file,
+    register_document,
+    unregister_document,
+)
+from repro.core.errors import UsdlError
+from repro.core.messages import UMessage
+from repro.core.query import Query
+from repro.core.translator import Translator
+from repro.core.usdl import parse_usdl
+from repro.platforms.upnp.description import (
+    ActionDescription,
+    ArgumentDescription,
+    DeviceDescription,
+    ServiceDescription,
+    StateVariable,
+)
+from repro.platforms.upnp.device import UPnPDevice
+from repro.testbed import build_testbed
+
+DIMMABLE_TYPE = "urn:schemas-upnp-org:device:DimmableLight:1"
+
+DIMMABLE_USDL = """
+<usdl name="upnp-dimmable-light" platform="upnp"
+      device-type="urn:schemas-upnp-org:device:DimmableLight:1">
+  <profile role="light" description="A dimmable UPnP light"/>
+  <ports>
+    <digital name="set-level" direction="in" mime="text/plain">
+      <binding kind="action" target="SetLoadLevel" payload-argument="NewLevel"/>
+    </digital>
+    <digital name="level" direction="out" mime="text/plain">
+      <binding kind="event" target="LoadLevel"/>
+    </digital>
+    <physical name="illumination" direction="out" perception="visible" media="light"/>
+  </ports>
+</usdl>
+"""
+
+
+def make_dimmable_light(node, calibration):
+    description = DeviceDescription(
+        device_type=DIMMABLE_TYPE,
+        friendly_name="Dimmable Light",
+        udn="uuid:dimmable-1",
+        services=[
+            ServiceDescription(
+                service_type="urn:schemas-upnp-org:service:Dimming:1",
+                service_id="Dimming",
+                actions=[
+                    ActionDescription(
+                        "SetLoadLevel",
+                        [ArgumentDescription("NewLevel", "in", "LoadLevel")],
+                    )
+                ],
+                state_variables=[
+                    StateVariable("LoadLevel", "ui1", evented=True, default="0")
+                ],
+            )
+        ],
+    )
+    device = UPnPDevice(node, calibration, description)
+    device.on_action(
+        "Dimming",
+        "SetLoadLevel",
+        lambda arguments, dev: dev.set_state(
+            "Dimming", "LoadLevel", arguments["NewLevel"]
+        )
+        or {},
+    )
+    return device
+
+
+@pytest.fixture
+def clean_registry():
+    yield
+    if DIMMABLE_TYPE in KNOWN_DOCUMENTS:
+        unregister_document(DIMMABLE_TYPE)
+
+
+class TestRegistry:
+    def test_register_and_unregister(self, clean_registry):
+        document = parse_usdl(DIMMABLE_USDL)
+        register_document(document)
+        assert KNOWN_DOCUMENTS[DIMMABLE_TYPE] is document
+        unregister_document(DIMMABLE_TYPE)
+        assert DIMMABLE_TYPE not in KNOWN_DOCUMENTS
+
+    def test_duplicate_registration_rejected(self, clean_registry):
+        document = parse_usdl(DIMMABLE_USDL)
+        register_document(document)
+        with pytest.raises(UsdlError, match="already registered"):
+            register_document(document)
+        register_document(document, replace=True)  # explicit override OK
+
+    def test_builtin_types_protected_from_accidental_override(self):
+        light = KNOWN_DOCUMENTS["urn:schemas-upnp-org:device:BinaryLight:1"]
+        with pytest.raises(UsdlError):
+            register_document(light)
+
+    def test_unregister_unknown_raises(self):
+        with pytest.raises(UsdlError):
+            unregister_document("ghost-type")
+
+    def test_load_from_file_and_directory(self, tmp_path, clean_registry):
+        (tmp_path / "dimmable.xml").write_text(DIMMABLE_USDL)
+        (tmp_path / "notes.txt").write_text("not usdl")
+        loaded = load_usdl_directory(tmp_path)
+        assert list(loaded) == [DIMMABLE_TYPE]
+        assert KNOWN_DOCUMENTS[DIMMABLE_TYPE].role == "light"
+
+    def test_load_malformed_file_raises(self, tmp_path):
+        bad = tmp_path / "bad.xml"
+        bad.write_text("<usdl")
+        with pytest.raises(UsdlError):
+            load_usdl_file(bad)
+
+
+class TestEndToEndExtensibility:
+    def test_new_device_type_bridged_without_code_changes(self, clean_registry):
+        """Drop in a USDL document; the existing mapper does the rest."""
+        register_document(parse_usdl(DIMMABLE_USDL))
+
+        bed = build_testbed(hosts=["h1", "dev"])
+        runtime = bed.add_runtime("h1")
+        device = make_dimmable_light(bed.hosts["dev"], bed.calibration)
+        device.start()
+        runtime.add_mapper(UPnPMapper(runtime))
+        bed.settle(2.0)
+
+        profiles = runtime.lookup(Query(device_type=DIMMABLE_TYPE))
+        assert len(profiles) == 1
+        translator = runtime.translators[profiles[0].translator_id]
+
+        app = Translator("dimmer-app")
+        out = app.add_digital_output("out", "text/plain")
+        runtime.register_translator(app)
+        runtime.connect(out, translator.input_port("set-level"))
+        out.send(UMessage("text/plain", "42", 4))
+        bed.settle(1.0)
+        assert device.get_state("Dimming", "LoadLevel") == "42"
+
+    def test_without_the_document_the_device_is_skipped(self):
+        bed = build_testbed(hosts=["h1", "dev"])
+        runtime = bed.add_runtime("h1")
+        device = make_dimmable_light(bed.hosts["dev"], bed.calibration)
+        device.start()
+        runtime.add_mapper(UPnPMapper(runtime))
+        bed.settle(2.0)
+        assert not runtime.lookup(Query(device_type=DIMMABLE_TYPE))
+        assert bed.network.trace.count("mapper.skipped") >= 1

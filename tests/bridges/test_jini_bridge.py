@@ -1,0 +1,124 @@
+"""Integration tests for the Jini bridge."""
+
+import pytest
+
+from repro.bridges import JiniMapper
+from repro.core.messages import UMessage
+from repro.core.query import Query
+from repro.core.translator import Translator
+from repro.platforms.jini import JiniLookupService, JoinManager
+from repro.platforms.rmi import RegistryClient, RmiExporter, rmi_call
+from repro.testbed import build_testbed
+
+
+@pytest.fixture
+def jini_bed():
+    bed = build_testbed(hosts=["h1", "dev", "client"])
+    bed.lookup = JiniLookupService(
+        bed.hosts["dev"], bed.calibration, default_lease_s=10.0
+    )
+    return bed
+
+
+def join_native(bed, name="echo-svc", handler=None):
+    exporter = RmiExporter(bed.hosts["dev"], bed.calibration)
+    ref = exporter.export({"receive": handler or (lambda a, s: None)})
+
+    def main(k):
+        manager = JoinManager(
+            bed.hosts["dev"], bed.calibration, bed.lookup.address, bed.lookup.port,
+            interface="demo.Echo", ref=ref, attributes={"name": name},
+        )
+        yield from manager.join()
+        return manager
+
+    return bed.run(main(bed.kernel))
+
+
+class TestJiniBridge:
+    def test_service_mapped_with_its_name(self, jini_bed):
+        runtime = jini_bed.add_runtime("h1")
+        join_native(jini_bed, name="printer-svc")
+        runtime.add_mapper(JiniMapper(runtime, poll_interval=2.0))
+        jini_bed.settle(10.0)
+        profiles = runtime.lookup(Query(platform="jini"))
+        assert [p.name for p in profiles] == ["printer-svc"]
+        assert profiles[0].attributes["jini_interface"] == "demo.Echo"
+
+    def test_sink_direction_reaches_native_service(self, jini_bed):
+        runtime = jini_bed.add_runtime("h1")
+        received = []
+        join_native(jini_bed, handler=lambda a, s: received.append((a, s)))
+        runtime.add_mapper(JiniMapper(runtime, poll_interval=2.0))
+        jini_bed.settle(10.0)
+        translator = runtime.translators[
+            runtime.lookup(Query(platform="jini"))[0].translator_id
+        ]
+        app = Translator("driver")
+        out = app.add_digital_output("out", "application/octet-stream")
+        runtime.register_translator(app)
+        runtime.connect(out, translator.input_port("data-in"))
+        out.send(UMessage("application/octet-stream", b"data", 1400))
+        jini_bed.settle(2.0)
+        assert received == [(b"data", 1400)]
+
+    def test_source_direction_via_ingress_join(self, jini_bed):
+        """A native Jini client finds the bridge's ingress object in the
+        lookup service and pushes data into the semantic space."""
+        from repro.platforms.jini import JiniClient
+
+        runtime = jini_bed.add_runtime("h1")
+        join_native(jini_bed)
+        runtime.add_mapper(JiniMapper(runtime, poll_interval=2.0))
+        jini_bed.settle(10.0)
+        translator = runtime.translators[
+            runtime.lookup(Query(platform="jini"))[0].translator_id
+        ]
+        received = []
+        sink = Translator("listener")
+        sink.add_digital_input(
+            "in", "application/octet-stream", received.append
+        )
+        runtime.register_translator(sink)
+        runtime.connect(translator.output_port("data-out"), sink.input_port("in"))
+
+        def native_client(k):
+            client = JiniClient(
+                jini_bed.hosts["client"], jini_bed.calibration,
+                jini_bed.lookup.address, jini_bed.lookup.port,
+            )
+            items = yield from client.lookup(interface="umiddle.Ingress")
+            assert len(items) == 1
+            yield from rmi_call(
+                jini_bed.hosts["client"], jini_bed.calibration,
+                items[0].ref, "send", b"up", 1400,
+            )
+
+        jini_bed.run(native_client(jini_bed.kernel))
+        jini_bed.settle(2.0)
+        assert [m.payload for m in received] == [b"up"]
+
+    def test_crashed_service_unmapped_after_lease_lapse(self, jini_bed):
+        runtime = jini_bed.add_runtime("h1")
+        manager = join_native(jini_bed)
+        runtime.add_mapper(JiniMapper(runtime, poll_interval=2.0))
+        jini_bed.settle(10.0)
+        assert runtime.lookup(Query(platform="jini"))
+        manager.crash()
+        jini_bed.settle(20.0)
+        assert not runtime.lookup(Query(platform="jini"))
+
+    def test_mapper_waits_for_lookup_service_to_appear(self):
+        """No lookup service yet: the mapper retries discovery and maps as
+        soon as one (and a service) shows up."""
+        bed = build_testbed(hosts=["h1", "dev"])
+        runtime = bed.add_runtime("h1")
+        runtime.add_mapper(JiniMapper(runtime, poll_interval=2.0))
+        bed.settle(8.0)  # mapper is discovering into the void
+        assert not runtime.lookup(Query(platform="jini"))
+        bed.lookup = JiniLookupService(
+            bed.hosts["dev"], bed.calibration, default_lease_s=10.0
+        )
+        join_native(bed)
+        bed.settle(15.0)
+        assert runtime.lookup(Query(platform="jini"))

@@ -1,0 +1,80 @@
+"""Unit tests for the USDL document library."""
+
+import pytest
+
+from repro.bridges.usdl_library import KNOWN_DOCUMENTS, document_for
+from repro.core.errors import UsdlError
+from repro.core.shapes import Direction
+from repro.core.usdl import parse_usdl
+
+
+class TestLibrary:
+    def test_all_documents_parse_and_round_trip(self):
+        for device_type, document in KNOWN_DOCUMENTS.items():
+            assert parse_usdl(document.to_xml()) == document
+
+    def test_unknown_device_type_raises(self):
+        with pytest.raises(UsdlError):
+            document_for("hologram")
+
+    def test_clock_matches_figure_10_configuration(self):
+        """Figure 10: the clock translator has 14 ports and 2 extra
+        uMiddle entities for the UPnP service/device hierarchy."""
+        clock = document_for("urn:schemas-upnp-org:device:Clock:1")
+        assert clock.port_count == 14
+        assert clock.entity_count == 2
+        digital = [p for p in clock.ports if p.is_digital]
+        assert len(digital) == 12
+
+    def test_light_matches_section_3_4(self):
+        """Section 3.4: the light's USDL defines two digital input ports,
+        one switching on with '1' and one switching off with '0'."""
+        light = document_for("urn:schemas-upnp-org:device:BinaryLight:1")
+        inputs = [
+            p for p in light.ports if p.is_digital and p.direction is Direction.IN
+        ]
+        assert len(inputs) == 2
+        by_name = {p.name: p for p in inputs}
+        assert by_name["power-on"].binding.arguments == {"Power": "1"}
+        assert by_name["power-off"].binding.arguments == {"Power": "0"}
+        assert all(p.binding.target == "SetPower" for p in inputs)
+
+    def test_printer_shape_matches_service_shaping_example(self):
+        """Section 3.3: a printer has a digital input and a
+        'visible/paper' physical output."""
+        printer = document_for("bip-printing")
+        shape = printer.shape()
+        assert shape.digital_inputs()
+        outputs = shape.physical_outputs()
+        assert len(outputs) == 1
+        assert str(outputs[0].physical_type) == "visible/paper"
+
+    def test_camera_and_renderer_are_compatible(self):
+        """The running example: BIP camera output feeds MediaRenderer input."""
+        camera = document_for("bip-imaging").shape()
+        renderer = document_for(
+            "urn:schemas-upnp-org:device:MediaRenderer:1"
+        ).shape()
+        assert camera.can_send_to(renderer)
+        assert not renderer.can_send_to(camera)
+
+    def test_mouse_is_single_digital_port(self):
+        mouse = document_for("hid-mouse")
+        assert mouse.port_count == 1
+        assert mouse.ports[0].binding.kind == "event"
+
+    def test_platform_tags_are_consistent(self):
+        expected = {
+            "urn:schemas-upnp-org:device:BinaryLight:1": "upnp",
+            "urn:schemas-upnp-org:device:Clock:1": "upnp",
+            "urn:schemas-upnp-org:device:AirConditioner:1": "upnp",
+            "urn:schemas-upnp-org:device:MediaRenderer:1": "upnp",
+            "bip-imaging": "bluetooth",
+            "bip-printing": "bluetooth",
+            "hid-mouse": "bluetooth",
+            "rmi-remote-object": "rmi",
+            "mb-stream": "mediabroker",
+            "berkeley-mote": "motes",
+        }
+        for device_type, platform in expected.items():
+            assert KNOWN_DOCUMENTS[device_type].platform == platform

@@ -1,0 +1,39 @@
+"""Shared fixtures for the uMiddle reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.calibration import DEFAULT
+from repro.simnet import Kernel, Network
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+@pytest.fixture
+def network(kernel):
+    return Network(kernel)
+
+
+@pytest.fixture
+def net_costs():
+    return DEFAULT.network
+
+
+@pytest.fixture
+def lan(network, net_costs):
+    """A two-node 10 Mbps shared-hub LAN matching the paper's testbed."""
+    hub = network.add_hub(
+        "lan",
+        bandwidth_bps=net_costs.ethernet_bandwidth_bps,
+        latency_s=net_costs.ethernet_latency_s,
+        frame_overhead_bytes=net_costs.ethernet_frame_overhead_bytes,
+    )
+    node_a = network.add_node("node-a")
+    node_b = network.add_node("node-b")
+    node_a.attach(hub)
+    node_b.attach(hub)
+    return hub, node_a, node_b

@@ -1,0 +1,222 @@
+"""Unit tests for dynamic device binding and QoS policies."""
+
+import pytest
+
+from repro.core.errors import BindingError, TransportError
+from repro.core.messages import UMessage
+from repro.core.qos import DropPolicy, QosPolicy, TokenBucket
+from repro.core.query import Query
+from repro.core.translator import Translator
+
+from tests.core.conftest import make_sink, make_source
+
+
+def text(payload="x", size=100):
+    return UMessage("text/plain", payload, size)
+
+
+class TestDynamicBinding:
+    def test_binds_existing_translators(self, single):
+        runtime = single.runtimes[0]
+        _, out = make_source(runtime)
+        sink, received = make_sink(runtime, name="display", role="display")
+        binding = runtime.connect_query(out, Query(role="display"))
+        assert binding.bound_translators == [sink.translator_id]
+        out.send(text("now"))
+        single.settle(0.1)
+        assert [m.payload for m in received] == ["now"]
+
+    def test_binds_translator_appearing_later(self, single):
+        """The template is evaluated adaptively to translator presence."""
+        runtime = single.runtimes[0]
+        _, out = make_source(runtime)
+        binding = runtime.connect_query(out, Query(role="display"))
+        assert binding.path_count == 0
+        sink, received = make_sink(runtime, name="late-display", role="display")
+        assert binding.bound_translators == [sink.translator_id]
+        out.send(text("after appearance"))
+        single.settle(0.1)
+        assert [m.payload for m in received] == ["after appearance"]
+
+    def test_unbinds_on_disappearance(self, single):
+        runtime = single.runtimes[0]
+        _, out = make_source(runtime)
+        sink, received = make_sink(runtime, name="display", role="display")
+        binding = runtime.connect_query(out, Query(role="display"))
+        runtime.unregister_translator(sink)
+        assert binding.path_count == 0
+        out.send(text("gone"))
+        single.settle(0.1)
+        assert received == []
+
+    def test_polymorphism_fans_out_to_all_matching(self, single):
+        """Section 3.5: one template request binds a camera-like source to a
+        player, storage and anything else whose MIME type matches."""
+        runtime = single.runtimes[0]
+        _, out = make_source(runtime, mime="image/jpeg")
+        player, got_player = make_sink(
+            runtime, name="player", mime="image/jpeg", role="player"
+        )
+        storage, got_storage = make_sink(
+            runtime, name="storage", mime="image/jpeg", role="storage"
+        )
+        _, got_text = make_sink(runtime, name="texty", mime="text/plain")
+        binding = runtime.connect_query(out, Query(input_mime="image/jpeg"))
+        assert binding.path_count == 2
+        out.send(UMessage("image/jpeg", "IMG", 1000))
+        single.settle(0.1)
+        assert [m.payload for m in got_player] == ["IMG"]
+        assert [m.payload for m in got_storage] == ["IMG"]
+        assert got_text == []
+
+    def test_never_binds_to_own_translator(self, single):
+        runtime = single.runtimes[0]
+        both = Translator("loopback")
+        out = both.add_digital_output("data-out", "text/plain")
+        received = []
+        both.add_digital_input("data-in", "text/plain", received.append)
+        runtime.register_translator(both)
+        binding = runtime.connect_query(out, Query(input_mime="text/plain"))
+        assert binding.path_count == 0
+
+    def test_empty_query_rejected(self, single):
+        runtime = single.runtimes[0]
+        _, out = make_source(runtime)
+        with pytest.raises(BindingError):
+            runtime.connect_query(out, Query())
+
+    def test_input_anchor_binds_remote_outputs(self, rig):
+        """connect(port, query) with an *input* anchor wires matching remote
+        sources to us through the control protocol."""
+        r0, r1 = rig.runtimes
+        _, out = make_source(r0, name="far-camera", role="camera")
+        sink, received = make_sink(r1, name="near-display")
+        rig.settle(1.0)
+        binding = r1.connect_query(sink.input_port("data-in"), Query(role="camera"))
+        rig.settle(1.0)
+        out.send(text("from afar"))
+        rig.settle(1.0)
+        assert [m.payload for m in received] == ["from afar"]
+        binding.close()
+
+    def test_binding_across_runtimes_on_appearance(self, rig):
+        r0, r1 = rig.runtimes
+        _, out = make_source(r0)
+        binding = r0.connect_query(out, Query(role="display"))
+        rig.settle(0.5)
+        sink, received = make_sink(r1, name="remote-display", role="display")
+        rig.settle(1.0)
+        assert binding.path_count == 1
+        out.send(text("cross-node"))
+        rig.settle(1.0)
+        assert [m.payload for m in received] == ["cross-node"]
+
+    def test_close_tears_down_everything(self, single):
+        runtime = single.runtimes[0]
+        _, out = make_source(runtime)
+        sink, received = make_sink(runtime, name="display", role="display")
+        binding = runtime.connect_query(out, Query(role="display"))
+        binding.close()
+        assert binding.path_count == 0
+        out.send(text("closed"))
+        single.settle(0.1)
+        assert received == []
+        # New appearances are ignored after close.
+        make_sink(runtime, name="display2", role="display")
+        assert binding.path_count == 0
+
+
+class TestTokenBucket:
+    def test_burst_passes_without_delay(self):
+        bucket = TokenBucket(rate_bps=8000, burst_bytes=1000)
+        assert bucket.delay_for(500, now=0.0) == 0.0
+        assert bucket.delay_for(500, now=0.0) == 0.0
+
+    def test_deficit_delays_at_sustained_rate(self):
+        bucket = TokenBucket(rate_bps=8000, burst_bytes=1000)  # 1000 B/s
+        bucket.delay_for(1000, now=0.0)
+        delay = bucket.delay_for(1000, now=0.0)
+        assert delay == pytest.approx(1.0)
+
+    def test_refill_over_time(self):
+        bucket = TokenBucket(rate_bps=8000, burst_bytes=1000)  # 1000 B/s
+        bucket.delay_for(2000, now=0.0)  # deficit of 1000 bytes
+        # One second later the deficit is repaid; another 500 bytes then
+        # creates a fresh 0.5 s deficit.
+        assert bucket.delay_for(500, now=1.0) == pytest.approx(0.5)
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate_bps=8000, burst_bytes=1000)
+        bucket.delay_for(100, now=0.0)
+        bucket.delay_for(0, now=100.0)
+        assert bucket.available <= 1000
+
+    def test_invalid_parameters(self):
+        with pytest.raises(TransportError):
+            TokenBucket(rate_bps=0, burst_bytes=10)
+        with pytest.raises(TransportError):
+            TokenBucket(rate_bps=10, burst_bytes=0)
+
+
+class TestQosOnPaths:
+    def test_rate_limit_paces_delivery(self, single):
+        """A rate-limited path spaces deliveries at the sustained rate."""
+        runtime = single.runtimes[0]
+        _, out = make_source(runtime)
+        sink = Translator("timed-sink")
+        arrivals = []
+        sink.add_digital_input(
+            "data-in", "text/plain", lambda m: arrivals.append(runtime.kernel.now)
+        )
+        runtime.register_translator(sink)
+        runtime.connect(
+            out,
+            sink.input_port("data-in"),
+            qos=QosPolicy.rate_limited(rate_bps=8_000, burst_bytes=1_000),
+        )
+        for i in range(5):
+            out.send(text(i, size=1_000))  # 1 kB at 1 kB/s
+        single.settle(10.0)
+        assert len(arrivals) == 5
+        gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+        # After the burst, messages are paced at ~1 s each.
+        assert all(gap == pytest.approx(1.0, rel=0.05) for gap in gaps[1:])
+
+    def test_rate_limit_prevents_buffer_overflow(self, single):
+        """The paper's QoS motivation: pacing the producer protects the
+        translation buffer of a slow consumer path."""
+        runtime = single.runtimes[0]
+        kernel = runtime.kernel
+        _, out = make_source(runtime)
+
+        def make_slow(name):
+            slow = Translator(name)
+
+            def handler(message):
+                yield kernel.timeout(0.05)
+
+            slow.add_digital_input("data-in", "text/plain", handler)
+            runtime.register_translator(slow)
+            return slow
+
+        unpaced = runtime.connect(
+            out, make_slow("no-qos").input_port("data-in"),
+            qos=QosPolicy(buffer_capacity=4),
+        )
+        paced = runtime.connect(
+            out, make_slow("qos").input_port("data-in"),
+            qos=QosPolicy.rate_limited(
+                rate_bps=100 * 8, burst_bytes=100, buffer_capacity=200
+            ),
+        )
+
+        def producer(k):
+            for i in range(50):
+                out.send(text(i, size=100))
+                yield k.timeout(0.001)
+
+        single.run(producer(kernel))
+        single.settle(120.0)
+        assert unpaced.messages_dropped > 0
+        assert paced.messages_dropped == 0
+        assert paced.messages_delivered == 50

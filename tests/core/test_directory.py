@@ -1,0 +1,174 @@
+"""Unit tests for the directory module: lookup, listeners and gossip."""
+
+import pytest
+
+from repro.core.directory import DirectoryListener, LEASE
+from repro.core.errors import DirectoryError
+from repro.core.query import Query
+
+from tests.core.conftest import make_sink, make_source
+
+
+class TestLocalDirectory:
+    def test_lookup_by_role(self, single):
+        runtime = single.runtimes[0]
+        make_sink(runtime, role="display")
+        make_source(runtime, role="sensor")
+        profiles = runtime.lookup(Query(role="display"))
+        assert len(profiles) == 1
+        assert profiles[0].role == "display"
+
+    def test_empty_query_returns_everything(self, single):
+        runtime = single.runtimes[0]
+        make_sink(runtime)
+        make_source(runtime)
+        assert len(runtime.lookup(Query())) == 2
+
+    def test_duplicate_registration_rejected(self, single):
+        runtime = single.runtimes[0]
+        translator, _ = make_sink(runtime)
+        with pytest.raises(Exception):
+            runtime.register_translator(translator)
+
+    def test_unregister_unknown_raises(self, single):
+        with pytest.raises(DirectoryError):
+            single.runtimes[0].directory.unregister("ghost")
+
+    def test_listener_notified_on_local_add_and_remove(self, single):
+        runtime = single.runtimes[0]
+        added, removed = [], []
+        runtime.add_directory_listener(
+            DirectoryListener.from_callbacks(
+                added=lambda p: added.append(p.name),
+                removed=lambda p: removed.append(p.name),
+            )
+        )
+        translator, _ = make_sink(runtime, name="tv")
+        runtime.unregister_translator(translator)
+        assert added == ["tv"]
+        assert removed == ["tv"]
+
+    def test_removed_listener_not_notified(self, single):
+        runtime = single.runtimes[0]
+        added = []
+        listener = DirectoryListener.from_callbacks(
+            added=lambda p: added.append(p.name)
+        )
+        runtime.add_directory_listener(listener)
+        runtime.directory.remove_directory_listener(listener)
+        make_sink(runtime)
+        assert added == []
+
+    def test_platform_of(self, single):
+        runtime = single.runtimes[0]
+        translator, _ = make_sink(runtime)
+        assert runtime.directory.platform_of(translator.translator_id) == "umiddle"
+        assert runtime.directory.platform_of("ghost") is None
+
+
+class TestGossip:
+    def test_multicast_discovery_between_runtimes(self, rig):
+        """Runtimes on one segment find each other's translators without
+        explicit federation (Section 3.2's advertisement exchange)."""
+        r0, r1 = rig.runtimes
+        make_sink(r0, name="tv", role="display")
+        rig.settle(1.0)
+        profiles = r1.lookup(Query(role="display"))
+        assert [p.name for p in profiles] == ["tv"]
+        # And the runtime registry learned the peer.
+        assert r1.directory.runtime_info(r0.runtime_id) is not None
+
+    def test_remote_listener_notified(self, rig):
+        r0, r1 = rig.runtimes
+        added = []
+        r1.add_directory_listener(
+            DirectoryListener.from_callbacks(added=lambda p: added.append(p.name))
+        )
+        make_sink(r0, name="tv")
+        rig.settle(1.0)
+        assert added == ["tv"]
+
+    def test_unregister_propagates(self, rig):
+        r0, r1 = rig.runtimes
+        translator, _ = make_sink(r0, name="tv", role="display")
+        rig.settle(1.0)
+        assert r1.lookup(Query(role="display"))
+        r0.unregister_translator(translator)
+        rig.settle(1.0)
+        assert not r1.lookup(Query(role="display"))
+
+    def test_remote_entries_expire_without_refresh(self, rig):
+        """Soft state: a dead runtime's translators age out after the lease."""
+        r0, r1 = rig.runtimes
+        make_sink(r0, name="tv", role="display")
+        rig.settle(1.0)
+        assert r1.lookup(Query(role="display"))
+        # Silence r0 without a goodbye (simulated crash).
+        r0.directory.stop()
+        r0.transport.stop()
+        rig.settle(LEASE + 3.0)
+        assert not r1.lookup(Query(role="display"))
+        assert r1.directory.runtime_info(r0.runtime_id) is None
+
+    def test_local_entries_never_expire(self, rig):
+        r0, _ = rig.runtimes
+        make_sink(r0, name="tv", role="display")
+        rig.settle(LEASE + 3.0)
+        assert r0.lookup(Query(role="display"))
+
+    def test_full_sync_removes_stale_entries(self, rig):
+        """A peer holding a stale entry (e.g. it missed the incremental
+        removal) converges on the owner's next full announcement."""
+        from dataclasses import replace
+
+        from repro.core.directory import _Entry
+
+        r0, r1 = rig.runtimes
+        translator, _ = make_sink(r0, name="tv", role="display")
+        rig.settle(1.0)
+        # Forge a stale remote entry in r1 claiming r0 hosts a 'ghost'
+        # translator that r0's full state will not mention.
+        real = r1.lookup(Query(role="display"))[0]
+        ghost = replace(real, translator_id="ghost-id", name="ghost")
+        r1.directory._entries["ghost-id"] = _Entry(
+            ghost, local=False, last_seen=rig.kernel.now
+        )
+        assert len(r1.lookup(Query(role="display"))) == 2
+        rig.settle(6.0)  # one full-announcement period
+        names = [p.name for p in r1.lookup(Query(role="display"))]
+        assert names == ["tv"]
+
+    def test_lookup_spans_local_and_remote(self, rig):
+        r0, r1 = rig.runtimes
+        make_sink(r0, name="tv", role="display")
+        make_sink(r1, name="projector", role="display")
+        rig.settle(1.0)
+        names = sorted(p.name for p in r1.lookup(Query(role="display")))
+        assert names == ["projector", "tv"]
+
+
+class TestExplicitFederation:
+    def test_federate_across_segments(self, kernel, network, net_costs):
+        """Two rooms joined by a router: multicast does not cross, explicit
+        federation does (Section 3.6's larger-area deployment)."""
+        from repro.core.runtime import UMiddleRuntime
+
+        left = network.add_hub("left", 1e7, 5e-5, 38)
+        right = network.add_hub("right", 1e7, 5e-5, 38)
+        router = network.add_node("router", forwards=True)
+        router.attach(left)
+        router.attach(right)
+        node_a = network.add_node("room-a")
+        node_a.attach(left)
+        node_b = network.add_node("room-b")
+        node_b.attach(right)
+        ra = UMiddleRuntime(node_a, name="room-a-rt")
+        rb = UMiddleRuntime(node_b, name="room-b-rt")
+
+        make_sink(ra, name="tv", role="display")
+        kernel.run(until=kernel.now + 2.0)
+        assert not rb.lookup(Query(role="display"))  # multicast is link-local
+
+        ra.federate(rb)
+        kernel.run(until=kernel.now + 2.0)
+        assert [p.name for p in rb.lookup(Query(role="display"))] == ["tv"]

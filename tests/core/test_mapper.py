@@ -1,0 +1,156 @@
+"""Unit tests for the Mapper base class."""
+
+import pytest
+
+from repro.core.errors import TranslationError, UsdlError
+from repro.core.mapper import Mapper
+from repro.core.query import Query
+from repro.core.usdl import parse_usdl
+
+from tests.core.conftest import FakeNativeHandle
+from tests.core.test_usdl import LIGHT_USDL
+
+SIMPLE_USDL = """
+<usdl name="fake-sensor" platform="fake" device-type="fake-sensor">
+  <profile role="sensor"/>
+  <ports>
+    <digital name="out" direction="out" mime="text/plain">
+      <binding kind="event" target="Reading"/>
+    </digital>
+  </ports>
+</usdl>
+"""
+
+
+class FakeMapper(Mapper):
+    platform = "fake"
+
+    def __init__(self, runtime, device_count=1):
+        super().__init__(runtime)
+        self.device_count = device_count
+
+    def discover(self):
+        document = parse_usdl(SIMPLE_USDL)
+        for index in range(self.device_count):
+            yield from self.map_device(
+                document,
+                FakeNativeHandle(self.runtime.kernel),
+                instance_name=f"fake-{index}",
+            )
+        # Idle forever afterwards.
+        yield self.runtime.kernel.timeout(10_000)
+
+
+class TestMapperLifecycle:
+    def test_start_runs_discovery_and_registers(self, single):
+        runtime = single.runtimes[0]
+        mapper = FakeMapper(runtime, device_count=3)
+        runtime.add_mapper(mapper)
+        single.settle(2.0)
+        assert len(mapper.translators) == 3
+        assert len(runtime.lookup(Query(platform="fake"))) == 3
+
+    def test_start_is_idempotent(self, single):
+        runtime = single.runtimes[0]
+        mapper = FakeMapper(runtime)
+        runtime.add_mapper(mapper)
+        mapper.start()
+        mapper.start()
+        single.settle(2.0)
+        assert len(mapper.translators) == 1
+
+    def test_stop_unmaps_everything_and_kills_discovery(self, single):
+        runtime = single.runtimes[0]
+        mapper = FakeMapper(runtime, device_count=2)
+        runtime.add_mapper(mapper)
+        single.settle(2.0)
+        mapper.stop()
+        assert mapper.translators == []
+        assert not runtime.lookup(Query(platform="fake"))
+        single.settle(2.0)  # the killed discovery process must not revive
+
+    def test_wrong_platform_document_rejected(self, single):
+        runtime = single.runtimes[0]
+        mapper = FakeMapper(runtime)
+
+        def driver(k):
+            yield from mapper.map_device(
+                parse_usdl(LIGHT_USDL), FakeNativeHandle(k)
+            )
+
+        with pytest.raises(TranslationError, match="cannot map"):
+            single.run(driver(runtime.kernel))
+
+    def test_unmap_foreign_translator_rejected(self, single):
+        runtime = single.runtimes[0]
+        mapper = FakeMapper(runtime)
+        other = FakeMapper(runtime)
+        runtime.add_mapper(mapper)
+        single.settle(2.0)
+        with pytest.raises(TranslationError, match="not mapped"):
+            other.unmap(mapper.translators[0])
+
+    def test_mapping_durations_recorded_per_type(self, single):
+        runtime = single.runtimes[0]
+        mapper = FakeMapper(runtime, device_count=4)
+        runtime.add_mapper(mapper)
+        single.settle(3.0)
+        durations = mapper.mapping_durations["fake-sensor"]
+        assert len(durations) == 4
+        # Identical devices map in identical time (up to float rounding of
+        # the simulated clock).
+        assert max(durations) - min(durations) < 1e-9
+        assert mapper.mean_mapping_duration("fake-sensor") == pytest.approx(
+            durations[0]
+        )
+
+    def test_mean_duration_unknown_type_raises(self, single):
+        runtime = single.runtimes[0]
+        mapper = FakeMapper(runtime)
+        with pytest.raises(TranslationError):
+            mapper.mean_mapping_duration("ghost-type")
+
+    def test_started_at_backdates_duration(self, single):
+        runtime = single.runtimes[0]
+        mapper = FakeMapper(runtime)
+        kernel = runtime.kernel
+        document = parse_usdl(SIMPLE_USDL)
+
+        def driver(k):
+            backdate = k.now
+            yield k.timeout(0.5)  # platform setup time before mapping
+            yield from mapper.map_device(
+                document, FakeNativeHandle(k), started_at=backdate
+            )
+
+        single.run(driver(kernel))
+        duration = mapper.mapping_durations["fake-sensor"][0]
+        assert duration > 0.5
+
+    def test_mapping_cost_scales_with_ports(self, single):
+        """More ports, more translator-generation time (Figure 10's law)."""
+        runtime = single.runtimes[0]
+        mapper = FakeMapper(runtime)
+        small = parse_usdl(SIMPLE_USDL)
+        big = parse_usdl(
+            '<usdl name="big" platform="fake" device-type="fake-big">'
+            '<profile role="sensor"/>'
+            "<ports>"
+            + "".join(
+                f'<digital name="p{i}" direction="out" mime="text/plain">'
+                f'<binding kind="event" target="E{i}"/></digital>'
+                for i in range(10)
+            )
+            + "</ports></usdl>"
+        )
+
+        def driver(k):
+            t0 = k.now
+            yield from mapper.map_device(small, FakeNativeHandle(k))
+            t1 = k.now
+            yield from mapper.map_device(big, FakeNativeHandle(k))
+            t2 = k.now
+            return t1 - t0, t2 - t1
+
+        small_time, big_time = single.run(driver(runtime.kernel))
+        assert big_time > 5 * small_time

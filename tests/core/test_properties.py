@@ -1,0 +1,290 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.profile import TranslatorProfile
+from repro.core.qos import TokenBucket
+from repro.core.query import Query
+from repro.core.shapes import (
+    Direction,
+    DigitalType,
+    PerceptionType,
+    PhysicalType,
+    PortSpec,
+    Shape,
+)
+from repro.core.usdl import UsdlBinding, UsdlDocument, UsdlPort, parse_usdl
+
+# -- strategies ---------------------------------------------------------------
+
+token = st.text(alphabet=string.ascii_lowercase + string.digits, min_size=1, max_size=8)
+mime_types = st.builds(lambda a, b: DigitalType(f"{a}/{b}"), token, token)
+mime_patterns = st.one_of(
+    mime_types,
+    st.builds(lambda a: DigitalType(f"{a}/*"), token),
+    st.just(DigitalType("*/*")),
+)
+perceptions = st.sampled_from([p.value for p in PerceptionType])
+physical_types = st.builds(PhysicalType, perceptions, token)
+
+port_names = st.text(alphabet=string.ascii_lowercase + "-", min_size=1, max_size=12)
+directions = st.sampled_from([Direction.IN, Direction.OUT])
+
+digital_specs = st.builds(
+    lambda name, direction, mime: PortSpec(
+        name=name, direction=direction, digital_type=mime
+    ),
+    port_names,
+    directions,
+    mime_types,
+)
+physical_specs = st.builds(
+    lambda name, direction, ptype: PortSpec(
+        name=name, direction=direction, physical_type=ptype
+    ),
+    port_names,
+    directions,
+    physical_types,
+)
+
+
+@st.composite
+def shapes(draw, max_ports=6):
+    specs = draw(
+        st.lists(
+            st.one_of(digital_specs, physical_specs),
+            max_size=max_ports,
+            unique_by=lambda spec: spec.name,
+        )
+    )
+    return Shape(specs)
+
+
+@st.composite
+def usdl_documents(draw):
+    ports = []
+    names = draw(
+        st.lists(port_names, min_size=0, max_size=5, unique=True)
+    )
+    for name in names:
+        direction = draw(directions)
+        if draw(st.booleans()):
+            kind = draw(
+                st.sampled_from(
+                    ["action", "sink"] if direction is Direction.IN else ["event", "source"]
+                )
+            )
+            binding = UsdlBinding(
+                kind=kind,
+                target=draw(token),
+                arguments=draw(st.dictionaries(token, token, max_size=3)),
+                payload_argument=draw(st.one_of(st.none(), token)),
+            )
+            ports.append(
+                UsdlPort(
+                    name=name,
+                    direction=direction,
+                    digital_type=draw(mime_types),
+                    binding=binding,
+                )
+            )
+        elif draw(st.booleans()):
+            ports.append(
+                UsdlPort(
+                    name=name,
+                    direction=direction,
+                    digital_type=draw(mime_types),
+                    binding=None
+                    if direction is Direction.OUT
+                    else UsdlBinding(kind="sink", target=draw(token)),
+                )
+            )
+        else:
+            ports.append(
+                UsdlPort(
+                    name=name, direction=direction, physical_type=draw(physical_types)
+                )
+            )
+    # XML cannot carry control characters, so descriptions are printable.
+    printable = st.text(
+        alphabet=string.ascii_letters + string.digits + " .-_", max_size=20
+    )
+    return UsdlDocument(
+        name=draw(token),
+        platform=draw(token),
+        device_type=draw(token),
+        role=draw(token),
+        description=draw(printable),
+        attributes=draw(st.dictionaries(token, token, max_size=3)),
+        ports=ports,
+        entities=draw(st.lists(token, max_size=3)),
+    )
+
+
+# -- shape matching algebra ------------------------------------------------------
+
+
+@given(mime=mime_types)
+def test_concrete_mime_matches_itself_and_universal(mime):
+    assert mime.matches(mime)
+    assert mime.matches(DigitalType(f"{mime.major}/*"))
+    assert mime.matches(DigitalType("*/*"))
+
+
+@given(first=mime_types, second=mime_types)
+def test_concrete_mime_match_is_equality(first, second):
+    assert first.matches(second) == (first == second)
+
+
+@given(ptype=physical_types)
+def test_physical_matches_its_wildcards(ptype):
+    assert ptype.matches(ptype)
+    assert ptype.matches(PhysicalType(ptype.perception, "*"))
+    assert ptype.matches(PhysicalType("*", "*"))
+
+
+@given(shape=shapes())
+def test_shape_compatibility_is_symmetric(shape):
+    other = Shape(
+        [
+            PortSpec(
+                name=f"mirror-{spec.name}",
+                direction=spec.direction.opposite,
+                digital_type=spec.digital_type,
+                physical_type=spec.physical_type,
+            )
+            for spec in shape
+        ]
+    )
+    assert shape.compatible_with(other) == other.compatible_with(shape)
+
+
+@given(first=shapes(), second=shapes())
+@settings(max_examples=200)
+def test_can_send_to_agrees_with_flows_to(first, second):
+    assert first.can_send_to(second) == bool(first.flows_to(second))
+
+
+@given(shape=shapes())
+def test_every_shape_satisfies_the_empty_template(shape):
+    assert shape.satisfies(Shape([]))
+
+
+@given(shape=shapes())
+def test_shape_satisfies_its_own_ports_as_template(shape):
+    assert shape.satisfies(shape)
+
+
+@given(shape=shapes())
+def test_selections_partition_the_shape(shape):
+    combined = (
+        shape.digital_inputs()
+        + shape.digital_outputs()
+        + shape.physical_inputs()
+        + shape.physical_outputs()
+    )
+    assert sorted(p.name for p in combined) == sorted(p.name for p in shape)
+
+
+# -- USDL round trips -------------------------------------------------------------
+
+
+@given(document=usdl_documents())
+@settings(max_examples=150)
+def test_usdl_xml_round_trip_is_identity(document):
+    assert parse_usdl(document.to_xml()) == document
+
+
+@given(document=usdl_documents())
+def test_usdl_shape_has_one_spec_per_port(document):
+    assert len(document.shape()) == document.port_count
+
+
+# -- profile round trips ---------------------------------------------------------------
+
+
+@given(shape=shapes(), attributes=st.dictionaries(token, token, max_size=4))
+def test_profile_dict_round_trip(shape, attributes):
+    profile = TranslatorProfile(
+        translator_id="t1",
+        name="svc",
+        platform="umiddle",
+        device_type="d",
+        role="r",
+        runtime_id="rt",
+        shape=shape,
+        attributes=attributes,
+    )
+    restored = TranslatorProfile.from_dict(profile.to_dict())
+    assert restored.shape == profile.shape
+    assert restored.attributes == profile.attributes
+
+
+# -- query consistency --------------------------------------------------------------------
+
+
+@given(shape=shapes())
+def test_empty_query_matches_any_profile(shape):
+    profile = TranslatorProfile(
+        translator_id="t1",
+        name="svc",
+        platform="p",
+        device_type="d",
+        role="r",
+        runtime_id="rt",
+        shape=shape,
+    )
+    assert Query().matches(profile)
+
+
+@given(shape=shapes(), mime=mime_types)
+def test_query_input_mime_agrees_with_shape(shape, mime):
+    profile = TranslatorProfile(
+        translator_id="t1",
+        name="svc",
+        platform="p",
+        device_type="d",
+        role="r",
+        runtime_id="rt",
+        shape=shape,
+    )
+    assert Query(input_mime=mime).matches(profile) == bool(
+        shape.inputs_accepting(mime)
+    )
+
+
+# -- token bucket invariants ------------------------------------------------------------------
+
+
+@given(
+    rate=st.floats(min_value=1, max_value=1e9),
+    burst=st.integers(min_value=1, max_value=1_000_000),
+    sizes=st.lists(st.integers(min_value=0, max_value=100_000), max_size=30),
+)
+def test_token_bucket_never_negative_delay_and_bounded_tokens(rate, burst, sizes):
+    bucket = TokenBucket(rate_bps=rate, burst_bytes=burst)
+    now = 0.0
+    for size in sizes:
+        delay = bucket.delay_for(size, now)
+        assert delay >= 0.0
+        assert bucket.available <= burst
+        now += delay  # a well-behaved sender waits out its delay
+
+
+@given(
+    rate=st.floats(min_value=8, max_value=1e7),
+    sizes=st.lists(st.integers(min_value=1, max_value=10_000), min_size=1, max_size=50),
+)
+def test_token_bucket_enforces_long_run_rate(rate, sizes):
+    """A compliant sender's long-run throughput never beats the rate."""
+    bucket = TokenBucket(rate_bps=rate, burst_bytes=1)
+    now = 0.0
+    total_bits = 0
+    for size in sizes:
+        delay = bucket.delay_for(size, now)
+        now += delay
+        total_bits += size * 8
+    # Conservation: bits sent <= rate * elapsed + the one-byte burst.
+    assert total_bits <= rate * now + 8 + 1e-6

@@ -1,0 +1,174 @@
+"""Unit tests for queries, profiles and the common message format."""
+
+import pytest
+
+from repro.core.errors import BindingError, ShapeError
+from repro.core.messages import UMessage
+from repro.core.profile import PortRef, TranslatorProfile
+from repro.core.query import Query
+from repro.core.shapes import Direction, DigitalType, PortSpec, Shape
+
+
+def make_profile(**overrides):
+    defaults = dict(
+        translator_id="t1",
+        name="BIP Camera",
+        platform="bluetooth",
+        device_type="bip-imaging",
+        role="camera",
+        runtime_id="rt1",
+        shape=Shape(
+            [
+                PortSpec.digital("image-out", Direction.OUT, "image/jpeg"),
+                PortSpec.physical("lens", Direction.IN, "visible/light"),
+            ]
+        ),
+        description="A Bluetooth Basic Imaging Profile camera",
+        attributes={"bd_addr": "00:11:22:33:44:55"},
+    )
+    defaults.update(overrides)
+    return TranslatorProfile(**defaults)
+
+
+class TestQuery:
+    def test_empty_query_matches_everything(self):
+        assert Query().matches(make_profile())
+        assert Query().is_empty()
+
+    def test_platform_filter(self):
+        assert Query(platform="bluetooth").matches(make_profile())
+        assert not Query(platform="upnp").matches(make_profile())
+
+    def test_role_filter(self):
+        assert Query(role="camera").matches(make_profile())
+        assert not Query(role="printer").matches(make_profile())
+
+    def test_device_type_filter(self):
+        assert Query(device_type="bip-imaging").matches(make_profile())
+        assert not Query(device_type="hid").matches(make_profile())
+
+    def test_name_contains_is_case_insensitive(self):
+        assert Query(name_contains="bip").matches(make_profile())
+        assert Query(name_contains="CAMERA").matches(make_profile())
+        assert not Query(name_contains="printer").matches(make_profile())
+
+    def test_output_mime_with_wildcard(self):
+        assert Query(output_mime="image/*").matches(make_profile())
+        assert not Query(output_mime="audio/*").matches(make_profile())
+
+    def test_input_mime(self):
+        profile = make_profile(
+            shape=Shape([PortSpec.digital("in", Direction.IN, "image/jpeg")])
+        )
+        assert Query(input_mime="image/jpeg").matches(profile)
+        assert not Query(input_mime="image/jpeg").matches(make_profile())
+
+    def test_string_mime_coerced(self):
+        query = Query(output_mime="image/jpeg")
+        assert isinstance(query.output_mime, DigitalType)
+
+    def test_physical_output_filter(self):
+        tv = make_profile(
+            shape=Shape(
+                [
+                    PortSpec.digital("in", Direction.IN, "image/jpeg"),
+                    PortSpec.physical("screen", Direction.OUT, "visible/screen"),
+                ]
+            )
+        )
+        assert Query(physical_output="visible/*").matches(tv)
+        assert not Query(physical_output="visible/paper").matches(tv)
+        assert not Query(physical_output="visible/*").matches(make_profile())
+
+    def test_physical_input_filter(self):
+        assert Query(physical_input="visible/*").matches(make_profile())
+
+    def test_attributes_filter(self):
+        assert Query(attributes={"bd_addr": "00:11:22:33:44:55"}).matches(
+            make_profile()
+        )
+        assert not Query(attributes={"bd_addr": "other"}).matches(make_profile())
+        assert not Query(attributes={"missing": 1}).matches(make_profile())
+
+    def test_template_filter(self):
+        template = Shape([PortSpec.digital("x", Direction.OUT, "image/*")])
+        assert Query(template=template).matches(make_profile())
+
+    def test_conjunction(self):
+        assert Query(platform="bluetooth", role="camera").matches(make_profile())
+        assert not Query(platform="bluetooth", role="printer").matches(make_profile())
+
+    def test_require_some_criterion(self):
+        with pytest.raises(BindingError):
+            Query().require_some_criterion()
+        Query(role="camera").require_some_criterion()  # must not raise
+
+
+class TestPortRef:
+    def test_round_trip(self):
+        ref = PortRef("rt1", "t1", "image-out")
+        assert PortRef.parse(str(ref)) == ref
+
+    @pytest.mark.parametrize("bad", ["", "a/b", "a/b/c/d", "a//c"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ShapeError):
+            PortRef.parse(bad)
+
+    def test_ordering_and_hashing(self):
+        refs = {PortRef("r", "t", "p"), PortRef("r", "t", "p")}
+        assert len(refs) == 1
+
+
+class TestTranslatorProfile:
+    def test_port_ref_validates_port_name(self):
+        profile = make_profile()
+        assert profile.port_ref("image-out").port_name == "image-out"
+        with pytest.raises(ShapeError):
+            profile.port_ref("ghost")
+
+    def test_dict_round_trip(self):
+        profile = make_profile()
+        restored = TranslatorProfile.from_dict(profile.to_dict())
+        assert restored.translator_id == profile.translator_id
+        assert restored.shape == profile.shape
+        assert restored.attributes == profile.attributes
+        assert restored.platform == profile.platform
+
+    def test_estimated_size_grows_with_ports(self):
+        small = make_profile()
+        big = make_profile(
+            shape=Shape(
+                [
+                    PortSpec.digital(f"p{i}", Direction.IN, "text/plain")
+                    for i in range(14)
+                ]
+            )
+        )
+        assert big.estimated_size() > small.estimated_size()
+
+
+class TestUMessage:
+    def test_string_mime_coerced(self):
+        message = UMessage("image/jpeg", b"...", 3)
+        assert message.mime == DigitalType("image/jpeg")
+
+    def test_pattern_mime_rejected(self):
+        with pytest.raises(ShapeError):
+            UMessage("image/*", b"...", 3)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ShapeError):
+            UMessage("a/b", None, -1)
+
+    def test_sequence_increases(self):
+        first = UMessage("a/b", None, 0)
+        second = UMessage("a/b", None, 0)
+        assert second.sequence > first.sequence
+
+    def test_with_source_and_header_are_functional(self):
+        message = UMessage("a/b", None, 0)
+        tagged = message.with_source("rt/t/p").with_header("k", "v")
+        assert tagged.source == "rt/t/p"
+        assert tagged.headers == {"k": "v"}
+        assert message.source is None
+        assert message.headers == {}

@@ -1,0 +1,188 @@
+"""Unit tests for the uMiddle runtime: lifecycle, resolution, federation."""
+
+import pytest
+
+from repro.core.errors import TransportError, UMiddleError
+from repro.core.messages import UMessage
+from repro.core.profile import PortRef
+from repro.core.query import Query
+from repro.core.translator import Translator
+
+from tests.core.conftest import make_sink, make_source
+
+
+class TestTranslatorLifecycle:
+    def test_register_assigns_runtime_and_advertises(self, single):
+        runtime = single.runtimes[0]
+        translator, _ = make_sink(runtime)
+        assert translator.runtime is runtime
+        assert runtime.lookup(Query())[0].translator_id == translator.translator_id
+
+    def test_double_register_rejected(self, single):
+        runtime = single.runtimes[0]
+        translator, _ = make_sink(runtime)
+        with pytest.raises(UMiddleError):
+            runtime.register_translator(translator)
+
+    def test_unregister_unknown_rejected(self, single):
+        runtime = single.runtimes[0]
+        ghost = Translator("ghost")
+        with pytest.raises(UMiddleError):
+            runtime.unregister_translator(ghost)
+
+    def test_translator_lookup_by_id(self, single):
+        runtime = single.runtimes[0]
+        translator, _ = make_sink(runtime)
+        assert runtime.translator(translator.translator_id) is translator
+        with pytest.raises(UMiddleError):
+            runtime.translator("nope")
+
+    def test_unregister_allows_reregistration_elsewhere(self, rig):
+        r0, r1 = rig.runtimes
+        translator, _ = make_sink(r0)
+        r0.unregister_translator(translator)
+        r1.register_translator(translator)
+        assert translator.runtime is r1
+
+
+class TestPortResolution:
+    def test_local_ports_resolved_by_ref(self, single):
+        runtime = single.runtimes[0]
+        source, out = make_source(runtime)
+        sink, _ = make_sink(runtime, name="s2")
+        assert runtime.local_output_port(out.ref) is out
+        assert (
+            runtime.local_input_port(sink.input_port("data-in").ref)
+            is sink.input_port("data-in")
+        )
+
+    def test_wrong_direction_rejected(self, single):
+        runtime = single.runtimes[0]
+        source, out = make_source(runtime)
+        with pytest.raises(TransportError):
+            runtime.local_input_port(out.ref)
+
+    def test_foreign_runtime_ref_rejected(self, rig):
+        r0, r1 = rig.runtimes
+        _, out = make_source(r0)
+        with pytest.raises(TransportError):
+            r1.local_output_port(out.ref)
+
+    def test_find_input_port_is_non_raising(self, single):
+        runtime = single.runtimes[0]
+        ghost = PortRef(runtime.runtime_id, "missing", "in")
+        assert runtime.find_input_port(ghost) is None
+
+
+class TestShutdown:
+    def test_shutdown_unregisters_everything(self, rig):
+        r0, r1 = rig.runtimes
+        make_sink(r0, name="tv", role="display")
+        rig.settle(1.0)
+        assert r1.lookup(Query(role="display"))
+        r0.shutdown()
+        rig.settle(20.0)  # lease expiry
+        assert not r1.lookup(Query(role="display"))
+        assert r0.translators == {}
+
+    def test_shutdown_closes_paths(self, single):
+        runtime = single.runtimes[0]
+        _, out = make_source(runtime)
+        sink, _ = make_sink(runtime, name="s2")
+        path = runtime.connect(out, sink.input_port("data-in"))
+        runtime.shutdown()
+        assert path.closed
+
+
+class TestFlowControl:
+    def test_send_flow_blocks_until_space(self, single):
+        """The backpressure send never drops, pacing the producer."""
+        runtime = single.runtimes[0]
+        kernel = runtime.kernel
+        _, out = make_source(runtime)
+        processed = []
+        slow = Translator("slow")
+
+        def handler(message):
+            yield kernel.timeout(0.1)
+            processed.append(message.payload)
+
+        slow.add_digital_input("data-in", "text/plain", handler)
+        runtime.register_translator(slow)
+        from repro.core.qos import QosPolicy
+
+        path = runtime.connect(
+            out, slow.input_port("data-in"), qos=QosPolicy(buffer_capacity=2)
+        )
+
+        def producer(k):
+            for index in range(20):
+                yield from out.send_flow(UMessage("text/plain", index, 10))
+
+        single.run(producer(kernel))
+        single.settle(5.0)
+        assert processed == list(range(20))
+        assert path.messages_dropped == 0
+        assert path.peak_buffer <= 2
+
+    def test_send_flow_returns_admitted_count(self, single):
+        runtime = single.runtimes[0]
+        _, out = make_source(runtime)
+        sink_a, _ = make_sink(runtime, name="a")
+        sink_b, _ = make_sink(runtime, name="b")
+        runtime.connect(out, sink_a.input_port("data-in"))
+        runtime.connect(out, sink_b.input_port("data-in"))
+
+        def producer(k):
+            admitted = yield from out.send_flow(UMessage("text/plain", "x", 10))
+            return admitted
+
+        assert single.run(producer(runtime.kernel)) == 2
+
+    def test_send_flow_on_closed_path_returns_false_admission(self, single):
+        runtime = single.runtimes[0]
+        kernel = runtime.kernel
+        _, out = make_source(runtime)
+        blocked = Translator("blocked")
+
+        def handler(message):
+            yield kernel.timeout(1000.0)
+
+        blocked.add_digital_input("data-in", "text/plain", handler)
+        runtime.register_translator(blocked)
+        from repro.core.qos import QosPolicy
+
+        path = runtime.connect(
+            out, blocked.input_port("data-in"), qos=QosPolicy(buffer_capacity=1)
+        )
+
+        outcome = []
+
+        def producer(k):
+            # Fill the buffer (one in service, one queued), then block.
+            for _ in range(2):
+                yield from out.send_flow(UMessage("text/plain", "x", 10))
+            admitted = yield from out.send_flow(UMessage("text/plain", "y", 10))
+            outcome.append(admitted)
+
+        kernel.process(producer(kernel))
+        single.settle(1.0)
+        assert outcome == []  # producer is parked waiting for space
+        path.close()
+        single.settle(1.0)
+        assert outcome == [0]  # woken by close, nothing admitted
+
+
+class TestMessagePathAccounting:
+    def test_bytes_and_peak_buffer(self, single):
+        runtime = single.runtimes[0]
+        _, out = make_source(runtime)
+        sink, _ = make_sink(runtime, name="s2")
+        path = runtime.connect(out, sink.input_port("data-in"))
+        for index in range(4):
+            out.send(UMessage("text/plain", index, 250))
+        single.settle(1.0)
+        assert path.messages_enqueued == 4
+        assert path.messages_delivered == 4
+        assert path.bytes_delivered == 1000
+        assert path.peak_buffer >= 1

@@ -1,0 +1,228 @@
+"""Unit tests for Service Shaping: types, port specs and shapes."""
+
+import pytest
+
+from repro.core.errors import ShapeError
+from repro.core.shapes import (
+    Direction,
+    DigitalType,
+    PhysicalType,
+    PortKind,
+    PortSpec,
+    Shape,
+)
+
+
+class TestDigitalType:
+    def test_normalizes_case(self):
+        assert DigitalType("Image/JPEG").mime == "image/jpeg"
+
+    def test_major_minor(self):
+        t = DigitalType("image/jpeg")
+        assert t.major == "image"
+        assert t.minor == "jpeg"
+
+    @pytest.mark.parametrize("bad", ["jpeg", "image/", "/jpeg", "a/b/c", ""])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ShapeError):
+            DigitalType(bad)
+
+    def test_concrete_matches_exact(self):
+        assert DigitalType("image/jpeg").matches(DigitalType("image/jpeg"))
+        assert not DigitalType("image/jpeg").matches(DigitalType("image/png"))
+
+    def test_wildcard_minor(self):
+        assert DigitalType("image/jpeg").matches(DigitalType("image/*"))
+        assert not DigitalType("text/plain").matches(DigitalType("image/*"))
+
+    def test_wildcard_both(self):
+        assert DigitalType("application/x-anything").matches(DigitalType("*/*"))
+
+    def test_pattern_cannot_be_matched_against(self):
+        with pytest.raises(ShapeError):
+            DigitalType("image/*").matches(DigitalType("image/jpeg"))
+
+    def test_is_pattern(self):
+        assert DigitalType("image/*").is_pattern
+        assert not DigitalType("image/jpeg").is_pattern
+
+
+class TestPhysicalType:
+    def test_valid_perceptions(self):
+        for perception in ("visible", "audible", "tangible"):
+            assert PhysicalType(perception, "air").perception == perception
+
+    def test_unknown_perception_rejected(self):
+        with pytest.raises(ShapeError):
+            PhysicalType("olfactory", "air")
+
+    def test_parse(self):
+        t = PhysicalType.parse("visible/paper")
+        assert (t.perception, t.media) == ("visible", "paper")
+
+    def test_parse_malformed(self):
+        with pytest.raises(ShapeError):
+            PhysicalType.parse("visible")
+
+    def test_paper_printer_example(self):
+        """'visible/paper' satisfies 'visible/*' (the PostScript printer)."""
+        paper = PhysicalType("visible", "paper")
+        assert paper.matches(PhysicalType.parse("visible/*"))
+        assert paper.matches(PhysicalType.parse("visible/paper"))
+        assert not paper.matches(PhysicalType.parse("audible/*"))
+
+    def test_empty_media_rejected(self):
+        with pytest.raises(ShapeError):
+            PhysicalType("visible", "")
+
+    def test_str(self):
+        assert str(PhysicalType("visible", "light")) == "visible/light"
+
+
+class TestPortSpec:
+    def test_digital_factory(self):
+        spec = PortSpec.digital("image-out", Direction.OUT, "image/jpeg")
+        assert spec.kind is PortKind.DIGITAL
+        assert spec.is_digital
+        assert spec.digital_type == DigitalType("image/jpeg")
+
+    def test_physical_factory(self):
+        spec = PortSpec.physical("screen", Direction.OUT, "visible/screen")
+        assert spec.kind is PortKind.PHYSICAL
+        assert not spec.is_digital
+
+    def test_requires_exactly_one_type(self):
+        with pytest.raises(ShapeError):
+            PortSpec(name="bad", direction=Direction.IN)
+        with pytest.raises(ShapeError):
+            PortSpec(
+                name="bad",
+                direction=Direction.IN,
+                digital_type=DigitalType("a/b"),
+                physical_type=PhysicalType("visible", "x"),
+            )
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ShapeError):
+            PortSpec.digital("", Direction.IN, "a/b")
+
+    def test_direction_opposite(self):
+        assert Direction.IN.opposite is Direction.OUT
+        assert Direction.OUT.opposite is Direction.IN
+
+    def test_describe(self):
+        spec = PortSpec.digital("x", Direction.IN, "text/plain")
+        assert "digital in x: text/plain" == spec.describe()
+
+
+def printer_shape():
+    """The paper's PostScript printer: text/ps in, visible/paper out."""
+    return Shape(
+        [
+            PortSpec.digital("doc-in", Direction.IN, "text/ps"),
+            PortSpec.physical("output", Direction.OUT, "visible/paper"),
+        ]
+    )
+
+
+def camera_shape():
+    return Shape(
+        [
+            PortSpec.digital("image-out", Direction.OUT, "image/jpeg"),
+        ]
+    )
+
+
+def tv_shape():
+    return Shape(
+        [
+            PortSpec.digital("image-in", Direction.IN, "image/jpeg"),
+            PortSpec.digital("audio-in", Direction.IN, "audio/mpeg"),
+            PortSpec.physical("screen", Direction.OUT, "visible/screen"),
+            PortSpec.physical("speaker", Direction.OUT, "audible/air"),
+        ]
+    )
+
+
+class TestShape:
+    def test_duplicate_port_names_rejected(self):
+        with pytest.raises(ShapeError, match="duplicate"):
+            Shape(
+                [
+                    PortSpec.digital("x", Direction.IN, "a/b"),
+                    PortSpec.digital("x", Direction.OUT, "a/b"),
+                ]
+            )
+
+    def test_port_lookup(self):
+        shape = printer_shape()
+        assert shape.port("doc-in").direction is Direction.IN
+        with pytest.raises(ShapeError):
+            shape.port("ghost")
+        assert "doc-in" in shape
+        assert "ghost" not in shape
+
+    def test_selections(self):
+        shape = tv_shape()
+        assert {p.name for p in shape.digital_inputs()} == {"image-in", "audio-in"}
+        assert shape.digital_outputs() == []
+        assert {p.name for p in shape.physical_outputs()} == {"screen", "speaker"}
+
+    def test_equality_and_hash(self):
+        assert printer_shape() == printer_shape()
+        assert hash(printer_shape()) == hash(printer_shape())
+        assert printer_shape() != camera_shape()
+
+    def test_camera_tv_compatibility(self):
+        """The paper's BIP camera -> MediaRenderer TV case."""
+        assert camera_shape().can_send_to(tv_shape())
+        assert not tv_shape().can_send_to(camera_shape())
+        assert camera_shape().compatible_with(tv_shape())
+        assert tv_shape().compatible_with(camera_shape())
+
+    def test_incompatible_shapes(self):
+        assert not camera_shape().compatible_with(printer_shape())
+
+    def test_flows_to_lists_matching_pairs(self):
+        pairs = camera_shape().flows_to(tv_shape())
+        assert len(pairs) == 1
+        out_spec, in_spec = pairs[0]
+        assert out_spec.name == "image-out"
+        assert in_spec.name == "image-in"
+
+    def test_inputs_accepting_concrete(self):
+        specs = tv_shape().inputs_accepting(DigitalType("image/jpeg"))
+        assert [s.name for s in specs] == ["image-in"]
+
+    def test_inputs_accepting_pattern(self):
+        specs = tv_shape().inputs_accepting(DigitalType("*/*"))
+        assert {s.name for s in specs} == {"image-in", "audio-in"}
+
+    def test_outputs_producing(self):
+        specs = camera_shape().outputs_producing(DigitalType("image/*"))
+        assert [s.name for s in specs] == ["image-out"]
+
+    def test_satisfies_template_viewing_device(self):
+        """'show me this image somehow': image/jpeg input + visible/* output."""
+        template = Shape(
+            [
+                PortSpec.digital("any-in", Direction.IN, "image/jpeg"),
+                PortSpec.physical("any-out", Direction.OUT, "visible/*"),
+            ]
+        )
+        assert tv_shape().satisfies(template)
+        assert not printer_shape().satisfies(template)  # wrong input type
+        assert not camera_shape().satisfies(template)
+
+    def test_satisfies_ignores_template_port_names(self):
+        template = Shape([PortSpec.digital("whatever", Direction.IN, "text/ps")])
+        assert printer_shape().satisfies(template)
+
+    def test_empty_template_always_satisfied(self):
+        assert camera_shape().satisfies(Shape([]))
+
+    def test_iteration_is_sorted_and_stable(self):
+        shape = tv_shape()
+        names = [p.name for p in shape]
+        assert names == sorted(names, key=lambda n: shape.port(n).name)
+        assert len(shape) == 4

@@ -1,0 +1,240 @@
+"""Unit tests for translators and live ports."""
+
+import pytest
+
+from repro.core.errors import PortError, TranslationError
+from repro.core.messages import UMessage
+from repro.core.shapes import Direction
+from repro.core.translator import GenericTranslator, Translator
+from repro.core.usdl import parse_usdl
+
+from tests.core.conftest import FakeNativeHandle
+from tests.core.test_usdl import LIGHT_USDL
+
+MOUSE_USDL = """
+<usdl name="bt-hid-mouse" platform="bluetooth" device-type="hid-mouse">
+  <profile role="pointer"/>
+  <ports>
+    <digital name="clicks" direction="out" mime="application/x-umiddle-click">
+      <binding kind="event" target="Click"/>
+    </digital>
+  </ports>
+</usdl>
+"""
+
+
+class TestTranslatorBase:
+    def test_port_declaration_and_lookup(self):
+        translator = Translator("svc")
+        inp = translator.add_digital_input("in", "text/plain", lambda m: None)
+        out = translator.add_digital_output("out", "text/plain")
+        phys = translator.add_physical("screen", Direction.OUT, "visible/screen")
+        assert translator.input_port("in") is inp
+        assert translator.output_port("out") is out
+        assert translator.physical_port("screen") is phys
+        assert len(translator.ports) == 3
+
+    def test_duplicate_port_name_rejected(self):
+        translator = Translator("svc")
+        translator.add_digital_output("x", "a/b")
+        with pytest.raises(PortError):
+            translator.add_digital_input("x", "a/b", lambda m: None)
+
+    def test_wrong_port_kind_lookup(self):
+        translator = Translator("svc")
+        translator.add_digital_output("out", "a/b")
+        with pytest.raises(PortError):
+            translator.input_port("out")
+        with pytest.raises(PortError):
+            translator.physical_port("out")
+        with pytest.raises(PortError):
+            translator.port("ghost")
+
+    def test_shape_reflects_ports(self):
+        translator = Translator("svc")
+        translator.add_digital_output("out", "image/jpeg")
+        shape = translator.shape
+        assert len(shape.digital_outputs()) == 1
+
+    def test_profile_requires_runtime(self):
+        translator = Translator("svc")
+        with pytest.raises(TranslationError):
+            translator.profile
+
+    def test_profile_carries_identity(self, single):
+        runtime = single.runtimes[0]
+        translator = Translator(
+            "svc", role="camera", attributes={"room": "kitchen"}
+        )
+        translator.add_digital_output("out", "image/jpeg")
+        runtime.register_translator(translator)
+        profile = translator.profile
+        assert profile.runtime_id == runtime.runtime_id
+        assert profile.role == "camera"
+        assert profile.attributes == {"room": "kitchen"}
+
+    def test_double_attach_rejected(self, rig):
+        translator = Translator("svc")
+        rig.runtimes[0].register_translator(translator)
+        with pytest.raises(TranslationError):
+            translator.attach(rig.runtimes[1])
+
+    def test_send_requires_attachment(self):
+        translator = Translator("svc")
+        port = translator.add_digital_output("out", "a/b")
+        with pytest.raises(PortError):
+            port.send(UMessage("a/b", None, 1))
+
+    def test_send_enforces_port_type(self, single):
+        runtime = single.runtimes[0]
+        translator = Translator("svc")
+        port = translator.add_digital_output("out", "image/jpeg")
+        runtime.register_translator(translator)
+        with pytest.raises(PortError, match="carries"):
+            port.send(UMessage("text/plain", None, 1))
+
+    def test_port_ref_requires_runtime(self):
+        translator = Translator("svc")
+        port = translator.add_digital_output("out", "a/b")
+        with pytest.raises(PortError):
+            port.ref
+
+    def test_physical_port_manifestations(self):
+        translator = Translator("svc")
+        port = translator.add_physical("screen", Direction.OUT, "visible/screen")
+        seen = []
+        port.observe(seen.append)
+        port.manifest("frame-1")
+        port.manifest("frame-2")
+        assert port.manifestations == ["frame-1", "frame-2"]
+        assert port.last_manifestation == "frame-2"
+        assert seen == ["frame-1", "frame-2"]
+
+
+class TestGenericTranslator:
+    def test_ports_built_from_usdl(self):
+        doc = parse_usdl(LIGHT_USDL)
+        translator = GenericTranslator(doc, FakeNativeHandle(None))
+        assert {p.name for p in translator.ports} == {
+            "power-on",
+            "power-off",
+            "status",
+            "illumination",
+        }
+        assert translator.platform == "upnp"
+        assert translator.role == "light"
+
+    def test_action_binding_invokes_native(self, single):
+        runtime = single.runtimes[0]
+        native = FakeNativeHandle(runtime.kernel)
+        translator = GenericTranslator(parse_usdl(LIGHT_USDL), native)
+        runtime.register_translator(translator)
+
+        def driver(k):
+            handler = translator.input_port("power-on").deliver(
+                UMessage("application/x-umiddle-switch", None, 8)
+            )
+            yield from handler
+
+        single.run(driver(runtime.kernel))
+        assert len(native.invocations) == 1
+        target, arguments, _message = native.invocations[0]
+        assert target == "SetPower"
+        assert arguments == {"Power": "1"}
+
+    def test_action_charges_translation_time(self, single):
+        """Section 5.2: device-level translation costs ~10 ms in uMiddle."""
+        runtime = single.runtimes[0]
+        native = FakeNativeHandle(runtime.kernel)
+        translator = GenericTranslator(parse_usdl(LIGHT_USDL), native)
+        runtime.register_translator(translator)
+
+        def driver(k):
+            start = k.now
+            handler = translator.input_port("power-off").deliver(
+                UMessage("application/x-umiddle-switch", None, 8)
+            )
+            yield from handler
+            return k.now - start
+
+        elapsed = single.run(driver(runtime.kernel))
+        expected = runtime.calibration.umiddle.message_translation_s
+        assert elapsed == pytest.approx(expected)
+
+    def test_event_binding_flows_to_output_port(self, rig):
+        """Native events surface on the translator's output port and reach
+        connected peers."""
+        r0 = rig.runtimes[0]
+        native = FakeNativeHandle(r0.kernel)
+        mouse = GenericTranslator(parse_usdl(MOUSE_USDL), native)
+        r0.register_translator(mouse)
+
+        received = []
+        from repro.core.translator import Translator as T
+
+        listener = T("listener")
+        listener.add_digital_input(
+            "in", "application/x-umiddle-click", lambda m: received.append(m)
+        )
+        r0.register_translator(listener)
+        r0.connect(mouse.output_port("clicks"), listener.input_port("in"))
+
+        native.emit("Click", UMessage("application/x-umiddle-click", "click!", 16))
+        rig.settle(1.0)
+        assert len(received) == 1
+        assert received[0].payload == "click!"
+
+    def test_event_translation_cost_matches_mouse_overhead(self, rig):
+        """Section 5.2: mouse event translation (VML build + translation +
+        transport) is ~23 ms."""
+        r0 = rig.runtimes[0]
+        native = FakeNativeHandle(r0.kernel)
+        mouse = GenericTranslator(parse_usdl(MOUSE_USDL), native)
+        r0.register_translator(mouse)
+
+        arrivals = []
+        from repro.core.translator import Translator as T
+
+        listener = T("listener")
+        listener.add_digital_input(
+            "in", "application/x-umiddle-click", lambda m: arrivals.append(r0.kernel.now)
+        )
+        r0.register_translator(listener)
+        r0.connect(mouse.output_port("clicks"), listener.input_port("in"))
+
+        start = r0.kernel.now
+        native.emit("Click", UMessage("application/x-umiddle-click", "x", 16))
+        rig.settle(1.0)
+        assert len(arrivals) == 1
+        overhead = arrivals[0] - start
+        assert 0.015 < overhead < 0.035  # the paper reports 23 ms
+
+    def test_unmap_unsubscribes_native(self, single):
+        runtime = single.runtimes[0]
+        native = FakeNativeHandle(runtime.kernel)
+        translator = GenericTranslator(parse_usdl(MOUSE_USDL), native)
+        runtime.register_translator(translator)
+        runtime.unregister_translator(translator)
+        assert native.unsubscribed
+
+    def test_usdl_input_without_binding_rejected(self):
+        bad = parse_usdl(
+            '<usdl name="x" platform="p" device-type="d"><profile role="r"/>'
+            '<ports><digital name="in" direction="in" mime="a/b"/></ports></usdl>'
+        )
+        with pytest.raises(TranslationError, match="no binding"):
+            GenericTranslator(bad, FakeNativeHandle(None))
+
+    def test_extra_attributes_merge_over_document(self):
+        doc = parse_usdl(LIGHT_USDL)
+        translator = GenericTranslator(
+            doc, FakeNativeHandle(None), extra_attributes={"room": "lab"}
+        )
+        assert translator.attributes["room"] == "lab"
+
+    def test_instance_name_overrides_document_name(self):
+        doc = parse_usdl(LIGHT_USDL)
+        translator = GenericTranslator(
+            doc, FakeNativeHandle(None), instance_name="kitchen-light"
+        )
+        assert translator.name == "kitchen-light"

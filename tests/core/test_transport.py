@@ -1,0 +1,252 @@
+"""Unit tests for the transport module: paths, buffers, remote delivery."""
+
+import pytest
+
+from repro.core.errors import TransportError
+from repro.core.messages import UMessage
+from repro.core.qos import DropPolicy, QosPolicy
+from repro.core.translator import Translator
+
+from tests.core.conftest import make_sink, make_source
+
+
+def text(payload="x", size=100):
+    return UMessage("text/plain", payload, size)
+
+
+class TestLocalPaths:
+    def test_connect_and_deliver(self, single):
+        runtime = single.runtimes[0]
+        _, out = make_source(runtime)
+        sink, received = make_sink(runtime, name="sink2")
+        path = runtime.connect(out, sink.input_port("data-in"))
+        out.send(text("hello"))
+        single.settle(0.1)
+        assert [m.payload for m in received] == ["hello"]
+        assert path.messages_delivered == 1
+        assert path.bytes_delivered == 100
+
+    def test_type_mismatch_rejected(self, single):
+        runtime = single.runtimes[0]
+        _, out = make_source(runtime, mime="image/jpeg")
+        sink, _ = make_sink(runtime, name="sink2", mime="text/plain")
+        with pytest.raises(TransportError, match="type mismatch"):
+            runtime.connect(out, sink.input_port("data-in"))
+
+    def test_connect_by_port_refs(self, single):
+        runtime = single.runtimes[0]
+        source, out = make_source(runtime)
+        sink, received = make_sink(runtime, name="sink2")
+        path = runtime.connect(
+            source.profile.port_ref("data-out"), sink.profile.port_ref("data-in")
+        )
+        out.send(text("via refs"))
+        single.settle(0.1)
+        assert [m.payload for m in received] == ["via refs"]
+
+    def test_fanout_to_multiple_paths(self, single):
+        runtime = single.runtimes[0]
+        _, out = make_source(runtime)
+        sink_a, received_a = make_sink(runtime, name="a")
+        sink_b, received_b = make_sink(runtime, name="b")
+        runtime.connect(out, sink_a.input_port("data-in"))
+        runtime.connect(out, sink_b.input_port("data-in"))
+        out.send(text("both"))
+        single.settle(0.1)
+        assert [m.payload for m in received_a] == ["both"]
+        assert [m.payload for m in received_b] == ["both"]
+
+    def test_dispatch_without_paths_is_counted_not_delivered(self, single):
+        runtime = single.runtimes[0]
+        _, out = make_source(runtime)
+        assert runtime.transport.dispatch(out, text()) == 0
+
+    def test_close_stops_delivery(self, single):
+        runtime = single.runtimes[0]
+        _, out = make_source(runtime)
+        sink, received = make_sink(runtime, name="sink2")
+        path = runtime.connect(out, sink.input_port("data-in"))
+        path.close()
+        out.send(text("late"))
+        single.settle(0.1)
+        assert received == []
+        assert runtime.transport.paths_from(out) == []
+
+    def test_unregistering_translator_closes_its_paths(self, single):
+        runtime = single.runtimes[0]
+        source, out = make_source(runtime)
+        sink, received = make_sink(runtime, name="sink2")
+        path = runtime.connect(out, sink.input_port("data-in"))
+        runtime.unregister_translator(sink)
+        assert path.closed
+
+    def test_generator_handler_applies_backpressure(self, single):
+        """A slow (generator) consumer makes messages queue in the path's
+        translation buffer -- Section 5.3's accumulation observation."""
+        runtime = single.runtimes[0]
+        kernel = runtime.kernel
+        _, out = make_source(runtime)
+
+        processed = []
+        slow = Translator("slow-sink")
+
+        def slow_handler(message):
+            yield kernel.timeout(0.5)
+            processed.append(message.payload)
+
+        slow.add_digital_input("data-in", "text/plain", slow_handler)
+        runtime.register_translator(slow)
+        path = runtime.connect(out, slow.input_port("data-in"))
+
+        for i in range(4):
+            out.send(text(i))
+        single.settle(0.6)
+        assert processed == [0]  # only one served so far
+        assert path.buffered >= 2
+        single.settle(2.0)
+        assert processed == [0, 1, 2, 3]
+        assert path.peak_buffer >= 3
+
+    def test_buffer_overflow_drop_newest(self, single):
+        runtime = single.runtimes[0]
+        kernel = runtime.kernel
+        _, out = make_source(runtime)
+        slow = Translator("slow-sink")
+        processed = []
+
+        def slow_handler(message):
+            yield kernel.timeout(10.0)
+            processed.append(message.payload)
+
+        slow.add_digital_input("data-in", "text/plain", slow_handler)
+        runtime.register_translator(slow)
+        path = runtime.connect(
+            out, slow.input_port("data-in"), qos=QosPolicy(buffer_capacity=2)
+        )
+        for i in range(10):
+            out.send(text(i))
+        single.settle(0.1)
+        # All ten sends happen before the delivery process runs once, so the
+        # buffer admits exactly its capacity.
+        assert path.messages_dropped == 10 - 2
+        # Drop-newest keeps the earliest messages.
+        single.settle(40.0)
+        assert processed == [0, 1]
+
+    def test_buffer_overflow_drop_oldest(self, single):
+        runtime = single.runtimes[0]
+        kernel = runtime.kernel
+        _, out = make_source(runtime)
+        slow = Translator("slow-sink")
+        processed = []
+
+        def slow_handler(message):
+            yield kernel.timeout(10.0)
+            processed.append(message.payload)
+
+        slow.add_digital_input("data-in", "text/plain", slow_handler)
+        runtime.register_translator(slow)
+        runtime.connect(
+            out,
+            slow.input_port("data-in"),
+            qos=QosPolicy(buffer_capacity=2, drop_policy=DropPolicy.DROP_OLDEST),
+        )
+        for i in range(10):
+            out.send(text(i))
+        single.settle(40.0)
+        # Drop-oldest keeps the most recent messages.
+        assert processed == [8, 9]
+
+    def test_cross_platform_path_charges_conversion(self, single):
+        """Same-platform paths skip the cross-representation cost; paths
+        between different platforms pay it (Figure 11's RMI-MB penalty)."""
+        runtime = single.runtimes[0]
+        same_source = Translator("s1", platform="rmi")
+        out_same = same_source.add_digital_output("data-out", "text/plain")
+        runtime.register_translator(same_source)
+        same_sink = Translator("s2", platform="rmi")
+        got_same = []
+        same_sink.add_digital_input("data-in", "text/plain", got_same.append)
+        runtime.register_translator(same_sink)
+
+        cross_sink = Translator("s3", platform="mediabroker")
+        got_cross = []
+        cross_sink.add_digital_input("data-in", "text/plain", got_cross.append)
+        runtime.register_translator(cross_sink)
+
+        path_same = runtime.connect(out_same, same_sink.input_port("data-in"))
+        path_cross = runtime.connect(out_same, cross_sink.input_port("data-in"))
+        assert not path_same.is_cross_platform
+        assert path_cross.is_cross_platform
+
+
+class TestRemotePaths:
+    def test_delivery_across_runtimes(self, rig):
+        r0, r1 = rig.runtimes
+        _, out = make_source(r0)
+        sink, received = make_sink(r1, name="remote-sink")
+        rig.settle(1.0)  # gossip so r0 knows r1's transport endpoint
+        path = r0.connect(out, sink.profile.port_ref("data-in"))
+        out.send(text("over the wire", size=1400))
+        rig.settle(1.0)
+        assert [m.payload for m in received] == ["over the wire"]
+        assert path.is_remote
+
+    def test_remote_delivery_preserves_headers_and_mime(self, rig):
+        r0, r1 = rig.runtimes
+        _, out = make_source(r0)
+        sink, received = make_sink(r1, name="remote-sink")
+        rig.settle(1.0)
+        r0.connect(out, sink.profile.port_ref("data-in"))
+        out.send(text("payload").with_header("geo", "kitchen"))
+        rig.settle(1.0)
+        assert received[0].headers == {"geo": "kitchen"}
+        assert received[0].mime.mime == "text/plain"
+
+    def test_remote_source_connect_via_control_protocol(self, rig):
+        """connect() where the *source* lives on a peer runtime: the peer
+        creates the path on our behalf."""
+        r0, r1 = rig.runtimes
+        source, out = make_source(r0, name="far-source")
+        sink, received = make_sink(r1, name="near-sink")
+        rig.settle(1.0)
+        # r1 wires a path whose source is on r0.
+        src_ref = r1.lookup(__import__("repro.core.query", fromlist=["Query"]).Query(
+            name_contains="far-source"
+        ))[0].port_ref("data-out")
+        handle = r1.connect(src_ref, sink.input_port("data-in"))
+        rig.settle(1.0)
+        out.send(text("remote-source"))
+        rig.settle(1.0)
+        assert [m.payload for m in received] == ["remote-source"]
+        # And the handle can tear it down remotely.
+        handle.close()
+        rig.settle(1.0)
+        out.send(text("after close"))
+        rig.settle(1.0)
+        assert [m.payload for m in received] == ["remote-source"]
+
+    def test_message_to_vanished_remote_port_is_counted(self, rig):
+        r0, r1 = rig.runtimes
+        _, out = make_source(r0)
+        sink, _ = make_sink(r1, name="vanishing")
+        rig.settle(1.0)
+        ref = sink.profile.port_ref("data-in")
+        r0.connect(out, ref)
+        r1.unregister_translator(sink)
+        out.send(text("to nowhere"))
+        rig.settle(1.0)
+        assert r1.transport.undeliverable == 1
+
+    def test_peer_unreachable_is_counted_not_fatal(self, rig):
+        r0, r1 = rig.runtimes
+        _, out = make_source(r0)
+        sink, _ = make_sink(r1, name="dead-sink")
+        rig.settle(1.0)
+        ref = sink.profile.port_ref("data-in")
+        path = r0.connect(out, ref)
+        # Kill r1's transport entirely, then send.
+        r1.transport.stop()
+        out.send(text("into the void"))
+        rig.settle(5.0)
+        assert r0.transport.undeliverable >= 1

@@ -1,0 +1,203 @@
+"""Unit tests for USDL parsing, validation and serialization."""
+
+import pytest
+
+from repro.core.errors import UsdlError
+from repro.core.shapes import Direction, DigitalType
+from repro.core.usdl import (
+    UsdlBinding,
+    UsdlDocument,
+    UsdlPort,
+    parse_usdl,
+)
+
+LIGHT_USDL = """
+<usdl name="upnp-binary-light" platform="upnp"
+      device-type="urn:schemas-upnp-org:device:BinaryLight:1">
+  <profile role="light" description="A switchable light"/>
+  <ports>
+    <digital name="power-on" direction="in" mime="application/x-umiddle-switch">
+      <binding kind="action" target="SetPower">
+        <argument name="Power" value="1"/>
+      </binding>
+    </digital>
+    <digital name="power-off" direction="in" mime="application/x-umiddle-switch">
+      <binding kind="action" target="SetPower">
+        <argument name="Power" value="0"/>
+      </binding>
+    </digital>
+    <digital name="status" direction="out" mime="text/plain">
+      <binding kind="event" target="Status"/>
+    </digital>
+    <physical name="illumination" direction="out" perception="visible" media="light"/>
+  </ports>
+  <entities>
+    <entity name="upnp-device"/>
+    <entity name="upnp-service"/>
+  </entities>
+</usdl>
+"""
+
+
+class TestParsing:
+    def test_parses_the_paper_light_example(self):
+        """Section 3.4: two digital input ports bound to SetPower 1/0."""
+        doc = parse_usdl(LIGHT_USDL)
+        assert doc.name == "upnp-binary-light"
+        assert doc.platform == "upnp"
+        assert doc.role == "light"
+        assert doc.port_count == 4
+        assert doc.entity_count == 2
+
+        on = doc.port("power-on")
+        assert on.direction is Direction.IN
+        assert on.binding.kind == "action"
+        assert on.binding.target == "SetPower"
+        assert on.binding.arguments == {"Power": "1"}
+
+        off = doc.port("power-off")
+        assert off.binding.arguments == {"Power": "0"}
+
+    def test_shape_derivation(self):
+        doc = parse_usdl(LIGHT_USDL)
+        shape = doc.shape()
+        assert len(shape.digital_inputs()) == 2
+        assert len(shape.digital_outputs()) == 1
+        assert len(shape.physical_outputs()) == 1
+
+    def test_event_ports_selector(self):
+        doc = parse_usdl(LIGHT_USDL)
+        assert [p.name for p in doc.event_ports()] == ["status"]
+
+    def test_unknown_port_raises(self):
+        with pytest.raises(UsdlError):
+            parse_usdl(LIGHT_USDL).port("ghost")
+
+    def test_malformed_xml(self):
+        with pytest.raises(UsdlError, match="malformed XML"):
+            parse_usdl("<usdl")
+
+    def test_wrong_root_element(self):
+        with pytest.raises(UsdlError, match="root element"):
+            parse_usdl("<service/>")
+
+    def test_missing_profile(self):
+        with pytest.raises(UsdlError, match="profile"):
+            parse_usdl('<usdl name="x" platform="p" device-type="d"/>')
+
+    def test_missing_required_attribute(self):
+        with pytest.raises(UsdlError, match="missing required attribute"):
+            parse_usdl(
+                '<usdl name="x" platform="p" device-type="d">'
+                '<profile role="r"/>'
+                '<ports><digital name="a" direction="in"/></ports></usdl>'
+            )
+
+    def test_bad_direction(self):
+        with pytest.raises(UsdlError, match="bad direction"):
+            parse_usdl(
+                '<usdl name="x" platform="p" device-type="d">'
+                '<profile role="r"/>'
+                '<ports><digital name="a" direction="sideways" mime="a/b"/></ports>'
+                "</usdl>"
+            )
+
+    def test_unexpected_port_element(self):
+        with pytest.raises(UsdlError, match="unexpected element"):
+            parse_usdl(
+                '<usdl name="x" platform="p" device-type="d">'
+                '<profile role="r"/>'
+                "<ports><quantum/></ports></usdl>"
+            )
+
+    def test_profile_attributes_parsed(self):
+        doc = parse_usdl(
+            '<usdl name="x" platform="p" device-type="d">'
+            '<profile role="r"><attribute name="vendor" value="acme"/></profile>'
+            "</usdl>"
+        )
+        assert doc.attributes == {"vendor": "acme"}
+
+
+class TestValidation:
+    def test_unknown_binding_kind(self):
+        with pytest.raises(UsdlError, match="unknown binding kind"):
+            UsdlBinding(kind="teleport", target="X")
+
+    def test_empty_binding_target(self):
+        with pytest.raises(UsdlError, match="target"):
+            UsdlBinding(kind="action", target="")
+
+    def test_action_binding_requires_input_port(self):
+        with pytest.raises(UsdlError, match="require"):
+            UsdlPort(
+                name="x",
+                direction=Direction.OUT,
+                digital_type=DigitalType("a/b"),
+                binding=UsdlBinding(kind="action", target="Do"),
+            )
+
+    def test_event_binding_requires_output_port(self):
+        with pytest.raises(UsdlError, match="require"):
+            UsdlPort(
+                name="x",
+                direction=Direction.IN,
+                digital_type=DigitalType("a/b"),
+                binding=UsdlBinding(kind="event", target="Changed"),
+            )
+
+    def test_physical_port_cannot_have_binding(self):
+        from repro.core.shapes import PhysicalType
+
+        with pytest.raises(UsdlError, match="physical"):
+            UsdlPort(
+                name="x",
+                direction=Direction.OUT,
+                physical_type=PhysicalType("visible", "light"),
+                binding=UsdlBinding(kind="event", target="E"),
+            )
+
+    def test_pattern_mime_rejected_in_port(self):
+        with pytest.raises(UsdlError, match="concrete"):
+            UsdlPort(
+                name="x", direction=Direction.IN, digital_type=DigitalType("a/*")
+            )
+
+    def test_duplicate_port_names_rejected(self):
+        port = UsdlPort(
+            name="x", direction=Direction.OUT, digital_type=DigitalType("a/b")
+        )
+        with pytest.raises(UsdlError, match="duplicate"):
+            UsdlDocument(
+                name="d", platform="p", device_type="t", role="r", ports=[port, port]
+            )
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(UsdlError):
+            UsdlDocument(name="", platform="p", device_type="t", role="r")
+
+    def test_empty_platform_rejected(self):
+        with pytest.raises(UsdlError):
+            UsdlDocument(name="n", platform="", device_type="t", role="r")
+
+
+class TestSerialization:
+    def test_round_trip_preserves_document(self):
+        doc = parse_usdl(LIGHT_USDL)
+        restored = parse_usdl(doc.to_xml())
+        assert restored == doc
+
+    def test_round_trip_with_payload_argument(self):
+        xml = (
+            '<usdl name="x" platform="p" device-type="d">'
+            '<profile role="r"/>'
+            "<ports>"
+            '<digital name="in" direction="in" mime="text/plain">'
+            '<binding kind="sink" target="Put" payload-argument="data">'
+            '<argument name="channel" value="7"/>'
+            "</binding></digital>"
+            "</ports></usdl>"
+        )
+        doc = parse_usdl(xml)
+        assert doc.port("in").binding.payload_argument == "data"
+        assert parse_usdl(doc.to_xml()) == doc

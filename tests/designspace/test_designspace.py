@@ -1,0 +1,120 @@
+"""Unit tests for the Section 2 design-space model and Table 1."""
+
+import pytest
+
+from repro.designspace import (
+    APPROACHES,
+    DIMENSIONS,
+    SPEAKEASY_CHOICES,
+    UIC_CHOICES,
+    UMIDDLE_CHOICES,
+    DesignError,
+    approach,
+    compatibility_chart,
+    compatible,
+    format_chart,
+    validate_design,
+)
+from repro.designspace.compatibility import ORDER
+
+#: Table 1 as printed in the paper: row -> set of compatible columns.
+PAPER_TABLE_1 = {
+    "1-a": {"2-a", "4-a", "4-b"},
+    "1-b": {"2-a", "2-b", "3-a", "3-b", "4-a", "4-b"},
+    "2-a": {"1-a", "1-b", "3-a", "3-b", "4-a", "4-b"},
+    "2-b": {"1-b", "3-a", "3-b", "4-a", "4-b"},
+    "3-a": {"1-b", "2-a", "2-b", "4-a", "4-b"},
+    "3-b": {"1-b", "2-a", "2-b", "4-a", "4-b"},
+    "4-a": {"1-a", "1-b", "2-a", "2-b", "3-a", "3-b"},
+    "4-b": {"1-a", "1-b", "2-a", "2-b", "3-a", "3-b"},
+}
+
+
+class TestModel:
+    def test_four_dimensions_eight_approaches(self):
+        assert len(DIMENSIONS) == 4
+        assert len(APPROACHES) == 8
+        for dimension in DIMENSIONS.values():
+            count = sum(
+                1 for a in APPROACHES.values() if a.dimension == dimension.number
+            )
+            assert count == 2
+
+    def test_unknown_approach_raises(self):
+        with pytest.raises(KeyError):
+            approach("9-z")
+
+    def test_every_approach_documents_tradeoffs(self):
+        for item in APPROACHES.values():
+            assert item.pros, f"{item.id} lists no advantages"
+            assert item.cons, f"{item.id} lists no drawbacks"
+
+    def test_mediation_dependencies(self):
+        """Aggregation and both granularities presuppose mediation."""
+        for dependent in ("2-b", "3-a", "3-b"):
+            assert approach(dependent).requires == ("1-b",)
+
+
+class TestTable1:
+    def test_chart_reproduces_the_paper_cell_by_cell(self):
+        chart = compatibility_chart()
+        for row in ORDER:
+            for column in ORDER:
+                if row == column:
+                    continue
+                expected = column in PAPER_TABLE_1[row]
+                assert chart[(row, column)] == expected, (
+                    f"Table 1 mismatch at ({row}, {column}): "
+                    f"expected {'O' if expected else '-'}"
+                )
+
+    def test_chart_is_symmetric(self):
+        chart = compatibility_chart()
+        for (row, column), value in chart.items():
+            assert chart[(column, row)] == value
+
+    def test_same_dimension_always_incompatible(self):
+        for first in ORDER:
+            for second in ORDER:
+                if first != second and first[0] == second[0]:
+                    assert not compatible(first, second)
+
+    def test_direct_translation_row_shape(self):
+        """Section 2.3: with direct translation, the only remaining choice
+        is between at-the-edge and in-the-infrastructure."""
+        compatible_with_direct = {c for c in ORDER if c != "1-a" and compatible("1-a", c)}
+        assert compatible_with_direct == {"2-a", "4-a", "4-b"}
+
+    def test_format_chart_has_correct_counts(self):
+        text = format_chart()
+        assert text.count("O") == sum(compatibility_chart().values())
+        assert "1-a" in text and "4-b" in text
+
+
+class TestDesignValidation:
+    def test_umiddle_design_is_valid(self):
+        validate_design(UMIDDLE_CHOICES)
+
+    def test_uic_and_speakeasy_designs_are_valid(self):
+        """Section 6: UIC and Speakeasy take (1-b, 2-b, 3-a, 4-a)."""
+        validate_design(UIC_CHOICES)
+        validate_design(SPEAKEASY_CHOICES)
+        assert UIC_CHOICES == SPEAKEASY_CHOICES
+
+    def test_direct_plus_aggregated_rejected(self):
+        with pytest.raises(DesignError, match="cannot coexist"):
+            validate_design(("1-a", "2-b", "3-a", "4-a"))
+
+    def test_missing_dimension_rejected(self):
+        with pytest.raises(DesignError, match="no choice along"):
+            validate_design(("1-b", "2-b", "3-b"))
+
+    def test_double_choice_rejected(self):
+        with pytest.raises(DesignError, match="two choices"):
+            validate_design(("1-a", "1-b", "2-a", "3-a", "4-a"))
+
+    def test_umiddle_differs_from_uic_only_in_granularity_and_location(self):
+        differences = {
+            u for u, other in zip(UMIDDLE_CHOICES, UIC_CHOICES) if u != other
+        }
+        assert differences == {"3-b", "4-b"}

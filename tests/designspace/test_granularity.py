@@ -1,0 +1,108 @@
+"""Unit tests for the granularity study (Section 2.2.3 quantified)."""
+
+import pytest
+
+from repro.designspace.granularity import (
+    SyntheticDeviceType,
+    application_reach,
+    coarse_grained_pairs,
+    fine_grained_pairs,
+    generate_population,
+    run_study,
+)
+
+
+def device(name, inputs=(), outputs=()):
+    return SyntheticDeviceType(
+        name=name, inputs=frozenset(inputs), outputs=frozenset(outputs)
+    )
+
+
+class TestSyntheticDeviceType:
+    def test_can_send_to_requires_type_overlap(self):
+        camera = device("camera", outputs={"image"})
+        tv = device("tv", inputs={"image"})
+        printer = device("printer", inputs={"doc"})
+        assert camera.can_send_to(tv)
+        assert not camera.can_send_to(printer)
+        assert not tv.can_send_to(camera)
+
+    def test_fine_compatibility_is_symmetric(self):
+        camera = device("camera", outputs={"image"})
+        tv = device("tv", inputs={"image"})
+        assert camera.compatible_fine(tv)
+        assert tv.compatible_fine(camera)
+
+    def test_coarse_compatibility_is_name_equality(self):
+        """The paper's MediaRenderer-vs-Printer loss: both render content,
+        but different type names mean no interoperation."""
+        renderer = device("MediaRenderer", inputs={"content"})
+        printer = device("Printer", inputs={"content"})
+        source = device("MediaServer", outputs={"content"})
+        assert not renderer.compatible_coarse(printer)
+        assert not source.compatible_coarse(renderer)
+        # Fine granularity sees the partial compatibility.
+        assert source.compatible_fine(renderer)
+        assert source.compatible_fine(printer)
+
+
+class TestPopulationGeneration:
+    def test_deterministic_for_a_seed(self):
+        assert generate_population(20, seed=3) == generate_population(20, seed=3)
+
+    def test_different_seeds_differ(self):
+        assert generate_population(20, seed=3) != generate_population(20, seed=4)
+
+    def test_every_device_has_some_endpoint(self):
+        for dev in generate_population(50):
+            assert dev.inputs or dev.outputs
+
+    def test_data_types_grow_sublinearly(self):
+        population = generate_population(64)
+        data_types = set()
+        for dev in population:
+            data_types |= dev.inputs | dev.outputs
+        assert len(data_types) < len(population) / 2
+
+
+class TestCounts:
+    def test_pair_counting(self):
+        population = [
+            device("a", outputs={"x"}),
+            device("b", inputs={"x"}),
+            device("c", inputs={"y"}),
+        ]
+        assert fine_grained_pairs(population) == 1
+        assert coarse_grained_pairs(population) == 0
+
+    def test_coarse_counts_same_name_instances(self):
+        population = [device("lamp", inputs={"p"}), device("lamp", inputs={"p"})]
+        assert coarse_grained_pairs(population) == 1
+
+    def test_application_reach(self):
+        population = [
+            device("a", outputs={"x"}),
+            device("b", inputs={"x"}),
+            device("c", inputs={"x"}),          # new device, old data type
+            device("d", inputs={"brand-new"}),  # new device, new data type
+        ]
+        coarse, fine = application_reach(population, known_at=2)
+        assert coarse == 2   # only the device types known at freeze time
+        assert fine == 3     # everything speaking a known data type
+
+
+class TestStudy:
+    def test_rows_match_sizes(self):
+        rows = run_study(sizes=(4, 8), app_written_at=2)
+        assert [row.population for row in rows] == [4, 8]
+
+    def test_fine_dominates_coarse(self):
+        for row in run_study():
+            assert row.fine_pairs >= row.coarse_pairs
+
+    def test_fine_reach_grows_with_ecosystem(self):
+        rows = run_study(sizes=(8, 32, 64), app_written_at=8)
+        fine = [row.app_reach_fine for row in rows]
+        assert fine == sorted(fine)
+        assert fine[-1] > fine[0]
+        assert all(row.app_reach_coarse == 8 for row in rows)

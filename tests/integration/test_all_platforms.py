@@ -1,0 +1,127 @@
+"""Capstone integration: all seven platforms in one semantic space."""
+
+import pytest
+
+from repro.bridges import (
+    BluetoothMapper,
+    JiniMapper,
+    MediaBrokerMapper,
+    MotesMapper,
+    RmiMapper,
+    UPnPMapper,
+    WebServicesMapper,
+)
+from repro.core.messages import UMessage
+from repro.core.query import Query
+from repro.core.translator import Translator
+from repro.platforms.bluetooth import BipCamera, Piconet
+from repro.platforms.jini import JiniLookupService, JoinManager
+from repro.platforms.mediabroker import Broker, MBProducer
+from repro.platforms.motes import BaseStation, Mote, constant_sensor
+from repro.platforms.motes.mote import make_radio
+from repro.platforms.rmi import RegistryClient, RmiExporter, RmiRegistry
+from repro.platforms.upnp import make_binary_light
+from repro.platforms.webservices import Operation, WebService
+from repro.testbed import build_testbed
+
+
+def test_seven_platforms_one_semantic_space():
+    """Every supported platform contributes at least one translator, all
+    visible through one query interface; the directory view is coherent
+    and each platform's translator carries its platform tag."""
+    bed = build_testbed(hosts=["hub", "d1", "d2", "d3", "d4"])
+    runtime = bed.add_runtime("hub")
+
+    # UPnP.
+    make_binary_light(bed.hosts["d1"], bed.calibration).start()
+    # Bluetooth.
+    piconet = Piconet(bed.network, bed.calibration)
+    BipCamera(piconet, bed.calibration)
+    # Motes.
+    radio = make_radio(bed.network, bed.calibration)
+    station = BaseStation(bed.hosts["hub"], radio, bed.calibration)
+    mote = Mote(radio, bed.calibration, {"t": constant_sensor(1)}, sample_interval_s=2.0)
+    mote.attach_to(station.radio_address)
+    # RMI.
+    RmiRegistry(bed.hosts["d2"], bed.calibration)
+    rmi_exporter = RmiExporter(bed.hosts["d2"], bed.calibration)
+    rmi_ref = rmi_exporter.export({"receive": lambda a, s: None})
+
+    def bind_rmi(k):
+        client = RegistryClient(bed.hosts["d2"], bed.calibration, bed.hosts["d2"].address)
+        yield from client.bind("rmi-svc", rmi_ref)
+
+    bed.run(bind_rmi(bed.kernel))
+    # Jini.
+    lookup = JiniLookupService(bed.hosts["d3"], bed.calibration, default_lease_s=20.0)
+    jini_exporter = RmiExporter(bed.hosts["d3"], bed.calibration)
+    jini_ref = jini_exporter.export({"receive": lambda a, s: None})
+
+    def join_jini(k):
+        manager = JoinManager(
+            bed.hosts["d3"], bed.calibration, lookup.address, lookup.port,
+            interface="demo.Svc", ref=jini_ref, attributes={"name": "jini-svc"},
+        )
+        yield from manager.join()
+
+    bed.run(join_jini(bed.kernel))
+    # MediaBroker.
+    Broker(bed.hosts["d4"], bed.calibration)
+
+    def register_mb(k):
+        producer = MBProducer(
+            bed.hosts["d4"], bed.calibration, bed.hosts["d4"].address,
+            "mb-feed", "application/octet-stream",
+        )
+        yield from producer.register()
+
+    bed.run(register_mb(bed.kernel))
+    # Web services.
+    service = WebService(bed.hosts["d4"], bed.calibration, "ws-svc")
+    service.add_operation(Operation("Ping", [], ["pong"]), lambda p: ({"pong": 1}, 8))
+
+    # All seven mappers on one runtime.
+    runtime.add_mapper(UPnPMapper(runtime))
+    runtime.add_mapper(BluetoothMapper(runtime, piconet))
+    runtime.add_mapper(MotesMapper(runtime, station))
+    runtime.add_mapper(RmiMapper(runtime, bed.hosts["d2"].address, poll_interval=2.0))
+    runtime.add_mapper(JiniMapper(runtime, poll_interval=2.0))
+    runtime.add_mapper(
+        MediaBrokerMapper(runtime, bed.hosts["d4"].address, poll_interval=2.0)
+    )
+    ws_mapper = WebServicesMapper(runtime, poll_interval=2.0)
+    ws_mapper.add_endpoint(bed.hosts["d4"].address, service.port)
+    runtime.add_mapper(ws_mapper)
+
+    bed.settle(12.0)
+
+    profiles = runtime.lookup(Query())
+    platforms = sorted({p.platform for p in profiles})
+    assert platforms == [
+        "bluetooth",
+        "jini",
+        "mediabroker",
+        "motes",
+        "rmi",
+        "upnp",
+        "webservices",
+    ]
+    # Exactly one translator per native thing.
+    assert len(profiles) == 7
+
+    # Shape-based selection works across the whole space: three of the
+    # seven accept octet streams (RMI, Jini, MB).
+    octet_sinks = runtime.lookup(Query(input_mime="application/octet-stream"))
+    assert sorted(p.platform for p in octet_sinks) == ["jini", "mediabroker", "rmi"]
+
+    # And one fan-out drives all three platforms at once.
+    app = Translator("broadcaster")
+    out = app.add_digital_output("out", "application/octet-stream")
+    runtime.register_translator(app)
+    binding = runtime.connect_query(out, Query(input_mime="application/octet-stream"))
+    bed.settle(0.5)
+    assert binding.path_count == 3
+    out.send(UMessage("application/octet-stream", b"to-everyone", 1400))
+    bed.settle(3.0)
+    assert rmi_exporter.calls_served == 1
+    assert jini_exporter.calls_served == 1

@@ -1,0 +1,103 @@
+"""Deployment-level behaviors worth documenting with tests."""
+
+import pytest
+
+from repro.apps.g2ui import CAPTURE, G2Space, PLAYER, Region
+from repro.bridges import UPnPMapper
+from repro.core.query import Query
+from repro.core.translator import Translator
+from repro.platforms.upnp import make_binary_light
+from repro.testbed import build_testbed
+
+
+class TestOverlappingMappers:
+    def test_two_mappers_for_one_platform_duplicate_devices(self):
+        """If two intermediary nodes both run UPnP mappers on one segment,
+        each maps the device: the semantic space shows two translators for
+        one native light.  Partitioning mappers per room (Section 3.6) is a
+        deployment responsibility; this test documents the behavior."""
+        bed = build_testbed(hosts=["h1", "h2", "dev"])
+        r1 = bed.add_runtime("h1")
+        r2 = bed.add_runtime("h2")
+        light = make_binary_light(bed.hosts["dev"], bed.calibration)
+        light.start()
+        r1.add_mapper(UPnPMapper(r1))
+        r2.add_mapper(UPnPMapper(r2))
+        bed.settle(3.0)
+        profiles = r1.lookup(Query(role="light"))
+        assert len(profiles) == 2
+        udns = {p.attributes["udn"] for p in profiles}
+        assert len(udns) == 1  # same native device behind both
+
+    def test_duplicated_translators_both_control_the_device(self):
+        bed = build_testbed(hosts=["h1", "h2", "dev"])
+        r1 = bed.add_runtime("h1")
+        r2 = bed.add_runtime("h2")
+        light = make_binary_light(bed.hosts["dev"], bed.calibration)
+        light.start()
+        r1.add_mapper(UPnPMapper(r1))
+        r2.add_mapper(UPnPMapper(r2))
+        bed.settle(3.0)
+        from repro.core.messages import UMessage
+
+        app = Translator("switcher")
+        out = app.add_digital_output("out", "application/x-umiddle-switch")
+        r1.register_translator(app)
+        # Wire the power-on port of each duplicate translator explicitly.
+        for profile in r1.lookup(Query(role="light")):
+            r1.connect(out, profile.port_ref("power-on"))
+        bed.settle(1.0)
+        out.send(UMessage("application/x-umiddle-switch", None, 8))
+        bed.settle(2.0)
+        assert light.get_state("SwitchPower", "Status") == "1"
+        # The device served one action per duplicate translator.
+        assert light.actions_served == 2
+
+
+class TestG2RegionEdgeCases:
+    @pytest.fixture
+    def runtime(self):
+        bed = build_testbed(hosts=["h1"])
+        self.bed = bed
+        return bed.add_runtime("h1")
+
+    def test_overlapping_regions_use_first_match(self, runtime):
+        camera = Translator("camera", role="camera")
+        camera.add_digital_output("image-out", "image/jpeg")
+        runtime.register_translator(camera)
+        space = G2Space(runtime)
+        first = space.add_region(Region("inner", 0, 0, 10, 10))
+        space.add_region(Region("outer", 0, 0, 100, 100))
+        gadget = space.register(camera.profile, CAPTURE, 5, 5)
+        assert space.region_of(gadget) is first
+
+    def test_gadget_on_region_boundary_is_inside(self, runtime):
+        camera = Translator("camera", role="camera")
+        camera.add_digital_output("image-out", "image/jpeg")
+        runtime.register_translator(camera)
+        space = G2Space(runtime)
+        region = space.add_region(Region("r", 0, 0, 10, 10))
+        gadget = space.register(camera.profile, CAPTURE, 10, 10)
+        assert space.region_of(gadget) is region
+
+    def test_gadget_outside_all_regions_has_none(self, runtime):
+        camera = Translator("camera", role="camera")
+        camera.add_digital_output("image-out", "image/jpeg")
+        runtime.register_translator(camera)
+        space = G2Space(runtime)
+        space.add_region(Region("r", 0, 0, 10, 10))
+        gadget = space.register(camera.profile, CAPTURE, 99, 99)
+        assert space.region_of(gadget) is None
+
+    def test_same_kind_gadgets_do_not_connect(self, runtime):
+        first = Translator("cam-a", role="camera")
+        first.add_digital_output("image-out", "image/jpeg")
+        runtime.register_translator(first)
+        second = Translator("cam-b", role="camera")
+        second.add_digital_output("image-out", "image/jpeg")
+        runtime.register_translator(second)
+        space = G2Space(runtime)
+        space.add_region(Region("r", 0, 0, 10, 10))
+        space.register(first.profile, CAPTURE, 1, 1)
+        space.register(second.profile, CAPTURE, 2, 2)
+        assert space.active_connections == []

@@ -1,0 +1,180 @@
+"""Failure injection: the bridge under churn, loss and partial failure."""
+
+import pytest
+
+from repro.bridges import BluetoothMapper, UPnPMapper
+from repro.core.messages import UMessage
+from repro.core.query import Query
+from repro.core.runtime import UMiddleRuntime
+from repro.core.translator import Translator
+from repro.platforms.bluetooth import BipCamera, HidMouse, Piconet
+from repro.platforms.upnp import make_binary_light, make_media_renderer
+from repro.testbed import build_testbed
+
+
+class TestDeviceChurn:
+    def test_binding_survives_device_replacement(self):
+        """A template binding re-binds when a device is replaced by an
+        equivalent one (Section 3.5's adaptive evaluation)."""
+        bed = build_testbed(hosts=["h1", "tv1-host", "tv2-host"])
+        runtime = bed.add_runtime("h1")
+        runtime.add_mapper(UPnPMapper(runtime, search_interval=2.0))
+
+        tv1 = make_media_renderer(bed.hosts["tv1-host"], bed.calibration, "TV One")
+        tv1.start()
+        bed.settle(3.0)
+
+        source = Translator("slideshow")
+        out = source.add_digital_output("out", "image/jpeg")
+        runtime.register_translator(source)
+        binding = runtime.connect_query(out, Query(input_mime="image/jpeg"))
+        assert binding.path_count == 1
+
+        out.send(UMessage("image/jpeg", "to-tv1", 1000))
+        bed.settle(2.0)
+        assert len(tv1.rendered) == 1
+
+        # TV One dies; TV Two appears; the slideshow keeps working.
+        tv1.stop()
+        bed.settle(2.0)
+        assert binding.path_count == 0
+        tv2 = make_media_renderer(bed.hosts["tv2-host"], bed.calibration, "TV Two")
+        tv2.start()
+        bed.settle(3.0)
+        assert binding.path_count == 1
+        out.send(UMessage("image/jpeg", "to-tv2", 1000))
+        bed.settle(2.0)
+        assert len(tv2.rendered) == 1
+        assert len(tv1.rendered) == 1  # the dead TV got nothing new
+
+    def test_messages_to_dead_device_do_not_wedge_the_space(self):
+        """A device that vanishes silently must not block other traffic."""
+        bed = build_testbed(hosts=["h1", "dev"])
+        runtime = bed.add_runtime("h1")
+        runtime.add_mapper(UPnPMapper(runtime, search_interval=3.0))
+        light = make_binary_light(bed.hosts["dev"], bed.calibration)
+        light.start()
+        bed.settle(2.0)
+        translator = runtime.translators[
+            runtime.lookup(Query(role="light"))[0].translator_id
+        ]
+        source = Translator("switcher")
+        out = source.add_digital_output("out", "application/x-umiddle-switch")
+        runtime.register_translator(source)
+        runtime.connect(out, translator.input_port("power-on"))
+
+        light.vanish()  # power loss: no byebye, TCP server gone
+        out.send(UMessage("application/x-umiddle-switch", None, 8))
+        bed.settle(10.0)
+
+        # Meanwhile an unrelated local pair still communicates.
+        received = []
+        sink = Translator("other-sink")
+        sink.add_digital_input("in", "text/plain", received.append)
+        runtime.register_translator(sink)
+        other = Translator("other-source")
+        other_out = other.add_digital_output("out", "text/plain")
+        runtime.register_translator(other)
+        runtime.connect(other_out, sink.input_port("in"))
+        other_out.send(UMessage("text/plain", "alive", 8))
+        bed.settle(1.0)
+        assert [m.payload for m in received] == ["alive"]
+
+    def test_camera_vanishing_mid_transfer(self):
+        """The camera dies during an OBEX push: the translator is unmapped
+        eventually and no partial image is delivered."""
+        bed = build_testbed(hosts=["h1"])
+        runtime = bed.add_runtime("h1")
+        piconet = Piconet(bed.network, bed.calibration)
+        camera = BipCamera(piconet, bed.calibration)
+        runtime.add_mapper(BluetoothMapper(runtime, piconet, poll_interval=2.0))
+        bed.settle(3.0)
+        translator = runtime.translators[
+            runtime.lookup(Query(role="camera"))[0].translator_id
+        ]
+        received = []
+        sink = Translator("gallery")
+        sink.add_digital_input("in", "image/jpeg", received.append)
+        runtime.register_translator(sink)
+        runtime.connect(translator.output_port("image-out"), sink.input_port("in"))
+
+        camera.take_photo(400_000)  # ~4.4 s on the radio
+        bed.settle(0.5)             # transfer under way
+        camera.power_off()
+        bed.settle(30.0)
+        assert received == []  # the partial transfer never surfaced
+        assert not runtime.lookup(Query(role="camera"))
+
+
+class TestLossyNetworks:
+    def test_bridging_over_lossy_lan(self):
+        """Datagram gossip tolerates loss (periodic refresh); streams are
+        repaired by retransmission, so bridged control still works."""
+        from repro.calibration import DEFAULT
+        from repro.simnet import Kernel, Network
+
+        kernel = Kernel()
+        network = Network(kernel)
+        costs = DEFAULT.network
+        lan = network.add_hub(
+            "lossy-lan",
+            bandwidth_bps=costs.ethernet_bandwidth_bps,
+            latency_s=costs.ethernet_latency_s,
+            frame_overhead_bytes=costs.ethernet_frame_overhead_bytes,
+            loss_rate=0.05,
+            seed=11,
+        )
+        h1 = network.add_node("h1")
+        dev = network.add_node("dev")
+        h1.attach(lan)
+        dev.attach(lan)
+        runtime = UMiddleRuntime(h1, name="rt-lossy")
+        light = make_binary_light(dev, DEFAULT)
+        light.start()
+        runtime.add_mapper(UPnPMapper(runtime, search_interval=2.0))
+        kernel.run(until=kernel.now + 10.0)
+        profiles = runtime.lookup(Query(role="light"))
+        assert profiles, "discovery must survive 5% datagram loss"
+        translator = runtime.translators[profiles[0].translator_id]
+        source = Translator("switcher")
+        out = source.add_digital_output("out", "application/x-umiddle-switch")
+        runtime.register_translator(source)
+        runtime.connect(out, translator.input_port("power-on"))
+        out.send(UMessage("application/x-umiddle-switch", None, 8))
+        kernel.run(until=kernel.now + 10.0)
+        assert light.get_state("SwitchPower", "Status") == "1"
+        assert lan.frames_dropped > 0  # loss actually occurred
+
+
+class TestRuntimeCrash:
+    def test_partition_heals_after_runtime_restart(self):
+        """A crashed runtime's translators age out; a replacement runtime
+        re-advertises and traffic resumes."""
+        bed = build_testbed(hosts=["h1", "h2", "dev"])
+        r1 = bed.add_runtime("h1")
+        r2 = bed.add_runtime("h2")
+        light = make_binary_light(bed.hosts["dev"], bed.calibration)
+        light.start()
+        r1.add_mapper(UPnPMapper(r1, search_interval=2.0))
+        bed.settle(3.0)
+        assert r2.lookup(Query(role="light"))
+
+        r1.shutdown()
+        bed.settle(20.0)
+        assert not r2.lookup(Query(role="light"))
+
+        # A replacement intermediary node takes over the room.
+        replacement_host = bed.add_host("h1b")
+        r1b = UMiddleRuntime(replacement_host, name="rt-h1b")
+        r1b.add_mapper(UPnPMapper(r1b, search_interval=2.0))
+        bed.settle(5.0)
+        profiles = r2.lookup(Query(role="light"))
+        assert profiles
+        # And r2 can control the light through the replacement runtime.
+        source = Translator("remote-switcher")
+        out = source.add_digital_output("out", "application/x-umiddle-switch")
+        r2.register_translator(source)
+        r2.connect(out, profiles[0].port_ref("power-on"))
+        out.send(UMessage("application/x-umiddle-switch", None, 8))
+        bed.settle(3.0)
+        assert light.get_state("SwitchPower", "Status") == "1"

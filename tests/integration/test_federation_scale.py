@@ -1,0 +1,131 @@
+"""Federation convergence and Figure-8-scale canvases."""
+
+import pytest
+
+from repro.apps.pads import Pads
+from repro.bridges import BluetoothMapper, UPnPMapper
+from repro.core.messages import UMessage
+from repro.core.query import Query
+from repro.core.translator import Translator
+from repro.platforms.bluetooth import BipCamera, Piconet
+from repro.platforms.upnp import (
+    make_air_conditioner,
+    make_binary_light,
+    make_media_renderer,
+)
+from repro.testbed import build_testbed
+
+
+class TestGossipConvergence:
+    def test_three_runtimes_converge_to_identical_views(self):
+        bed = build_testbed(hosts=["h0", "h1", "h2"])
+        runtimes = [bed.add_runtime(f"h{i}") for i in range(3)]
+        for index, runtime in enumerate(runtimes):
+            for j in range(3):
+                translator = Translator(f"svc-{index}-{j}", role="service")
+                translator.add_digital_output("out", "text/plain")
+                runtime.register_translator(translator)
+        bed.settle(2.0)
+        views = [
+            sorted(p.translator_id for p in runtime.lookup(Query()))
+            for runtime in runtimes
+        ]
+        assert views[0] == views[1] == views[2]
+        assert len(views[0]) == 9
+
+    def test_convergence_after_churn(self):
+        """Register/unregister churn settles to the surviving set."""
+        bed = build_testbed(hosts=["h0", "h1"])
+        r0 = bed.add_runtime("h0")
+        r1 = bed.add_runtime("h1")
+        survivors = []
+        for index in range(6):
+            translator = Translator(f"churn-{index}", role="service")
+            translator.add_digital_output("out", "text/plain")
+            r0.register_translator(translator)
+            bed.settle(0.2)
+            if index % 2 == 0:
+                r0.unregister_translator(translator)
+            else:
+                survivors.append(translator.translator_id)
+        bed.settle(2.0)
+        remote_view = sorted(
+            p.translator_id for p in r1.lookup(Query(role="service"))
+        )
+        assert remote_view == sorted(survivors)
+
+    def test_late_joining_runtime_learns_existing_state(self):
+        bed = build_testbed(hosts=["h0"])
+        r0 = bed.add_runtime("h0")
+        translator = Translator("early-bird", role="service")
+        translator.add_digital_output("out", "text/plain")
+        r0.register_translator(translator)
+        bed.settle(2.0)
+        # A runtime joins long after the registration happened; the next
+        # periodic full announcement teaches it everything.
+        late = bed.add_runtime("h-late")
+        bed.settle(6.0)
+        assert [p.name for p in late.lookup(Query(role="service"))] == ["early-bird"]
+
+
+class TestFigure8Scale:
+    def test_twenty_two_device_canvas(self):
+        """Figure 8's Pads screenshot: 22 devices -- one Bluetooth, three
+        UPnP, eighteen native uMiddle services -- on one canvas."""
+        bed = build_testbed(hosts=["hub", "d1", "d2", "d3"])
+        runtime = bed.add_runtime("hub")
+
+        piconet = Piconet(bed.network, bed.calibration)
+        BipCamera(piconet, bed.calibration, name="bt-camera")
+
+        make_binary_light(bed.hosts["d1"], bed.calibration, "Light").start()
+        make_air_conditioner(bed.hosts["d2"], bed.calibration, "AC").start()
+        make_media_renderer(bed.hosts["d3"], bed.calibration, "TV").start()
+
+        runtime.add_mapper(BluetoothMapper(runtime, piconet))
+        runtime.add_mapper(UPnPMapper(runtime))
+
+        for index in range(18):
+            native = Translator(f"native-{index:02d}", role="service")
+            native.add_digital_output("out", "text/plain")
+            native.add_digital_input("in", "text/plain", lambda m: None)
+            runtime.register_translator(native)
+
+        bed.settle(6.0)
+        pads = Pads(runtime)
+        assert len(pads.icons) == 22
+        platforms = sorted(
+            {icon.profile.platform for icon in pads.icons.values()}
+        )
+        assert platforms == ["bluetooth", "umiddle", "upnp"]
+        bluetooth = [
+            i for i in pads.icons.values() if i.profile.platform == "bluetooth"
+        ]
+        upnp = [i for i in pads.icons.values() if i.profile.platform == "upnp"]
+        assert len(bluetooth) == 1
+        assert len(upnp) == 3
+
+        # Hot-wire across the whole canvas: every native service feeds the
+        # next one; messages traverse the daisy chain.
+        received = []
+        terminal = Translator("terminal", role="service")
+        terminal.add_digital_input("in", "text/plain", received.append)
+        runtime.register_translator(terminal)
+        pads.wire("native-00", "native-01")
+        pads.wire("native-01", "terminal")
+
+        def relay_handler(message):
+            runtime.translators[
+                runtime.lookup(Query(name_contains="native-01"))[0].translator_id
+            ].output_port("out").send(message)
+
+        # Rebind native-01's input to relay (test convenience).
+        runtime.translators[
+            runtime.lookup(Query(name_contains="native-01"))[0].translator_id
+        ].input_port("in").handler = relay_handler
+
+        runtime.translators[
+            runtime.lookup(Query(name_contains="native-00"))[0].translator_id
+        ].output_port("out").send(UMessage("text/plain", "chain", 16))
+        bed.settle(1.0)
+        assert [m.payload for m in received] == ["chain"]

@@ -1,0 +1,27 @@
+"""Fixtures for platform tests."""
+
+import pytest
+
+from repro.calibration import DEFAULT
+
+
+@pytest.fixture
+def calibration():
+    return DEFAULT
+
+
+@pytest.fixture
+def testbed(kernel, network, net_costs):
+    """Three hosts on the paper's 10 Mbps hub (nodes 1-3 of Section 5)."""
+    hub = network.add_hub(
+        "testbed-lan",
+        bandwidth_bps=net_costs.ethernet_bandwidth_bps,
+        latency_s=net_costs.ethernet_latency_s,
+        frame_overhead_bytes=net_costs.ethernet_frame_overhead_bytes,
+    )
+    nodes = []
+    for index in range(3):
+        node = network.add_node(f"tb-{index}")
+        node.attach(hub)
+        nodes.append(node)
+    return nodes

@@ -1,0 +1,91 @@
+"""Unit tests for the BIP photo printer device."""
+
+import pytest
+
+from repro.platforms.bluetooth import (
+    BipPrinter,
+    BluetoothAdapter,
+    ObexClient,
+    Piconet,
+)
+from repro.platforms.bluetooth.l2cap import PSM_OBEX
+
+
+@pytest.fixture
+def printer_rig(network, calibration):
+    piconet = Piconet(network, calibration)
+    host = network.add_node("host")
+    adapter = BluetoothAdapter(host, piconet, calibration)
+    printer = BipPrinter(piconet, calibration)
+    return adapter, printer
+
+
+def obex_session(kernel, adapter, printer, calibration):
+    def main(k):
+        yield from adapter.page(printer.bd_addr)
+        stream = yield from adapter.connect_l2cap(printer.bd_addr, PSM_OBEX)
+        client = ObexClient(stream, calibration)
+        yield from client.connect()
+        return client
+
+    return kernel.run_process(main(kernel))
+
+
+class TestBipPrinter:
+    def test_advertises_imagepush_record(self, kernel, printer_rig, calibration):
+        adapter, printer = printer_rig
+
+        def main(k):
+            yield from adapter.page(printer.bd_addr)
+            return (yield from adapter.sdp_query(printer.bd_addr, "BIP"))
+
+        records = kernel.run_process(main(kernel))
+        assert len(records) == 1
+        assert "ImagePush" in records[0].attributes["functions"]
+        assert printer.device_class == "printing"
+
+    def test_put_produces_a_page_after_print_time(
+        self, kernel, printer_rig, calibration
+    ):
+        adapter, printer = printer_rig
+        client = obex_session(kernel, adapter, printer, calibration)
+
+        def main(k):
+            yield from client.put("photo.jpg", "<jpeg>", 8_000, "image/jpeg")
+            transferred_at = k.now
+            assert printer.pages_in_progress == 1
+            assert printer.printed == []  # still printing
+            yield k.timeout(printer.PRINT_TIME + 0.1)
+            return transferred_at
+
+        kernel.run_process(main(kernel))
+        assert len(printer.printed) == 1
+        page = printer.printed[0]
+        assert page["name"] == "photo.jpg"
+        assert page["size"] == 8_000
+        assert printer.pages_in_progress == 0
+
+    def test_multiple_pages_print_concurrently(self, kernel, printer_rig, calibration):
+        adapter, printer = printer_rig
+        client = obex_session(kernel, adapter, printer, calibration)
+
+        def main(k):
+            for index in range(3):
+                yield from client.put(f"p{index}.jpg", "x", 1_000, "image/jpeg")
+            yield k.timeout(printer.PRINT_TIME + 0.5)
+
+        kernel.run_process(main(kernel))
+        assert [p["name"] for p in printer.printed] == ["p0.jpg", "p1.jpg", "p2.jpg"]
+
+    def test_power_off_mid_print_loses_the_page(self, kernel, printer_rig, calibration):
+        adapter, printer = printer_rig
+        client = obex_session(kernel, adapter, printer, calibration)
+
+        def main(k):
+            yield from client.put("doomed.jpg", "x", 1_000, "image/jpeg")
+            yield k.timeout(printer.PRINT_TIME / 2)
+            printer.power_off()
+            yield k.timeout(printer.PRINT_TIME)
+
+        kernel.run_process(main(kernel))
+        assert printer.printed == []

@@ -1,0 +1,266 @@
+"""Unit tests for the simulated Bluetooth stack."""
+
+import pytest
+
+from repro.platforms.bluetooth import (
+    BipCamera,
+    BluetoothAdapter,
+    HidMouse,
+    ObexClient,
+    ObexError,
+    ObexServer,
+    Piconet,
+    PiconetError,
+)
+from repro.platforms.bluetooth.devices import BluetoothDevice
+from repro.platforms.bluetooth.l2cap import PSM_HID_INTERRUPT, PSM_OBEX
+from repro.platforms.bluetooth.sdp import ServiceRecord
+
+
+@pytest.fixture
+def piconet(network, calibration):
+    return Piconet(network, calibration)
+
+
+@pytest.fixture
+def adapter(network, piconet, calibration):
+    host = network.add_node("bt-host")
+    return BluetoothAdapter(host, piconet, calibration)
+
+
+class TestInquiry:
+    def test_finds_discoverable_devices(self, kernel, piconet, adapter, calibration):
+        BipCamera(piconet, calibration, name="cam")
+        HidMouse(piconet, calibration, name="mouse")
+
+        def main(k):
+            return (yield from adapter.inquiry())
+
+        found = kernel.run_process(main(kernel))
+        assert sorted(d.name for d in found) == ["cam", "mouse"]
+        assert {d.device_class for d in found} == {"imaging", "peripheral"}
+
+    def test_non_discoverable_device_hidden(self, kernel, piconet, adapter, calibration):
+        camera = BipCamera(piconet, calibration, name="cam")
+        camera.discoverable = False
+
+        def main(k):
+            return (yield from adapter.inquiry())
+
+        assert kernel.run_process(main(kernel)) == []
+
+    def test_powered_off_device_not_found(self, kernel, piconet, adapter, calibration):
+        mouse = HidMouse(piconet, calibration, name="mouse")
+        mouse.power_off()
+
+        def main(k):
+            return (yield from adapter.inquiry())
+
+        assert kernel.run_process(main(kernel)) == []
+
+
+class TestPiconetMembership:
+    def test_capacity_limited_to_seven_slaves(self, kernel, piconet, adapter, calibration):
+        """The paper: at most eight devices (master + 7 slaves) per piconet."""
+        devices = [
+            HidMouse(piconet, calibration, name=f"m{i}") for i in range(8)
+        ]
+
+        def main(k):
+            for device in devices[:7]:
+                yield from adapter.page(device.bd_addr)
+            try:
+                yield from adapter.page(devices[7].bd_addr)
+            except PiconetError:
+                return "full"
+
+        assert kernel.run_process(main(kernel)) == "full"
+        assert piconet.active_slaves == 7
+
+    def test_detach_frees_slot(self, kernel, piconet, adapter, calibration):
+        devices = [HidMouse(piconet, calibration, name=f"m{i}") for i in range(8)]
+
+        def main(k):
+            for device in devices[:7]:
+                yield from adapter.page(device.bd_addr)
+            adapter.detach(devices[0].bd_addr)
+            yield from adapter.page(devices[7].bd_addr)
+            return piconet.active_slaves
+
+        assert kernel.run_process(main(kernel)) == 7
+
+
+class TestSdp:
+    def test_query_returns_profile_records(self, kernel, piconet, adapter, calibration):
+        camera = BipCamera(piconet, calibration, name="cam")
+
+        def main(k):
+            yield from adapter.page(camera.bd_addr)
+            return (yield from adapter.sdp_query(camera.bd_addr, "BIP"))
+
+        records = kernel.run_process(main(kernel))
+        assert len(records) == 1
+        assert records[0].service_class == "BIP"
+        assert records[0].psm == PSM_OBEX
+
+    def test_query_filters_by_class(self, kernel, piconet, adapter, calibration):
+        mouse = HidMouse(piconet, calibration, name="mouse")
+
+        def main(k):
+            yield from adapter.page(mouse.bd_addr)
+            bip = yield from adapter.sdp_query(mouse.bd_addr, "BIP")
+            hid = yield from adapter.sdp_query(mouse.bd_addr, "HID")
+            return bip, hid
+
+        bip, hid = kernel.run_process(main(kernel))
+        assert bip == []
+        assert len(hid) == 1
+
+    def test_query_requires_paging(self, piconet, adapter, calibration):
+        camera = BipCamera(piconet, calibration, name="cam")
+        with pytest.raises(PiconetError):
+            # The generator raises at construction time in our model.
+            list(adapter.sdp_query(camera.bd_addr))
+
+    def test_record_round_trip(self):
+        record = ServiceRecord(
+            service_class="BIP", name="cam", psm=PSM_OBEX, attributes={"f": "x"}
+        )
+        assert ServiceRecord.from_dict(record.to_dict()) == record
+
+
+class TestObex:
+    def _session(self, kernel, piconet, adapter, calibration, camera):
+        def main(k):
+            yield from adapter.page(camera.bd_addr)
+            stream = yield from adapter.connect_l2cap(camera.bd_addr, PSM_OBEX)
+            client = ObexClient(stream, calibration)
+            yield from client.connect()
+            return client
+
+        return kernel.run_process(main(kernel))
+
+    def test_get_pulls_stored_image(self, kernel, piconet, adapter, calibration):
+        camera = BipCamera(piconet, calibration, name="cam")
+        camera.store_image("a.jpg", "<jpeg a>", 10_000)
+        client = self._session(kernel, piconet, adapter, calibration, camera)
+
+        def main(k):
+            return (yield from client.get("a.jpg"))
+
+        body, size, content_type = kernel.run_process(main(kernel))
+        assert body == "<jpeg a>"
+        assert size == 10_000
+        assert content_type == "image/jpeg"
+
+    def test_get_unknown_object_fails(self, kernel, piconet, adapter, calibration):
+        camera = BipCamera(piconet, calibration, name="cam")
+        client = self._session(kernel, piconet, adapter, calibration, camera)
+
+        def main(k):
+            try:
+                yield from client.get("ghost.jpg")
+            except ObexError:
+                return "missing"
+
+        assert kernel.run_process(main(kernel)) == "missing"
+
+    def test_put_before_connect_rejected(self, kernel, piconet, adapter, calibration):
+        camera = BipCamera(piconet, calibration, name="cam")
+
+        def main(k):
+            yield from adapter.page(camera.bd_addr)
+            stream = yield from adapter.connect_l2cap(camera.bd_addr, PSM_OBEX)
+            client = ObexClient(stream, calibration)
+            try:
+                yield from client.put("x", "b", 10)
+            except ObexError:
+                return "no session"
+
+        assert kernel.run_process(main(kernel)) == "no session"
+
+    def test_transfer_time_reflects_radio_bandwidth(
+        self, kernel, piconet, adapter, calibration
+    ):
+        """A 64 kB image at ~723 kbps takes on the order of 0.7 s."""
+        camera = BipCamera(piconet, calibration, name="cam")
+        camera.store_image("big.jpg", "<jpeg>", 64_000)
+        client = self._session(kernel, piconet, adapter, calibration, camera)
+
+        def main(k):
+            start = k.now
+            yield from client.get("big.jpg")
+            return k.now - start
+
+        elapsed = kernel.run_process(main(kernel))
+        assert 0.6 < elapsed < 1.2
+
+
+class TestImagePush:
+    def test_photo_pushed_to_registered_target(
+        self, kernel, piconet, adapter, calibration
+    ):
+        camera = BipCamera(piconet, calibration, name="cam")
+        received = []
+
+        def main(k):
+            yield from adapter.page(camera.bd_addr)
+            server = ObexServer(
+                adapter.listen_l2cap(5999),
+                calibration,
+                on_put=lambda name, body, size, ct: received.append((name, size, ct)),
+            )
+            yield from camera.connect_push_target(adapter.bd_addr, 5999)
+            camera.take_photo(32_000)
+            yield k.timeout(2.0)
+
+        kernel.run_process(main(kernel))
+        assert len(received) == 1
+        name, size, content_type = received[0]
+        assert size == 32_000
+        assert content_type == "image/jpeg"
+
+    def test_photos_without_target_stay_pullable(self, kernel, piconet, calibration):
+        camera = BipCamera(piconet, calibration, name="cam")
+        camera.take_photo(10_000)
+        kernel.run(until=1.0)
+        assert len(camera.image_names()) == 1
+
+
+class TestHidMouse:
+    def test_reports_reach_connected_host(self, kernel, piconet, adapter, calibration):
+        mouse = HidMouse(piconet, calibration, name="mouse")
+        reports = []
+
+        def main(k):
+            yield from adapter.page(mouse.bd_addr)
+            channel = yield from adapter.connect_l2cap(
+                mouse.bd_addr, PSM_HID_INTERRUPT
+            )
+
+            def reader(kk):
+                while True:
+                    try:
+                        report, _size = yield channel.recv()
+                    except Exception:
+                        return
+                    reports.append(report)
+
+            k.process(reader(k))
+            yield k.timeout(0.2)
+            mouse.click(button=2)
+            mouse.move(3, -4)
+            yield k.timeout(0.5)
+
+        kernel.run_process(main(kernel))
+        assert reports == [
+            {"type": "click", "button": 2},
+            {"type": "move", "dx": 3, "dy": -4},
+        ]
+        assert mouse.reports_sent == 2
+
+    def test_clicks_without_host_are_dropped(self, kernel, piconet, calibration):
+        mouse = HidMouse(piconet, calibration, name="mouse")
+        mouse.click()
+        kernel.run(until=0.5)
+        assert mouse.reports_sent == 1  # counted but nowhere to go

@@ -1,0 +1,140 @@
+"""Unit tests for GENA subscription leases, renewal and unsubscription."""
+
+import pytest
+
+from repro.platforms.upnp import ControlPoint, make_binary_light
+from tests.platforms.test_upnp import upnp_pair
+
+
+def _short_lease(device, seconds=10.0):
+    """Monkey-free lease shortening: patch the device's default via request."""
+    return seconds
+
+
+class TestLeases:
+    def test_subscription_expires_without_renewal(
+        self, kernel, network, calibration, net_costs
+    ):
+        device, cp = upnp_pair(network, calibration, net_costs, make_binary_light)
+        events = []
+
+        def main(k):
+            found = yield from cp.search()
+            # Subscribe WITHOUT auto-renew and with a short lease by
+            # driving the request directly through the control point's
+            # stream (auto_renew=False leaves the lease to lapse).
+            sid = yield from cp.subscribe(
+                found[0], "SwitchPower",
+                lambda var, val: events.append((k.now, val)),
+                auto_renew=False,
+            )
+            # Shorten the device-side lease for the test.
+            device._subscriptions[0].expires_at = k.now + 5.0
+            device.set_state("SwitchPower", "Status", "1")
+            yield k.timeout(2.0)
+            within_lease = len(events)
+            yield k.timeout(10.0)  # lease now lapsed
+            device.set_state("SwitchPower", "Status", "0")
+            yield k.timeout(2.0)
+            return within_lease
+
+        within_lease = kernel.run_process(main(kernel))
+        assert within_lease == 1
+        assert len(events) == 1  # nothing after expiry
+        assert device.active_subscriptions == 0
+
+    def test_auto_renewal_keeps_events_flowing(
+        self, kernel, network, calibration, net_costs
+    ):
+        device, cp = upnp_pair(network, calibration, net_costs, make_binary_light)
+        events = []
+
+        def main(k):
+            found = yield from cp.search()
+            yield from cp.subscribe(
+                found[0], "SwitchPower", lambda var, val: events.append(val)
+            )
+            # Default lease is 300 s with renewal at 150 s; run well past
+            # several lease periods.
+            for index in range(4):
+                yield k.timeout(200.0)
+                device.set_state(
+                    "SwitchPower", "Status", str(index % 2)
+                )
+            yield k.timeout(2.0)
+
+        kernel.run_process(main(kernel))
+        assert len(events) == 4  # every change delivered across renewals
+
+    def test_renewal_refreshes_expiry(self, kernel, network, calibration, net_costs):
+        device, cp = upnp_pair(network, calibration, net_costs, make_binary_light)
+
+        def main(k):
+            found = yield from cp.search()
+            yield from cp.subscribe(found[0], "SwitchPower", lambda v, x: None)
+            first_expiry = device._subscriptions[0].expires_at
+            yield k.timeout(200.0)  # renewal happens at lease/2 = 150 s
+            return first_expiry, device._subscriptions[0].expires_at
+
+        first, second = kernel.run_process(main(kernel))
+        assert second > first
+
+    def test_unknown_sid_renewal_rejected(self, kernel, network, calibration, net_costs):
+        from repro.platforms.upnp.device import HTTP_HEADER_OVERHEAD
+        from repro.simnet.sockets import StreamSocket
+
+        device, cp = upnp_pair(network, calibration, net_costs, make_binary_light)
+
+        def main(k):
+            stream = yield StreamSocket.connect(
+                cp.node, calibration.network, device.node.address, device.port
+            )
+            stream.send(
+                {"method": "SUBSCRIBE", "path": "/events/SwitchPower",
+                 "sid": "uuid:ghost"},
+                HTTP_HEADER_OVERHEAD,
+            )
+            response, _size = yield stream.recv()
+            return response["status"]
+
+        assert kernel.run_process(main(kernel)) == 412
+
+    def test_explicit_unsubscribe_removes_at_device(
+        self, kernel, network, calibration, net_costs
+    ):
+        device, cp = upnp_pair(network, calibration, net_costs, make_binary_light)
+        events = []
+
+        def main(k):
+            found = yield from cp.search()
+            sid = yield from cp.subscribe(
+                found[0], "SwitchPower", lambda var, val: events.append(val)
+            )
+            yield from cp.unsubscribe_at(found[0], sid)
+            device.set_state("SwitchPower", "Status", "1")
+            yield k.timeout(2.0)
+
+        kernel.run_process(main(kernel))
+        assert events == []
+        assert device.active_subscriptions == 0
+
+    def test_unsubscribe_unknown_sid_returns_412(
+        self, kernel, network, calibration, net_costs
+    ):
+        from repro.platforms.upnp.device import HTTP_HEADER_OVERHEAD
+        from repro.simnet.sockets import StreamSocket
+
+        device, cp = upnp_pair(network, calibration, net_costs, make_binary_light)
+
+        def main(k):
+            stream = yield StreamSocket.connect(
+                cp.node, calibration.network, device.node.address, device.port
+            )
+            stream.send(
+                {"method": "UNSUBSCRIBE", "path": "/events/", "sid": "uuid:none"},
+                HTTP_HEADER_OVERHEAD,
+            )
+            response, _size = yield stream.recv()
+            return response["status"]
+
+        assert kernel.run_process(main(kernel)) == 412

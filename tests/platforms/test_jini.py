@@ -1,0 +1,158 @@
+"""Unit tests for the Jini platform: lookup service, leases, join protocol."""
+
+import pytest
+
+from repro.platforms.jini import (
+    JiniClient,
+    JiniLookupService,
+    JoinManager,
+    LookupError,
+    discover_lookup,
+)
+from repro.platforms.rmi import RmiExporter, rmi_call
+
+
+@pytest.fixture
+def lookup_rig(testbed, calibration):
+    """(lookup service, exporter node, client node)."""
+    n1, n2, n3 = testbed
+    lookup = JiniLookupService(n2, calibration, default_lease_s=10.0)
+    return lookup, n1, n3
+
+
+def join_service(kernel, calibration, lookup, node, interface, name, handler=None):
+    exporter = RmiExporter(node, calibration)
+    ref = exporter.export({"receive": handler or (lambda a, s: None)})
+
+    def main(k):
+        manager = JoinManager(
+            node, calibration, lookup.address, lookup.port,
+            interface=interface, ref=ref, attributes={"name": name},
+        )
+        yield from manager.join()
+        return manager
+
+    return kernel.run_process(main(kernel))
+
+
+class TestDiscovery:
+    def test_multicast_announcement_found(self, kernel, lookup_rig, calibration):
+        lookup, _n1, n3 = lookup_rig
+
+        def main(k):
+            return (yield from discover_lookup(n3, calibration))
+
+        address, port = kernel.run_process(main(kernel))
+        assert address == lookup.address
+        assert port == lookup.port
+
+    def test_discovery_times_out_without_lookup_service(
+        self, kernel, testbed, calibration
+    ):
+        n1, _n2, _n3 = testbed
+
+        def main(k):
+            try:
+                yield from discover_lookup(n1, calibration, wait=2.0)
+            except LookupError:
+                return "timeout"
+
+        assert kernel.run_process(main(kernel)) == "timeout"
+
+
+class TestRegistrationAndLookup:
+    def test_join_then_lookup_by_interface(self, kernel, lookup_rig, calibration):
+        lookup, n1, n3 = lookup_rig
+        join_service(kernel, calibration, lookup, n1, "demo.Echo", "svc-a")
+        join_service(kernel, calibration, lookup, n1, "demo.Other", "svc-b")
+
+        def main(k):
+            client = JiniClient(n3, calibration, lookup.address, lookup.port)
+            echoes = yield from client.lookup(interface="demo.Echo")
+            everything = yield from client.lookup()
+            return echoes, everything
+
+        echoes, everything = kernel.run_process(main(kernel))
+        assert [item.attributes["name"] for item in echoes] == ["svc-a"]
+        assert len(everything) == 2
+
+    def test_lookup_by_attributes(self, kernel, lookup_rig, calibration):
+        lookup, n1, n3 = lookup_rig
+        join_service(kernel, calibration, lookup, n1, "demo.Echo", "red")
+        join_service(kernel, calibration, lookup, n1, "demo.Echo", "blue")
+
+        def main(k):
+            client = JiniClient(n3, calibration, lookup.address, lookup.port)
+            return (yield from client.lookup(attributes={"name": "blue"}))
+
+        items = kernel.run_process(main(kernel))
+        assert len(items) == 1
+        assert items[0].attributes["name"] == "blue"
+
+    def test_looked_up_ref_is_callable(self, kernel, lookup_rig, calibration):
+        lookup, n1, n3 = lookup_rig
+        received = []
+        join_service(
+            kernel, calibration, lookup, n1, "demo.Echo", "svc",
+            handler=lambda a, s: received.append(a),
+        )
+
+        def main(k):
+            client = JiniClient(n3, calibration, lookup.address, lookup.port)
+            items = yield from client.lookup(interface="demo.Echo")
+            yield from rmi_call(n3, calibration, items[0].ref, "receive", "ping", 64)
+
+        kernel.run_process(main(kernel))
+        assert received == ["ping"]
+
+
+class TestLeases:
+    def test_unrenewed_lease_expires(self, kernel, lookup_rig, calibration):
+        lookup, n1, n3 = lookup_rig
+        manager = join_service(kernel, calibration, lookup, n1, "demo.Echo", "svc")
+        manager.crash()  # stops renewing silently
+        kernel.run(until=kernel.now + 15.0)  # past the 10 s lease
+
+        def main(k):
+            client = JiniClient(n3, calibration, lookup.address, lookup.port)
+            return (yield from client.lookup())
+
+        assert kernel.run_process(main(kernel)) == []
+
+    def test_renewal_keeps_registration_alive(self, kernel, lookup_rig, calibration):
+        lookup, n1, n3 = lookup_rig
+        manager = join_service(kernel, calibration, lookup, n1, "demo.Echo", "svc")
+        kernel.run(until=kernel.now + 35.0)  # several lease periods
+        assert manager.renewals >= 3
+
+        def main(k):
+            client = JiniClient(n3, calibration, lookup.address, lookup.port)
+            return (yield from client.lookup())
+
+        assert len(kernel.run_process(main(kernel))) == 1
+
+    def test_graceful_leave_removes_immediately(self, kernel, lookup_rig, calibration):
+        lookup, n1, n3 = lookup_rig
+        manager = join_service(kernel, calibration, lookup, n1, "demo.Echo", "svc")
+
+        def main(k):
+            yield from manager.leave()
+            client = JiniClient(n3, calibration, lookup.address, lookup.port)
+            return (yield from client.lookup())
+
+        assert kernel.run_process(main(kernel)) == []
+
+    def test_lease_capped_at_lookup_maximum(self, kernel, lookup_rig, calibration):
+        lookup, n1, _n3 = lookup_rig
+        exporter = RmiExporter(n1, calibration)
+        ref = exporter.export({})
+
+        def main(k):
+            manager = JoinManager(
+                n1, calibration, lookup.address, lookup.port,
+                interface="greedy", ref=ref,
+            )
+            yield from manager.join()
+            return manager.lease
+
+        assert kernel.run_process(main(kernel)) == 10.0  # the service's cap

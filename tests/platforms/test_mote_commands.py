@@ -1,0 +1,90 @@
+"""Unit + integration tests for mote command dispatch (retasking)."""
+
+import pytest
+
+from repro.bridges import MotesMapper
+from repro.core.messages import UMessage
+from repro.core.query import Query
+from repro.core.translator import Translator
+from repro.platforms.motes import BaseStation, Mote, constant_sensor
+from repro.platforms.motes.am import AmError
+from repro.platforms.motes.mote import make_radio
+from repro.testbed import build_testbed
+
+
+@pytest.fixture
+def motes_rig(kernel, network, calibration):
+    radio = make_radio(network, calibration)
+    host = network.add_node("host")
+    station = BaseStation(host, radio, calibration)
+    mote = Mote(
+        radio, calibration, {"temp": constant_sensor(20)}, sample_interval_s=5.0
+    )
+    mote.attach_to(station.radio_address)
+    return station, mote
+
+
+class TestNativeCommands:
+    def test_set_interval_changes_cadence(self, kernel, motes_rig):
+        station, mote = motes_rig
+        kernel.run(until=12.0)  # two readings at the 5 s cadence
+        baseline = mote.readings_sent
+        station.send_command(mote.mote_id, {"command": "set-interval", "interval": 1.0})
+        kernel.run(until=24.0)
+        fast_rate = (mote.readings_sent - baseline) / 12.0
+        assert mote.sample_interval_s == 1.0
+        assert fast_rate > 0.8  # ~1 reading/second now
+        assert mote.commands_received == 1
+
+    def test_sample_now_triggers_immediate_reading(self, kernel, motes_rig):
+        station, mote = motes_rig
+        kernel.run(until=6.0)
+        before = mote.readings_sent
+        station.send_command(mote.mote_id, {"command": "sample-now"})
+        kernel.run(until=7.0)  # well before the next scheduled sample
+        assert mote.readings_sent == before + 1
+
+    def test_command_to_unknown_mote_rejected(self, kernel, motes_rig):
+        station, _ = motes_rig
+        kernel.run(until=6.0)
+        with pytest.raises(AmError, match="never heard"):
+            station.send_command(999, {"command": "sample-now"})
+
+    def test_powered_off_mote_ignores_commands(self, kernel, motes_rig):
+        station, mote = motes_rig
+        kernel.run(until=6.0)
+        mote.power_off()
+        station.send_command(mote.mote_id, {"command": "sample-now"})
+        kernel.run(until=8.0)
+        assert mote.commands_received == 0
+
+
+class TestBridgedCommands:
+    def test_set_interval_through_umiddle(self):
+        """An application retasks the mote through its translator's
+        set-interval port -- full bidirectionality for the motes platform."""
+        bed = build_testbed(hosts=["h1"])
+        runtime = bed.add_runtime("h1")
+        radio = make_radio(bed.network, bed.calibration)
+        station = BaseStation(bed.hosts["h1"], radio, bed.calibration)
+        mote = Mote(
+            radio, bed.calibration, {"t": constant_sensor(1)}, sample_interval_s=10.0
+        )
+        mote.attach_to(station.radio_address)
+        runtime.add_mapper(MotesMapper(runtime, station))
+        bed.settle(12.0)
+        translator = runtime.translators[
+            runtime.lookup(Query(role="sensor"))[0].translator_id
+        ]
+        assert "set-interval" in [p.name for p in translator.ports]
+
+        app = Translator("retasker")
+        out = app.add_digital_output("out", "text/plain")
+        runtime.register_translator(app)
+        runtime.connect(out, translator.input_port("set-interval"))
+        out.send(UMessage("text/plain", "1.0", 8))
+        bed.settle(2.0)
+        assert mote.sample_interval_s == 1.0
+        baseline = mote.readings_sent
+        bed.settle(10.0)
+        assert mote.readings_sent - baseline >= 8  # ~1/s now

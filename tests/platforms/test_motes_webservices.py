@@ -1,0 +1,226 @@
+"""Unit tests for the motes and web-services platforms."""
+
+import pytest
+
+from repro.platforms.motes import (
+    ActiveMessage,
+    AM_PAYLOAD_LIMIT,
+    BaseStation,
+    Mote,
+    constant_sensor,
+    ramp_sensor,
+    sine_sensor,
+)
+from repro.platforms.motes.am import AmError
+from repro.platforms.motes.mote import make_radio
+from repro.platforms.motes.sensors import step_sensor
+from repro.platforms.webservices import (
+    HttpClient,
+    HttpError,
+    HttpServer,
+    Operation,
+    WebService,
+    WebServiceClient,
+)
+from repro.platforms.webservices.service import parse_ws_description
+
+
+class TestActiveMessages:
+    def test_payload_limit_enforced(self):
+        with pytest.raises(AmError):
+            ActiveMessage(am_type=1, source=1, payload={}, payload_size=AM_PAYLOAD_LIMIT + 1)
+
+    def test_am_type_range(self):
+        with pytest.raises(AmError):
+            ActiveMessage(am_type=300, source=1, payload={}, payload_size=4)
+
+    def test_wire_size_includes_header(self):
+        message = ActiveMessage(am_type=1, source=1, payload={}, payload_size=10)
+        assert message.wire_size == 17
+
+
+class TestSensors:
+    def test_sine_oscillates_around_mean(self):
+        sensor = sine_sensor(mean=20, amplitude=5, period_s=100)
+        values = [sensor(t) for t in range(0, 100, 7)]
+        assert min(values) >= 15
+        assert max(values) <= 25
+        assert abs(sum(values) / len(values) - 20) < 2
+
+    def test_ramp_slope(self):
+        sensor = ramp_sensor(start=3.0, slope_per_s=0.5)
+        assert sensor(0) == 3.0
+        assert sensor(10) == 8.0
+
+    def test_step_threshold(self):
+        sensor = step_sensor(low=0, high=1, step_at_s=5.0)
+        assert sensor(4.9) == 0
+        assert sensor(5.0) == 1
+
+    def test_constant(self):
+        assert constant_sensor(7.0)(123.4) == 7.0
+
+
+class TestMotesNetwork:
+    def test_readings_reach_base_station(self, kernel, network, calibration):
+        radio = make_radio(network, calibration)
+        host = network.add_node("host")
+        station = BaseStation(host, radio, calibration)
+        mote = Mote(
+            radio,
+            calibration,
+            {"temp": constant_sensor(21.5)},
+            sample_interval_s=2.0,
+        )
+        mote.attach_to(station.radio_address)
+        readings = []
+        station.on_message(lambda am: readings.append(am))
+        kernel.run(until=7.0)
+        assert len(readings) == 3
+        assert all(am.payload["sensor"] == "temp" for am in readings)
+        assert all(am.payload["value"] == 21.5 for am in readings)
+        assert all(am.source == mote.mote_id for am in readings)
+
+    def test_multiple_sensors_per_mote(self, kernel, network, calibration):
+        radio = make_radio(network, calibration)
+        host = network.add_node("host")
+        station = BaseStation(host, radio, calibration)
+        mote = Mote(
+            radio,
+            calibration,
+            {"temp": constant_sensor(20), "light": constant_sensor(300)},
+            sample_interval_s=5.0,
+        )
+        mote.attach_to(station.radio_address)
+        sensors = set()
+        station.on_message(lambda am: sensors.add(am.payload["sensor"]))
+        kernel.run(until=6.0)
+        assert sensors == {"temp", "light"}
+
+    def test_heard_since_tracks_presence(self, kernel, network, calibration):
+        radio = make_radio(network, calibration)
+        host = network.add_node("host")
+        station = BaseStation(host, radio, calibration)
+        mote = Mote(
+            radio, calibration, {"t": constant_sensor(1)}, sample_interval_s=1.0
+        )
+        mote.attach_to(station.radio_address)
+        kernel.run(until=3.0)
+        assert station.heard_since(0.0) == [mote.mote_id]
+        mote.power_off()
+        kernel.run(until=13.0)
+        assert station.heard_since(5.0) == []
+
+    def test_unattached_mote_sends_nothing(self, kernel, network, calibration):
+        radio = make_radio(network, calibration)
+        host = network.add_node("host")
+        station = BaseStation(host, radio, calibration)
+        Mote(radio, calibration, {"t": constant_sensor(1)}, sample_interval_s=1.0)
+        kernel.run(until=5.0)
+        assert station.messages_received == 0
+
+
+class TestHttp:
+    def test_route_and_prefix_route(self, kernel, testbed, calibration):
+        n1, n2, _ = testbed
+        server = HttpServer(n1, calibration, 8080)
+        server.route("GET", "/hello", lambda req: (200, "world", 5))
+        server.route_prefix("GET", "/items/", lambda req: (200, req["path"], 10))
+        client = HttpClient(n2, calibration)
+
+        def main(k):
+            hello = yield from client.request(n1.address, 8080, "GET", "/hello")
+            item = yield from client.request(n1.address, 8080, "GET", "/items/42")
+            return hello, item
+
+        assert kernel.run_process(main(kernel)) == ("world", "/items/42")
+
+    def test_missing_route_raises_404(self, kernel, testbed, calibration):
+        n1, n2, _ = testbed
+        HttpServer(n1, calibration, 8080)
+        client = HttpClient(n2, calibration)
+
+        def main(k):
+            try:
+                yield from client.request(n1.address, 8080, "GET", "/ghost")
+            except HttpError as error:
+                return error.status
+
+        assert kernel.run_process(main(kernel)) == 404
+
+    def test_generator_handler_supported(self, kernel, testbed, calibration):
+        n1, n2, _ = testbed
+        server = HttpServer(n1, calibration, 8080)
+
+        def slow(request):
+            yield kernel.timeout(0.3)
+            return 200, "slow", 4
+
+        server.route("GET", "/slow", slow)
+        client = HttpClient(n2, calibration)
+
+        def main(k):
+            start = k.now
+            body = yield from client.request(n1.address, 8080, "GET", "/slow")
+            return body, k.now - start
+
+        body, elapsed = kernel.run_process(main(kernel))
+        assert body == "slow"
+        assert elapsed > 0.3
+
+
+class TestWebService:
+    def test_describe_and_invoke(self, kernel, testbed, calibration):
+        n1, n2, _ = testbed
+        service = WebService(n1, calibration, "weather")
+        service.add_operation(
+            Operation("GetTemp", ["city"], ["temp"]),
+            lambda params: ({"temp": 21, "city": params["city"]}, 24),
+        )
+        client = WebServiceClient(n2, calibration)
+
+        def main(k):
+            name, operations = yield from client.describe(n1.address, service.port)
+            result = yield from client.invoke(
+                n1.address, service.port, "GetTemp", {"city": "Atlanta"}
+            )
+            return name, operations, result
+
+        name, operations, result = kernel.run_process(main(kernel))
+        assert name == "weather"
+        assert operations == [Operation("GetTemp", ["city"], ["temp"])]
+        assert result == {"temp": 21, "city": "Atlanta"}
+
+    def test_description_xml_round_trip(self, network, calibration):
+        node = network.add_node("n")
+        service = WebService(node, calibration, "svc")
+        service.add_operation(Operation("Do", ["a", "b"], ["r"]), lambda p: ({}, 0))
+        name, operations = parse_ws_description(service.describe_xml())
+        assert name == "svc"
+        assert operations == [Operation("Do", ["a", "b"], ["r"])]
+
+    def test_unknown_operation_404(self, kernel, testbed, calibration):
+        n1, n2, _ = testbed
+        service = WebService(n1, calibration, "svc")
+        client = WebServiceClient(n2, calibration)
+
+        def main(k):
+            try:
+                yield from client.invoke(n1.address, service.port, "Ghost", {})
+            except HttpError as error:
+                return error.status
+
+        assert kernel.run_process(main(kernel)) == 404
+
+    def test_invocation_counter(self, kernel, testbed, calibration):
+        n1, n2, _ = testbed
+        service = WebService(n1, calibration, "svc")
+        service.add_operation(Operation("Do", [], []), lambda p: ({}, 0))
+        client = WebServiceClient(n2, calibration)
+
+        def main(k):
+            for _ in range(3):
+                yield from client.invoke(n1.address, service.port, "Do", {})
+
+        kernel.run_process(main(kernel))
+        assert service.invocations == 3

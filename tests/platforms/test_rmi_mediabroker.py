@@ -1,0 +1,297 @@
+"""Unit tests for the RMI and MediaBroker platforms."""
+
+import pytest
+
+from repro.platforms.rmi import (
+    RegistryClient,
+    RegistryError,
+    RemoteError,
+    RemoteRef,
+    RmiExporter,
+    RmiRegistry,
+    marshal_time,
+    rmi_call,
+)
+from repro.platforms.rmi.remote import RmiConnection
+from repro.platforms.mediabroker import (
+    Broker,
+    BrokerError,
+    MBConsumer,
+    MBProducer,
+    MediaType,
+    TransformStep,
+    TypeLadder,
+)
+from repro.platforms.mediabroker.types import default_ladder
+
+
+class TestRmiRegistry:
+    def test_bind_lookup_round_trip(self, kernel, testbed, calibration):
+        n1, n2, n3 = testbed
+        RmiRegistry(n3, calibration)
+        exporter = RmiExporter(n3, calibration)
+        ref = exporter.export({"ping": lambda a, s: ("pong", 4)})
+
+        def main(k):
+            client = RegistryClient(n2, calibration, n3.address)
+            yield from client.bind("svc", ref)
+            return (yield from client.lookup("svc"))
+
+        assert kernel.run_process(main(kernel)) == ref
+
+    def test_lookup_unknown_name(self, kernel, testbed, calibration):
+        n1, n2, n3 = testbed
+        RmiRegistry(n3, calibration)
+
+        def main(k):
+            client = RegistryClient(n2, calibration, n3.address)
+            try:
+                yield from client.lookup("ghost")
+            except RegistryError:
+                return "missing"
+
+        assert kernel.run_process(main(kernel)) == "missing"
+
+    def test_duplicate_bind_rejected_rebind_allowed(self, kernel, testbed, calibration):
+        n1, n2, n3 = testbed
+        RmiRegistry(n3, calibration)
+        exporter = RmiExporter(n3, calibration)
+        first = exporter.export({})
+        second = exporter.export({})
+
+        def main(k):
+            client = RegistryClient(n2, calibration, n3.address)
+            yield from client.bind("svc", first)
+            try:
+                yield from client.bind("svc", second)
+                return "oops"
+            except RegistryError:
+                pass
+            yield from client.bind("svc", second, rebind=True)
+            return (yield from client.lookup("svc"))
+
+        assert kernel.run_process(main(kernel)) == second
+
+    def test_unbind_then_list(self, kernel, testbed, calibration):
+        n1, n2, n3 = testbed
+        RmiRegistry(n3, calibration)
+        exporter = RmiExporter(n3, calibration)
+
+        def main(k):
+            client = RegistryClient(n2, calibration, n3.address)
+            yield from client.bind("a", exporter.export({}))
+            yield from client.bind("b", exporter.export({}))
+            yield from client.unbind("a")
+            return sorted((yield from client.list()))
+
+        assert kernel.run_process(main(kernel)) == ["b"]
+
+
+class TestRmiCalls:
+    def test_echo_call(self, kernel, testbed, calibration):
+        n1, n2, n3 = testbed
+        exporter = RmiExporter(n3, calibration)
+        ref = exporter.export({"echo": lambda args, size: (args, size)})
+
+        def main(k):
+            return (yield from rmi_call(n2, calibration, ref, "echo", "hi", 1400))
+
+        assert kernel.run_process(main(kernel)) == ("hi", 1400)
+
+    def test_unknown_method_raises(self, kernel, testbed, calibration):
+        n1, n2, n3 = testbed
+        exporter = RmiExporter(n3, calibration)
+        ref = exporter.export({})
+
+        def main(k):
+            try:
+                yield from rmi_call(n2, calibration, ref, "ghost", None, 0)
+            except RemoteError:
+                return "no such method"
+
+        assert kernel.run_process(main(kernel)) == "no such method"
+
+    def test_generator_handler_takes_simulated_time(self, kernel, testbed, calibration):
+        n1, n2, n3 = testbed
+        exporter = RmiExporter(n3, calibration)
+
+        def slow(args, size):
+            yield kernel.timeout(0.5)
+            return "done", 8
+
+        ref = exporter.export({"work": slow})
+
+        def main(k):
+            start = k.now
+            result = yield from rmi_call(n2, calibration, ref, "work", None, 0)
+            return result, k.now - start
+
+        result, elapsed = kernel.run_process(main(kernel))
+        assert result == ("done", 8)
+        assert elapsed > 0.5
+
+    def test_call_cost_includes_four_marshal_operations(
+        self, kernel, testbed, calibration
+    ):
+        """Client marshal + server unmarshal + server marshal + client
+        unmarshal must all be charged (Java serialization dominance)."""
+        n1, n2, n3 = testbed
+        exporter = RmiExporter(n3, calibration)
+        ref = exporter.export({"echo": lambda args, size: (args, size)})
+        size = 1400
+
+        def main(k):
+            connection = RmiConnection(n2, calibration, ref)
+            yield from connection.call("echo", "x", size)  # includes connect
+            start = k.now
+            yield from connection.call("echo", "x", size)
+            return k.now - start
+
+        elapsed = kernel.run_process(main(kernel))
+        assert elapsed >= 4 * marshal_time(calibration.rmi, size)
+
+    def test_unexported_object_unreachable(self, kernel, testbed, calibration):
+        n1, n2, n3 = testbed
+        exporter = RmiExporter(n3, calibration)
+        ref = exporter.export({"echo": lambda a, s: (a, s)})
+        exporter.unexport(ref)
+
+        def main(k):
+            try:
+                yield from rmi_call(n2, calibration, ref, "echo", "x", 1)
+            except RemoteError:
+                return "gone"
+
+        assert kernel.run_process(main(kernel)) == "gone"
+
+
+class TestTypeLadder:
+    def test_path_identity(self):
+        ladder = default_ladder()
+        assert ladder.path(MediaType("video/raw"), MediaType("video/raw")) == []
+
+    def test_single_step_path(self):
+        ladder = default_ladder()
+        path = ladder.path(MediaType("video/raw"), MediaType("video/mpeg"))
+        assert len(path) == 1
+
+    def test_multi_step_path(self):
+        ladder = default_ladder()
+        path = ladder.path(MediaType("video/raw"), MediaType("image/thumbnail"))
+        assert [str(s.target) for s in path] == ["video/mpeg", "image/thumbnail"]
+
+    def test_unreachable_returns_none(self):
+        ladder = default_ladder()
+        assert ladder.path(MediaType("video/mpeg"), MediaType("video/raw")) is None
+
+    def test_apply_metrics_shrinks_and_costs(self):
+        ladder = default_ladder()
+        chain = ladder.path(MediaType("video/raw"), MediaType("image/thumbnail"))
+        out_size, cpu = ladder.apply_metrics(chain, 1_000_000)
+        assert out_size == 2_000  # 10% then 2%
+        assert cpu > 0
+
+
+class TestMediaBroker:
+    def test_publish_subscribe_same_type(self, kernel, testbed, calibration):
+        n1, n2, n3 = testbed
+        Broker(n2, calibration)
+        got = []
+
+        def main(k):
+            producer = MBProducer(n1, calibration, n2.address, "s", "video/mpeg")
+            yield from producer.register()
+            consumer = MBConsumer(n3, calibration, n2.address, "s")
+            yield from consumer.subscribe(lambda p, s, t: got.append((p, s, t)))
+            yield from producer.publish("frame", 1400)
+            yield k.timeout(0.5)
+
+        kernel.run_process(main(kernel))
+        assert got == [("frame", 1400, "video/mpeg")]
+
+    def test_transform_on_subscription(self, kernel, testbed, calibration):
+        n1, n2, n3 = testbed
+        Broker(n2, calibration, ladder=default_ladder())
+        got = []
+
+        def main(k):
+            producer = MBProducer(n1, calibration, n2.address, "cam", "image/jpeg-high")
+            yield from producer.register()
+            consumer = MBConsumer(
+                n3, calibration, n2.address, "cam", media_type="image/jpeg-low"
+            )
+            yield from consumer.subscribe(lambda p, s, t: got.append((s, t)))
+            yield from producer.publish("IMG", 40_000)
+            yield k.timeout(0.5)
+
+        kernel.run_process(main(kernel))
+        assert got == [(10_000, "image/jpeg-low")]  # 25% size factor
+
+    def test_impossible_transform_rejected(self, kernel, testbed, calibration):
+        n1, n2, n3 = testbed
+        Broker(n2, calibration, ladder=default_ladder())
+
+        def main(k):
+            producer = MBProducer(n1, calibration, n2.address, "s", "image/jpeg-low")
+            yield from producer.register()
+            consumer = MBConsumer(
+                n3, calibration, n2.address, "s", media_type="video/raw"
+            )
+            try:
+                yield from consumer.subscribe(lambda p, s, t: None)
+            except BrokerError:
+                return "rejected"
+
+        assert kernel.run_process(main(kernel)) == "rejected"
+
+    def test_multiple_consumers_fan_out(self, kernel, testbed, calibration):
+        n1, n2, n3 = testbed
+        Broker(n2, calibration)
+        counts = [0, 0]
+
+        def main(k):
+            producer = MBProducer(n1, calibration, n2.address, "s", "video/mpeg")
+            yield from producer.register()
+            for index in range(2):
+                consumer = MBConsumer(n3, calibration, n2.address, "s")
+                yield from consumer.subscribe(
+                    lambda p, s, t, i=index: counts.__setitem__(i, counts[i] + 1)
+                )
+            for _ in range(3):
+                yield from producer.publish("x", 100)
+            yield k.timeout(0.5)
+
+        kernel.run_process(main(kernel))
+        assert counts == [3, 3]
+
+    def test_publish_unregistered_rejected(self, kernel, testbed, calibration):
+        n1, n2, _ = testbed
+        Broker(n2, calibration)
+        producer = MBProducer(n1, calibration, n2.address, "s", "video/mpeg")
+
+        def main(k):
+            try:
+                yield from producer.publish("x", 10)
+            except BrokerError:
+                return "unregistered"
+
+        assert kernel.run_process(main(kernel)) == "unregistered"
+
+    def test_list_streams(self, kernel, testbed, calibration):
+        from repro.platforms.mediabroker.broker import FRAME_OVERHEAD
+        from repro.simnet.sockets import StreamSocket
+
+        n1, n2, n3 = testbed
+        Broker(n2, calibration)
+
+        def main(k):
+            producer = MBProducer(n1, calibration, n2.address, "cam", "video/mpeg")
+            yield from producer.register()
+            control = yield StreamSocket.connect(
+                n3, calibration.network, n2.address, 6000
+            )
+            control.send({"op": "list"}, FRAME_OVERHEAD)
+            response, _size = yield control.recv()
+            return response["streams"]
+
+        assert kernel.run_process(main(kernel)) == {"cam": "video/mpeg"}

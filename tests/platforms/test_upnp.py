@@ -1,0 +1,341 @@
+"""Unit tests for the simulated UPnP stack."""
+
+import pytest
+
+from repro.platforms.upnp import (
+    ControlPoint,
+    make_air_conditioner,
+    make_binary_light,
+    make_clock,
+    make_media_renderer,
+    parse_device_description,
+)
+from repro.platforms.upnp.description import DescriptionError
+from repro.platforms.upnp import soap
+from repro.platforms.upnp.devices import BINARY_LIGHT_TYPE, CLOCK_TYPE
+from repro.platforms.upnp.soap import SoapError, SoapFault
+
+
+class TestSoap:
+    def test_request_round_trip(self):
+        body = soap.build_request(
+            "urn:schemas-upnp-org:service:SwitchPower:1", "SetPower", {"Power": "1"}
+        )
+        service_type, action, arguments = soap.parse_request(body)
+        assert service_type == "urn:schemas-upnp-org:service:SwitchPower:1"
+        assert action == "SetPower"
+        assert arguments == {"Power": "1"}
+
+    def test_response_round_trip(self):
+        body = soap.build_response("urn:s", "GetStatus", {"ResultStatus": "1"})
+        assert soap.parse_response(body) == {"ResultStatus": "1"}
+
+    def test_fault_raises(self):
+        body = soap.build_fault(401, "Invalid Action")
+        with pytest.raises(SoapFault) as excinfo:
+            soap.parse_response(body)
+        assert excinfo.value.code == 401
+        assert "Invalid Action" in excinfo.value.description
+
+    def test_malformed_xml_rejected(self):
+        with pytest.raises(SoapError):
+            soap.parse_response("<nope")
+
+    def test_missing_body_rejected(self):
+        with pytest.raises(SoapError):
+            soap.parse_request(
+                '<Envelope xmlns="http://schemas.xmlsoap.org/soap/envelope/"/>'
+            )
+
+
+class TestDescriptions:
+    def test_xml_round_trip(self, network, calibration):
+        node = network.add_node("d")
+        device = make_clock(node, calibration)
+        restored = parse_device_description(device.description.to_xml())
+        assert restored == device.description
+
+    def test_element_count_counts_all_levels(self, network, calibration):
+        node = network.add_node("d")
+        light = make_binary_light(node, calibration)
+        # 1 device + 1 service + (SetPower + 1 arg) + (GetStatus + 1 arg)
+        # + 1 state variable = 7
+        assert light.description.element_count() == 7
+
+    def test_clock_is_much_bigger_than_light(self, network, calibration):
+        node = network.add_node("d")
+        clock = make_clock(node, calibration)
+        light = make_binary_light(node, network and calibration)
+        assert clock.description.element_count() > 2 * light.description.element_count()
+
+    def test_unknown_service_raises(self, network, calibration):
+        node = network.add_node("d")
+        light = make_binary_light(node, calibration)
+        with pytest.raises(DescriptionError):
+            light.description.service("Ghost")
+
+    def test_parse_garbage_raises(self):
+        with pytest.raises(DescriptionError):
+            parse_device_description("<root")
+        with pytest.raises(DescriptionError):
+            parse_device_description("<root/>")
+
+
+def upnp_pair(network, calibration, net_costs, factory):
+    hub = network.add_hub("lan", 1e7, 5e-5, 38)
+    device_node = network.add_node("device-host")
+    cp_node = network.add_node("cp-host")
+    device_node.attach(hub)
+    cp_node.attach(hub)
+    device = factory(device_node, calibration)
+    device.start()
+    control_point = ControlPoint(cp_node, calibration)
+    return device, control_point
+
+
+class TestDiscovery:
+    def test_msearch_finds_started_device(self, kernel, network, calibration, net_costs):
+        device, cp = upnp_pair(network, calibration, net_costs, make_binary_light)
+
+        def main(k):
+            found = yield from cp.search()
+            return found
+
+        found = kernel.run_process(main(kernel))
+        assert len(found) == 1
+        assert found[0].device_type == BINARY_LIGHT_TYPE
+        assert found[0].usn == device.description.udn
+
+    def test_msearch_by_type_filters(self, kernel, network, calibration, net_costs):
+        hub = network.add_hub("lan", 1e7, 5e-5, 38)
+        nodes = [network.add_node(f"n{i}") for i in range(3)]
+        for node in nodes:
+            node.attach(hub)
+        make_binary_light(nodes[0], calibration).start()
+        make_clock(nodes[1], calibration).start()
+        cp = ControlPoint(nodes[2], calibration)
+
+        def main(k):
+            found = yield from cp.search(CLOCK_TYPE)
+            return found
+
+        found = kernel.run_process(main(kernel))
+        assert len(found) == 1
+        assert found[0].device_type == CLOCK_TYPE
+
+    def test_alive_notify_reaches_presence_callback(
+        self, kernel, network, calibration, net_costs
+    ):
+        hub = network.add_hub("lan", 1e7, 5e-5, 38)
+        device_node = network.add_node("d")
+        cp_node = network.add_node("cp")
+        device_node.attach(hub)
+        cp_node.attach(hub)
+        cp = ControlPoint(cp_node, calibration)
+        seen = []
+        cp.on_presence(lambda kind, device: seen.append((kind, device.device_type)))
+        device = make_binary_light(device_node, calibration)
+        device.start()
+        kernel.run(until=0.5)
+        assert ("alive", BINARY_LIGHT_TYPE) in seen
+
+    def test_byebye_on_stop(self, kernel, network, calibration, net_costs):
+        device, cp = upnp_pair(network, calibration, net_costs, make_binary_light)
+        seen = []
+        cp.on_presence(lambda kind, d: seen.append(kind))
+        kernel.run(until=0.5)
+        device.stop()
+        kernel.run(until=1.0)
+        assert "byebye" in seen
+
+    def test_vanish_sends_no_byebye(self, kernel, network, calibration, net_costs):
+        device, cp = upnp_pair(network, calibration, net_costs, make_binary_light)
+        seen = []
+        cp.on_presence(lambda kind, d: seen.append(kind))
+        kernel.run(until=0.5)
+        device.vanish()
+        kernel.run(until=1.5)
+        assert "byebye" not in seen
+
+
+class TestControl:
+    def test_set_power_changes_device_state(self, kernel, network, calibration, net_costs):
+        device, cp = upnp_pair(network, calibration, net_costs, make_binary_light)
+
+        def main(k):
+            found = yield from cp.search()
+            yield from cp.invoke(
+                found[0],
+                "urn:schemas-upnp-org:service:SwitchPower:1",
+                "SwitchPower",
+                "SetPower",
+                {"Power": "1"},
+            )
+            result = yield from cp.invoke(
+                found[0],
+                "urn:schemas-upnp-org:service:SwitchPower:1",
+                "SwitchPower",
+                "GetStatus",
+                {},
+            )
+            return result
+
+        result = kernel.run_process(main(kernel))
+        assert result == {"ResultStatus": "1"}
+        assert device.get_state("SwitchPower", "Status") == "1"
+
+    def test_control_latency_matches_paper(self, kernel, network, calibration, net_costs):
+        """Section 5.2: ~150 ms consumed in the UPnP domain per action."""
+        device, cp = upnp_pair(network, calibration, net_costs, make_binary_light)
+
+        def main(k):
+            found = yield from cp.search()
+            start = k.now
+            yield from cp.invoke(
+                found[0],
+                "urn:schemas-upnp-org:service:SwitchPower:1",
+                "SwitchPower",
+                "SetPower",
+                {"Power": "1"},
+            )
+            return k.now - start
+
+        elapsed = kernel.run_process(main(kernel))
+        assert 0.135 <= elapsed <= 0.165
+
+    def test_unknown_action_returns_fault(self, kernel, network, calibration, net_costs):
+        device, cp = upnp_pair(network, calibration, net_costs, make_binary_light)
+
+        def main(k):
+            found = yield from cp.search()
+            try:
+                yield from cp.invoke(
+                    found[0],
+                    "urn:s",
+                    "SwitchPower",
+                    "Explode",
+                    {},
+                )
+            except SoapFault as fault:
+                return fault.code
+
+        assert kernel.run_process(main(kernel)) == 401
+
+    def test_renderer_accumulates_rendered_items(
+        self, kernel, network, calibration, net_costs
+    ):
+        device, cp = upnp_pair(network, calibration, net_costs, make_media_renderer)
+
+        def main(k):
+            found = yield from cp.search()
+            for index in range(3):
+                yield from cp.invoke(
+                    found[0],
+                    "urn:schemas-upnp-org:service:RenderingControl:1",
+                    "RenderingControl",
+                    "Render",
+                    {"Data": f"img-{index}", "ContentType": "image/jpeg"},
+                )
+
+        kernel.run_process(main(kernel))
+        assert [item["data"] for item in device.rendered] == ["img-0", "img-1", "img-2"]
+
+    def test_aircon_temperature(self, kernel, network, calibration, net_costs):
+        device, cp = upnp_pair(network, calibration, net_costs, make_air_conditioner)
+
+        def main(k):
+            found = yield from cp.search()
+            yield from cp.invoke(
+                found[0],
+                "urn:schemas-upnp-org:service:Thermostat:1",
+                "Thermostat",
+                "SetTemperature",
+                {"NewTemperature": "18"},
+            )
+            return (yield from cp.invoke(
+                found[0],
+                "urn:schemas-upnp-org:service:Thermostat:1",
+                "Thermostat",
+                "GetTemperature",
+                {},
+            ))
+
+        assert kernel.run_process(main(kernel)) == {"CurrentTemperature": "18"}
+
+
+class TestEventing:
+    def test_subscriber_sees_evented_changes(self, kernel, network, calibration, net_costs):
+        device, cp = upnp_pair(network, calibration, net_costs, make_binary_light)
+        events = []
+
+        def main(k):
+            found = yield from cp.search()
+            yield from cp.subscribe(
+                found[0], "SwitchPower", lambda var, val: events.append((var, val))
+            )
+            yield from cp.invoke(
+                found[0],
+                "urn:schemas-upnp-org:service:SwitchPower:1",
+                "SwitchPower",
+                "SetPower",
+                {"Power": "1"},
+            )
+            yield k.timeout(0.5)
+
+        kernel.run_process(main(kernel))
+        assert ("Status", "1") in events
+
+    def test_non_evented_variables_do_not_notify(
+        self, kernel, network, calibration, net_costs
+    ):
+        device, cp = upnp_pair(network, calibration, net_costs, make_media_renderer)
+        events = []
+
+        def main(k):
+            found = yield from cp.search()
+            yield from cp.subscribe(
+                found[0],
+                "RenderingControl",
+                lambda var, val: events.append(var),
+            )
+            device.set_state("RenderingControl", "ContentType", "image/png")
+            yield k.timeout(0.5)
+
+        kernel.run_process(main(kernel))
+        assert events == []
+
+    def test_unsubscribe_stops_callbacks(self, kernel, network, calibration, net_costs):
+        device, cp = upnp_pair(network, calibration, net_costs, make_binary_light)
+        events = []
+
+        def main(k):
+            found = yield from cp.search()
+            sid = yield from cp.subscribe(
+                found[0], "SwitchPower", lambda var, val: events.append(val)
+            )
+            cp.unsubscribe(sid)
+            device.set_state("SwitchPower", "Status", "1")
+            yield k.timeout(0.5)
+
+        kernel.run_process(main(kernel))
+        assert events == []
+
+    def test_fetch_description_parses_and_charges_time(
+        self, kernel, network, calibration, net_costs
+    ):
+        device, cp = upnp_pair(network, calibration, net_costs, make_clock)
+
+        def main(k):
+            found = yield from cp.search()
+            start = k.now
+            description = yield from cp.fetch_description(found[0])
+            return description, k.now - start
+
+        description, elapsed = kernel.run_process(main(kernel))
+        assert description.udn == device.description.udn
+        # Parse cost alone: elements * per-element cost.
+        minimum = (
+            calibration.upnp.xml_parse_per_element_s
+            * description.element_count()
+        )
+        assert elapsed > minimum

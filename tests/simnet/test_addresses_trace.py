@@ -1,0 +1,101 @@
+"""Unit tests for addressing and tracing helpers."""
+
+import pytest
+
+from repro.simnet.addresses import Address, AddressAllocator, AddressError
+from repro.simnet.trace import TraceRecorder
+
+
+class TestAddressAllocator:
+    def test_allocates_sequential_unique_addresses(self):
+        alloc = AddressAllocator()
+        first = alloc.allocate("a")
+        second = alloc.allocate("b")
+        assert first != second
+        assert first.host == "10.0.0.1"
+        assert second.host == "10.0.0.2"
+
+    def test_custom_prefix(self):
+        alloc = AddressAllocator(prefix="192.168.1.")
+        assert alloc.allocate("x").host == "192.168.1.1"
+
+    def test_resolve_and_reverse(self):
+        alloc = AddressAllocator()
+        address = alloc.allocate("printer")
+        assert alloc.resolve("printer") == address
+        assert alloc.name_of(address) == "printer"
+
+    def test_duplicate_name_rejected(self):
+        alloc = AddressAllocator()
+        alloc.allocate("a")
+        with pytest.raises(AddressError):
+            alloc.allocate("a")
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(AddressError):
+            AddressAllocator().resolve("ghost")
+
+    def test_unknown_address_raises(self):
+        with pytest.raises(AddressError):
+            AddressAllocator().name_of(Address("1.1.1.1"))
+
+    def test_container_protocol(self):
+        alloc = AddressAllocator()
+        alloc.allocate("a")
+        alloc.allocate("b")
+        assert "a" in alloc
+        assert "c" not in alloc
+        assert sorted(alloc) == ["a", "b"]
+        assert len(alloc) == 2
+
+    def test_addresses_are_hashable_and_ordered(self):
+        a1 = Address("10.0.0.1")
+        a2 = Address("10.0.0.2")
+        assert len({a1, a2, Address("10.0.0.1")}) == 2
+        assert a1 < a2
+        assert str(a1) == "10.0.0.1"
+
+
+class TestTraceRecorder:
+    def test_records_time_from_bound_clock(self):
+        now = [0.0]
+        trace = TraceRecorder(clock=lambda: now[0])
+        trace.emit("cat", "first")
+        now[0] = 2.5
+        trace.emit("cat", "second")
+        times = [r.time for r in trace]
+        assert times == [0.0, 2.5]
+
+    def test_category_filter(self):
+        trace = TraceRecorder()
+        trace.emit("a", "x")
+        trace.emit("b", "y")
+        trace.emit("a", "z")
+        assert trace.count("a") == 2
+        assert trace.count() == 3
+        assert [r.message for r in trace.records("b")] == ["y"]
+
+    def test_total_sums_detail_field(self):
+        trace = TraceRecorder()
+        trace.emit("net.tx", "f1", wire_bytes=100)
+        trace.emit("net.tx", "f2", wire_bytes=250)
+        trace.emit("other", "f3", wire_bytes=999)
+        assert trace.total("net.tx", "wire_bytes") == 350
+
+    def test_disabled_recorder_drops_records(self):
+        trace = TraceRecorder()
+        trace.enabled = False
+        trace.emit("cat", "dropped")
+        assert len(trace) == 0
+
+    def test_clear(self):
+        trace = TraceRecorder()
+        trace.emit("cat", "x")
+        trace.clear()
+        assert len(trace) == 0
+
+    def test_str_formatting(self):
+        trace = TraceRecorder(clock=lambda: 1.5)
+        trace.emit("cat", "hello")
+        assert "hello" in str(trace.records()[0])
+        assert "cat" in str(trace.records()[0])

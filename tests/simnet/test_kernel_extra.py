@@ -1,0 +1,124 @@
+"""Additional kernel coverage: conditions, processes and edge behaviors."""
+
+import pytest
+
+from repro.simnet.kernel import (
+    AnyOf,
+    Event,
+    Interrupt,
+    Kernel,
+    SimulationError,
+)
+
+
+class TestAnyOfFailures:
+    def test_any_of_fails_if_first_trigger_is_a_failure(self, kernel):
+        def proc(k):
+            bad = k.event()
+            slow = k.timeout(10.0)
+            k.call_later(1.0, lambda: bad.fail(ValueError("first")))
+            try:
+                yield AnyOf(k, [bad, slow])
+            except ValueError:
+                return k.now
+
+        assert kernel.run_process(proc(kernel)) == 1.0
+
+    def test_any_of_success_masks_later_failure(self, kernel):
+        def proc(k):
+            good = k.timeout(1.0, value="ok")
+            bad = k.event()
+            k.call_later(2.0, lambda: bad.fail(ValueError("late")))
+            done = yield AnyOf(k, [good, bad])
+            yield k.timeout(5.0)  # the late failure must stay defused
+            return list(done.values())
+
+        assert kernel.run_process(proc(kernel)) == ["ok"]
+
+
+class TestProcessEdges:
+    def test_process_with_immediate_return(self, kernel):
+        def proc(k):
+            return "instant"
+            yield  # pragma: no cover
+
+        assert kernel.run_process(proc(kernel)) == "instant"
+
+    def test_interrupt_cause_carries_payload(self, kernel):
+        def sleeper(k):
+            try:
+                yield k.timeout(100)
+            except Interrupt as interrupt:
+                return interrupt.cause
+
+        process = kernel.process(sleeper(kernel))
+        kernel.call_later(1.0, lambda: process.interrupt({"reason": "test"}))
+        kernel.run()
+        assert process.value == {"reason": "test"}
+
+    def test_interrupted_process_can_keep_working(self, kernel):
+        def worker(k):
+            total = 0.0
+            try:
+                yield k.timeout(100)
+            except Interrupt:
+                pass
+            yield k.timeout(5)  # continues after handling the interrupt
+            return k.now
+
+        process = kernel.process(worker(kernel))
+        kernel.call_later(1.0, lambda: process.interrupt())
+        kernel.run()
+        assert process.value == 6.0
+
+    def test_process_chain_return_values(self, kernel):
+        def leaf(k, value):
+            yield k.timeout(1)
+            return value * 2
+
+        def branch(k):
+            first = yield k.process(leaf(k, 3))
+            second = yield k.process(leaf(k, first))
+            return second
+
+        assert kernel.run_process(branch(kernel)) == 12
+
+    def test_two_processes_waiting_on_one_event(self, kernel):
+        gate = kernel.event()
+        results = []
+
+        def waiter(k, tag):
+            value = yield gate
+            results.append((tag, value))
+
+        kernel.process(waiter(kernel, "a"))
+        kernel.process(waiter(kernel, "b"))
+        kernel.call_later(1.0, lambda: gate.succeed("open"))
+        kernel.run()
+        assert sorted(results) == [("a", "open"), ("b", "open")]
+
+
+class TestKernelAccounting:
+    def test_active_process_visible_during_execution(self, kernel):
+        seen = []
+
+        def proc(k):
+            seen.append(k.active_process)
+            yield k.timeout(1)
+
+        process = kernel.process(proc(kernel))
+        kernel.run()
+        assert seen == [process]
+        assert kernel.active_process is None
+
+    def test_run_with_deadline_before_any_event(self, kernel):
+        kernel.timeout(10.0)
+        kernel.run(until=5.0)
+        assert kernel.now == 5.0
+        kernel.run()  # and the event still fires afterwards
+        assert kernel.now == 10.0
+
+    def test_event_requires_kernel_match_for_conditions(self, kernel):
+        other = Kernel()
+        with pytest.raises(SimulationError):
+            AnyOf(kernel, [kernel.event(), other.event()])

@@ -1,0 +1,264 @@
+"""Unit tests for the simulated network layer (nodes, hubs, links, routing)."""
+
+import pytest
+
+from repro.simnet.addresses import AddressError
+from repro.simnet.net import Frame, Hub, Link, Network, NetworkError
+from repro.simnet.kernel import Kernel
+
+
+def make_frame(src, dst, size=100, protocol="raw", **meta):
+    return Frame(
+        src=src,
+        dst=dst,
+        protocol=protocol,
+        sport=1,
+        dport=2,
+        payload="payload",
+        wire_size=size,
+        metadata=meta,
+    )
+
+
+class TestTopologyConstruction:
+    def test_duplicate_node_name_rejected(self, network):
+        network.add_node("x")
+        with pytest.raises(NetworkError):
+            network.add_node("x")
+
+    def test_duplicate_medium_name_rejected(self, network):
+        network.add_hub("m", 1e6, 0.001)
+        with pytest.raises(NetworkError):
+            network.add_link("m", 1e6, 0.001)
+
+    def test_link_limited_to_two_endpoints(self, network):
+        link = network.add_link("l", 1e6, 0.001)
+        for i in range(2):
+            network.add_node(f"n{i}").attach(link)
+        with pytest.raises(NetworkError):
+            network.add_node("n2").attach(link)
+
+    def test_zero_bandwidth_rejected(self, network):
+        with pytest.raises(NetworkError):
+            network.add_hub("bad", 0, 0.001)
+
+    def test_invalid_loss_rate_rejected(self, network):
+        with pytest.raises(NetworkError):
+            network.add_hub("bad", 1e6, 0.001, loss_rate=1.0)
+
+    def test_node_primary_address_requires_interface(self, network):
+        node = network.add_node("lonely")
+        with pytest.raises(NetworkError):
+            node.address
+
+    def test_addresses_are_unique(self, network):
+        hub = network.add_hub("h", 1e6, 0.001)
+        first = network.add_node("a").attach(hub)
+        second = network.add_node("b").attach(hub)
+        assert first.address != second.address
+
+    def test_node_of_resolves_addresses(self, network):
+        hub = network.add_hub("h", 1e6, 0.001)
+        node = network.add_node("a")
+        node.attach(hub)
+        assert network.node_of(node.address) is node
+
+    def test_node_of_unknown_address_raises(self, network):
+        from repro.simnet.addresses import Address
+
+        with pytest.raises(AddressError):
+            network.node_of(Address("1.2.3.4"))
+
+
+class TestDelivery:
+    def _two_nodes(self, network, **medium_kwargs):
+        hub = network.add_hub("h", 1e6, 0.001, **medium_kwargs)
+        a = network.add_node("a")
+        b = network.add_node("b")
+        a.attach(hub)
+        b.attach(hub)
+        return hub, a, b
+
+    def test_unicast_reaches_destination(self, kernel, network):
+        _, a, b = self._two_nodes(network)
+        got = []
+        b.add_frame_handler(lambda f, i: got.append(f) or True)
+        a.send_frame(make_frame(a.address, b.address))
+        kernel.run()
+        assert len(got) == 1
+        assert got[0].payload == "payload"
+
+    def test_delivery_time_includes_serialization_and_latency(self, kernel, network):
+        hub, a, b = self._two_nodes(network)
+        arrival = []
+        b.add_frame_handler(lambda f, i: arrival.append(kernel.now) or True)
+        a.send_frame(make_frame(a.address, b.address, size=1000))
+        kernel.run()
+        expected = 1000 * 8 / 1e6 + 0.001
+        assert arrival[0] == pytest.approx(expected)
+
+    def test_hub_serializes_transmissions(self, kernel, network):
+        """A shared hub carries one frame at a time (paper's 10 Mbps hub)."""
+        hub, a, b = self._two_nodes(network)
+        arrivals = []
+        b.add_frame_handler(lambda f, i: arrivals.append(kernel.now) or True)
+        for _ in range(3):
+            a.send_frame(make_frame(a.address, b.address, size=1000))
+        kernel.run()
+        tx = 1000 * 8 / 1e6
+        assert arrivals == pytest.approx([tx + 0.001, 2 * tx + 0.001, 3 * tx + 0.001])
+
+    def test_link_is_full_duplex(self, kernel, network):
+        link = network.add_link("l", 1e6, 0.001)
+        a = network.add_node("a")
+        b = network.add_node("b")
+        a.attach(link)
+        b.attach(link)
+        arrivals = []
+        a.add_frame_handler(lambda f, i: arrivals.append(("a", kernel.now)) or True)
+        b.add_frame_handler(lambda f, i: arrivals.append(("b", kernel.now)) or True)
+        a.send_frame(make_frame(a.address, b.address, size=1000))
+        b.send_frame(make_frame(b.address, a.address, size=1000))
+        kernel.run()
+        # Opposite directions do not contend: both arrive at the same time.
+        assert arrivals[0][1] == arrivals[1][1]
+
+    def test_broadcast_reaches_all_but_sender(self, kernel, network):
+        hub = network.add_hub("h", 1e6, 0.001)
+        nodes = [network.add_node(f"n{i}") for i in range(4)]
+        for node in nodes:
+            node.attach(hub)
+        got = []
+        for node in nodes:
+            node.add_frame_handler(
+                lambda f, i, name=node.name: got.append(name) or True
+            )
+        nodes[0].send_frame(make_frame(nodes[0].address, None))
+        kernel.run()
+        assert sorted(got) == ["n1", "n2", "n3"]
+
+    def test_multicast_reaches_only_members(self, kernel, network):
+        hub = network.add_hub("h", 1e6, 0.001)
+        nodes = [network.add_node(f"n{i}") for i in range(4)]
+        for node in nodes:
+            node.attach(hub)
+        nodes[1].join_multicast("ssdp")
+        nodes[2].join_multicast("ssdp")
+        got = []
+        for node in nodes:
+            node.add_frame_handler(
+                lambda f, i, name=node.name: got.append(name) or True
+            )
+        frame = make_frame(nodes[0].address, None)
+        frame.multicast_group = "ssdp"
+        nodes[0].send_frame(frame)
+        kernel.run()
+        assert sorted(got) == ["n1", "n2"]
+
+    def test_multicast_leave(self, kernel, network):
+        hub = network.add_hub("h", 1e6, 0.001)
+        a = network.add_node("a")
+        b = network.add_node("b")
+        a.attach(hub)
+        b.attach(hub)
+        b.join_multicast("g")
+        b.leave_multicast("g")
+        got = []
+        b.add_frame_handler(lambda f, i: got.append(f) or True)
+        frame = make_frame(a.address, None)
+        frame.multicast_group = "g"
+        a.send_frame(frame)
+        kernel.run()
+        assert got == []
+
+    def test_loss_rate_drops_frames_deterministically(self, kernel, network):
+        hub, a, b = self._two_nodes(network, loss_rate=0.5, seed=123)
+        got = []
+        b.add_frame_handler(lambda f, i: got.append(f) or True)
+        for _ in range(100):
+            a.send_frame(make_frame(a.address, b.address, size=10))
+        kernel.run()
+        assert 30 < len(got) < 70
+        assert hub.frames_dropped == 100 - len(got)
+
+    def test_unclaimed_frame_traced(self, kernel, network):
+        _, a, b = self._two_nodes(network)
+        a.send_frame(make_frame(a.address, b.address))
+        kernel.run()
+        assert network.trace.count("net.unclaimed") == 1
+
+    def test_medium_accounts_bytes_on_wire(self, kernel, network):
+        hub = network.add_hub("h", 1e6, 0.001, frame_overhead_bytes=38)
+        a = network.add_node("a")
+        b = network.add_node("b")
+        a.attach(hub)
+        b.attach(hub)
+        b.add_frame_handler(lambda f, i: True)
+        a.send_frame(make_frame(a.address, b.address, size=100))
+        kernel.run()
+        assert hub.bytes_transmitted == 138
+
+
+class TestForwarding:
+    def _dumbbell(self, network):
+        """Two segments joined by a forwarding node (multi-room topology)."""
+        left = network.add_hub("left", 1e6, 0.001)
+        right = network.add_hub("right", 1e6, 0.001)
+        a = network.add_node("a")
+        b = network.add_node("b")
+        router = network.add_node("router", forwards=True)
+        a.attach(left)
+        b.attach(right)
+        router.attach(left)
+        router.attach(right)
+        return a, b, router
+
+    def test_frame_forwarded_across_segments(self, kernel, network):
+        a, b, _ = self._dumbbell(network)
+        got = []
+        b.add_frame_handler(lambda f, i: got.append(f) or True)
+        a.send_frame(make_frame(a.address, b.address))
+        kernel.run()
+        assert len(got) == 1
+        assert got[0].hops == 1
+
+    def test_no_route_raises_at_sender(self, kernel, network):
+        hub1 = network.add_hub("h1", 1e6, 0.001)
+        hub2 = network.add_hub("h2", 1e6, 0.001)
+        a = network.add_node("a")
+        b = network.add_node("b")
+        a.attach(hub1)
+        b.attach(hub2)  # no router between the segments
+        with pytest.raises(NetworkError, match="no route"):
+            a.send_frame(make_frame(a.address, b.address))
+
+    def test_three_hop_chain(self, kernel, network):
+        hubs = [network.add_hub(f"h{i}", 1e6, 0.001) for i in range(3)]
+        a = network.add_node("a")
+        b = network.add_node("b")
+        r1 = network.add_node("r1", forwards=True)
+        r2 = network.add_node("r2", forwards=True)
+        a.attach(hubs[0])
+        r1.attach(hubs[0])
+        r1.attach(hubs[1])
+        r2.attach(hubs[1])
+        r2.attach(hubs[2])
+        b.attach(hubs[2])
+        got = []
+        b.add_frame_handler(lambda f, i: got.append(f) or True)
+        a.send_frame(make_frame(a.address, b.address))
+        kernel.run()
+        assert len(got) == 1
+        assert got[0].hops == 2
+
+    def test_multicast_stays_link_local(self, kernel, network):
+        a, b, router = self._dumbbell(network)
+        b.join_multicast("g")
+        router.join_multicast("g")
+        got = []
+        b.add_frame_handler(lambda f, i: got.append(f) or True)
+        frame = make_frame(a.address, None)
+        frame.multicast_group = "g"
+        a.send_frame(frame)
+        kernel.run()
+        assert got == []  # not forwarded off the left segment

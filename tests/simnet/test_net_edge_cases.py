@@ -1,0 +1,95 @@
+"""Edge cases in the network layer: hop budgets, dead-end forwarding."""
+
+import pytest
+
+from repro.simnet.net import Frame, MAX_HOPS
+
+
+def frame_between(a, b, size=100):
+    return Frame(
+        src=a.address, dst=b.address, protocol="raw", sport=1, dport=2,
+        payload="x", wire_size=size,
+    )
+
+
+class TestForwardingEdges:
+    def test_hop_budget_drops_looping_frames(self, kernel, network):
+        """Two forwarding nodes on shared segments bounce a frame for an
+        unroutable-but-advertised destination until the hop budget stops it."""
+        # Build a loop: r1 and r2 each attached to both hubs, target hangs
+        # off a third segment reachable only through a down router -- the
+        # frame ping-pongs between forwarders.
+        hub_a = network.add_hub("a", 1e7, 1e-4)
+        hub_b = network.add_hub("b", 1e7, 1e-4)
+        r1 = network.add_node("r1", forwards=True)
+        r2 = network.add_node("r2", forwards=True)
+        for router in (r1, r2):
+            router.attach(hub_a)
+            router.attach(hub_b)
+        sender = network.add_node("sender")
+        sender.attach(hub_a)
+        target_hub = network.add_hub("c", 1e7, 1e-4)
+        target = network.add_node("target")
+        target.attach(target_hub)
+        # r2 connects hub_b to the target's segment.
+        r2.attach(target_hub)
+
+        got = []
+        target.add_frame_handler(lambda f, i: got.append(f) or True)
+        sender.send_frame(frame_between(sender, target))
+        kernel.run()
+        # The frame does arrive (there is a path), within the hop budget.
+        assert len(got) == 1
+        assert got[0].hops <= MAX_HOPS
+
+    def test_unroutable_forward_is_traced(self, kernel, network):
+        hub_a = network.add_hub("a", 1e7, 1e-4)
+        hub_b = network.add_hub("b", 1e7, 1e-4)
+        router = network.add_node("router", forwards=True)
+        router.attach(hub_a)
+        router.attach(hub_b)
+        sender = network.add_node("sender")
+        sender.attach(hub_a)
+        orphan_hub = network.add_hub("orphan", 1e7, 1e-4)
+        orphan = network.add_node("orphan-node")
+        orphan.attach(orphan_hub)
+
+        # The sender cannot reach the orphan at all: error at the sender.
+        from repro.simnet.net import NetworkError
+
+        with pytest.raises(NetworkError, match="no route"):
+            sender.send_frame(frame_between(sender, orphan))
+
+    def test_route_cache_survives_repeated_sends(self, kernel, network):
+        hub = network.add_hub("h", 1e7, 1e-4)
+        a = network.add_node("a")
+        b = network.add_node("b")
+        a.attach(hub)
+        b.attach(hub)
+        got = []
+        b.add_frame_handler(lambda f, i: got.append(f) or True)
+        for _ in range(5):
+            a.send_frame(frame_between(a, b))
+        kernel.run()
+        assert len(got) == 5
+
+    def test_topology_change_invalidates_route_cache(self, kernel, network):
+        hub_a = network.add_hub("a", 1e7, 1e-4)
+        a = network.add_node("a")
+        a.attach(hub_a)
+        b = network.add_node("b")
+        hub_b = network.add_hub("b-seg", 1e7, 1e-4)
+        b.attach(hub_b)
+        from repro.simnet.net import NetworkError
+
+        with pytest.raises(NetworkError):
+            a.send_frame(frame_between(a, b))
+        # Now bridge the segments; the cached "no route" must not stick.
+        router = network.add_node("router", forwards=True)
+        router.attach(hub_a)
+        router.attach(hub_b)
+        got = []
+        b.add_frame_handler(lambda f, i: got.append(f) or True)
+        a.send_frame(frame_between(a, b))
+        kernel.run()
+        assert len(got) == 1

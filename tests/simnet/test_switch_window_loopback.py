@@ -1,0 +1,178 @@
+"""Unit tests for switched media, TCP send windows and loopback delivery."""
+
+import pytest
+
+from repro.simnet.net import Frame
+from repro.simnet.sockets import (
+    ConnectionClosed,
+    DatagramSocket,
+    StreamListener,
+    StreamSocket,
+)
+
+
+def make_frame(src, dst, size=1000):
+    return Frame(
+        src=src, dst=dst, protocol="raw", sport=1, dport=2,
+        payload="x", wire_size=size,
+    )
+
+
+class TestSwitch:
+    def test_concurrent_senders_do_not_contend(self, kernel, network):
+        """On a switch, two senders each get full line rate (unlike a hub)."""
+        switch = network.add_switch("sw", 1e6, 0.001)
+        nodes = [network.add_node(f"n{i}") for i in range(3)]
+        for node in nodes:
+            node.attach(switch)
+        arrivals = []
+        nodes[2].add_frame_handler(
+            lambda f, i: arrivals.append(kernel.now) or True
+        )
+        nodes[0].send_frame(make_frame(nodes[0].address, nodes[2].address))
+        nodes[1].send_frame(make_frame(nodes[1].address, nodes[2].address))
+        kernel.run()
+        # Both frames arrive simultaneously: serialization overlapped.
+        assert arrivals[0] == arrivals[1]
+
+    def test_same_sender_still_serializes(self, kernel, network):
+        switch = network.add_switch("sw", 1e6, 0.001)
+        a = network.add_node("a")
+        b = network.add_node("b")
+        a.attach(switch)
+        b.attach(switch)
+        arrivals = []
+        b.add_frame_handler(lambda f, i: arrivals.append(kernel.now) or True)
+        for _ in range(2):
+            a.send_frame(make_frame(a.address, b.address))
+        kernel.run()
+        tx = 1000 * 8 / 1e6
+        assert arrivals[1] - arrivals[0] == pytest.approx(tx)
+
+
+class TestLoopback:
+    def test_same_node_traffic_skips_the_wire(self, kernel, network, net_costs):
+        hub = network.add_hub("h", 1e6, 0.001, 38)
+        node = network.add_node("solo")
+        node.attach(hub)
+        sender = DatagramSocket(node, net_costs, port=100)
+        receiver = DatagramSocket(node, net_costs, port=200)
+        sender.sendto("hi", 50, node.address, 200)
+        kernel.run()
+        assert receiver.pending() == 1
+        assert hub.frames_transmitted == 0  # nothing on the wire
+
+    def test_local_stream_connection(self, kernel, network, net_costs):
+        hub = network.add_hub("h", 1e6, 0.001, 38)
+        node = network.add_node("solo")
+        node.attach(hub)
+        listener = StreamListener(node, net_costs, 80)
+
+        def server(k):
+            stream = yield listener.accept()
+            payload, size = yield stream.recv()
+            return payload
+
+        def client(k):
+            stream = yield StreamSocket.connect(
+                node, net_costs, node.address, 80
+            )
+            stream.send("loopback!", 100)
+            yield stream.drained()
+
+        server_process = kernel.process(server(kernel))
+        kernel.run_process(client(kernel))
+        kernel.run()
+        assert server_process.value == "loopback!"
+        assert hub.frames_transmitted == 0
+
+
+class TestSendWindow:
+    def test_inflight_segments_bounded_by_window(self, kernel, network, net_costs):
+        """A slow link cannot be pre-loaded beyond WINDOW segments."""
+        # Very slow full-duplex medium so acks do not contend with data.
+        slow = network.add_switch("slow", 120_000, 0.001, 0)
+        a = network.add_node("a")
+        b = network.add_node("b")
+        a.attach(slow)
+        b.attach(slow)
+        received = []
+
+        def server(k):
+            listener = StreamListener(b, net_costs, 80)
+            stream = yield listener.accept()
+            while True:
+                try:
+                    yield stream.recv()
+                    received.append(k.now)
+                except ConnectionClosed:
+                    return
+
+        def client(k):
+            stream = yield StreamSocket.connect(a, net_costs, b.address, 80)
+            stream.send(b"big", 500_000)  # ~343 segments
+            return stream
+
+        kernel.process(server(kernel))
+        stream = kernel.run_process(client(kernel))
+        kernel.run(until=kernel.now + 1.0)
+        # At most a window of segments can be unacknowledged.
+        assert len(stream._unacked) <= stream.WINDOW
+        # And the transfer is still progressing, not wedged.
+        before = stream._unacked[0].seq if stream._unacked else None
+        kernel.run(until=kernel.now + 2.0)
+        after = stream._unacked[0].seq if stream._unacked else None
+        assert before != after
+
+    def test_closing_sender_mid_transfer_stops_delivery(
+        self, kernel, network, net_costs
+    ):
+        slow = network.add_hub("slow", 120_000, 0.001, 0)
+        a = network.add_node("a")
+        b = network.add_node("b")
+        a.attach(slow)
+        b.attach(slow)
+        outcomes = []
+
+        def server(k):
+            listener = StreamListener(b, net_costs, 80)
+            stream = yield listener.accept()
+            try:
+                yield stream.recv()
+                outcomes.append("delivered")
+            except ConnectionClosed:
+                outcomes.append("aborted")
+
+        def client(k):
+            stream = yield StreamSocket.connect(a, net_costs, b.address, 80)
+            stream.send(b"big", 500_000)  # ~33 s at this rate
+            yield k.timeout(2.0)
+            stream.close()
+
+        kernel.process(server(kernel))
+        kernel.run_process(client(kernel))
+        kernel.run(until=kernel.now + 60.0)
+        assert outcomes == ["aborted"]
+
+
+class TestCancelRecv:
+    def test_cancelled_waiter_does_not_eat_datagrams(
+        self, kernel, lan, net_costs
+    ):
+        _, a, b = lan
+        receiver = DatagramSocket(b, net_costs, port=50)
+        abandoned = receiver.recv()
+        receiver.cancel_recv(abandoned)
+        sender = DatagramSocket(a, net_costs)
+        sender.sendto("fresh", 10, b.address, 50)
+        kernel.run()
+        # The datagram is queued for the next recv, not lost to the
+        # abandoned waiter.
+        assert receiver.pending() == 1
+        assert not abandoned.triggered
+
+    def test_cancel_unknown_event_is_noop(self, lan, net_costs):
+        _, _, b = lan
+        receiver = DatagramSocket(b, net_costs, port=51)
+        event = receiver.kernel.event()
+        receiver.cancel_recv(event)  # must not raise

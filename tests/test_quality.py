@@ -1,0 +1,54 @@
+"""Repository quality gates: documentation and API hygiene."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def all_repro_modules():
+    names = ["repro"]
+    for module_info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(module_info.name)
+    return names
+
+
+MODULES = all_repro_modules()
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_every_module_has_a_docstring(name):
+    module = importlib.import_module(name)
+    assert module.__doc__ and module.__doc__.strip(), f"{name} lacks a docstring"
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_every_module_imports_cleanly(name):
+    importlib.import_module(name)
+
+
+@pytest.mark.parametrize(
+    "name",
+    [n for n in MODULES if not n.endswith("__main__")],
+)
+def test_all_exports_resolve(name):
+    """Every name in __all__ must actually exist in the module."""
+    module = importlib.import_module(name)
+    for export in getattr(module, "__all__", []):
+        assert hasattr(module, export), f"{name}.__all__ lists missing {export!r}"
+
+
+def test_public_classes_have_docstrings():
+    import inspect
+
+    undocumented = []
+    for name in MODULES:
+        module = importlib.import_module(name)
+        for attr_name in getattr(module, "__all__", []):
+            attr = getattr(module, attr_name, None)
+            if inspect.isclass(attr) and attr.__module__ == name:
+                if not (attr.__doc__ and attr.__doc__.strip()):
+                    undocumented.append(f"{name}.{attr_name}")
+    assert undocumented == [], f"undocumented public classes: {undocumented}"
