@@ -1,0 +1,138 @@
+"""Chaos recovery benchmark: time-to-rebind and message loss under faults.
+
+The paper's evaluation (Section 5) measures the bridge on a healthy LAN;
+this benchmark measures what the paper only claims qualitatively
+(Section 3.5's adaptive re-binding): how quickly a standing
+``connect(Port, Query)`` template recovers when the runtime hosting the
+bound translator crashes or the segment partitions, and how many data
+messages are lost across the fault window.
+
+Scenarios (all on the Section 5 two-host LAN, one message every 0.5 s):
+
+- ``crash < lease``: the peer restarts before its directory lease expires.
+  The binding never unbinds; the transport spools and retries, so at most
+  the single message in flight at the crash instant is lost.
+- ``crash > lease``: the lease expires mid-outage, the template unbinds,
+  and must re-bind after restart.  Loss is bounded by the unbound window.
+- ``partition > lease``: same, but the network heals rather than the peer.
+
+Every scenario is driven by a deterministic fault plan on the simulated
+clock, so the numbers are identical run to run.
+"""
+
+from repro.chaos import FaultPlan, RecoveryReport, first_record_after
+from repro.core.directory import ANNOUNCE_INTERVAL, LEASE
+from repro.core.messages import UMessage
+from repro.core.query import Query
+from repro.core.translator import Translator
+from repro.testbed import build_testbed
+
+CRASH_AT = 2.0  # seconds after the binding is established
+MESSAGES = 80
+SEND_INTERVAL = 0.5
+
+
+def run_scenario(name, make_fault, horizon=90.0):
+    """Two runtimes, a standing binding r1 -> r2, one fault, a drip feed."""
+    bed = build_testbed(hosts=["h1", "h2"])
+    r1 = bed.add_runtime("h1")
+    r2 = bed.add_runtime("h2")
+
+    received = []
+    sink = Translator("display", role="display")
+    sink.add_digital_input("data-in", "text/plain", received.append)
+    r2.register_translator(sink)
+    source = Translator("feed", role="sensor")
+    out = source.add_digital_output("data-out", "text/plain")
+    r1.register_translator(source)
+
+    bed.settle(1.0)
+    binding = r1.connect_query(out, Query(role="display"))
+    assert binding.path_count == 1
+
+    plan = FaultPlan()
+    fault = make_fault(plan, bed, r2)
+    bed.add_chaos(plan)
+
+    def sender():
+        for index in range(MESSAGES):
+            out.send(UMessage("text/plain", f"m{index}", 100))
+            yield bed.kernel.timeout(SEND_INTERVAL)
+
+    bed.kernel.process(sender(), name="drip")
+    bed.settle(horizon)
+
+    rebound = first_record_after(bed.trace, "binding.bound", fault.healed_at)
+    report = RecoveryReport(
+        scenario=name,
+        fault=fault.describe(),
+        healed_at=fault.healed_at,
+        rebound_at=None if rebound is None else rebound.time,
+        messages_sent=MESSAGES,
+        messages_received=len(received),
+    )
+    return report, bed, binding
+
+
+def crash(restart_after):
+    def make(plan, bed, r2):
+        return plan.runtime_crash(r2, at=CRASH_AT, restart_after=restart_after)
+
+    return make
+
+
+def partition(duration):
+    def make(plan, bed, r2):
+        return plan.network_partition(
+            bed.lan, [["h1"], ["h2"]], at=CRASH_AT, duration=duration
+        )
+
+    return make
+
+
+def test_chaos_recovery(benchmark, compare):
+    short = LEASE / 3.0           # heals well inside the lease
+    long = LEASE + 10.0           # forces an unbind
+
+    def run_all():
+        return [
+            run_scenario("crash < lease", crash(short)),
+            run_scenario("crash > lease", crash(long)),
+            run_scenario("partition > lease", partition(long)),
+        ]
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    compare(
+        "Chaos recovery: standing-binding self-healing under faults",
+        ["scenario", "fault", "time-to-rebind", "sent", "received", "loss"],
+        [report.row() for report, _, _ in results],
+    )
+
+    (within, bed_w, binding_w), (past, bed_p, binding_p), (part, bed_n, binding_n) = (
+        results
+    )
+
+    # Crash within the lease: never unbound, spool + retry preserve
+    # everything except (at most) the single in-flight message.
+    assert bed_w.trace.count("binding.unbound") == 0
+    assert binding_w.path_count == 1
+    assert within.messages_lost <= 1
+
+    for report, bed, binding in (
+        (past, bed_p, binding_p),
+        (part, bed_n, binding_n),
+    ):
+        # The template re-bound, promptly: within two announce intervals
+        # of the fault healing.
+        assert report.rebound_at is not None, f"{report.scenario} never rebound"
+        assert report.time_to_rebind < 2 * ANNOUNCE_INTERVAL
+        assert binding.path_count == 1
+        # Loss is bounded by the unbound window (lease expiry -> rebind),
+        # plus the in-flight message: nothing else may be dropped.
+        unbound_at = first_record_after(bed.trace, "binding.unbound", 0.0).time
+        unbound_window = report.rebound_at - unbound_at
+        bound_on_loss = unbound_window / SEND_INTERVAL + 2
+        assert report.messages_lost <= bound_on_loss
+        # And the fault was survivable at all: most messages arrived.
+        assert report.loss_ratio < 0.5

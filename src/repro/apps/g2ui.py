@@ -17,14 +17,13 @@ camera serve as the source for the TV" works across platforms unchanged.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.errors import UMiddleError
 from repro.core.profile import TranslatorProfile
 from repro.core.query import Query
 from repro.core.runtime import UMiddleRuntime
-from repro.core.shapes import DigitalType
 
 __all__ = ["G2Error", "Region", "Gadget", "GeoEvent", "G2Space"]
 

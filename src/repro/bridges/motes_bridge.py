@@ -12,7 +12,6 @@ from __future__ import annotations
 from typing import Callable, Dict, Generator, Optional
 
 from repro.bridges.usdl_library import KNOWN_DOCUMENTS, MIME_SENSOR
-from repro.core.errors import TranslationError
 from repro.core.mapper import Mapper
 from repro.core.messages import UMessage
 from repro.core.translator import NativeHandle

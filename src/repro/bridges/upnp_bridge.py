@@ -10,7 +10,7 @@ unmapped.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Generator, List, Optional
+from typing import Callable, Dict, Generator, List
 
 from repro.bridges.usdl_library import KNOWN_DOCUMENTS
 from repro.core.mapper import Mapper
@@ -140,6 +140,8 @@ class UPnPMapper(Mapper):
             yield self.runtime.kernel.timeout(self.search_interval)
 
     def _on_presence(self, kind: str, device: DiscoveredDevice) -> None:
+        if self.suspended:
+            return  # a stalled/crashed mapper is deaf to notifications too
         if kind == "alive":
             if device.usn not in self._mapped and device.usn not in self._pending:
                 self._pending.add(device.usn)

@@ -9,7 +9,7 @@ Section 3.4 end to end.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Generator, List, Optional, Tuple
+from typing import Callable, Dict, Generator, List, Tuple
 
 from repro.core.mapper import Mapper
 from repro.core.messages import UMessage

@@ -1,0 +1,53 @@
+"""Deterministic fault injection and self-healing verification.
+
+The paper's dynamic device binding (Section 3.5) claims that a standing
+``connect(Port, Query)`` template *re-binds adaptively as translators
+appear and disappear* -- a claim that can only be tested by actually making
+things disappear.  This package provides that adversary:
+
+- :mod:`repro.chaos.faults` -- typed faults: link degradation and outage,
+  network partitions, uMiddle runtime crash/restart, native device and
+  host churn, mapper stalls.
+- :mod:`repro.chaos.controller` -- :class:`FaultPlan` schedules (hand-built
+  or seeded via :func:`random_plan`) executed by a :class:`ChaosController`
+  on the simulation kernel, with every injection and recovery emitted to
+  the trace.
+- :mod:`repro.chaos.metrics` -- time-to-rebind and message-loss extraction
+  from the combined trace, for the chaos recovery benchmark.
+
+Everything is driven by the deterministic sim kernel: the same plan (or
+the same ``random_plan`` seed) against the same topology replays an
+identical trace, so chaos results are exactly reproducible.
+"""
+
+from repro.chaos.controller import ChaosController, FaultPlan, random_plan
+from repro.chaos.faults import (
+    ChaosError,
+    DeviceChurn,
+    Fault,
+    LinkDegrade,
+    LinkOutage,
+    MapperStall,
+    NetworkPartition,
+    NodeChurn,
+    RuntimeCrash,
+)
+from repro.chaos.metrics import RecoveryReport, first_record_after, time_to_rebind
+
+__all__ = [
+    "ChaosError",
+    "Fault",
+    "LinkDegrade",
+    "LinkOutage",
+    "NetworkPartition",
+    "RuntimeCrash",
+    "NodeChurn",
+    "DeviceChurn",
+    "MapperStall",
+    "FaultPlan",
+    "ChaosController",
+    "random_plan",
+    "RecoveryReport",
+    "first_record_after",
+    "time_to_rebind",
+]

@@ -1,0 +1,229 @@
+"""Fault scheduling: plans and the controller that executes them.
+
+A :class:`FaultPlan` is an ordered collection of
+:class:`~repro.chaos.faults.Fault` objects with builder conveniences; a
+:class:`ChaosController` arms a plan against a running simulation,
+scheduling each injection and recovery on the kernel and emitting
+``chaos.inject`` / ``chaos.heal`` records to the network's
+:class:`~repro.simnet.trace.TraceRecorder` so recovery behaviour is fully
+observable (and comparable across runs -- the determinism tests diff these
+records between replays).
+
+:func:`random_plan` derives a reproducible plan from an integer seed, for
+soak-style chaos runs over any testbed topology.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Iterator, List, Optional, TYPE_CHECKING
+
+from repro.chaos.faults import (
+    ChaosError,
+    DeviceChurn,
+    Fault,
+    LinkDegrade,
+    LinkOutage,
+    MapperStall,
+    NetworkPartition,
+    NodeChurn,
+    RuntimeCrash,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simnet.kernel import Kernel
+    from repro.simnet.trace import TraceRecorder
+
+__all__ = ["FaultPlan", "ChaosController", "random_plan"]
+
+
+class FaultPlan:
+    """An ordered schedule of faults.
+
+    Faults can be appended directly with :meth:`add`, or through the typed
+    builder methods, which return the created fault::
+
+        plan = FaultPlan()
+        plan.link_outage(lan, at=5.0, duration=2.0)
+        plan.runtime_crash(runtime, at=10.0, restart_after=8.0)
+    """
+
+    def __init__(self, faults: Iterable[Fault] = ()):
+        self.faults: List[Fault] = list(faults)
+
+    def add(self, fault: Fault) -> Fault:
+        self.faults.append(fault)
+        return fault
+
+    # -- builders -------------------------------------------------------------
+
+    def link_degrade(self, medium, at: float, duration: float, **properties) -> LinkDegrade:
+        return self.add(LinkDegrade(medium, at, duration, **properties))
+
+    def link_outage(self, medium, at: float, duration: Optional[float] = None) -> LinkOutage:
+        return self.add(LinkOutage(medium, at, duration))
+
+    def network_partition(
+        self, medium, groups, at: float, duration: Optional[float] = None
+    ) -> NetworkPartition:
+        return self.add(NetworkPartition(medium, groups, at, duration))
+
+    def runtime_crash(
+        self, runtime, at: float, restart_after: Optional[float] = None
+    ) -> RuntimeCrash:
+        return self.add(RuntimeCrash(runtime, at, restart_after))
+
+    def node_churn(self, node, at: float, duration: Optional[float] = None) -> NodeChurn:
+        return self.add(NodeChurn(node, at, duration))
+
+    def device_churn(
+        self, at: float, down, up=None, duration: Optional[float] = None, name: str = "device"
+    ) -> DeviceChurn:
+        return self.add(DeviceChurn(at, down, up=up, duration=duration, name=name))
+
+    def mapper_stall(self, mapper, at: float, duration: Optional[float] = None) -> MapperStall:
+        return self.add(MapperStall(mapper, at, duration))
+
+    # -- inspection ------------------------------------------------------------
+
+    @property
+    def horizon(self) -> float:
+        """Latest scheduled activity (inject or heal) in the plan."""
+        horizon = 0.0
+        for fault in self.faults:
+            end = fault.at + (fault.duration or 0.0)
+            horizon = max(horizon, end)
+        return horizon
+
+    def __iter__(self) -> Iterator[Fault]:
+        return iter(self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+
+class ChaosController:
+    """Executes a :class:`FaultPlan` against a running simulation.
+
+    ``arm()`` schedules every fault relative to the current simulated time;
+    the simulation is then driven normally (``testbed.settle`` or
+    ``kernel.run``) and faults fire on schedule.  Every injection and
+    recovery is stamped on the fault object and emitted to the trace.
+    """
+
+    def __init__(self, kernel: "Kernel", trace: "TraceRecorder", plan: FaultPlan):
+        self.kernel = kernel
+        self.trace = trace
+        self.plan = plan
+        self.armed = False
+        self.injected: List[Fault] = []
+        self.healed: List[Fault] = []
+
+    def arm(self) -> "ChaosController":
+        """Schedule the plan's faults; idempotent."""
+        if self.armed:
+            return self
+        self.armed = True
+        # Deterministic ordering: schedule in (time, plan-order) order.
+        for fault in sorted(self.plan, key=lambda f: f.at):
+            self.kernel.call_later(fault.at, lambda f=fault: self._inject(f))
+        return self
+
+    def _inject(self, fault: Fault) -> None:
+        fault.injected_at = self.kernel.now
+        self.injected.append(fault)
+        self.trace.emit(
+            "chaos.inject",
+            fault.describe(),
+            fault=fault.label,
+            duration=fault.duration,
+        )
+        fault.inject()
+        if fault.duration is not None:
+            self.kernel.call_later(fault.duration, lambda: self._heal(fault))
+
+    def _heal(self, fault: Fault) -> None:
+        fault.healed_at = self.kernel.now
+        self.healed.append(fault)
+        self.trace.emit("chaos.heal", fault.describe(), fault=fault.label)
+        fault.heal()
+
+    # -- inspection ------------------------------------------------------------
+
+    @property
+    def outstanding(self) -> int:
+        """Faults injected but not (yet) healed."""
+        return len(self.injected) - len(self.healed)
+
+
+def random_plan(
+    seed: int,
+    horizon: float,
+    media: Iterable = (),
+    runtimes: Iterable = (),
+    nodes: Iterable = (),
+    mappers: Iterable = (),
+    fault_count: int = 8,
+    min_duration: float = 1.0,
+    max_duration: float = 10.0,
+) -> FaultPlan:
+    """Derive a reproducible fault schedule from an integer seed.
+
+    Targets are drawn uniformly from whichever of ``media``, ``runtimes``,
+    ``nodes`` and ``mappers`` are non-empty; times are uniform over
+    ``[0, horizon)`` and durations over ``[min_duration, max_duration)``.
+    The same seed and target lists always produce the identical plan, so a
+    seeded chaos run is exactly replayable.
+    """
+    if horizon <= 0:
+        raise ChaosError("random_plan horizon must be positive")
+    if fault_count < 1:
+        raise ChaosError("random_plan needs fault_count >= 1")
+    media = list(media)
+    runtimes = list(runtimes)
+    nodes = list(nodes)
+    mappers = list(mappers)
+    kinds = []
+    if media:
+        kinds += ["outage", "degrade", "partition"]
+    if runtimes:
+        kinds += ["crash"]
+    if nodes:
+        kinds += ["node"]
+    if mappers:
+        kinds += ["stall"]
+    if not kinds:
+        raise ChaosError("random_plan needs at least one target population")
+
+    rng = random.Random(seed)
+    plan = FaultPlan()
+    for _ in range(fault_count):
+        kind = rng.choice(kinds)
+        at = rng.uniform(0.0, horizon)
+        duration = rng.uniform(min_duration, max_duration)
+        if kind == "outage":
+            plan.link_outage(rng.choice(media), at=at, duration=duration)
+        elif kind == "degrade":
+            plan.link_degrade(
+                rng.choice(media),
+                at=at,
+                duration=duration,
+                loss_rate=round(rng.uniform(0.05, 0.4), 3),
+            )
+        elif kind == "partition":
+            medium = rng.choice(media)
+            names = sorted(interface.node.name for interface in medium.interfaces)
+            if len(names) < 2:
+                plan.link_outage(medium, at=at, duration=duration)
+                continue
+            cut = rng.randrange(1, len(names))
+            plan.network_partition(
+                medium, [names[:cut], names[cut:]], at=at, duration=duration
+            )
+        elif kind == "crash":
+            plan.runtime_crash(rng.choice(runtimes), at=at, restart_after=duration)
+        elif kind == "node":
+            plan.node_churn(rng.choice(nodes), at=at, duration=duration)
+        elif kind == "stall":
+            plan.mapper_stall(rng.choice(mappers), at=at, duration=duration)
+    return plan

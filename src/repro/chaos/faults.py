@@ -1,0 +1,275 @@
+"""Fault definitions for the chaos subsystem.
+
+Each fault is a small object with an injection time (``at``, seconds after
+the controlling :class:`~repro.chaos.controller.ChaosController` is armed),
+an optional ``duration`` after which it heals, and ``inject()``/``heal()``
+methods that flip the corresponding switch in the simulation:
+
+- :class:`LinkDegrade` -- temporarily worsen a medium's loss/latency/
+  bandwidth (and restore the originals on heal).
+- :class:`LinkOutage` -- take a medium down entirely.
+- :class:`NetworkPartition` -- split one segment into isolated groups.
+- :class:`RuntimeCrash` -- crash a uMiddle runtime abruptly; ``duration``
+  is the restart delay (``None`` = it stays dead).
+- :class:`NodeChurn` -- power-cycle a simulated host (native device churn
+  at the hardware level).
+- :class:`DeviceChurn` -- power-cycle a platform device through arbitrary
+  ``down``/``up`` callables (platform stacks expose different power APIs).
+- :class:`MapperStall` -- suspend a mapper's discovery loop.
+
+Faults never use wall-clock randomness themselves; combined with the
+deterministic sim kernel and seeded media loss, an identical
+:class:`~repro.chaos.controller.FaultPlan` replays an identical trace.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.mapper import Mapper
+    from repro.core.runtime import UMiddleRuntime
+    from repro.simnet.net import Medium, Node
+
+__all__ = [
+    "ChaosError",
+    "Fault",
+    "LinkDegrade",
+    "LinkOutage",
+    "NetworkPartition",
+    "RuntimeCrash",
+    "NodeChurn",
+    "DeviceChurn",
+    "MapperStall",
+]
+
+
+class ChaosError(Exception):
+    """Raised for malformed fault plans (negative times, bad targets...)."""
+
+
+class Fault:
+    """Base class: one scheduled fault with an optional recovery.
+
+    ``at`` is relative to the moment the controller is armed; ``duration``
+    (when given) schedules :meth:`heal` that many seconds after injection.
+    """
+
+    def __init__(self, at: float, duration: Optional[float] = None):
+        if at < 0:
+            raise ChaosError(f"fault time must be non-negative, got {at}")
+        if duration is not None and duration < 0:
+            raise ChaosError(f"fault duration must be non-negative, got {duration}")
+        self.at = at
+        self.duration = duration
+        #: Simulated times stamped by the controller.
+        self.injected_at: Optional[float] = None
+        self.healed_at: Optional[float] = None
+
+    @property
+    def label(self) -> str:
+        return type(self).__name__
+
+    def describe(self) -> str:
+        """One-line human description (used in trace records)."""
+        return self.label
+
+    def inject(self) -> None:
+        raise NotImplementedError
+
+    def heal(self) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{self.describe()} at={self.at} duration={self.duration}>"
+
+
+class LinkDegrade(Fault):
+    """Degrade a medium's properties for a while, then restore them."""
+
+    def __init__(
+        self,
+        medium: "Medium",
+        at: float,
+        duration: float,
+        loss_rate: Optional[float] = None,
+        latency_s: Optional[float] = None,
+        bandwidth_bps: Optional[float] = None,
+    ):
+        if loss_rate is None and latency_s is None and bandwidth_bps is None:
+            raise ChaosError("LinkDegrade needs at least one property to degrade")
+        if loss_rate is not None and not 0.0 <= loss_rate <= 1.0:
+            raise ChaosError(f"loss_rate must be in [0, 1], got {loss_rate}")
+        if latency_s is not None and latency_s < 0:
+            raise ChaosError(f"latency_s must be non-negative, got {latency_s}")
+        if bandwidth_bps is not None and bandwidth_bps <= 0:
+            raise ChaosError(f"bandwidth_bps must be positive, got {bandwidth_bps}")
+        super().__init__(at, duration)
+        self.medium = medium
+        self.loss_rate = loss_rate
+        self.latency_s = latency_s
+        self.bandwidth_bps = bandwidth_bps
+        self._saved: dict = {}
+
+    def describe(self) -> str:
+        parts = []
+        if self.loss_rate is not None:
+            parts.append(f"loss={self.loss_rate}")
+        if self.latency_s is not None:
+            parts.append(f"latency={self.latency_s}")
+        if self.bandwidth_bps is not None:
+            parts.append(f"bw={self.bandwidth_bps}")
+        return f"degrade {self.medium.name} ({', '.join(parts)})"
+
+    def inject(self) -> None:
+        self._saved = {
+            "loss_rate": self.medium.loss_rate,
+            "latency_s": self.medium.latency_s,
+            "bandwidth_bps": self.medium.bandwidth_bps,
+        }
+        if self.loss_rate is not None:
+            self.medium.set_loss_rate(self.loss_rate)
+        if self.latency_s is not None:
+            self.medium.set_latency(self.latency_s)
+        if self.bandwidth_bps is not None:
+            self.medium.set_bandwidth(self.bandwidth_bps)
+
+    def heal(self) -> None:
+        if self.loss_rate is not None:
+            self.medium.set_loss_rate(self._saved["loss_rate"])
+        if self.latency_s is not None:
+            self.medium.set_latency(self._saved["latency_s"])
+        if self.bandwidth_bps is not None:
+            self.medium.set_bandwidth(self._saved["bandwidth_bps"])
+
+
+class LinkOutage(Fault):
+    """Total outage of one medium: every frame offered to it is dropped."""
+
+    def __init__(self, medium: "Medium", at: float, duration: Optional[float] = None):
+        super().__init__(at, duration)
+        self.medium = medium
+
+    def describe(self) -> str:
+        return f"outage {self.medium.name}"
+
+    def inject(self) -> None:
+        self.medium.set_up(False)
+
+    def heal(self) -> None:
+        self.medium.set_up(True)
+
+
+class NetworkPartition(Fault):
+    """Split a segment into isolated groups of node names, then heal."""
+
+    def __init__(
+        self,
+        medium: "Medium",
+        groups: List,
+        at: float,
+        duration: Optional[float] = None,
+    ):
+        if not groups:
+            raise ChaosError("NetworkPartition needs at least one group")
+        super().__init__(at, duration)
+        self.medium = medium
+        self.groups = [list(group) for group in groups]
+
+    def describe(self) -> str:
+        return f"partition {self.medium.name} into {len(self.groups)} group(s)"
+
+    def inject(self) -> None:
+        self.medium.partition(self.groups)
+
+    def heal(self) -> None:
+        self.medium.heal()
+
+
+class RuntimeCrash(Fault):
+    """Crash a uMiddle runtime; ``duration`` is the restart delay."""
+
+    def __init__(
+        self, runtime: "UMiddleRuntime", at: float, restart_after: Optional[float] = None
+    ):
+        super().__init__(at, restart_after)
+        self.runtime = runtime
+
+    def describe(self) -> str:
+        return f"crash {self.runtime.runtime_id}"
+
+    def inject(self) -> None:
+        self.runtime.crash()
+
+    def heal(self) -> None:
+        self.runtime.restart()
+
+
+class NodeChurn(Fault):
+    """Power-cycle a simulated host (it drops all traffic while down)."""
+
+    def __init__(self, node: "Node", at: float, duration: Optional[float] = None):
+        super().__init__(at, duration)
+        self.node = node
+
+    def describe(self) -> str:
+        return f"power-cycle node {self.node.name}"
+
+    def inject(self) -> None:
+        self.node.set_up(False)
+
+    def heal(self) -> None:
+        self.node.set_up(True)
+
+
+class DeviceChurn(Fault):
+    """Power-cycle a native platform device through explicit callables.
+
+    Platform stacks expose different power APIs (``power_off``, ``vanish``,
+    ``stop``...), so this fault takes the down/up actions directly::
+
+        DeviceChurn(at=5.0, duration=10.0, name="camera",
+                    down=camera.power_off, up=camera.power_on)
+    """
+
+    def __init__(
+        self,
+        at: float,
+        down: Callable[[], None],
+        up: Optional[Callable[[], None]] = None,
+        duration: Optional[float] = None,
+        name: str = "device",
+    ):
+        if duration is not None and up is None:
+            raise ChaosError("DeviceChurn with a duration needs an `up` callable")
+        super().__init__(at, duration)
+        self.down = down
+        self.up = up
+        self.name = name
+
+    def describe(self) -> str:
+        return f"churn device {self.name}"
+
+    def inject(self) -> None:
+        self.down()
+
+    def heal(self) -> None:
+        if self.up is not None:
+            self.up()
+
+
+class MapperStall(Fault):
+    """Suspend a mapper's discovery loop; resume on heal."""
+
+    def __init__(self, mapper: "Mapper", at: float, duration: Optional[float] = None):
+        super().__init__(at, duration)
+        self.mapper = mapper
+
+    def describe(self) -> str:
+        return f"stall {self.mapper.platform} mapper"
+
+    def inject(self) -> None:
+        self.mapper.suspend()
+
+    def heal(self) -> None:
+        self.mapper.resume()

@@ -1,0 +1,89 @@
+"""Recovery metrics extracted from simulation traces.
+
+The chaos controller stamps ``chaos.inject`` / ``chaos.heal`` records; the
+directory, binding and transport layers emit their own recovery records
+(``binding.bound``, ``directory.runtime-expired``, ``transport.retry``...).
+These helpers turn the combined trace into the numbers the chaos benchmark
+tracks alongside the paper's Figure 10/11 results: *time-to-rebind* after a
+fault heals, and *message loss* across a fault window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simnet.trace import TraceRecord, TraceRecorder
+
+__all__ = ["first_record_after", "time_to_rebind", "RecoveryReport"]
+
+
+def first_record_after(
+    trace: "TraceRecorder",
+    category: str,
+    after: float,
+    message_contains: Optional[str] = None,
+) -> Optional["TraceRecord"]:
+    """The earliest record of ``category`` at or after time ``after``."""
+    for record in trace.records(category):
+        if record.time < after:
+            continue
+        if message_contains is not None and message_contains not in record.message:
+            continue
+        return record
+    return None
+
+
+def time_to_rebind(
+    trace: "TraceRecorder",
+    after: float,
+    message_contains: Optional[str] = None,
+) -> Optional[float]:
+    """Seconds from ``after`` until the next ``binding.bound`` record.
+
+    ``None`` when the standing query never re-bound -- the failure case the
+    chaos suite asserts against.
+    """
+    record = first_record_after(trace, "binding.bound", after, message_contains)
+    return None if record is None else record.time - after
+
+
+@dataclass
+class RecoveryReport:
+    """One scenario's recovery outcome, for benchmark tables."""
+
+    scenario: str
+    fault: str
+    healed_at: float
+    rebound_at: Optional[float]
+    messages_sent: int
+    messages_received: int
+
+    @property
+    def time_to_rebind(self) -> Optional[float]:
+        if self.rebound_at is None:
+            return None
+        return self.rebound_at - self.healed_at
+
+    @property
+    def messages_lost(self) -> int:
+        return self.messages_sent - self.messages_received
+
+    @property
+    def loss_ratio(self) -> float:
+        if self.messages_sent == 0:
+            return 0.0
+        return self.messages_lost / self.messages_sent
+
+    def row(self) -> List:
+        """A benchmark-table row: scenario, fault, rebind, sent/recv/loss."""
+        ttr = self.time_to_rebind
+        return [
+            self.scenario,
+            self.fault,
+            "never" if ttr is None else f"{ttr * 1000:.1f} ms",
+            self.messages_sent,
+            self.messages_received,
+            f"{self.loss_ratio * 100:.1f}%",
+        ]

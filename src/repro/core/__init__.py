@@ -48,7 +48,6 @@ from repro.core.usdl import UsdlBinding, UsdlDocument, UsdlPort, parse_usdl
 from repro.core.ports import DigitalInputPort, DigitalOutputPort, PhysicalPort
 from repro.core.translator import GenericTranslator, NativeHandle, Translator
 from repro.core.mapper import Mapper
-from repro.core.query import Query  # noqa: F811  (re-export convenience)
 from repro.core.qos import DropPolicy, QosPolicy, TokenBucket
 from repro.core.runtime import UMiddleRuntime
 

@@ -16,18 +16,16 @@ template-based connection request.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Union, TYPE_CHECKING
+from typing import Dict, List, Union, TYPE_CHECKING
 
 from repro.core.directory import DirectoryListener
 from repro.core.errors import BindingError
 from repro.core.ports import DigitalInputPort, DigitalOutputPort
-from repro.core.profile import PortRef, TranslatorProfile
+from repro.core.profile import TranslatorProfile
 from repro.core.query import Query
-from repro.core.shapes import Direction
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.runtime import UMiddleRuntime
-    from repro.core.transport import MessagePath, RemotePathHandle
 
 __all__ = ["DynamicBinding"]
 
@@ -108,6 +106,25 @@ class DynamicBinding(DirectoryListener):
                 f"({len(paths)} path(s))",
             )
 
+    def refresh(self) -> None:
+        """Re-evaluate the template against the directory.
+
+        Prunes bindings whose concrete paths have been torn down underneath
+        us (a runtime crash closes every path without notifying bindings)
+        and re-binds anything currently matching -- the self-healing step a
+        restarted runtime runs for its standing templates.
+        """
+        if self.closed:
+            return
+        for translator_id, paths in list(self._bound.items()):
+            live = [path for path in paths if not path.closed]
+            if live:
+                self._bound[translator_id] = live
+            else:
+                del self._bound[translator_id]
+        for profile in self.runtime.directory.lookup(self.query):
+            self._bind_profile(profile)
+
     # -- inspection --------------------------------------------------------------
 
     @property
@@ -124,6 +141,7 @@ class DynamicBinding(DirectoryListener):
             return
         self.closed = True
         self.runtime.directory.remove_directory_listener(self)
+        self.runtime._forget_binding(self)
         for paths in self._bound.values():
             for path in paths:
                 path.close()

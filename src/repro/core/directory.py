@@ -17,7 +17,7 @@ remote entries are soft state with a lease, so crashed runtimes age out.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Generator, List, Optional, Set, TYPE_CHECKING
+from typing import Callable, Dict, Generator, List, Optional, TYPE_CHECKING
 
 from repro.core.errors import DirectoryError
 from repro.core.profile import TranslatorProfile
@@ -117,8 +117,12 @@ class Directory:
         kernel.process(self._sweeper(), name=f"dir-sweep:{self.runtime.runtime_id}")
 
     def stop(self) -> None:
+        """Stop announcing and listening; :meth:`start` may be called again
+        (a restarted runtime re-advertises its full local state at once)."""
+        self.started = False
         if self._socket is not None:
             self._socket.close()
+            self._socket = None
 
     # -- Figure 6 API ------------------------------------------------------------
 
@@ -184,6 +188,43 @@ class Directory:
 
     def known_runtimes(self) -> List[RuntimeInfo]:
         return list(self._runtimes.values())
+
+    # -- failure handling --------------------------------------------------------------
+
+    def expire_runtime(self, runtime_id: str, reason: str = "unreachable") -> None:
+        """Crash-triggered lease reaping: drop a peer and its translators
+        *now* instead of waiting for the lease sweeper.
+
+        Called by the transport module once a peer is conclusively
+        unreachable (its delivery retry budget is exhausted), so standing
+        bindings re-evaluate promptly rather than after a full lease.
+        """
+        if runtime_id == self.runtime.runtime_id:
+            return
+        info = self._runtimes.pop(runtime_id, None)
+        reaped = 0
+        for translator_id, entry in list(self._entries.items()):
+            if not entry.local and entry.profile.runtime_id == runtime_id:
+                del self._entries[translator_id]
+                self._notify_removed(entry.profile)
+                reaped += 1
+        if info is not None or reaped:
+            self.runtime.trace(
+                "directory.runtime-expired",
+                f"{runtime_id}: {reason} ({reaped} entries reaped)",
+                reaped=reaped,
+            )
+
+    def forget_remote(self) -> None:
+        """Drop every soft-state entry learned from peers (crash semantics:
+        a crashed runtime loses its in-memory view of the federation and
+        re-learns it from gossip after restart).  Listeners are notified so
+        standing bindings unbind their now-unknown remote endpoints."""
+        for translator_id, entry in list(self._entries.items()):
+            if not entry.local:
+                del self._entries[translator_id]
+                self._notify_removed(entry.profile)
+        self._runtimes.clear()
 
     # -- federation ------------------------------------------------------------------------
 
@@ -262,13 +303,15 @@ class Directory:
 
     def _announcer(self) -> Generator:
         kernel = self.runtime.kernel
-        while self._socket is not None and not self._socket.closed:
+        socket = self._socket
+        while socket is not None and not socket.closed:
             self._announce(full=True)
             yield kernel.timeout(ANNOUNCE_INTERVAL)
 
     def _sweeper(self) -> Generator:
         kernel = self.runtime.kernel
-        while self._socket is not None and not self._socket.closed:
+        socket = self._socket
+        while socket is not None and not socket.closed:
             yield kernel.timeout(SWEEP_INTERVAL)
             deadline = kernel.now - LEASE
             for translator_id, entry in list(self._entries.items()):
@@ -285,9 +328,10 @@ class Directory:
     def _receiver(self) -> Generator:
         kernel = self.runtime.kernel
         per_entry = self.runtime.calibration.umiddle.directory_entry_s
-        while True:
+        socket = self._socket
+        while socket is not None and not socket.closed:
             try:
-                datagram = yield self._socket.recv()
+                datagram = yield socket.recv()
             except ConnectionClosed:
                 return
             payload = datagram.payload

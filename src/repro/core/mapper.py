@@ -39,6 +39,9 @@ class Mapper:
         #: this is the data series of Figure 10.
         self.mapping_durations: Dict[str, List[float]] = {}
         self.started = False
+        #: True while suspended (crash/stall): subclasses must also ignore
+        #: passive discovery events (e.g. SSDP notifications) when set.
+        self.suspended = False
         self._discovery_process = None
 
     # -- lifecycle -------------------------------------------------------------
@@ -59,6 +62,33 @@ class Mapper:
         self.started = False
         for translator in list(self.translators):
             self.unmap(translator)
+
+    def suspend(self) -> None:
+        """Pause discovery *without* unmapping (crash/stall semantics).
+
+        Mapped translators stay in the semantic space; native churn that
+        happens while suspended is only noticed once :meth:`resume`
+        restarts the discovery loop.
+        """
+        if self._discovery_process is not None and self._discovery_process.is_alive:
+            self._discovery_process.kill("mapper suspended")
+        self._discovery_process = None
+        self.suspended = True
+        if self.started:
+            self.started = False
+            self.runtime.trace(
+                "mapper.suspended", f"{self.platform}: discovery paused"
+            )
+
+    def resume(self) -> None:
+        """Restart discovery after :meth:`suspend` (a fresh discover() run
+        re-walks the platform, re-mapping devices that appeared and
+        unmapping ones that vanished while we were blind)."""
+        if self.started:
+            return
+        self.suspended = False
+        self.runtime.trace("mapper.resumed", f"{self.platform}: discovery resumed")
+        self.start()
 
     def discover(self) -> Generator:
         """Platform-specific discovery loop; subclasses implement.

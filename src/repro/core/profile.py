@@ -9,7 +9,7 @@ by the directory module.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict
 
 from repro.core.errors import ShapeError
 from repro.core.shapes import Direction, DigitalType, PhysicalType, PortSpec, Shape

@@ -20,7 +20,7 @@ with a rate limit the drop rate goes to zero at the cost of throughput.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.errors import TransportError

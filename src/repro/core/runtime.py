@@ -60,6 +60,8 @@ class UMiddleRuntime:
         self.transport = Transport(self, port=transport_port)
         self.mappers: List = []
         self.translators: Dict[str, Translator] = {}
+        self._bindings: List[DynamicBinding] = []
+        self.crashed = False
         if auto_start:
             self.start()
 
@@ -77,6 +79,38 @@ class UMiddleRuntime:
             self.unregister_translator(translator)
         self.transport.stop()
         self.directory.stop()
+
+    def crash(self) -> None:
+        """Fail abruptly: sockets vanish without goodbyes, every message
+        path and discovery process dies, and soft state learned from peers
+        is lost.  Local translators survive (they model configuration that
+        a restarted process re-establishes) and are re-advertised by
+        :meth:`restart`.  Peers notice only through directory lease expiry
+        or through their transport retry budget."""
+        if self.crashed:
+            return
+        self.crashed = True
+        for mapper in list(self.mappers):
+            mapper.suspend()
+        self.transport.stop(graceful=False)
+        self.directory.stop()
+        self.directory.forget_remote()
+        self.trace("runtime.crash", "crashed")
+
+    def restart(self) -> None:
+        """Recover from :meth:`crash`: reopen the transport and directory
+        (which immediately re-advertises the full local state), resume
+        platform discovery, and re-evaluate standing query bindings."""
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.transport.start()
+        self.directory.start()
+        for mapper in list(self.mappers):
+            mapper.resume()
+        for binding in list(self._bindings):
+            binding.refresh()
+        self.trace("runtime.restart", "restarted")
 
     def trace(self, category: str, message: str, **details) -> None:
         self.network.trace.emit(category, f"[{self.runtime_id}] {message}", **details)
@@ -173,7 +207,13 @@ class UMiddleRuntime:
         query: Query,
     ) -> DynamicBinding:
         """Figure 7-2: a dynamic message path bound by a query template."""
-        return DynamicBinding(self, port, query)
+        binding = DynamicBinding(self, port, query)
+        self._bindings.append(binding)
+        return binding
+
+    def _forget_binding(self, binding: DynamicBinding) -> None:
+        if binding in self._bindings:
+            self._bindings.remove(binding)
 
     def federate(self, peer: "UMiddleRuntime") -> None:
         """Explicitly join another runtime's federation (both directions)."""

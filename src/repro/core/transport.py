@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import itertools
 from collections import deque
-from typing import Any, Deque, Dict, Generator, List, Optional, Tuple, Union, TYPE_CHECKING
+from typing import Deque, Dict, Generator, List, Optional, Tuple, Union, TYPE_CHECKING
 
 from repro.core.errors import TransportError
 from repro.core.messages import UMessage
@@ -248,7 +248,24 @@ class RemotePathHandle:
 
 
 class Transport:
-    """One runtime's transport module."""
+    """One runtime's transport module.
+
+    Peer delivery is resilient: envelopes bound for a peer accumulate in a
+    bounded per-peer *spool* and the sender process retries failed
+    deliveries with exponential backoff, so a peer that crashes and
+    restarts within the retry budget loses no control-plane messages.
+    A peer that stays dead past the budget has its directory entries
+    reaped immediately (crash-triggered lease expiry)."""
+
+    #: First retry delay after a failed peer delivery; doubles per attempt.
+    RETRY_INITIAL_BACKOFF_S = 0.25
+    #: Ceiling on the exponential backoff between attempts.
+    RETRY_MAX_BACKOFF_S = 4.0
+    #: Delivery attempts per envelope before declaring it undeliverable.
+    MAX_SEND_ATTEMPTS = 16
+    #: Bounded spool: envelopes held per peer while it is unreachable;
+    #: beyond this the oldest spooled envelope is dropped.
+    SPOOL_CAPACITY = 256
 
     def __init__(self, runtime: "UMiddleRuntime", port: int):
         self.runtime = runtime
@@ -257,11 +274,14 @@ class Transport:
         self._paths_by_id: Dict[str, MessagePath] = {}
         #: Streams to peers, keyed by runtime id.
         self._peer_streams: Dict[str, StreamSocket] = {}
+        self._accepted_streams: List[StreamSocket] = []
         self._peer_outboxes: Dict[str, Deque[Tuple[str, dict, int]]] = {}
         self._peer_wakeups: Dict[str, Event] = {}
         self._peer_senders: Dict[str, object] = {}
         self.messages_relayed = 0
         self.undeliverable = 0
+        self.retries = 0
+        self.spool_dropped = 0
         self._listener: Optional[StreamListener] = None
         self.started = False
 
@@ -277,13 +297,35 @@ class Transport:
         self.runtime.kernel.process(
             self._accept_loop(), name=f"transport-accept:{self.runtime.runtime_id}"
         )
+        # Spooled envelopes survive a stop/crash; resume draining them.
+        for runtime_id, outbox in self._peer_outboxes.items():
+            if outbox and runtime_id not in self._peer_senders:
+                self._spawn_sender(runtime_id)
 
-    def stop(self) -> None:
+    def stop(self, graceful: bool = True) -> None:
+        """Stop serving.  ``graceful=False`` models a crash: streams are
+        aborted without FIN, so peers only notice on their next send."""
+        self.started = False
         if self._listener is not None:
             self._listener.close()
+            self._listener = None
         for stream in list(self._peer_streams.values()):
-            stream.close()
+            if graceful:
+                stream.close()
+            else:
+                stream.abort()
         self._peer_streams.clear()
+        for stream in list(self._accepted_streams):
+            if graceful:
+                stream.close()
+            else:
+                stream.abort()
+        self._accepted_streams.clear()
+        for sender in list(self._peer_senders.values()):
+            if sender.is_alive:  # type: ignore[attr-defined]
+                sender.kill("transport stopped")  # type: ignore[attr-defined]
+        self._peer_senders.clear()
+        self._peer_wakeups.clear()
         for path in list(self._paths_by_id.values()):
             path.close()
 
@@ -423,26 +465,41 @@ class Transport:
 
     def _enqueue_envelope(self, runtime_id: str, envelope: dict, size: int) -> None:
         outbox = self._peer_outboxes.setdefault(runtime_id, deque())
+        if len(outbox) >= self.SPOOL_CAPACITY:
+            outbox.popleft()
+            self.spool_dropped += 1
+            self.runtime.trace(
+                "transport.spool-drop",
+                f"to {runtime_id}: spool full, evicted oldest envelope",
+                capacity=self.SPOOL_CAPACITY,
+            )
         outbox.append((runtime_id, envelope, size))
         wakeup = self._peer_wakeups.get(runtime_id)
         if wakeup is not None and not wakeup.triggered:
             wakeup.succeed()
-        if runtime_id not in self._peer_senders:
-            self._peer_senders[runtime_id] = self.runtime.kernel.process(
-                self._peer_sender(runtime_id),
-                name=f"peer-sender:{self.runtime.runtime_id}->{runtime_id}",
-            )
+        if self.started and runtime_id not in self._peer_senders:
+            self._spawn_sender(runtime_id)
+
+    def _spawn_sender(self, runtime_id: str) -> None:
+        self._peer_senders[runtime_id] = self.runtime.kernel.process(
+            self._peer_sender(runtime_id),
+            name=f"peer-sender:{self.runtime.runtime_id}->{runtime_id}",
+        )
 
     def _peer_sender(self, runtime_id: str) -> Generator:
         """Drains the outbox for one peer over a single stream.
 
         Serializes envelope marshaling with TCP per-segment processing, the
-        way a single sender thread would.
+        way a single sender thread would.  Failed deliveries are retried
+        with exponential backoff; only an envelope that exhausts its
+        attempt budget is dropped, and that also reaps the peer's
+        directory entries (it is conclusively unreachable).
         """
         runtime = self.runtime
         kernel = runtime.kernel
         umiddle = runtime.calibration.umiddle
         outbox = self._peer_outboxes[runtime_id]
+        attempts = 0
         try:
             while True:
                 if not outbox:
@@ -461,18 +518,45 @@ class Transport:
                         umiddle.envelope_fixed_s + umiddle.envelope_per_byte_s * size
                     )
                     yield from stream.send_inline(envelope, wire_size)
+                    # Only count the envelope delivered once the peer's TCP
+                    # has acknowledged it; a stream dying with data in its
+                    # send window must re-deliver, not silently drop.
+                    yield stream.drained()
                     outbox.popleft()
+                    attempts = 0
                     self.messages_relayed += 1
                 except (SocketError, TransportError) as exc:
-                    outbox.popleft()
-                    self.undeliverable += 1
-                    runtime.trace(
-                        "transport.undeliverable",
-                        f"to {runtime_id}: {exc}",
-                    )
                     self._peer_streams.pop(runtime_id, None)
+                    attempts += 1
+                    if attempts >= self.MAX_SEND_ATTEMPTS:
+                        outbox.popleft()
+                        attempts = 0
+                        self.undeliverable += 1
+                        runtime.trace(
+                            "transport.undeliverable",
+                            f"to {runtime_id} after {self.MAX_SEND_ATTEMPTS} "
+                            f"attempts: {exc}",
+                        )
+                        runtime.directory.expire_runtime(runtime_id, reason=str(exc))
+                        continue
+                    self.retries += 1
+                    backoff = min(
+                        self.RETRY_INITIAL_BACKOFF_S * (2 ** (attempts - 1)),
+                        self.RETRY_MAX_BACKOFF_S,
+                    )
+                    runtime.trace(
+                        "transport.retry",
+                        f"to {runtime_id}: attempt {attempts} failed ({exc}); "
+                        f"retrying in {backoff:.2f}s",
+                        attempt=attempts,
+                        backoff=backoff,
+                    )
+                    yield kernel.timeout(backoff)
         finally:
-            self._peer_senders.pop(runtime_id, None)
+            # Only deregister ourselves: a crash may already have installed
+            # a successor sender for this peer.
+            if self._peer_senders.get(runtime_id) is kernel.active_process:
+                del self._peer_senders[runtime_id]
 
     def _open_peer_stream(self, runtime_id: str) -> Generator:
         info = self.runtime.directory.runtime_info(runtime_id)
@@ -493,11 +577,13 @@ class Transport:
     # -- ingress from peers ----------------------------------------------------------
 
     def _accept_loop(self) -> Generator:
+        listener = self._listener
         while True:
             try:
-                stream = yield self._listener.accept()
+                stream = yield listener.accept()
             except ConnectionClosed:
                 return
+            self._accepted_streams.append(stream)
             self.runtime.kernel.process(
                 self._serve_peer(stream),
                 name=f"transport-serve:{self.runtime.runtime_id}",
@@ -511,6 +597,8 @@ class Transport:
             try:
                 envelope, _wire_size = yield stream.recv()
             except ConnectionClosed:
+                if stream in self._accepted_streams:
+                    self._accepted_streams.remove(stream)
                 return
             kind = envelope.get("kind")
             if kind == "message":

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Tuple
 
-from repro.designspace.model import APPROACHES, DIMENSIONS, approach
+from repro.designspace.model import DIMENSIONS, approach
 
 __all__ = [
     "DesignError",

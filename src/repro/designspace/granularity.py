@@ -27,8 +27,8 @@ The ``granularity`` ablation benchmark tabulates these counts.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import FrozenSet, List, Sequence, Set, Tuple
 
 __all__ = [
     "SyntheticDeviceType",

@@ -16,8 +16,8 @@ characterizations of UIC and Speakeasy are exported as named designs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Tuple
 
 __all__ = [
     "Dimension",

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Generator, List, Optional
+from typing import Dict, Generator
 
 from repro.calibration import Calibration
 from repro.platforms.rmi.remote import RemoteRef

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional
+from typing import Dict, Generator, Optional
 
 from repro.calibration import Calibration
 from repro.platforms.jini.lookup import (

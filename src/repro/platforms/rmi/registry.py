@@ -7,7 +7,7 @@ string names; clients ``lookup`` names (or ``list`` everything) to obtain
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional
+from typing import Dict, Generator, Optional
 
 from repro.calibration import Calibration
 from repro.platforms.rmi.remote import RemoteRef

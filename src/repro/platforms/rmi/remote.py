@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Generator, Optional, Tuple
+from typing import Any, Callable, Dict, Generator, Optional
 
 from repro.calibration import Calibration
 from repro.platforms.rmi.marshal import WIRE_OVERHEAD, marshal_time

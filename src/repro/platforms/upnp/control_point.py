@@ -7,16 +7,15 @@ mapper drives a control point to find devices and talk to them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Generator, List, Optional, Tuple
+from typing import Callable, Dict, Generator, List, Optional
 
 from repro.calibration import Calibration
 from repro.platforms.upnp import soap
-from repro.platforms.upnp.description import DeviceDescription, parse_device_description
+from repro.platforms.upnp.description import parse_device_description
 from repro.platforms.upnp.device import HTTP_HEADER_OVERHEAD
 from repro.platforms.upnp.gena import EventListener
 from repro.platforms.upnp.ssdp import (
     NOTIFY_ALIVE,
-    NOTIFY_BYEBYE,
     SEARCH_ALL,
     SsdpAgent,
     SsdpMessage,

@@ -14,7 +14,7 @@ evented state variable pushes GENA NOTIFYs to all subscribers.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+from typing import Callable, Dict, Generator, List, Optional, Tuple
 
 from repro.calibration import Calibration
 from repro.platforms.upnp import soap

@@ -10,7 +10,7 @@ running example of Figure 5).  Each factory returns a fully wired
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.calibration import Calibration
 from repro.platforms.upnp.description import (

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Callable, Dict, Generator, Optional, Tuple
+from typing import Callable, Dict, Generator
 
 from repro.calibration import Calibration
 from repro.simnet.addresses import Address

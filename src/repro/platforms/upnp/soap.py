@@ -9,7 +9,7 @@ point, not here (this module is pure data transformation).
 from __future__ import annotations
 
 import xml.etree.ElementTree as ET
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Tuple
 
 __all__ = [

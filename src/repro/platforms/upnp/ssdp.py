@@ -8,8 +8,8 @@ delay (we use the calibrated fixed delay for determinism).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Generator, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Generator, List
 
 from repro.calibration import Calibration
 from repro.simnet.addresses import Address

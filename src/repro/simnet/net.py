@@ -120,6 +120,14 @@ class Medium:
         self.loss_rate = loss_rate
         self._rng = random.Random(seed)
         self.interfaces: List[Interface] = []
+        #: False while the medium is suffering a total outage: every frame
+        #: offered to :meth:`transmit` is dropped (the chaos subsystem flips
+        #: this to model link/segment failures).
+        self.up = True
+        #: Optional partition: a list of node-name sets.  Two interfaces can
+        #: exchange frames only when some set contains both their nodes;
+        #: nodes absent from every set are isolated.  ``None`` = healthy.
+        self._partition: Optional[List[Set[str]]] = None
         #: Cumulative bytes transmitted (wire bytes incl. overhead).
         self.bytes_transmitted = 0
         self.frames_transmitted = 0
@@ -136,6 +144,80 @@ class Medium:
                 return interface
         return None
 
+    # -- dynamic properties (fault injection) ---------------------------
+
+    def set_up(self, up: bool) -> None:
+        """Bring the medium up or down; a down medium drops every frame."""
+        if up == self.up:
+            return
+        self.up = up
+        self.network.trace.emit(
+            "net.medium", f"{self.name}: {'up' if up else 'down'}", up=up
+        )
+
+    def set_loss_rate(self, loss_rate: float) -> None:
+        """Change the random-loss probability at the current simulated time."""
+        if not 0.0 <= loss_rate < 1.0:
+            raise NetworkError("loss_rate must be in [0, 1)")
+        self.loss_rate = loss_rate
+        self.network.trace.emit(
+            "net.medium", f"{self.name}: loss_rate={loss_rate}", loss_rate=loss_rate
+        )
+
+    def set_latency(self, latency_s: float) -> None:
+        """Change the propagation latency at the current simulated time."""
+        if latency_s < 0:
+            raise NetworkError("latency must be non-negative")
+        self.latency_s = latency_s
+        self.network.trace.emit(
+            "net.medium", f"{self.name}: latency_s={latency_s}", latency_s=latency_s
+        )
+
+    def set_bandwidth(self, bandwidth_bps: float) -> None:
+        """Change the serialization bandwidth at the current simulated time."""
+        if bandwidth_bps <= 0:
+            raise NetworkError("bandwidth must be positive")
+        self.bandwidth_bps = bandwidth_bps
+        self.network.trace.emit(
+            "net.medium",
+            f"{self.name}: bandwidth_bps={bandwidth_bps}",
+            bandwidth_bps=bandwidth_bps,
+        )
+
+    def partition(self, groups: List) -> None:
+        """Split the segment into isolated groups of node names.
+
+        ``groups`` is a list of iterables of node names.  Frames cross the
+        medium only between nodes sharing a group; nodes named in no group
+        are isolated entirely.
+        """
+        self._partition = [set(group) for group in groups]
+        self.network.trace.emit(
+            "net.partition",
+            f"{self.name}: partitioned into {len(self._partition)} group(s)",
+            groups=[sorted(g) for g in self._partition],
+        )
+
+    def heal(self) -> None:
+        """Remove any partition (no-op on a healthy medium)."""
+        if self._partition is None:
+            return
+        self._partition = None
+        self.network.trace.emit("net.partition", f"{self.name}: healed")
+
+    @property
+    def partitioned(self) -> bool:
+        return self._partition is not None
+
+    def _same_side(self, a: Interface, b: Interface) -> bool:
+        """True when the partition (if any) lets ``a`` and ``b`` talk."""
+        if self._partition is None:
+            return True
+        for group in self._partition:
+            if a.node.name in group and b.node.name in group:
+                return True
+        return False
+
     # -- transmission -----------------------------------------------------
 
     def _reserve(self, sender: Interface, duration: float) -> float:
@@ -150,6 +232,14 @@ class Medium:
         """
         kernel = self.network.kernel
         wire_bytes = frame.wire_size + self.frame_overhead_bytes
+        if not self.up:
+            self.frames_dropped += 1
+            self.network.trace.emit(
+                "net.outage",
+                f"{self.name}: down, dropped frame {frame.src}->{frame.dst}",
+                wire_bytes=wire_bytes,
+            )
+            return kernel.now + self.latency_s
         duration = wire_bytes * 8.0 / self.bandwidth_bps
         start = self._reserve(sender, duration)
         finish = start + duration
@@ -181,6 +271,8 @@ class Medium:
             for interface in self.interfaces:
                 if interface is sender:
                     continue
+                if not self._same_side(sender, interface):
+                    continue
                 if frame.multicast_group in interface.multicast_groups:
                     interface.node._receive(frame.clone(), interface)
             return
@@ -188,15 +280,25 @@ class Medium:
             # Broadcast: every other interface on the segment.
             for interface in self.interfaces:
                 if interface is not sender:
-                    interface.node._receive(frame.clone(), interface)
+                    if self._same_side(sender, interface):
+                        interface.node._receive(frame.clone(), interface)
             return
         target = self.interface_for(frame.dst)
         if target is not None:
+            if not self._same_side(sender, target):
+                self.frames_dropped += 1
+                self.network.trace.emit(
+                    "net.partition-drop",
+                    f"{self.name}: partition blocks {frame.src}->{frame.dst}",
+                )
+                return
             target.node._receive(frame, target)
             return
         # Not local to this segment: hand to any forwarding node.
         for interface in self.interfaces:
             if interface is sender:
+                continue
+            if not self._same_side(sender, interface):
                 continue
             if interface.node.forwards and interface.node.can_reach(frame.dst):
                 interface.node._forward(frame, interface)
@@ -272,8 +374,22 @@ class Node:
         self.network = network
         self.name = name
         self.forwards = forwards
+        #: False while the host is powered off: it neither sends, receives
+        #: nor forwards (chaos-subsystem node churn flips this).
+        self.up = True
         self.interfaces: List[Interface] = []
         self._frame_handlers: List[Callable[[Frame, Interface], bool]] = []
+
+    # -- power state (fault injection) ----------------------------------
+
+    def set_up(self, up: bool) -> None:
+        """Power the host on or off; a down host drops all traffic."""
+        if up == self.up:
+            return
+        self.up = up
+        self.network.trace.emit(
+            "net.node", f"{self.name}: {'up' if up else 'down'}", up=up
+        )
 
     # -- attachment ----------------------------------------------------
 
@@ -326,6 +442,11 @@ class Node:
         """
         if not self.interfaces:
             raise NetworkError(f"node {self.name} has no interfaces")
+        if not self.up:
+            self.network.trace.emit(
+                "net.node-drop", f"{self.name}: down, cannot send to {frame.dst}"
+            )
+            return
         if frame.dst is None or frame.multicast_group is not None:
             if medium is None:
                 # No explicit medium: send a copy on every attached segment
@@ -366,6 +487,8 @@ class Node:
         self._frame_handlers.append(handler)
 
     def _receive(self, frame: Frame, interface: Interface) -> None:
+        if not self.up:
+            return
         for handler in self._frame_handlers:
             if handler(frame, interface):
                 return
@@ -376,6 +499,8 @@ class Node:
         )
 
     def _forward(self, frame: Frame, arrived_on: Interface) -> None:
+        if not self.up:
+            return
         frame.hops += 1
         if frame.hops > MAX_HOPS:
             self.network.trace.emit(

@@ -21,7 +21,7 @@ objects, to be ``yield``-ed from simulation processes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Deque, Dict, List, Optional, Tuple
 from collections import deque
 
@@ -789,6 +789,14 @@ class StreamSocket:
         except NetworkError:
             pass
         self._fail(ConnectionClosed("locally closed"), graceful=True)
+
+    def abort(self) -> None:
+        """Tear down abruptly, without notifying the peer (crash semantics).
+
+        The peer discovers the death only when its next segment is answered
+        with an RST by our node's stack (or its retransmissions exhaust).
+        """
+        self._fail(ConnectionClosed("aborted"))
 
     def _fail(self, exc: SocketError, graceful: bool = False) -> None:
         if self.closed:

@@ -42,6 +42,21 @@ class Testbed:
         self.runtimes[host_name] = runtime
         return runtime
 
+    @property
+    def trace(self):
+        """The network's trace recorder (chaos + recovery records land here)."""
+        return self.network.trace
+
+    def add_chaos(self, plan) -> "object":
+        """Arm a :class:`~repro.chaos.FaultPlan` against this testbed.
+
+        Returns the armed :class:`~repro.chaos.ChaosController`; faults
+        fire as the testbed settles.
+        """
+        from repro.chaos import ChaosController
+
+        return ChaosController(self.kernel, self.network.trace, plan).arm()
+
     def settle(self, duration: float) -> None:
         """Advance simulated time (discovery, gossip, transfers...)."""
         self.kernel.run(until=self.kernel.now + duration)

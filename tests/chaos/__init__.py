@@ -1,0 +1,1 @@
+"""Tests for the chaos subsystem: faults, scheduling, and self-healing."""

@@ -1,0 +1,177 @@
+"""Unit tests for fault objects, plans and the chaos controller."""
+
+import pytest
+
+from repro.chaos import (
+    ChaosController,
+    ChaosError,
+    DeviceChurn,
+    FaultPlan,
+    LinkDegrade,
+    LinkOutage,
+    random_plan,
+)
+from repro.testbed import build_testbed
+
+
+class TestFaultValidation:
+    def test_negative_time_rejected(self, lan):
+        hub, _, _ = lan
+        with pytest.raises(ChaosError):
+            LinkOutage(hub, at=-1.0)
+
+    def test_negative_duration_rejected(self, lan):
+        hub, _, _ = lan
+        with pytest.raises(ChaosError):
+            LinkOutage(hub, at=1.0, duration=-5.0)
+
+    def test_degrade_needs_some_property(self, lan):
+        hub, _, _ = lan
+        with pytest.raises(ChaosError):
+            LinkDegrade(hub, at=1.0, duration=1.0)
+
+    def test_device_churn_with_duration_needs_up(self):
+        with pytest.raises(ChaosError):
+            DeviceChurn(at=1.0, down=lambda: None, duration=5.0)
+
+    def test_partition_needs_groups(self, lan):
+        from repro.chaos import NetworkPartition
+
+        hub, _, _ = lan
+        with pytest.raises(ChaosError):
+            NetworkPartition(hub, [], at=1.0)
+
+
+class TestFaultPlan:
+    def test_builders_append_in_order(self, lan):
+        hub, node_a, _ = lan
+        plan = FaultPlan()
+        first = plan.link_outage(hub, at=5.0, duration=2.0)
+        second = plan.node_churn(node_a, at=1.0, duration=3.0)
+        assert list(plan) == [first, second]
+        assert len(plan) == 2
+
+    def test_horizon_covers_latest_heal(self, lan):
+        hub, node_a, _ = lan
+        plan = FaultPlan()
+        plan.link_outage(hub, at=5.0, duration=2.0)
+        plan.node_churn(node_a, at=4.0, duration=10.0)
+        plan.link_outage(hub, at=12.0)  # permanent: no heal
+        assert plan.horizon == 14.0
+
+
+class TestChaosController:
+    def test_injects_and_heals_on_schedule(self, kernel, network, lan):
+        hub, _, _ = lan
+        plan = FaultPlan()
+        fault = plan.link_outage(hub, at=2.0, duration=3.0)
+        controller = ChaosController(kernel, network.trace, plan).arm()
+
+        kernel.run(until=2.5)
+        assert not hub.up
+        assert fault.injected_at == 2.0
+        assert controller.outstanding == 1
+
+        kernel.run(until=6.0)
+        assert hub.up
+        assert fault.healed_at == 5.0
+        assert controller.outstanding == 0
+
+        injects = network.trace.records("chaos.inject")
+        heals = network.trace.records("chaos.heal")
+        assert [r.time for r in injects] == [2.0]
+        assert [r.time for r in heals] == [5.0]
+        assert "outage" in injects[0].message
+
+    def test_arm_is_idempotent(self, kernel, network, lan):
+        hub, _, _ = lan
+        plan = FaultPlan()
+        plan.link_outage(hub, at=1.0, duration=1.0)
+        controller = ChaosController(kernel, network.trace, plan)
+        controller.arm()
+        controller.arm()
+        kernel.run(until=5.0)
+        assert len(controller.injected) == 1
+
+    def test_arm_times_are_relative_to_arming(self, kernel, network, lan):
+        hub, _, _ = lan
+        kernel.run(until=10.0)
+        plan = FaultPlan()
+        fault = plan.link_outage(hub, at=2.0, duration=1.0)
+        ChaosController(kernel, network.trace, plan).arm()
+        kernel.run(until=20.0)
+        assert fault.injected_at == 12.0
+
+    def test_permanent_fault_never_heals(self, kernel, network, lan):
+        hub, _, _ = lan
+        plan = FaultPlan()
+        plan.link_outage(hub, at=1.0)  # duration=None
+        controller = ChaosController(kernel, network.trace, plan).arm()
+        kernel.run(until=60.0)
+        assert not hub.up
+        assert controller.outstanding == 1
+
+    def test_degrade_restores_original_properties(self, kernel, network, lan):
+        hub, _, _ = lan
+        original = (hub.loss_rate, hub.latency_s, hub.bandwidth_bps)
+        plan = FaultPlan()
+        plan.link_degrade(
+            hub, at=1.0, duration=2.0, loss_rate=0.3, latency_s=0.05
+        )
+        ChaosController(kernel, network.trace, plan).arm()
+        kernel.run(until=2.0)
+        assert hub.loss_rate == 0.3
+        assert hub.latency_s == 0.05
+        kernel.run(until=5.0)
+        assert (hub.loss_rate, hub.latency_s, hub.bandwidth_bps) == original
+
+
+class TestRandomPlan:
+    def test_same_seed_same_plan(self, lan):
+        hub, node_a, node_b = lan
+        make = lambda: random_plan(  # noqa: E731
+            seed=42, horizon=60.0, media=[hub], nodes=[node_a, node_b]
+        )
+        first, second = make(), make()
+        assert len(first) == len(second)
+        for a, b in zip(first, second):
+            assert (a.describe(), a.at, a.duration) == (
+                b.describe(),
+                b.at,
+                b.duration,
+            )
+
+    def test_different_seeds_differ(self, lan):
+        hub, _, _ = lan
+        a = random_plan(seed=1, horizon=60.0, media=[hub])
+        b = random_plan(seed=2, horizon=60.0, media=[hub])
+        assert [(f.describe(), f.at) for f in a] != [
+            (f.describe(), f.at) for f in b
+        ]
+
+    def test_validation(self, lan):
+        hub, _, _ = lan
+        with pytest.raises(ChaosError):
+            random_plan(seed=1, horizon=0.0, media=[hub])
+        with pytest.raises(ChaosError):
+            random_plan(seed=1, horizon=10.0, media=[hub], fault_count=0)
+        with pytest.raises(ChaosError):
+            random_plan(seed=1, horizon=10.0)  # no targets at all
+
+    def test_times_within_horizon(self, lan):
+        hub, _, _ = lan
+        plan = random_plan(seed=9, horizon=30.0, media=[hub], fault_count=20)
+        assert all(0.0 <= f.at < 30.0 for f in plan)
+        assert all(f.duration is None or f.duration >= 1.0 for f in plan)
+
+
+class TestTestbedIntegration:
+    def test_add_chaos_arms_against_testbed(self):
+        bed = build_testbed(hosts=["a", "b"])
+        plan = FaultPlan()
+        plan.link_outage(bed.lan, at=1.0, duration=2.0)
+        controller = bed.add_chaos(plan)
+        bed.settle(5.0)
+        assert len(controller.injected) == 1
+        assert len(controller.healed) == 1
+        assert bed.trace.count("chaos.inject") == 1

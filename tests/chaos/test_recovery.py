@@ -1,0 +1,296 @@
+"""Self-healing under injected faults: the chaos suite's core claims.
+
+Every test drives a fault through :class:`~repro.chaos.ChaosController`
+and asserts the runtime heals itself: standing query bindings re-bind
+within a bounded time, retried control-plane messages are not lost, and
+partitions/outages are survived through soft-state refresh.
+"""
+
+from repro.bridges import UPnPMapper
+from repro.chaos import FaultPlan, time_to_rebind
+from repro.core.directory import ANNOUNCE_INTERVAL, LEASE
+from repro.core.messages import UMessage
+from repro.core.query import Query
+from repro.core.translator import Translator
+from repro.platforms.upnp import make_binary_light
+from repro.testbed import build_testbed
+
+
+def text(payload, size=100):
+    return UMessage("text/plain", payload, size)
+
+
+def bridged_pair():
+    """Two runtimes on a LAN: a source on r1 query-bound to a sink on r2."""
+    bed = build_testbed(hosts=["h1", "h2"])
+    r1 = bed.add_runtime("h1")
+    r2 = bed.add_runtime("h2")
+
+    received = []
+    sink = Translator("display", role="display")
+    sink.add_digital_input("data-in", "text/plain", received.append)
+    r2.register_translator(sink)
+
+    source = Translator("feed", role="sensor")
+    out = source.add_digital_output("data-out", "text/plain")
+    r1.register_translator(source)
+
+    bed.settle(1.0)  # gossip converges
+    binding = r1.connect_query(out, Query(role="display"))
+    assert binding.path_count == 1
+    return bed, r1, r2, binding, out, received
+
+
+def drip(bed, out, count, interval=0.5, start=0):
+    """Send ``count`` messages, one every ``interval`` seconds."""
+
+    def sender():
+        for index in range(count):
+            out.send(text(f"m{start + index}"))
+            yield bed.kernel.timeout(interval)
+
+    return bed.kernel.process(sender(), name="drip")
+
+
+class TestCrashRecovery:
+    def test_crash_within_lease_spools_and_delivers(self):
+        """A crash shorter than the directory lease: the binding never
+        unbinds, the transport spools and retries, and every message
+        accepted while the peer was down is delivered after restart.
+
+        The one permitted casualty is a message in flight at the crash
+        instant: it can be acked at the stream level yet die before the
+        crashed peer dispatches it (the documented at-most-once window of
+        a transport without application-level acks)."""
+        bed, r1, r2, binding, out, received = bridged_pair()
+        plan = FaultPlan()
+        plan.runtime_crash(r2, at=2.0, restart_after=5.0)
+        bed.add_chaos(plan)
+
+        drip(bed, out, count=20, interval=0.5)  # spans the crash window
+        bed.settle(70.0)  # generous: retry backoff caps at 4 s
+
+        assert binding.path_count == 1  # never unbound
+        assert bed.trace.count("transport.retry") > 0  # outage was real
+        assert r1.transport.undeliverable == 0
+        payloads = {m.payload for m in received}
+        missing = {f"m{i}" for i in range(20)} - payloads
+        assert len(missing) <= 1, f"only the in-flight message may die: {missing}"
+        # Everything sent strictly *during* the outage was spooled and kept.
+        assert {f"m{i}" for i in range(5, 20)} <= payloads
+
+    def test_crash_past_lease_rebinds_after_restart(self):
+        """A crash longer than the lease: the remote side unbinds when the
+        lease expires, then re-binds promptly once the restarted runtime
+        re-advertises."""
+        bed, r1, r2, binding, out, received = bridged_pair()
+        crash_at, restart_after = 2.0, 25.0
+        plan = FaultPlan()
+        fault = plan.runtime_crash(r2, at=crash_at, restart_after=restart_after)
+        bed.add_chaos(plan)
+
+        bed.settle(crash_at + LEASE + 3.0)
+        assert binding.path_count == 0  # lease expired -> unbound
+        assert bed.trace.count("binding.unbound") >= 1
+
+        bed.settle(60.0)
+        assert fault.healed_at == fault.injected_at + restart_after
+        ttr = time_to_rebind(bed.trace, after=fault.healed_at)
+        assert ttr is not None, "standing query must re-bind after restart"
+        assert ttr < 2 * ANNOUNCE_INTERVAL
+        assert binding.path_count == 1
+
+        out.send(text("after-rebind"))
+        bed.settle(2.0)
+        assert "after-rebind" in [m.payload for m in received]
+
+    def test_crashed_runtime_forgets_remote_soft_state(self):
+        bed, r1, r2, binding, out, received = bridged_pair()
+        assert r2.lookup(Query(role="sensor"))  # knows about r1's source
+        r2.crash()
+        assert not r2.lookup(Query(role="sensor"))  # soft state gone
+        assert r2.lookup(Query(role="display"))  # local config survives
+        r2.restart()
+        bed.settle(ANNOUNCE_INTERVAL + 1.0)
+        assert r2.lookup(Query(role="sensor"))  # re-learned from gossip
+
+    def test_standing_binding_on_crashed_runtime_self_heals(self):
+        """The *crashed* runtime's own standing template re-binds on
+        restart (runtime.restart refreshes tracked bindings)."""
+        bed = build_testbed(hosts=["h1", "h2"])
+        r1 = bed.add_runtime("h1")
+        r2 = bed.add_runtime("h2")
+        received = []
+        sink = Translator("display", role="display")
+        sink.add_digital_input("data-in", "text/plain", received.append)
+        r2.register_translator(sink)
+        source = Translator("feed", role="sensor")
+        out = source.add_digital_output("data-out", "text/plain")
+        r1.register_translator(source)
+        bed.settle(1.0)
+        binding = r1.connect_query(out, Query(role="display"))
+        assert binding.path_count == 1
+
+        r1.crash()  # the binding's own runtime dies
+        bed.settle(5.0)
+        r1.restart()
+        bed.settle(10.0)  # re-learn r2's sink via gossip, then refresh
+        assert binding.path_count == 1
+        out.send(text("recovered"))
+        bed.settle(2.0)
+        assert [m.payload for m in received][-1] == "recovered"
+
+
+class TestPartitionRecovery:
+    def test_partition_unbinds_then_heal_rebinds(self):
+        bed, r1, r2, binding, out, received = bridged_pair()
+        plan = FaultPlan()
+        fault = plan.network_partition(
+            bed.lan, [["h1"], ["h2"]], at=2.0, duration=LEASE + 10.0
+        )
+        bed.add_chaos(plan)
+
+        bed.settle(2.0 + LEASE + 3.0)
+        assert bed.lan.partitioned
+        assert binding.path_count == 0  # announcements stopped crossing
+
+        bed.settle(60.0)
+        assert not bed.lan.partitioned
+        ttr = time_to_rebind(bed.trace, after=fault.healed_at)
+        assert ttr is not None and ttr < 2 * ANNOUNCE_INTERVAL
+        out.send(text("post-heal"))
+        bed.settle(2.0)
+        assert "post-heal" in [m.payload for m in received]
+
+    def test_short_partition_is_absorbed_by_leases(self):
+        """A partition shorter than the lease never unbinds anything."""
+        bed, r1, r2, binding, out, received = bridged_pair()
+        plan = FaultPlan()
+        plan.network_partition(bed.lan, [["h1"], ["h2"]], at=2.0, duration=6.0)
+        bed.add_chaos(plan)
+        bed.settle(60.0)
+        assert bed.trace.count("binding.unbound") == 0
+        assert binding.path_count == 1
+
+
+class TestLinkFaults:
+    def test_outage_drops_frames_then_recovers(self):
+        bed, r1, r2, binding, out, received = bridged_pair()
+        plan = FaultPlan()
+        plan.link_outage(bed.lan, at=2.0, duration=5.0)
+        bed.add_chaos(plan)
+        bed.settle(60.0)
+        assert bed.trace.count("net.outage") > 0
+        assert binding.path_count == 1  # shorter than the lease
+        out.send(text("after-outage"))
+        bed.settle(2.0)
+        assert "after-outage" in [m.payload for m in received]
+
+    def test_messages_survive_degraded_link(self):
+        """Stream retransmission carries data across a 30%-lossy window."""
+        bed, r1, r2, binding, out, received = bridged_pair()
+        plan = FaultPlan()
+        plan.link_degrade(bed.lan, at=1.0, duration=10.0, loss_rate=0.3)
+        bed.add_chaos(plan)
+        drip(bed, out, count=10, interval=1.0)
+        bed.settle(60.0)
+        assert bed.lan.frames_dropped > 0
+        assert sorted(m.payload for m in received) == sorted(
+            f"m{i}" for i in range(10)
+        )
+
+
+class TestChurnAndStalls:
+    def test_node_churn_expires_and_recovers(self):
+        bed, r1, r2, binding, out, received = bridged_pair()
+        plan = FaultPlan()
+        fault = plan.node_churn(
+            bed.hosts["h2"], at=2.0, duration=LEASE + 10.0
+        )
+        bed.add_chaos(plan)
+        bed.settle(2.0 + LEASE + 3.0)
+        assert binding.path_count == 0
+        bed.settle(60.0)
+        assert time_to_rebind(bed.trace, after=fault.healed_at) is not None
+        assert binding.path_count == 1
+
+    def test_mapper_stall_pauses_discovery(self):
+        bed = build_testbed(hosts=["h1", "dev"])
+        runtime = bed.add_runtime("h1")
+        mapper = UPnPMapper(runtime, search_interval=2.0)
+        runtime.add_mapper(mapper)
+        plan = FaultPlan()
+        plan.mapper_stall(mapper, at=1.0, duration=15.0)
+        bed.add_chaos(plan)
+        bed.settle(3.0)  # stall hits before the light appears
+
+        light = make_binary_light(bed.hosts["dev"], bed.calibration)
+        light.start()
+        bed.settle(8.0)  # still stalled: nothing maps
+        assert not runtime.lookup(Query(role="light"))
+
+        bed.settle(15.0)  # resumed: the discover loop re-walks the platform
+        assert runtime.lookup(Query(role="light"))
+
+    def test_device_churn_unmaps_and_remaps(self):
+        bed = build_testbed(hosts=["h1", "dev"])
+        runtime = bed.add_runtime("h1")
+        runtime.add_mapper(UPnPMapper(runtime, search_interval=2.0))
+        light = make_binary_light(bed.hosts["dev"], bed.calibration)
+        light.start()
+        bed.settle(3.0)
+        assert runtime.lookup(Query(role="light"))
+
+        plan = FaultPlan()
+        plan.device_churn(
+            at=1.0, duration=10.0, name="light",
+            down=light.vanish, up=light.start,
+        )
+        bed.add_chaos(plan)
+        # Vanished without a byebye: the next periodic search misses it
+        # and the mapper unmaps.
+        bed.settle(6.0)
+        assert not runtime.lookup(Query(role="light"))
+        bed.settle(15.0)  # churned back on and re-discovered
+        assert runtime.lookup(Query(role="light"))
+
+
+class TestTransportResilience:
+    def test_spool_is_bounded(self):
+        """Messages to a dead peer spool up to capacity, then evict oldest."""
+        from repro.core.transport import Transport
+
+        bed, r1, r2, binding, out, received = bridged_pair()
+        r2.crash()  # stays dead; binding holds until the lease expires
+        # Slow enough for the path worker to drain into the spool, fast
+        # enough to finish well inside the lease.
+        drip(bed, out, count=Transport.SPOOL_CAPACITY + 50, interval=0.001)
+        bed.settle(5.0)
+        assert r1.transport.spool_dropped >= 50
+        assert bed.trace.count("transport.spool-drop") >= 50
+        outbox = r1.transport._peer_outboxes[r2.runtime_id]
+        assert len(outbox) <= Transport.SPOOL_CAPACITY
+
+    def test_retry_budget_declares_undeliverable(self):
+        """When every retry fails, the envelope is eventually declared
+        undeliverable instead of being retried forever."""
+        bed, r1, r2, binding, out, received = bridged_pair()
+        r2.crash()
+        out.send(text("doomed"))
+        bed.settle(60.0)  # 16 attempts with capped backoff ~= 52 s
+        assert r1.transport.undeliverable >= 1
+        assert bed.trace.count("transport.undeliverable") >= 1
+        assert binding.path_count == 0  # the lease reaped the dead peer
+
+    def test_exhausted_retry_budget_reaps_the_lease(self):
+        """Crash-triggered lease reaping: a conclusively unreachable peer
+        is expired from the directory immediately, so standing bindings
+        re-evaluate without waiting for the sweeper."""
+        bed, r1, r2, binding, out, received = bridged_pair()
+        assert binding.path_count == 1
+        r1.directory.expire_runtime(r2.runtime_id, reason="retry budget")
+        assert bed.trace.count("directory.runtime-expired") == 1
+        assert binding.path_count == 0
+        assert not r1.lookup(Query(role="display"))
+        bed.settle(ANNOUNCE_INTERVAL + 1.0)  # r2 is alive: it re-announces
+        assert binding.path_count == 1

@@ -1,0 +1,165 @@
+"""QoS under adversity: rate limits, drop policies and overflow semantics
+on congested and lossy paths (the chaos subsystem's steady-state cousins).
+"""
+
+import pytest
+
+from repro.core.errors import TransportError
+from repro.core.messages import UMessage
+from repro.core.qos import DropPolicy, QosPolicy, TokenBucket
+from repro.core.query import Query
+from repro.core.translator import Translator
+
+from tests.core.conftest import make_sink, make_source
+
+
+def text(payload="x", size=100):
+    return UMessage("text/plain", payload, size)
+
+
+class TestTokenBucket:
+    def test_burst_passes_immediately(self):
+        bucket = TokenBucket(rate_bps=8_000, burst_bytes=1_000)
+        assert bucket.delay_for(1_000, now=0.0) == 0.0
+
+    def test_deficit_repaid_at_sustained_rate(self):
+        bucket = TokenBucket(rate_bps=8_000, burst_bytes=1_000)  # 1000 B/s
+        bucket.delay_for(1_000, now=0.0)  # burst exhausted
+        # The next 500 bytes are pure deficit: 0.5 s at 1000 B/s.
+        assert bucket.delay_for(500, now=0.0) == pytest.approx(0.5)
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate_bps=8_000, burst_bytes=1_000)
+        bucket.delay_for(1_000, now=0.0)
+        # After 10 s the bucket is full again -- not 10x full.
+        bucket._refill(10.0)
+        assert bucket.available == 1_000
+
+    def test_oversized_message_slows_but_passes(self):
+        """A message larger than the burst doesn't wedge the path: it
+        waits for the deficit to be repaid, then flows."""
+        bucket = TokenBucket(rate_bps=8_000, burst_bytes=1_000)
+        delay = bucket.delay_for(5_000, now=0.0)
+        assert delay == pytest.approx(4.0)  # 4000 B deficit at 1000 B/s
+
+    def test_validation(self):
+        with pytest.raises(TransportError):
+            TokenBucket(rate_bps=0, burst_bytes=100)
+        with pytest.raises(TransportError):
+            TokenBucket(rate_bps=100, burst_bytes=0)
+
+
+class TestOverflowSemantics:
+    def overflowing_path(self, runtime, drop_policy, capacity=4):
+        _, out = make_source(runtime)
+        sink, received = make_sink(runtime)
+        qos = QosPolicy(
+            # Throttle hard so the buffer cannot drain during the burst.
+            rate=TokenBucket(rate_bps=8, burst_bytes=1),
+            buffer_capacity=capacity,
+            drop_policy=drop_policy,
+        )
+        path = runtime.transport.connect(
+            out, sink.input_port("data-in"), qos=qos
+        )
+        return path, out, received
+
+    def test_drop_newest_rejects_the_arrival(self, single):
+        runtime = single.runtimes[0]
+        path, out, received = self.overflowing_path(
+            runtime, DropPolicy.DROP_NEWEST
+        )
+        for index in range(10):
+            out.send(text(f"m{index}"))
+        assert path.messages_dropped > 0
+        single.settle(2000.0)  # drain at ~1 B/s
+        # Tail drop: the oldest messages survived.
+        assert [m.payload for m in received][: path.capacity] == [
+            f"m{i}" for i in range(path.capacity)
+        ]
+
+    def test_drop_oldest_keeps_the_freshest(self, single):
+        runtime = single.runtimes[0]
+        path, out, received = self.overflowing_path(
+            runtime, DropPolicy.DROP_OLDEST
+        )
+        for index in range(10):
+            out.send(text(f"m{index}"))
+        assert path.messages_dropped > 0
+        single.settle(2000.0)
+        # Head drop: the latest messages survived.
+        assert [m.payload for m in received][-1] == "m9"
+
+    def test_enqueue_returns_false_on_tail_drop(self, single):
+        runtime = single.runtimes[0]
+        path, out, received = self.overflowing_path(
+            runtime, DropPolicy.DROP_NEWEST, capacity=2
+        )
+        results = [path.enqueue(text(f"m{i}")) for i in range(5)]
+        # First message is picked up by the delivery process immediately;
+        # after the buffer fills, every further enqueue is refused.
+        assert results.count(False) >= 2
+        assert path.messages_dropped == results.count(False)
+
+    def test_enqueue_on_closed_path_is_refused(self, single):
+        runtime = single.runtimes[0]
+        path, out, received = self.overflowing_path(
+            runtime, DropPolicy.DROP_NEWEST
+        )
+        path.close()
+        assert path.enqueue(text("late")) is False
+        single.settle(1.0)
+        assert received == []
+
+    def test_drop_trace_emitted(self, single):
+        runtime = single.runtimes[0]
+        path, out, received = self.overflowing_path(
+            runtime, DropPolicy.DROP_NEWEST, capacity=1
+        )
+        for index in range(5):
+            out.send(text(f"m{index}"))
+        assert single.network.trace.count("transport.drop") > 0
+
+
+class TestQosOnLossyPaths:
+    def test_rate_limited_remote_path_survives_loss(self, kernel, network, net_costs):
+        """A rate-limited path over a lossy LAN: TCP repairs the loss, the
+        bucket paces the translator, and nothing is dropped at the QoS
+        layer."""
+        from repro.core.runtime import UMiddleRuntime
+
+        hub = network.add_hub(
+            "lossy",
+            bandwidth_bps=net_costs.ethernet_bandwidth_bps,
+            latency_s=net_costs.ethernet_latency_s,
+            frame_overhead_bytes=net_costs.ethernet_frame_overhead_bytes,
+            loss_rate=0.1,
+            seed=7,
+        )
+        node_a = network.add_node("a")
+        node_b = network.add_node("b")
+        node_a.attach(hub)
+        node_b.attach(hub)
+        r0 = UMiddleRuntime(node_a, name="rt-a")
+        r1 = UMiddleRuntime(node_b, name="rt-b")
+
+        received = []
+        sink = Translator("display", role="display")
+        sink.add_digital_input("data-in", "text/plain", received.append)
+        r1.register_translator(sink)
+        _, out = make_source(r0)
+        kernel.run(until=kernel.now + 1.0)
+
+        profile = r0.lookup(Query(role="display"))[0]
+        qos = QosPolicy.rate_limited(rate_bps=8_000, burst_bytes=500)
+        path = r0.transport.connect(out, profile.port_ref("data-in"), qos=qos)
+        for index in range(10):
+            out.send(text(f"m{index}", size=100))
+        kernel.run(until=kernel.now + 30.0)
+
+        assert hub.frames_dropped > 0  # the loss was real
+        assert path.messages_dropped == 0
+        assert [m.payload for m in received] == [f"m{i}" for i in range(10)]
+        # The bucket actually paced the flow: 1000 B at 1000 B/s with a
+        # 500 B burst cannot complete in under ~0.5 s of simulated time.
+        assert path.messages_delivered == 10

@@ -248,5 +248,10 @@ class TestRemotePaths:
         # Kill r1's transport entirely, then send.
         r1.transport.stop()
         out.send(text("into the void"))
+        # The envelope is first spooled and retried with backoff...
         rig.settle(5.0)
+        assert r0.transport.undeliverable == 0
+        assert r0.transport.retries >= 1
+        # ...and only counted undeliverable once the retry budget runs out.
+        rig.settle(60.0)
         assert r0.transport.undeliverable >= 1
