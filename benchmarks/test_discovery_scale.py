@@ -1,0 +1,224 @@
+"""Discovery hot-path benchmark: indexed lookup, digest gossip, fan-out.
+
+Unlike the paper-reproduction benchmarks (simulated time on calibrated
+cost models), this one measures *wall-clock* cost of the directory's
+discovery hot path at federation scale -- the machine-readable perf
+baseline for the ROADMAP's "fast as the hardware allows" trajectory:
+
+- ``lookup``: a selective query answered through the inverted index
+  versus the pre-index linear scan (both run in the same process on the
+  same directory, so the comparison guards against silent index bypass);
+- ``announce``: applying a peer's full-state announcement cold (parse
+  every profile) versus the steady-state digest heartbeat (O(1));
+- ``fanout``: routing one translator-added event through the
+  standing-query subscription index versus broadcasting it to every
+  listener (the pre-index O(bindings) path).
+
+Results are written to ``BENCH_discovery.json`` at the repository root so
+subsequent PRs can track the trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.core.directory import DirectoryListener
+from repro.core.profile import TranslatorProfile
+from repro.core.query import Query
+from repro.core.runtime import UMiddleRuntime
+from repro.core.shapes import Direction, PortSpec, Shape
+from repro.testbed import build_testbed
+
+SCALES = (100, 1000, 5000)
+OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_discovery.json"
+
+PLATFORMS = ("upnp", "jini", "bluetooth", "motes", "webservices")
+ROLES = ("display", "sensor", "printer", "player", "storage")
+MIMES = (
+    "text/plain",
+    "image/jpeg",
+    "audio/wav",
+    "application/postscript",
+    "video/mpeg",
+)
+PERCEPTIONS = ("visible", "audible", "tangible")
+MEDIA = ("paper", "screen", "air", "light", "surface")
+
+#: Selective query exercised by the lookup comparison: three indexed axes
+#: whose intersection is ~0.4% of the population (a handful of devices out
+#: of the whole federation -- the common "find me the printer" shape).
+SELECTIVE = Query(
+    platform="upnp", device_type="type-0", input_mime="text/plain"
+)
+
+
+def make_profile(index: int, runtime_id: str) -> TranslatorProfile:
+    shape = Shape(
+        [
+            PortSpec.digital("in", Direction.IN, MIMES[index % len(MIMES)]),
+            PortSpec.digital("out", Direction.OUT, MIMES[(index + 1) % len(MIMES)]),
+            PortSpec.physical(
+                "effect",
+                Direction.OUT,
+                f"{PERCEPTIONS[index % 3]}/{MEDIA[index % len(MEDIA)]}",
+            ),
+        ]
+    )
+    return TranslatorProfile(
+        translator_id=f"t-{index:05d}",
+        name=f"svc-{index:05d}",
+        platform=PLATFORMS[index % len(PLATFORMS)],
+        device_type=f"type-{index % 250}",
+        role=ROLES[index % len(ROLES)],
+        runtime_id=runtime_id,
+        shape=shape,
+    )
+
+
+def offline_runtime(bed, host: str) -> UMiddleRuntime:
+    """A runtime with no sockets/processes: pure data-structure costs."""
+    node = bed.add_host(host)
+    return UMiddleRuntime(node, name=f"bench-{host}", auto_start=False)
+
+
+def best_timing(fn, repeat: int = 5, number: int = 100) -> float:
+    """Best mean seconds-per-call over ``repeat`` batches of ``number``."""
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        for _ in range(number):
+            fn()
+        best = min(best, (time.perf_counter() - start) / number)
+    return best
+
+
+def bench_lookup(directory, population: int) -> dict:
+    indexed = directory.lookup(SELECTIVE)
+    linear = directory.lookup_linear(SELECTIVE)
+    assert indexed == linear, "indexed lookup diverged from the linear oracle"
+    assert indexed, "selective query must match something"
+    number = max(10, 20_000 // population)
+    indexed_s = best_timing(lambda: directory.lookup(SELECTIVE), number=number * 10)
+    linear_s = best_timing(lambda: directory.lookup_linear(SELECTIVE), number=number)
+    return {
+        "matches": len(indexed),
+        "indexed_us": round(indexed_s * 1e6, 3),
+        "linear_us": round(linear_s * 1e6, 3),
+        "speedup": round(linear_s / indexed_s, 1),
+    }
+
+
+def bench_announce(bed, sender, population: int) -> dict:
+    receiver = offline_runtime(bed, f"recv-{population}")
+    full = sender.directory._announcement(
+        sender.directory._local_profiles(), [], True, False
+    )
+    start = time.perf_counter()
+    receiver.directory._apply_announcement(full)
+    cold_s = time.perf_counter() - start
+    assert len(receiver.directory.profiles()) == population
+
+    heartbeat = sender.directory._announcement([], [], False, True)
+    heartbeat_s = best_timing(
+        lambda: receiver.directory._apply_announcement(heartbeat), number=500
+    )
+    # Steady state: the digest matched, so no full-state pull happened.
+    assert receiver.directory.full_requests_sent == 0
+    refull_s = best_timing(
+        lambda: receiver.directory._apply_announcement(full), number=50
+    )
+    return {
+        "cold_full_apply_ms": round(cold_s * 1e3, 3),
+        "heartbeat_apply_us": round(heartbeat_s * 1e6, 3),
+        "digest_matched_full_apply_us": round(refull_s * 1e6, 3),
+        "heartbeat_speedup_vs_cold": round(cold_s / heartbeat_s, 1),
+    }
+
+
+def bench_fanout(bed, population: int) -> dict:
+    """One added-event against ``population`` standing queries."""
+    routed_rt = offline_runtime(bed, f"route-{population}")
+    broadcast_rt = offline_runtime(bed, f"bcast-{population}")
+    hits = []
+
+    def make_listener(query):
+        return DirectoryListener.from_callbacks(
+            added=lambda p, q=query: q.matches(p) and hits.append(p.translator_id)
+        )
+
+    for k in range(population):
+        query = Query(role=f"standing-role-{k}")
+        routed_rt.directory.subscribe_query(query, make_listener(query))
+        broadcast_rt.directory.add_directory_listener(make_listener(query))
+
+    event = make_profile(0, "bench-origin")
+    event = TranslatorProfile(
+        translator_id=event.translator_id,
+        name=event.name,
+        platform=event.platform,
+        device_type=event.device_type,
+        role="standing-role-0",
+        runtime_id=event.runtime_id,
+        shape=event.shape,
+    )
+    routed_s = best_timing(lambda: routed_rt.directory._notify_added(event), number=200)
+    broadcast_s = best_timing(
+        lambda: broadcast_rt.directory._notify_added(event),
+        number=max(5, 2000 // population),
+    )
+    assert hits, "the matching standing query must fire"
+    return {
+        "subscriptions": population,
+        "routed_us": round(routed_s * 1e6, 3),
+        "broadcast_us": round(broadcast_s * 1e6, 3),
+        "speedup": round(broadcast_s / routed_s, 1),
+    }
+
+
+def test_discovery_scale(compare):
+    results = []
+    for population in SCALES:
+        bed = build_testbed(hosts=[])
+        runtime = offline_runtime(bed, f"host-{population}")
+        for index in range(population):
+            runtime.directory.register(make_profile(index, runtime.runtime_id))
+        runtime.directory.check_index_consistency()
+        results.append(
+            {
+                "translators": population,
+                "lookup": bench_lookup(runtime.directory, population),
+                "announce": bench_announce(bed, runtime, population),
+                "fanout": bench_fanout(bed, population),
+            }
+        )
+
+    OUTPUT.write_text(json.dumps({"benchmark": "discovery_scale", "schema": 1,
+                                  "scales": results}, indent=2) + "\n")
+
+    compare(
+        "Discovery hot path: indexed vs. linear (wall clock)",
+        ["n", "lookup idx (us)", "lookup scan (us)", "speedup",
+         "heartbeat (us)", "cold full (ms)", "fanout speedup"],
+        [
+            [
+                r["translators"],
+                r["lookup"]["indexed_us"],
+                r["lookup"]["linear_us"],
+                f"{r['lookup']['speedup']}x",
+                r["announce"]["heartbeat_apply_us"],
+                r["announce"]["cold_full_apply_ms"],
+                f"{r['fanout']['speedup']}x",
+            ]
+            for r in results
+        ],
+    )
+
+    # Smoke guard against a silent index bypass: at 1k translators the
+    # indexed path must beat the linear scan by an order of magnitude.
+    at_1k = next(r for r in results if r["translators"] == 1000)
+    assert at_1k["lookup"]["speedup"] >= 10.0, at_1k
+    for r in results:
+        assert r["fanout"]["speedup"] > 1.0, r
+        assert r["announce"]["heartbeat_speedup_vs_cold"] > 1.0, r

@@ -55,7 +55,11 @@ class DynamicBinding(DirectoryListener):
         self._bound: Dict[str, List] = {}
         self.closed = False
 
-        runtime.directory.add_directory_listener(self)
+        # Standing-query subscription: the directory routes added/removed
+        # events to this binding only for profiles carrying one of the
+        # query's coarse index keys, instead of broadcasting every event
+        # to every binding.
+        runtime.directory.subscribe_query(query, self)
         for profile in runtime.directory.lookup(query):
             self._bind_profile(profile)
 
@@ -140,7 +144,7 @@ class DynamicBinding(DirectoryListener):
         if self.closed:
             return
         self.closed = True
-        self.runtime.directory.remove_directory_listener(self)
+        self.runtime.directory.unsubscribe_query(self)
         self.runtime._forget_binding(self)
         for paths in self._bound.values():
             for path in paths:

@@ -9,15 +9,43 @@ protocols used by particular devices (Section 3.2).
 
 Gossip transport: UDP.  Runtimes on the same network segment find each
 other via a well-known multicast group; runtimes on different segments are
-federated explicitly with :meth:`Directory.federate`.  Advertisements are
-periodic full-state announcements plus immediate incremental updates;
-remote entries are soft state with a lease, so crashed runtimes age out.
+federated explicitly with :meth:`Directory.federate`.
+
+Discovery hot path (beyond the paper, for federation scale):
+
+- **Inverted index.**  Every entry is indexed under its coarse (axis,
+  value) keys -- platform, device type, role, and each port type expanded
+  to all wildcard patterns it satisfies (see
+  :meth:`TranslatorProfile.index_keys`).  :meth:`lookup` intersects the
+  buckets for the query's keys and runs :meth:`Query.matches` only on the
+  candidate set, instead of scanning every entry.
+- **Standing-query subscriptions.**  :meth:`subscribe_query` registers a
+  listener under one of its query's coarse keys, so added/removed events
+  are routed only to subscribers whose key appears in the profile's key
+  set -- O(affected) instead of O(listeners) per event.
+- **Delta/digest gossip.**  Immediate incremental (versioned) updates on
+  register/unregister; the periodic announcement is a constant-size
+  heartbeat carrying a digest of the sender's full local state.  A
+  receiver whose recorded digest matches skips all parsing; on mismatch
+  (or a version gap in the delta stream) it requests a full state
+  transfer.  Remote entries are soft state with a lease, refreshed by the
+  owner runtime's heartbeats, so crashed runtimes age out.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
-from typing import Callable, Dict, Generator, List, Optional, TYPE_CHECKING
+from typing import (
+    Callable,
+    Dict,
+    Generator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    TYPE_CHECKING,
+)
 
 from repro.core.errors import DirectoryError
 from repro.core.profile import TranslatorProfile
@@ -34,12 +62,18 @@ __all__ = ["DirectoryListener", "RuntimeInfo", "Directory"]
 DIRECTORY_GROUP = "umiddle-directory"
 DIRECTORY_PORT = 7701
 
-#: Period between full-state announcements.
+#: Period between announcements (heartbeats after the initial full state).
 ANNOUNCE_INTERVAL = 5.0
 #: Remote entries (and runtimes) older than this are expired.
 LEASE = 3 * ANNOUNCE_INTERVAL
 #: Period of the expiry sweep.
 SWEEP_INTERVAL = 1.0
+
+#: Wire size of a constant-size control datagram (heartbeat header,
+#: version + digest, full-state request).
+CONTROL_OVERHEAD = 144
+
+_IndexKey = Tuple[str, str]
 
 
 class DirectoryListener:
@@ -84,6 +118,33 @@ class _Entry:
     profile: TranslatorProfile
     local: bool
     last_seen: float
+    seq: int = 0
+
+
+@dataclass
+class _PeerState:
+    """Last-applied gossip state for one peer runtime (digest bookkeeping)."""
+
+    version: int
+    digest: Optional[str]
+
+
+class _QuerySubscription:
+    """One standing query routed through the subscription index."""
+
+    __slots__ = ("query", "listener", "route_key", "seq")
+
+    def __init__(
+        self,
+        query: Query,
+        listener: DirectoryListener,
+        route_key: Optional[_IndexKey],
+        seq: int,
+    ):
+        self.query = query
+        self.listener = listener
+        self.route_key = route_key
+        self.seq = seq
 
 
 class Directory:
@@ -93,12 +154,29 @@ class Directory:
         self.runtime = runtime
         self.port = port
         self._entries: Dict[str, _Entry] = {}
+        self._entry_seq = 0
+        #: inverted discovery index: coarse key -> translator ids.
+        self._index: Dict[_IndexKey, Set[str]] = {}
+        #: remote translator ids grouped by owning runtime.
+        self._by_runtime: Dict[str, Set[str]] = {}
         self._listeners: List[DirectoryListener] = []
+        #: standing-query subscriptions, bucketed by one routing key each
+        #: (None = not coarsely indexable, receives every event).
+        self._subscriptions: Dict[Optional[_IndexKey], List[_QuerySubscription]] = {}
+        self._subscribed: Dict[DirectoryListener, _QuerySubscription] = {}
+        self._sub_seq = 0
         self._runtimes: Dict[str, RuntimeInfo] = {}
         self._peers: Dict[Address, int] = {}
+        #: addresses added via explicit federate(); never auto-expired.
+        self._federated: Set[Address] = set()
+        self._peer_states: Dict[str, _PeerState] = {}
+        self._version = 0
+        self._digest_cache: Optional[str] = None
         self._socket: Optional[DatagramSocket] = None
         self.announcements_sent = 0
         self.announcements_received = 0
+        self.full_requests_sent = 0
+        self.full_requests_received = 0
         self.started = False
 
     # -- lifecycle ------------------------------------------------------------
@@ -127,7 +205,40 @@ class Directory:
     # -- Figure 6 API ------------------------------------------------------------
 
     def lookup(self, query: Query) -> List[TranslatorProfile]:
-        """Profiles of translators that match ``query`` (Figure 6-1)."""
+        """Profiles of translators that match ``query`` (Figure 6-1).
+
+        Sub-linear for any query with at least one coarse criterion: the
+        index buckets for the query's keys are intersected and
+        :meth:`Query.matches` runs only on the candidates.  Queries with no
+        indexable criterion (empty, or name/attributes only) fall back to
+        the linear scan.
+        """
+        keys = query.index_keys()
+        if not keys:
+            return self.lookup_linear(query)
+        buckets = []
+        for key in keys:
+            bucket = self._index.get(key)
+            if not bucket:
+                return []
+            buckets.append(bucket)
+        buckets.sort(key=len)
+        candidates = buckets[0]
+        for other in buckets[1:]:
+            candidates = candidates & other
+            if not candidates:
+                return []
+        matched = [
+            entry
+            for entry in (self._entries[tid] for tid in candidates)
+            if query.matches(entry.profile)
+        ]
+        matched.sort(key=lambda entry: entry.seq)
+        return [entry.profile for entry in matched]
+
+    def lookup_linear(self, query: Query) -> List[TranslatorProfile]:
+        """Reference O(entries) scan -- the pre-index semantics, kept as
+        the oracle for equivalence tests and the benchmark baseline."""
         return [
             entry.profile
             for entry in self._entries.values()
@@ -135,29 +246,53 @@ class Directory:
         ]
 
     def add_directory_listener(self, listener: DirectoryListener) -> None:
-        """Register for map/unmap notifications (Figure 6-2)."""
+        """Register for every map/unmap notification (Figure 6-2)."""
         self._listeners.append(listener)
 
     def remove_directory_listener(self, listener: DirectoryListener) -> None:
         if listener in self._listeners:
             self._listeners.remove(listener)
 
+    def subscribe_query(self, query: Query, listener: DirectoryListener) -> None:
+        """Register a standing query: ``listener`` receives added/removed
+        events only for profiles that carry one of the query's coarse keys
+        (a superset of the exact matches -- callers still run
+        :meth:`Query.matches`)."""
+        if listener in self._subscribed:
+            return
+        keys = query.index_keys()
+        route_key = keys[0] if keys else None
+        self._sub_seq += 1
+        subscription = _QuerySubscription(query, listener, route_key, self._sub_seq)
+        self._subscribed[listener] = subscription
+        self._subscriptions.setdefault(route_key, []).append(subscription)
+
+    def unsubscribe_query(self, listener: DirectoryListener) -> None:
+        subscription = self._subscribed.pop(listener, None)
+        if subscription is None:
+            return
+        bucket = self._subscriptions.get(subscription.route_key)
+        if bucket is not None:
+            bucket.remove(subscription)
+            if not bucket:
+                del self._subscriptions[subscription.route_key]
+
     # -- local registration ---------------------------------------------------------
 
     def register(self, profile: TranslatorProfile) -> None:
         if profile.translator_id in self._entries:
             raise DirectoryError(f"duplicate translator id {profile.translator_id!r}")
-        self._entries[profile.translator_id] = _Entry(
-            profile, local=True, last_seen=self.runtime.kernel.now
-        )
+        self._store_entry(profile, local=True, now=self.runtime.kernel.now)
+        self._bump_version()
         self._notify_added(profile)
         if self.started:
             self._announce(profiles=[profile])
 
     def unregister(self, translator_id: str) -> None:
-        entry = self._entries.pop(translator_id, None)
+        entry = self._drop_entry(translator_id)
         if entry is None:
             raise DirectoryError(f"unknown translator id {translator_id!r}")
+        self._bump_version()
         self._notify_removed(entry.profile)
         if self.started:
             self._announce(removed=[translator_id])
@@ -189,6 +324,55 @@ class Directory:
     def known_runtimes(self) -> List[RuntimeInfo]:
         return list(self._runtimes.values())
 
+    # -- entry + index maintenance ------------------------------------------------------
+
+    def _store_entry(
+        self, profile: TranslatorProfile, local: bool, now: float
+    ) -> _Entry:
+        self._entry_seq += 1
+        entry = _Entry(profile, local=local, last_seen=now, seq=self._entry_seq)
+        self._entries[profile.translator_id] = entry
+        for key in profile.index_keys():
+            self._index.setdefault(key, set()).add(profile.translator_id)
+        if not local:
+            self._by_runtime.setdefault(profile.runtime_id, set()).add(
+                profile.translator_id
+            )
+        return entry
+
+    def _drop_entry(self, translator_id: str) -> Optional[_Entry]:
+        entry = self._entries.pop(translator_id, None)
+        if entry is None:
+            return None
+        for key in entry.profile.index_keys():
+            bucket = self._index.get(key)
+            if bucket is not None:
+                bucket.discard(translator_id)
+                if not bucket:
+                    del self._index[key]
+        if not entry.local:
+            owned = self._by_runtime.get(entry.profile.runtime_id)
+            if owned is not None:
+                owned.discard(translator_id)
+                if not owned:
+                    del self._by_runtime[entry.profile.runtime_id]
+        return entry
+
+    def check_index_consistency(self) -> None:
+        """Assert the inverted index and per-runtime grouping exactly
+        mirror ``_entries`` (used by tests after churn)."""
+        expected_index: Dict[_IndexKey, Set[str]] = {}
+        expected_by_runtime: Dict[str, Set[str]] = {}
+        for translator_id, entry in self._entries.items():
+            for key in entry.profile.index_keys():
+                expected_index.setdefault(key, set()).add(translator_id)
+            if not entry.local:
+                expected_by_runtime.setdefault(entry.profile.runtime_id, set()).add(
+                    translator_id
+                )
+        assert expected_index == self._index, "inverted index diverged from entries"
+        assert expected_by_runtime == self._by_runtime, "by-runtime grouping diverged"
+
     # -- failure handling --------------------------------------------------------------
 
     def expire_runtime(self, runtime_id: str, reason: str = "unreachable") -> None:
@@ -202,10 +386,11 @@ class Directory:
         if runtime_id == self.runtime.runtime_id:
             return
         info = self._runtimes.pop(runtime_id, None)
+        self._forget_peer_state(runtime_id, info)
         reaped = 0
-        for translator_id, entry in list(self._entries.items()):
-            if not entry.local and entry.profile.runtime_id == runtime_id:
-                del self._entries[translator_id]
+        for translator_id in list(self._by_runtime.get(runtime_id, ())):
+            entry = self._drop_entry(translator_id)
+            if entry is not None:
                 self._notify_removed(entry.profile)
                 reaped += 1
         if info is not None or reaped:
@@ -219,12 +404,30 @@ class Directory:
         """Drop every soft-state entry learned from peers (crash semantics:
         a crashed runtime loses its in-memory view of the federation and
         re-learns it from gossip after restart).  Listeners are notified so
-        standing bindings unbind their now-unknown remote endpoints."""
+        standing bindings unbind their now-unknown remote endpoints.
+        Explicitly federated peer addresses survive -- they are
+        configuration, like local translators."""
         for translator_id, entry in list(self._entries.items()):
             if not entry.local:
-                del self._entries[translator_id]
+                self._drop_entry(translator_id)
                 self._notify_removed(entry.profile)
         self._runtimes.clear()
+        self._peer_states.clear()
+        self._peers = {
+            address: port
+            for address, port in self._peers.items()
+            if address in self._federated
+        }
+
+    def _forget_peer_state(
+        self, runtime_id: str, info: Optional[RuntimeInfo]
+    ) -> None:
+        """Drop the gossip bookkeeping for a dead peer: its digest record
+        (so a later heartbeat cannot false-match against purged state) and
+        its learned unicast address (so announcements stop chasing it)."""
+        self._peer_states.pop(runtime_id, None)
+        if info is not None and info.address not in self._federated:
+            self._peers.pop(info.address, None)
 
     # -- federation ------------------------------------------------------------------------
 
@@ -232,10 +435,24 @@ class Directory:
         """Add an explicit unicast peer (for cross-segment federations) and
         push it our full state immediately."""
         self._peers[peer] = peer_port
+        self._federated.add(peer)
         if self.started:
             self._announce(full=True, to=[(peer, peer_port)])
 
     # -- notification helpers -----------------------------------------------------------------
+
+    def _subscribers_for(
+        self, profile: TranslatorProfile
+    ) -> List[_QuerySubscription]:
+        if not self._subscriptions:
+            return []
+        targets = list(self._subscriptions.get(None, ()))
+        for key in profile.index_keys():
+            bucket = self._subscriptions.get(key)
+            if bucket:
+                targets.extend(bucket)
+        targets.sort(key=lambda subscription: subscription.seq)
+        return targets
 
     def _notify_added(self, profile: TranslatorProfile) -> None:
         self.runtime.trace(
@@ -243,6 +460,8 @@ class Directory:
         )
         for listener in list(self._listeners):
             listener.translator_added(profile)
+        for subscription in self._subscribers_for(profile):
+            subscription.listener.translator_added(profile)
 
     def _notify_removed(self, profile: TranslatorProfile) -> None:
         self.runtime.trace(
@@ -250,29 +469,54 @@ class Directory:
         )
         for listener in list(self._listeners):
             listener.translator_removed(profile)
+        for subscription in self._subscribers_for(profile):
+            subscription.listener.translator_removed(profile)
 
     # -- announcements ---------------------------------------------------------------------------
 
     def _local_profiles(self) -> List[TranslatorProfile]:
         return [e.profile for e in self._entries.values() if e.local]
 
-    def _announcement(self, profiles, removed, full) -> dict:
+    def _bump_version(self) -> None:
+        self._version += 1
+        self._digest_cache = None
+
+    def state_digest(self) -> str:
+        """Digest of the full local state (the translators we own)."""
+        if self._digest_cache is None:
+            hasher = hashlib.sha1()
+            for translator_id, entry in sorted(self._entries.items()):
+                if entry.local:
+                    hasher.update(translator_id.encode("utf-8"))
+                    hasher.update(b"\x00")
+                    hasher.update(entry.profile.wire_digest.encode("ascii"))
+                    hasher.update(b"\n")
+            self._digest_cache = hasher.hexdigest()
+        return self._digest_cache
+
+    def _origin_block(self) -> dict:
+        return {
+            "id": self.runtime.runtime_id,
+            "address": str(self.runtime.node.address),
+            "transport_port": self.runtime.transport.port,
+            "directory_port": self.port,
+        }
+
+    def _announcement(self, profiles, removed, full, heartbeat) -> dict:
         return {
             "kind": "umiddle-directory",
-            "runtime": {
-                "id": self.runtime.runtime_id,
-                "address": str(self.runtime.node.address),
-                "transport_port": self.runtime.transport.port,
-                "directory_port": self.port,
-            },
+            "runtime": self._origin_block(),
             "full": full,
+            "heartbeat": heartbeat,
+            "version": self._version,
+            "digest": self.state_digest(),
             "profiles": [p.to_dict() for p in profiles],
             "removed": list(removed),
         }
 
     def _estimate_size(self, profiles, removed) -> int:
         return (
-            96
+            CONTROL_OVERHEAD
             + sum(p.estimated_size() for p in profiles)
             + sum(len(r) + 4 for r in removed)
         )
@@ -282,6 +526,7 @@ class Directory:
         profiles: Optional[List[TranslatorProfile]] = None,
         removed: Optional[List[str]] = None,
         full: bool = False,
+        heartbeat: bool = False,
         to: Optional[List] = None,
     ) -> None:
         if self._socket is None or self._socket.closed:
@@ -290,7 +535,7 @@ class Directory:
         removed = removed or []
         if full:
             profiles = self._local_profiles()
-        payload = self._announcement(profiles, removed, full)
+        payload = self._announcement(profiles, removed, full, heartbeat)
         size = self._estimate_size(profiles, removed)
         if to is None:
             self._socket.send_multicast(payload, size, DIRECTORY_GROUP, self.port)
@@ -301,11 +546,22 @@ class Directory:
                 self._socket.sendto(payload, size, address, port)
         self.announcements_sent += 1
 
+    def _request_full_state(self, address: Address, port: int) -> None:
+        if self._socket is None or self._socket.closed:
+            return
+        payload = {"kind": "umiddle-directory-request", "runtime": self._origin_block()}
+        self._socket.sendto(payload, CONTROL_OVERHEAD, address, port)
+        self.full_requests_sent += 1
+
     def _announcer(self) -> Generator:
         kernel = self.runtime.kernel
         socket = self._socket
+        first = True
         while socket is not None and not socket.closed:
-            self._announce(full=True)
+            # Full state once on (re)start, then constant-size heartbeats;
+            # receivers pull a full transfer only on digest mismatch.
+            self._announce(full=first, heartbeat=not first)
+            first = False
             yield kernel.timeout(ANNOUNCE_INTERVAL)
 
     def _sweeper(self) -> Generator:
@@ -314,14 +570,23 @@ class Directory:
         while socket is not None and not socket.closed:
             yield kernel.timeout(SWEEP_INTERVAL)
             deadline = kernel.now - LEASE
-            for translator_id, entry in list(self._entries.items()):
-                if not entry.local and entry.last_seen < deadline:
-                    del self._entries[translator_id]
-                    self._notify_removed(entry.profile)
             for runtime_id, info in list(self._runtimes.items()):
                 if info.last_seen < deadline:
                     del self._runtimes[runtime_id]
+                    self._forget_peer_state(runtime_id, info)
                     self.runtime.trace("directory.runtime-lost", runtime_id)
+            for translator_id, entry in list(self._entries.items()):
+                if entry.local:
+                    continue
+                # A heartbeat refreshes the owner runtime's lease in O(1);
+                # its entries inherit that freshness here.
+                info = self._runtimes.get(entry.profile.runtime_id)
+                last = entry.last_seen if info is None else max(
+                    entry.last_seen, info.last_seen
+                )
+                if last < deadline:
+                    self._drop_entry(translator_id)
+                    self._notify_removed(entry.profile)
 
     # -- receiving ----------------------------------------------------------------------------------
 
@@ -335,7 +600,19 @@ class Directory:
             except ConnectionClosed:
                 return
             payload = datagram.payload
-            if not isinstance(payload, dict) or payload.get("kind") != "umiddle-directory":
+            if not isinstance(payload, dict):
+                continue
+            kind = payload.get("kind")
+            if kind == "umiddle-directory-request":
+                origin = payload.get("runtime")
+                if origin and origin["id"] != self.runtime.runtime_id:
+                    self.full_requests_received += 1
+                    self._announce(
+                        full=True,
+                        to=[(Address(origin["address"]), origin["directory_port"])],
+                    )
+                continue
+            if kind != "umiddle-directory":
                 continue
             origin = payload["runtime"]
             if origin["id"] == self.runtime.runtime_id:
@@ -351,43 +628,95 @@ class Directory:
         origin = payload["runtime"]
         runtime_id = origin["id"]
         address = Address(origin["address"])
+        directory_port = origin["directory_port"]
+        newcomer = runtime_id not in self._runtimes
         self._runtimes[runtime_id] = RuntimeInfo(
             runtime_id=runtime_id,
             address=address,
             transport_port=origin["transport_port"],
-            directory_port=origin["directory_port"],
+            directory_port=directory_port,
             last_seen=now,
         )
-        self._peers[address] = origin["directory_port"]
+        self._peers[address] = directory_port
 
+        version = payload.get("version")
+        digest = payload.get("digest")
+        peer = self._peer_states.get(runtime_id)
+
+        if payload.get("heartbeat"):
+            # Lease refresh is the runtime-info update above (the sweeper
+            # consults owner liveness); state only moves on mismatch.
+            if peer is None or digest is None or peer.digest != digest:
+                self._request_full_state(address, directory_port)
+        elif payload["full"]:
+            if peer is not None and digest is not None and peer.digest == digest:
+                if version is not None:
+                    peer.version = version  # duplicate copy: state identical
+            else:
+                self._apply_profiles(payload, runtime_id, now, full=True)
+                self._peer_states[runtime_id] = _PeerState(
+                    version=version or 0, digest=digest
+                )
+        else:
+            if peer is not None and version is not None and version <= peer.version:
+                pass  # stale or duplicate delta (multicast + unicast copies)
+            elif peer is not None and version is not None and version == peer.version + 1:
+                self._apply_profiles(payload, runtime_id, now, full=False)
+                peer.version = version
+                peer.digest = digest
+            else:
+                # Version gap (missed deltas) or first contact via a delta:
+                # apply best-effort, drop the digest record so heartbeats
+                # cannot false-match, and pull a full transfer.
+                self._apply_profiles(payload, runtime_id, now, full=False)
+                self._peer_states[runtime_id] = _PeerState(
+                    version=version or 0, digest=None
+                )
+                self._request_full_state(address, directory_port)
+
+        if newcomer and self.started:
+            # Teach late joiners our state in one RTT instead of making
+            # them wait for our next heartbeat + request round-trip.
+            self._announce(full=True, to=[(address, directory_port)])
+
+    def _apply_profiles(
+        self, payload: dict, runtime_id: str, now: float, full: bool
+    ) -> None:
         mentioned = set()
         for data in payload["profiles"]:
             profile = TranslatorProfile.from_dict(data)
             mentioned.add(profile.translator_id)
             existing = self._entries.get(profile.translator_id)
             if existing is None:
-                self._entries[profile.translator_id] = _Entry(
-                    profile, local=False, last_seen=now
-                )
+                self._store_entry(profile, local=False, now=now)
                 self._notify_added(profile)
             elif not existing.local:
-                existing.profile = profile
-                existing.last_seen = now
+                if existing.profile is not profile and existing.profile != profile:
+                    # The translator's advertised shape/attributes changed:
+                    # re-announce it so standing bindings re-evaluate.
+                    old = existing.profile
+                    self._drop_entry(profile.translator_id)
+                    self._notify_removed(old)
+                    self._store_entry(profile, local=False, now=now)
+                    self._notify_added(profile)
+                else:
+                    existing.last_seen = now
 
         for translator_id in payload["removed"]:
             entry = self._entries.get(translator_id)
             if entry is not None and not entry.local:
-                del self._entries[translator_id]
+                self._drop_entry(translator_id)
                 self._notify_removed(entry.profile)
 
-        if payload["full"]:
+        if full:
             # Entries claimed by this runtime but absent from its full state
             # are gone.
-            for translator_id, entry in list(self._entries.items()):
-                if (
-                    not entry.local
-                    and entry.profile.runtime_id == runtime_id
-                    and translator_id not in mentioned
-                ):
-                    del self._entries[translator_id]
+            stale = [
+                translator_id
+                for translator_id in self._by_runtime.get(runtime_id, ())
+                if translator_id not in mentioned
+            ]
+            for translator_id in stale:
+                entry = self._drop_entry(translator_id)
+                if entry is not None:
                     self._notify_removed(entry.profile)

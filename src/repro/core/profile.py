@@ -8,13 +8,31 @@ by the directory module.
 
 from __future__ import annotations
 
+import hashlib
+import json
+import weakref
 from dataclasses import dataclass, field
-from typing import Any, Dict
+from typing import Any, Dict, Tuple
 
 from repro.core.errors import ShapeError
 from repro.core.shapes import Direction, DigitalType, PhysicalType, PortSpec, Shape
 
 __all__ = ["PortRef", "TranslatorProfile"]
+
+
+def _canonical_digest(data: Dict[str, Any]) -> str:
+    """Content digest of a wire-form dict (canonical JSON, key-sorted)."""
+    encoded = json.dumps(data, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    return hashlib.sha1(encoded).hexdigest()
+
+
+#: Profiles reconstructed from the wire, keyed by content digest.  Unchanged
+#: re-announcements of the same profile skip PortSpec/Shape reconstruction and
+#: validation entirely and share one instance (which also makes the cached
+#: wire form and index keys below pay off across the whole federation view).
+_INTERNED: "weakref.WeakValueDictionary[str, TranslatorProfile]" = (
+    weakref.WeakValueDictionary()
+)
 
 
 @dataclass(frozen=True, order=True)
@@ -59,9 +77,17 @@ class TranslatorProfile:
         return PortRef(self.runtime_id, self.translator_id, port_name)
 
     # -- wire form ---------------------------------------------------------
+    #
+    # The profile is frozen, so its wire form, estimated size, content
+    # digest and discovery index keys are each computed once and cached on
+    # the instance (via object.__setattr__).  Callers must treat the dict
+    # returned by to_dict() as immutable.
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serializable form used by directory advertisements."""
+        cached = self.__dict__.get("_wire")
+        if cached is not None:
+            return cached
         ports = []
         for spec in self.shape:
             entry: Dict[str, Any] = {
@@ -73,7 +99,7 @@ class TranslatorProfile:
             else:
                 entry["physical"] = str(spec.physical_type)
             ports.append(entry)
-        return {
+        wire = {
             "translator_id": self.translator_id,
             "name": self.name,
             "platform": self.platform,
@@ -84,9 +110,24 @@ class TranslatorProfile:
             "attributes": dict(self.attributes),
             "ports": ports,
         }
+        object.__setattr__(self, "_wire", wire)
+        return wire
+
+    @property
+    def wire_digest(self) -> str:
+        """Stable content digest of the wire form (delta/digest gossip)."""
+        cached = self.__dict__.get("_digest")
+        if cached is None:
+            cached = _canonical_digest(self.to_dict())
+            object.__setattr__(self, "_digest", cached)
+        return cached
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "TranslatorProfile":
+        digest = _canonical_digest(data)
+        interned = _INTERNED.get(digest)
+        if interned is not None:
+            return interned
         specs = []
         for entry in data["ports"]:
             direction = Direction(entry["direction"])
@@ -106,7 +147,7 @@ class TranslatorProfile:
                         physical_type=PhysicalType.parse(entry["physical"]),
                     )
                 )
-        return cls(
+        profile = cls(
             translator_id=data["translator_id"],
             name=data["name"],
             platform=data["platform"],
@@ -117,11 +158,49 @@ class TranslatorProfile:
             description=data.get("description", ""),
             attributes=dict(data.get("attributes", {})),
         )
+        # Seed the digest cache with the incoming form's digest: our own
+        # senders always emit the canonical (port-sorted) form, so this
+        # equals the canonical digest for all gossiped profiles.
+        object.__setattr__(profile, "_digest", digest)
+        _INTERNED[digest] = profile
+        return profile
 
     def estimated_size(self) -> int:
         """Approximate advertisement size in bytes (for simulated costs)."""
+        cached = self.__dict__.get("_size")
+        if cached is not None:
+            return cached
         base = 96
         base += len(self.name) + len(self.device_type) + len(self.role)
         base += 32 * len(self.shape)
         base += sum(len(str(k)) + len(str(v)) for k, v in self.attributes.items())
+        object.__setattr__(self, "_size", base)
         return base
+
+    def index_keys(self) -> Tuple[Tuple[str, str], ...]:
+        """Every coarse (axis, value) key this profile is discoverable by.
+
+        The closure property: for any query ``q`` with ``q.matches(self)``,
+        ``set(q.index_keys()) <= set(self.index_keys())``.  Scalar axes are
+        indexed verbatim; each concrete port type is expanded to all
+        wildcard patterns it satisfies, so pattern queries are exact-key
+        lookups too.
+        """
+        cached = self.__dict__.get("_index_keys")
+        if cached is not None:
+            return cached
+        keys = [
+            ("platform", self.platform),
+            ("device", self.device_type),
+            ("role", self.role),
+        ]
+        for spec in self.shape:
+            if spec.is_digital:
+                axis = "din" if spec.direction is Direction.IN else "dout"
+                keys.extend((axis, text) for text in spec.digital_type.expansions())
+            else:
+                axis = "pin" if spec.direction is Direction.IN else "pout"
+                keys.extend((axis, text) for text in spec.physical_type.expansions())
+        result = tuple(dict.fromkeys(keys))
+        object.__setattr__(self, "_index_keys", result)
+        return result

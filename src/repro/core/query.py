@@ -18,11 +18,11 @@ translator, which is how Pads enumerates the semantic space.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 from repro.core.errors import BindingError
 from repro.core.profile import TranslatorProfile
-from repro.core.shapes import DigitalType, PhysicalType, Shape
+from repro.core.shapes import DigitalType, Direction, PhysicalType, Shape
 
 __all__ = ["Query"]
 
@@ -56,6 +56,12 @@ class Query:
             object.__setattr__(
                 self, "physical_output", PhysicalType.parse(self.physical_output)
             )
+        # Case-folded needle, computed once instead of on every matches().
+        object.__setattr__(
+            self,
+            "_needle",
+            None if self.name_contains is None else self.name_contains.lower(),
+        )
 
     def matches(self, profile: TranslatorProfile) -> bool:
         """True if ``profile`` satisfies every criterion of this query."""
@@ -65,10 +71,7 @@ class Query:
             return False
         if self.role is not None and profile.role != self.role:
             return False
-        if (
-            self.name_contains is not None
-            and self.name_contains.lower() not in profile.name.lower()
-        ):
+        if self._needle is not None and self._needle not in profile.name.lower():
             return False
         shape = profile.shape
         if self.input_mime is not None and not shape.inputs_accepting(self.input_mime):
@@ -93,6 +96,46 @@ class Query:
             if profile.attributes.get(key) != value:
                 return False
         return True
+
+    def index_keys(self) -> Tuple[Tuple[str, str], ...]:
+        """The coarse (axis, value) keys this query constrains.
+
+        Every profile matching this query carries *all* of these keys in
+        its :meth:`TranslatorProfile.index_keys` set, so the directory can
+        intersect the index buckets for these keys to get a candidate
+        superset before running :meth:`matches` as the exact filter.
+        ``name_contains`` and ``attributes`` are not coarsely indexable and
+        contribute nothing; an empty result means "must scan".
+        """
+        cached = self.__dict__.get("_index_keys")
+        if cached is not None:
+            return cached
+        keys = []
+        if self.platform is not None:
+            keys.append(("platform", self.platform))
+        if self.device_type is not None:
+            keys.append(("device", self.device_type))
+        if self.role is not None:
+            keys.append(("role", self.role))
+        if self.input_mime is not None:
+            keys.append(("din", self.input_mime.mime))
+        if self.output_mime is not None:
+            keys.append(("dout", self.output_mime.mime))
+        if self.physical_input is not None:
+            keys.append(("pin", str(self.physical_input)))
+        if self.physical_output is not None:
+            keys.append(("pout", str(self.physical_output)))
+        if self.template is not None:
+            for spec in self.template:
+                if spec.is_digital:
+                    axis = "din" if spec.direction is Direction.IN else "dout"
+                    keys.append((axis, spec.digital_type.mime))
+                else:
+                    axis = "pin" if spec.direction is Direction.IN else "pout"
+                    keys.append((axis, str(spec.physical_type)))
+        result = tuple(dict.fromkeys(keys))
+        object.__setattr__(self, "_index_keys", result)
+        return result
 
     def is_empty(self) -> bool:
         """True if this query has no criteria (matches everything)."""

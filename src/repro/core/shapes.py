@@ -80,6 +80,17 @@ def _component_matches(concrete: str, pattern: str) -> bool:
     return pattern == "*" or concrete == pattern
 
 
+def _wildcard_expansions(first: str, second: str) -> Tuple[str, str, str, str]:
+    """Every pattern string a concrete ``first/second`` type satisfies.
+
+    A concrete type ``a/b`` matches exactly the patterns ``a/b``, ``a/*``,
+    ``*/b`` and ``*/*``, so indexing a concrete port under these four keys
+    lets any query pattern be answered with a single exact-key lookup
+    (the directory's inverted discovery index relies on this closure).
+    """
+    return (f"{first}/{second}", f"{first}/*", f"*/{second}", "*/*")
+
+
 @dataclass(frozen=True, order=True)
 class DigitalType:
     """A MIME type tag on a digital port, e.g. ``image/jpeg``.
@@ -113,6 +124,10 @@ class DigitalType:
         return _component_matches(self.major, pattern.major) and _component_matches(
             self.minor, pattern.minor
         )
+
+    def expansions(self) -> Tuple[str, str, str, str]:
+        """All pattern strings this concrete type satisfies (index keys)."""
+        return _wildcard_expansions(self.major, self.minor)
 
     def __str__(self) -> str:
         return self.mime
@@ -156,6 +171,10 @@ class PhysicalType:
         return _component_matches(self.perception, pattern.perception) and (
             _component_matches(self.media, pattern.media)
         )
+
+    def expansions(self) -> Tuple[str, str, str, str]:
+        """All pattern strings this concrete type satisfies (index keys)."""
+        return _wildcard_expansions(self.perception, self.media)
 
     def __str__(self) -> str:
         return f"{self.perception}/{self.media}"
@@ -221,6 +240,23 @@ class Shape:
             raise ShapeError(f"duplicate port names in shape: {duplicates}")
         self._ports: FrozenSet[PortSpec] = frozenset(port_list)
         self._by_name = {p.name: p for p in port_list}
+        # The shape is immutable: precompute the canonical ordering and the
+        # per-kind/direction selections once, instead of re-sorting and
+        # re-filtering on every matches()/satisfies() call (these sit on the
+        # discovery hot path, which runs them per candidate per lookup).
+        self._sorted: List[PortSpec] = sorted(port_list)
+        self._digital_in = [
+            p for p in self._sorted if p.is_digital and p.direction is Direction.IN
+        ]
+        self._digital_out = [
+            p for p in self._sorted if p.is_digital and p.direction is Direction.OUT
+        ]
+        self._physical_in = [
+            p for p in self._sorted if not p.is_digital and p.direction is Direction.IN
+        ]
+        self._physical_out = [
+            p for p in self._sorted if not p.is_digital and p.direction is Direction.OUT
+        ]
 
     # -- access -----------------------------------------------------------
 
@@ -238,7 +274,7 @@ class Shape:
         return name in self._by_name
 
     def __iter__(self) -> Iterator[PortSpec]:
-        return iter(sorted(self._ports))
+        return iter(self._sorted)
 
     def __len__(self) -> int:
         return len(self._ports)
@@ -256,16 +292,16 @@ class Shape:
     # -- selections -----------------------------------------------------------
 
     def digital_inputs(self) -> List[PortSpec]:
-        return [p for p in self if p.is_digital and p.direction is Direction.IN]
+        return self._digital_in
 
     def digital_outputs(self) -> List[PortSpec]:
-        return [p for p in self if p.is_digital and p.direction is Direction.OUT]
+        return self._digital_out
 
     def physical_inputs(self) -> List[PortSpec]:
-        return [p for p in self if not p.is_digital and p.direction is Direction.IN]
+        return self._physical_in
 
     def physical_outputs(self) -> List[PortSpec]:
-        return [p for p in self if not p.is_digital and p.direction is Direction.OUT]
+        return self._physical_out
 
     # -- compatibility ----------------------------------------------------------
 

@@ -121,8 +121,6 @@ class TestGossip:
         removal) converges on the owner's next full announcement."""
         from dataclasses import replace
 
-        from repro.core.directory import _Entry
-
         r0, r1 = rig.runtimes
         translator, _ = make_sink(r0, name="tv", role="display")
         rig.settle(1.0)
@@ -130,13 +128,15 @@ class TestGossip:
         # translator that r0's full state will not mention.
         real = r1.lookup(Query(role="display"))[0]
         ghost = replace(real, translator_id="ghost-id", name="ghost")
-        r1.directory._entries["ghost-id"] = _Entry(
-            ghost, local=False, last_seen=rig.kernel.now
-        )
+        r1.directory._store_entry(ghost, local=False, now=rig.kernel.now)
+        # The stale entry makes r1's digest record a lie: clear it so the
+        # next heartbeat mismatch pulls r0's authoritative full state.
+        r1.directory._peer_states.pop(r0.runtime_id, None)
         assert len(r1.lookup(Query(role="display"))) == 2
-        rig.settle(6.0)  # one full-announcement period
+        rig.settle(6.0)  # one heartbeat period + full-state transfer
         names = [p.name for p in r1.lookup(Query(role="display"))]
         assert names == ["tv"]
+        r1.directory.check_index_consistency()
 
     def test_lookup_spans_local_and_remote(self, rig):
         r0, r1 = rig.runtimes
@@ -145,6 +145,131 @@ class TestGossip:
         rig.settle(1.0)
         names = sorted(p.name for p in r1.lookup(Query(role="display")))
         assert names == ["projector", "tv"]
+
+
+class TestDeltaDigestGossip:
+    @staticmethod
+    def forge_delta(directory, origin_runtime, version, profiles, removed=()):
+        """A delta announcement as ``origin_runtime`` would send it, but with
+        a caller-chosen version (to exercise dup/gap handling)."""
+        info = directory.runtime_info(origin_runtime.runtime_id)
+        return {
+            "kind": "umiddle-directory",
+            "runtime": {
+                "id": origin_runtime.runtime_id,
+                "address": str(info.address),
+                "transport_port": info.transport_port,
+                "directory_port": info.directory_port,
+            },
+            "full": False,
+            "heartbeat": False,
+            "version": version,
+            "digest": None,
+            "profiles": [p.to_dict() for p in profiles],
+            "removed": list(removed),
+        }
+
+    def test_changed_remote_profile_fires_removed_and_added(self, rig):
+        """When a peer re-announces a translator with a different profile,
+        listeners see removed(old) + added(new) so standing bindings
+        re-evaluate against the new shape/attributes."""
+        from dataclasses import replace
+
+        r0, r1 = rig.runtimes
+        make_sink(r0, name="tv", role="display")
+        rig.settle(1.0)
+        events = []
+        r1.add_directory_listener(
+            DirectoryListener.from_callbacks(
+                added=lambda p: events.append(("added", p.name)),
+                removed=lambda p: events.append(("removed", p.name)),
+            )
+        )
+        old = r1.lookup(Query(role="display"))[0]
+        changed = replace(old, name="tv-renamed")
+        peer = r1.directory._peer_states[r0.runtime_id]
+        r1.directory._apply_announcement(
+            self.forge_delta(r1.directory, r0, peer.version + 1, [changed])
+        )
+        assert events == [("removed", "tv"), ("added", "tv-renamed")]
+        r1.directory.check_index_consistency()
+
+    def test_steady_state_heartbeats_pull_no_full_state(self, rig):
+        """After convergence, heartbeats digest-match: nobody requests a
+        full transfer, however long the federation idles."""
+        from repro.core.directory import ANNOUNCE_INTERVAL
+
+        r0, r1 = rig.runtimes
+        make_sink(r0, name="tv", role="display")
+        rig.settle(2.0)
+        sent = (r0.directory.full_requests_sent, r1.directory.full_requests_sent)
+        rig.settle(5 * ANNOUNCE_INTERVAL)
+        assert (
+            r0.directory.full_requests_sent,
+            r1.directory.full_requests_sent,
+        ) == sent
+
+    def test_version_gap_delta_triggers_full_state_pull(self, rig):
+        """A delta arriving with a version gap (missed announcements) makes
+        the receiver pull the owner's authoritative full state, which also
+        sweeps anything the gapped delta smuggled in."""
+        from dataclasses import replace
+
+        r0, r1 = rig.runtimes
+        make_sink(r0, name="tv", role="display")
+        rig.settle(1.0)
+        real = r1.lookup(Query(role="display"))[0]
+        ghost = replace(real, translator_id="ghost-id", name="ghost")
+        peer = r1.directory._peer_states[r0.runtime_id]
+        requests_before = r1.directory.full_requests_sent
+        r1.directory._apply_announcement(
+            self.forge_delta(r1.directory, r0, peer.version + 5, [ghost])
+        )
+        assert r1.directory.full_requests_sent == requests_before + 1
+        rig.settle(1.0)  # r0 answers the request with a unicast full state
+        assert [p.name for p in r1.lookup(Query(role="display"))] == ["tv"]
+        r1.directory.check_index_consistency()
+
+    def test_duplicate_delta_is_ignored(self, rig):
+        """Multicast + unicast double delivery of the same delta must not be
+        mistaken for a version gap (no spurious full-state pull)."""
+        r0, r1 = rig.runtimes
+        make_sink(r0, name="tv", role="display")
+        rig.settle(1.0)
+        real = r1.lookup(Query(role="display"))[0]
+        peer = r1.directory._peer_states[r0.runtime_id]
+        requests_before = r1.directory.full_requests_sent
+        r1.directory._apply_announcement(
+            self.forge_delta(r1.directory, r0, peer.version, [real])
+        )
+        assert r1.directory.full_requests_sent == requests_before
+        assert [p.name for p in r1.lookup(Query(role="display"))] == ["tv"]
+
+    def test_expire_runtime_drops_peer_address(self, rig):
+        """A conclusively-dead peer's learned unicast address is dropped so
+        announcements stop chasing it (it re-registers on rejoin)."""
+        r0, r1 = rig.runtimes
+        make_sink(r0, name="tv", role="display")
+        rig.settle(1.0)
+        info = r1.directory.runtime_info(r0.runtime_id)
+        assert info.address in r1.directory._peers
+        r1.directory.expire_runtime(r0.runtime_id, reason="test")
+        assert info.address not in r1.directory._peers
+        assert r1.directory._peer_states.get(r0.runtime_id) is None
+
+    def test_expire_runtime_keeps_federated_address(self, rig):
+        """Explicit federation is configuration: expiry may purge the peer's
+        soft state but must keep announcing to its configured address."""
+        r0, r1 = rig.runtimes
+        make_sink(r0, name="tv", role="display")
+        r1.federate(r0)
+        rig.settle(1.0)
+        info = r1.directory.runtime_info(r0.runtime_id)
+        r1.directory.expire_runtime(r0.runtime_id, reason="test")
+        assert info.address in r1.directory._peers
+        # And the federation heals on the next announcement round.
+        rig.settle(6.0)
+        assert [p.name for p in r1.lookup(Query(role="display"))] == ["tv"]
 
 
 class TestExplicitFederation:
