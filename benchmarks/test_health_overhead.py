@@ -1,0 +1,198 @@
+"""Health-machinery overhead and payoff: the ISSUE 3 acceptance numbers.
+
+Two wall-clock measurements and one simulated-time comparison, written to
+``BENCH_health.json`` at the repository root:
+
+- ``lookup``: health-aware lookup at 1k translators (all healthy -- the
+  steady-state fast path) versus an identical directory with health
+  disabled.  The acceptance bar is a <= 1.5x ratio over PR 2's indexed
+  lookup; in practice the fast path is a single counter check.  The
+  overlay-active slow path (one degraded peer forces rank ordering) is
+  also recorded, unasserted, for trajectory tracking.
+- ``bookkeeping``: per-invocation breaker + monitor cost (allow /
+  record_success / health fold) with health enabled versus the disabled
+  no-op path -- the tax every successful native invocation pays.
+- ``chaos``: an identical seeded fault schedule (bound peer crashes for
+  good) run health-on and health-off: time-to-rebind and wasted delivery
+  attempts, the robustness payoff the overhead buys.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.chaos import FaultPlan, time_to_rebind
+from repro.core.health import CircuitBreaker
+from repro.core.messages import UMessage
+from repro.core.query import Query
+from repro.core.runtime import UMiddleRuntime
+from repro.core.translator import Translator
+from repro.testbed import build_testbed
+
+from test_discovery_scale import SELECTIVE, best_timing, make_profile
+
+POPULATION = 1000
+OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_health.json"
+CRASH_AT = 2.0
+
+
+def offline_runtime(bed, host: str, **kwargs) -> UMiddleRuntime:
+    node = bed.add_host(host)
+    return UMiddleRuntime(node, name=f"bench-{host}", auto_start=False, **kwargs)
+
+
+def populated_directory(bed, host: str, **kwargs):
+    runtime = offline_runtime(bed, host, **kwargs)
+    for index in range(POPULATION):
+        runtime.directory.register(make_profile(index, runtime.runtime_id))
+    runtime.directory.check_index_consistency()
+    return runtime
+
+
+def bench_lookup(bed) -> dict:
+    enabled = populated_directory(bed, "health-on")
+    disabled = populated_directory(bed, "health-off", health_enabled=False)
+    assert enabled.directory.lookup(SELECTIVE), "selective query must match"
+
+    enabled_s = best_timing(lambda: enabled.directory.lookup(SELECTIVE), number=200)
+    disabled_s = best_timing(lambda: disabled.directory.lookup(SELECTIVE), number=200)
+
+    # Degrade one foreign peer so the overlay forces the rank-ordered path.
+    overlay = populated_directory(bed, "health-overlay")
+    remote = make_profile(0, "some-remote-runtime")
+    for _ in range(3):
+        overlay.health.peer_failure(remote.runtime_id)
+    assert overlay.health.overlay_active
+    overlay_s = best_timing(lambda: overlay.directory.lookup(SELECTIVE), number=200)
+
+    return {
+        "translators": POPULATION,
+        "enabled_us": round(enabled_s * 1e6, 3),
+        "disabled_us": round(disabled_s * 1e6, 3),
+        "ratio": round(enabled_s / disabled_s, 3),
+        "overlay_active_us": round(overlay_s * 1e6, 3),
+    }
+
+
+def bench_bookkeeping(bed) -> dict:
+    enabled = offline_runtime(bed, "bookkeeping-on")
+    disabled = offline_runtime(bed, "bookkeeping-off", health_enabled=False)
+    breaker = CircuitBreaker(bed.kernel, "bench:invoke")
+
+    def invocation_enabled():
+        if breaker.allow():
+            breaker.record_success()
+            enabled.health.record_success("t-bench")
+
+    # Health off: no breaker exists, the monitor call is an early return.
+    def invocation_disabled():
+        disabled.health.record_success("t-bench")
+
+    enabled_s = best_timing(invocation_enabled, number=2000)
+    disabled_s = best_timing(invocation_disabled, number=2000)
+    return {
+        "enabled_per_invoke_us": round(enabled_s * 1e6, 4),
+        "disabled_per_invoke_us": round(disabled_s * 1e6, 4),
+    }
+
+
+def run_chaos(health_enabled: bool) -> dict:
+    """Failover triple: the bound sink's runtime crashes permanently."""
+    bed = build_testbed(hosts=["h1", "h2", "h3"])
+    r1 = bed.add_runtime("h1", health_enabled=health_enabled)
+    r2 = bed.add_runtime("h2", health_enabled=health_enabled)
+    r3 = bed.add_runtime("h3", health_enabled=health_enabled)
+
+    received = []
+    for index, runtime in enumerate((r2, r3)):
+        sink = Translator(f"display-{index}", role="display")
+        sink.add_digital_input("data-in", "text/plain", received.append)
+        runtime.register_translator(sink)
+    source = Translator("feed", role="sensor")
+    out = source.add_digital_output("data-out", "text/plain")
+    r1.register_translator(source)
+
+    bed.settle(1.0)
+    binding = r1.connect_query(out, Query(role="display"), failover=True)
+    assert len(binding.bound_translators) == 1
+
+    plan = FaultPlan()
+    plan.runtime_crash(r2, at=CRASH_AT)  # permanent
+    bed.add_chaos(plan)
+
+    def sender():
+        for index in range(120):
+            out.send(UMessage("text/plain", f"m{index}", 100))
+            yield bed.kernel.timeout(0.5)
+
+    bed.kernel.process(sender(), name="bench-sender")
+    bed.settle(90.0)
+
+    return {
+        "time_to_rebind_s": round(time_to_rebind(bed.trace, after=CRASH_AT), 3),
+        "wasted_attempts": r1.transport.retries + r1.transport.undeliverable,
+        "messages_received": len(received),
+    }
+
+
+def test_health_overhead(compare):
+    bed = build_testbed(hosts=[])
+    lookup = bench_lookup(bed)
+    bookkeeping = bench_bookkeeping(bed)
+
+    start = time.perf_counter()
+    chaos_on = run_chaos(health_enabled=True)
+    chaos_off = run_chaos(health_enabled=False)
+    chaos_wall_s = time.perf_counter() - start
+
+    results = {
+        "benchmark": "health_overhead",
+        "schema": 1,
+        "lookup": lookup,
+        "bookkeeping": bookkeeping,
+        "chaos": {
+            "fault": "permanent crash of bound peer",
+            "health_on": chaos_on,
+            "health_off": chaos_off,
+            "wall_s": round(chaos_wall_s, 2),
+        },
+    }
+    OUTPUT.write_text(json.dumps(results, indent=2) + "\n")
+
+    compare(
+        "Health-aware lookup overhead (1k translators, wall clock)",
+        ["variant", "lookup (us)"],
+        [
+            ["health disabled", lookup["disabled_us"]],
+            ["health enabled (all healthy)", lookup["enabled_us"]],
+            ["health enabled (overlay active)", lookup["overlay_active_us"]],
+        ],
+    )
+    compare(
+        "Health payoff under identical fault schedule (simulated time)",
+        ["variant", "time-to-rebind (s)", "wasted attempts", "delivered"],
+        [
+            [
+                "health on",
+                chaos_on["time_to_rebind_s"],
+                chaos_on["wasted_attempts"],
+                chaos_on["messages_received"],
+            ],
+            [
+                "health off",
+                chaos_off["time_to_rebind_s"],
+                chaos_off["wasted_attempts"],
+                chaos_off["messages_received"],
+            ],
+        ],
+    )
+
+    # Acceptance: health-aware lookup within 1.5x of the indexed baseline.
+    assert lookup["ratio"] <= 1.5, lookup
+    # Acceptance: identical seeded schedule -- health on re-binds faster
+    # and wastes fewer delivery attempts.
+    assert chaos_on["time_to_rebind_s"] < chaos_off["time_to_rebind_s"]
+    assert chaos_on["wasted_attempts"] < chaos_off["wasted_attempts"]
+    assert chaos_on["messages_received"] > chaos_off["messages_received"]

@@ -91,7 +91,23 @@ class MotesMapper(Mapper):
                     del self._mapped[mote_id]
                     self.unmap(translator)
 
+    def resync(self) -> Generator:
+        """One immediate presence sweep so motes that died while the mapper
+        was suspended are unmapped now, not at the next periodic sweep."""
+        yield self.runtime.kernel.timeout(0.0)
+        removed = 0
+        deadline = self.runtime.kernel.now - self.presence_timeout
+        for mote_id, (translator, _handle) in list(self._mapped.items()):
+            last = self.base_station.last_heard.get(mote_id, 0.0)
+            if last < deadline:
+                del self._mapped[mote_id]
+                self.unmap(translator)
+                removed += 1
+        return removed
+
     def _on_message(self, message: ActiveMessage) -> None:
+        if self.suspended:
+            return  # a stalled/crashed mapper is deaf to the base station
         if message.am_type != AM_SENSOR_READING:
             return
         entry = self._mapped.get(message.source)

@@ -139,6 +139,19 @@ class UPnPMapper(Mapper):
                     self._unmap_udn(udn)
             yield self.runtime.kernel.timeout(self.search_interval)
 
+    def resync(self) -> Generator:
+        """One active search pass: devices that vanished while suspended
+        (missed byebyes) are unmapped immediately rather than waiting for
+        the discovery loop's next refresh."""
+        devices = yield from self.control_point.search()
+        seen = {device.usn for device in devices}
+        removed = 0
+        for udn in list(self._mapped):
+            if udn not in seen:
+                self._unmap_udn(udn)
+                removed += 1
+        return removed
+
     def _on_presence(self, kind: str, device: DiscoveredDevice) -> None:
         if self.suspended:
             return  # a stalled/crashed mapper is deaf to notifications too

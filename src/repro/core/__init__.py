@@ -45,6 +45,12 @@ from repro.core.messages import UMessage
 from repro.core.profile import PortRef, TranslatorProfile
 from repro.core.query import Query
 from repro.core.usdl import UsdlBinding, UsdlDocument, UsdlPort, parse_usdl
+from repro.core.health import (
+    CircuitBreaker,
+    HealthMonitor,
+    HealthState,
+    Supervisor,
+)
 from repro.core.ports import DigitalInputPort, DigitalOutputPort, PhysicalPort
 from repro.core.translator import GenericTranslator, NativeHandle, Translator
 from repro.core.mapper import Mapper
@@ -73,6 +79,10 @@ __all__ = [
     "UsdlPort",
     "UsdlBinding",
     "parse_usdl",
+    "CircuitBreaker",
+    "HealthMonitor",
+    "HealthState",
+    "Supervisor",
     "DigitalInputPort",
     "DigitalOutputPort",
     "PhysicalPort",

@@ -44,6 +44,7 @@ class DynamicBinding(DirectoryListener):
         runtime: "UMiddleRuntime",
         port: Union[DigitalOutputPort, DigitalInputPort],
         query: Query,
+        failover: bool = False,
     ):
         if not isinstance(port, (DigitalOutputPort, DigitalInputPort)):
             raise BindingError(f"cannot bind from port {port!r}")
@@ -51,6 +52,10 @@ class DynamicBinding(DirectoryListener):
         self.runtime = runtime
         self.port = port
         self.query = query
+        #: Failover mode: bind only the single *best* (healthiest, then
+        #: oldest) matching translator and migrate when health changes,
+        #: instead of fanning out to every match.
+        self.failover = failover
         #: translator_id -> list of paths/handles bound for that translator.
         self._bound: Dict[str, List] = {}
         self.closed = False
@@ -60,8 +65,11 @@ class DynamicBinding(DirectoryListener):
         # query's coarse index keys, instead of broadcasting every event
         # to every binding.
         runtime.directory.subscribe_query(query, self)
-        for profile in runtime.directory.lookup(query):
-            self._bind_profile(profile)
+        if failover:
+            self.reevaluate()
+        else:
+            for profile in runtime.directory.lookup(query):
+                self._bind_profile(profile)
 
     # -- DirectoryListener ---------------------------------------------------
 
@@ -70,18 +78,32 @@ class DynamicBinding(DirectoryListener):
             return
         if profile.translator_id == self.port.translator.translator_id:
             return  # never self-bind
+        if self.failover:
+            self.reevaluate()
+            return
         if self.query.matches(profile):
             self._bind_profile(profile)
 
     def translator_removed(self, profile: TranslatorProfile) -> None:
-        paths = self._bound.pop(profile.translator_id, None)
+        self._unbind(profile.translator_id)
+        if self.failover and not self.closed:
+            self.reevaluate()
+
+    def translator_changed(
+        self, profile: TranslatorProfile, previous: TranslatorProfile
+    ) -> None:
+        if self.failover and not self.closed:
+            self.reevaluate()
+
+    def _unbind(self, translator_id: str) -> None:
+        paths = self._bound.pop(translator_id, None)
         if not paths:
             return
         for path in paths:
             path.close()
         self.runtime.trace(
             "binding.unbound",
-            f"{self.port.name} x {profile.translator_id}",
+            f"{self.port.name} x {translator_id}",
         )
 
     # -- binding -----------------------------------------------------------------
@@ -120,14 +142,62 @@ class DynamicBinding(DirectoryListener):
         """
         if self.closed:
             return
+        self._prune_dead_paths()
+        if self.failover:
+            self.reevaluate()
+            return
+        for profile in self.runtime.directory.lookup(self.query):
+            self._bind_profile(profile)
+
+    def _prune_dead_paths(self) -> None:
         for translator_id, paths in list(self._bound.items()):
             live = [path for path in paths if not path.closed]
             if live:
                 self._bound[translator_id] = live
             else:
                 del self._bound[translator_id]
+
+    # -- failover ---------------------------------------------------------------
+
+    def _compatible_ports(self, profile: TranslatorProfile) -> bool:
+        if isinstance(self.port, DigitalOutputPort):
+            return bool(profile.shape.inputs_accepting(self.port.mime))
+        return bool(profile.shape.outputs_producing(self.port.mime))
+
+    def reevaluate(self) -> None:
+        """Failover step: (re)bind to the best currently-matching
+        translator.
+
+        ``Directory.lookup`` already orders healthy-first (then by entry
+        age), so the first compatible non-self profile is the target.  When
+        nothing eligible matches we *hold* the current binding — degraded
+        service beats none — and when the previous best recovers, the same
+        ordering re-binds back to it.
+        """
+        if self.closed or not self.failover:
+            return
+        self._prune_dead_paths()
+        own_id = self.port.translator.translator_id
+        target = None
         for profile in self.runtime.directory.lookup(self.query):
-            self._bind_profile(profile)
+            if profile.translator_id == own_id:
+                continue
+            if self._compatible_ports(profile):
+                target = profile
+                break
+        if target is None:
+            return
+        current = next(iter(self._bound), None)
+        if current == target.translator_id:
+            return
+        if current is not None:
+            self._unbind(current)
+        self._bind_profile(target)
+        if current is not None:
+            self.runtime.trace(
+                "binding.failover",
+                f"{self.port.name}: {current} -> {target.translator_id}",
+            )
 
     # -- inspection --------------------------------------------------------------
 

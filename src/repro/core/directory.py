@@ -48,7 +48,7 @@ from typing import (
 )
 
 from repro.core.errors import DirectoryError
-from repro.core.profile import TranslatorProfile
+from repro.core.profile import TranslatorProfile, same_except_health
 from repro.core.query import Query
 from repro.simnet.addresses import Address
 from repro.simnet.sockets import ConnectionClosed, DatagramSocket
@@ -88,17 +88,32 @@ class DirectoryListener:
     def translator_removed(self, profile: TranslatorProfile) -> None:
         """A translator left the semantic space."""
 
+    def translator_changed(
+        self, profile: TranslatorProfile, previous: TranslatorProfile
+    ) -> None:
+        """A translator's advertised *health* changed in place.
+
+        Identity, shape and attributes are unchanged (real profile changes
+        fire removed + added instead), so most listeners can ignore this;
+        failover bindings re-evaluate their target choice.
+        """
+
     @classmethod
     def from_callbacks(
         cls,
         added: Optional[Callable[[TranslatorProfile], None]] = None,
         removed: Optional[Callable[[TranslatorProfile], None]] = None,
+        changed: Optional[
+            Callable[[TranslatorProfile, TranslatorProfile], None]
+        ] = None,
     ) -> "DirectoryListener":
         listener = cls()
         if added is not None:
             listener.translator_added = added  # type: ignore[method-assign]
         if removed is not None:
             listener.translator_removed = removed  # type: ignore[method-assign]
+        if changed is not None:
+            listener.translator_changed = changed  # type: ignore[method-assign]
         return listener
 
 
@@ -155,6 +170,10 @@ class Directory:
         self.port = port
         self._entries: Dict[str, _Entry] = {}
         self._entry_seq = 0
+        #: entries whose profile carries a non-healthy state; lookup's fast
+        #: path skips health ordering entirely while this is zero (and no
+        #: peer overlay is active).
+        self._unhealthy_entries = 0
         #: inverted discovery index: coarse key -> translator ids.
         self._index: Dict[_IndexKey, Set[str]] = {}
         #: remote translator ids grouped by owning runtime.
@@ -233,17 +252,45 @@ class Directory:
             for entry in (self._entries[tid] for tid in candidates)
             if query.matches(entry.profile)
         ]
-        matched.sort(key=lambda entry: entry.seq)
-        return [entry.profile for entry in matched]
+        return self._order_matches(matched, query)
 
     def lookup_linear(self, query: Query) -> List[TranslatorProfile]:
         """Reference O(entries) scan -- the pre-index semantics, kept as
         the oracle for equivalence tests and the benchmark baseline."""
-        return [
-            entry.profile
+        matched = [
+            entry
             for entry in self._entries.values()
             if query.matches(entry.profile)
         ]
+        return self._order_matches(matched, query)
+
+    def _order_matches(
+        self, matched: List[_Entry], query: Query
+    ) -> List[TranslatorProfile]:
+        """Health-aware result ordering, shared by both lookup paths.
+
+        Fast path: with health disabled, or when every entry is healthy
+        and no peer overlay is active, this is exactly the pre-health
+        registration-order sort -- no per-entry health work at all, which
+        is what keeps indexed lookup within its PR 2 latency budget.
+        Otherwise results are ordered healthy-first (then registration
+        order) and quarantined translators are excluded unless the query
+        opts in with ``include_quarantined``.
+        """
+        monitor = self.runtime.health
+        if not monitor.enabled or (
+            self._unhealthy_entries == 0 and not monitor.overlay_active
+        ):
+            matched.sort(key=lambda entry: entry.seq)
+            return [entry.profile for entry in matched]
+        decorated = []
+        for entry in matched:
+            rank = monitor.effective_rank(entry.profile)
+            if rank >= 2 and not query.include_quarantined:
+                continue
+            decorated.append((rank, entry.seq, entry.profile))
+        decorated.sort(key=lambda item: (item[0], item[1]))
+        return [profile for _rank, _seq, profile in decorated]
 
     def add_directory_listener(self, listener: DirectoryListener) -> None:
         """Register for every map/unmap notification (Figure 6-2)."""
@@ -297,6 +344,28 @@ class Directory:
         if self.started:
             self._announce(removed=[translator_id])
 
+    def update_local_health(self, translator_id: str, health: str) -> None:
+        """Re-advertise a local translator with a new health state.
+
+        The entry is swapped in place (health is not indexed), listeners
+        and standing queries get a ``changed`` notification, and the
+        change is gossiped as a delta carrying the profile in the
+        announcement's ``changed`` list -- receivers swap in place too
+        instead of tearing the entry down and re-adding it.
+        """
+        entry = self._entries.get(translator_id)
+        if entry is None or not entry.local:
+            return
+        old = entry.profile
+        if old.health == health:
+            return
+        new = old.with_health(health)
+        self._swap_profile(entry, new)
+        self._bump_version()
+        self._notify_changed(new, old)
+        if self.started:
+            self._announce(changed=[new])
+
     # -- queries used by other modules ------------------------------------------------
 
     def profiles(self) -> List[TranslatorProfile]:
@@ -332,6 +401,8 @@ class Directory:
         self._entry_seq += 1
         entry = _Entry(profile, local=local, last_seen=now, seq=self._entry_seq)
         self._entries[profile.translator_id] = entry
+        if profile.health != "healthy":
+            self._unhealthy_entries += 1
         for key in profile.index_keys():
             self._index.setdefault(key, set()).add(profile.translator_id)
         if not local:
@@ -344,6 +415,8 @@ class Directory:
         entry = self._entries.pop(translator_id, None)
         if entry is None:
             return None
+        if entry.profile.health != "healthy":
+            self._unhealthy_entries -= 1
         for key in entry.profile.index_keys():
             bucket = self._index.get(key)
             if bucket is not None:
@@ -372,6 +445,26 @@ class Directory:
                 )
         assert expected_index == self._index, "inverted index diverged from entries"
         assert expected_by_runtime == self._by_runtime, "by-runtime grouping diverged"
+        unhealthy = sum(
+            1
+            for entry in self._entries.values()
+            if entry.profile.health != "healthy"
+        )
+        assert unhealthy == self._unhealthy_entries, "unhealthy counter diverged"
+
+    def _swap_profile(self, entry: _Entry, profile: TranslatorProfile) -> None:
+        """Replace an entry's profile in place for a health-only change.
+
+        ``same_except_health`` profiles share identical index keys and
+        runtime id, so neither the inverted index nor the per-runtime
+        grouping moves; only the unhealthy counter is adjusted.  The
+        entry's seq is preserved -- health changes must not reshuffle
+        registration order (recovered translators win back their place).
+        """
+        was = entry.profile.health != "healthy"
+        now_unhealthy = profile.health != "healthy"
+        self._unhealthy_entries += int(now_unhealthy) - int(was)
+        entry.profile = profile
 
     # -- failure handling --------------------------------------------------------------
 
@@ -399,6 +492,7 @@ class Directory:
                 f"{runtime_id}: {reason} ({reaped} entries reaped)",
                 reaped=reaped,
             )
+            self.runtime.health.note_runtime_expired(runtime_id)
 
     def forget_remote(self) -> None:
         """Drop every soft-state entry learned from peers (crash semantics:
@@ -472,6 +566,18 @@ class Directory:
         for subscription in self._subscribers_for(profile):
             subscription.listener.translator_removed(profile)
 
+    def _notify_changed(
+        self, profile: TranslatorProfile, previous: TranslatorProfile
+    ) -> None:
+        self.runtime.trace(
+            "directory.changed",
+            f"{profile.translator_id} health={profile.health}",
+        )
+        for listener in list(self._listeners):
+            listener.translator_changed(profile, previous)
+        for subscription in self._subscribers_for(profile):
+            subscription.listener.translator_changed(profile, previous)
+
     # -- announcements ---------------------------------------------------------------------------
 
     def _local_profiles(self) -> List[TranslatorProfile]:
@@ -502,8 +608,10 @@ class Directory:
             "directory_port": self.port,
         }
 
-    def _announcement(self, profiles, removed, full, heartbeat) -> dict:
-        return {
+    def _announcement(
+        self, profiles, removed, full, heartbeat, changed=()
+    ) -> dict:
+        payload = {
             "kind": "umiddle-directory",
             "runtime": self._origin_block(),
             "full": full,
@@ -513,11 +621,17 @@ class Directory:
             "profiles": [p.to_dict() for p in profiles],
             "removed": list(removed),
         }
+        if changed:
+            # Health-only delta: receivers swap the entry in place and fire
+            # `changed` instead of removed + added.
+            payload["changed"] = [p.to_dict() for p in changed]
+        return payload
 
-    def _estimate_size(self, profiles, removed) -> int:
+    def _estimate_size(self, profiles, removed, changed=()) -> int:
         return (
             CONTROL_OVERHEAD
             + sum(p.estimated_size() for p in profiles)
+            + sum(p.estimated_size() for p in changed)
             + sum(len(r) + 4 for r in removed)
         )
 
@@ -528,15 +642,17 @@ class Directory:
         full: bool = False,
         heartbeat: bool = False,
         to: Optional[List] = None,
+        changed: Optional[List[TranslatorProfile]] = None,
     ) -> None:
         if self._socket is None or self._socket.closed:
             return
         profiles = profiles if profiles is not None else []
         removed = removed or []
+        changed = changed or []
         if full:
             profiles = self._local_profiles()
-        payload = self._announcement(profiles, removed, full, heartbeat)
-        size = self._estimate_size(profiles, removed)
+        payload = self._announcement(profiles, removed, full, heartbeat, changed)
+        size = self._estimate_size(profiles, removed, changed)
         if to is None:
             self._socket.send_multicast(payload, size, DIRECTORY_GROUP, self.port)
             for peer, port in self._peers.items():
@@ -575,6 +691,7 @@ class Directory:
                     del self._runtimes[runtime_id]
                     self._forget_peer_state(runtime_id, info)
                     self.runtime.trace("directory.runtime-lost", runtime_id)
+                    self.runtime.health.note_runtime_expired(runtime_id)
             for translator_id, entry in list(self._entries.items()):
                 if entry.local:
                     continue
@@ -618,7 +735,11 @@ class Directory:
             if origin["id"] == self.runtime.runtime_id:
                 continue
             self.announcements_received += 1
-            work = len(payload["profiles"]) + len(payload["removed"])
+            work = (
+                len(payload["profiles"])
+                + len(payload["removed"])
+                + len(payload.get("changed", ()))
+            )
             if work:
                 yield kernel.timeout(per_entry * work)
             self._apply_announcement(payload)
@@ -638,6 +759,11 @@ class Directory:
             last_seen=now,
         )
         self._peers[address] = directory_port
+        # Evidence the peer is up: clear delivery-failure degradation and
+        # move any open transport breaker for it to probe-eligible, so
+        # rebinding after a restart is not held hostage by reopen backoff.
+        self.runtime.health.peer_alive(runtime_id)
+        self.runtime.transport.peer_seen(runtime_id)
 
         version = payload.get("version")
         digest = payload.get("digest")
@@ -692,15 +818,45 @@ class Directory:
                 self._notify_added(profile)
             elif not existing.local:
                 if existing.profile is not profile and existing.profile != profile:
-                    # The translator's advertised shape/attributes changed:
-                    # re-announce it so standing bindings re-evaluate.
                     old = existing.profile
-                    self._drop_entry(profile.translator_id)
-                    self._notify_removed(old)
-                    self._store_entry(profile, local=False, now=now)
-                    self._notify_added(profile)
+                    if same_except_health(old, profile):
+                        # Health-only difference: keep the entry (and its
+                        # lookup-order seq) and tell listeners it changed.
+                        self._swap_profile(existing, profile)
+                        existing.last_seen = now
+                        self._notify_changed(profile, old)
+                    else:
+                        # The translator's advertised shape/attributes
+                        # changed: re-announce it so standing bindings
+                        # re-evaluate.
+                        self._drop_entry(profile.translator_id)
+                        self._notify_removed(old)
+                        self._store_entry(profile, local=False, now=now)
+                        self._notify_added(profile)
                 else:
                     existing.last_seen = now
+
+        for data in payload.get("changed", ()):
+            profile = TranslatorProfile.from_dict(data)
+            mentioned.add(profile.translator_id)
+            existing = self._entries.get(profile.translator_id)
+            if existing is None or existing.local:
+                # Unknown here (possibly already expired): a health delta
+                # must never resurrect an entry, and never touches our own.
+                continue
+            old = existing.profile
+            if old is profile or old == profile:
+                existing.last_seen = now
+            elif same_except_health(old, profile):
+                self._swap_profile(existing, profile)
+                existing.last_seen = now
+                self._notify_changed(profile, old)
+            else:
+                # Malformed/mixed delta: fall back to the full change path.
+                self._drop_entry(profile.translator_id)
+                self._notify_removed(old)
+                self._store_entry(profile, local=False, now=now)
+                self._notify_added(profile)
 
         for translator_id in payload["removed"]:
             entry = self._entries.get(translator_id)

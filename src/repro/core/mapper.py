@@ -19,6 +19,7 @@ from typing import Dict, Generator, List, Optional, TYPE_CHECKING
 from repro.core.errors import TranslationError
 from repro.core.translator import GenericTranslator, NativeHandle, Translator
 from repro.core.usdl import UsdlDocument
+from repro.simnet.kernel import Interrupt, ProcessKilled
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.runtime import UMiddleRuntime
@@ -54,6 +55,20 @@ class Mapper:
         self._discovery_process = self.runtime.kernel.process(
             self.discover(), name=f"discover:{self.platform}"
         )
+        self.runtime.supervisor.watch(
+            f"discover:{self.platform}",
+            self._discovery_process,
+            self._respawn_discovery,
+        )
+
+    def _respawn_discovery(self):
+        """Supervisor hook: restart a crashed discovery loop."""
+        if not self.started or self.suspended:
+            return None
+        self._discovery_process = self.runtime.kernel.process(
+            self.discover(), name=f"discover:{self.platform}"
+        )
+        return self._discovery_process
 
     def stop(self) -> None:
         if self._discovery_process is not None and self._discovery_process.is_alive:
@@ -88,7 +103,41 @@ class Mapper:
             return
         self.suspended = False
         self.runtime.trace("mapper.resumed", f"{self.platform}: discovery resumed")
+        # Departures that happened while suspended left stale translators
+        # in the semantic space; reconcile immediately instead of waiting
+        # for the discovery loop's next periodic sweep.  The resync process
+        # is spawned before the discovery loop restarts so the removals are
+        # attributed to it rather than racing the loop's first pass.
+        resync = self.resync()
+        if resync is not None:
+            self.runtime.kernel.process(
+                self._run_resync(resync), name=f"resync:{self.platform}"
+            )
         self.start()
+
+    def resync(self) -> Optional[Generator]:
+        """Hook: return a generator that reconciles the known-device set
+        against one fresh discovery pass, unmapping devices that vanished
+        while suspended, and returns the number of removals.  ``None``
+        (the default) means the platform has no cheap resync pass."""
+        return None
+
+    def _run_resync(self, resync: Generator) -> Generator:
+        try:
+            removed = yield from resync
+        except (Interrupt, ProcessKilled):
+            raise
+        except Exception as exc:
+            self.runtime.trace(
+                "mapper.resync-failed", f"{self.platform}: {exc}"
+            )
+            return
+        self.runtime.trace(
+            "mapper.resynced",
+            f"{self.platform}: reconciled after suspend "
+            f"({removed or 0} removed)",
+            removed=removed or 0,
+        )
 
     def discover(self) -> Generator:
         """Platform-specific discovery loop; subclasses implement.

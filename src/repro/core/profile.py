@@ -11,13 +11,13 @@ from __future__ import annotations
 import hashlib
 import json
 import weakref
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Tuple
 
 from repro.core.errors import ShapeError
 from repro.core.shapes import Direction, DigitalType, PhysicalType, PortSpec, Shape
 
-__all__ = ["PortRef", "TranslatorProfile"]
+__all__ = ["PortRef", "TranslatorProfile", "same_except_health"]
 
 
 def _canonical_digest(data: Dict[str, Any]) -> str:
@@ -60,6 +60,11 @@ class TranslatorProfile:
 
     ``attributes`` carry platform- or application-specific metadata such as
     G2 UI geographic coordinates or the native device's address.
+
+    ``health`` is the owner runtime's observed health of the translator
+    (``healthy``/``degraded``/``quarantined``); it rides the wire form so
+    remote directories order lookups health-first, but it is *not* part of
+    the discovery index keys (health changes never re-bucket an entry).
     """
 
     translator_id: str
@@ -71,6 +76,13 @@ class TranslatorProfile:
     shape: Shape
     description: str = ""
     attributes: Dict[str, Any] = field(default_factory=dict)
+    health: str = "healthy"
+
+    def with_health(self, health: str) -> "TranslatorProfile":
+        """A copy differing only in ``health`` (self when unchanged)."""
+        if health == self.health:
+            return self
+        return replace(self, health=health)
 
     def port_ref(self, port_name: str) -> PortRef:
         self.shape.port(port_name)  # validates existence
@@ -108,6 +120,7 @@ class TranslatorProfile:
             "runtime_id": self.runtime_id,
             "description": self.description,
             "attributes": dict(self.attributes),
+            "health": self.health,
             "ports": ports,
         }
         object.__setattr__(self, "_wire", wire)
@@ -157,6 +170,7 @@ class TranslatorProfile:
             shape=Shape(specs),
             description=data.get("description", ""),
             attributes=dict(data.get("attributes", {})),
+            health=data.get("health", "healthy"),
         )
         # Seed the digest cache with the incoming form's digest: our own
         # senders always emit the canonical (port-sorted) form, so this
@@ -204,3 +218,24 @@ class TranslatorProfile:
         result = tuple(dict.fromkeys(keys))
         object.__setattr__(self, "_index_keys", result)
         return result
+
+
+def same_except_health(a: TranslatorProfile, b: TranslatorProfile) -> bool:
+    """True when two profiles differ in nothing but ``health``.
+
+    The directory uses this to distinguish a *health-only* gossip change
+    (entry swapped in place, ``changed`` notification) from a real shape/
+    attribute change (``removed`` + ``added``, so bindings re-evaluate
+    against the new shape).
+    """
+    return (
+        a.translator_id == b.translator_id
+        and a.name == b.name
+        and a.platform == b.platform
+        and a.device_type == b.device_type
+        and a.role == b.role
+        and a.runtime_id == b.runtime_id
+        and a.description == b.description
+        and a.attributes == b.attributes
+        and a.shape == b.shape
+    )

@@ -41,6 +41,10 @@ class Query:
     physical_output: Optional[PhysicalType] = None
     template: Optional[Shape] = None
     attributes: Dict[str, Any] = field(default_factory=dict)
+    #: Health-aware lookup normally excludes quarantined translators; set
+    #: True to see them anyway (diagnostic queries, health dashboards).
+    #: Not a match criterion: it never affects matches()/is_empty().
+    include_quarantined: bool = False
 
     def __post_init__(self):
         # Allow plain-string convenience at construction time.

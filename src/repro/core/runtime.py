@@ -18,6 +18,7 @@ from repro.calibration import Calibration, DEFAULT
 from repro.core.binding import DynamicBinding
 from repro.core.directory import DIRECTORY_PORT, Directory
 from repro.core.errors import TransportError, UMiddleError
+from repro.core.health import HealthMonitor, HealthState, Supervisor
 from repro.core.ports import DigitalInputPort, DigitalOutputPort
 from repro.core.profile import PortRef, TranslatorProfile
 from repro.core.qos import QosPolicy
@@ -50,12 +51,22 @@ class UMiddleRuntime:
         transport_port: int = TRANSPORT_PORT,
         directory_port: int = DIRECTORY_PORT,
         auto_start: bool = True,
+        health_enabled: bool = True,
     ):
         self.node = node
         self.kernel: Kernel = node.network.kernel
         self.network = node.network
         self.calibration = calibration
         self.runtime_id = name or f"umiddle-{next(_runtime_counter)}-{node.name}"
+        # Health machinery must exist before the directory and transport:
+        # both consult it from their constructors onward.
+        self.health = HealthMonitor(
+            self.kernel,
+            enabled=health_enabled,
+            on_local_change=self._on_local_health_changed,
+            on_peer_change=self._on_peer_health_changed,
+        )
+        self.supervisor = Supervisor(self)
         self.directory = Directory(self, port=directory_port)
         self.transport = Transport(self, port=transport_port)
         self.mappers: List = []
@@ -95,6 +106,7 @@ class UMiddleRuntime:
         self.transport.stop(graceful=False)
         self.directory.stop()
         self.directory.forget_remote()
+        self.health.forget_peers()
         self.trace("runtime.crash", "crashed")
 
     def restart(self) -> None:
@@ -114,6 +126,28 @@ class UMiddleRuntime:
 
     def trace(self, category: str, message: str, **details) -> None:
         self.network.trace.emit(category, f"[{self.runtime_id}] {message}", **details)
+
+    # -- health --------------------------------------------------------------
+
+    def _on_local_health_changed(
+        self, translator_id: str, state: HealthState, reason: str
+    ) -> None:
+        self.trace(
+            "health.translator", f"{translator_id} -> {state.value} ({reason})"
+        )
+        self.directory.update_local_health(translator_id, state.value)
+        self._reevaluate_failover()
+
+    def _on_peer_health_changed(
+        self, runtime_id: str, state: HealthState, reason: str
+    ) -> None:
+        self.trace("health.peer", f"{runtime_id} -> {state.value} ({reason})")
+        self._reevaluate_failover()
+
+    def _reevaluate_failover(self) -> None:
+        for binding in list(self._bindings):
+            if binding.failover:
+                binding.reevaluate()
 
     # -- translators ---------------------------------------------------------------
 
@@ -205,9 +239,14 @@ class UMiddleRuntime:
         self,
         port: Union[DigitalOutputPort, DigitalInputPort],
         query: Query,
+        failover: bool = False,
     ) -> DynamicBinding:
-        """Figure 7-2: a dynamic message path bound by a query template."""
-        binding = DynamicBinding(self, port, query)
+        """Figure 7-2: a dynamic message path bound by a query template.
+
+        With ``failover=True`` the binding tracks only the single best
+        (healthiest) matching translator and migrates as health changes.
+        """
+        binding = DynamicBinding(self, port, query, failover=failover)
         self._bindings.append(binding)
         return binding
 

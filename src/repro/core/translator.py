@@ -24,11 +24,13 @@ import itertools
 from typing import Any, Callable, Dict, Generator, List, Optional, TYPE_CHECKING
 
 from repro.core.errors import PortError, TranslationError
+from repro.core.health import CircuitBreaker
 from repro.core.messages import UMessage
 from repro.core.ports import DigitalInputPort, DigitalOutputPort, PhysicalPort, Port
 from repro.core.profile import TranslatorProfile
 from repro.core.shapes import Direction, PortSpec, Shape
 from repro.core.usdl import UsdlBinding, UsdlDocument
+from repro.simnet.kernel import Interrupt, ProcessKilled
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.runtime import UMiddleRuntime
@@ -144,6 +146,7 @@ class Translator:
             shape=self.shape,
             description=self.description,
             attributes=dict(self.attributes),
+            health=self.runtime.health.health_of(self.translator_id).value,
         )
 
     # -- lifecycle -----------------------------------------------------------
@@ -228,6 +231,9 @@ class GenericTranslator(Translator):
         self.native = native
         self._outbound: List = []  # queued (port, message) pairs before attach
         self._outbound_event = None
+        self.invoke_failures = 0
+        self.short_circuited = 0
+        self._invoke_breaker: Optional[CircuitBreaker] = None
 
         for usdl_port in document.ports:
             if not usdl_port.is_digital:
@@ -269,7 +275,33 @@ class GenericTranslator(Translator):
             yield runtime.kernel.timeout(costs.message_translation_s)
         else:  # sink: stream data passes through with only dispatch cost
             yield runtime.kernel.timeout(costs.transport_dispatch_s)
-        yield from self.native.invoke(binding, message)
+        breaker = self._invoke_breaker
+        if breaker is not None and not breaker.allow():
+            # Native endpoint conclusively failing: shed the invocation
+            # instead of burning native-protocol time on it.
+            self.short_circuited += 1
+            runtime.trace(
+                "translator.short-circuit",
+                f"{self.translator_id}: native invoke shed (breaker open)",
+            )
+            return
+        try:
+            yield from self.native.invoke(binding, message)
+        except (Interrupt, ProcessKilled):
+            raise
+        except Exception as exc:
+            self.invoke_failures += 1
+            if breaker is not None:
+                breaker.record_failure()
+            runtime.health.record_failure(self.translator_id, kind="invoke")
+            runtime.trace(
+                "translator.invoke-failed",
+                f"{self.translator_id}: native invoke failed: {exc}",
+            )
+        else:
+            if breaker is not None:
+                breaker.record_success()
+            runtime.health.record_success(self.translator_id)
 
     # -- outbound: native device -> common space -----------------------------------
 
@@ -288,7 +320,26 @@ class GenericTranslator(Translator):
                 self._outbound_event.succeed()
 
     def on_attached(self) -> None:
-        self.runtime.kernel.process(
+        runtime = self.runtime
+        if runtime.health.enabled:
+            self._invoke_breaker = CircuitBreaker(
+                runtime.kernel,
+                key=f"invoke:{runtime.runtime_id}/{self.translator_id}",
+                failure_threshold=3,
+                reopen_base_s=2.0,
+                reopen_max_s=30.0,
+            )
+        pump = runtime.kernel.process(
+            self._outbound_pump(), name=f"outbound:{self.translator_id}"
+        )
+        runtime.supervisor.watch(
+            f"outbound:{self.translator_id}", pump, self._respawn_pump
+        )
+
+    def _respawn_pump(self):
+        if self.runtime is None:
+            return None
+        return self.runtime.kernel.process(
             self._outbound_pump(), name=f"outbound:{self.translator_id}"
         )
 

@@ -31,6 +31,7 @@ from collections import deque
 from typing import Deque, Dict, Generator, List, Optional, Tuple, Union, TYPE_CHECKING
 
 from repro.core.errors import TransportError
+from repro.core.health import CircuitBreaker
 from repro.core.messages import UMessage
 from repro.core.ports import DigitalInputPort, DigitalOutputPort
 from repro.core.profile import PortRef
@@ -282,6 +283,12 @@ class Transport:
         self.undeliverable = 0
         self.retries = 0
         self.spool_dropped = 0
+        self.spool_flushed = 0
+        #: Per-peer delivery breakers, created lazily on the first exhausted
+        #: retry budget.  While a breaker is open, new envelopes for that
+        #: peer are flushed instead of spooled, and the sender probes with a
+        #: single attempt instead of a full retry budget.
+        self._breakers: Dict[str, CircuitBreaker] = {}
         self._listener: Optional[StreamListener] = None
         self.started = False
 
@@ -326,6 +333,9 @@ class Transport:
                 sender.kill("transport stopped")  # type: ignore[attr-defined]
         self._peer_senders.clear()
         self._peer_wakeups.clear()
+        # Breaker state is in-memory: a stopped/crashed transport restarts
+        # with a clean slate and rediscovers peer health from scratch.
+        self._breakers.clear()
         for path in list(self._paths_by_id.values()):
             path.close()
 
@@ -464,6 +474,12 @@ class Transport:
         self._enqueue_envelope(runtime_id, envelope, 0)
 
     def _enqueue_envelope(self, runtime_id: str, envelope: dict, size: int) -> None:
+        breaker = self._breakers.get(runtime_id)
+        if breaker is not None and not breaker.allow():
+            # Peer conclusively unreachable and not yet due for a probe:
+            # spooling would only doom more envelopes.
+            self.spool_flushed += 1
+            return
         outbox = self._peer_outboxes.setdefault(runtime_id, deque())
         if len(outbox) >= self.SPOOL_CAPACITY:
             outbox.popleft()
@@ -525,18 +541,33 @@ class Transport:
                     outbox.popleft()
                     attempts = 0
                     self.messages_relayed += 1
+                    breaker = self._breakers.get(runtime_id)
+                    if breaker is not None and not breaker.is_closed:
+                        breaker.record_success()
+                        runtime.trace(
+                            "transport.breaker-close",
+                            f"to {runtime_id}: probe delivered, breaker closed",
+                        )
+                    runtime.health.peer_success(runtime_id)
                 except (SocketError, TransportError) as exc:
                     self._peer_streams.pop(runtime_id, None)
                     attempts += 1
-                    if attempts >= self.MAX_SEND_ATTEMPTS:
+                    runtime.health.peer_failure(runtime_id)
+                    breaker = self._breakers.get(runtime_id)
+                    # A half-open probe fails fast: one attempt, not a
+                    # whole retry budget against a peer known to be down.
+                    probing = breaker is not None and not breaker.is_closed
+                    if probing or attempts >= self.MAX_SEND_ATTEMPTS:
+                        failed_attempts = attempts
                         outbox.popleft()
                         attempts = 0
                         self.undeliverable += 1
                         runtime.trace(
                             "transport.undeliverable",
-                            f"to {runtime_id} after {self.MAX_SEND_ATTEMPTS} "
-                            f"attempts: {exc}",
+                            f"to {runtime_id} after {failed_attempts} "
+                            f"attempt(s): {exc}",
                         )
+                        self._trip_breaker(runtime_id, exc)
                         runtime.directory.expire_runtime(runtime_id, reason=str(exc))
                         continue
                     self.retries += 1
@@ -557,6 +588,47 @@ class Transport:
             # a successor sender for this peer.
             if self._peer_senders.get(runtime_id) is kernel.active_process:
                 del self._peer_senders[runtime_id]
+
+    def _trip_breaker(self, runtime_id: str, exc: Exception) -> None:
+        """Open (or re-open) the delivery breaker for ``runtime_id`` after
+        an exhausted retry budget, flushing the doomed spool."""
+        if not self.runtime.health.enabled:
+            return
+        breaker = self._breakers.get(runtime_id)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                self.runtime.kernel,
+                key=f"peer:{self.runtime.runtime_id}->{runtime_id}",
+                failure_threshold=1,
+                reopen_base_s=10.0,
+                reopen_max_s=60.0,
+            )
+            self._breakers[runtime_id] = breaker
+        breaker.record_failure()
+        outbox = self._peer_outboxes.get(runtime_id)
+        flushed = len(outbox) if outbox else 0
+        if flushed:
+            outbox.clear()
+            self.spool_flushed += flushed
+            self.runtime.trace(
+                "transport.spool-flush",
+                f"to {runtime_id}: flushed {flushed} spooled envelope(s)",
+                flushed=flushed,
+            )
+        self.runtime.trace(
+            "transport.breaker-open",
+            f"to {runtime_id}: retry budget exhausted ({exc})",
+            spool_dropped=self.spool_dropped,
+            spool_flushed=self.spool_flushed,
+        )
+
+    def peer_seen(self, runtime_id: str) -> None:
+        """Directory evidence (an announcement) that the peer is back:
+        make an open breaker probe-eligible immediately instead of waiting
+        out the rest of its reopen backoff."""
+        breaker = self._breakers.get(runtime_id)
+        if breaker is not None:
+            breaker.probe_now()
 
     def _open_peer_stream(self, runtime_id: str) -> Generator:
         info = self.runtime.directory.runtime_info(runtime_id)

@@ -36,9 +36,9 @@ class Testbed:
         self.hosts[name] = node
         return node
 
-    def add_runtime(self, host_name: str) -> UMiddleRuntime:
+    def add_runtime(self, host_name: str, **kwargs) -> UMiddleRuntime:
         node = self.hosts.get(host_name) or self.add_host(host_name)
-        runtime = UMiddleRuntime(node, name=f"rt-{host_name}")
+        runtime = UMiddleRuntime(node, name=f"rt-{host_name}", **kwargs)
         self.runtimes[host_name] = runtime
         return runtime
 

@@ -1,0 +1,111 @@
+"""Mapper suspend/resume reconciliation (the device-departure fix).
+
+A suspended mapper is blind: devices that die during the stall used to
+linger in the semantic space until the resumed discovery loop's *next*
+periodic pass.  ``Mapper.resync`` closes the window -- on resume, one
+immediate reconciliation pass emits the synthetic removals."""
+
+from repro.bridges import MotesMapper, UPnPMapper
+from repro.chaos import FaultPlan
+from repro.core.query import Query
+from repro.platforms.motes import BaseStation, Mote, constant_sensor
+from repro.platforms.motes.mote import make_radio
+from repro.platforms.upnp import make_binary_light
+from repro.testbed import build_testbed
+
+
+class TestMotesResync:
+    def _mote_rig(self):
+        bed = build_testbed(hosts=["h1", "dev"])
+        runtime = bed.add_runtime("h1")
+        radio = make_radio(bed.network, bed.calibration)
+        station = BaseStation(bed.hosts["h1"], radio, bed.calibration)
+        mote = Mote(
+            radio, bed.calibration, {"t": constant_sensor(1)},
+            sample_interval_s=1.0,
+        )
+        mote.attach_to(station.radio_address)
+        mapper = runtime.add_mapper(
+            MotesMapper(runtime, station, presence_timeout=5.0, sweep_interval=20.0)
+        )
+        bed.settle(3.0)
+        assert runtime.lookup(Query(role="sensor"))
+        return bed, runtime, mapper, mote
+
+    def test_mote_death_during_stall_reconciled_on_resume(self):
+        """Chaos mapper-stall plan: the mote dies mid-stall; resume's
+        resync pass unmaps it immediately, long before the discovery
+        loop's 20 s sweep interval would."""
+        bed, runtime, mapper, mote = self._mote_rig()
+        plan = FaultPlan()
+        plan.mapper_stall(mapper, at=1.0, duration=8.0)  # armed at t=3
+        bed.add_chaos(plan)
+
+        bed.settle(2.0)  # t=5: stalled (since t=4)
+        assert mapper.suspended
+        mote.power_off()  # dies while the mapper is blind
+        bed.settle(9.0)  # t=14: healed at 12, resync has run
+
+        assert not mapper.suspended
+        assert not runtime.lookup(Query(role="sensor"))
+        resynced = bed.trace.records("mapper.resynced")
+        assert resynced and resynced[0].details["removed"] == 1
+        # Removal came from the resync pass, not a periodic sweep: the
+        # first sweep after resume would only land at ~32 s.
+        assert resynced[0].time < 13.0
+
+    def test_suspended_mapper_ignores_base_station_traffic(self):
+        """The suspended-mapper fix: readings arriving during a stall
+        must not map new translators (the mapper is notionally dead)."""
+        bed = build_testbed(hosts=["h1", "dev"])
+        runtime = bed.add_runtime("h1")
+        radio = make_radio(bed.network, bed.calibration)
+        station = BaseStation(bed.hosts["h1"], radio, bed.calibration)
+        mapper = runtime.add_mapper(
+            MotesMapper(runtime, station, presence_timeout=5.0, sweep_interval=1.0)
+        )
+        mapper.suspend()
+        mote = Mote(
+            radio, bed.calibration, {"t": constant_sensor(1)},
+            sample_interval_s=1.0,
+        )
+        mote.attach_to(station.radio_address)
+        bed.settle(3.0)
+        assert not runtime.lookup(Query(role="sensor"))
+        mapper.resume()
+        bed.settle(3.0)
+        assert runtime.lookup(Query(role="sensor"))
+
+    def test_surviving_mote_untouched_by_resync(self):
+        bed, runtime, mapper, mote = self._mote_rig()
+        plan = FaultPlan()
+        plan.mapper_stall(mapper, at=1.0, duration=3.0)  # armed at t=3
+        bed.add_chaos(plan)
+        bed.settle(5.0)  # t=8: stall healed at t=7; mote kept chirping
+        assert len(runtime.lookup(Query(role="sensor"))) == 1
+        resynced = bed.trace.records("mapper.resynced")
+        assert resynced and resynced[0].details["removed"] == 0
+
+
+class TestUPnPResync:
+    def test_byebye_missed_during_stall_reconciled_on_resume(self):
+        """A UPnP device leaving during a stall (its byebye falls on deaf
+        ears) is unmapped by the resume-time search pass."""
+        bed = build_testbed(hosts=["h1", "dev"])
+        runtime = bed.add_runtime("h1")
+        light = make_binary_light(bed.hosts["dev"], bed.calibration)
+        light.start()
+        mapper = runtime.add_mapper(UPnPMapper(runtime, search_interval=30.0))
+        bed.settle(3.0)
+        assert runtime.lookup(Query(role="light"))
+
+        plan = FaultPlan()
+        plan.mapper_stall(mapper, at=1.0, duration=6.0)  # armed at t=3
+        bed.add_chaos(plan)
+        bed.settle(3.0)  # t=6: stalled (since t=4)
+        light.stop()  # byebye while deaf
+        bed.settle(6.0)  # t=12: healed at 10, resync search has run
+
+        assert not runtime.lookup(Query(role="light"))
+        resynced = bed.trace.records("mapper.resynced")
+        assert resynced and resynced[0].details["removed"] == 1

@@ -272,6 +272,154 @@ class TestDeltaDigestGossip:
         assert [p.name for p in r1.lookup(Query(role="display"))] == ["tv"]
 
 
+class TestHealthGossip:
+    """Health-only profile changes ride the delta/digest gossip as
+    ``changed`` entries: version bump, digest change, in-place swap."""
+
+    @staticmethod
+    def forge_changed_delta(directory, origin_runtime, version, changed):
+        """A delta announcement carrying only health-changed profiles."""
+        info = directory.runtime_info(origin_runtime.runtime_id)
+        return {
+            "kind": "umiddle-directory",
+            "runtime": {
+                "id": origin_runtime.runtime_id,
+                "address": str(info.address),
+                "transport_port": info.transport_port,
+                "directory_port": info.directory_port,
+            },
+            "full": False,
+            "heartbeat": False,
+            "version": version,
+            "digest": None,
+            "profiles": [],
+            "removed": [],
+            "changed": [p.to_dict() for p in changed],
+        }
+
+    def test_health_change_bumps_version_and_digest(self, rig):
+        r0, _r1 = rig.runtimes
+        translator, _ = make_sink(r0, name="tv", role="display")
+        rig.settle(1.0)
+        version = r0.directory._version
+        digest = r0.directory.state_digest()
+        r0.directory.update_local_health(translator.translator_id, "degraded")
+        assert r0.directory._version == version + 1
+        assert r0.directory.state_digest() != digest
+
+    def test_health_change_propagates_as_changed_not_removed_added(self, rig):
+        r0, r1 = rig.runtimes
+        translator, _ = make_sink(r0, name="tv", role="display")
+        rig.settle(1.0)
+        events = []
+        r1.add_directory_listener(
+            DirectoryListener.from_callbacks(
+                added=lambda p: events.append(("added", p.name)),
+                removed=lambda p: events.append(("removed", p.name)),
+                changed=lambda p, old: events.append(
+                    ("changed", p.name, old.health, p.health)
+                ),
+            )
+        )
+        r0.directory.update_local_health(translator.translator_id, "degraded")
+        rig.settle(1.0)
+        assert events == [("changed", "tv", "healthy", "degraded")]
+        remote = r1.lookup(Query(role="display", include_quarantined=True))
+        assert [p.health for p in remote] == ["degraded"]
+        r1.directory.check_index_consistency()
+
+    def test_health_change_fires_standing_query_subscription(self, rig):
+        """A failover binding subscribed by query sees ``changed`` (and
+        re-evaluates) -- not an unbind/rebind cycle."""
+        r0, r1 = rig.runtimes
+        translator, _ = make_sink(r0, name="tv", role="display")
+        make_sink(r0, name="backup", role="display")
+        _, out = make_source(r1, name="feed", role="sensor")
+        rig.settle(1.0)
+        binding = r1.connect_query(out, Query(role="display"), failover=True)
+        assert binding.bound_translators == [translator.translator_id]
+        unbound_before = rig.network.trace.count("binding.unbound")
+        r0.directory.update_local_health(translator.translator_id, "degraded")
+        rig.settle(1.0)
+        assert binding.bound_translators != [translator.translator_id]
+        # The failover migration unbinds exactly once -- the health delta
+        # itself produced no removed+added churn on the subscription.
+        assert rig.network.trace.count("binding.unbound") == unbound_before + 1
+        r0.directory.update_local_health(translator.translator_id, "healthy")
+        rig.settle(1.0)
+        assert binding.bound_translators == [translator.translator_id]
+
+    def test_no_spurious_full_state_pull_after_health_delta(self, rig):
+        """The changed-delta keeps versions contiguous: the next heartbeat
+        digest-matches and nobody pulls a full transfer."""
+        from repro.core.directory import ANNOUNCE_INTERVAL
+
+        r0, r1 = rig.runtimes
+        translator, _ = make_sink(r0, name="tv", role="display")
+        rig.settle(2.0)
+        r0.directory.update_local_health(translator.translator_id, "degraded")
+        rig.settle(1.0)
+        requests = (r0.directory.full_requests_sent, r1.directory.full_requests_sent)
+        rig.settle(3 * ANNOUNCE_INTERVAL)
+        assert (
+            r0.directory.full_requests_sent,
+            r1.directory.full_requests_sent,
+        ) == requests
+
+    def test_health_delta_never_resurrects_expired_entry(self, rig):
+        r0, r1 = rig.runtimes
+        translator, _ = make_sink(r0, name="tv", role="display")
+        rig.settle(1.0)
+        profile = r1.lookup(Query(role="display"))[0]
+        # The entry expires on r1 (conclusively-dead peer reaping).
+        r1.directory.expire_runtime(r0.runtime_id, reason="test")
+        assert not r1.lookup(Query(role="display"))
+        # A late health delta about the expired entry must be ignored.
+        from repro.core.directory import RuntimeInfo
+
+        r1.directory._runtimes[r0.runtime_id] = RuntimeInfo(
+            runtime_id=r0.runtime_id,
+            address=r0.node.address,
+            transport_port=r0.transport.port,
+            directory_port=r0.directory.port,
+            last_seen=rig.kernel.now,
+        )
+        r1.directory._apply_announcement(
+            self.forge_changed_delta(
+                r1.directory, r0, 99, [profile.with_health("degraded")]
+            )
+        )
+        assert not r1.lookup(Query(role="display", include_quarantined=True))
+        r1.directory.check_index_consistency()
+
+    def test_renamed_profile_still_fires_removed_and_added(self, rig):
+        """A ``changed`` entry whose differences go beyond health falls back
+        to the removed+added path (bindings must re-evaluate the shape)."""
+        from dataclasses import replace
+
+        r0, r1 = rig.runtimes
+        make_sink(r0, name="tv", role="display")
+        rig.settle(1.0)
+        events = []
+        r1.add_directory_listener(
+            DirectoryListener.from_callbacks(
+                added=lambda p: events.append(("added", p.name)),
+                removed=lambda p: events.append(("removed", p.name)),
+                changed=lambda p, old: events.append(("changed", p.name)),
+            )
+        )
+        old = r1.lookup(Query(role="display"))[0]
+        renamed = replace(old, name="tv-renamed")
+        peer = r1.directory._peer_states[r0.runtime_id]
+        r1.directory._apply_announcement(
+            self.forge_changed_delta(
+                r1.directory, r0, peer.version + 1, [renamed]
+            )
+        )
+        assert events == [("removed", "tv"), ("added", "tv-renamed")]
+        r1.directory.check_index_consistency()
+
+
 class TestExplicitFederation:
     def test_federate_across_segments(self, kernel, network, net_costs):
         """Two rooms joined by a router: multicast does not cross, explicit

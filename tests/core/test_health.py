@@ -1,0 +1,432 @@
+"""Unit tests for the health subsystem: breakers, monitor, supervisor,
+health-ordered lookup and failover bindings."""
+
+import pytest
+
+from repro.core.health import (
+    FAILURE_THRESHOLD,
+    FLAP_THRESHOLD,
+    PEER_FAILURE_THRESHOLD,
+    PEER_CHURN_THRESHOLD,
+    PEER_QUARANTINE_S,
+    QUARANTINE_BASE_S,
+    RECOVERY_THRESHOLD,
+    CircuitBreaker,
+    HealthMonitor,
+    HealthState,
+)
+from repro.core.query import Query
+
+from tests.core.conftest import make_sink, make_source
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_allows(self, kernel):
+        breaker = CircuitBreaker(kernel, key="unit")
+        assert breaker.is_closed
+        assert breaker.allow()
+
+    def test_opens_at_failure_threshold(self, kernel):
+        breaker = CircuitBreaker(kernel, key="unit", failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.is_closed
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.retry_at > kernel.now
+
+    def test_success_resets_failure_count(self, kernel):
+        breaker = CircuitBreaker(kernel, key="unit", failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.is_closed
+
+    def test_half_open_probe_after_backoff(self, kernel):
+        breaker = CircuitBreaker(
+            kernel, key="unit", failure_threshold=1, jitter=0.0, reopen_base_s=2.0
+        )
+        breaker.record_failure()
+        assert not breaker.allow()
+        kernel.run(until=breaker.retry_at + 0.01)
+        assert breaker.allow()  # flips to half-open, admits one probe
+        assert breaker.state == "half-open"
+
+    def test_probe_failure_reopens_with_doubled_backoff(self, kernel):
+        breaker = CircuitBreaker(
+            kernel, key="unit", failure_threshold=1, jitter=0.0, reopen_base_s=2.0
+        )
+        breaker.record_failure()
+        first_backoff = breaker.retry_at - kernel.now
+        kernel.run(until=breaker.retry_at + 0.01)
+        assert breaker.allow()
+        breaker.record_failure()  # probe failed: re-open immediately
+        assert breaker.state == "open"
+        second_backoff = breaker.retry_at - kernel.now
+        assert second_backoff == pytest.approx(2 * first_backoff)
+
+    def test_probe_success_closes_and_resets_ladder(self, kernel):
+        breaker = CircuitBreaker(
+            kernel, key="unit", failure_threshold=1, jitter=0.0, reopen_base_s=2.0
+        )
+        breaker.record_failure()
+        kernel.run(until=breaker.retry_at + 0.01)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.is_closed
+        assert breaker.times_opened == 0
+        breaker.record_failure()  # next opening starts the ladder over
+        assert breaker.retry_at - kernel.now == pytest.approx(2.0)
+
+    def test_backoff_is_capped(self, kernel):
+        breaker = CircuitBreaker(
+            kernel,
+            key="unit",
+            failure_threshold=1,
+            jitter=0.0,
+            reopen_base_s=2.0,
+            reopen_max_s=5.0,
+        )
+        for _ in range(6):
+            breaker.record_failure()
+            kernel.run(until=breaker.retry_at + 0.01)
+            assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.retry_at - kernel.now == pytest.approx(5.0)
+
+    def test_probe_now_skips_remaining_backoff(self, kernel):
+        breaker = CircuitBreaker(
+            kernel, key="unit", failure_threshold=1, reopen_base_s=30.0
+        )
+        breaker.record_failure()
+        assert not breaker.allow()
+        breaker.probe_now()
+        assert breaker.allow()
+
+    def test_jitter_is_deterministic_per_key(self, kernel):
+        a = CircuitBreaker(kernel, key="same-key", failure_threshold=1)
+        b = CircuitBreaker(kernel, key="same-key", failure_threshold=1)
+        a.record_failure()
+        b.record_failure()
+        assert a.retry_at == b.retry_at
+
+    def test_transitions_are_recorded(self, kernel):
+        breaker = CircuitBreaker(
+            kernel, key="unit", failure_threshold=1, jitter=0.0
+        )
+        breaker.record_failure()
+        kernel.run(until=breaker.retry_at + 0.01)
+        breaker.allow()
+        breaker.record_success()
+        assert [state for _t, state in breaker.transitions] == [
+            "open",
+            "half-open",
+            "closed",
+        ]
+
+
+class TestHealthMonitorLocal:
+    def test_degrades_after_consecutive_failures(self, kernel):
+        events = []
+        monitor = HealthMonitor(
+            kernel, on_local_change=lambda t, s, r: events.append((t, s))
+        )
+        for _ in range(FAILURE_THRESHOLD - 1):
+            monitor.record_failure("t1")
+        assert monitor.health_of("t1") is HealthState.HEALTHY
+        monitor.record_failure("t1")
+        assert monitor.health_of("t1") is HealthState.DEGRADED
+        assert events == [("t1", HealthState.DEGRADED)]
+
+    def test_success_interrupts_failure_streak(self, kernel):
+        monitor = HealthMonitor(kernel)
+        for _ in range(FAILURE_THRESHOLD - 1):
+            monitor.record_failure("t1")
+        monitor.record_success("t1")
+        for _ in range(FAILURE_THRESHOLD - 1):
+            monitor.record_failure("t1")
+        assert monitor.health_of("t1") is HealthState.HEALTHY
+
+    def test_recovers_after_consecutive_successes(self, kernel):
+        monitor = HealthMonitor(kernel)
+        for _ in range(FAILURE_THRESHOLD):
+            monitor.record_failure("t1")
+        assert monitor.health_of("t1") is HealthState.DEGRADED
+        for _ in range(RECOVERY_THRESHOLD):
+            monitor.record_success("t1")
+        assert monitor.health_of("t1") is HealthState.HEALTHY
+
+    def test_flapping_earns_quarantine_and_probational_lift(self, kernel):
+        events = []
+        monitor = HealthMonitor(
+            kernel, on_local_change=lambda t, s, r: events.append(s)
+        )
+        # Flap: degrade/recover repeatedly until FLAP_THRESHOLD transitions
+        # land inside the window.
+        transitions = 0
+        while transitions < FLAP_THRESHOLD - 1:
+            for _ in range(FAILURE_THRESHOLD):
+                monitor.record_failure("t1")
+            transitions += 1
+            if transitions >= FLAP_THRESHOLD - 1:
+                break
+            for _ in range(RECOVERY_THRESHOLD):
+                monitor.record_success("t1")
+            transitions += 1
+        # The next transition crosses the flap threshold -> quarantine.
+        for _ in range(RECOVERY_THRESHOLD):
+            monitor.record_success("t1")
+        assert monitor.health_of("t1") is HealthState.QUARANTINED
+        assert events[-1] is HealthState.QUARANTINED
+        # The lift timer fires after the penalty: probation (DEGRADED).
+        kernel.run(until=kernel.now + QUARANTINE_BASE_S + 0.1)
+        assert monitor.health_of("t1") is HealthState.DEGRADED
+        assert events[-1] is HealthState.DEGRADED
+
+    def test_disabled_monitor_records_nothing(self, kernel):
+        monitor = HealthMonitor(kernel, enabled=False)
+        for _ in range(FAILURE_THRESHOLD * 2):
+            monitor.record_failure("t1")
+        assert monitor.health_of("t1") is HealthState.HEALTHY
+
+
+class TestHealthMonitorPeers:
+    def test_delivery_failures_degrade_peer(self, kernel):
+        events = []
+        monitor = HealthMonitor(
+            kernel, on_peer_change=lambda r, s, _: events.append((r, s))
+        )
+        for _ in range(PEER_FAILURE_THRESHOLD):
+            monitor.peer_failure("rt-x")
+        assert monitor.peer_health("rt-x") is HealthState.DEGRADED
+        assert monitor.overlay_active
+        monitor.peer_success("rt-x")
+        assert monitor.peer_health("rt-x") is HealthState.HEALTHY
+        assert not monitor.overlay_active
+        assert events == [
+            ("rt-x", HealthState.DEGRADED),
+            ("rt-x", HealthState.HEALTHY),
+        ]
+
+    def test_announcement_clears_degradation(self, kernel):
+        monitor = HealthMonitor(kernel)
+        for _ in range(PEER_FAILURE_THRESHOLD):
+            monitor.peer_failure("rt-x")
+        monitor.peer_alive("rt-x")
+        assert monitor.peer_health("rt-x") is HealthState.HEALTHY
+
+    def test_lease_churn_quarantines_peer(self, kernel):
+        monitor = HealthMonitor(kernel)
+        for _ in range(PEER_CHURN_THRESHOLD):
+            monitor.note_runtime_expired("rt-x")
+        assert monitor.peer_health("rt-x") is HealthState.QUARANTINED
+        # Announcements do NOT clear churn quarantine (flappers announce
+        # every time they come back).
+        monitor.peer_alive("rt-x")
+        assert monitor.peer_health("rt-x") is HealthState.QUARANTINED
+        kernel.run(until=kernel.now + PEER_QUARANTINE_S + 0.1)
+        assert monitor.peer_health("rt-x") is HealthState.HEALTHY
+
+    def test_effective_rank_is_max_of_gossip_and_overlay(self, kernel, single):
+        runtime = single.runtimes[0]
+        make_sink(runtime, name="tv", role="display")
+        profile = runtime.lookup(Query(role="display"))[0]
+        monitor = HealthMonitor(kernel)
+        assert monitor.effective_rank(profile) == 0
+        degraded = profile.with_health("degraded")
+        assert monitor.effective_rank(degraded) == 1
+        for _ in range(PEER_FAILURE_THRESHOLD):
+            monitor.peer_failure(profile.runtime_id)
+        assert monitor.effective_rank(profile) == 1
+        for _ in range(PEER_CHURN_THRESHOLD):
+            monitor.note_runtime_expired(profile.runtime_id)
+        assert monitor.effective_rank(degraded) == 2
+
+
+class TestHealthOrderedLookup:
+    def _three_sinks(self, runtime):
+        for name in ("alpha", "beta", "gamma"):
+            make_sink(runtime, name=name, role="display")
+        return runtime.lookup(Query(role="display"))
+
+    def test_healthy_order_is_registration_order(self, single):
+        runtime = single.runtimes[0]
+        profiles = self._three_sinks(runtime)
+        assert [p.name for p in profiles] == ["alpha", "beta", "gamma"]
+
+    def test_degraded_sorts_last(self, single):
+        runtime = single.runtimes[0]
+        profiles = self._three_sinks(runtime)
+        runtime.directory.update_local_health(
+            profiles[0].translator_id, "degraded"
+        )
+        names = [p.name for p in runtime.lookup(Query(role="display"))]
+        assert names == ["beta", "gamma", "alpha"]
+
+    def test_quarantined_excluded_unless_opted_in(self, single):
+        runtime = single.runtimes[0]
+        profiles = self._three_sinks(runtime)
+        runtime.directory.update_local_health(
+            profiles[1].translator_id, "quarantined"
+        )
+        names = [p.name for p in runtime.lookup(Query(role="display"))]
+        assert names == ["alpha", "gamma"]
+        names = [
+            p.name
+            for p in runtime.lookup(
+                Query(role="display", include_quarantined=True)
+            )
+        ]
+        assert names == ["alpha", "gamma", "beta"]
+
+    def test_recovery_restores_original_order(self, single):
+        runtime = single.runtimes[0]
+        profiles = self._three_sinks(runtime)
+        tid = profiles[0].translator_id
+        runtime.directory.update_local_health(tid, "degraded")
+        runtime.directory.update_local_health(tid, "healthy")
+        names = [p.name for p in runtime.lookup(Query(role="display"))]
+        assert names == ["alpha", "beta", "gamma"]
+        runtime.directory.check_index_consistency()
+
+    def test_health_disabled_runtime_ignores_health_field(self, lan):
+        from repro.core.runtime import UMiddleRuntime
+
+        _hub, node, _other = lan
+        runtime = UMiddleRuntime(node, name="rt-solo", health_enabled=False)
+        make_sink(runtime, name="tv", role="display")
+        assert [p.name for p in runtime.lookup(Query(role="display"))] == ["tv"]
+
+
+class TestFailoverBinding:
+    def _rig_with_two_sinks(self, rig):
+        r0, r1 = rig.runtimes
+        make_sink(r0, name="primary", role="display")
+        make_sink(r1, name="backup", role="display")
+        source, out = make_source(r0, name="feed", role="sensor")
+        rig.settle(1.0)
+        binding = r0.connect_query(out, Query(role="display"), failover=True)
+        return r0, r1, binding
+
+    def test_failover_binds_single_best_target(self, rig):
+        r0, r1, binding = self._rig_with_two_sinks(rig)
+        assert binding.failover
+        assert len(binding.bound_translators) == 1
+        primary = binding.bound_translators[0]
+        # The best target is the oldest healthy entry (our local one).
+        assert r0.directory.lookup(Query(role="display"))[0].translator_id == primary
+
+    def test_degradation_fails_over_and_recovery_rebinds(self, rig):
+        r0, r1, binding = self._rig_with_two_sinks(rig)
+        primary = binding.bound_translators[0]
+        r0.directory.update_local_health(primary, "degraded")
+        assert binding.bound_translators != [primary]
+        assert rig.network.trace.count("binding.failover") == 1
+        r0.directory.update_local_health(primary, "healthy")
+        assert binding.bound_translators == [primary]
+        assert rig.network.trace.count("binding.failover") == 2
+
+    def test_holds_current_binding_when_no_alternative(self, single):
+        runtime = single.runtimes[0]
+        make_sink(runtime, name="only", role="display")
+        _, out = make_source(runtime, name="feed", role="sensor")
+        binding = runtime.connect_query(
+            out, Query(role="display"), failover=True
+        )
+        only = binding.bound_translators[0]
+        runtime.directory.update_local_health(only, "quarantined")
+        # Quarantined and excluded from lookup, but it is all we have:
+        # degraded service beats none.
+        assert binding.bound_translators == [only]
+
+    def test_non_failover_binding_still_fans_out(self, rig):
+        r0, r1 = rig.runtimes
+        make_sink(r0, name="primary", role="display")
+        make_sink(r1, name="backup", role="display")
+        _, out = make_source(r0, name="feed", role="sensor")
+        rig.settle(1.0)
+        binding = r0.connect_query(out, Query(role="display"))
+        assert len(binding.bound_translators) == 2
+
+
+class TestSupervisor:
+    def test_restarts_crashed_process(self, single):
+        runtime = single.runtimes[0]
+        kernel = runtime.kernel
+        runs = []
+
+        def flaky(attempt):
+            yield kernel.timeout(0.1)
+            runs.append(attempt)
+            if attempt == 0:
+                raise RuntimeError("boom")
+
+        spawned = [0]
+
+        def respawn():
+            spawned[0] += 1
+            return runtime.supervisor.watch(
+                "flaky", kernel.process(flaky(spawned[0])), respawn
+            )
+
+        runtime.supervisor.watch("flaky", kernel.process(flaky(0)), respawn)
+        kernel.run(until=kernel.now + 5.0)
+        assert runs == [0, 1]  # crash was defused, replacement ran clean
+        assert runtime.supervisor.restarts == 1
+        assert runtime.network.trace.count("supervisor.restart") == 1
+
+    def test_deliberate_kill_is_not_restarted(self, single):
+        runtime = single.runtimes[0]
+        kernel = runtime.kernel
+
+        def forever():
+            while True:
+                yield kernel.timeout(1.0)
+
+        process = kernel.process(forever())
+        runtime.supervisor.watch("svc", process, lambda: None)
+        kernel.run(until=kernel.now + 0.5)
+        process.kill("stopped on purpose")
+        kernel.run(until=kernel.now + 5.0)
+        assert runtime.supervisor.restarts == 0
+
+    def test_backoff_doubles_per_recent_crash(self, single):
+        runtime = single.runtimes[0]
+        kernel = runtime.kernel
+
+        def always_crash():
+            yield kernel.timeout(0.05)
+            raise RuntimeError("boom")
+
+        def respawn():
+            return runtime.supervisor.watch(
+                "crashy", kernel.process(always_crash()), respawn
+            )
+
+        runtime.supervisor.watch("crashy", kernel.process(always_crash()), respawn)
+        kernel.run(until=kernel.now + 10.0)
+        backoffs = [
+            record.details["backoff"]
+            for record in runtime.network.trace.records("supervisor.restart")
+        ]
+        assert len(backoffs) >= 3
+        assert backoffs[0] == pytest.approx(0.5)
+        assert backoffs[1] == pytest.approx(1.0)
+        assert backoffs[2] == pytest.approx(2.0)
+
+    def test_disabled_supervisor_does_not_defuse(self, kernel, lan):
+        from repro.core.runtime import UMiddleRuntime
+
+        _hub, node, _other = lan
+        runtime = UMiddleRuntime(node, name="rt-solo", health_enabled=False)
+
+        def crash():
+            yield kernel.timeout(0.1)
+            raise RuntimeError("boom")
+
+        runtime.supervisor.watch("svc", kernel.process(crash()), lambda: None)
+        with pytest.raises(RuntimeError):
+            kernel.run(until=kernel.now + 1.0)
