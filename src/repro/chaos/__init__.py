@@ -25,6 +25,7 @@ from repro.chaos.faults import (
     ChaosError,
     DeviceChurn,
     Fault,
+    JournalCorruption,
     LinkDegrade,
     LinkOutage,
     MapperStall,
@@ -41,6 +42,7 @@ __all__ = [
     "LinkOutage",
     "NetworkPartition",
     "RuntimeCrash",
+    "JournalCorruption",
     "NodeChurn",
     "DeviceChurn",
     "MapperStall",

@@ -22,6 +22,7 @@ from repro.chaos.faults import (
     ChaosError,
     DeviceChurn,
     Fault,
+    JournalCorruption,
     LinkDegrade,
     LinkOutage,
     MapperStall,
@@ -69,9 +70,29 @@ class FaultPlan:
         return self.add(NetworkPartition(medium, groups, at, duration))
 
     def runtime_crash(
-        self, runtime, at: float, restart_after: Optional[float] = None
+        self,
+        runtime,
+        at: float,
+        restart_after: Optional[float] = None,
+        lose_state: bool = False,
     ) -> RuntimeCrash:
-        return self.add(RuntimeCrash(runtime, at, restart_after))
+        return self.add(
+            RuntimeCrash(runtime, at, restart_after, lose_state=lose_state)
+        )
+
+    def journal_corruption(
+        self,
+        runtime,
+        at: float,
+        mode: str = "truncate",
+        nbytes: int = 7,
+        offset_from_end: int = 4,
+    ) -> JournalCorruption:
+        return self.add(
+            JournalCorruption(
+                runtime, at, mode=mode, nbytes=nbytes, offset_from_end=offset_from_end
+            )
+        )
 
     def node_churn(self, node, at: float, duration: Optional[float] = None) -> NodeChurn:
         return self.add(NodeChurn(node, at, duration))
@@ -166,6 +187,7 @@ def random_plan(
     fault_count: int = 8,
     min_duration: float = 1.0,
     max_duration: float = 10.0,
+    lose_state: bool = False,
 ) -> FaultPlan:
     """Derive a reproducible fault schedule from an integer seed.
 
@@ -173,7 +195,10 @@ def random_plan(
     ``nodes`` and ``mappers`` are non-empty; times are uniform over
     ``[0, horizon)`` and durations over ``[min_duration, max_duration)``.
     The same seed and target lists always produce the identical plan, so a
-    seeded chaos run is exactly replayable.
+    seeded chaos run is exactly replayable.  ``lose_state=True`` makes
+    every drawn runtime crash a cold one (healed via journal recovery)
+    without disturbing the draw sequence, so the *schedule* is identical
+    to the warm plan for the same seed.
     """
     if horizon <= 0:
         raise ChaosError("random_plan horizon must be positive")
@@ -221,7 +246,12 @@ def random_plan(
                 medium, [names[:cut], names[cut:]], at=at, duration=duration
             )
         elif kind == "crash":
-            plan.runtime_crash(rng.choice(runtimes), at=at, restart_after=duration)
+            plan.runtime_crash(
+                rng.choice(runtimes),
+                at=at,
+                restart_after=duration,
+                lose_state=lose_state,
+            )
         elif kind == "node":
             plan.node_churn(rng.choice(nodes), at=at, duration=duration)
         elif kind == "stall":

@@ -10,7 +10,10 @@ methods that flip the corresponding switch in the simulation:
 - :class:`LinkOutage` -- take a medium down entirely.
 - :class:`NetworkPartition` -- split one segment into isolated groups.
 - :class:`RuntimeCrash` -- crash a uMiddle runtime abruptly; ``duration``
-  is the restart delay (``None`` = it stays dead).
+  is the restart delay (``None`` = it stays dead); ``lose_state=True``
+  makes it a cold crash healed via journal recovery.
+- :class:`JournalCorruption` -- tear or bit-flip the tail of a runtime's
+  write-ahead journal on stable storage.
 - :class:`NodeChurn` -- power-cycle a simulated host (native device churn
   at the hardware level).
 - :class:`DeviceChurn` -- power-cycle a platform device through arbitrary
@@ -38,6 +41,7 @@ __all__ = [
     "LinkOutage",
     "NetworkPartition",
     "RuntimeCrash",
+    "JournalCorruption",
     "NodeChurn",
     "DeviceChurn",
     "MapperStall",
@@ -187,22 +191,88 @@ class NetworkPartition(Fault):
 
 
 class RuntimeCrash(Fault):
-    """Crash a uMiddle runtime; ``duration`` is the restart delay."""
+    """Crash a uMiddle runtime; ``duration`` is the restart delay.
+
+    ``lose_state=True`` makes it a *cold* crash: all in-memory state dies
+    with the process and healing goes through
+    :meth:`~repro.core.runtime.UMiddleRuntime.recover` (rebuild from the
+    write-ahead journal) instead of the warm
+    :meth:`~repro.core.runtime.UMiddleRuntime.restart`.
+    """
 
     def __init__(
-        self, runtime: "UMiddleRuntime", at: float, restart_after: Optional[float] = None
+        self,
+        runtime: "UMiddleRuntime",
+        at: float,
+        restart_after: Optional[float] = None,
+        lose_state: bool = False,
     ):
         super().__init__(at, restart_after)
         self.runtime = runtime
+        self.lose_state = lose_state
 
     def describe(self) -> str:
-        return f"crash {self.runtime.runtime_id}"
+        cold = " (cold)" if self.lose_state else ""
+        return f"crash {self.runtime.runtime_id}{cold}"
 
     def inject(self) -> None:
-        self.runtime.crash()
+        self.runtime.crash(lose_state=self.lose_state)
 
     def heal(self) -> None:
-        self.runtime.restart()
+        if self.lose_state:
+            self.runtime.recover()
+        else:
+            self.runtime.restart()
+
+
+class JournalCorruption(Fault):
+    """Corrupt the tail of a runtime's write-ahead journal on stable
+    storage.
+
+    ``mode="truncate"`` chops ``nbytes`` off the end (a torn tail write at
+    crash time); ``mode="flip"`` XORs one byte ``offset_from_end`` bytes
+    before the end (tail-record bit rot).  Either way, the next
+    :meth:`~repro.core.runtime.UMiddleRuntime.recover` must replay to the
+    last checksum-consistent prefix -- never raise -- and re-learn the rest
+    through normal gossip.  Corruption has no heal: recovery itself
+    truncates the damage away.
+    """
+
+    def __init__(
+        self,
+        runtime: "UMiddleRuntime",
+        at: float,
+        mode: str = "truncate",
+        nbytes: int = 7,
+        offset_from_end: int = 4,
+    ):
+        if mode not in ("truncate", "flip"):
+            raise ChaosError(
+                f"JournalCorruption mode must be 'truncate' or 'flip', got {mode!r}"
+            )
+        if nbytes < 1:
+            raise ChaosError(f"JournalCorruption nbytes must be >= 1, got {nbytes}")
+        super().__init__(at, None)
+        self.runtime = runtime
+        self.mode = mode
+        self.nbytes = nbytes
+        self.offset_from_end = offset_from_end
+
+    def describe(self) -> str:
+        detail = f"-{self.nbytes}B" if self.mode == "truncate" else "bit flip"
+        return f"corrupt journal of {self.runtime.runtime_id} ({detail})"
+
+    def inject(self) -> None:
+        from repro.core.journal import durable_media
+
+        media = durable_media(self.runtime.network)
+        if self.mode == "truncate":
+            media.truncate_tail(self.runtime.runtime_id, self.nbytes)
+        else:
+            media.flip_tail_byte(self.runtime.runtime_id, self.offset_from_end)
+
+    def heal(self) -> None:  # pragma: no cover - corruption never heals
+        pass
 
 
 class NodeChurn(Fault):

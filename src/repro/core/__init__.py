@@ -20,6 +20,8 @@ This package implements the intermediary semantic space of Section 3:
 - :mod:`repro.core.binding` -- dynamic device binding (Section 3.5).
 - :mod:`repro.core.qos` -- QoS control on message paths (the paper's stated
   future work, implemented here as an extension).
+- :mod:`repro.core.journal` -- write-ahead journal and crash-consistent
+  cold-restart recovery (durability extension).
 - :mod:`repro.core.runtime` -- the uMiddle runtime hosting all of the above
   on a simulated network node.
 """
@@ -51,6 +53,7 @@ from repro.core.health import (
     HealthState,
     Supervisor,
 )
+from repro.core.journal import DurableMedia, Journal, RecoveredState, durable_media
 from repro.core.ports import DigitalInputPort, DigitalOutputPort, PhysicalPort
 from repro.core.translator import GenericTranslator, NativeHandle, Translator
 from repro.core.mapper import Mapper
@@ -93,5 +96,9 @@ __all__ = [
     "DropPolicy",
     "QosPolicy",
     "TokenBucket",
+    "DurableMedia",
+    "Journal",
+    "RecoveredState",
+    "durable_media",
     "UMiddleRuntime",
 ]

@@ -16,7 +16,8 @@ template-based connection request.
 
 from __future__ import annotations
 
-from typing import Dict, List, Union, TYPE_CHECKING
+import itertools
+from typing import Dict, List, Optional, Union, TYPE_CHECKING
 
 from repro.core.directory import DirectoryListener
 from repro.core.errors import BindingError
@@ -28,6 +29,8 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.runtime import UMiddleRuntime
 
 __all__ = ["DynamicBinding"]
+
+_binding_counter = itertools.count(1)
 
 
 class DynamicBinding(DirectoryListener):
@@ -45,6 +48,7 @@ class DynamicBinding(DirectoryListener):
         port: Union[DigitalOutputPort, DigitalInputPort],
         query: Query,
         failover: bool = False,
+        binding_id: Optional[str] = None,
     ):
         if not isinstance(port, (DigitalOutputPort, DigitalInputPort)):
             raise BindingError(f"cannot bind from port {port!r}")
@@ -52,6 +56,11 @@ class DynamicBinding(DirectoryListener):
         self.runtime = runtime
         self.port = port
         self.query = query
+        #: Stable identity journaled with the standing query, so a binding
+        #: re-opened by cold recovery matches its open/close records.
+        self.binding_id = binding_id or (
+            f"{runtime.runtime_id}:b{next(_binding_counter)}"
+        )
         #: Failover mode: bind only the single *best* (healthiest, then
         #: oldest) matching translator and migrate when health changes,
         #: instead of fanning out to every match.
@@ -216,6 +225,9 @@ class DynamicBinding(DirectoryListener):
         self.closed = True
         self.runtime.directory.unsubscribe_query(self)
         self.runtime._forget_binding(self)
+        self.runtime.journal.append(
+            "binding-close", {"binding_id": self.binding_id}
+        )
         for paths in self._bound.values():
             for path in paths:
                 path.close()

@@ -366,6 +366,30 @@ class Directory:
         if self.started:
             self._announce(changed=[new])
 
+    # -- cold restart (journal recovery) -----------------------------------------------
+
+    def discard_local(self) -> None:
+        """``crash(lose_state=True)`` semantics: even the entries for local
+        translators die with the process (they are in-memory state, unlike
+        the translator objects, which model on-disk configuration).
+        Silent -- in-memory listeners die with the same crash."""
+        for translator_id, entry in list(self._entries.items()):
+            if entry.local:
+                self._drop_entry(translator_id)
+        self._bump_version()
+
+    def recover_local(self, profile: TranslatorProfile) -> None:
+        """Re-admit one journaled local translator during cold recovery.
+
+        Silent: no listener notifications (standing queries are re-opened
+        *after* the directory is rebuilt and do their own initial lookup)
+        and no per-entry announcements (the post-recovery
+        :meth:`start` announces the full local state once)."""
+        if profile.translator_id in self._entries:
+            return
+        self._store_entry(profile, local=True, now=self.runtime.kernel.now)
+        self._bump_version()
+
     # -- queries used by other modules ------------------------------------------------
 
     def profiles(self) -> List[TranslatorProfile]:

@@ -1,0 +1,350 @@
+"""Write-ahead journal: crash-consistent durability for uMiddle runtimes.
+
+uMiddle intermediaries live "in the infrastructure" (design choice 4-b), so
+a crashed intermediary must come back without losing the slice of the
+semantic space it was hosting.  Before this module, ``crash()``/``restart()``
+only worked because the Python objects happened to survive in memory.  This
+module gives each runtime *simulated stable storage*: an append-only,
+checksummed, monotonically-sequenced record log (an ARIES-style redo log)
+that survives ``crash(lose_state=True)``, plus the replay machinery that
+reconstructs directory state, standing queries, concrete paths, the unacked
+per-peer spool, and breaker snapshots purely from the log.
+
+Record format
+-------------
+
+One record per line::
+
+    <crc32 hex, 8 chars> <canonical JSON: {"data": ..., "kind": ..., "lsn": n}>\\n
+
+- ``lsn`` is a per-journal monotonic sequence number; a gap or regression
+  during replay stops the scan (a torn or reordered tail is never applied).
+- The CRC-32 covers the JSON body; a mismatch (bit flip) also stops the
+  scan.  Replay therefore always recovers the *last checksum-consistent
+  prefix* -- anything after the first bad record is discarded and must be
+  re-learned through the normal gossip pull.
+
+Group commit
+------------
+
+Appends go to an in-memory *pending* buffer; ``fsync_interval`` seconds
+later (simulated time) the buffer is flushed to the durable blob in one
+write.  ``fsync_interval=0`` (the default) flushes synchronously on every
+append.  A crash drops whatever is still pending -- exactly the durability
+window the interval buys in exchange for fewer (simulated and wall-clock)
+flushes, which the durability benchmark measures.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.runtime import UMiddleRuntime
+    from repro.simnet.net import Network
+
+__all__ = [
+    "DurableMedia",
+    "Journal",
+    "RecoveredState",
+    "durable_media",
+    "encode_record",
+    "replay_blob",
+]
+
+
+class DurableMedia:
+    """Simulated stable storage: one append-only blob per ``runtime_id``.
+
+    The media object lives on the :class:`~repro.simnet.net.Network` (one
+    "disk array" per simulation), so it survives any runtime's
+    ``crash(lose_state=True)`` while still being isolated between
+    simulations -- a fresh testbed starts with empty disks.
+    """
+
+    def __init__(self):
+        self._blobs: Dict[str, bytearray] = {}
+
+    def blob(self, runtime_id: str) -> bytearray:
+        return self._blobs.setdefault(runtime_id, bytearray())
+
+    def size(self, runtime_id: str) -> int:
+        return len(self._blobs.get(runtime_id, b""))
+
+    def erase(self, runtime_id: str) -> None:
+        self._blobs.pop(runtime_id, None)
+
+    # -- corruption hooks (chaos's JournalCorruption fault) -----------------
+
+    def truncate_tail(self, runtime_id: str, nbytes: int) -> int:
+        """Chop ``nbytes`` off the end of the blob (a torn tail write).
+
+        Returns the number of bytes actually removed.
+        """
+        blob = self.blob(runtime_id)
+        removed = min(max(nbytes, 0), len(blob))
+        if removed:
+            del blob[len(blob) - removed :]
+        return removed
+
+    def flip_tail_byte(self, runtime_id: str, offset_from_end: int = 4) -> bool:
+        """XOR one byte near the end of the blob (tail-record bit rot).
+
+        Returns False when the blob is too short to corrupt.
+        """
+        blob = self.blob(runtime_id)
+        if not blob:
+            return False
+        index = len(blob) - 1 - min(max(offset_from_end, 0), len(blob) - 1)
+        blob[index] ^= 0x5A
+        return True
+
+
+def durable_media(network: "Network") -> DurableMedia:
+    """The network's stable-storage array, created on first use."""
+    media = getattr(network, "_durable_media", None)
+    if media is None:
+        media = DurableMedia()
+        network._durable_media = media
+    return media
+
+
+def encode_record(lsn: int, kind: str, data: dict) -> bytes:
+    """One checksummed, line-framed journal record."""
+    body = json.dumps(
+        {"data": data, "kind": kind, "lsn": lsn},
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode("utf-8")
+    return b"%08x " % (zlib.crc32(body) & 0xFFFFFFFF) + body + b"\n"
+
+
+def _decode_line(line: bytes) -> Optional[dict]:
+    """Parse one framed record; None on any structural or checksum fault."""
+    if len(line) < 10 or line[8:9] != b" ":
+        return None
+    body = line[9:]
+    try:
+        crc = int(line[:8], 16)
+    except ValueError:
+        return None
+    if zlib.crc32(body) & 0xFFFFFFFF != crc:
+        return None
+    try:
+        record = json.loads(body)
+    except ValueError:
+        return None
+    if not isinstance(record, dict) or "lsn" not in record or "kind" not in record:
+        return None
+    return record
+
+
+def replay_blob(blob: bytes) -> Tuple[List[dict], int, int]:
+    """Scan a journal blob to its last checksum-consistent prefix.
+
+    Returns ``(records, clean_bytes, discarded_bytes)``.  The scan stops at
+    the first record that is torn (no trailing newline), fails its CRC,
+    does not parse, or breaks LSN monotonicity; everything after that point
+    counts as discarded.
+    """
+    records: List[dict] = []
+    offset = 0
+    last_lsn = 0
+    view = bytes(blob)
+    while offset < len(view):
+        end = view.find(b"\n", offset)
+        if end < 0:
+            break  # torn tail: partial record without its newline
+        record = _decode_line(view[offset:end])
+        if record is None:
+            break
+        lsn = record["lsn"]
+        if not isinstance(lsn, int) or lsn != last_lsn + 1:
+            break
+        last_lsn = lsn
+        records.append(record)
+        offset = end + 1
+    return records, offset, len(view) - offset
+
+
+@dataclass
+class RecoveredState:
+    """Everything :meth:`Journal.replay` reconstructs from the log."""
+
+    #: translator_id -> profile wire dict, in registration order, with the
+    #: latest journaled health applied.
+    registered: Dict[str, dict] = field(default_factory=dict)
+    #: binding_id -> {"port", "query", "failover"} for open standing queries.
+    bindings: Dict[str, dict] = field(default_factory=dict)
+    #: path_id -> {"src", "dst", "qos"} for open application paths.
+    paths: Dict[str, dict] = field(default_factory=dict)
+    #: peer runtime_id -> ordered unacked (envelope, size) spool entries.
+    spool: Dict[str, List[Tuple[dict, int]]] = field(default_factory=dict)
+    #: sender-side stream key -> highest sequence number ever assigned.
+    stream_seqs: Dict[str, int] = field(default_factory=dict)
+    #: peer runtime_id -> last breaker snapshot ({"state", "times_opened"}).
+    breakers: Dict[str, dict] = field(default_factory=dict)
+    applied_records: int = 0
+    discarded_bytes: int = 0
+
+    @property
+    def truncated(self) -> bool:
+        return self.discarded_bytes > 0
+
+
+class Journal:
+    """One runtime's write-ahead log on the simulated durable media.
+
+    Redo-only: the runtime appends a record *before* applying each durable
+    state change (registration, standing query, application path, spool
+    envelope, ack, breaker trip/close, health change), and
+    :meth:`replay` folds the record stream back into a
+    :class:`RecoveredState`.  ``muted`` suppresses appends while the
+    runtime is crashed or replaying -- recovery must never re-log what it
+    reads.
+    """
+
+    def __init__(
+        self,
+        runtime: "UMiddleRuntime",
+        media: DurableMedia,
+        enabled: bool = True,
+        fsync_interval: float = 0.0,
+    ):
+        self.runtime = runtime
+        self.media = media
+        self.enabled = enabled
+        self.fsync_interval = fsync_interval
+        #: True while the runtime is crashed or replaying: appends dropped.
+        self.muted = False
+        self._pending = bytearray()
+        self._flush_scheduled = False
+        # Continue the LSN chain of whatever already survives on disk.
+        records, _clean, _junk = replay_blob(self.blob)
+        self._lsn = records[-1]["lsn"] if records else 0
+        self.records_appended = 0
+        self.fsyncs = 0
+        self.bytes_written = 0
+        self.records_lost = 0
+
+    @property
+    def blob(self) -> bytearray:
+        return self.media.blob(self.runtime.runtime_id)
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.blob)
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._pending)
+
+    # -- writing ------------------------------------------------------------
+
+    def append(self, kind: str, data: dict) -> None:
+        if not self.enabled or self.muted:
+            return
+        # Encode before committing the LSN: a non-serializable payload must
+        # raise without leaving a gap in the sequence chain.
+        record = encode_record(self._lsn + 1, kind, data)
+        self._lsn += 1
+        self._pending += record
+        self.records_appended += 1
+        if self.fsync_interval <= 0:
+            self.sync()
+        elif not self._flush_scheduled:
+            self._flush_scheduled = True
+            self.runtime.kernel.call_later(self.fsync_interval, self._flush_timer)
+
+    def sync(self) -> None:
+        """Flush the pending buffer to stable storage (one group commit)."""
+        if not self._pending:
+            return
+        self.blob.extend(self._pending)
+        self.fsyncs += 1
+        self.bytes_written += len(self._pending)
+        self._pending.clear()
+
+    def _flush_timer(self) -> None:
+        self._flush_scheduled = False
+        self.sync()
+
+    def lose_pending(self) -> None:
+        """Crash semantics: un-fsynced group-commit records die with the
+        process.  The LSN counter rolls back with them so the on-disk chain
+        stays gapless."""
+        if self._pending:
+            lost = self._pending.count(b"\n")
+            self.records_lost += lost
+            self._lsn -= lost
+            self._pending.clear()
+
+    # -- replay -------------------------------------------------------------
+
+    def replay(self) -> RecoveredState:
+        """Fold the durable record stream into a :class:`RecoveredState`.
+
+        Stops at the last checksum-consistent prefix (see
+        :func:`replay_blob`); a corrupted tail is physically truncated so
+        post-recovery appends extend the consistent prefix, not the junk.
+        """
+        records, clean_bytes, discarded = replay_blob(self.blob)
+        if discarded:
+            self.media.truncate_tail(self.runtime.runtime_id, discarded)
+            self._lsn = records[-1]["lsn"] if records else 0
+        state = RecoveredState(
+            applied_records=len(records), discarded_bytes=discarded
+        )
+        for record in records:
+            self._apply(state, record["kind"], record["data"])
+        return state
+
+    @staticmethod
+    def _apply(state: RecoveredState, kind: str, data: dict) -> None:
+        if kind == "register":
+            profile = data["profile"]
+            state.registered[profile["translator_id"]] = dict(profile)
+        elif kind == "unregister":
+            state.registered.pop(data["translator_id"], None)
+        elif kind == "health":
+            entry = state.registered.get(data["translator_id"])
+            if entry is not None:
+                entry["health"] = data["health"]
+        elif kind == "binding-open":
+            state.bindings[data["binding_id"]] = data
+        elif kind == "binding-close":
+            state.bindings.pop(data["binding_id"], None)
+        elif kind == "path-open":
+            state.paths[data["path_id"]] = data
+        elif kind == "path-close":
+            state.paths.pop(data["path_id"], None)
+        elif kind == "spool":
+            envelope = data["envelope"]
+            state.spool.setdefault(data["peer"], []).append(
+                (envelope, data["size"])
+            )
+            stream = envelope.get("stream")
+            seq = envelope.get("seq")
+            if stream is not None and isinstance(seq, int):
+                state.stream_seqs[stream] = max(
+                    state.stream_seqs.get(stream, 0), seq
+                )
+        elif kind == "spool-ack":
+            entries = state.spool.get(data["peer"])
+            if entries:
+                entries.pop(0)  # per-peer delivery is FIFO: ack pops the head
+        elif kind == "spool-drop":
+            entries = state.spool.get(data["peer"])
+            if entries:
+                entries.pop(0)  # capacity eviction also removes the oldest
+        elif kind == "spool-flush":
+            state.spool.pop(data["peer"], None)
+        elif kind == "breaker":
+            if data.get("state") == "closed":
+                state.breakers.pop(data["peer"], None)
+            else:
+                state.breakers[data["peer"]] = data
+        # Unknown kinds are ignored: forward-compatible replay.

@@ -30,7 +30,13 @@ class UMessage:
         size: payload size in bytes (drives simulated wire/marshal costs).
         source: port reference string of the producing port, if any.
         headers: free-form metadata (e.g. the VML document for UI events).
-        sequence: monotonically increasing id, useful in tests.
+        sequence: **test-only** monotonically increasing id.  It comes from
+            a process-global ``itertools.count``, so messages produced by
+            different simulated runtimes in one interpreter interleave in
+            one shared numbering -- fine for asserting ordering within a
+            test, useless as a delivery identity.  Exactly-once delivery
+            uses the transport's per-(sender, path) envelope sequence
+            numbers instead (see ``Transport._enqueue_envelope``).
     """
 
     mime: DigitalType

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Dict, Optional
 
 from repro.core.errors import TransportError
 
@@ -104,4 +104,32 @@ class QosPolicy:
             rate=TokenBucket(rate_bps, burst_bytes),
             buffer_capacity=buffer_capacity,
             drop_policy=drop_policy,
+        )
+
+    # -- wire form (journaled with path-open records) -----------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON form for the write-ahead journal.
+
+        The token bucket's *configuration* is durable; its fill level is
+        volatile state that a recovered path restarts full, like any
+        freshly created limiter.
+        """
+        data: Dict[str, Any] = {"drop_policy": self.drop_policy.value}
+        if self.buffer_capacity is not None:
+            data["buffer_capacity"] = self.buffer_capacity
+        if self.rate is not None:
+            data["rate_bps"] = self.rate.rate_bps
+            data["burst_bytes"] = self.rate.burst_bytes
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "QosPolicy":
+        rate = None
+        if "rate_bps" in data:
+            rate = TokenBucket(data["rate_bps"], data["burst_bytes"])
+        return cls(
+            rate=rate,
+            buffer_capacity=data.get("buffer_capacity"),
+            drop_policy=DropPolicy(data.get("drop_policy", "drop-newest")),
         )

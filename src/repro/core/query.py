@@ -22,7 +22,7 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.core.errors import BindingError
 from repro.core.profile import TranslatorProfile
-from repro.core.shapes import DigitalType, Direction, PhysicalType, Shape
+from repro.core.shapes import DigitalType, Direction, PhysicalType, PortSpec, Shape
 
 __all__ = ["Query"]
 
@@ -140,6 +140,85 @@ class Query:
         result = tuple(dict.fromkeys(keys))
         object.__setattr__(self, "_index_keys", result)
         return result
+
+    # -- wire form (journaled with standing-query records) ------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON form for the write-ahead journal (standing queries must
+        survive a cold restart).  Only set criteria are emitted."""
+        data: Dict[str, Any] = {}
+        if self.platform is not None:
+            data["platform"] = self.platform
+        if self.device_type is not None:
+            data["device_type"] = self.device_type
+        if self.role is not None:
+            data["role"] = self.role
+        if self.name_contains is not None:
+            data["name_contains"] = self.name_contains
+        if self.input_mime is not None:
+            data["input_mime"] = self.input_mime.mime
+        if self.output_mime is not None:
+            data["output_mime"] = self.output_mime.mime
+        if self.physical_input is not None:
+            data["physical_input"] = str(self.physical_input)
+        if self.physical_output is not None:
+            data["physical_output"] = str(self.physical_output)
+        if self.template is not None:
+            ports = []
+            for spec in self.template:
+                entry: Dict[str, Any] = {
+                    "name": spec.name,
+                    "direction": spec.direction.value,
+                }
+                if spec.is_digital:
+                    entry["mime"] = spec.digital_type.mime
+                else:
+                    entry["physical"] = str(spec.physical_type)
+                ports.append(entry)
+            data["template"] = ports
+        if self.attributes:
+            data["attributes"] = dict(self.attributes)
+        if self.include_quarantined:
+            data["include_quarantined"] = True
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Query":
+        template = None
+        if "template" in data:
+            specs = []
+            for entry in data["template"]:
+                direction = Direction(entry["direction"])
+                if "mime" in entry:
+                    specs.append(
+                        PortSpec(
+                            name=entry["name"],
+                            direction=direction,
+                            digital_type=DigitalType(entry["mime"]),
+                        )
+                    )
+                else:
+                    specs.append(
+                        PortSpec(
+                            name=entry["name"],
+                            direction=direction,
+                            physical_type=PhysicalType.parse(entry["physical"]),
+                        )
+                    )
+            template = Shape(specs)
+        return cls(
+            platform=data.get("platform"),
+            device_type=data.get("device_type"),
+            role=data.get("role"),
+            name_contains=data.get("name_contains"),
+            input_mime=data.get("input_mime"),
+            output_mime=data.get("output_mime"),
+            physical_input=data.get("physical_input"),
+            physical_output=data.get("physical_output"),
+            template=template,
+            attributes=dict(data.get("attributes", {})),
+            include_quarantined=bool(data.get("include_quarantined", False)),
+        )
 
     def is_empty(self) -> bool:
         """True if this query has no criteria (matches everything)."""

@@ -19,6 +19,7 @@ from repro.core.binding import DynamicBinding
 from repro.core.directory import DIRECTORY_PORT, Directory
 from repro.core.errors import TransportError, UMiddleError
 from repro.core.health import HealthMonitor, HealthState, Supervisor
+from repro.core.journal import Journal, durable_media
 from repro.core.ports import DigitalInputPort, DigitalOutputPort
 from repro.core.profile import PortRef, TranslatorProfile
 from repro.core.qos import QosPolicy
@@ -52,12 +53,24 @@ class UMiddleRuntime:
         directory_port: int = DIRECTORY_PORT,
         auto_start: bool = True,
         health_enabled: bool = True,
+        journal_enabled: bool = True,
+        fsync_interval: float = 0.0,
     ):
         self.node = node
         self.kernel: Kernel = node.network.kernel
         self.network = node.network
         self.calibration = calibration
         self.runtime_id = name or f"umiddle-{next(_runtime_counter)}-{node.name}"
+        # The write-ahead journal must exist before the directory and
+        # transport: both append records from their first state change.
+        # The durable media lives on the network, so a journal constructed
+        # for a runtime_id that crashed before continues its LSN chain.
+        self.journal = Journal(
+            self,
+            durable_media(node.network),
+            enabled=journal_enabled,
+            fsync_interval=fsync_interval,
+        )
         # Health machinery must exist before the directory and transport:
         # both consult it from their constructors onward.
         self.health = HealthMonitor(
@@ -91,31 +104,59 @@ class UMiddleRuntime:
         self.transport.stop()
         self.directory.stop()
 
-    def crash(self) -> None:
+    def crash(self, lose_state: bool = False) -> None:
         """Fail abruptly: sockets vanish without goodbyes, every message
         path and discovery process dies, and soft state learned from peers
         is lost.  Local translators survive (they model configuration that
-        a restarted process re-establishes) and are re-advertised by
-        :meth:`restart`.  Peers notice only through directory lease expiry
-        or through their transport retry budget."""
+        a restarted process re-establishes).  Peers notice only through
+        directory lease expiry or through their transport retry budget.
+
+        ``lose_state=False`` (the warm crash of PR 1) keeps the in-memory
+        directory, spool and bindings for :meth:`restart`.
+        ``lose_state=True`` is a *cold* crash: everything in memory dies --
+        directory entries (even local ones), standing bindings, the spool,
+        breakers and the dedup window -- and only the write-ahead journal
+        survives, for :meth:`recover` to rebuild from.  Un-fsynced
+        group-commit records die with the process either way.  With the
+        journal disabled a cold crash degrades to a warm one: there is
+        nothing on disk to rebuild from, so the runtime keeps today's
+        relearn-from-gossip semantics."""
         if self.crashed:
             return
         self.crashed = True
+        # Nothing that happens while dead (path teardown below, or a late
+        # timer) may reach the journal; recovery must see the pre-crash log.
+        self.journal.lose_pending()
+        self.journal.muted = True
         for mapper in list(self.mappers):
             mapper.suspend()
         self.transport.stop(graceful=False)
         self.directory.stop()
         self.directory.forget_remote()
         self.health.forget_peers()
-        self.trace("runtime.crash", "crashed")
+        if lose_state and self.journal.enabled:
+            for binding in list(self._bindings):
+                binding.close()
+            self._bindings.clear()
+            self.directory.discard_local()
+            self.transport.discard_state()
+            self.trace("runtime.crash", "crashed (in-memory state lost)")
+        else:
+            self.trace("runtime.crash", "crashed")
 
     def restart(self) -> None:
-        """Recover from :meth:`crash`: reopen the transport and directory
-        (which immediately re-advertises the full local state), resume
-        platform discovery, and re-evaluate standing query bindings."""
+        """Warm restart from :meth:`crash`: reopen the transport and
+        directory (which immediately re-advertises the full local state),
+        resume platform discovery, and re-evaluate standing query bindings.
+        Application paths torn down by the crash are recorded as closed in
+        the journal -- a warm restart does not resurrect them, so a later
+        cold restart must not either."""
         if not self.crashed:
             return
         self.crashed = False
+        self.journal.muted = False
+        for path_id in self.transport.drain_orphaned_paths():
+            self.journal.append("path-close", {"path_id": path_id})
         self.transport.start()
         self.directory.start()
         for mapper in list(self.mappers):
@@ -123,6 +164,86 @@ class UMiddleRuntime:
         for binding in list(self._bindings):
             binding.refresh()
         self.trace("runtime.restart", "restarted")
+
+    def recover(self) -> None:
+        """Cold restart: rebuild the runtime purely from the write-ahead
+        journal after a ``crash(lose_state=True)``.
+
+        Replays the log to its last checksum-consistent prefix (physically
+        truncating any corrupt tail), then in order: re-admits local
+        directory entries with their journaled health, restores transport
+        sequence counters, the unacked spool and half-open breakers,
+        restarts the modules, re-opens standing query bindings under their
+        journaled ids, and recreates application paths under their
+        original ids.  Anything past the consistent prefix -- or remote
+        soft state, which is never journaled -- is re-learned through the
+        normal gossip pull.  With the journal disabled this degrades to
+        :meth:`restart`."""
+        if not self.crashed:
+            return
+        if not self.journal.enabled:
+            self.restart()
+            return
+        self.journal.muted = True  # replay must not re-log what it reads
+        state = self.journal.replay()
+        if state.truncated:
+            self.trace(
+                "journal.truncated",
+                f"discarded {state.discarded_bytes} corrupt tail byte(s); "
+                "anything past the consistent prefix is re-learned via gossip",
+                discarded=state.discarded_bytes,
+                applied=state.applied_records,
+            )
+        self.crashed = False
+        self.transport.drain_orphaned_paths()  # superseded by the replay
+        for data in state.registered.values():
+            self.directory.recover_local(TranslatorProfile.from_dict(data))
+        self.transport.recover(state)
+        self.journal.muted = False
+        self.transport.start()
+        self.directory.start()
+        for mapper in list(self.mappers):
+            mapper.resume()
+        for binding_id, data in state.bindings.items():
+            port = self._recover_port(data["port"])
+            if port is None:
+                continue
+            binding = DynamicBinding(
+                self,
+                port,
+                Query.from_dict(data["query"]),
+                failover=bool(data.get("failover", False)),
+                binding_id=binding_id,
+            )
+            self._bindings.append(binding)
+        for path_id, data in state.paths.items():
+            qos = QosPolicy.from_dict(data["qos"]) if data.get("qos") else None
+            self.transport.recover_path(
+                path_id,
+                PortRef.parse(data["src"]),
+                PortRef.parse(data["dst"]),
+                qos,
+            )
+        self.trace(
+            "runtime.recover",
+            f"cold restart from {state.applied_records} journal record(s): "
+            f"{len(state.registered)} translator(s), "
+            f"{len(state.bindings)} binding(s), {len(state.paths)} path(s), "
+            f"{sum(len(v) for v in state.spool.values())} spooled envelope(s)",
+        )
+
+    def _recover_port(
+        self, ref_str: str
+    ) -> Optional[Union[DigitalOutputPort, DigitalInputPort]]:
+        ref = PortRef.parse(ref_str)
+        try:
+            return self.local_output_port(ref)
+        except TransportError:
+            pass
+        try:
+            return self.local_input_port(ref)
+        except TransportError:
+            return None
 
     def trace(self, category: str, message: str, **details) -> None:
         self.network.trace.emit(category, f"[{self.runtime_id}] {message}", **details)
@@ -136,6 +257,9 @@ class UMiddleRuntime:
             "health.translator", f"{translator_id} -> {state.value} ({reason})"
         )
         self.directory.update_local_health(translator_id, state.value)
+        self.journal.append(
+            "health", {"translator_id": translator_id, "health": state.value}
+        )
         self._reevaluate_failover()
 
     def _on_peer_health_changed(
@@ -160,7 +284,9 @@ class UMiddleRuntime:
             )
         translator.attach(self)
         self.translators[translator.translator_id] = translator
-        self.directory.register(translator.profile)
+        profile = translator.profile
+        self.directory.register(profile)
+        self.journal.append("register", {"profile": profile.to_dict()})
         return translator
 
     def unregister_translator(self, translator: Translator) -> None:
@@ -171,6 +297,9 @@ class UMiddleRuntime:
         self.transport.close_paths_of_translator(translator.translator_id)
         del self.translators[translator.translator_id]
         self.directory.unregister(translator.translator_id)
+        self.journal.append(
+            "unregister", {"translator_id": translator.translator_id}
+        )
         translator.detach()
 
     def translator(self, translator_id: str) -> Translator:
@@ -232,8 +361,26 @@ class UMiddleRuntime:
         dst: Union[DigitalInputPort, PortRef],
         qos: Optional[QosPolicy] = None,
     ) -> Union[MessagePath, RemotePathHandle]:
-        """Figure 7-1: a concrete path between two specific ports."""
-        return self.transport.connect(src, dst, qos=qos)
+        """Figure 7-1: a concrete path between two specific ports.
+
+        Local paths created through this application API are journaled and
+        survive a cold restart; paths a :class:`DynamicBinding` creates are
+        derived state (the journaled binding recreates them), and a
+        :class:`RemotePathHandle`'s path is the owning peer's to journal.
+        """
+        path = self.transport.connect(src, dst, qos=qos)
+        if isinstance(path, MessagePath):
+            path.journaled = True
+            self.journal.append(
+                "path-open",
+                {
+                    "path_id": path.path_id,
+                    "src": str(path.src_ref),
+                    "dst": str(path.dst_ref),
+                    "qos": qos.to_dict() if qos is not None else None,
+                },
+            )
+        return path
 
     def connect_query(
         self,
@@ -248,6 +395,15 @@ class UMiddleRuntime:
         """
         binding = DynamicBinding(self, port, query, failover=failover)
         self._bindings.append(binding)
+        self.journal.append(
+            "binding-open",
+            {
+                "binding_id": binding.binding_id,
+                "port": str(port.ref),
+                "query": query.to_dict(),
+                "failover": failover,
+            },
+        )
         return binding
 
     def _forget_binding(self, binding: DynamicBinding) -> None:

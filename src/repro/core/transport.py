@@ -27,11 +27,11 @@ sender process.
 from __future__ import annotations
 
 import itertools
-from collections import deque
+from collections import OrderedDict, deque
 from typing import Deque, Dict, Generator, List, Optional, Tuple, Union, TYPE_CHECKING
 
 from repro.core.errors import TransportError
-from repro.core.health import CircuitBreaker
+from repro.core.health import OPEN, CircuitBreaker
 from repro.core.messages import UMessage
 from repro.core.ports import DigitalInputPort, DigitalOutputPort
 from repro.core.profile import PortRef
@@ -82,6 +82,10 @@ class MessagePath:
         self._buffer: Deque[UMessage] = deque()
         self._wakeup: Optional[Event] = None
         self.closed = False
+        #: True for application paths recorded in the write-ahead journal
+        #: (paths created by a DynamicBinding are derived state -- the
+        #: journaled binding recreates them on recovery instead).
+        self.journaled = False
 
         # Destination platform, for cross-representation accounting.
         if isinstance(dst, DigitalInputPort):
@@ -143,16 +147,16 @@ class MessagePath:
         if self.closed:
             return False
         if len(self._buffer) >= self.capacity:
+            self.messages_dropped += 1
+            self.transport.runtime.trace(
+                "transport.drop",
+                f"path {self.path_id}: translation buffer full",
+                size=message.size,
+                policy=self.qos.drop_policy.value,
+            )
             if self.qos.drop_policy is DropPolicy.DROP_OLDEST:
                 self._buffer.popleft()
-                self.messages_dropped += 1
             else:
-                self.messages_dropped += 1
-                self.transport.runtime.trace(
-                    "transport.drop",
-                    f"path {self.path_id}: translation buffer full",
-                    size=message.size,
-                )
                 return False
         self._buffer.append(message)
         self.messages_enqueued += 1
@@ -212,7 +216,7 @@ class MessagePath:
                 if hasattr(result, "send") and hasattr(result, "throw"):
                     yield from result
             else:
-                self.transport._enqueue_remote(self.dst, message)
+                self.transport._enqueue_remote(self.dst, message, path=self)
             self.messages_delivered += 1
             self.bytes_delivered += message.size
 
@@ -267,6 +271,9 @@ class Transport:
     #: Bounded spool: envelopes held per peer while it is unreachable;
     #: beyond this the oldest spooled envelope is dropped.
     SPOOL_CAPACITY = 256
+    #: Receiver-side dedup: number of (origin, stream) high-water marks
+    #: tracked before the least-recently-used stream is forgotten.
+    DEDUP_WINDOW = 1024
 
     def __init__(self, runtime: "UMiddleRuntime", port: int):
         self.runtime = runtime
@@ -279,11 +286,22 @@ class Transport:
         self._peer_outboxes: Dict[str, Deque[Tuple[str, dict, int]]] = {}
         self._peer_wakeups: Dict[str, Event] = {}
         self._peer_senders: Dict[str, object] = {}
+        #: Sender-side per-(sender, path) sequence counters: stream key ->
+        #: last sequence number stamped on an outgoing envelope.
+        self._stream_seqs: Dict[str, int] = {}
+        #: Receiver-side dedup window: (origin runtime, stream key) ->
+        #: highest sequence number delivered, LRU-bounded to DEDUP_WINDOW.
+        self._dedup: "OrderedDict[Tuple[str, str], int]" = OrderedDict()
         self.messages_relayed = 0
         self.undeliverable = 0
         self.retries = 0
         self.spool_dropped = 0
         self.spool_flushed = 0
+        self.duplicates_suppressed = 0
+        self.respooled = 0
+        #: Journaled paths closed while the journal was muted (crash
+        #: teardown); a warm restart appends their close records.
+        self._orphaned_paths: List[str] = []
         #: Per-peer delivery breakers, created lazily on the first exhausted
         #: retry budget.  While a breaker is open, new envelopes for that
         #: peer are flushed instead of spooled, and the sender probes with a
@@ -333,11 +351,99 @@ class Transport:
                 sender.kill("transport stopped")  # type: ignore[attr-defined]
         self._peer_senders.clear()
         self._peer_wakeups.clear()
-        # Breaker state is in-memory: a stopped/crashed transport restarts
-        # with a clean slate and rediscovers peer health from scratch.
+        # A warm restart clears breakers and rediscovers peer health from
+        # scratch; a cold restart (:meth:`recover`) restores journaled open
+        # breakers half-open instead, so a recovered runtime probes known
+        # dead peers rather than re-burning full retry budgets on them.
         self._breakers.clear()
         for path in list(self._paths_by_id.values()):
             path.close()
+
+    # -- cold restart (journal recovery) -------------------------------------
+
+    def drain_orphaned_paths(self) -> List[str]:
+        """Journaled paths torn down while the journal was muted; the
+        caller (a warm restart) owes the journal their close records."""
+        orphaned = self._orphaned_paths
+        self._orphaned_paths = []
+        return orphaned
+
+    def discard_state(self) -> None:
+        """``crash(lose_state=True)`` semantics: the spool, sequence
+        counters, dedup window and breakers die with the process.  Paths
+        were already torn down by :meth:`stop`."""
+        self._peer_outboxes.clear()
+        self._breakers.clear()
+        self._stream_seqs.clear()
+        self._dedup.clear()
+
+    def recover(self, state) -> None:
+        """Rebuild transport state from a :class:`~repro.core.journal.
+        RecoveredState`: sequence counters resume past every journaled
+        assignment (respools must not reuse sequence numbers), unacked
+        envelopes are respooled in order, and journaled open breakers come
+        back *half-open* -- probe-eligible immediately, but one failure
+        away from re-opening -- instead of closed."""
+        for stream, seq in state.stream_seqs.items():
+            self._stream_seqs[stream] = max(self._stream_seqs.get(stream, 0), seq)
+        for peer, entries in state.spool.items():
+            outbox = self._peer_outboxes.setdefault(peer, deque())
+            for envelope, size in entries:
+                if envelope.get("kind") == "opaque":
+                    continue  # payload was not journal-representable
+                outbox.append((peer, envelope, size))
+                self.respooled += 1
+            if self.started and outbox and peer not in self._peer_senders:
+                self._spawn_sender(peer)
+        for peer, snapshot in state.breakers.items():
+            breaker = CircuitBreaker(
+                self.runtime.kernel,
+                key=f"peer:{self.runtime.runtime_id}->{peer}",
+                failure_threshold=1,
+                reopen_base_s=10.0,
+                reopen_max_s=60.0,
+            )
+            breaker.state = OPEN
+            breaker.times_opened = max(int(snapshot.get("times_opened", 1)), 1)
+            breaker.retry_at = self.runtime.kernel.now  # next allow() probes
+            self._breakers[peer] = breaker
+            self.runtime.trace(
+                "transport.breaker-restore",
+                f"to {peer}: journaled open breaker restored half-open",
+                times_opened=breaker.times_opened,
+            )
+
+    def recover_path(
+        self,
+        path_id: str,
+        src_ref: PortRef,
+        dst_ref: PortRef,
+        qos: Optional[QosPolicy],
+    ) -> Optional[MessagePath]:
+        """Recreate one journaled application path under its original id.
+
+        Returns None (without raising) when an endpoint no longer resolves
+        locally -- e.g. the remote peer's directory entry has not been
+        re-learned yet; the path stays closed, exactly as if the peer had
+        been torn down while we were dead."""
+        try:
+            src = self.runtime.local_output_port(src_ref)
+        except TransportError:
+            return None
+        dst: Union[DigitalInputPort, PortRef] = dst_ref
+        if dst_ref.runtime_id == self.runtime.runtime_id:
+            try:
+                dst = self.runtime.local_input_port(dst_ref)
+            except TransportError:
+                return None
+        path = MessagePath(self, src, dst, qos=qos, path_id=path_id)
+        path.journaled = True
+        self._register_path(path)
+        self.runtime.trace(
+            "transport.path-recovered",
+            f"path {path.path_id}: {path.src_ref} -> {path.dst_ref}",
+        )
+        return path
 
     # -- path management --------------------------------------------------------
 
@@ -412,6 +518,15 @@ class Transport:
             paths.remove(path)
             if not paths:
                 del self._paths_by_src[str(path.src_ref)]
+        if path.journaled:
+            path.journaled = False
+            journal = self.runtime.journal
+            if journal.muted:
+                # Closed during a crash: the close record is written by a
+                # warm restart (cold recovery supersedes it with a replay).
+                self._orphaned_paths.append(path.path_id)
+            else:
+                journal.append("path-close", {"path_id": path.path_id})
 
     def paths_from(self, src: DigitalOutputPort) -> List[MessagePath]:
         return list(self._paths_by_src.get(str(src.ref), []))
@@ -458,7 +573,9 @@ class Transport:
 
     # -- inter-runtime plumbing ---------------------------------------------------
 
-    def _enqueue_remote(self, dst: PortRef, message: UMessage) -> None:
+    def _enqueue_remote(
+        self, dst: PortRef, message: UMessage, path: Optional[MessagePath] = None
+    ) -> None:
         envelope = {
             "kind": "message",
             "dst": str(dst),
@@ -468,33 +585,72 @@ class Transport:
             "source": message.source,
             "headers": dict(message.headers),
         }
-        self._enqueue_envelope(dst.runtime_id, envelope, message.size)
+        # The dedup stream is the *path*, so two paths feeding the same
+        # input port never share a sequence space (per-(sender, path)).
+        stream = path.path_id if path is not None else f"dst:{dst}"
+        self._enqueue_envelope(dst.runtime_id, envelope, message.size, stream=stream)
 
     def _send_control(self, runtime_id: str, envelope: dict) -> None:
-        self._enqueue_envelope(runtime_id, envelope, 0)
+        self._enqueue_envelope(
+            runtime_id, envelope, 0, stream=f"ctl:{runtime_id}"
+        )
 
-    def _enqueue_envelope(self, runtime_id: str, envelope: dict, size: int) -> None:
+    def _enqueue_envelope(
+        self,
+        runtime_id: str,
+        envelope: dict,
+        size: int,
+        stream: Optional[str] = None,
+    ) -> None:
         breaker = self._breakers.get(runtime_id)
         if breaker is not None and not breaker.allow():
             # Peer conclusively unreachable and not yet due for a probe:
             # spooling would only doom more envelopes.
             self.spool_flushed += 1
             return
+        if stream is not None:
+            seq = self._stream_seqs.get(stream, 0) + 1
+            self._stream_seqs[stream] = seq
+            envelope["origin"] = self.runtime.runtime_id
+            envelope["stream"] = stream
+            envelope["seq"] = seq
         outbox = self._peer_outboxes.setdefault(runtime_id, deque())
         if len(outbox) >= self.SPOOL_CAPACITY:
             outbox.popleft()
             self.spool_dropped += 1
+            self.runtime.journal.append("spool-drop", {"peer": runtime_id})
             self.runtime.trace(
                 "transport.spool-drop",
                 f"to {runtime_id}: spool full, evicted oldest envelope",
                 capacity=self.SPOOL_CAPACITY,
             )
         outbox.append((runtime_id, envelope, size))
+        self._journal_spool(runtime_id, envelope, size)
         wakeup = self._peer_wakeups.get(runtime_id)
         if wakeup is not None and not wakeup.triggered:
             wakeup.succeed()
         if self.started and runtime_id not in self._peer_senders:
             self._spawn_sender(runtime_id)
+
+    def _journal_spool(self, peer: str, envelope: dict, size: int) -> None:
+        """Write-ahead-log one spooled envelope.
+
+        The per-peer spool is FIFO, so replay alignment depends on *every*
+        spooled envelope having a record: an envelope whose payload is not
+        JSON-representable gets an opaque placeholder (it keeps the
+        ack/drop pops aligned and carries the stream sequence, but cannot
+        be respooled after a cold restart)."""
+        journal = self.runtime.journal
+        try:
+            journal.append("spool", {"peer": peer, "envelope": envelope, "size": size})
+        except TypeError:
+            marker = {
+                "kind": "opaque",
+                "origin": envelope.get("origin"),
+                "stream": envelope.get("stream"),
+                "seq": envelope.get("seq"),
+            }
+            journal.append("spool", {"peer": peer, "envelope": marker, "size": size})
 
     def _spawn_sender(self, runtime_id: str) -> None:
         self._peer_senders[runtime_id] = self.runtime.kernel.process(
@@ -539,11 +695,15 @@ class Transport:
                     # send window must re-deliver, not silently drop.
                     yield stream.drained()
                     outbox.popleft()
+                    runtime.journal.append("spool-ack", {"peer": runtime_id})
                     attempts = 0
                     self.messages_relayed += 1
                     breaker = self._breakers.get(runtime_id)
                     if breaker is not None and not breaker.is_closed:
                         breaker.record_success()
+                        runtime.journal.append(
+                            "breaker", {"peer": runtime_id, "state": "closed"}
+                        )
                         runtime.trace(
                             "transport.breaker-close",
                             f"to {runtime_id}: probe delivered, breaker closed",
@@ -560,6 +720,7 @@ class Transport:
                     if probing or attempts >= self.MAX_SEND_ATTEMPTS:
                         failed_attempts = attempts
                         outbox.popleft()
+                        runtime.journal.append("spool-drop", {"peer": runtime_id})
                         attempts = 0
                         self.undeliverable += 1
                         runtime.trace(
@@ -585,8 +746,10 @@ class Transport:
                     yield kernel.timeout(backoff)
         finally:
             # Only deregister ourselves: a crash may already have installed
-            # a successor sender for this peer.
-            if self._peer_senders.get(runtime_id) is kernel.active_process:
+            # a successor sender for this peer, and GC finalization (where
+            # no process is active) must not touch the table at all.
+            current = self._peer_senders.get(runtime_id)
+            if current is not None and current is kernel.active_process:
                 del self._peer_senders[runtime_id]
 
     def _trip_breaker(self, runtime_id: str, exc: Exception) -> None:
@@ -610,11 +773,20 @@ class Transport:
         if flushed:
             outbox.clear()
             self.spool_flushed += flushed
+            self.runtime.journal.append("spool-flush", {"peer": runtime_id})
             self.runtime.trace(
                 "transport.spool-flush",
                 f"to {runtime_id}: flushed {flushed} spooled envelope(s)",
                 flushed=flushed,
             )
+        self.runtime.journal.append(
+            "breaker",
+            {
+                "peer": runtime_id,
+                "state": "open",
+                "times_opened": breaker.times_opened,
+            },
+        )
         self.runtime.trace(
             "transport.breaker-open",
             f"to {runtime_id}: retry budget exhausted ({exc})",
@@ -672,6 +844,16 @@ class Transport:
                 if stream in self._accepted_streams:
                     self._accepted_streams.remove(stream)
                 return
+            origin = envelope.get("origin")
+            stream_key = envelope.get("stream")
+            seq = envelope.get("seq")
+            if (
+                origin is not None
+                and stream_key is not None
+                and isinstance(seq, int)
+                and self._is_duplicate(origin, stream_key, seq)
+            ):
+                continue
             kind = envelope.get("kind")
             if kind == "message":
                 size = envelope["size"]
@@ -689,6 +871,36 @@ class Transport:
                 runtime.trace(
                     "transport.protocol-error", f"unknown envelope kind {kind!r}"
                 )
+
+    def _is_duplicate(self, origin: str, stream: str, seq: int) -> bool:
+        """Receiver-side exactly-once window.
+
+        Per-peer delivery is FIFO over one TCP stream and post-recovery
+        respools replay in spool order, so a high-water mark per
+        (origin, stream) suffices: any sequence at or below it has already
+        been delivered (a retry after a lost TCP ack, or a respooled
+        envelope the receiver actually got before the sender crashed).
+        The window itself is in-memory -- a receiver that cold-restarts
+        forgets it, the documented at-most-once corner of the model.
+        """
+        key = (origin, stream)
+        high_water = self._dedup.get(key)
+        if high_water is not None:
+            self._dedup.move_to_end(key)
+            if seq <= high_water:
+                self.duplicates_suppressed += 1
+                self.runtime.trace(
+                    "transport.duplicate",
+                    f"from {origin} stream {stream}: seq {seq} <= "
+                    f"{high_water}, suppressed",
+                    seq=seq,
+                    high_water=high_water,
+                )
+                return True
+        self._dedup[key] = seq
+        if high_water is None and len(self._dedup) > self.DEDUP_WINDOW:
+            self._dedup.popitem(last=False)
+        return False
 
     def _deliver_envelope(self, envelope: dict) -> None:
         ref = PortRef.parse(envelope["dst"])

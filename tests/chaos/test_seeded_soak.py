@@ -17,6 +17,11 @@ from repro.core.translator import Translator
 from repro.testbed import build_testbed
 
 SEED = int(os.environ.get("CHAOS_SEED", "7"))
+#: CHAOS_LOSE_STATE=1 turns every drawn runtime crash into a cold crash
+#: (in-memory state lost, healed via write-ahead-journal recovery) while
+#: keeping the fault *schedule* identical -- the soak invariants must hold
+#: either way.
+LOSE_STATE = os.environ.get("CHAOS_LOSE_STATE", "0") == "1"
 STORM_HORIZON = 60.0
 # Lease (15 s) + announce interval + breaker reopen max (60 s) with slack.
 CALM_DOWN = 90.0
@@ -63,6 +68,7 @@ class TestSeededSoak:
             runtimes=[r2, r3],
             fault_count=8,
             max_duration=10.0,
+            lose_state=LOSE_STATE,
         )
         bed.add_chaos(plan)
         bed.settle(STORM_HORIZON + CALM_DOWN)
@@ -106,6 +112,7 @@ class TestSeededSoak:
                 runtimes=list(runtimes[1:]),
                 fault_count=8,
                 max_duration=10.0,
+                lose_state=LOSE_STATE,
             )
             bed.add_chaos(plan)
             bed.settle(STORM_HORIZON + CALM_DOWN)

@@ -1,0 +1,232 @@
+"""Unit tests for the write-ahead journal: record framing, checksum and
+torn-tail handling, group commit, and replay into RecoveredState."""
+
+
+import pytest
+
+from repro.core.journal import (
+    DurableMedia,
+    Journal,
+    RecoveredState,
+    durable_media,
+    encode_record,
+    replay_blob,
+)
+from repro.testbed import build_testbed
+
+
+def records_of(blob):
+    return replay_blob(blob)[0]
+
+
+class TestRecordFraming:
+    def test_roundtrip(self):
+        line = encode_record(1, "register", {"x": 1})
+        records, clean, junk = replay_blob(line)
+        assert junk == 0
+        assert clean == len(line)
+        assert records == [{"lsn": 1, "kind": "register", "data": {"x": 1}}]
+
+    def test_canonical_json_is_stable(self):
+        a = encode_record(1, "k", {"b": 2, "a": 1})
+        b = encode_record(1, "k", {"a": 1, "b": 2})
+        assert a == b
+
+    def test_bit_flip_stops_scan_at_prefix(self):
+        blob = bytearray()
+        for lsn in range(1, 4):
+            blob += encode_record(lsn, "k", {"n": lsn})
+        # Flip one byte inside the JSON body of the second record.
+        first_len = len(encode_record(1, "k", {"n": 1}))
+        blob[first_len + 12] ^= 0x01
+        records, clean, junk = replay_blob(blob)
+        assert [r["lsn"] for r in records] == [1]
+        assert clean == first_len
+        assert junk == len(blob) - first_len
+
+    def test_torn_tail_without_newline_is_discarded(self):
+        whole = encode_record(1, "k", {})
+        torn = encode_record(2, "k", {})[:-5]  # partial write, no newline
+        records, clean, junk = replay_blob(whole + torn)
+        assert [r["lsn"] for r in records] == [1]
+        assert clean == len(whole)
+        assert junk == len(torn)
+
+    def test_lsn_gap_stops_scan(self):
+        blob = encode_record(1, "k", {}) + encode_record(3, "k", {})
+        records, _clean, junk = replay_blob(blob)
+        assert [r["lsn"] for r in records] == [1]
+        assert junk > 0
+
+    def test_garbage_blob_yields_nothing(self):
+        records, clean, junk = replay_blob(b"not a journal at all\n")
+        assert records == [] and clean == 0 and junk > 0
+
+
+class TestDurableMedia:
+    def test_blobs_keyed_and_isolated(self):
+        media = DurableMedia()
+        media.blob("a").extend(b"xyz")
+        assert media.size("a") == 3
+        assert media.size("b") == 0
+
+    def test_truncate_tail_and_flip(self):
+        media = DurableMedia()
+        media.blob("a").extend(b"0123456789")
+        assert media.truncate_tail("a", 4) == 4
+        assert bytes(media.blob("a")) == b"012345"
+        assert media.truncate_tail("a", 100) == 6
+        assert media.flip_tail_byte("a") is False  # empty now
+        media.blob("a").extend(b"ABCDEF")
+        assert media.flip_tail_byte("a", offset_from_end=0) is True
+        assert media.blob("a")[-1] == ord("F") ^ 0x5A
+
+    def test_durable_media_is_per_network(self):
+        bed1 = build_testbed(hosts=["h1"])
+        bed2 = build_testbed(hosts=["h1"])
+        m1 = durable_media(bed1.network)
+        assert durable_media(bed1.network) is m1
+        assert durable_media(bed2.network) is not m1
+
+
+class TestJournal:
+    def make_runtime(self, **kwargs):
+        bed = build_testbed(hosts=["h1"])
+        return bed, bed.add_runtime("h1", **kwargs)
+
+    def test_synchronous_append_is_immediately_durable(self):
+        bed, runtime = self.make_runtime()
+        journal = runtime.journal
+        before = journal.size_bytes
+        journal.append("k", {"v": 1})
+        assert journal.pending_bytes == 0
+        assert journal.size_bytes > before
+        assert journal.fsyncs >= 1
+
+    def test_group_commit_buffers_until_interval(self):
+        bed, runtime = self.make_runtime(fsync_interval=1.0)
+        journal = runtime.journal
+        durable_before = journal.size_bytes
+        journal.append("k", {"v": 1})
+        journal.append("k", {"v": 2})
+        assert journal.pending_bytes > 0
+        assert journal.size_bytes == durable_before
+        bed.settle(1.5)
+        assert journal.pending_bytes == 0
+        assert journal.size_bytes > durable_before
+
+    def test_crash_loses_pending_and_rolls_back_lsn(self):
+        bed, runtime = self.make_runtime(fsync_interval=5.0)
+        journal = runtime.journal
+        journal.append("k", {"v": 1})
+        journal.sync()
+        journal.append("k", {"v": 2})
+        journal.append("k", {"v": 3})
+        journal.lose_pending()
+        assert journal.records_lost == 2
+        assert journal.pending_bytes == 0
+        # The next append continues a gapless durable chain.
+        journal.append("k", {"v": 4})
+        journal.sync()
+        lsns = [r["lsn"] for r in records_of(journal.blob)]
+        assert lsns == [1, 2]
+
+    def test_disabled_journal_writes_nothing(self):
+        bed, runtime = self.make_runtime(journal_enabled=False)
+        runtime.journal.append("k", {"v": 1})
+        assert runtime.journal.size_bytes == 0
+        assert runtime.journal.records_appended == 0
+
+    def test_muted_journal_drops_appends(self):
+        bed, runtime = self.make_runtime()
+        journal = runtime.journal
+        journal.muted = True
+        before = journal.records_appended
+        journal.append("k", {"v": 1})
+        assert journal.records_appended == before
+
+    def test_unserializable_payload_raises_without_lsn_gap(self):
+        bed, runtime = self.make_runtime()
+        journal = runtime.journal
+        with pytest.raises(TypeError):
+            journal.append("k", {"v": object()})
+        journal.append("k", {"v": 1})
+        journal.sync()
+        assert [r["lsn"] for r in records_of(journal.blob)][-1] == journal._lsn
+
+    def test_replay_truncates_corrupt_tail_physically(self):
+        bed, runtime = self.make_runtime()
+        journal = runtime.journal
+        journal.append("k", {"v": 1})
+        journal.append("k", {"v": 2})
+        media = durable_media(bed.network)
+        media.flip_tail_byte(runtime.runtime_id, offset_from_end=4)
+        state = journal.replay()
+        assert state.truncated
+        assert state.discarded_bytes > 0
+        # The blob now ends at the consistent prefix and new appends extend it.
+        journal.append("k", {"v": 3})
+        journal.sync()
+        lsns = [r["lsn"] for r in records_of(journal.blob)]
+        assert lsns == sorted(lsns) and len(lsns) == 2
+
+
+class TestReplaySemantics:
+    def apply(self, *steps):
+        state = RecoveredState()
+        for kind, data in steps:
+            Journal._apply(state, kind, data)
+        return state
+
+    def test_register_unregister_and_health(self):
+        profile = {"translator_id": "t1", "health": "healthy"}
+        state = self.apply(
+            ("register", {"profile": profile}),
+            ("health", {"translator_id": "t1", "health": "degraded"}),
+        )
+        assert state.registered["t1"]["health"] == "degraded"
+        state = self.apply(
+            ("register", {"profile": profile}),
+            ("unregister", {"translator_id": "t1"}),
+        )
+        assert state.registered == {}
+
+    def test_spool_ack_alignment_is_fifo(self):
+        e1 = {"kind": "message", "stream": "s", "seq": 1}
+        e2 = {"kind": "message", "stream": "s", "seq": 2}
+        state = self.apply(
+            ("spool", {"peer": "p", "envelope": e1, "size": 10}),
+            ("spool", {"peer": "p", "envelope": e2, "size": 20}),
+            ("spool-ack", {"peer": "p"}),
+        )
+        assert [env["seq"] for env, _size in state.spool["p"]] == [2]
+        # Sequence counters remember the highest ever assigned, acked or not.
+        assert state.stream_seqs["s"] == 2
+
+    def test_spool_flush_and_breaker_records(self):
+        e1 = {"kind": "message", "stream": "s", "seq": 1}
+        state = self.apply(
+            ("spool", {"peer": "p", "envelope": e1, "size": 10}),
+            ("spool-flush", {"peer": "p"}),
+            ("breaker", {"peer": "p", "state": "open", "times_opened": 2}),
+        )
+        assert "p" not in state.spool
+        assert state.breakers["p"]["times_opened"] == 2
+        state = self.apply(
+            ("breaker", {"peer": "p", "state": "open", "times_opened": 2}),
+            ("breaker", {"peer": "p", "state": "closed"}),
+        )
+        assert state.breakers == {}
+
+    def test_binding_and_path_lifecycle(self):
+        state = self.apply(
+            ("binding-open", {"binding_id": "b1", "port": "x", "query": {}}),
+            ("path-open", {"path_id": "p1", "src": "a", "dst": "b", "qos": None}),
+            ("binding-close", {"binding_id": "b1"}),
+            ("path-close", {"path_id": "p1"}),
+        )
+        assert state.bindings == {} and state.paths == {}
+
+    def test_unknown_kinds_are_ignored(self):
+        state = self.apply(("future-kind", {"anything": True}))
+        assert state.registered == {} and state.applied_records == 0
