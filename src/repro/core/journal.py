@@ -33,6 +33,20 @@ write.  ``fsync_interval=0`` (the default) flushes synchronously on every
 append.  A crash drops whatever is still pending -- exactly the durability
 window the interval buys in exchange for fewer (simulated and wall-clock)
 flushes, which the durability benchmark measures.
+
+Checkpoints
+-----------
+
+The journal keeps a live *mirror* of what replay would produce (every
+appended record is folded into it immediately).  Every
+``CHECKPOINT_EVERY_RECORDS`` appends -- and at the end of every cold
+recovery -- the blob is rewritten as a single ``checkpoint`` record
+serialized from the mirror and the LSN chain restarts at 1, so neither
+the blob nor replay time grows with uptime.  The mirror is also the
+repair source when :meth:`Journal.sync` finds the durable tail corrupted
+underneath a live runtime: instead of appending after the damage (which
+would strand every later record past the first bad frame), it rewrites
+the blob from the mirror, so nothing that was ever appended is lost.
 """
 
 from __future__ import annotations
@@ -183,7 +197,10 @@ class RecoveredState:
     paths: Dict[str, dict] = field(default_factory=dict)
     #: peer runtime_id -> ordered unacked (envelope, size) spool entries.
     spool: Dict[str, List[Tuple[dict, int]]] = field(default_factory=dict)
-    #: sender-side stream key -> highest sequence number ever assigned.
+    #: sender-side stream key -> highest sequence number ever assigned or
+    #: reserved (``seq-reserve`` records keep this ahead of anything that
+    #: could have reached a receiver, even when the spool records for the
+    #: group-commit window died with the crash).
     stream_seqs: Dict[str, int] = field(default_factory=dict)
     #: peer runtime_id -> last breaker snapshot ({"state", "times_opened"}).
     breakers: Dict[str, dict] = field(default_factory=dict)
@@ -200,12 +217,16 @@ class Journal:
 
     Redo-only: the runtime appends a record *before* applying each durable
     state change (registration, standing query, application path, spool
-    envelope, ack, breaker trip/close, health change), and
-    :meth:`replay` folds the record stream back into a
+    envelope, ack, breaker trip/close, health change, sequence
+    reservation), and :meth:`replay` folds the record stream back into a
     :class:`RecoveredState`.  ``muted`` suppresses appends while the
     runtime is crashed or replaying -- recovery must never re-log what it
     reads.
     """
+
+    #: Rewrite the blob as one checkpoint record after this many appends,
+    #: so blob size and replay time stay bounded regardless of uptime.
+    CHECKPOINT_EVERY_RECORDS = 2048
 
     def __init__(
         self,
@@ -222,13 +243,26 @@ class Journal:
         self.muted = False
         self._pending = bytearray()
         self._flush_scheduled = False
-        # Continue the LSN chain of whatever already survives on disk.
-        records, _clean, _junk = replay_blob(self.blob)
+        # Continue the LSN chain of whatever already survives on disk, and
+        # seed the mirror from it.
+        records, clean, _junk = replay_blob(self.blob)
         self._lsn = records[-1]["lsn"] if records else 0
+        #: Byte copy of the last durably-flushed frame, compared against
+        #: the blob tail before every flush (see :meth:`sync`).
+        self._tail_frame = self._last_frame(self.blob, clean)
+        #: The most recent record appended to the pending buffer; becomes
+        #: the new tail frame when the buffer flushes.
+        self._pending_tail = b""
+        self._mirror = RecoveredState(applied_records=len(records))
+        for record in records:
+            self._apply(self._mirror, record["kind"], record["data"])
+        self._records_since_checkpoint = 0
         self.records_appended = 0
         self.fsyncs = 0
         self.bytes_written = 0
         self.records_lost = 0
+        self.checkpoints = 0
+        self.tail_repairs = 0
 
     @property
     def blob(self) -> bytearray:
@@ -252,21 +286,92 @@ class Journal:
         record = encode_record(self._lsn + 1, kind, data)
         self._lsn += 1
         self._pending += record
+        self._pending_tail = record
         self.records_appended += 1
-        if self.fsync_interval <= 0:
+        self._apply(self._mirror, kind, data)
+        self._records_since_checkpoint += 1
+        if self._records_since_checkpoint >= self.CHECKPOINT_EVERY_RECORDS:
+            self.checkpoint()
+        elif self.fsync_interval <= 0:
             self.sync()
         elif not self._flush_scheduled:
             self._flush_scheduled = True
             self.runtime.kernel.call_later(self.fsync_interval, self._flush_timer)
 
     def sync(self) -> None:
-        """Flush the pending buffer to stable storage (one group commit)."""
+        """Flush the pending buffer to stable storage (one group commit).
+
+        The tail frame is verified before extending: corruption that lands
+        while the runtime is alive (the ``JournalCorruption`` fault has no
+        crashed precondition) would otherwise strand every later record
+        behind the first bad frame.  Damage is repaired by rewriting the
+        blob from the in-memory mirror, so nothing appended is lost."""
         if not self._pending:
             return
-        self.blob.extend(self._pending)
+        blob = self.blob
+        if not self._tail_consistent(blob):
+            self.tail_repairs += 1
+            self.runtime.trace(
+                "journal.tail-repair",
+                "durable tail corrupted under a live runtime; "
+                "rewrote stable storage from the in-memory mirror",
+            )
+            self.checkpoint()
+            return
+        self._tail_frame = self._pending_tail
+        blob.extend(self._pending)
         self.fsyncs += 1
         self.bytes_written += len(self._pending)
         self._pending.clear()
+
+    @staticmethod
+    def _last_frame(view, end: int) -> bytes:
+        """The bytes of the last whole frame in ``view[:end]``."""
+        if end <= 0:
+            return b""
+        start = view.rfind(b"\n", 0, end - 1) + 1
+        return bytes(view[start:end])
+
+    def _tail_consistent(self, blob: bytearray) -> bool:
+        """Cheap memcmp check that the durable tail still ends with the
+        frame we last flushed -- no per-flush CRC or JSON work."""
+        tail = self._tail_frame
+        if not tail:
+            return len(blob) == 0
+        return blob.endswith(tail)
+
+    def checkpoint(self) -> None:
+        """Compact: replace the whole blob with one ``checkpoint`` record
+        serialized from the mirror (which already folds any pending
+        records), restarting the LSN chain at 1.  Checkpoints are durable
+        immediately -- they never sit in the group-commit buffer."""
+        if not self.enabled or self.muted:
+            return
+        record = encode_record(1, "checkpoint", self._checkpoint_data())
+        blob = self.blob
+        del blob[:]
+        blob.extend(record)
+        self._pending.clear()  # effects already folded into the snapshot
+        self._lsn = 1
+        self._tail_frame = record
+        self._records_since_checkpoint = 0
+        self.checkpoints += 1
+        self.fsyncs += 1
+        self.bytes_written += len(record)
+
+    def _checkpoint_data(self) -> dict:
+        mirror = self._mirror
+        return {
+            "registered": mirror.registered,
+            "bindings": mirror.bindings,
+            "paths": mirror.paths,
+            "spool": {
+                peer: [[envelope, size] for envelope, size in entries]
+                for peer, entries in mirror.spool.items()
+            },
+            "stream_seqs": mirror.stream_seqs,
+            "breakers": mirror.breakers,
+        }
 
     def _flush_timer(self) -> None:
         self._flush_scheduled = False
@@ -275,12 +380,18 @@ class Journal:
     def lose_pending(self) -> None:
         """Crash semantics: un-fsynced group-commit records die with the
         process.  The LSN counter rolls back with them so the on-disk chain
-        stays gapless."""
+        stays gapless, and the mirror is rebuilt from what is actually
+        durable."""
         if self._pending:
             lost = self._pending.count(b"\n")
             self.records_lost += lost
             self._lsn -= lost
             self._pending.clear()
+            self._pending_tail = b""
+            records, _clean, _junk = replay_blob(self.blob)
+            self._mirror = RecoveredState(applied_records=len(records))
+            for record in records:
+                self._apply(self._mirror, record["kind"], record["data"])
 
     # -- replay -------------------------------------------------------------
 
@@ -295,11 +406,16 @@ class Journal:
         if discarded:
             self.media.truncate_tail(self.runtime.runtime_id, discarded)
             self._lsn = records[-1]["lsn"] if records else 0
+        self._tail_frame = self._last_frame(self.blob, clean_bytes)
         state = RecoveredState(
             applied_records=len(records), discarded_bytes=discarded
         )
         for record in records:
             self._apply(state, record["kind"], record["data"])
+        # The replayed state becomes the new mirror; the caller (cold
+        # recovery) may prune it -- e.g. drop opaque spool markers it will
+        # not respool -- before sealing it with a checkpoint.
+        self._mirror = state
         return state
 
     @staticmethod
@@ -342,6 +458,29 @@ class Journal:
                 entries.pop(0)  # capacity eviction also removes the oldest
         elif kind == "spool-flush":
             state.spool.pop(data["peer"], None)
+        elif kind == "seq-reserve":
+            # Durable before any envelope in its range can reach a peer,
+            # so a recovered sender never re-stamps a sequence number the
+            # receiver may already have seen (lost group-commit window or
+            # truncated tail notwithstanding).
+            stream = data["stream"]
+            state.stream_seqs[stream] = max(
+                state.stream_seqs.get(stream, 0), int(data["upto"])
+            )
+        elif kind == "checkpoint":
+            state.registered = {
+                key: dict(value) for key, value in data["registered"].items()
+            }
+            state.bindings = dict(data["bindings"])
+            state.paths = dict(data["paths"])
+            state.spool = {
+                peer: [(envelope, size) for envelope, size in entries]
+                for peer, entries in data["spool"].items()
+            }
+            state.stream_seqs = {
+                key: int(value) for key, value in data["stream_seqs"].items()
+            }
+            state.breakers = dict(data["breakers"])
         elif kind == "breaker":
             if data.get("state") == "closed":
                 state.breakers.pop(data["peer"], None)

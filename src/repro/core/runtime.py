@@ -86,6 +86,11 @@ class UMiddleRuntime:
         self.translators: Dict[str, Translator] = {}
         self._bindings: List[DynamicBinding] = []
         self.crashed = False
+        #: True only between a ``crash(lose_state=True)`` that really
+        #: discarded memory and the :meth:`recover` that rebuilds it;
+        #: :meth:`recover` after a *warm* crash must not replay the journal
+        #: on top of surviving in-memory state.
+        self._cold_crashed = False
         if auto_start:
             self.start()
 
@@ -135,6 +140,7 @@ class UMiddleRuntime:
         self.directory.forget_remote()
         self.health.forget_peers()
         if lose_state and self.journal.enabled:
+            self._cold_crashed = True
             for binding in list(self._bindings):
                 binding.close()
             self._bindings.clear()
@@ -154,6 +160,7 @@ class UMiddleRuntime:
         if not self.crashed:
             return
         self.crashed = False
+        self._cold_crashed = False
         self.journal.muted = False
         for path_id in self.transport.drain_orphaned_paths():
             self.journal.append("path-close", {"path_id": path_id})
@@ -177,13 +184,18 @@ class UMiddleRuntime:
         journaled ids, and recreates application paths under their
         original ids.  Anything past the consistent prefix -- or remote
         soft state, which is never journaled -- is re-learned through the
-        normal gossip pull.  With the journal disabled this degrades to
-        :meth:`restart`."""
+        normal gossip pull.  Recovery ends with a journal checkpoint, so
+        the durable view matches the rebuilt runtime exactly (skipped
+        opaque spool markers included) and a second replay starts from one
+        compact record.  With the journal disabled -- or after a *warm*
+        crash, whose in-memory state survived and must not have the log
+        replayed on top of it -- this degrades to :meth:`restart`."""
         if not self.crashed:
             return
-        if not self.journal.enabled:
+        if not self.journal.enabled or not self._cold_crashed:
             self.restart()
             return
+        self._cold_crashed = False
         self.journal.muted = True  # replay must not re-log what it reads
         state = self.journal.replay()
         if state.truncated:
@@ -224,6 +236,10 @@ class UMiddleRuntime:
                 PortRef.parse(data["dst"]),
                 qos,
             )
+        # Seal recovery with a checkpoint: the durable view now equals the
+        # rebuilt runtime (opaque spool markers the respool skipped are
+        # gone from it), and the replayed prefix collapses to one record.
+        self.journal.checkpoint()
         self.trace(
             "runtime.recover",
             f"cold restart from {state.applied_records} journal record(s): "

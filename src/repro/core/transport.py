@@ -274,6 +274,14 @@ class Transport:
     #: Receiver-side dedup: number of (origin, stream) high-water marks
     #: tracked before the least-recently-used stream is forgotten.
     DEDUP_WINDOW = 1024
+    #: Sequence numbers reserved ahead per durable ``seq-reserve`` record.
+    #: The reservation is forced to stable storage before the first
+    #: envelope in its range can reach the outbox, so a sender recovering
+    #: from a lost group-commit window (or a truncated journal tail) never
+    #: re-stamps a sequence number a receiver may already hold as its
+    #: high-water mark -- which would make it suppress *new* messages as
+    #: duplicates.  One forced fsync per SEQ_RESERVE_CHUNK stamps.
+    SEQ_RESERVE_CHUNK = 64
 
     def __init__(self, runtime: "UMiddleRuntime", port: int):
         self.runtime = runtime
@@ -289,6 +297,9 @@ class Transport:
         #: Sender-side per-(sender, path) sequence counters: stream key ->
         #: last sequence number stamped on an outgoing envelope.
         self._stream_seqs: Dict[str, int] = {}
+        #: stream key -> highest sequence number covered by a durable
+        #: ``seq-reserve`` journal record (see SEQ_RESERVE_CHUNK).
+        self._stream_reserved: Dict[str, int] = {}
         #: Receiver-side dedup window: (origin runtime, stream key) ->
         #: highest sequence number delivered, LRU-bounded to DEDUP_WINDOW.
         self._dedup: "OrderedDict[Tuple[str, str], int]" = OrderedDict()
@@ -375,24 +386,40 @@ class Transport:
         self._peer_outboxes.clear()
         self._breakers.clear()
         self._stream_seqs.clear()
+        self._stream_reserved.clear()
         self._dedup.clear()
 
     def recover(self, state) -> None:
         """Rebuild transport state from a :class:`~repro.core.journal.
         RecoveredState`: sequence counters resume past every journaled
-        assignment (respools must not reuse sequence numbers), unacked
-        envelopes are respooled in order, and journaled open breakers come
-        back *half-open* -- probe-eligible immediately, but one failure
-        away from re-opening -- instead of closed."""
-        for stream, seq in state.stream_seqs.items():
+        assignment or reservation (respools must not reuse sequence
+        numbers), unacked envelopes are respooled in order, and journaled
+        open breakers come back *half-open* -- probe-eligible immediately,
+        but one failure away from re-opening -- instead of closed.
+
+        ``state`` doubles as the journal's post-replay mirror, so the
+        pruning below (dropping spool entries that are not respooled) is
+        written back into it: the recovery checkpoint then records exactly
+        the live outbox, keeping ack/drop FIFO pops aligned across a
+        second crash."""
+        # A truncated tail may have eaten spool records (and even the odd
+        # reservation) for sequence numbers that were already delivered;
+        # skipping a full reservation chunk ahead keeps them unreissued.
+        bump = self.SEQ_RESERVE_CHUNK if state.truncated else 0
+        for stream in list(state.stream_seqs):
+            seq = state.stream_seqs[stream] + bump
+            state.stream_seqs[stream] = seq
             self._stream_seqs[stream] = max(self._stream_seqs.get(stream, 0), seq)
         for peer, entries in state.spool.items():
             outbox = self._peer_outboxes.setdefault(peer, deque())
+            kept = []
             for envelope, size in entries:
                 if envelope.get("kind") == "opaque":
                     continue  # payload was not journal-representable
+                kept.append((envelope, size))
                 outbox.append((peer, envelope, size))
                 self.respooled += 1
+            entries[:] = kept
             if self.started and outbox and peer not in self._peer_senders:
                 self._spawn_sender(peer)
         for peer, snapshot in state.breakers.items():
@@ -611,6 +638,17 @@ class Transport:
         if stream is not None:
             seq = self._stream_seqs.get(stream, 0) + 1
             self._stream_seqs[stream] = seq
+            journal = self.runtime.journal
+            if journal.enabled and seq > self._stream_reserved.get(stream, 0):
+                # The reservation must hit stable storage before this
+                # envelope can be handed to the outbox (and possibly
+                # delivered): the spool record itself may still be in the
+                # group-commit window when the process dies, and a
+                # recovered sender must never reissue a delivered seq.
+                upto = seq + self.SEQ_RESERVE_CHUNK
+                journal.append("seq-reserve", {"stream": stream, "upto": upto})
+                journal.sync()
+                self._stream_reserved[stream] = upto
             envelope["origin"] = self.runtime.runtime_id
             envelope["stream"] = stream
             envelope["seq"] = seq

@@ -139,6 +139,33 @@ class TestColdRestart:
             for p in r1.directory.profiles()
         )
 
+    def test_recover_after_warm_crash_falls_back_to_restart(self):
+        """A warm crash keeps the in-memory directory, bindings and
+        outboxes alive; recover() must not replay the journal on top of
+        them (duplicate DynamicBindings, double-spooled envelopes)."""
+        bed, r1, r2, source, out, loop_in, sink, received = self.build()
+        binding = r1.connect_query(out, Query(role="display"))
+        bed.settle(1.0)
+        r1.crash()  # warm: lose_state defaults to False
+        r1.recover()
+        bed.settle(10.0)
+        assert r1._bindings == [binding]  # not duplicated by a replay
+        assert binding.bound_translators == [sink.translator_id]
+        out.send(UMessage("text/plain", "after-warm-recover", 100))
+        bed.settle(2.0)
+        assert any(m.payload == "after-warm-recover" for m in received)
+
+    def test_recovery_seals_the_journal_with_a_checkpoint(self):
+        from repro.core.journal import replay_blob
+
+        bed, r1, r2, source, out, loop_in, sink, received = self.build()
+        r1.connect_query(out, Query(role="display"))
+        bed.settle(1.0)
+        r1.crash(lose_state=True)
+        r1.recover()
+        records = replay_blob(r1.journal.blob)[0]
+        assert records and records[0]["kind"] == "checkpoint"
+
     def test_journal_off_cold_crash_degrades_to_warm_restart(self):
         bed, r1, r2, source, out, loop_in, sink, received = self.build(
             journal_enabled=False
@@ -326,6 +353,74 @@ class TestExactlyOnce:
         assert any(
             record.category == "transport.duplicate" for record in bed.trace
         )
+
+    def test_group_commit_crash_does_not_suppress_new_messages(self):
+        """Sequence reservations: with a generous fsync_interval the spool
+        records for delivered envelopes can die in the group-commit window,
+        but the durable seq-reserve record keeps the recovered sender's
+        counters past everything the receiver ever saw -- new messages must
+        never be mistaken for duplicates of reused sequence numbers."""
+        bed = build_testbed(hosts=["h1", "h2"])
+        r1 = bed.add_runtime("h1", fsync_interval=5.0)
+        r2 = bed.add_runtime("h2")
+        received = []
+        sink = Translator("display-0", role="display")
+        sink.add_digital_input("data-in", "text/plain", received.append)
+        r2.register_translator(sink)
+        source = Translator("feed", role="sensor")
+        out = source.add_digital_output("data-out", "text/plain")
+        r1.register_translator(source)
+        bed.settle(1.0)
+        r1.connect(out, sink.profile.port_ref("data-in"))
+        r1.journal.sync()  # registration + path-open durable; spool isn't
+        for index in range(10):
+            out.send(UMessage("text/plain", f"pre-{index}", 100))
+        bed.settle(2.0)  # delivered, but spool/ack records still pending
+        delivered_before = len(received)
+        assert delivered_before > 0
+
+        r1.crash(lose_state=True)  # kills the un-fsynced window
+        r1.recover()
+        bed.settle(15.0)  # re-learn the peer via gossip
+        out.send(UMessage("text/plain", "after-recovery", 100))
+        bed.settle(3.0)
+
+        payloads = [m.payload for m in received]
+        assert "after-recovery" in payloads, (
+            "recovered sender reused a delivered sequence number; the "
+            "receiver's high-water mark swallowed a new message"
+        )
+        assert len(payloads) == len(set(payloads))
+
+    def test_opaque_spool_markers_do_not_misalign_a_second_recovery(self):
+        """The respool skips opaque markers (payload was never journal-
+        representable); the recovery checkpoint must therefore drop them
+        from the durable spool view too, or the post-recovery acks would
+        pop the wrong entries and a second recovery would respool
+        already-acked envelopes."""
+        bed, r1, r2, out, received = self.build_pipeline()
+        r2.crash()  # peer down: everything spools
+        out.send(UMessage("text/plain", "m1", 100))
+        out.send(UMessage("text/plain", object(), 100))  # -> opaque marker
+        out.send(UMessage("text/plain", "m3", 100))
+        bed.settle(0.5)  # drained into the per-peer spool, retrying
+
+        r1.crash(lose_state=True)
+        r2.restart()
+        r1.recover()
+        assert r1.transport.respooled == 2  # the marker was skipped
+        bed.settle(30.0)  # re-learn the peer, deliver, ack
+
+        r1.crash(lose_state=True)
+        r1.recover()
+        bed.settle(5.0)
+        # Both real envelopes were acked after the first recovery; nothing
+        # is left to respool -- a misaligned durable FIFO would have
+        # resurrected m3 here.
+        assert r1.transport.respooled == 2
+        assert sorted(
+            m.payload for m in received if isinstance(m.payload, str)
+        ) == ["m1", "m3"]
 
     def test_journal_off_run_has_no_respool(self):
         """Same fault schedule with the journal disabled reproduces the

@@ -154,6 +154,41 @@ class TestJournal:
         journal.sync()
         assert [r["lsn"] for r in records_of(journal.blob)][-1] == journal._lsn
 
+    def test_auto_checkpoint_bounds_blob_and_preserves_state(self):
+        bed, runtime = self.make_runtime()
+        journal = runtime.journal
+        total = Journal.CHECKPOINT_EVERY_RECORDS + 50
+        for index in range(total):
+            journal.append(
+                "register", {"profile": {"translator_id": f"t{index}"}}
+            )
+        assert journal.checkpoints >= 1
+        records = records_of(journal.blob)
+        # Compacted: one checkpoint plus the post-checkpoint tail, not
+        # thousands of raw records.
+        assert records[0]["kind"] == "checkpoint"
+        assert len(records) <= 60
+        state = journal.replay()
+        assert len(state.registered) == total
+
+    def test_sync_repairs_corrupt_tail_under_live_runtime(self):
+        """Corruption landing while the runtime is alive must not strand
+        later appends behind the bad frame: sync() rewrites stable storage
+        from the mirror instead of extending the junk."""
+        bed, runtime = self.make_runtime(fsync_interval=5.0)
+        journal = runtime.journal
+        journal.append("register", {"profile": {"translator_id": "a"}})
+        journal.sync()
+        durable_media(bed.network).flip_tail_byte(
+            runtime.runtime_id, offset_from_end=4
+        )
+        journal.append("register", {"profile": {"translator_id": "b"}})
+        journal.sync()
+        assert journal.tail_repairs == 1
+        state = journal.replay()
+        assert not state.truncated  # the repair already scrubbed the damage
+        assert {"a", "b"} <= set(state.registered)
+
     def test_replay_truncates_corrupt_tail_physically(self):
         bed, runtime = self.make_runtime()
         journal = runtime.journal
@@ -226,6 +261,43 @@ class TestReplaySemantics:
             ("path-close", {"path_id": "p1"}),
         )
         assert state.bindings == {} and state.paths == {}
+
+    def test_seq_reserve_raises_stream_counters(self):
+        state = self.apply(
+            ("seq-reserve", {"stream": "s", "upto": 65}),
+            (
+                "spool",
+                {
+                    "peer": "p",
+                    "envelope": {"kind": "message", "stream": "s", "seq": 1},
+                    "size": 10,
+                },
+            ),
+        )
+        # The durable reservation wins over the (lower) stamped sequence,
+        # so a recovered sender resumes past the whole reserved range.
+        assert state.stream_seqs["s"] == 65
+
+    def test_checkpoint_record_replaces_state(self):
+        envelope = {"kind": "message", "stream": "s", "seq": 3}
+        state = self.apply(
+            ("register", {"profile": {"translator_id": "old"}}),
+            (
+                "checkpoint",
+                {
+                    "registered": {"new": {"translator_id": "new"}},
+                    "bindings": {"b1": {"binding_id": "b1"}},
+                    "paths": {},
+                    "spool": {"p": [[envelope, 7]]},
+                    "stream_seqs": {"s": 67},
+                    "breakers": {},
+                },
+            ),
+        )
+        assert set(state.registered) == {"new"}
+        assert set(state.bindings) == {"b1"}
+        assert state.spool["p"] == [(envelope, 7)]
+        assert state.stream_seqs == {"s": 67}
 
     def test_unknown_kinds_are_ignored(self):
         state = self.apply(("future-kind", {"anything": True}))
