@@ -57,6 +57,29 @@ class UMessage:
     def with_source(self, source: str) -> "UMessage":
         return replace(self, source=source)
 
+    def wire_base(self) -> Dict[str, Any]:
+        """The per-message part of the inter-runtime envelope, cached.
+
+        A message fanned out to N remote peers used to rebuild this dict N
+        times; the transport now builds it once and layers the per-peer
+        fields (``dst``/``origin``/``stream``/``seq``) onto a shallow copy.
+        The cache lives on the (frozen) message, so all paths and peers
+        delivering the same message share one base dict -- callers must
+        treat it as immutable.
+        """
+        base = getattr(self, "_wire_base", None)
+        if base is None:
+            base = {
+                "kind": "message",
+                "mime": self.mime.mime,
+                "payload": self.payload,
+                "size": self.size,
+                "source": self.source,
+                "headers": dict(self.headers),
+            }
+            object.__setattr__(self, "_wire_base", base)
+        return base
+
     def with_header(self, key: str, value: Any) -> "UMessage":
         headers = dict(self.headers)
         headers[key] = value

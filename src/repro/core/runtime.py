@@ -55,6 +55,7 @@ class UMiddleRuntime:
         health_enabled: bool = True,
         journal_enabled: bool = True,
         fsync_interval: float = 0.0,
+        batching_enabled: bool = False,
     ):
         self.node = node
         self.kernel: Kernel = node.network.kernel
@@ -80,6 +81,12 @@ class UMiddleRuntime:
             on_peer_change=self._on_peer_health_changed,
         )
         self.supervisor = Supervisor(self)
+        #: Data-plane batching: the per-peer sender coalesces spooled
+        #: envelopes into pipelined batch frames and acks them with one
+        #: journal record per batch.  Off by default -- the unbatched
+        #: sender reproduces the pre-batching wire and journal behavior
+        #: byte for byte.
+        self.batching_enabled = batching_enabled
         self.directory = Directory(self, port=directory_port)
         self.transport = Transport(self, port=transport_port)
         self.mappers: List = []
@@ -263,6 +270,12 @@ class UMiddleRuntime:
 
     def trace(self, category: str, message: str, **details) -> None:
         self.network.trace.emit(category, f"[{self.runtime_id}] {message}", **details)
+
+    @property
+    def tracing(self) -> bool:
+        """Cheap guard for hot paths: skip building trace f-strings (and
+        the :meth:`trace` call) entirely when the recorder is disabled."""
+        return self.network.trace.enabled
 
     # -- health --------------------------------------------------------------
 

@@ -148,12 +148,13 @@ class MessagePath:
             return False
         if len(self._buffer) >= self.capacity:
             self.messages_dropped += 1
-            self.transport.runtime.trace(
-                "transport.drop",
-                f"path {self.path_id}: translation buffer full",
-                size=message.size,
-                policy=self.qos.drop_policy.value,
-            )
+            if self.transport.runtime.tracing:
+                self.transport.runtime.trace(
+                    "transport.drop",
+                    f"path {self.path_id}: translation buffer full",
+                    size=message.size,
+                    policy=self.qos.drop_policy.value,
+                )
             if self.qos.drop_policy is DropPolicy.DROP_OLDEST:
                 self._buffer.popleft()
             else:
@@ -282,11 +283,28 @@ class Transport:
     #: high-water mark -- which would make it suppress *new* messages as
     #: duplicates.  One forced fsync per SEQ_RESERVE_CHUNK stamps.
     SEQ_RESERVE_CHUNK = 64
+    #: Batching mode: most envelopes coalesced into one wire frame.
+    BATCH_MAX_ENVELOPES = 32
+    #: Batching mode: soft byte ceiling per batch frame (a single envelope
+    #: larger than this still ships, alone).
+    BATCH_MAX_BYTES = 8192
+    #: Batching mode: batches in flight before the sender blocks on the
+    #: stream's drain barrier; acks are journaled in order afterwards.
+    PIPELINE_WINDOW = 4
+    #: Per-envelope framing bytes inside a batch frame (length prefix +
+    #: offsets), charged on top of the shared ENVELOPE_HEADER_BYTES.
+    BATCH_SUBHEADER_BYTES = 8
 
     def __init__(self, runtime: "UMiddleRuntime", port: int):
         self.runtime = runtime
         self.port = port
-        self._paths_by_src: Dict[str, List[MessagePath]] = {}
+        #: When True the per-peer senders run the batched + pipelined data
+        #: plane; when False they reproduce the stop-and-wait wire and
+        #: journal behavior byte for byte.
+        self.batching = bool(getattr(runtime, "batching_enabled", False))
+        #: src ref -> immutable snapshot of bound paths, rebuilt on
+        #: register/forget so per-message fan-out iterates allocation-free.
+        self._paths_by_src: Dict[str, Tuple[MessagePath, ...]] = {}
         self._paths_by_id: Dict[str, MessagePath] = {}
         #: Streams to peers, keyed by runtime id.
         self._peer_streams: Dict[str, StreamSocket] = {}
@@ -304,6 +322,7 @@ class Transport:
         #: highest sequence number delivered, LRU-bounded to DEDUP_WINDOW.
         self._dedup: "OrderedDict[Tuple[str, str], int]" = OrderedDict()
         self.messages_relayed = 0
+        self.batches_sent = 0
         self.undeliverable = 0
         self.retries = 0
         self.spool_dropped = 0
@@ -535,16 +554,22 @@ class Transport:
         return RemotePathHandle(self, src.runtime_id, path_id)
 
     def _register_path(self, path: MessagePath) -> None:
-        self._paths_by_src.setdefault(str(path.src_ref), []).append(path)
+        # Snapshot-on-mutation: dispatch iterates the tuple directly, so
+        # rebuilding here keeps the per-message fan-out allocation-free.
+        key = str(path.src_ref)
+        self._paths_by_src[key] = self._paths_by_src.get(key, ()) + (path,)
         self._paths_by_id[path.path_id] = path
 
     def _forget_path(self, path: MessagePath) -> None:
         self._paths_by_id.pop(path.path_id, None)
-        paths = self._paths_by_src.get(str(path.src_ref))
+        key = str(path.src_ref)
+        paths = self._paths_by_src.get(key)
         if paths and path in paths:
-            paths.remove(path)
-            if not paths:
-                del self._paths_by_src[str(path.src_ref)]
+            remaining = tuple(p for p in paths if p is not path)
+            if remaining:
+                self._paths_by_src[key] = remaining
+            else:
+                del self._paths_by_src[key]
         if path.journaled:
             path.journaled = False
             journal = self.runtime.journal
@@ -556,7 +581,7 @@ class Transport:
                 journal.append("path-close", {"path_id": path.path_id})
 
     def paths_from(self, src: DigitalOutputPort) -> List[MessagePath]:
-        return list(self._paths_by_src.get(str(src.ref), []))
+        return list(self._paths_by_src.get(str(src.ref), ()))
 
     def close_paths_of_translator(self, translator_id: str) -> None:
         """Tear down every path whose source or local sink is the translator."""
@@ -580,7 +605,7 @@ class Transport:
         if not paths:
             return 0
         admitted = 0
-        for path in list(paths):
+        for path in paths:  # immutable snapshot: no per-message copy
             if path.enqueue(message):
                 admitted += 1
         return admitted
@@ -592,7 +617,7 @@ class Transport:
         if not paths:
             return 0
         admitted = 0
-        for path in list(paths):
+        for path in paths:  # immutable snapshot: no per-message copy
             ok = yield from path.enqueue_flow(message)
             if ok:
                 admitted += 1
@@ -603,15 +628,11 @@ class Transport:
     def _enqueue_remote(
         self, dst: PortRef, message: UMessage, path: Optional[MessagePath] = None
     ) -> None:
-        envelope = {
-            "kind": "message",
-            "dst": str(dst),
-            "mime": message.mime.mime,
-            "payload": message.payload,
-            "size": message.size,
-            "source": message.source,
-            "headers": dict(message.headers),
-        }
+        # Shared-fanout wire form: the per-message body is built once (and
+        # cached on the message), shared by every peer; only the per-peer
+        # fields (dst/origin/stream/seq) are layered onto a shallow copy.
+        envelope = dict(message.wire_base())
+        envelope["dst"] = str(dst)
         # The dedup stream is the *path*, so two paths feeding the same
         # input port never share a sequence space (per-(sender, path)).
         stream = path.path_id if path is not None else f"dst:{dst}"
@@ -657,11 +678,12 @@ class Transport:
             outbox.popleft()
             self.spool_dropped += 1
             self.runtime.journal.append("spool-drop", {"peer": runtime_id})
-            self.runtime.trace(
-                "transport.spool-drop",
-                f"to {runtime_id}: spool full, evicted oldest envelope",
-                capacity=self.SPOOL_CAPACITY,
-            )
+            if self.runtime.tracing:
+                self.runtime.trace(
+                    "transport.spool-drop",
+                    f"to {runtime_id}: spool full, evicted oldest envelope",
+                    capacity=self.SPOOL_CAPACITY,
+                )
         outbox.append((runtime_id, envelope, size))
         self._journal_spool(runtime_id, envelope, size)
         wakeup = self._peer_wakeups.get(runtime_id)
@@ -677,24 +699,116 @@ class Transport:
         spooled envelope having a record: an envelope whose payload is not
         JSON-representable gets an opaque placeholder (it keeps the
         ack/drop pops aligned and carries the stream sequence, but cannot
-        be respooled after a cold restart)."""
+        be respooled after a cold restart).
+
+        In batching mode the record goes through the journal's amortized
+        :meth:`~repro.core.journal.Journal.append_spool` path, which folds
+        consecutive same-peer appends still in the group-commit window
+        into one growing ``spool-batch`` record; the write-ahead point
+        (before the envelope can leave the spool) is identical."""
         journal = self.runtime.journal
+        if self.batching:
+            try:
+                journal.append_spool(peer, envelope, size)
+            except TypeError:
+                journal.append_spool(peer, self._opaque_marker(envelope), size)
+            return
         try:
             journal.append("spool", {"peer": peer, "envelope": envelope, "size": size})
         except TypeError:
-            marker = {
-                "kind": "opaque",
-                "origin": envelope.get("origin"),
-                "stream": envelope.get("stream"),
-                "seq": envelope.get("seq"),
-            }
+            marker = self._opaque_marker(envelope)
             journal.append("spool", {"peer": peer, "envelope": marker, "size": size})
 
+    @staticmethod
+    def _opaque_marker(envelope: dict) -> dict:
+        return {
+            "kind": "opaque",
+            "origin": envelope.get("origin"),
+            "stream": envelope.get("stream"),
+            "seq": envelope.get("seq"),
+        }
+
     def _spawn_sender(self, runtime_id: str) -> None:
+        sender = self._peer_sender_batched if self.batching else self._peer_sender
         self._peer_senders[runtime_id] = self.runtime.kernel.process(
-            self._peer_sender(runtime_id),
+            sender(runtime_id),
             name=f"peer-sender:{self.runtime.runtime_id}->{runtime_id}",
         )
+
+    def _park_for_outbox(self, runtime_id: str) -> Event:
+        """The reusable per-peer idle event, reset and re-armed.
+
+        One event per peer is recycled across idle waits instead of
+        allocating a fresh one per wakeup (per-envelope Event churn is
+        measurable at high message rates).  ``_enqueue_envelope`` succeeds
+        it; while the sender is active the stored event stays processed,
+        so enqueues of an already-draining outbox are no-ops."""
+        wakeup = self._peer_wakeups.get(runtime_id)
+        if wakeup is not None and wakeup.processed:
+            wakeup.reset()
+        elif wakeup is None or wakeup.triggered:
+            wakeup = self.runtime.kernel.event(name=f"peer-outbox:{runtime_id}")
+            self._peer_wakeups[runtime_id] = wakeup
+        return wakeup
+
+    def _record_delivery_success(self, runtime_id: str) -> None:
+        """Post-ack bookkeeping shared by both sender modes: a delivered
+        probe closes the peer's breaker, and health hears the success."""
+        runtime = self.runtime
+        breaker = self._breakers.get(runtime_id)
+        if breaker is not None and not breaker.is_closed:
+            breaker.record_success()
+            runtime.journal.append("breaker", {"peer": runtime_id, "state": "closed"})
+            runtime.trace(
+                "transport.breaker-close",
+                f"to {runtime_id}: probe delivered, breaker closed",
+            )
+        runtime.health.peer_success(runtime_id)
+
+    def _handle_send_failure(
+        self, runtime_id: str, attempts: int, exc: Exception
+    ) -> Tuple[int, Optional[float]]:
+        """Retry/drop/breaker bookkeeping after one failed delivery
+        attempt, shared by both sender modes.
+
+        Returns ``(attempts, backoff_s)``; a ``None`` backoff means the
+        head envelope was dropped (budget exhausted, or a failed breaker
+        probe) and the sender should re-enter its loop immediately."""
+        runtime = self.runtime
+        self._peer_streams.pop(runtime_id, None)
+        attempts += 1
+        runtime.health.peer_failure(runtime_id)
+        breaker = self._breakers.get(runtime_id)
+        # A half-open probe fails fast: one attempt, not a whole retry
+        # budget against a peer known to be down.
+        probing = breaker is not None and not breaker.is_closed
+        if probing or attempts >= self.MAX_SEND_ATTEMPTS:
+            failed_attempts = attempts
+            outbox = self._peer_outboxes[runtime_id]
+            if outbox:
+                outbox.popleft()
+                runtime.journal.append("spool-drop", {"peer": runtime_id})
+            self.undeliverable += 1
+            runtime.trace(
+                "transport.undeliverable",
+                f"to {runtime_id} after {failed_attempts} attempt(s): {exc}",
+            )
+            self._trip_breaker(runtime_id, exc)
+            runtime.directory.expire_runtime(runtime_id, reason=str(exc))
+            return 0, None
+        self.retries += 1
+        backoff = min(
+            self.RETRY_INITIAL_BACKOFF_S * (2 ** (attempts - 1)),
+            self.RETRY_MAX_BACKOFF_S,
+        )
+        runtime.trace(
+            "transport.retry",
+            f"to {runtime_id}: attempt {attempts} failed ({exc}); "
+            f"retrying in {backoff:.2f}s",
+            attempt=attempts,
+            backoff=backoff,
+        )
+        return attempts, backoff
 
     def _peer_sender(self, runtime_id: str) -> Generator:
         """Drains the outbox for one peer over a single stream.
@@ -713,10 +827,7 @@ class Transport:
         try:
             while True:
                 if not outbox:
-                    wakeup = kernel.event(name=f"peer-outbox:{runtime_id}")
-                    self._peer_wakeups[runtime_id] = wakeup
-                    yield wakeup
-                    self._peer_wakeups.pop(runtime_id, None)
+                    yield self._park_for_outbox(runtime_id)
                     continue
                 _rid, envelope, size = outbox[0]
                 try:
@@ -731,61 +842,137 @@ class Transport:
                     # Only count the envelope delivered once the peer's TCP
                     # has acknowledged it; a stream dying with data in its
                     # send window must re-deliver, not silently drop.
-                    yield stream.drained()
+                    yield from stream.drained_wait()
                     outbox.popleft()
                     runtime.journal.append("spool-ack", {"peer": runtime_id})
                     attempts = 0
                     self.messages_relayed += 1
-                    breaker = self._breakers.get(runtime_id)
-                    if breaker is not None and not breaker.is_closed:
-                        breaker.record_success()
-                        runtime.journal.append(
-                            "breaker", {"peer": runtime_id, "state": "closed"}
-                        )
-                        runtime.trace(
-                            "transport.breaker-close",
-                            f"to {runtime_id}: probe delivered, breaker closed",
-                        )
-                    runtime.health.peer_success(runtime_id)
+                    self._record_delivery_success(runtime_id)
                 except (SocketError, TransportError) as exc:
-                    self._peer_streams.pop(runtime_id, None)
-                    attempts += 1
-                    runtime.health.peer_failure(runtime_id)
-                    breaker = self._breakers.get(runtime_id)
-                    # A half-open probe fails fast: one attempt, not a
-                    # whole retry budget against a peer known to be down.
-                    probing = breaker is not None and not breaker.is_closed
-                    if probing or attempts >= self.MAX_SEND_ATTEMPTS:
-                        failed_attempts = attempts
-                        outbox.popleft()
-                        runtime.journal.append("spool-drop", {"peer": runtime_id})
-                        attempts = 0
-                        self.undeliverable += 1
-                        runtime.trace(
-                            "transport.undeliverable",
-                            f"to {runtime_id} after {failed_attempts} "
-                            f"attempt(s): {exc}",
-                        )
-                        self._trip_breaker(runtime_id, exc)
-                        runtime.directory.expire_runtime(runtime_id, reason=str(exc))
-                        continue
-                    self.retries += 1
-                    backoff = min(
-                        self.RETRY_INITIAL_BACKOFF_S * (2 ** (attempts - 1)),
-                        self.RETRY_MAX_BACKOFF_S,
+                    attempts, backoff = self._handle_send_failure(
+                        runtime_id, attempts, exc
                     )
-                    runtime.trace(
-                        "transport.retry",
-                        f"to {runtime_id}: attempt {attempts} failed ({exc}); "
-                        f"retrying in {backoff:.2f}s",
-                        attempt=attempts,
-                        backoff=backoff,
-                    )
-                    yield kernel.timeout(backoff)
+                    if backoff is not None:
+                        yield kernel.timeout(backoff)
         finally:
             # Only deregister ourselves: a crash may already have installed
             # a successor sender for this peer, and GC finalization (where
             # no process is active) must not touch the table at all.
+            current = self._peer_senders.get(runtime_id)
+            if current is not None and current is kernel.active_process:
+                del self._peer_senders[runtime_id]
+
+    def _form_batch(
+        self, outbox: Deque[Tuple[str, dict, int]], start: int
+    ) -> List[Tuple[str, dict, int]]:
+        """Copy up to BATCH_MAX_ENVELOPES/BATCH_MAX_BYTES head entries
+        beginning at ``start`` (entries before it are already staged in an
+        in-flight batch).  The outbox is only *peeked*: entries are popped
+        at ack time, so the journal's FIFO view and the in-memory spool
+        stay aligned even if the sender dies mid-flight."""
+        batch: List[Tuple[str, dict, int]] = []
+        total = 0
+        for entry in itertools.islice(outbox, start, None):
+            size = entry[2]
+            if batch and (
+                len(batch) >= self.BATCH_MAX_ENVELOPES
+                or total + size > self.BATCH_MAX_BYTES
+            ):
+                break
+            batch.append(entry)
+            total += size
+        return batch
+
+    def _send_batch(
+        self, stream: StreamSocket, batch: List[Tuple[str, dict, int]]
+    ) -> Generator:
+        """Marshal and transmit one coalesced batch frame.
+
+        One fixed marshal cost covers the whole frame (that is the
+        amortization); the per-byte cost still scales with the payload."""
+        kernel = self.runtime.kernel
+        umiddle = self.runtime.calibration.umiddle
+        total = 0
+        envelopes = []
+        for _rid, envelope, size in batch:
+            envelopes.append(envelope)
+            total += size
+        frame = {"kind": "batch", "count": len(envelopes), "envelopes": envelopes}
+        wire_size = (
+            total
+            + ENVELOPE_HEADER_BYTES
+            + self.BATCH_SUBHEADER_BYTES * len(envelopes)
+        )
+        yield kernel.timeout(
+            umiddle.envelope_fixed_s + umiddle.envelope_per_byte_s * total
+        )
+        yield from stream.send_inline(frame, wire_size)
+        self.batches_sent += 1
+
+    def _peer_sender_batched(self, runtime_id: str) -> Generator:
+        """Batched + pipelined variant of :meth:`_peer_sender`.
+
+        Peeks runs of outbox entries into coalesced batch frames, keeps up
+        to PIPELINE_WINDOW batches in flight, then blocks once on the
+        stream's drain barrier and acks every in-flight batch in order --
+        one journaled ``spool-ack {count: k}`` per batch.  Because the
+        outbox is peeked (not popped) until the barrier, a crash at any
+        point leaves the journal and the spool aligned: replay respools
+        exactly the unacked suffix, and the receiver's dedup window
+        suppresses whatever the wire already delivered."""
+        runtime = self.runtime
+        kernel = runtime.kernel
+        outbox = self._peer_outboxes[runtime_id]
+        attempts = 0
+        try:
+            while True:
+                if not outbox:
+                    yield self._park_for_outbox(runtime_id)
+                    continue
+                try:
+                    stream = self._peer_streams.get(runtime_id)
+                    if stream is None or stream.closed:
+                        stream = yield from self._open_peer_stream(runtime_id)
+                    inflight: List[int] = []
+                    staged = 0
+                    while staged < len(outbox) or inflight:
+                        while (
+                            staged < len(outbox)
+                            and len(inflight) < self.PIPELINE_WINDOW
+                        ):
+                            batch = self._form_batch(outbox, staged)
+                            if not batch:
+                                break
+                            staged += len(batch)
+                            yield from self._send_batch(stream, batch)
+                            inflight.append(len(batch))
+                        # In-order ack barrier: everything sent so far is
+                        # acknowledged together, then journaled per batch.
+                        yield from stream.drained_wait()
+                        for count in inflight:
+                            acked = 0
+                            while acked < count and outbox:
+                                outbox.popleft()
+                                acked += 1
+                            runtime.journal.append(
+                                "spool-ack", {"count": count, "peer": runtime_id}
+                            )
+                            self.messages_relayed += acked
+                        inflight.clear()
+                        staged = 0
+                        attempts = 0
+                        self._record_delivery_success(runtime_id)
+                except (SocketError, TransportError) as exc:
+                    # In-flight entries were never popped; they are still
+                    # the head of the outbox (and of the journal's FIFO),
+                    # so the retry re-sends them and the receiver's dedup
+                    # window suppresses any the wire already delivered.
+                    attempts, backoff = self._handle_send_failure(
+                        runtime_id, attempts, exc
+                    )
+                    if backoff is not None:
+                        yield kernel.timeout(backoff)
+        finally:
             current = self._peer_senders.get(runtime_id)
             if current is not None and current is kernel.active_process:
                 del self._peer_senders[runtime_id]
@@ -882,6 +1069,18 @@ class Transport:
                 if stream in self._accepted_streams:
                     self._accepted_streams.remove(stream)
                 return
+            kind = envelope.get("kind")
+            if kind == "batch":
+                # One unmarshal cost for the whole coalesced frame, then
+                # each inner envelope is deduped and dispatched normally.
+                inner_envelopes = envelope.get("envelopes", ())
+                total = sum(e.get("size", 0) for e in inner_envelopes)
+                yield kernel.timeout(
+                    umiddle.envelope_fixed_s + umiddle.envelope_per_byte_s * total
+                )
+                for inner in inner_envelopes:
+                    self._handle_envelope(inner)
+                continue
             origin = envelope.get("origin")
             stream_key = envelope.get("stream")
             seq = envelope.get("seq")
@@ -892,23 +1091,45 @@ class Transport:
                 and self._is_duplicate(origin, stream_key, seq)
             ):
                 continue
-            kind = envelope.get("kind")
             if kind == "message":
                 size = envelope["size"]
                 yield kernel.timeout(
                     umiddle.envelope_fixed_s + umiddle.envelope_per_byte_s * size
                 )
                 self._deliver_envelope(envelope)
-            elif kind == "connect":
-                self._handle_connect_request(envelope)
-            elif kind == "disconnect":
-                path = self._paths_by_id.get(envelope["path_id"])
-                if path is not None:
-                    path.close()
             else:
-                runtime.trace(
-                    "transport.protocol-error", f"unknown envelope kind {kind!r}"
-                )
+                self._handle_control_envelope(kind, envelope)
+
+    def _handle_envelope(self, envelope: dict) -> None:
+        """Dedup and dispatch one envelope unpacked from a batch frame
+        (the frame-level unmarshal cost was already charged)."""
+        origin = envelope.get("origin")
+        stream_key = envelope.get("stream")
+        seq = envelope.get("seq")
+        if (
+            origin is not None
+            and stream_key is not None
+            and isinstance(seq, int)
+            and self._is_duplicate(origin, stream_key, seq)
+        ):
+            return
+        kind = envelope.get("kind")
+        if kind == "message":
+            self._deliver_envelope(envelope)
+        else:
+            self._handle_control_envelope(kind, envelope)
+
+    def _handle_control_envelope(self, kind: Optional[str], envelope: dict) -> None:
+        if kind == "connect":
+            self._handle_connect_request(envelope)
+        elif kind == "disconnect":
+            path = self._paths_by_id.get(envelope["path_id"])
+            if path is not None:
+                path.close()
+        else:
+            self.runtime.trace(
+                "transport.protocol-error", f"unknown envelope kind {kind!r}"
+            )
 
     def _is_duplicate(self, origin: str, stream: str, seq: int) -> bool:
         """Receiver-side exactly-once window.
@@ -927,13 +1148,14 @@ class Transport:
             self._dedup.move_to_end(key)
             if seq <= high_water:
                 self.duplicates_suppressed += 1
-                self.runtime.trace(
-                    "transport.duplicate",
-                    f"from {origin} stream {stream}: seq {seq} <= "
-                    f"{high_water}, suppressed",
-                    seq=seq,
-                    high_water=high_water,
-                )
+                if self.runtime.tracing:
+                    self.runtime.trace(
+                        "transport.duplicate",
+                        f"from {origin} stream {stream}: seq {seq} <= "
+                        f"{high_water}, suppressed",
+                        seq=seq,
+                        high_water=high_water,
+                    )
                 return True
         self._dedup[key] = seq
         if high_water is None and len(self._dedup) > self.DEDUP_WINDOW:

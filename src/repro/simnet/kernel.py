@@ -168,6 +168,24 @@ class Event:
             # ordering relative to other immediate events is preserved.
             self._kernel.call_soon(lambda: callback(self))
 
+    def reset(self) -> "Event":
+        """Recycle a fully processed event back to *pending*.
+
+        Hot loops (per-peer senders, stream drain barriers) park on one
+        event per wait; resetting lets a single-owner waiter reuse the
+        same object instead of allocating a fresh event per cycle.  Only
+        legal once the previous trigger has been processed -- a pending or
+        triggered-but-unprocessed event still owes its waiters a wakeup.
+        """
+        if self._state != Event.PROCESSED:
+            raise SimulationError(f"cannot reset {self.name!r}: not processed yet")
+        self.callbacks = []
+        self._value = None
+        self._exception = None
+        self.defused = False
+        self._state = Event.PENDING
+        return self
+
     def _process_trigger(self) -> None:
         callbacks, self.callbacks = self.callbacks, None
         self._state = Event.PROCESSED

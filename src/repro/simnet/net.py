@@ -257,13 +257,16 @@ class Medium:
             return delivery
 
         kernel.call_later(delivery - kernel.now, lambda: self._deliver(sender, frame))
-        self.network.trace.emit(
-            "net.tx",
-            f"{self.name}: {frame.src}:{frame.sport}->{frame.dst}:{frame.dport} "
-            f"{frame.protocol} {wire_bytes}B",
-            wire_bytes=wire_bytes,
-            protocol=frame.protocol,
-        )
+        if self.network.trace.enabled:
+            # Hottest trace site in the simulator: skip the f-string work
+            # entirely when tracing is off (bytes_transmitted still counts).
+            self.network.trace.emit(
+                "net.tx",
+                f"{self.name}: {frame.src}:{frame.sport}->{frame.dst}:{frame.dport} "
+                f"{frame.protocol} {wire_bytes}B",
+                wire_bytes=wire_bytes,
+                protocol=frame.protocol,
+            )
         return delivery
 
     def _deliver(self, sender: Interface, frame: Frame) -> None:

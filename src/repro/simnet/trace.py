@@ -3,10 +3,16 @@
 A :class:`TraceRecorder` collects timestamped, categorized records emitted by
 the network, the platform stacks and the uMiddle runtime.  Tests assert on
 traces; benchmarks aggregate them (e.g. bytes-on-wire per category).
+
+Long soak runs can bound memory with ``TraceRecorder(max_records=...)``: the
+record store becomes a ring buffer that evicts the oldest entries, while
+per-category counters stay cumulative so :meth:`TraceRecorder.count` keeps
+reporting how many records were *emitted*, not merely how many are retained.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
@@ -32,11 +38,25 @@ class TraceRecorder:
     The recorder is intentionally permissive: any component may emit any
     category.  Filters are applied at read time, keeping the write path
     cheap (simulation inner loops call :meth:`emit` frequently).
+
+    With ``max_records`` set, only the newest ``max_records`` entries are
+    retained (a ring buffer); counts stay cumulative but :meth:`records`,
+    :meth:`total`, iteration and ``len()`` see only the retained window.
     """
 
-    def __init__(self, clock: Optional[Callable[[], float]] = None):
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        max_records: Optional[int] = None,
+    ):
         self._clock = clock or (lambda: 0.0)
-        self._records: List[TraceRecord] = []
+        self.max_records = max_records
+        if max_records is not None:
+            self._records: "deque[TraceRecord]" = deque(maxlen=max_records)
+        else:
+            self._records = deque()
+        self._counts: Dict[str, int] = {}
+        self.emitted = 0
         self.enabled = True
 
     def bind_clock(self, clock: Callable[[], float]) -> None:
@@ -50,15 +70,20 @@ class TraceRecorder:
         self._records.append(
             TraceRecord(self._clock(), category, message, dict(details))
         )
+        self.emitted += 1
+        self._counts[category] = self._counts.get(category, 0) + 1
 
     def records(self, category: Optional[str] = None) -> List[TraceRecord]:
-        """All records, optionally filtered to one category."""
+        """Retained records, optionally filtered to one category."""
         if category is None:
             return list(self._records)
         return [r for r in self._records if r.category == category]
 
     def count(self, category: Optional[str] = None) -> int:
-        return len(self.records(category))
+        """Cumulative emit count (survives ring-buffer eviction)."""
+        if category is None:
+            return self.emitted
+        return self._counts.get(category, 0)
 
     def total(self, category: str, key: str) -> float:
         """Sum a numeric detail field across one category's records."""
@@ -66,6 +91,8 @@ class TraceRecorder:
 
     def clear(self) -> None:
         self._records.clear()
+        self._counts.clear()
+        self.emitted = 0
 
     def __iter__(self) -> Iterator[TraceRecord]:
         return iter(self._records)

@@ -15,6 +15,7 @@ from repro.calibration import Calibration, DEFAULT
 from repro.core.runtime import UMiddleRuntime
 from repro.simnet.kernel import Kernel
 from repro.simnet.net import Hub, Network, Node
+from repro.simnet.trace import TraceRecorder
 
 __all__ = ["Testbed", "build_testbed"]
 
@@ -70,10 +71,19 @@ def build_testbed(
     calibration: Calibration = DEFAULT,
     lan_name: str = "lan",
     hosts: Optional[List[str]] = None,
+    trace_max_records: Optional[int] = None,
 ) -> Testbed:
-    """A 10 Mbps shared-hub LAN (the paper's Section 5 testbed)."""
+    """A 10 Mbps shared-hub LAN (the paper's Section 5 testbed).
+
+    ``trace_max_records`` bounds the trace recorder with a ring buffer --
+    soak runs and throughput benchmarks keep only the newest records while
+    cumulative counters stay exact.
+    """
     kernel = Kernel()
-    network = Network(kernel)
+    if trace_max_records is not None:
+        network = Network(kernel, trace=TraceRecorder(max_records=trace_max_records))
+    else:
+        network = Network(kernel)
     lan = network.add_hub(
         lan_name,
         bandwidth_bps=calibration.network.ethernet_bandwidth_bps,

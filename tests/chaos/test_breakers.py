@@ -6,6 +6,8 @@ closed on recovery), and an identical fault schedule run with health
 disabled shows the adaptive runtime re-binds faster and wastes fewer
 delivery attempts."""
 
+import os
+
 from repro.chaos import FaultPlan, RecoveryReport, time_to_rebind
 from repro.core.directory import LEASE
 from repro.core.messages import UMessage
@@ -14,6 +16,9 @@ from repro.core.translator import Translator
 from repro.testbed import build_testbed
 
 CRASH_AT = 2.0
+#: CHAOS_BATCHING=1 drives the breaker lifecycle through the batched +
+#: pipelined peer senders; trip/probe/close semantics must be identical.
+BATCHING = os.environ.get("CHAOS_BATCHING", "0") == "1"
 
 
 def text(payload, size=100):
@@ -32,8 +37,8 @@ def drip(bed, out, count, interval=0.5):
 def crash_pair(restart_after):
     """Source on r1 query-bound to a sink on r2; r2 crashes at CRASH_AT."""
     bed = build_testbed(hosts=["h1", "h2"])
-    r1 = bed.add_runtime("h1")
-    r2 = bed.add_runtime("h2")
+    r1 = bed.add_runtime("h1", batching_enabled=BATCHING)
+    r2 = bed.add_runtime("h2", batching_enabled=BATCHING)
 
     received = []
     sink = Translator("display", role="display")
@@ -105,9 +110,15 @@ def failover_triple(health_enabled):
     """r1 hosts a source with a failover binding; r2 and r3 each host a
     matching sink.  r2 (the initially-bound target) crashes for good."""
     bed = build_testbed(hosts=["h1", "h2", "h3"])
-    r1 = bed.add_runtime("h1", health_enabled=health_enabled)
-    r2 = bed.add_runtime("h2", health_enabled=health_enabled)
-    r3 = bed.add_runtime("h3", health_enabled=health_enabled)
+    r1 = bed.add_runtime(
+        "h1", health_enabled=health_enabled, batching_enabled=BATCHING
+    )
+    r2 = bed.add_runtime(
+        "h2", health_enabled=health_enabled, batching_enabled=BATCHING
+    )
+    r3 = bed.add_runtime(
+        "h3", health_enabled=health_enabled, batching_enabled=BATCHING
+    )
 
     received = []
     for index, runtime in enumerate((r2, r3)):

@@ -9,18 +9,24 @@ rather than delivered twice.
 """
 
 import json
+import os
 import random
 import re
 
 from repro.chaos import FaultPlan
 from repro.core.health import HALF_OPEN, OPEN
-from repro.core.journal import durable_media
+from repro.core.journal import durable_media, replay_blob
 from repro.core.messages import UMessage
 from repro.core.query import Query
 from repro.core.translator import Translator
 from repro.testbed import build_testbed
 
 SEEDS = [7, 23, 101]
+
+#: CHAOS_BATCHING=1 re-runs every scenario with the batched + pipelined
+#: peer senders (counted spool-acks, folded spool-batch records); all
+#: crash-consistency invariants must hold identically in both modes.
+BATCHING = os.environ.get("CHAOS_BATCHING", "0") == "1"
 
 ROLES = ["display", "storage", "printer", "sensor"]
 MIMES = ["text/plain", "image/jpeg", "audio/wav"]
@@ -63,9 +69,10 @@ def path_shape(runtime):
 
 class TestColdRestart:
     def build(self, **kwargs):
+        kwargs.setdefault("batching_enabled", BATCHING)
         bed = build_testbed(hosts=["h1", "h2"])
         r1 = bed.add_runtime("h1", **kwargs)
-        r2 = bed.add_runtime("h2")
+        r2 = bed.add_runtime("h2", batching_enabled=BATCHING)
         received = []
         sink = Translator("display-0", role="display")
         sink.add_digital_input("data-in", "text/plain", received.append)
@@ -260,8 +267,8 @@ class TestSeededEquivalence:
     def build_population(self, seed):
         rng = random.Random(seed)
         bed = build_testbed(hosts=["h1", "h2"])
-        r1 = bed.add_runtime("h1")
-        r2 = bed.add_runtime("h2")
+        r1 = bed.add_runtime("h1", batching_enabled=BATCHING)
+        r2 = bed.add_runtime("h2", batching_enabled=BATCHING)
         for index in range(rng.randrange(4, 9)):
             translator = Translator(
                 f"svc-{seed}-{index}", role=rng.choice(ROLES)
@@ -312,8 +319,8 @@ class TestSeededEquivalence:
 class TestExactlyOnce:
     def build_pipeline(self):
         bed = build_testbed(hosts=["h1", "h2"])
-        r1 = bed.add_runtime("h1")
-        r2 = bed.add_runtime("h2")
+        r1 = bed.add_runtime("h1", batching_enabled=BATCHING)
+        r2 = bed.add_runtime("h2", batching_enabled=BATCHING)
         received = []
         sink = Translator("display-0", role="display")
         sink.add_digital_input("data-in", "text/plain", received.append)
@@ -361,8 +368,10 @@ class TestExactlyOnce:
         counters past everything the receiver ever saw -- new messages must
         never be mistaken for duplicates of reused sequence numbers."""
         bed = build_testbed(hosts=["h1", "h2"])
-        r1 = bed.add_runtime("h1", fsync_interval=5.0)
-        r2 = bed.add_runtime("h2")
+        r1 = bed.add_runtime(
+            "h1", fsync_interval=5.0, batching_enabled=BATCHING
+        )
+        r2 = bed.add_runtime("h2", batching_enabled=BATCHING)
         received = []
         sink = Translator("display-0", role="display")
         sink.add_digital_input("data-in", "text/plain", received.append)
@@ -427,8 +436,10 @@ class TestExactlyOnce:
         pre-journal behavior: a warm-style relearn with nothing respooled
         from stable storage."""
         bed = build_testbed(hosts=["h1", "h2"])
-        r1 = bed.add_runtime("h1", journal_enabled=False)
-        r2 = bed.add_runtime("h2")
+        r1 = bed.add_runtime(
+            "h1", journal_enabled=False, batching_enabled=BATCHING
+        )
+        r2 = bed.add_runtime("h2", batching_enabled=BATCHING)
         received = []
         sink = Translator("display-0", role="display")
         sink.add_digital_input("data-in", "text/plain", received.append)
@@ -461,9 +472,9 @@ class TestExactlyOnce:
         but dedup keys on per-(sender, path) envelope sequences, so no
         cross-runtime message is ever mistaken for a duplicate."""
         bed = build_testbed(hosts=["h1", "h2", "h3"])
-        r1 = bed.add_runtime("h1")
-        r2 = bed.add_runtime("h2")
-        r3 = bed.add_runtime("h3")
+        r1 = bed.add_runtime("h1", batching_enabled=BATCHING)
+        r2 = bed.add_runtime("h2", batching_enabled=BATCHING)
+        r3 = bed.add_runtime("h3", batching_enabled=BATCHING)
         received = []
         sink = Translator("display-0", role="display")
         sink.add_digital_input("data-in", "text/plain", received.append)
@@ -493,3 +504,146 @@ class TestExactlyOnce:
         payloads = [m.payload for m in received]
         assert len(payloads) == 100
         assert len(set(payloads)) == 100
+
+
+class TestBatchedDurability:
+    """Batching on: batch frames, counted ``spool-ack`` records and folded
+    ``spool-batch`` records must preserve the exactly-once and durable-FIFO
+    guarantees of the unbatched journal across cold crashes."""
+
+    def build_pipeline(self, **kwargs):
+        bed = build_testbed(hosts=["h1", "h2"])
+        r1 = bed.add_runtime("h1", batching_enabled=True, **kwargs)
+        r2 = bed.add_runtime("h2", batching_enabled=True)
+        received = []
+        sink = Translator("display-0", role="display")
+        sink.add_digital_input("data-in", "text/plain", received.append)
+        r2.register_translator(sink)
+        source = Translator("feed", role="sensor")
+        out = source.add_digital_output("data-out", "text/plain")
+        r1.register_translator(source)
+        bed.settle(1.0)
+        r1.connect(out, sink.profile.port_ref("data-in"))
+        return bed, r1, r2, out, received
+
+    def test_cold_crash_mid_batch_is_exactly_once(self):
+        """The peek-based batched sender pops outbox entries only at ack
+        time, so a cold crash with batches in flight respools a suffix the
+        receiver may already hold -- dedup must swallow it, not deliver it
+        twice, and batch frames must actually have been in play."""
+        bed, r1, r2, out, received = self.build_pipeline()
+
+        def sender():
+            for index in range(120):
+                out.send(UMessage("text/plain", f"m{index}", 200))
+                yield bed.kernel.timeout(0.05)
+
+        bed.kernel.process(sender(), name="burst-sender")
+        plan = FaultPlan()
+        plan.link_degrade(bed.lan, at=1.5, duration=6.0, latency_s=0.4)
+        plan.runtime_crash(r1, at=4.0, restart_after=4.0, lose_state=True)
+        bed.add_chaos(plan)
+        bed.settle(40.0)
+
+        assert r1.transport.batches_sent > 0
+        assert r1.transport.respooled > 0
+        assert r2.transport.duplicates_suppressed > 0
+        payloads = [m.payload for m in received]
+        assert len(payloads) == len(set(payloads)), "duplicate delivery"
+
+    def test_counted_acks_keep_durable_fifo_aligned(self):
+        """After a batch is acked with one ``spool-ack {count}`` record, a
+        cold crash + recovery must find an empty durable spool -- a
+        miscounted replay would resurrect acked envelopes here."""
+        bed, r1, r2, out, received = self.build_pipeline()
+        for index in range(20):
+            out.send(UMessage("text/plain", f"m{index}", 100))
+        bed.settle(10.0)  # delivered and acked in counted batches
+        assert len(received) == 20
+        acks = [
+            r["data"]
+            for r in replay_blob(r1.journal.blob)[0]
+            if r["kind"] == "spool-ack"
+        ]
+        assert acks and any(a.get("count", 1) > 1 for a in acks)
+
+        r1.crash(lose_state=True)
+        r1.recover()
+        assert r1.transport.respooled == 0
+        bed.settle(10.0)
+        payloads = [m.payload for m in received]
+        assert len(payloads) == len(set(payloads)) == 20
+
+    def test_opaque_marker_inside_a_batch_survives_two_recoveries(self):
+        """An unserializable payload inside a batched spool run becomes an
+        opaque marker in the ``spool-batch`` record; the respool skips it
+        and the recovery checkpoint prunes it, so counted acks stay
+        aligned through a second cold crash."""
+        bed, r1, r2, out, received = self.build_pipeline()
+        r2.crash()  # peer down: everything spools as one batched run
+        out.send(UMessage("text/plain", "m1", 100))
+        out.send(UMessage("text/plain", object(), 100))  # -> opaque marker
+        out.send(UMessage("text/plain", "m3", 100))
+        bed.settle(0.5)
+
+        r1.crash(lose_state=True)
+        r2.restart()
+        r1.recover()
+        assert r1.transport.respooled == 2  # the marker was skipped
+        bed.settle(30.0)
+
+        r1.crash(lose_state=True)
+        r1.recover()
+        bed.settle(5.0)
+        assert r1.transport.respooled == 2  # nothing left to respool
+        assert sorted(
+            m.payload for m in received if isinstance(m.payload, str)
+        ) == ["m1", "m3"]
+
+    def test_folded_group_commit_records_replay_whole(self):
+        """Under group commit a same-peer spool run folds into a single
+        ``spool-batch`` record; once flushed it must replay every entry."""
+        bed, r1, r2, out, received = self.build_pipeline(fsync_interval=1.0)
+        r2.crash()  # spool without acks interleaving
+        for index in range(6):
+            out.send(UMessage("text/plain", f"m{index}", 100))
+        bed.settle(0.3)
+        assert r1.journal.spool_folds > 0
+        r1.journal.sync()  # flush the folded record, then lose memory
+        r1.crash(lose_state=True)
+        r1.recover()
+        assert r1.transport.respooled == 6
+        r2.restart()
+        bed.settle(30.0)
+        assert [m.payload for m in received] == [f"m{i}" for i in range(6)]
+
+    def test_both_modes_agree_on_recovered_state(self):
+        """The same spool-crash-recover scenario leaves identical durable
+        outcomes (respool count, delivered payloads) whether the journal
+        wrote per-envelope ``spool`` records or folded ``spool-batch``
+        runs with counted acks."""
+        outcomes = {}
+        for mode in (False, True):
+            bed = build_testbed(hosts=["h1", "h2"])
+            r1 = bed.add_runtime("h1", batching_enabled=mode)
+            r2 = bed.add_runtime("h2", batching_enabled=mode)
+            received = []
+            sink = Translator("display-0", role="display")
+            sink.add_digital_input("data-in", "text/plain", received.append)
+            r2.register_translator(sink)
+            source = Translator("feed", role="sensor")
+            out = source.add_digital_output("data-out", "text/plain")
+            r1.register_translator(source)
+            bed.settle(1.0)
+            r1.connect(out, sink.profile.port_ref("data-in"))
+            r2.crash()
+            for index in range(8):
+                out.send(UMessage("text/plain", f"m{index}", 100))
+            bed.settle(0.5)
+            r1.crash(lose_state=True)
+            r2.restart()
+            r1.recover()
+            respooled = r1.transport.respooled
+            bed.settle(30.0)
+            outcomes[mode] = (respooled, [m.payload for m in received])
+        assert outcomes[False] == outcomes[True]

@@ -22,6 +22,9 @@ SEED = int(os.environ.get("CHAOS_SEED", "7"))
 #: keeping the fault *schedule* identical -- the soak invariants must hold
 #: either way.
 LOSE_STATE = os.environ.get("CHAOS_LOSE_STATE", "0") == "1"
+#: CHAOS_BATCHING=1 runs the identical storm through the batched +
+#: pipelined peer senders; the calm-down invariants must hold either way.
+BATCHING = os.environ.get("CHAOS_BATCHING", "0") == "1"
 STORM_HORIZON = 60.0
 # Lease (15 s) + announce interval + breaker reopen max (60 s) with slack.
 CALM_DOWN = 90.0
@@ -30,9 +33,9 @@ CALM_DOWN = 90.0
 def build_soak():
     """Three runtimes, a failover binding, and a steady sender."""
     bed = build_testbed(hosts=["h1", "h2", "h3"])
-    r1 = bed.add_runtime("h1")
-    r2 = bed.add_runtime("h2")
-    r3 = bed.add_runtime("h3")
+    r1 = bed.add_runtime("h1", batching_enabled=BATCHING)
+    r2 = bed.add_runtime("h2", batching_enabled=BATCHING)
+    r3 = bed.add_runtime("h3", batching_enabled=BATCHING)
 
     received = []
     for index, runtime in enumerate((r2, r3)):

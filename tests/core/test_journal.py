@@ -302,3 +302,152 @@ class TestReplaySemantics:
     def test_unknown_kinds_are_ignored(self):
         state = self.apply(("future-kind", {"anything": True}))
         assert state.registered == {} and state.applied_records == 0
+
+
+class TestAmortizedSpoolRecords:
+    """`append_spool` folding and the batched replay kinds it produces."""
+
+    def make_runtime(self, **kwargs):
+        bed = build_testbed(hosts=["h1"])
+        return bed, bed.add_runtime("h1", **kwargs)
+
+    def envelope(self, seq):
+        return {"kind": "message", "stream": "s", "seq": seq}
+
+    def test_spool_batch_replays_every_entry_in_order(self):
+        state = RecoveredState()
+        Journal._apply(
+            state,
+            "spool-batch",
+            {
+                "peer": "p",
+                "entries": [[self.envelope(1), 10], [self.envelope(2), 20]],
+            },
+        )
+        assert [e["seq"] for e, _s in state.spool["p"]] == [1, 2]
+        assert state.stream_seqs["s"] == 2
+
+    def test_counted_ack_pops_fifo_prefix(self):
+        state = RecoveredState()
+        Journal._apply(
+            state,
+            "spool-batch",
+            {"peer": "p", "entries": [[self.envelope(i), 10] for i in range(1, 5)]},
+        )
+        Journal._apply(state, "spool-ack", {"peer": "p", "count": 3})
+        assert [e["seq"] for e, _s in state.spool["p"]] == [4]
+
+    def test_legacy_uncounted_ack_still_pops_one(self):
+        state = RecoveredState()
+        Journal._apply(
+            state,
+            "spool",
+            {"peer": "p", "envelope": self.envelope(1), "size": 10},
+        )
+        Journal._apply(state, "spool-ack", {"peer": "p"})
+        assert state.spool.get("p", []) == []
+
+    def test_synchronous_commit_never_folds(self):
+        bed, runtime = self.make_runtime()
+        journal = runtime.journal
+        before = journal.records_appended
+        journal.append_spool("p", self.envelope(1), 10)
+        journal.append_spool("p", self.envelope(2), 10)
+        assert journal.spool_folds == 0
+        assert journal.records_appended == before + 2
+        spooled = [
+            r["data"]
+            for r in records_of(journal.blob)
+            if r["kind"] == "spool-batch"
+        ]
+        assert [len(d["entries"]) for d in spooled] == [1, 1]
+
+    def test_group_commit_folds_same_peer_run_into_one_record(self):
+        bed, runtime = self.make_runtime(fsync_interval=1.0)
+        journal = runtime.journal
+        before = journal.records_appended
+        for seq in range(1, 6):
+            journal.append_spool("p", self.envelope(seq), 10)
+        assert journal.spool_folds == 4
+        assert journal.records_appended == before + 1
+        journal.sync()
+        spooled = [
+            r for r in records_of(journal.blob) if r["kind"] == "spool-batch"
+        ]
+        assert len(spooled) == 1
+        assert [e[0]["seq"] for e in spooled[0]["data"]["entries"]] == [
+            1, 2, 3, 4, 5,
+        ]
+
+    def test_interleaved_record_ends_the_fold(self):
+        """Growing a spool-batch past e.g. a spool-flush would reorder
+        replay; any other append must break the foldable run."""
+        bed, runtime = self.make_runtime(fsync_interval=1.0)
+        journal = runtime.journal
+        journal.append_spool("p", self.envelope(1), 10)
+        journal.append("spool-flush", {"peer": "p"})
+        journal.append_spool("p", self.envelope(2), 10)
+        journal.sync()
+        records = records_of(journal.blob)
+        kinds = [r["kind"] for r in records]
+        assert kinds[-3:] == ["spool-batch", "spool-flush", "spool-batch"]
+        # Replay order is flush-safe: only the post-flush entry survives.
+        state = RecoveredState()
+        for record in records:
+            Journal._apply(state, record["kind"], record["data"])
+        assert [e["seq"] for e, _s in state.spool["p"]] == [2]
+
+    def test_fold_does_not_cross_peers(self):
+        bed, runtime = self.make_runtime(fsync_interval=1.0)
+        journal = runtime.journal
+        journal.append_spool("p1", self.envelope(1), 10)
+        journal.append_spool("p2", self.envelope(2), 10)
+        journal.append_spool("p1", self.envelope(3), 10)
+        assert journal.spool_folds == 0
+        journal.sync()
+        batches = [
+            r["data"]
+            for r in records_of(journal.blob)
+            if r["kind"] == "spool-batch"
+        ]
+        assert [(d["peer"], len(d["entries"])) for d in batches] == [
+            ("p1", 1), ("p2", 1), ("p1", 1),
+        ]
+
+    def test_sync_ends_the_fold(self):
+        bed, runtime = self.make_runtime(fsync_interval=1.0)
+        journal = runtime.journal
+        journal.append_spool("p", self.envelope(1), 10)
+        journal.sync()
+        journal.append_spool("p", self.envelope(2), 10)
+        assert journal.spool_folds == 0  # flushed records are immutable
+
+    def test_unserializable_entry_raises_without_corrupting_the_fold(self):
+        bed, runtime = self.make_runtime(fsync_interval=1.0)
+        journal = runtime.journal
+        journal.append_spool("p", self.envelope(1), 10)
+        with pytest.raises(TypeError):
+            journal.append_spool("p", {"kind": "message", "x": object()}, 10)
+        journal.append_spool("p", self.envelope(2), 10)
+        journal.sync()
+        batches = [
+            r["data"]
+            for r in records_of(journal.blob)
+            if r["kind"] == "spool-batch"
+        ]
+        assert [[e[0]["seq"] for e in d["entries"]] for d in batches] == [[1, 2]]
+
+    def test_lose_pending_drops_the_folded_record(self):
+        bed, runtime = self.make_runtime(fsync_interval=5.0)
+        journal = runtime.journal
+        journal.sync()
+        durable = len(records_of(journal.blob))
+        for seq in range(1, 4):
+            journal.append_spool("p", self.envelope(seq), 10)
+        journal.lose_pending()
+        assert len(records_of(journal.blob)) == durable
+        # The LSN chain continues gaplessly after the loss.
+        journal.append_spool("p", self.envelope(9), 10)
+        journal.sync()
+        lsns = [r["lsn"] for r in records_of(journal.blob)]
+        assert lsns == sorted(lsns) and len(set(lsns)) == len(lsns)

@@ -99,3 +99,44 @@ class TestTraceRecorder:
         trace.emit("cat", "hello")
         assert "hello" in str(trace.records()[0])
         assert "cat" in str(trace.records()[0])
+
+
+class TestTraceRing:
+    def test_ring_keeps_newest_records(self):
+        trace = TraceRecorder(max_records=10)
+        for index in range(25):
+            trace.emit("cat", f"r{index}")
+        assert len(trace) == 10
+        assert [r.message for r in trace] == [f"r{i}" for i in range(15, 25)]
+
+    def test_counts_survive_eviction(self):
+        trace = TraceRecorder(max_records=4)
+        for index in range(9):
+            trace.emit("a" if index % 2 == 0 else "b", f"r{index}")
+        assert trace.count() == 9
+        assert trace.count("a") == 5
+        assert trace.count("b") == 4
+        assert len(trace.records("a")) <= 4
+
+    def test_unbounded_recorder_keeps_everything(self):
+        trace = TraceRecorder()
+        for index in range(100):
+            trace.emit("cat", f"r{index}")
+        assert len(trace) == 100
+        assert trace.count() == 100
+
+    def test_clear_resets_cumulative_counts(self):
+        trace = TraceRecorder(max_records=2)
+        trace.emit("cat", "x")
+        trace.emit("cat", "y")
+        trace.clear()
+        assert len(trace) == 0
+        assert trace.count() == 0
+        assert trace.count("cat") == 0
+
+    def test_total_sums_only_retained_records(self):
+        trace = TraceRecorder(max_records=2)
+        trace.emit("net.tx", "f1", wire_bytes=100)
+        trace.emit("net.tx", "f2", wire_bytes=250)
+        trace.emit("net.tx", "f3", wire_bytes=300)
+        assert trace.total("net.tx", "wire_bytes") == 550

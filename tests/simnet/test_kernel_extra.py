@@ -122,3 +122,60 @@ class TestKernelAccounting:
         other = Kernel()
         with pytest.raises(SimulationError):
             AnyOf(kernel, [kernel.event(), other.event()])
+
+
+class TestEventReset:
+    def test_reset_recycles_a_processed_event(self, kernel):
+        event = kernel.event(name="parked")
+        event.succeed("first")
+        kernel.run()
+        assert event.processed
+        assert event.reset() is event
+        assert not event.triggered
+        event.succeed("second")
+        kernel.run()
+        assert event.value == "second"
+
+    def test_reset_pending_event_rejected(self, kernel):
+        event = kernel.event()
+        with pytest.raises(SimulationError):
+            event.reset()
+
+    def test_reset_triggered_unprocessed_event_rejected(self, kernel):
+        event = kernel.event()
+        event.succeed()
+        # Triggered but the kernel has not processed it: waiters are still
+        # owed this wakeup.
+        with pytest.raises(SimulationError):
+            event.reset()
+
+    def test_reset_clears_failure_state(self, kernel):
+        event = kernel.event(name="flaky")
+        event.defused = True
+        event.fail(RuntimeError("boom"))
+        kernel.run()
+        event.reset()
+        assert event.exception is None
+        assert not event.defused
+        event.succeed(42)
+        kernel.run()
+        assert event.value == 42
+
+    def test_reset_event_reusable_by_waiting_process(self, kernel):
+        """The parked-event pattern: one waiter re-arms the same event
+        across wait cycles instead of allocating per cycle."""
+        event = kernel.event(name="parked")
+        wakes = []
+
+        def waiter(k):
+            for _ in range(3):
+                if event.processed:
+                    event.reset()
+                yield event
+                wakes.append(k.now)
+
+        kernel.process(waiter(kernel))
+        for at in (1.0, 2.0, 3.0):
+            kernel.call_later(at, lambda: event.succeed())
+        kernel.run()
+        assert wakes == [1.0, 2.0, 3.0]

@@ -371,3 +371,104 @@ class TestStreamSocket:
 
         kernel.call_later(0.5, listener.close)
         assert kernel.run_process(server(kernel)) == "closed"
+
+
+class TestDrainedWait:
+    """The reusable drain barrier (`drained_wait`) behind batched senders."""
+
+    def test_barrier_equivalent_to_drained_event(self, kernel, lan, net_costs):
+        """`yield from drained_wait()` releases at the same simulated time
+        as the legacy one-shot `yield drained()` event."""
+        times = {}
+        for port, variant in ((80, "event"), (81, "generator")):
+            kernel.process(echo_server(lan[2], net_costs, port)(kernel))
+
+            def client(k, port=port, variant=variant):
+                stream = yield StreamSocket.connect(
+                    lan[1], net_costs, lan[2].address, port
+                )
+                start = k.now
+                for index in range(10):
+                    stream.send(index, 500)
+                if variant == "event":
+                    yield stream.drained()
+                else:
+                    yield from stream.drained_wait()
+                elapsed = k.now - start
+                stream.close()
+                return elapsed
+
+            times[variant] = kernel.run_process(client(kernel))
+        assert times["generator"] == pytest.approx(times["event"])
+
+    def test_returns_immediately_when_already_drained(self, kernel, lan, net_costs):
+        _, a, b = lan
+        kernel.process(echo_server(b, net_costs, 80)(kernel))
+
+        def client(k):
+            stream = yield StreamSocket.connect(a, net_costs, b.address, 80)
+            # Nothing queued: the generator finishes without yielding.
+            steps = list(stream.drained_wait())
+            stream.close()
+            return steps
+
+        assert kernel.run_process(client(kernel)) == []
+
+    def test_parks_on_one_reused_event_across_waits(self, kernel, lan, net_costs):
+        _, a, b = lan
+        kernel.process(echo_server(b, net_costs, 80)(kernel))
+
+        def client(k):
+            stream = yield StreamSocket.connect(a, net_costs, b.address, 80)
+            parked = []
+            for index in range(3):
+                stream.send(index, 800)
+                yield from stream.drained_wait()
+                parked.append(stream._drained_parked)
+            stream.close()
+            return parked
+
+        parked = kernel.run_process(client(kernel))
+        assert parked[0] is not None
+        # One event object serviced every wait cycle.
+        assert parked[0] is parked[1] is parked[2]
+
+    def test_raises_connection_closed_when_stream_dies(self, kernel, lan, net_costs):
+        _, a, b = lan
+
+        def server(k):
+            listener = StreamListener(b, net_costs, 80)
+            stream = yield listener.accept()
+            yield k.timeout(0.05)
+            stream.abort()  # hard reset while the client is draining
+
+        def client(k):
+            stream = yield StreamSocket.connect(a, net_costs, b.address, 80)
+            for index in range(50):
+                stream.send(index, 1400)
+            try:
+                yield from stream.drained_wait()
+            except ConnectionClosed:
+                return "failed"
+            return "drained"
+
+        kernel.process(server(kernel))
+        assert kernel.run_process(client(kernel)) == "failed"
+
+    def test_batch_budget_counts_segments(self, kernel, lan, net_costs):
+        _, a, b = lan
+        kernel.process(echo_server(b, net_costs, 80)(kernel))
+
+        def client(k):
+            stream = yield StreamSocket.connect(a, net_costs, b.address, 80)
+            mss = net_costs.mtu_bytes - net_costs.tcp_header_bytes
+            budgets = (
+                stream.batch_budget(1),
+                stream.batch_budget(mss),
+                stream.batch_budget(mss + 1),
+                stream.batch_budget(10 * mss),
+            )
+            stream.close()
+            return budgets
+
+        assert kernel.run_process(client(kernel)) == (1, 1, 2, 10)
