@@ -22,6 +22,8 @@ This package implements the intermediary semantic space of Section 3:
   future work, implemented here as an extension).
 - :mod:`repro.core.journal` -- write-ahead journal and crash-consistent
   cold-restart recovery (durability extension).
+- :mod:`repro.core.shard` -- sharded directory: rendezvous-hashed namespace
+  partitions with interest-scoped gossip (federation-scale extension).
 - :mod:`repro.core.runtime` -- the uMiddle runtime hosting all of the above
   on a simulated network node.
 """
@@ -58,6 +60,7 @@ from repro.core.ports import DigitalInputPort, DigitalOutputPort, PhysicalPort
 from repro.core.translator import GenericTranslator, NativeHandle, Translator
 from repro.core.mapper import Mapper
 from repro.core.qos import DropPolicy, QosPolicy, TokenBucket
+from repro.core.shard import ShardMap, ShardRouter, ShardStore, shard_fabric
 from repro.core.runtime import UMiddleRuntime
 
 __all__ = [
@@ -100,5 +103,9 @@ __all__ = [
     "Journal",
     "RecoveredState",
     "durable_media",
+    "ShardMap",
+    "ShardRouter",
+    "ShardStore",
+    "shard_fabric",
     "UMiddleRuntime",
 ]

@@ -231,7 +231,21 @@ class Directory:
         :meth:`Query.matches` runs only on the candidates.  Queries with no
         indexable criterion (empty, or name/attributes only) fall back to
         the linear scan.
+
+        With sharding active the flat replica does not exist; the lookup
+        is routed to the owning shard(s) by the
+        :class:`~repro.core.shard.ShardRouter` (which overlays this
+        directory's local view on the routed result).
         """
+        router = self.runtime.shards
+        if router.enabled and router.active:
+            return router.lookup(query)
+        return self.lookup_local(query)
+
+    def lookup_local(self, query: Query) -> List[TranslatorProfile]:
+        """The indexed lookup over this directory's own entry table only
+        (local translators plus whatever gossip/interest deltas fed it) --
+        the non-routed path, and the local overlay under sharding."""
         keys = query.index_keys()
         if not keys:
             return self.lookup_linear(query)
@@ -313,6 +327,9 @@ class Directory:
         subscription = _QuerySubscription(query, listener, route_key, self._sub_seq)
         self._subscribed[listener] = subscription
         self._subscriptions.setdefault(route_key, []).append(subscription)
+        # Under sharding, events for this key originate at the key's owner:
+        # register our interest there so its deltas reach this directory.
+        self.runtime.shards.subscribe_routed(route_key)
 
     def unsubscribe_query(self, listener: DirectoryListener) -> None:
         subscription = self._subscribed.pop(listener, None)
@@ -323,8 +340,17 @@ class Directory:
             bucket.remove(subscription)
             if not bucket:
                 del self._subscriptions[subscription.route_key]
+        self.runtime.shards.unsubscribe_routed(subscription.route_key)
 
     # -- local registration ---------------------------------------------------------
+
+    @property
+    def _sharded(self) -> bool:
+        """True while the runtime's shard router is routing this directory:
+        profile gossip is suppressed (placement and interest deltas carry
+        the state instead) and lookups are routed."""
+        router = self.runtime.shards
+        return router.enabled and router.active
 
     def register(self, profile: TranslatorProfile) -> None:
         if profile.translator_id in self._entries:
@@ -332,7 +358,9 @@ class Directory:
         self._store_entry(profile, local=True, now=self.runtime.kernel.now)
         self._bump_version()
         self._notify_added(profile)
-        if self.started:
+        if self._sharded:
+            self.runtime.shards.local_registered(profile)
+        elif self.started:
             self._announce(profiles=[profile])
 
     def unregister(self, translator_id: str) -> None:
@@ -341,7 +369,9 @@ class Directory:
             raise DirectoryError(f"unknown translator id {translator_id!r}")
         self._bump_version()
         self._notify_removed(entry.profile)
-        if self.started:
+        if self._sharded:
+            self.runtime.shards.local_unregistered(entry.profile)
+        elif self.started:
             self._announce(removed=[translator_id])
 
     def update_local_health(self, translator_id: str, health: str) -> None:
@@ -363,7 +393,11 @@ class Directory:
         self._swap_profile(entry, new)
         self._bump_version()
         self._notify_changed(new, old)
-        if self.started:
+        if self._sharded:
+            # Re-place with the new health: owners swap in place and stream
+            # the change to interested subscribers.
+            self.runtime.shards.local_registered(new)
+        elif self.started:
             self._announce(changed=[new])
 
     # -- cold restart (journal recovery) -----------------------------------------------
@@ -435,6 +469,34 @@ class Directory:
             )
         return entry
 
+    def _store_entries_bulk(
+        self, profiles: List[TranslatorProfile], now: float
+    ) -> None:
+        """Admit a batch of brand-new remote entries with index inserts
+        amortized per key: ids accumulate per coarse key across the whole
+        batch and land in each bucket with one ``set.update`` -- the
+        full-state-apply path's replacement for per-profile
+        :meth:`_store_entry` calls."""
+        per_key: Dict[_IndexKey, List[str]] = {}
+        for profile in profiles:
+            self._entry_seq += 1
+            self._entries[profile.translator_id] = _Entry(
+                profile, local=False, last_seen=now, seq=self._entry_seq
+            )
+            if profile.health != "healthy":
+                self._unhealthy_entries += 1
+            for key in profile.index_keys():
+                per_key.setdefault(key, []).append(profile.translator_id)
+            self._by_runtime.setdefault(profile.runtime_id, set()).add(
+                profile.translator_id
+            )
+        for key, ids in per_key.items():
+            bucket = self._index.get(key)
+            if bucket is None:
+                self._index[key] = set(ids)
+            else:
+                bucket.update(ids)
+
     def _drop_entry(self, translator_id: str) -> Optional[_Entry]:
         entry = self._entries.pop(translator_id, None)
         if entry is None:
@@ -455,9 +517,20 @@ class Directory:
                     del self._by_runtime[entry.profile.runtime_id]
         return entry
 
-    def check_index_consistency(self) -> None:
-        """Assert the inverted index and per-runtime grouping exactly
-        mirror ``_entries`` (used by tests after churn)."""
+    def check_index_consistency(self) -> Dict[str, dict]:
+        """Verify the inverted index, per-runtime grouping and unhealthy
+        counter exactly mirror ``_entries`` (used by tests after churn).
+
+        Raises :class:`DirectoryError` on divergence -- a real exception,
+        not ``assert``, so the invariant survives ``python -O``.  The
+        raised error carries a structured ``diff`` attribute (also the
+        return value when consistent: an empty dict) mapping each diverged
+        aspect to the exact keys and ids involved::
+
+            {"index": {(axis, value): {"missing": [...], "spurious": [...]}},
+             "by_runtime": {runtime_id: {"missing": [...], "spurious": [...]}},
+             "unhealthy": {"expected": n, "recorded": m}}
+        """
         expected_index: Dict[_IndexKey, Set[str]] = {}
         expected_by_runtime: Dict[str, Set[str]] = {}
         for translator_id, entry in self._entries.items():
@@ -467,14 +540,51 @@ class Directory:
                 expected_by_runtime.setdefault(entry.profile.runtime_id, set()).add(
                     translator_id
                 )
-        assert expected_index == self._index, "inverted index diverged from entries"
-        assert expected_by_runtime == self._by_runtime, "by-runtime grouping diverged"
+        diff: Dict[str, dict] = {}
+        if expected_index != self._index:
+            diff["index"] = self._divergent_keys(expected_index, self._index)
+        if expected_by_runtime != self._by_runtime:
+            diff["by_runtime"] = self._divergent_keys(
+                expected_by_runtime, self._by_runtime
+            )
         unhealthy = sum(
             1
             for entry in self._entries.values()
             if entry.profile.health != "healthy"
         )
-        assert unhealthy == self._unhealthy_entries, "unhealthy counter diverged"
+        if unhealthy != self._unhealthy_entries:
+            diff["unhealthy"] = {
+                "expected": unhealthy,
+                "recorded": self._unhealthy_entries,
+            }
+        if diff:
+            summary = ", ".join(
+                f"{aspect}: {len(detail)} divergent key(s)"
+                if aspect != "unhealthy"
+                else f"unhealthy counter {detail['recorded']} != {detail['expected']}"
+                for aspect, detail in diff.items()
+            )
+            error = DirectoryError(
+                f"directory index diverged from entries ({summary})"
+            )
+            error.diff = diff
+            raise error
+        return diff
+
+    @staticmethod
+    def _divergent_keys(expected: Dict, actual: Dict) -> Dict:
+        """Per-key missing/spurious ids for two key->set-of-ids mappings,
+        restricted to the keys that actually differ."""
+        divergent = {}
+        for key in set(expected) | set(actual):
+            want = expected.get(key, set())
+            have = actual.get(key, set())
+            if want != have:
+                divergent[key] = {
+                    "missing": sorted(want - have),
+                    "spurious": sorted(have - want),
+                }
+        return divergent
 
     def _swap_profile(self, entry: _Entry, profile: TranslatorProfile) -> None:
         """Replace an entry's profile in place for a health-only change.
@@ -517,6 +627,8 @@ class Directory:
                 reaped=reaped,
             )
             self.runtime.health.note_runtime_expired(runtime_id)
+            self.runtime.shards.origin_lost(runtime_id)
+            self.runtime.shards.membership_changed()
 
     def forget_remote(self) -> None:
         """Drop every soft-state entry learned from peers (crash semantics:
@@ -573,18 +685,20 @@ class Directory:
         return targets
 
     def _notify_added(self, profile: TranslatorProfile) -> None:
-        self.runtime.trace(
-            "directory.added", f"{profile.translator_id} ({profile.name})"
-        )
+        if self.runtime.tracing:
+            self.runtime.trace(
+                "directory.added", f"{profile.translator_id} ({profile.name})"
+            )
         for listener in list(self._listeners):
             listener.translator_added(profile)
         for subscription in self._subscribers_for(profile):
             subscription.listener.translator_added(profile)
 
     def _notify_removed(self, profile: TranslatorProfile) -> None:
-        self.runtime.trace(
-            "directory.removed", f"{profile.translator_id} ({profile.name})"
-        )
+        if self.runtime.tracing:
+            self.runtime.trace(
+                "directory.removed", f"{profile.translator_id} ({profile.name})"
+            )
         for listener in list(self._listeners):
             listener.translator_removed(profile)
         for subscription in self._subscribers_for(profile):
@@ -593,10 +707,11 @@ class Directory:
     def _notify_changed(
         self, profile: TranslatorProfile, previous: TranslatorProfile
     ) -> None:
-        self.runtime.trace(
-            "directory.changed",
-            f"{profile.translator_id} health={profile.health}",
-        )
+        if self.runtime.tracing:
+            self.runtime.trace(
+                "directory.changed",
+                f"{profile.translator_id} health={profile.health}",
+            )
         for listener in list(self._listeners):
             listener.translator_changed(profile, previous)
         for subscription in self._subscribers_for(profile):
@@ -613,6 +728,12 @@ class Directory:
 
     def state_digest(self) -> str:
         """Digest of the full local state (the translators we own)."""
+        if self._sharded:
+            # Profiles never ride announcements under sharding (placement
+            # and interest deltas carry them), so the digest handshake has
+            # nothing to compare: a constant keeps heartbeat receivers from
+            # pulling full transfers forever.
+            return "sharded"
         if self._digest_cache is None:
             hasher = hashlib.sha1()
             for translator_id, entry in sorted(self._entries.items()):
@@ -643,6 +764,10 @@ class Directory:
             "version": self._version,
             "digest": self.state_digest(),
             "profiles": [p.to_dict() for p in profiles],
+            # Sender-cached content digests, parallel to "profiles": the
+            # receiver's from_dict interns by digest without recomputing
+            # canonical JSON + SHA-1 per profile (the cold-apply hotspot).
+            "digests": [p.wire_digest for p in profiles],
             "removed": list(removed),
         }
         if changed:
@@ -673,7 +798,16 @@ class Directory:
         profiles = profiles if profiles is not None else []
         removed = removed or []
         changed = changed or []
-        if full:
+        if self._sharded:
+            # Announcements shrink to membership heartbeats: presence,
+            # addresses and lease refresh stay global, profile state moves
+            # only through shard placement and interest-scoped deltas.  The
+            # ``full`` flag still rides so the digest handshake settles
+            # (the constant "sharded" digest then suppresses re-pulls).
+            profiles = []
+            removed = []
+            changed = []
+        elif full:
             profiles = self._local_profiles()
         payload = self._announcement(profiles, removed, full, heartbeat, changed)
         size = self._estimate_size(profiles, removed, changed)
@@ -710,12 +844,18 @@ class Directory:
         while socket is not None and not socket.closed:
             yield kernel.timeout(SWEEP_INTERVAL)
             deadline = kernel.now - LEASE
+            lost_any = False
             for runtime_id, info in list(self._runtimes.items()):
                 if info.last_seen < deadline:
                     del self._runtimes[runtime_id]
                     self._forget_peer_state(runtime_id, info)
                     self.runtime.trace("directory.runtime-lost", runtime_id)
                     self.runtime.health.note_runtime_expired(runtime_id)
+                    self.runtime.shards.origin_lost(runtime_id)
+                    lost_any = True
+            if lost_any:
+                self.runtime.shards.membership_changed()
+            self.runtime.shards.sweep()
             for translator_id, entry in list(self._entries.items()):
                 if entry.local:
                     continue
@@ -752,6 +892,14 @@ class Directory:
                         full=True,
                         to=[(Address(origin["address"]), origin["directory_port"])],
                     )
+                continue
+            if isinstance(kind, str) and kind.startswith("umiddle-shard-"):
+                work = len(payload.get("profiles", ())) + len(
+                    payload.get("removed", ())
+                )
+                if work:
+                    yield kernel.timeout(per_entry * work)
+                self.runtime.shards.handle(payload)
                 continue
             if kind != "umiddle-directory":
                 continue
@@ -828,18 +976,44 @@ class Directory:
             # Teach late joiners our state in one RTT instead of making
             # them wait for our next heartbeat + request round-trip.
             self._announce(full=True, to=[(address, directory_port)])
+        if newcomer:
+            # A membership change moves shard ownership: rebalance, re-push
+            # local placements, re-route standing-query interest.
+            self.runtime.shards.membership_changed()
+
+    def apply_shard_delta(
+        self, runtime_id: str, profiles_data, digests, removed
+    ) -> None:
+        """Apply one interest-scoped delta from a shard owner: added/changed
+        profiles feed the local entry table (so standing queries and
+        listeners fire exactly as under flat gossip), removals drop them.
+        Never treated as a full state: a shard owner only ever speaks for
+        the keys we subscribed to."""
+        payload = {"profiles": list(profiles_data), "removed": list(removed)}
+        if digests:
+            payload["digests"] = list(digests)
+        self._apply_profiles(
+            payload, runtime_id, self.runtime.kernel.now, full=False
+        )
 
     def _apply_profiles(
         self, payload: dict, runtime_id: str, now: float, full: bool
     ) -> None:
         mentioned = set()
-        for data in payload["profiles"]:
-            profile = TranslatorProfile.from_dict(data)
+        digests = payload.get("digests")
+        if digests is not None and len(digests) != len(payload["profiles"]):
+            digests = None  # malformed pairing: fall back to recomputing
+        fresh: List[TranslatorProfile] = []
+        for position, data in enumerate(payload["profiles"]):
+            profile = TranslatorProfile.from_dict(
+                data, digest=digests[position] if digests else None
+            )
             mentioned.add(profile.translator_id)
             existing = self._entries.get(profile.translator_id)
             if existing is None:
-                self._store_entry(profile, local=False, now=now)
-                self._notify_added(profile)
+                # Brand-new entries batch: one bulk index insert after the
+                # loop instead of per-profile set churn (cold-apply cost).
+                fresh.append(profile)
             elif not existing.local:
                 if existing.profile is not profile and existing.profile != profile:
                     old = existing.profile
@@ -859,6 +1033,11 @@ class Directory:
                         self._notify_added(profile)
                 else:
                     existing.last_seen = now
+
+        if fresh:
+            self._store_entries_bulk(fresh, now)
+            for profile in fresh:
+                self._notify_added(profile)
 
         for data in payload.get("changed", ()):
             profile = TranslatorProfile.from_dict(data)
@@ -888,9 +1067,11 @@ class Directory:
                 self._drop_entry(translator_id)
                 self._notify_removed(entry.profile)
 
-        if full:
+        if full and not self._sharded:
             # Entries claimed by this runtime but absent from its full state
-            # are gone.
+            # are gone.  (Under sharding, full announcements are empty
+            # membership handshakes while our entries for that runtime are
+            # interest-fed by shard owners -- never prune them here.)
             stale = [
                 translator_id
                 for translator_id in self._by_runtime.get(runtime_id, ())

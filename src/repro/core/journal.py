@@ -204,6 +204,11 @@ class RecoveredState:
     stream_seqs: Dict[str, int] = field(default_factory=dict)
     #: peer runtime_id -> last breaker snapshot ({"state", "times_opened"}).
     breakers: Dict[str, dict] = field(default_factory=dict)
+    #: translator_id -> {"profile": wire dict, "shards": [shard ids]} for
+    #: profiles stored on this node's owned shards (sharded directory).
+    shard_entries: Dict[str, dict] = field(default_factory=dict)
+    #: shard ids this node owned at its last ownership transition.
+    shard_owned: List[int] = field(default_factory=list)
     applied_records: int = 0
     discarded_bytes: int = 0
 
@@ -411,7 +416,7 @@ class Journal:
 
     def _checkpoint_data(self) -> dict:
         mirror = self._mirror
-        return {
+        data = {
             "registered": mirror.registered,
             "bindings": mirror.bindings,
             "paths": mirror.paths,
@@ -422,6 +427,13 @@ class Journal:
             "stream_seqs": mirror.stream_seqs,
             "breakers": mirror.breakers,
         }
+        # Shard fields ride the checkpoint only when sharding ever wrote
+        # them, so non-sharded checkpoints stay byte-identical.
+        if mirror.shard_entries:
+            data["shard_entries"] = mirror.shard_entries
+        if mirror.shard_owned:
+            data["shard_owned"] = mirror.shard_owned
+        return data
 
     def _flush_timer(self) -> None:
         self._flush_scheduled = False
@@ -520,6 +532,25 @@ class Journal:
             state.stream_seqs[stream] = max(
                 state.stream_seqs.get(stream, 0), int(data["upto"])
             )
+        elif kind == "shard-store":
+            profile = data["profile"]
+            state.shard_entries[profile["translator_id"]] = {
+                "profile": dict(profile),
+                "shards": list(data["shards"]),
+            }
+        elif kind == "shard-remove":
+            state.shard_entries.pop(data["translator_id"], None)
+        elif kind == "shard-drop":
+            dropped = set(data["shards"])
+            for translator_id in list(state.shard_entries):
+                entry = state.shard_entries[translator_id]
+                remaining = [s for s in entry["shards"] if s not in dropped]
+                if remaining:
+                    entry["shards"] = remaining
+                else:
+                    del state.shard_entries[translator_id]
+        elif kind == "shard-own":
+            state.shard_owned = list(data["owned"])
         elif kind == "checkpoint":
             state.registered = {
                 key: dict(value) for key, value in data["registered"].items()
@@ -534,6 +565,14 @@ class Journal:
                 key: int(value) for key, value in data["stream_seqs"].items()
             }
             state.breakers = dict(data["breakers"])
+            state.shard_entries = {
+                key: {
+                    "profile": dict(value["profile"]),
+                    "shards": list(value["shards"]),
+                }
+                for key, value in data.get("shard_entries", {}).items()
+            }
+            state.shard_owned = list(data.get("shard_owned", ()))
         elif kind == "breaker":
             if data.get("state") == "closed":
                 state.breakers.pop(data["peer"], None)

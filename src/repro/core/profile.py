@@ -136,8 +136,19 @@ class TranslatorProfile:
         return cached
 
     @classmethod
-    def from_dict(cls, data: Dict[str, Any]) -> "TranslatorProfile":
-        digest = _canonical_digest(data)
+    def from_dict(
+        cls, data: Dict[str, Any], digest: str = None
+    ) -> "TranslatorProfile":
+        """Reconstruct (or intern-share) a profile from its wire form.
+
+        ``digest`` lets senders that already know the content digest (it is
+        cached on their instance and shipped alongside the wire form) skip
+        the canonical-JSON + SHA-1 recompute here -- the dominant cost of a
+        cold full-state apply.  A wrong digest would alias a different
+        profile, so only pass digests produced by :attr:`wire_digest`.
+        """
+        if digest is None:
+            digest = _canonical_digest(data)
         interned = _INTERNED.get(digest)
         if interned is not None:
             return interned

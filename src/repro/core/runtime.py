@@ -24,6 +24,7 @@ from repro.core.ports import DigitalInputPort, DigitalOutputPort
 from repro.core.profile import PortRef, TranslatorProfile
 from repro.core.qos import QosPolicy
 from repro.core.query import Query
+from repro.core.shard import DEFAULT_SHARD_COUNT, ShardRouter
 from repro.core.translator import Translator
 from repro.core.transport import MessagePath, RemotePathHandle, Transport
 from repro.simnet.kernel import Kernel
@@ -56,6 +57,8 @@ class UMiddleRuntime:
         journal_enabled: bool = True,
         fsync_interval: float = 0.0,
         batching_enabled: bool = False,
+        sharding_enabled: bool = False,
+        shard_count: int = DEFAULT_SHARD_COUNT,
     ):
         self.node = node
         self.kernel: Kernel = node.network.kernel
@@ -87,6 +90,14 @@ class UMiddleRuntime:
         #: sender reproduces the pre-batching wire and journal behavior
         #: byte for byte.
         self.batching_enabled = batching_enabled
+        #: Sharded directory: the namespace is rendezvous-partitioned over
+        #: the federation instead of fully replicated on every node.  Off
+        #: by default -- the flat replica reproduces the pre-sharding
+        #: directory byte for byte.  All runtimes of one federation must
+        #: agree on the flag and on ``shard_count``.
+        self.shards = ShardRouter(
+            self, enabled=sharding_enabled, shard_count=shard_count
+        )
         self.directory = Directory(self, port=directory_port)
         self.transport = Transport(self, port=transport_port)
         self.mappers: List = []
@@ -106,6 +117,7 @@ class UMiddleRuntime:
     def start(self) -> None:
         self.transport.start()
         self.directory.start()
+        self.shards.start()
 
     def shutdown(self) -> None:
         """Stop mappers, unregister translators, close sockets."""
@@ -113,6 +125,7 @@ class UMiddleRuntime:
             mapper.stop()
         for translator in list(self.translators.values()):
             self.unregister_translator(translator)
+        self.shards.deactivate()
         self.transport.stop()
         self.directory.stop()
 
@@ -142,6 +155,7 @@ class UMiddleRuntime:
         self.journal.muted = True
         for mapper in list(self.mappers):
             mapper.suspend()
+        self.shards.deactivate()
         self.transport.stop(graceful=False)
         self.directory.stop()
         self.directory.forget_remote()
@@ -153,6 +167,7 @@ class UMiddleRuntime:
             self._bindings.clear()
             self.directory.discard_local()
             self.transport.discard_state()
+            self.shards.discard_state()
             self.trace("runtime.crash", "crashed (in-memory state lost)")
         else:
             self.trace("runtime.crash", "crashed")
@@ -173,6 +188,7 @@ class UMiddleRuntime:
             self.journal.append("path-close", {"path_id": path_id})
         self.transport.start()
         self.directory.start()
+        self.shards.start()
         for mapper in list(self.mappers):
             mapper.resume()
         for binding in list(self._bindings):
@@ -218,9 +234,11 @@ class UMiddleRuntime:
         for data in state.registered.values():
             self.directory.recover_local(TranslatorProfile.from_dict(data))
         self.transport.recover(state)
+        self.shards.recover(state)
         self.journal.muted = False
         self.transport.start()
         self.directory.start()
+        self.shards.start()
         for mapper in list(self.mappers):
             mapper.resume()
         for binding_id, data in state.bindings.items():
@@ -252,7 +270,8 @@ class UMiddleRuntime:
             f"cold restart from {state.applied_records} journal record(s): "
             f"{len(state.registered)} translator(s), "
             f"{len(state.bindings)} binding(s), {len(state.paths)} path(s), "
-            f"{sum(len(v) for v in state.spool.values())} spooled envelope(s)",
+            f"{sum(len(v) for v in state.spool.values())} spooled envelope(s), "
+            f"{len(state.shard_entries)} shard-stored profile(s)",
         )
 
     def _recover_port(

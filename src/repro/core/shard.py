@@ -1,0 +1,1204 @@
+"""Sharded directory: rendezvous-hashed namespace partitions.
+
+The flat directory (design choice 2-b's aggregated intermediary space)
+gives every runtime a full gossiped replica: per-node memory and the cold
+full-state apply grow linearly with the federation, which caps the
+millions-of-users trajectory.  This module partitions the namespace
+instead, the registry-federation step of the SOA-coordination literature:
+
+- **ShardMap** -- the coarse ``(axis, value)`` discovery keys (from
+  :meth:`TranslatorProfile.index_keys` / :meth:`Query.index_keys`) hash
+  onto a fixed ring of *virtual shards*; shards are assigned to live
+  runtimes by rendezvous (highest-random-weight) hashing, so every node
+  computes the identical assignment from the identical membership view,
+  and a join or leave moves only the shards the membership change
+  actually touches.
+- **ShardStore** -- the authoritative per-owner state: profiles stored
+  under every owned shard their keys hash to, with a store-local inverted
+  index so routed lookups stay sub-linear inside a shard.
+- **ShardRouter** -- the routing layer between the runtime and its
+  directory.  Registrations are *placed* on the owners of the profile's
+  key shards (the origin re-pushes on every membership change, so
+  placement is self-healing soft state).  Lookups route to the owner of
+  the query's first index key -- the closure property guarantees that any
+  matching profile carries every query key, so one key's owner holds the
+  full candidate set -- with a TTL cache of hot key buckets and a
+  fan-out + merge path for queries with no indexable key.  Standing
+  queries register *interest* at the owner, and the owner streams
+  per-shard deltas only to interested peers: gossip volume follows the
+  subscription set, not the federation size.
+
+Simulation note: placement, subscription and delta traffic ride real
+simulated datagrams on the directory port.  Routed *lookups* are modeled
+as synchronous RPCs -- the router calls the owner's in-process store
+directly (the sim kernel cannot block a synchronous ``lookup()`` call on
+a network round-trip) and accounts the traffic in counters
+(``routed_lookups``, ``bucket_bytes_served``) instead of on the wire.
+
+Durability: every owner-side store mutation and ownership transition is
+journaled (``shard-store``/``shard-remove``/``shard-drop``/``shard-own``
+records), so :meth:`UMiddleRuntime.recover` rebuilds a crashed owner's
+shards byte-equivalently from the write-ahead log.
+
+The whole layer is gated on ``UMiddleRuntime(sharding_enabled=...)``;
+off (the default) reproduces the flat-replica directory byte for byte.
+All runtimes of one federation must agree on the switch and on
+``shard_count``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    TYPE_CHECKING,
+)
+
+from repro.core.profile import TranslatorProfile
+from repro.core.query import Query
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.directory import Directory
+    from repro.core.journal import RecoveredState
+    from repro.core.runtime import UMiddleRuntime
+    from repro.simnet.net import Network
+
+__all__ = [
+    "DEFAULT_SHARD_COUNT",
+    "CACHE_TTL",
+    "KEY_SPLIT",
+    "placement_salt",
+    "ShardMap",
+    "ShardStore",
+    "ShardRouter",
+    "ShardFabric",
+    "shard_fabric",
+    "shard_of_key",
+]
+
+#: Number of virtual shards on the ring.  Must exceed the expected node
+#: count for balance (each node owns ``shard_count / nodes`` shards); all
+#: runtimes of a federation must use the same value.
+DEFAULT_SHARD_COUNT = 128
+
+#: Seconds (simulated) a routed hot-key bucket may be served from the
+#: local cache before the owner is consulted again.
+CACHE_TTL = 2.0
+
+#: Hot-key split factor.  Low-cardinality axes produce pathologically hot
+#: keys -- every profile with a digital port carries the universal
+#: ``*/*`` mime pattern, so without splitting, that key's single owner
+#: would store the entire federation.  Each key is therefore spread over
+#: ``KEY_SPLIT`` salted sub-shards: a profile is *written* to exactly one
+#: of them (salted by its translator id, so placement volume is
+#: unchanged) while a keyed lookup *reads* all of them and merges.  All
+#: runtimes of a federation must use the same value.
+KEY_SPLIT = 32
+
+_IndexKey = Tuple[str, str]
+_M64 = (1 << 64) - 1
+
+
+def shard_of_key(key: _IndexKey, shard_count: int, salt: int = 0) -> int:
+    """Stable shard of one coarse ``(axis, value)`` key sub-sharded by
+    ``salt`` (a writer uses its profile's placement salt; readers walk
+    every salt in ``range(KEY_SPLIT)``)."""
+    digest = hashlib.sha1(
+        f"{key[0]}\x00{key[1]}\x00{salt}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") % shard_count
+
+
+_placement_salts: Dict[str, int] = {}
+
+
+def placement_salt(translator_id: str) -> int:
+    """The sub-shard salt a profile's placements are written under."""
+    salt = _placement_salts.get(translator_id)
+    if salt is None:
+        digest = hashlib.sha1(translator_id.encode("utf-8")).digest()
+        salt = int.from_bytes(digest[:4], "big") % KEY_SPLIT
+        if len(_placement_salts) > 65536:
+            _placement_salts.clear()
+        _placement_salts[translator_id] = salt
+    return salt
+
+
+_member_seeds: Dict[str, int] = {}
+
+
+def _member_seed(member: str) -> int:
+    seed = _member_seeds.get(member)
+    if seed is None:
+        seed = int.from_bytes(
+            hashlib.sha1(member.encode("utf-8")).digest()[:8], "big"
+        )
+        if len(_member_seeds) > 4096:
+            _member_seeds.clear()
+        _member_seeds[member] = seed
+    return seed
+
+
+def _weight(seed: int, shard: int) -> int:
+    """Rendezvous weight of (member, shard): a splitmix64 mix of the
+    member's hash seed and the shard number -- deterministic across
+    processes and fast enough for full-table rebuilds in pure Python."""
+    x = (seed ^ (shard * 0x9E3779B97F4A7C15)) & _M64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _M64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _M64
+    return x ^ (x >> 31)
+
+
+#: Owner tables keyed by (member tuple, shard count).  Every router of a
+#: converged federation asks for the identical table, so the rendezvous
+#: sweep runs once per membership view per process.
+_TABLE_CACHE: Dict[Tuple[Tuple[str, ...], int], Tuple[str, ...]] = {}
+
+
+def _owner_table(members: Tuple[str, ...], shard_count: int) -> Tuple[str, ...]:
+    cache_key = (members, shard_count)
+    table = _TABLE_CACHE.get(cache_key)
+    if table is None:
+        seeds = [(_member_seed(member), member) for member in members]
+        table = tuple(
+            max(seeds, key=lambda pair: _weight(pair[0], shard))[1]
+            for shard in range(shard_count)
+        )
+        if len(_TABLE_CACHE) > 64:
+            _TABLE_CACHE.clear()
+        _TABLE_CACHE[cache_key] = table
+    return table
+
+
+class ShardMap:
+    """The deterministic shard -> owner assignment for one membership view.
+
+    Rendezvous hashing gives both properties the directory needs without
+    any coordination: every node with the same membership view computes
+    the same owner for every shard, and changing the membership by one
+    node only moves the shards whose argmax that node is (minimal
+    disruption on join/leave/crash).
+    """
+
+    def __init__(self, shard_count: int = DEFAULT_SHARD_COUNT):
+        if shard_count <= 0:
+            raise ValueError(f"shard_count must be positive, got {shard_count}")
+        self.shard_count = shard_count
+        self.members: Tuple[str, ...] = ()
+        self.version = 0
+        self._table: Tuple[str, ...] = ()
+
+    def rebuild(self, members: Iterable[str]) -> bool:
+        """Recompute the assignment; True when the view actually changed."""
+        ordered = tuple(sorted(set(members)))
+        if ordered == self.members:
+            return False
+        self.members = ordered
+        self.version += 1
+        self._table = _owner_table(ordered, self.shard_count) if ordered else ()
+        return True
+
+    def owner(self, shard: int) -> Optional[str]:
+        if not self._table:
+            return None
+        return self._table[shard]
+
+    def owners_ranked(self, shard: int) -> List[str]:
+        """Members by descending rendezvous weight (deterministic failover
+        order while a membership change is still propagating)."""
+        return sorted(
+            self.members,
+            key=lambda member: _weight(_member_seed(member), shard),
+            reverse=True,
+        )
+
+    def owned_by(self, member: str) -> FrozenSet[int]:
+        return frozenset(
+            shard for shard, owner in enumerate(self._table) if owner == member
+        )
+
+
+class ShardStore:
+    """One owner's authoritative slice of the namespace.
+
+    Profiles are stored under every owned shard their keys hash to; a
+    store-wide inverted index keeps routed lookups sub-linear.  The
+    store-wide index is sound for routed queries: a query routed here by
+    key *k* only ever arrives because this node owns ``shard(k)``, and
+    every profile carrying *k* is placed on that shard's owner, so the
+    index holds the full candidate set for *k*.
+    """
+
+    def __init__(self):
+        #: translator_id -> profile (one instance however many shards).
+        self._profiles: Dict[str, TranslatorProfile] = {}
+        #: translator_id -> shards this profile is stored under here.
+        self._placements: Dict[str, Set[int]] = {}
+        #: shard -> translator ids stored under it.
+        self._shards: Dict[int, Set[str]] = {}
+        #: store-wide inverted index over the profiles' coarse keys.
+        self._index: Dict[_IndexKey, Set[str]] = {}
+        #: origin runtime_id -> translator ids (lease reaping by origin).
+        self._by_origin: Dict[str, Set[str]] = {}
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def profile_count(self) -> int:
+        return len(self._profiles)
+
+    @property
+    def posting_count(self) -> int:
+        """Index postings held (the per-node memory the benchmark tracks)."""
+        return sum(len(bucket) for bucket in self._index.values())
+
+    def estimated_bytes(self) -> int:
+        return sum(p.estimated_size() for p in self._profiles.values())
+
+    def origins(self) -> Set[str]:
+        return set(self._by_origin)
+
+    def tids_of_origin(self, origin: str) -> List[str]:
+        return list(self._by_origin.get(origin, ()))
+
+    def stored_shards(self) -> List[int]:
+        """Every shard with at least one placement here."""
+        return list(self._shards)
+
+    def placements_of(self, translator_id: str) -> Tuple[int, ...]:
+        return tuple(sorted(self._placements.get(translator_id, ())))
+
+    def snapshot(self) -> Dict[str, dict]:
+        """Canonical JSON-serializable content (recovery equivalence)."""
+        return {
+            tid: {
+                "profile": self._profiles[tid].to_dict(),
+                "shards": sorted(self._placements[tid]),
+            }
+            for tid in sorted(self._profiles)
+        }
+
+    # -- mutation ----------------------------------------------------------
+
+    def store(
+        self, profile: TranslatorProfile, shards: Iterable[int]
+    ) -> Tuple[bool, bool, Optional[TranslatorProfile]]:
+        """Store ``profile`` under ``shards`` (merged with any existing
+        placements).  Returns ``(content_changed, placement_changed,
+        previous_profile)``."""
+        tid = profile.translator_id
+        previous = self._profiles.get(tid)
+        placement = self._placements.get(tid)
+        added_shards = set(shards) - (placement or set())
+        content_changed = previous is None or (
+            previous is not profile and previous != profile
+        )
+        if previous is None:
+            self._profiles[tid] = profile
+            self._placements[tid] = set(added_shards)
+            for key in profile.index_keys():
+                self._index.setdefault(key, set()).add(tid)
+            self._by_origin.setdefault(profile.runtime_id, set()).add(tid)
+        else:
+            if content_changed:
+                if previous.index_keys() != profile.index_keys():
+                    for key in previous.index_keys():
+                        self._unindex(key, tid)
+                    for key in profile.index_keys():
+                        self._index.setdefault(key, set()).add(tid)
+                if previous.runtime_id != profile.runtime_id:
+                    self._unorigin(previous.runtime_id, tid)
+                    self._by_origin.setdefault(profile.runtime_id, set()).add(tid)
+                self._profiles[tid] = profile
+            placement.update(added_shards)
+        for shard in added_shards:
+            self._shards.setdefault(shard, set()).add(tid)
+        return content_changed, bool(added_shards), previous
+
+    def remove(self, translator_id: str) -> Optional[TranslatorProfile]:
+        profile = self._profiles.pop(translator_id, None)
+        if profile is None:
+            return None
+        for shard in self._placements.pop(translator_id, ()):
+            bucket = self._shards.get(shard)
+            if bucket is not None:
+                bucket.discard(translator_id)
+                if not bucket:
+                    del self._shards[shard]
+        for key in profile.index_keys():
+            self._unindex(key, translator_id)
+        self._unorigin(profile.runtime_id, translator_id)
+        return profile
+
+    def drop_shard(self, shard: int) -> List[str]:
+        """Forget one shard's placements (ownership moved away).  Profiles
+        whose only placement here was this shard leave the store; returns
+        their ids.  This is a *placement* change, never a namespace event:
+        the new owner holds the same profiles."""
+        gone = []
+        for tid in list(self._shards.pop(shard, ())):
+            placement = self._placements[tid]
+            placement.discard(shard)
+            if not placement:
+                profile = self._profiles.pop(tid)
+                del self._placements[tid]
+                for key in profile.index_keys():
+                    self._unindex(key, tid)
+                self._unorigin(profile.runtime_id, tid)
+                gone.append(tid)
+        return gone
+
+    def clear(self) -> None:
+        self._profiles.clear()
+        self._placements.clear()
+        self._shards.clear()
+        self._index.clear()
+        self._by_origin.clear()
+
+    def _unindex(self, key: _IndexKey, translator_id: str) -> None:
+        bucket = self._index.get(key)
+        if bucket is not None:
+            bucket.discard(translator_id)
+            if not bucket:
+                del self._index[key]
+
+    def _unorigin(self, origin: str, translator_id: str) -> None:
+        owned = self._by_origin.get(origin)
+        if owned is not None:
+            owned.discard(translator_id)
+            if not owned:
+                del self._by_origin[origin]
+
+    # -- serving -----------------------------------------------------------
+
+    def bucket(self, key: _IndexKey) -> List[TranslatorProfile]:
+        """Every stored profile carrying ``key`` (the routed unit)."""
+        ids = self._index.get(key)
+        if not ids:
+            return []
+        return [self._profiles[tid] for tid in ids]
+
+    def lookup(self, query: Query) -> List[TranslatorProfile]:
+        """Exact matches for ``query`` among the stored profiles, via the
+        store-wide index (same intersect-then-filter as the flat path)."""
+        keys = query.index_keys()
+        if not keys:
+            return self.scan(query)
+        buckets = []
+        for key in keys:
+            bucket = self._index.get(key)
+            if not bucket:
+                return []
+            buckets.append(bucket)
+        buckets.sort(key=len)
+        candidates = buckets[0]
+        for other in buckets[1:]:
+            candidates = candidates & other
+            if not candidates:
+                return []
+        return [
+            profile
+            for profile in (self._profiles[tid] for tid in candidates)
+            if query.matches(profile)
+        ]
+
+    def scan(self, query: Query) -> List[TranslatorProfile]:
+        return [
+            profile
+            for profile in self._profiles.values()
+            if query.matches(profile)
+        ]
+
+
+class ShardFabric:
+    """Per-network registry of active routers: the in-process endpoint for
+    synchronously-modeled routed lookups and for offline (socket-less)
+    placement dispatch in tests and benchmarks."""
+
+    def __init__(self):
+        self.routers: Dict[str, "ShardRouter"] = {}
+
+    def register(self, router: "ShardRouter") -> None:
+        self.routers[router.runtime.runtime_id] = router
+
+    def deregister(self, router: "ShardRouter") -> None:
+        if self.routers.get(router.runtime.runtime_id) is router:
+            del self.routers[router.runtime.runtime_id]
+
+    def get(self, runtime_id: str) -> Optional["ShardRouter"]:
+        router = self.routers.get(runtime_id)
+        if router is not None and router.active:
+            return router
+        return None
+
+
+def shard_fabric(network: "Network") -> ShardFabric:
+    """The network's router registry, created on first use."""
+    fabric = getattr(network, "_shard_fabric", None)
+    if fabric is None:
+        fabric = ShardFabric()
+        network._shard_fabric = fabric
+    return fabric
+
+
+class ShardRouter:
+    """One runtime's routing/placement layer over the sharded namespace."""
+
+    def __init__(
+        self,
+        runtime: "UMiddleRuntime",
+        enabled: bool = False,
+        shard_count: int = DEFAULT_SHARD_COUNT,
+        cache_ttl: float = CACHE_TTL,
+    ):
+        self.runtime = runtime
+        self.enabled = enabled
+        self.map = ShardMap(shard_count)
+        self.store = ShardStore()
+        self.cache_ttl = cache_ttl
+        #: True between start() and deactivate(): the router is reachable
+        #: through the fabric and reacts to membership changes.
+        self.active = False
+        self._started_at = 0.0
+        self._owned: FrozenSet[int] = frozenset()
+        #: stored-but-unowned shard -> first time we noticed (sweep ages
+        #: these out once they stayed unowned for a full directory lease).
+        self._foreign_since: Dict[int, float] = {}
+        #: origins conclusively gone from *this* node's view; routed
+        #: results mentioning them are filtered until they reannounce (a
+        #: peer whose lease expiry fires later may still serve them).
+        self._lost_origins: Set[str] = set()
+        self._key_shards: Dict[_IndexKey, int] = {}
+        #: routing key -> (stamp, bucket) hot-key cache for routed lookups.
+        self._cache: Dict[_IndexKey, Tuple[float, Tuple[TranslatorProfile, ...]]] = {}
+        #: outgoing standing-query interest: route key (None = everything)
+        #: -> {"count": local subscriptions, "owners": owners subscribed at}.
+        self._subs_out: Dict[Optional[_IndexKey], Dict] = {}
+        #: owner-side interest: route key (None = everything) -> subscriber
+        #: runtime ids whose standing queries cover it.
+        self._interest: Dict[Optional[_IndexKey], Set[str]] = {}
+        # counters (benchmarks + tests)
+        self.local_lookups = 0
+        self.routed_lookups = 0
+        self.cache_hits = 0
+        self.fanout_lookups = 0
+        self.routed_failures = 0
+        self.bucket_serves = 0
+        self.bucket_bytes_served = 0
+        self.scan_serves = 0
+        self.stores_received = 0
+        self.removes_received = 0
+        self.deltas_sent = 0
+        self.deltas_received = 0
+        self.pushes_sent = 0
+        self.direct_dispatches = 0
+        self.rebalances = 0
+
+    # -- wiring ------------------------------------------------------------
+
+    @property
+    def directory(self) -> "Directory":
+        return self.runtime.directory
+
+    @property
+    def runtime_id(self) -> str:
+        return self.runtime.runtime_id
+
+    def shard_of(self, key: _IndexKey, salt: int = 0) -> int:
+        cache_key = (key, salt)
+        shard = self._key_shards.get(cache_key)
+        if shard is None:
+            shard = shard_of_key(key, self.map.shard_count, salt)
+            if len(self._key_shards) > 65536:
+                self._key_shards.clear()
+            self._key_shards[cache_key] = shard
+        return shard
+
+    def shards_of_profile(self, profile: TranslatorProfile) -> Set[int]:
+        """The shards a profile is written to: one salted sub-shard per
+        index key (the salt is per-profile, so a hot key's population
+        spreads over ``KEY_SPLIT`` owners)."""
+        salt = placement_salt(profile.translator_id)
+        return {self.shard_of(key, salt) for key in profile.index_keys()}
+
+    def placement_shard(self, key: _IndexKey, translator_id: str) -> int:
+        """The sub-shard one specific profile's placement for ``key``
+        lives on (tests/benchmarks: 'who owns this profile's key?')."""
+        return self.shard_of(key, placement_salt(translator_id))
+
+    def read_shards(self, key: _IndexKey) -> List[int]:
+        """Every sub-shard a keyed lookup must consult."""
+        return [self.shard_of(key, salt) for salt in range(KEY_SPLIT)]
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        if not self.enabled or self.active:
+            return
+        self.active = True
+        self._started_at = self.runtime.kernel.now
+        shard_fabric(self.runtime.network).register(self)
+        self.membership_changed(force=True)
+
+    def deactivate(self) -> None:
+        if not self.enabled:
+            return
+        self.active = False
+        shard_fabric(self.runtime.network).deregister(self)
+
+    def discard_state(self) -> None:
+        """Cold-crash semantics: the store, caches and interest tables are
+        in-memory state and die with the process."""
+        self.store.clear()
+        self._cache.clear()
+        self._interest.clear()
+        self._subs_out.clear()
+        self._owned = frozenset()
+        self._foreign_since.clear()
+        self._lost_origins.clear()
+
+    def recover(self, state: "RecoveredState") -> None:
+        """Rebuild the owned shards from the replayed journal (called by
+        cold recovery with appends muted)."""
+        if not self.enabled:
+            return
+        for entry in state.shard_entries.values():
+            profile = TranslatorProfile.from_dict(entry["profile"])
+            self.store.store(profile, entry["shards"])
+        self._owned = frozenset(state.shard_owned)
+
+    def seed_members(self, members: Iterable[str]) -> None:
+        """Offline/bench hook: activate with an explicit membership view
+        instead of learning it from directory gossip."""
+        self.active = True
+        self._started_at = self.runtime.kernel.now
+        shard_fabric(self.runtime.network).register(self)
+        self.map.rebuild(members)
+        self._owned = self.map.owned_by(self.runtime_id)
+
+    # -- membership / rebalancing ------------------------------------------
+
+    def membership_changed(self, force: bool = False) -> None:
+        """Recompute the shard map from the directory's membership view and
+        reconcile: journal the ownership transition, drop shards that moved
+        away, re-place local profiles with the current owners, and re-route
+        standing-query interest."""
+        if not self.enabled or not self.active:
+            return
+        members = set(self.directory._runtimes)
+        members.add(self.runtime_id)
+        changed = self.map.rebuild(members)
+        if not changed and not force:
+            return
+        self.rebalances += 1
+        old_owned = self._owned
+        self._owned = self.map.owned_by(self.runtime_id)
+        if self._owned != old_owned:
+            self.runtime.journal.append(
+                "shard-own", {"owned": sorted(self._owned)}
+            )
+            # Shards we held and conclusively lost drop right away (their
+            # new owner is being pushed the same profiles by every
+            # origin); sender-directed placements we never owned are aged
+            # out by :meth:`sweep` instead -- the sender's view may simply
+            # be ahead of ours.
+            lost = old_owned - self._owned
+            if lost:
+                for shard in lost:
+                    self.store.drop_shard(shard)
+                self.runtime.journal.append(
+                    "shard-drop", {"shards": sorted(lost)}
+                )
+            for shard in self._owned & set(self._foreign_since):
+                del self._foreign_since[shard]
+            if self.runtime.tracing:
+                self.runtime.trace(
+                    "shard.rebalance",
+                    f"{len(self.map.members)} member(s), "
+                    f"{len(self._owned)} shard(s) owned "
+                    f"(+{len(self._owned - old_owned)}/-{len(lost)})",
+                    members=len(self.map.members),
+                    owned=len(self._owned),
+                )
+        self._cache.clear()
+        self._push_local_profiles()
+        self._reroute_subscriptions()
+
+    def origin_lost(self, runtime_id: str) -> None:
+        """An origin runtime is conclusively gone (lease expiry or
+        transport give-up): reap the profiles it placed on our shards, the
+        shard-layer analog of the flat directory's lease reaping."""
+        if not self.enabled or not self.active:
+            return
+        if runtime_id == self.runtime_id:
+            return
+        self._lost_origins.add(runtime_id)
+        self._interest_drop_subscriber(runtime_id)
+        tids = self.store.tids_of_origin(runtime_id)
+        if not tids:
+            return
+        removed_profiles = []
+        for tid in tids:
+            profile = self.store.remove(tid)
+            if profile is not None:
+                self.runtime.journal.append(
+                    "shard-remove", {"translator_id": tid}
+                )
+                removed_profiles.append(profile)
+        if removed_profiles:
+            if self.runtime.tracing:
+                self.runtime.trace(
+                    "shard.origin-reaped",
+                    f"{runtime_id}: {len(removed_profiles)} stored "
+                    "profile(s) reaped",
+                    reaped=len(removed_profiles),
+                )
+            self._emit_deltas(added=(), removed=removed_profiles)
+
+    def sweep(self) -> None:
+        """Periodic lease-style cleanup (ridden by the directory sweeper):
+        origins and subscribers absent from the membership view are
+        forgotten once the post-start grace (one directory lease) passed --
+        covering peers that died while this node was down."""
+        if not self.enabled or not self.active:
+            return
+        from repro.core.directory import LEASE
+
+        # Age out placements directed at us under a membership view that
+        # never materialized here.  A sender whose lease expiry simply
+        # fired before ours directs shards we are *about* to inherit, so
+        # an unowned placement is only stale once it stayed unowned for a
+        # full lease -- after which every view has converged and the map
+        # is authoritative.
+        now = self.runtime.kernel.now
+        stale = []
+        for shard in self.store.stored_shards():
+            if shard in self._owned:
+                self._foreign_since.pop(shard, None)
+                continue
+            since = self._foreign_since.setdefault(shard, now)
+            if now - since > LEASE:
+                stale.append(shard)
+        if stale:
+            for shard in stale:
+                self.store.drop_shard(shard)
+                del self._foreign_since[shard]
+            self.runtime.journal.append(
+                "shard-drop", {"shards": sorted(stale)}
+            )
+        # A tombstoned origin that reannounced is alive again.
+        self._lost_origins -= set(self.directory._runtimes)
+        if self.runtime.kernel.now - self._started_at < LEASE:
+            return
+        members = set(self.directory._runtimes)
+        members.add(self.runtime_id)
+        for origin in self.store.origins() - members:
+            self.origin_lost(origin)
+        for key, subscribers in list(self._interest.items()):
+            subscribers &= members
+            if not subscribers:
+                del self._interest[key]
+
+    # -- placement ---------------------------------------------------------
+
+    def local_registered(self, profile: TranslatorProfile) -> None:
+        """A local translator (re)registered or changed health: place it on
+        the owners of its key shards."""
+        if not self.enabled or not self.active:
+            return
+        self._place([profile])
+
+    def local_unregistered(self, profile: TranslatorProfile) -> None:
+        if not self.enabled or not self.active:
+            return
+        targets = self._owners_of_shards(self.shards_of_profile(profile))
+        payload = None
+        for owner in targets:
+            if owner == self.runtime_id:
+                self._evict(profile.translator_id)
+            else:
+                if payload is None:
+                    payload = {
+                        "kind": "umiddle-shard-remove",
+                        "origin": self.runtime_id,
+                        "ids": [profile.translator_id],
+                    }
+                self._send(payload, 64 + len(profile.translator_id), owner)
+
+    def _push_local_profiles(self) -> None:
+        profiles = self.directory._local_profiles()
+        if profiles:
+            self._place(profiles)
+
+    def _place(self, profiles: List[TranslatorProfile]) -> None:
+        """Group profiles by owning runtime and push one batched placement
+        message per owner (self-owned shards store directly).
+
+        The push is *sender-directed*: it names the shards each profile is
+        being placed under, so an owner whose own membership view lags (it
+        has not yet expired the peer whose shards it inherited) still
+        records the placement instead of intersecting it away against its
+        stale ownership set -- the next rebalance prunes any shard it
+        turns out not to own."""
+        per_owner: Dict[str, Tuple[List[TranslatorProfile], List[List[int]]]] = {}
+        for profile in profiles:
+            targets: Dict[str, List[int]] = {}
+            for shard in sorted(self.shards_of_profile(profile)):
+                owner = self.map.owner(shard)
+                if owner is None:
+                    owner = self.runtime_id
+                targets.setdefault(owner, []).append(shard)
+            for owner, shards in targets.items():
+                batch, shard_lists = per_owner.setdefault(owner, ([], []))
+                batch.append(profile)
+                shard_lists.append(shards)
+        for owner, (batch, shard_lists) in per_owner.items():
+            if owner == self.runtime_id:
+                self._admit(batch, shard_lists)
+            else:
+                payload = {
+                    "kind": "umiddle-shard-store",
+                    "origin": self.runtime_id,
+                    "profiles": [p.to_dict() for p in batch],
+                    "digests": [p.wire_digest for p in batch],
+                    "shards": shard_lists,
+                }
+                size = 64 + sum(p.estimated_size() + 48 for p in batch)
+                self._send(payload, size, owner)
+                self.pushes_sent += 1
+
+    def _owners_of_shards(self, shards: Iterable[int]) -> Set[str]:
+        owners = set()
+        for shard in shards:
+            owner = self.map.owner(shard)
+            if owner is None:
+                owner = self.runtime_id
+            owners.add(owner)
+        return owners
+
+    def _admit(
+        self,
+        profiles: List[TranslatorProfile],
+        shard_lists: Optional[List[List[int]]] = None,
+    ) -> None:
+        """Owner side of placement: store each profile under the union of
+        the sender-directed shards and the owned subset of its key shards,
+        journal the mutation, and stream deltas to interested subscribers.
+
+        Sender-directed shards are honored even when this node's own
+        ownership view does not (yet) cover them: origin re-pushes are the
+        only repair mechanism, and lease expiries fire at different times
+        on different nodes -- a push for a shard we are about to inherit
+        must not be intersected away.  The next rebalance prunes shards we
+        never actually own."""
+        added = []
+        for position, profile in enumerate(profiles):
+            targets = self.shards_of_profile(profile) & self._owned
+            if shard_lists is not None:
+                targets |= set(shard_lists[position])
+            if not targets and not self._owned:
+                # Degenerate pre-membership view (offline tests): store
+                # under the profile's shards directly.
+                targets = self.shards_of_profile(profile)
+            if not targets:
+                continue
+            content_changed, placement_changed, _previous = self.store.store(
+                profile, targets
+            )
+            if content_changed or placement_changed:
+                self.runtime.journal.append(
+                    "shard-store",
+                    {
+                        "profile": profile.to_dict(),
+                        "shards": list(
+                            self.store.placements_of(profile.translator_id)
+                        ),
+                    },
+                )
+            if content_changed:
+                added.append(profile)
+        if added:
+            self._emit_deltas(added=added, removed=())
+
+    def _evict(self, translator_id: str) -> None:
+        profile = self.store.remove(translator_id)
+        if profile is None:
+            return
+        self.runtime.journal.append(
+            "shard-remove", {"translator_id": translator_id}
+        )
+        self._emit_deltas(added=(), removed=[profile])
+
+    # -- interest-scoped deltas --------------------------------------------
+
+    def subscribe_routed(self, route_key: Optional[_IndexKey]) -> None:
+        """A local standing query registered under ``route_key`` (None =
+        not coarsely indexable, interested in everything): make sure the
+        key's owner streams us its deltas."""
+        if not self.enabled or not self.active:
+            return
+        record = self._subs_out.get(route_key)
+        if record is None:
+            record = {"count": 0, "owners": set()}
+            self._subs_out[route_key] = record
+        record["count"] += 1
+        self._route_subscription(route_key, record)
+
+    def unsubscribe_routed(self, route_key: Optional[_IndexKey]) -> None:
+        if not self.enabled or not self.active:
+            return
+        record = self._subs_out.get(route_key)
+        if record is None:
+            return
+        record["count"] -= 1
+        if record["count"] > 0:
+            return
+        del self._subs_out[route_key]
+        payload = {
+            "kind": "umiddle-shard-unsubscribe",
+            "origin": self.runtime_id,
+            "key": list(route_key) if route_key is not None else None,
+        }
+        for owner in record["owners"]:
+            self._send(payload, 96, owner)
+
+    def _route_subscription(
+        self, route_key: Optional[_IndexKey], record: Dict
+    ) -> None:
+        """(Re)register interest with the key's current owner(s)."""
+        if route_key is None:
+            targets = set(self.map.members) or {self.runtime_id}
+        else:
+            # Interest covers every sub-shard of the key: whichever owner
+            # a matching profile's salt lands on must reach us.
+            targets = set()
+            for shard in self.read_shards(route_key):
+                owner = self.map.owner(shard)
+                targets.add(owner if owner is not None else self.runtime_id)
+        stale = record["owners"] - targets
+        if stale:
+            payload = {
+                "kind": "umiddle-shard-unsubscribe",
+                "origin": self.runtime_id,
+                "key": list(route_key) if route_key is not None else None,
+            }
+            for owner in stale:
+                self._send(payload, 96, owner)
+        for owner in targets - record["owners"]:
+            self._send(
+                {
+                    "kind": "umiddle-shard-subscribe",
+                    "origin": self.runtime_id,
+                    "key": list(route_key) if route_key is not None else None,
+                },
+                96,
+                owner,
+            )
+        record["owners"] = targets
+
+    def _reroute_subscriptions(self) -> None:
+        for route_key, record in self._subs_out.items():
+            self._route_subscription(route_key, record)
+
+    def _interest_drop_subscriber(self, runtime_id: str) -> None:
+        for key, subscribers in list(self._interest.items()):
+            subscribers.discard(runtime_id)
+            if not subscribers:
+                del self._interest[key]
+
+    def _emit_deltas(
+        self,
+        added: Iterable[TranslatorProfile],
+        removed: Iterable[TranslatorProfile],
+    ) -> None:
+        """Stream a store change only to subscribers whose interest set
+        covers one of the affected profiles' keys."""
+        if not self._interest:
+            return
+        per_subscriber: Dict[str, Dict[str, list]] = {}
+
+        def targets_for(profile: TranslatorProfile) -> Set[str]:
+            targets = set(self._interest.get(None, ()))
+            for key in profile.index_keys():
+                subscribers = self._interest.get(key)
+                if subscribers:
+                    targets |= subscribers
+            return targets
+
+        for profile in added:
+            for subscriber in targets_for(profile):
+                bucket = per_subscriber.setdefault(
+                    subscriber, {"profiles": [], "digests": [], "removed": []}
+                )
+                bucket["profiles"].append(profile.to_dict())
+                bucket["digests"].append(profile.wire_digest)
+        for profile in removed:
+            for subscriber in targets_for(profile):
+                bucket = per_subscriber.setdefault(
+                    subscriber, {"profiles": [], "digests": [], "removed": []}
+                )
+                bucket["removed"].append(profile.translator_id)
+        for subscriber, delta in per_subscriber.items():
+            payload = {
+                "kind": "umiddle-shard-delta",
+                "origin": self.runtime_id,
+                "profiles": delta["profiles"],
+                "digests": delta["digests"],
+                "removed": delta["removed"],
+            }
+            size = 64 + sum(len(d) + 48 for d in delta["profiles"]) + sum(
+                len(r) + 4 for r in delta["removed"]
+            )
+            self._send(payload, size, subscriber)
+            self.deltas_sent += 1
+
+    # -- lookups -----------------------------------------------------------
+
+    def lookup(self, query: Query) -> List[TranslatorProfile]:
+        """Sharded lookup: route by the query's first index key to the
+        owning shard (TTL cache for hot keys), fan out + merge when the
+        query has no indexable key, and overlay the local directory view
+        (own translators are visible before placement propagates).
+
+        Results are ordered healthy-first, then by translator id -- the
+        flat path's per-node registration order has no global analog."""
+        keys = query.index_keys()
+        if not keys:
+            matched = self._fanout_scan(query)
+        else:
+            route_key = keys[0]
+            remote: Dict[str, int] = {}
+            local = False
+            for shard in self.read_shards(route_key):
+                owner = self.map.owner(shard)
+                if owner is None or owner == self.runtime_id:
+                    local = True
+                else:
+                    remote.setdefault(owner, shard)
+            matched = []
+            if local:
+                self.local_lookups += 1
+                matched.extend(self.store.lookup(query))
+            if remote:
+                bucket = self._routed_bucket(route_key, remote)
+                matched.extend(p for p in bucket if query.matches(p))
+        if self._lost_origins:
+            # A peer whose lease expiry fires after ours (or a stale TTL
+            # cache entry) can still serve profiles from an origin this
+            # node already reaped; the flat path would never show them.
+            alive = self.directory._runtimes
+            matched = [
+                p
+                for p in matched
+                if p.runtime_id not in self._lost_origins
+                or p.runtime_id in alive
+            ]
+        merged = {profile.translator_id: profile for profile in matched}
+        for profile in self.directory.lookup_local(query):
+            merged.setdefault(profile.translator_id, profile)
+        return self._order(list(merged.values()), query)
+
+    def _routed_bucket(
+        self, route_key: _IndexKey, owner_shards: Dict[str, int]
+    ) -> Tuple[TranslatorProfile, ...]:
+        """The merged remote bucket for one key: one RPC per distinct
+        sub-shard owner, ranked failover per shard, TTL-cached as a
+        unit."""
+        now = self.runtime.kernel.now
+        cached = self._cache.get(route_key)
+        if (
+            cached is not None
+            and self.cache_ttl > 0
+            and now - cached[0] <= self.cache_ttl
+        ):
+            self.cache_hits += 1
+            return cached[1]
+        fabric = shard_fabric(self.runtime.network)
+        merged: Dict[str, TranslatorProfile] = {}
+        complete = True
+        for owner, shard in owner_shards.items():
+            served = False
+            # The ranked failover list costs a full member sort -- only
+            # compute it once the primary owner is actually unreachable.
+            candidates = (owner,)
+            while True:
+                for candidate in candidates:
+                    router = fabric.get(candidate)
+                    if router is None:
+                        continue
+                    self.routed_lookups += 1
+                    for profile in router.serve_bucket(route_key):
+                        merged.setdefault(profile.translator_id, profile)
+                    served = True
+                    break
+                if served or len(candidates) > 1:
+                    break
+                candidates = tuple(
+                    member
+                    for member in self.map.owners_ranked(shard)
+                    if member != owner and member != self.runtime_id
+                )
+                if not candidates:
+                    break
+            if not served:
+                complete = False
+        if not complete:
+            # Mid-failover window with no live owner for some sub-shard:
+            # backfill from the stale cache if we have one, and don't
+            # let the partial result poison the cache.
+            self.routed_failures += 1
+            if cached is not None:
+                for profile in cached[1]:
+                    merged.setdefault(profile.translator_id, profile)
+        bucket = tuple(merged.values())
+        if complete:
+            self._cache[route_key] = (now, bucket)
+        if self.runtime.tracing:
+            self.runtime.trace(
+                "shard.lookup-routed",
+                f"{route_key[0]}={route_key[1]} -> "
+                f"{len(owner_shards)} owner(s) "
+                f"({len(bucket)} candidate(s))",
+                owners=len(owner_shards),
+            )
+        return bucket
+
+    def _fanout_scan(self, query: Query) -> List[TranslatorProfile]:
+        self.fanout_lookups += 1
+        fabric = shard_fabric(self.runtime.network)
+        merged: Dict[str, TranslatorProfile] = {}
+        members = self.map.members or (self.runtime_id,)
+        for member in members:
+            if member == self.runtime_id:
+                matches = self.store.scan(query)
+            else:
+                router = fabric.get(member)
+                if router is None:
+                    continue
+                self.routed_lookups += 1
+                matches = router.serve_scan(query)
+            for profile in matches:
+                merged.setdefault(profile.translator_id, profile)
+        return list(merged.values())
+
+    def serve_bucket(self, route_key: _IndexKey) -> List[TranslatorProfile]:
+        """Owner side of a routed lookup: the full bucket for one key."""
+        bucket = self.store.bucket(route_key)
+        self.bucket_serves += 1
+        self.bucket_bytes_served += sum(p.estimated_size() for p in bucket)
+        return bucket
+
+    def serve_scan(self, query: Query) -> List[TranslatorProfile]:
+        self.scan_serves += 1
+        return self.store.scan(query)
+
+    def _order(
+        self, matched: List[TranslatorProfile], query: Query
+    ) -> List[TranslatorProfile]:
+        monitor = self.runtime.health
+        if not monitor.enabled:
+            matched.sort(key=lambda profile: profile.translator_id)
+            return matched
+        decorated = []
+        for profile in matched:
+            rank = monitor.effective_rank(profile)
+            if rank >= 2 and not query.include_quarantined:
+                continue
+            decorated.append((rank, profile.translator_id, profile))
+        decorated.sort()
+        return [profile for _rank, _tid, profile in decorated]
+
+    # -- message plane ------------------------------------------------------
+
+    def handle(self, payload: dict) -> None:
+        """Dispatch one ``umiddle-shard-*`` payload (directory receiver)."""
+        if not self.enabled or not self.active:
+            return
+        kind = payload.get("kind")
+        # No origin==self guard: all shard traffic is unicast, and a
+        # self-targeted send (we own the shard a local subscription or
+        # placement routes to) legitimately short-circuits through here.
+        origin = payload.get("origin")
+        if kind == "umiddle-shard-store":
+            self.stores_received += 1
+            digests = payload.get("digests") or [None] * len(payload["profiles"])
+            self._admit(
+                [
+                    TranslatorProfile.from_dict(data, digest=digest)
+                    for data, digest in zip(payload["profiles"], digests)
+                ],
+                payload.get("shards"),
+            )
+        elif kind == "umiddle-shard-remove":
+            self.removes_received += 1
+            for translator_id in payload["ids"]:
+                self._evict(translator_id)
+        elif kind == "umiddle-shard-subscribe":
+            self._handle_subscribe(origin, payload.get("key"))
+        elif kind == "umiddle-shard-unsubscribe":
+            key = payload.get("key")
+            route_key = tuple(key) if key is not None else None
+            subscribers = self._interest.get(route_key)
+            if subscribers is not None:
+                subscribers.discard(origin)
+                if not subscribers:
+                    del self._interest[route_key]
+        elif kind == "umiddle-shard-delta":
+            self.deltas_received += 1
+            self.directory.apply_shard_delta(
+                origin,
+                payload.get("profiles", ()),
+                payload.get("digests"),
+                payload.get("removed", ()),
+            )
+
+    def _handle_subscribe(self, origin: str, key) -> None:
+        route_key = tuple(key) if key is not None else None
+        self._interest.setdefault(route_key, set()).add(origin)
+        # Initial sync: the subscriber gets the current bucket at once so a
+        # standing query re-routed to a new owner never misses the state
+        # that predates its subscription.
+        if route_key is None:
+            current = list(self.store._profiles.values())
+        else:
+            current = self.store.bucket(route_key)
+        if not current:
+            return
+        payload = {
+            "kind": "umiddle-shard-delta",
+            "origin": self.runtime_id,
+            "profiles": [p.to_dict() for p in current],
+            "digests": [p.wire_digest for p in current],
+            "removed": [],
+        }
+        size = 64 + sum(p.estimated_size() + 48 for p in current)
+        self._send(payload, size, origin)
+        self.deltas_sent += 1
+
+    def _send(self, payload: dict, size: int, runtime_id: str) -> None:
+        """Ship one shard-plane payload to a peer router.
+
+        Live runtimes use real datagrams on the directory port; a router
+        without a socket (offline tests/benchmarks) dispatches directly
+        through the fabric so placement still converges without a kernel.
+        Self-targeted sends always short-circuit in process."""
+        if runtime_id == self.runtime_id:
+            self.handle(payload)
+            return
+        socket = self.directory._socket
+        if socket is not None and not socket.closed:
+            info = self.directory.runtime_info(runtime_id)
+            if info is None:
+                return
+            socket.sendto(payload, size, info.address, info.directory_port)
+            return
+        router = shard_fabric(self.runtime.network).get(runtime_id)
+        if router is not None:
+            self.direct_dispatches += 1
+            router.handle(payload)

@@ -20,6 +20,10 @@ CRASH_AT = 2.0
 #: pipelined peer senders; trip/probe/close semantics must be identical.
 BATCHING = os.environ.get("CHAOS_BATCHING", "0") == "1"
 
+#: CHAOS_SHARDED=1 drives the breaker lifecycle with the rendezvous-
+#: sharded directory in the loop.
+SHARDED = os.environ.get("CHAOS_SHARDED", "0") == "1"
+
 
 def text(payload, size=100):
     return UMessage("text/plain", payload, size)
@@ -37,8 +41,8 @@ def drip(bed, out, count, interval=0.5):
 def crash_pair(restart_after):
     """Source on r1 query-bound to a sink on r2; r2 crashes at CRASH_AT."""
     bed = build_testbed(hosts=["h1", "h2"])
-    r1 = bed.add_runtime("h1", batching_enabled=BATCHING)
-    r2 = bed.add_runtime("h2", batching_enabled=BATCHING)
+    r1 = bed.add_runtime("h1", batching_enabled=BATCHING, sharding_enabled=SHARDED)
+    r2 = bed.add_runtime("h2", batching_enabled=BATCHING, sharding_enabled=SHARDED)
 
     received = []
     sink = Translator("display", role="display")
@@ -111,13 +115,13 @@ def failover_triple(health_enabled):
     matching sink.  r2 (the initially-bound target) crashes for good."""
     bed = build_testbed(hosts=["h1", "h2", "h3"])
     r1 = bed.add_runtime(
-        "h1", health_enabled=health_enabled, batching_enabled=BATCHING
+        "h1", health_enabled=health_enabled, batching_enabled=BATCHING, sharding_enabled=SHARDED
     )
     r2 = bed.add_runtime(
-        "h2", health_enabled=health_enabled, batching_enabled=BATCHING
+        "h2", health_enabled=health_enabled, batching_enabled=BATCHING, sharding_enabled=SHARDED
     )
     r3 = bed.add_runtime(
-        "h3", health_enabled=health_enabled, batching_enabled=BATCHING
+        "h3", health_enabled=health_enabled, batching_enabled=BATCHING, sharding_enabled=SHARDED
     )
 
     received = []

@@ -28,6 +28,11 @@ SEEDS = [7, 23, 101]
 #: crash-consistency invariants must hold identically in both modes.
 BATCHING = os.environ.get("CHAOS_BATCHING", "0") == "1"
 
+#: CHAOS_SHARDED=1 re-runs every crash-consistency scenario with the
+#: rendezvous-sharded directory: shard placements and ownership ride
+#: the same journal and must recover just as exactly.
+SHARDED = os.environ.get("CHAOS_SHARDED", "0") == "1"
+
 ROLES = ["display", "storage", "printer", "sensor"]
 MIMES = ["text/plain", "image/jpeg", "audio/wav"]
 
@@ -70,9 +75,10 @@ def path_shape(runtime):
 class TestColdRestart:
     def build(self, **kwargs):
         kwargs.setdefault("batching_enabled", BATCHING)
+        kwargs.setdefault("sharding_enabled", SHARDED)
         bed = build_testbed(hosts=["h1", "h2"])
         r1 = bed.add_runtime("h1", **kwargs)
-        r2 = bed.add_runtime("h2", batching_enabled=BATCHING)
+        r2 = bed.add_runtime("h2", batching_enabled=BATCHING, sharding_enabled=SHARDED)
         received = []
         sink = Translator("display-0", role="display")
         sink.add_digital_input("data-in", "text/plain", received.append)
@@ -267,8 +273,8 @@ class TestSeededEquivalence:
     def build_population(self, seed):
         rng = random.Random(seed)
         bed = build_testbed(hosts=["h1", "h2"])
-        r1 = bed.add_runtime("h1", batching_enabled=BATCHING)
-        r2 = bed.add_runtime("h2", batching_enabled=BATCHING)
+        r1 = bed.add_runtime("h1", batching_enabled=BATCHING, sharding_enabled=SHARDED)
+        r2 = bed.add_runtime("h2", batching_enabled=BATCHING, sharding_enabled=SHARDED)
         for index in range(rng.randrange(4, 9)):
             translator = Translator(
                 f"svc-{seed}-{index}", role=rng.choice(ROLES)
@@ -319,8 +325,8 @@ class TestSeededEquivalence:
 class TestExactlyOnce:
     def build_pipeline(self):
         bed = build_testbed(hosts=["h1", "h2"])
-        r1 = bed.add_runtime("h1", batching_enabled=BATCHING)
-        r2 = bed.add_runtime("h2", batching_enabled=BATCHING)
+        r1 = bed.add_runtime("h1", batching_enabled=BATCHING, sharding_enabled=SHARDED)
+        r2 = bed.add_runtime("h2", batching_enabled=BATCHING, sharding_enabled=SHARDED)
         received = []
         sink = Translator("display-0", role="display")
         sink.add_digital_input("data-in", "text/plain", received.append)
@@ -369,9 +375,9 @@ class TestExactlyOnce:
         never be mistaken for duplicates of reused sequence numbers."""
         bed = build_testbed(hosts=["h1", "h2"])
         r1 = bed.add_runtime(
-            "h1", fsync_interval=5.0, batching_enabled=BATCHING
+            "h1", fsync_interval=5.0, batching_enabled=BATCHING, sharding_enabled=SHARDED
         )
-        r2 = bed.add_runtime("h2", batching_enabled=BATCHING)
+        r2 = bed.add_runtime("h2", batching_enabled=BATCHING, sharding_enabled=SHARDED)
         received = []
         sink = Translator("display-0", role="display")
         sink.add_digital_input("data-in", "text/plain", received.append)
@@ -437,9 +443,9 @@ class TestExactlyOnce:
         from stable storage."""
         bed = build_testbed(hosts=["h1", "h2"])
         r1 = bed.add_runtime(
-            "h1", journal_enabled=False, batching_enabled=BATCHING
+            "h1", journal_enabled=False, batching_enabled=BATCHING, sharding_enabled=SHARDED
         )
-        r2 = bed.add_runtime("h2", batching_enabled=BATCHING)
+        r2 = bed.add_runtime("h2", batching_enabled=BATCHING, sharding_enabled=SHARDED)
         received = []
         sink = Translator("display-0", role="display")
         sink.add_digital_input("data-in", "text/plain", received.append)
@@ -472,9 +478,9 @@ class TestExactlyOnce:
         but dedup keys on per-(sender, path) envelope sequences, so no
         cross-runtime message is ever mistaken for a duplicate."""
         bed = build_testbed(hosts=["h1", "h2", "h3"])
-        r1 = bed.add_runtime("h1", batching_enabled=BATCHING)
-        r2 = bed.add_runtime("h2", batching_enabled=BATCHING)
-        r3 = bed.add_runtime("h3", batching_enabled=BATCHING)
+        r1 = bed.add_runtime("h1", batching_enabled=BATCHING, sharding_enabled=SHARDED)
+        r2 = bed.add_runtime("h2", batching_enabled=BATCHING, sharding_enabled=SHARDED)
+        r3 = bed.add_runtime("h3", batching_enabled=BATCHING, sharding_enabled=SHARDED)
         received = []
         sink = Translator("display-0", role="display")
         sink.add_digital_input("data-in", "text/plain", received.append)

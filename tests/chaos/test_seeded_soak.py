@@ -25,6 +25,11 @@ LOSE_STATE = os.environ.get("CHAOS_LOSE_STATE", "0") == "1"
 #: CHAOS_BATCHING=1 runs the identical storm through the batched +
 #: pipelined peer senders; the calm-down invariants must hold either way.
 BATCHING = os.environ.get("CHAOS_BATCHING", "0") == "1"
+
+#: CHAOS_SHARDED=1 runs the identical storm through the rendezvous-
+#: sharded directory (routed lookups, interest-scoped gossip); every
+#: post-storm invariant must hold identically in both modes.
+SHARDED = os.environ.get("CHAOS_SHARDED", "0") == "1"
 STORM_HORIZON = 60.0
 # Lease (15 s) + announce interval + breaker reopen max (60 s) with slack.
 CALM_DOWN = 90.0
@@ -33,9 +38,9 @@ CALM_DOWN = 90.0
 def build_soak():
     """Three runtimes, a failover binding, and a steady sender."""
     bed = build_testbed(hosts=["h1", "h2", "h3"])
-    r1 = bed.add_runtime("h1", batching_enabled=BATCHING)
-    r2 = bed.add_runtime("h2", batching_enabled=BATCHING)
-    r3 = bed.add_runtime("h3", batching_enabled=BATCHING)
+    r1 = bed.add_runtime("h1", batching_enabled=BATCHING, sharding_enabled=SHARDED)
+    r2 = bed.add_runtime("h2", batching_enabled=BATCHING, sharding_enabled=SHARDED)
+    r3 = bed.add_runtime("h3", batching_enabled=BATCHING, sharding_enabled=SHARDED)
 
     received = []
     for index, runtime in enumerate((r2, r3)):
