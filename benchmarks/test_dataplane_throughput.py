@@ -15,6 +15,16 @@ costs, so the measured simulated-time speedup is the tentpole claim:
 
 Bytes on wire come from the hub's ``bytes_transmitted`` counter: shared
 batch framing also shrinks the per-envelope header overhead.
+
+The codec matrix (PR 7) re-runs the 64-peer fanout with *structured*
+payloads -- dicts whose wire cost is their canonical-JSON length, the
+honest model for telemetry-style traffic -- across three legs: JSON
+stop-and-wait (the pre-PR 5 baseline), JSON batched (PR 5), and the
+binary codec with load-adaptive batching.  Asserted: codec wire bytes
+<= 0.25x the stop-and-wait baseline and >= 1.5x messages/s over JSON
+batched.  A 1-peer low-load run measures per-message delivery latency
+(p50/p99, simulated clock) with the codec off and on -- the codec must
+not tax the quiet path it was not built for.
 """
 
 from __future__ import annotations
@@ -42,11 +52,28 @@ FAST_LAN = DEFAULT.with_overrides(
 )
 
 
-def run_fanout(peers: int, batching: bool, **runtime_kwargs) -> dict:
+def structured_payload(index: int) -> dict:
+    """A telemetry-style reading: repeated field names and enum-ish string
+    values (the interning sweet spot), sized honestly by its JSON form."""
+    return {
+        "kind": "sensor-reading",
+        "sensor": "temperature",
+        "site": "building-7/floor-3/room-12",
+        "unit": "celsius",
+        "quality": "calibrated",
+        "status": "nominal",
+        "value": index % 40,
+        "seq": index,
+    }
+
+
+def run_fanout(peers: int, batching: bool, structured: bool = False,
+               **runtime_kwargs) -> dict:
     """Deliver one burst to ``peers`` runtimes; measure simulated time."""
     hosts = ["h0"] + [f"p{i}" for i in range(peers)]
     bed = build_testbed(calibration=FAST_LAN, hosts=hosts)
     bed.network.trace.enabled = False  # measure the guarded fast path
+    codec = bool(runtime_kwargs.get("codec_enabled"))
     producer = bed.add_runtime(
         "h0",
         calibration=FAST_LAN,
@@ -61,7 +88,10 @@ def run_fanout(peers: int, batching: bool, **runtime_kwargs) -> dict:
     sinks = []
     for index in range(peers):
         runtime = bed.add_runtime(
-            f"p{index}", calibration=FAST_LAN, batching_enabled=batching
+            f"p{index}",
+            calibration=FAST_LAN,
+            batching_enabled=batching,
+            codec_enabled=codec,
         )
         sink = Translator(f"display-{index}", role="display")
         sink.add_digital_input("data-in", "text/plain", received.append)
@@ -78,7 +108,12 @@ def run_fanout(peers: int, batching: bool, **runtime_kwargs) -> dict:
     start_sim = bed.kernel.now
     start_wall = time.perf_counter()
     for index in range(MESSAGES):
-        out.send(UMessage("text/plain", f"m{index}", MESSAGE_BYTES))
+        if structured:
+            # Size derives from the payload's canonical JSON form; the
+            # binary codec re-encodes the same dict far smaller inline.
+            out.send(UMessage("text/plain", structured_payload(index)))
+        else:
+            out.send(UMessage("text/plain", f"m{index}", MESSAGE_BYTES))
     # Fine-grained settle steps keep the sim-time quantization error well
     # under the per-variant difference being measured.
     stalled_steps = 0
@@ -106,6 +141,9 @@ def run_fanout(peers: int, batching: bool, **runtime_kwargs) -> dict:
         "batches_sent": producer.transport.batches_sent,
         "journal_records": producer.journal.records_appended,
         "spool_folds": producer.journal.spool_folds,
+        "codec_frames_sent": producer.transport.codec_frames_sent,
+        "codec_fallbacks": producer.transport.codec_fallbacks,
+        "batch_adaptations": producer.transport.batch_adaptations,
     }
 
 
@@ -123,6 +161,79 @@ def bench_fanout_matrix() -> dict:
             ),
         }
     return matrix
+
+
+def bench_codec_matrix() -> dict:
+    """64-peer fanout with structured payloads: JSON stop-and-wait vs JSON
+    batched (PR 5) vs binary codec + adaptive batching."""
+    stop_and_wait = run_fanout(64, batching=False, structured=True)
+    batched = run_fanout(64, batching=True, structured=True)
+    adaptive = run_fanout(64, batching=True, structured=True, codec_enabled=True)
+    return {
+        "stop_and_wait": stop_and_wait,
+        "batched": batched,
+        "codec_adaptive": adaptive,
+        "wire_bytes_vs_stop_and_wait": round(
+            adaptive["wire_bytes"] / stop_and_wait["wire_bytes"], 3
+        ),
+        "speedup_vs_batched": round(batched["sim_s"] / adaptive["sim_s"], 2),
+    }
+
+
+LATENCY_MESSAGES = 300
+LATENCY_SPACING_S = 0.02
+
+
+def percentile(samples, fraction: float) -> float:
+    ranked = sorted(samples)
+    index = min(len(ranked) - 1, int(round(fraction * (len(ranked) - 1))))
+    return ranked[index]
+
+
+def run_latency(codec: bool) -> dict:
+    """1-peer low load: one spaced message at a time, per-message delivery
+    latency on the simulated clock."""
+    bed = build_testbed(calibration=FAST_LAN, hosts=["h0", "p0"])
+    bed.network.trace.enabled = False
+    kwargs = dict(calibration=FAST_LAN, batching_enabled=True, codec_enabled=codec)
+    producer = bed.add_runtime("h0", **kwargs)
+    consumer = bed.add_runtime("p0", **kwargs)
+    source = Translator("feed", role="sensor")
+    out = source.add_digital_output("data-out", "text/plain")
+    producer.register_translator(source)
+    deliveries = []
+    sink = Translator("display-0", role="display")
+    sink.add_digital_input(
+        "data-in", "text/plain", lambda m: deliveries.append(bed.kernel.now)
+    )
+    consumer.register_translator(sink)
+    bed.settle(2.0)
+    producer.connect(out, sink.profile.port_ref("data-in"), qos=QosPolicy())
+    bed.settle(1.0)
+
+    latencies_ms = []
+    for index in range(LATENCY_MESSAGES):
+        sent_at = bed.kernel.now
+        out.send(UMessage("text/plain", structured_payload(index)))
+        bed.settle(LATENCY_SPACING_S)
+        assert len(deliveries) == index + 1, (codec, index, len(deliveries))
+        latencies_ms.append((deliveries[-1] - sent_at) * 1000.0)
+    return {
+        "codec": codec,
+        "messages": LATENCY_MESSAGES,
+        "p50_ms": round(percentile(latencies_ms, 0.50), 4),
+        "p99_ms": round(percentile(latencies_ms, 0.99), 4),
+    }
+
+
+def bench_latency_pair() -> dict:
+    off = run_latency(codec=False)
+    on = run_latency(codec=True)
+    return {
+        "off": off,
+        "on": on,
+        "p99_ratio": round(on["p99_ms"] / off["p99_ms"], 3),
+    }
 
 
 def bench_wal_pair() -> dict:
@@ -150,14 +261,18 @@ def bench_wal_pair() -> dict:
 def test_dataplane_throughput(compare):
     matrix = bench_fanout_matrix()
     wal = bench_wal_pair()
+    codec = bench_codec_matrix()
+    latency = bench_latency_pair()
 
     results = {
         "benchmark": "dataplane_throughput",
-        "schema": 1,
+        "schema": 2,
         "messages_per_run": MESSAGES,
         "message_bytes": MESSAGE_BYTES,
         "fanout": matrix,
         "wal_group_commit": wal,
+        "codec": codec,
+        "latency_1peer": latency,
     }
     OUTPUT.write_text(json.dumps(results, indent=2) + "\n")
 
@@ -197,6 +312,42 @@ def test_dataplane_throughput(compare):
         ],
     )
 
+    compare(
+        "Binary codec + adaptive batching (64 peers, structured payloads)",
+        ["variant", "msgs/s", "wire bytes", "frames", "adaptations"],
+        [
+            [
+                "JSON stop-and-wait",
+                codec["stop_and_wait"]["msgs_per_sim_s"],
+                codec["stop_and_wait"]["wire_bytes"],
+                0,
+                0,
+            ],
+            [
+                "JSON batched",
+                codec["batched"]["msgs_per_sim_s"],
+                codec["batched"]["wire_bytes"],
+                codec["batched"]["batches_sent"],
+                0,
+            ],
+            [
+                "codec adaptive",
+                codec["codec_adaptive"]["msgs_per_sim_s"],
+                codec["codec_adaptive"]["wire_bytes"],
+                codec["codec_adaptive"]["batches_sent"],
+                codec["codec_adaptive"]["batch_adaptations"],
+            ],
+        ],
+    )
+    compare(
+        "Per-message delivery latency (1 peer, low load, simulated ms)",
+        ["codec", "p50 ms", "p99 ms"],
+        [
+            ["off", latency["off"]["p50_ms"], latency["off"]["p99_ms"]],
+            ["on", latency["on"]["p50_ms"], latency["on"]["p99_ms"]],
+        ],
+    )
+
     # Acceptance: >= 3x throughput at 64-peer fanout.
     assert matrix["64"]["speedup"] >= 3.0, matrix["64"]
     # Acceptance: no regression at single-peer scale (<= 1.05x cost).
@@ -212,3 +363,12 @@ def test_dataplane_throughput(compare):
     assert wal["on"]["journal_records"] < wal["off"]["journal_records"], wal
     # Folding engages on consecutive same-peer spool runs (single peer).
     assert wal["single_peer_on"]["spool_folds"] > 0, wal
+    # Acceptance (PR 7): the binary codec with adaptive batching cuts
+    # wire bytes to <= 0.25x the JSON stop-and-wait baseline ...
+    assert codec["wire_bytes_vs_stop_and_wait"] <= 0.25, codec
+    # ... and delivers >= 1.5x messages/s over the PR 5 batched sender.
+    assert codec["speedup_vs_batched"] >= 1.5, codec
+    # The adaptive controller actually engaged under the burst backlog.
+    assert codec["codec_adaptive"]["batch_adaptations"] > 0, codec
+    # Acceptance (PR 7): no p99 latency regression at 1-peer low load.
+    assert latency["p99_ratio"] <= 1.05, latency

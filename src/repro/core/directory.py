@@ -47,6 +47,7 @@ from typing import (
     TYPE_CHECKING,
 )
 
+from repro.core.codec import BinaryFrame, CodecError, decode_gossip, encode_gossip
 from repro.core.errors import DirectoryError
 from repro.core.profile import TranslatorProfile, same_except_health
 from repro.core.query import Query
@@ -196,6 +197,8 @@ class Directory:
         self.announcements_received = 0
         self.full_requests_sent = 0
         self.full_requests_received = 0
+        self.codec_frames_sent = 0
+        self.codec_fallbacks = 0
         self.started = False
 
     # -- lifecycle ------------------------------------------------------------
@@ -810,7 +813,26 @@ class Directory:
         elif full:
             profiles = self._local_profiles()
         payload = self._announcement(profiles, removed, full, heartbeat, changed)
-        size = self._estimate_size(profiles, removed, changed)
+        if self.runtime.codec_enabled:
+            # Self-contained binary body: datagrams carry their own symbol
+            # table, so every receiver (multicast included) can decode it
+            # without negotiation.  The charged size is the actual frame --
+            # codec-honest bandwidth modeling, not the JSON estimate.
+            try:
+                frame = encode_gossip(payload)
+            except TypeError:
+                self.codec_fallbacks += 1
+                self.runtime.trace(
+                    "codec.fallback",
+                    "announcement body not binary-encodable; sending JSON",
+                )
+                size = self._estimate_size(profiles, removed, changed)
+            else:
+                payload = frame
+                size = frame.wire_size
+                self.codec_frames_sent += 1
+        else:
+            size = self._estimate_size(profiles, removed, changed)
         if to is None:
             self._socket.send_multicast(payload, size, DIRECTORY_GROUP, self.port)
             for peer, port in self._peers.items():
@@ -881,6 +903,19 @@ class Directory:
             except ConnectionClosed:
                 return
             payload = datagram.payload
+            if isinstance(payload, BinaryFrame):
+                # Decode capability is unconditional: a JSON-era receiver
+                # build never sees binary datagrams, but a codec-capable
+                # build must accept them whether or not its own sending
+                # side has the flag on.
+                try:
+                    payload = decode_gossip(payload)
+                except CodecError as exc:
+                    self.runtime.trace(
+                        "directory.protocol-error",
+                        f"undecodable binary announcement: {exc}",
+                    )
+                    continue
             if not isinstance(payload, dict):
                 continue
             kind = payload.get("kind")

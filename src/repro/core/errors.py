@@ -11,6 +11,7 @@ __all__ = [
     "TransportError",
     "DirectoryError",
     "BindingError",
+    "CodecError",
 ]
 
 
@@ -44,3 +45,7 @@ class DirectoryError(UMiddleError):
 
 class BindingError(UMiddleError):
     """Dynamic-binding failures: incompatible ports, bad queries."""
+
+
+class CodecError(UMiddleError):
+    """Malformed or truncated binary wire frames and journal bodies."""

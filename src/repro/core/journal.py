@@ -56,6 +56,13 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
+from repro.core.codec import (
+    CodecError,
+    decode_journal_body,
+    encode_journal_body,
+    is_binary_journal_body,
+)
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.runtime import UMiddleRuntime
     from repro.simnet.net import Network
@@ -126,13 +133,22 @@ def durable_media(network: "Network") -> DurableMedia:
     return media
 
 
-def encode_record(lsn: int, kind: str, data: dict) -> bytes:
-    """One checksummed, line-framed journal record."""
-    body = json.dumps(
-        {"data": data, "kind": kind, "lsn": lsn},
-        sort_keys=True,
-        separators=(",", ":"),
-    ).encode("utf-8")
+def encode_record(lsn: int, kind: str, data: dict, binary: bool = False) -> bytes:
+    """One checksummed, line-framed journal record.
+
+    With ``binary=True`` the body is the escaped binary codec encoding
+    (magic byte ``0xB2``, see :mod:`repro.core.codec`) instead of
+    canonical JSON; the line framing and CRC are identical either way,
+    and mixed blobs replay fine -- each body declares its own format in
+    its first byte.
+    """
+    record = {"data": data, "kind": kind, "lsn": lsn}
+    if binary:
+        body = encode_journal_body(record)
+    else:
+        body = json.dumps(
+            record, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
     return b"%08x " % (zlib.crc32(body) & 0xFFFFFFFF) + body + b"\n"
 
 
@@ -147,10 +163,16 @@ def _decode_line(line: bytes) -> Optional[dict]:
         return None
     if zlib.crc32(body) & 0xFFFFFFFF != crc:
         return None
-    try:
-        record = json.loads(body)
-    except ValueError:
-        return None
+    if is_binary_journal_body(body):
+        try:
+            record = decode_journal_body(body)
+        except CodecError:
+            return None
+    else:
+        try:
+            record = json.loads(body)
+        except ValueError:
+            return None
     if not isinstance(record, dict) or "lsn" not in record or "kind" not in record:
         return None
     return record
@@ -239,11 +261,17 @@ class Journal:
         media: DurableMedia,
         enabled: bool = True,
         fsync_interval: float = 0.0,
+        binary: bool = False,
     ):
         self.runtime = runtime
         self.media = media
         self.enabled = enabled
         self.fsync_interval = fsync_interval
+        #: Encode new record bodies with the binary codec.  Purely a
+        #: write-side choice: replay reads both formats, so flipping the
+        #: flag across restarts (or recovering a JSON-era blob with the
+        #: codec on) needs no migration.
+        self.binary = binary
         #: True while the runtime is crashed or replaying: appends dropped.
         self.muted = False
         self._pending = bytearray()
@@ -298,7 +326,7 @@ class Journal:
         self._fold = None
         # Encode before committing the LSN: a non-serializable payload must
         # raise without leaving a gap in the sequence chain.
-        record = encode_record(self._lsn + 1, kind, data)
+        record = encode_record(self._lsn + 1, kind, data, self.binary)
         self._lsn += 1
         self._pending += record
         self._pending_tail = record
@@ -333,7 +361,9 @@ class Journal:
             entries = fold["data"]["entries"]
             entries.append([envelope, size])
             try:
-                record = encode_record(fold["lsn"], "spool-batch", fold["data"])
+                record = encode_record(
+                    fold["lsn"], "spool-batch", fold["data"], self.binary
+                )
             except TypeError:
                 entries.pop()
                 raise
@@ -401,7 +431,7 @@ class Journal:
         immediately -- they never sit in the group-commit buffer."""
         if not self.enabled or self.muted:
             return
-        record = encode_record(1, "checkpoint", self._checkpoint_data())
+        record = encode_record(1, "checkpoint", self._checkpoint_data(), self.binary)
         blob = self.blob
         del blob[:]
         blob.extend(record)

@@ -12,6 +12,7 @@ import itertools
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Optional
 
+from repro.core.codec import json_size
 from repro.core.errors import ShapeError
 from repro.core.shapes import DigitalType
 
@@ -28,6 +29,10 @@ class UMessage:
         mime: the digital data type of the payload.
         payload: arbitrary Python object standing in for the payload bytes.
         size: payload size in bytes (drives simulated wire/marshal costs).
+            ``None`` derives it from the payload's canonical-JSON length,
+            the honest default for structured payloads; opaque stand-ins
+            (a short string representing a 4 KiB image) keep declaring
+            their size explicitly.
         source: port reference string of the producing port, if any.
         headers: free-form metadata (e.g. the VML document for UI events).
         sequence: **test-only** monotonically increasing id.  It comes from
@@ -41,7 +46,7 @@ class UMessage:
 
     mime: DigitalType
     payload: Any
-    size: int
+    size: Optional[int] = None
     source: Optional[str] = None
     headers: Dict[str, Any] = field(default_factory=dict)
     sequence: int = field(default_factory=lambda: next(_sequence))
@@ -51,6 +56,14 @@ class UMessage:
             object.__setattr__(self, "mime", DigitalType(self.mime))
         if self.mime.is_pattern:
             raise ShapeError(f"messages need a concrete MIME type, got {self.mime}")
+        if self.size is None:
+            try:
+                object.__setattr__(self, "size", json_size(self.payload))
+            except TypeError as exc:
+                raise ShapeError(
+                    "message payload is not JSON-representable; "
+                    f"pass an explicit size: {exc}"
+                ) from exc
         if self.size < 0:
             raise ShapeError(f"negative message size: {self.size}")
 

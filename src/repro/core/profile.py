@@ -14,16 +14,21 @@ import weakref
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Tuple
 
+from repro.core import codec
 from repro.core.errors import ShapeError
 from repro.core.shapes import Direction, DigitalType, PhysicalType, PortSpec, Shape
 
 __all__ = ["PortRef", "TranslatorProfile", "same_except_health"]
 
 
+def _canonical_encode(data: Dict[str, Any]) -> bytes:
+    """The canonical (key-sorted, compact) JSON encoding of a wire dict."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
 def _canonical_digest(data: Dict[str, Any]) -> str:
     """Content digest of a wire-form dict (canonical JSON, key-sorted)."""
-    encoded = json.dumps(data, sort_keys=True, separators=(",", ":")).encode("utf-8")
-    return hashlib.sha1(encoded).hexdigest()
+    return hashlib.sha1(_canonical_encode(data)).hexdigest()
 
 
 #: Profiles reconstructed from the wire, keyed by content digest.  Unchanged
@@ -127,11 +132,25 @@ class TranslatorProfile:
         return wire
 
     @property
+    def wire_bytes(self) -> bytes:
+        """The canonical JSON encoding of the wire form, computed once.
+
+        Both the content digest and the JSON size estimate derive from
+        this one cached encoding -- previously each site re-serialized
+        the dict independently.
+        """
+        cached = self.__dict__.get("_wire_bytes")
+        if cached is None:
+            cached = _canonical_encode(self.to_dict())
+            object.__setattr__(self, "_wire_bytes", cached)
+        return cached
+
+    @property
     def wire_digest(self) -> str:
         """Stable content digest of the wire form (delta/digest gossip)."""
         cached = self.__dict__.get("_digest")
         if cached is None:
-            cached = _canonical_digest(self.to_dict())
+            cached = hashlib.sha1(self.wire_bytes).hexdigest()
             object.__setattr__(self, "_digest", cached)
         return cached
 
@@ -201,6 +220,21 @@ class TranslatorProfile:
         base += sum(len(str(k)) + len(str(v)) for k, v in self.attributes.items())
         object.__setattr__(self, "_size", base)
         return base
+
+    def encoded_size(self) -> int:
+        """Advertisement size in bytes under the binary wire codec.
+
+        The codec-honest counterpart of :meth:`estimated_size`: callers
+        that charge simulated bandwidth while ``codec_enabled`` is on use
+        the actual self-contained binary encoding length, not the JSON
+        heuristic.
+        """
+        cached = self.__dict__.get("_bin_size")
+        if cached is not None:
+            return cached
+        size = codec.encoded_size(self.to_dict())
+        object.__setattr__(self, "_bin_size", size)
+        return size
 
     def index_keys(self) -> Tuple[Tuple[str, str], ...]:
         """Every coarse (axis, value) key this profile is discoverable by.

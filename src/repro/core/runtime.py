@@ -59,12 +59,22 @@ class UMiddleRuntime:
         batching_enabled: bool = False,
         sharding_enabled: bool = False,
         shard_count: int = DEFAULT_SHARD_COUNT,
+        codec_enabled: bool = False,
     ):
         self.node = node
         self.kernel: Kernel = node.network.kernel
         self.network = node.network
         self.calibration = calibration
         self.runtime_id = name or f"umiddle-{next(_runtime_counter)}-{node.name}"
+        #: Binary wire codec: envelopes, batch frames, gossip bodies, and
+        #: journal records use the interned varint encoding from
+        #: :mod:`repro.core.codec` instead of canonical JSON; the transport
+        #: negotiates it per peer (``codec-hello``) and keeps speaking JSON
+        #: to peers that never answer.  Off by default -- the JSON paths
+        #: reproduce the pre-codec wire and journal bytes exactly.  Must be
+        #: set before the journal/directory/transport constructors below,
+        #: which all read it.
+        self.codec_enabled = codec_enabled
         # The write-ahead journal must exist before the directory and
         # transport: both append records from their first state change.
         # The durable media lives on the network, so a journal constructed
@@ -74,6 +84,7 @@ class UMiddleRuntime:
             durable_media(node.network),
             enabled=journal_enabled,
             fsync_interval=fsync_interval,
+            binary=codec_enabled,
         )
         # Health machinery must exist before the directory and transport:
         # both consult it from their constructors onward.

@@ -502,6 +502,17 @@ class ShardRouter:
 
     # -- wiring ------------------------------------------------------------
 
+    def _profile_wire_size(self, profile: TranslatorProfile) -> int:
+        """Bytes one profile occupies on a placement/delta datagram.
+
+        Codec-honest: with the binary codec active the charge is the
+        actual self-contained encoding length, otherwise the legacy JSON
+        heuristic.
+        """
+        if self.runtime.codec_enabled:
+            return profile.encoded_size()
+        return profile.estimated_size()
+
     @property
     def directory(self) -> "Directory":
         return self.runtime.directory
@@ -769,7 +780,7 @@ class ShardRouter:
                     "digests": [p.wire_digest for p in batch],
                     "shards": shard_lists,
                 }
-                size = 64 + sum(p.estimated_size() + 48 for p in batch)
+                size = 64 + sum(self._profile_wire_size(p) + 48 for p in batch)
                 self._send(payload, size, owner)
                 self.pushes_sent += 1
 
@@ -1091,7 +1102,7 @@ class ShardRouter:
         """Owner side of a routed lookup: the full bucket for one key."""
         bucket = self.store.bucket(route_key)
         self.bucket_serves += 1
-        self.bucket_bytes_served += sum(p.estimated_size() for p in bucket)
+        self.bucket_bytes_served += sum(self._profile_wire_size(p) for p in bucket)
         return bucket
 
     def serve_scan(self, query: Query) -> List[TranslatorProfile]:
@@ -1177,7 +1188,7 @@ class ShardRouter:
             "digests": [p.wire_digest for p in current],
             "removed": [],
         }
-        size = 64 + sum(p.estimated_size() + 48 for p in current)
+        size = 64 + sum(self._profile_wire_size(p) + 48 for p in current)
         self._send(payload, size, origin)
         self.deltas_sent += 1
 

@@ -30,6 +30,7 @@ import itertools
 from collections import OrderedDict, deque
 from typing import Deque, Dict, Generator, List, Optional, Tuple, Union, TYPE_CHECKING
 
+from repro.core.codec import BinaryFrame, CodecError, WireDecoder, WireEncoder
 from repro.core.errors import TransportError
 from repro.core.health import OPEN, CircuitBreaker
 from repro.core.messages import UMessage
@@ -52,8 +53,32 @@ __all__ = ["MessagePath", "RemotePathHandle", "Transport"]
 
 _path_counter = itertools.count(1)
 
-#: Fixed envelope header bytes on the wire for inter-runtime messages.
+#: Fixed envelope header bytes on the wire for inter-runtime messages
+#: (JSON wire path; the binary codec charges actual encoded bytes instead).
 ENVELOPE_HEADER_BYTES = 64
+
+
+class _AdaptiveBatch:
+    """Per-peer load-adaptive batching state (codec mode only).
+
+    Caps start at the PR 5 constants and move with observed backlog: they
+    grow while the outbox outruns a full pipeline window and decay back
+    once the peer has been idle, so sustained throughput gets big frames
+    and wide windows while a quiet peer keeps single-frame latency.
+    """
+
+    __slots__ = ("max_envelopes", "max_bytes", "window", "flush_delay_s",
+                 "idle_rounds")
+
+    def __init__(self, max_envelopes: int, max_bytes: int, window: int):
+        self.max_envelopes = max_envelopes
+        self.max_bytes = max_bytes
+        self.window = window
+        #: Brief pre-send wait letting a forming batch fill while the
+        #: producer is hot; zero whenever the peer has recently drained,
+        #: so low-load sends are never delayed.
+        self.flush_delay_s = 0.0
+        self.idle_rounds = 0
 
 
 class MessagePath:
@@ -294,6 +319,17 @@ class Transport:
     #: Per-envelope framing bytes inside a batch frame (length prefix +
     #: offsets), charged on top of the shared ENVELOPE_HEADER_BYTES.
     BATCH_SUBHEADER_BYTES = 8
+    #: Load-adaptive ceilings (codec mode): batch caps and the pipeline
+    #: window double under sustained backlog up to these, and decay back
+    #: to the PR 5 constants when the peer goes idle.
+    ADAPT_MAX_ENVELOPES = 256
+    ADAPT_MAX_BYTES = 65536
+    ADAPT_MAX_WINDOW = 16
+    #: Flush-timer band: a persistent-but-underfull backlog grows the
+    #: pre-send wait from the floor toward the ceiling; a drained outbox
+    #: snaps it back to zero (low-load sends are never delayed).
+    ADAPT_FLUSH_MIN_S = 0.0002
+    ADAPT_FLUSH_MAX_S = 0.002
 
     def __init__(self, runtime: "UMiddleRuntime", port: int):
         self.runtime = runtime
@@ -302,6 +338,26 @@ class Transport:
         #: plane; when False they reproduce the stop-and-wait wire and
         #: journal behavior byte for byte.
         self.batching = bool(getattr(runtime, "batching_enabled", False))
+        #: Binary wire codec: envelopes and batch frames to peers that
+        #: completed the ``codec-hello`` handshake ship as interned binary
+        #: frames; everything else stays canonical JSON (per-peer
+        #: fallback), so mixed-version federations interoperate.
+        self.codec = bool(getattr(runtime, "codec_enabled", False))
+        #: Load-adaptive batching replaces the fixed batch constants; it
+        #: rides the codec flag so the default-off data plane is PR 6
+        #: byte for byte.
+        self.adaptive = self.codec and self.batching
+        #: Peers confirmed (via hello/welcome) to decode binary frames.
+        self._codec_ready: set = set()
+        #: Peers we already offered the codec to (one hello per peer).
+        self._hello_sent: set = set()
+        #: Per-peer symbol-interning encoders, reset with their stream.
+        self._encoders: Dict[str, WireEncoder] = {}
+        #: Per-peer adaptive batching state (codec mode only).
+        self._adaptive: Dict[str, _AdaptiveBatch] = {}
+        self.codec_frames_sent = 0
+        self.codec_fallbacks = 0
+        self.batch_adaptations = 0
         #: src ref -> immutable snapshot of bound paths, rebuilt on
         #: register/forget so per-message fan-out iterates allocation-free.
         self._paths_by_src: Dict[str, Tuple[MessagePath, ...]] = {}
@@ -407,6 +463,13 @@ class Transport:
         self._stream_seqs.clear()
         self._stream_reserved.clear()
         self._dedup.clear()
+        # Codec negotiation and adaptive batching state are in-memory
+        # only: a recovered sender re-offers the codec (and re-learns the
+        # load) on its next enqueue, speaking JSON until the new welcome.
+        self._codec_ready.clear()
+        self._hello_sent.clear()
+        self._encoders.clear()
+        self._adaptive.clear()
 
     def recover(self, state) -> None:
         """Rebuild transport state from a :class:`~repro.core.journal.
@@ -656,6 +719,13 @@ class Transport:
             # spooling would only doom more envelopes.
             self.spool_flushed += 1
             return
+        if self.codec and runtime_id not in self._hello_sent:
+            # Offer the binary codec ahead of the first envelope (the
+            # guard is set before recursing, so the hello itself does not
+            # re-offer).  Until the peer's welcome arrives every frame
+            # ships as canonical JSON -- the mixed-version fallback.
+            self._hello_sent.add(runtime_id)
+            self._send_control(runtime_id, {"kind": "codec-hello"})
         if stream is not None:
             seq = self._stream_seqs.get(stream, 0) + 1
             self._stream_seqs[stream] = seq
@@ -810,6 +880,131 @@ class Transport:
         )
         return attempts, backoff
 
+    # -- binary codec (per-peer negotiation + encoding) -----------------------
+
+    def _codec_encoder(self, runtime_id: str) -> WireEncoder:
+        encoder = self._encoders.get(runtime_id)
+        if encoder is None:
+            encoder = WireEncoder()
+            self._encoders[runtime_id] = encoder
+        return encoder
+
+    def _encode_envelope(self, runtime_id: str, envelope: dict):
+        """Binary frame for one envelope, or None for the JSON fallback.
+
+        None means either the peer never completed the codec handshake
+        (mixed-version federation) or the envelope is not representable;
+        both are counted in ``codec_fallbacks``."""
+        if not self.codec:
+            return None
+        if runtime_id not in self._codec_ready:
+            self.codec_fallbacks += 1
+            return None
+        try:
+            return self._codec_encoder(runtime_id).encode_envelope(envelope)
+        except TypeError as exc:
+            self.codec_fallbacks += 1
+            if self.runtime.tracing:
+                self.runtime.trace(
+                    "codec.fallback",
+                    f"to {runtime_id}: envelope not binary-representable "
+                    f"({exc}); sent as JSON",
+                )
+            return None
+
+    def _encode_batch(self, runtime_id: str, envelopes: List[dict]):
+        """Binary frame for a whole batch, or None for the JSON fallback."""
+        if not self.codec or runtime_id not in self._codec_ready:
+            if self.codec:
+                self.codec_fallbacks += 1
+            return None
+        try:
+            return self._codec_encoder(runtime_id).encode_batch(envelopes)
+        except TypeError as exc:
+            self.codec_fallbacks += 1
+            if self.runtime.tracing:
+                self.runtime.trace(
+                    "codec.fallback",
+                    f"to {runtime_id}: batch not binary-representable "
+                    f"({exc}); sent as JSON",
+                )
+            return None
+
+    def _adaptive_state(self, runtime_id: str) -> _AdaptiveBatch:
+        state = self._adaptive.get(runtime_id)
+        if state is None:
+            state = _AdaptiveBatch(
+                self.BATCH_MAX_ENVELOPES,
+                self.BATCH_MAX_BYTES,
+                self.PIPELINE_WINDOW,
+            )
+            self._adaptive[runtime_id] = state
+        return state
+
+    def _adapt_batching(
+        self, runtime_id: str, state: _AdaptiveBatch, backlog: int
+    ) -> None:
+        """One control-law step after an ack round (see DESIGN.md section 14).
+
+        - Saturated (backlog >= a full pipeline window of max-size
+          batches): double the caps and the window toward the ceilings.
+        - Trickling (some backlog, but less than one full batch): grow the
+          flush timer so forming batches fill before shipping.
+        - Drained: zero the flush timer immediately; after two
+          consecutive idle rounds decay caps/window back toward the PR 5
+          constants.
+        """
+        changed = None
+        if backlog >= state.max_envelopes * state.window:
+            if (
+                state.max_envelopes < self.ADAPT_MAX_ENVELOPES
+                or state.window < self.ADAPT_MAX_WINDOW
+            ):
+                state.max_envelopes = min(
+                    state.max_envelopes * 2, self.ADAPT_MAX_ENVELOPES
+                )
+                state.max_bytes = min(state.max_bytes * 2, self.ADAPT_MAX_BYTES)
+                state.window = min(state.window * 2, self.ADAPT_MAX_WINDOW)
+                changed = "grow"
+            state.flush_delay_s = 0.0  # batches are already full: ship now
+            state.idle_rounds = 0
+        elif backlog > 0:
+            if backlog < state.max_envelopes:
+                grown = min(
+                    max(state.flush_delay_s * 2.0, self.ADAPT_FLUSH_MIN_S),
+                    self.ADAPT_FLUSH_MAX_S,
+                )
+                if grown != state.flush_delay_s:
+                    state.flush_delay_s = grown
+                    changed = "flush-grow"
+            state.idle_rounds = 0
+        else:
+            state.flush_delay_s = 0.0
+            state.idle_rounds += 1
+            if state.idle_rounds >= 2 and (
+                state.max_envelopes > self.BATCH_MAX_ENVELOPES
+                or state.window > self.PIPELINE_WINDOW
+            ):
+                state.max_envelopes = max(
+                    state.max_envelopes // 2, self.BATCH_MAX_ENVELOPES
+                )
+                state.max_bytes = max(state.max_bytes // 2, self.BATCH_MAX_BYTES)
+                state.window = max(state.window // 2, self.PIPELINE_WINDOW)
+                changed = "shrink"
+        if changed is not None:
+            self.batch_adaptations += 1
+            if self.runtime.tracing:
+                self.runtime.trace(
+                    "batch.adapt",
+                    f"to {runtime_id}: {changed} -> "
+                    f"{state.max_envelopes} envelopes / {state.max_bytes}B "
+                    f"/ window {state.window} "
+                    f"/ flush {state.flush_delay_s * 1000:.1f}ms",
+                    backlog=backlog,
+                    envelopes=state.max_envelopes,
+                    window=state.window,
+                )
+
     def _peer_sender(self, runtime_id: str) -> Generator:
         """Drains the outbox for one peer over a single stream.
 
@@ -834,11 +1029,23 @@ class Transport:
                     stream = self._peer_streams.get(runtime_id)
                     if stream is None or stream.closed:
                         stream = yield from self._open_peer_stream(runtime_id)
-                    wire_size = size + ENVELOPE_HEADER_BYTES
+                    frame = self._encode_envelope(runtime_id, envelope)
+                    if frame is not None:
+                        # Binary codec: marshal cost and wire bytes both
+                        # come from the actual encoded frame.
+                        payload: object = frame
+                        wire_size = frame.wire_size
+                        cost_bytes = frame.wire_size
+                        self.codec_frames_sent += 1
+                    else:
+                        payload = envelope
+                        wire_size = size + ENVELOPE_HEADER_BYTES
+                        cost_bytes = size
                     yield kernel.timeout(
-                        umiddle.envelope_fixed_s + umiddle.envelope_per_byte_s * size
+                        umiddle.envelope_fixed_s
+                        + umiddle.envelope_per_byte_s * cost_bytes
                     )
-                    yield from stream.send_inline(envelope, wire_size)
+                    yield from stream.send_inline(payload, wire_size)
                     # Only count the envelope delivered once the peer's TCP
                     # has acknowledged it; a stream dying with data in its
                     # send window must re-deliver, not silently drop.
@@ -863,33 +1070,45 @@ class Transport:
                 del self._peer_senders[runtime_id]
 
     def _form_batch(
-        self, outbox: Deque[Tuple[str, dict, int]], start: int
+        self,
+        outbox: Deque[Tuple[str, dict, int]],
+        start: int,
+        max_envelopes: Optional[int] = None,
+        max_bytes: Optional[int] = None,
     ) -> List[Tuple[str, dict, int]]:
-        """Copy up to BATCH_MAX_ENVELOPES/BATCH_MAX_BYTES head entries
-        beginning at ``start`` (entries before it are already staged in an
-        in-flight batch).  The outbox is only *peeked*: entries are popped
-        at ack time, so the journal's FIFO view and the in-memory spool
-        stay aligned even if the sender dies mid-flight."""
+        """Copy up to ``max_envelopes``/``max_bytes`` head entries (the PR 5
+        constants unless adaptive batching supplies live caps) beginning at
+        ``start`` (entries before it are already staged in an in-flight
+        batch).  The outbox is only *peeked*: entries are popped at ack
+        time, so the journal's FIFO view and the in-memory spool stay
+        aligned even if the sender dies mid-flight."""
+        if max_envelopes is None:
+            max_envelopes = self.BATCH_MAX_ENVELOPES
+        if max_bytes is None:
+            max_bytes = self.BATCH_MAX_BYTES
         batch: List[Tuple[str, dict, int]] = []
         total = 0
         for entry in itertools.islice(outbox, start, None):
             size = entry[2]
-            if batch and (
-                len(batch) >= self.BATCH_MAX_ENVELOPES
-                or total + size > self.BATCH_MAX_BYTES
-            ):
+            if batch and (len(batch) >= max_envelopes or total + size > max_bytes):
                 break
             batch.append(entry)
             total += size
         return batch
 
     def _send_batch(
-        self, stream: StreamSocket, batch: List[Tuple[str, dict, int]]
+        self,
+        stream: StreamSocket,
+        batch: List[Tuple[str, dict, int]],
+        runtime_id: Optional[str] = None,
     ) -> Generator:
         """Marshal and transmit one coalesced batch frame.
 
         One fixed marshal cost covers the whole frame (that is the
-        amortization); the per-byte cost still scales with the payload."""
+        amortization); the per-byte cost still scales with the payload.
+        With the codec negotiated for ``runtime_id`` the whole batch ships
+        as one interned binary frame whose *actual* encoded bytes drive
+        both the marshal cost and the wire accounting."""
         kernel = self.runtime.kernel
         umiddle = self.runtime.calibration.umiddle
         total = 0
@@ -897,14 +1116,26 @@ class Transport:
         for _rid, envelope, size in batch:
             envelopes.append(envelope)
             total += size
-        frame = {"kind": "batch", "count": len(envelopes), "envelopes": envelopes}
-        wire_size = (
-            total
-            + ENVELOPE_HEADER_BYTES
-            + self.BATCH_SUBHEADER_BYTES * len(envelopes)
+        binary = (
+            self._encode_batch(runtime_id, envelopes)
+            if runtime_id is not None and self.codec
+            else None
         )
+        if binary is not None:
+            frame: object = binary
+            wire_size = binary.wire_size
+            cost_bytes = binary.wire_size
+            self.codec_frames_sent += 1
+        else:
+            frame = {"kind": "batch", "count": len(envelopes), "envelopes": envelopes}
+            wire_size = (
+                total
+                + ENVELOPE_HEADER_BYTES
+                + self.BATCH_SUBHEADER_BYTES * len(envelopes)
+            )
+            cost_bytes = total
         yield kernel.timeout(
-            umiddle.envelope_fixed_s + umiddle.envelope_per_byte_s * total
+            umiddle.envelope_fixed_s + umiddle.envelope_per_byte_s * cost_bytes
         )
         yield from stream.send_inline(frame, wire_size)
         self.batches_sent += 1
@@ -923,28 +1154,46 @@ class Transport:
         runtime = self.runtime
         kernel = runtime.kernel
         outbox = self._peer_outboxes[runtime_id]
+        adapt = self._adaptive_state(runtime_id) if self.adaptive else None
         attempts = 0
         try:
             while True:
                 if not outbox:
                     yield self._park_for_outbox(runtime_id)
                     continue
+                if (
+                    adapt is not None
+                    and adapt.flush_delay_s > 0.0
+                    and len(outbox) < adapt.max_envelopes
+                ):
+                    # A hot producer keeps trickling: wait briefly so the
+                    # forming batch fills instead of shipping underfull.
+                    # The delay is zero whenever the peer recently drained,
+                    # so idle-load latency is untouched.
+                    yield kernel.timeout(adapt.flush_delay_s)
                 try:
                     stream = self._peer_streams.get(runtime_id)
                     if stream is None or stream.closed:
                         stream = yield from self._open_peer_stream(runtime_id)
+                    if adapt is not None:
+                        window = adapt.window
+                        max_envelopes = adapt.max_envelopes
+                        max_bytes = adapt.max_bytes
+                    else:
+                        window = self.PIPELINE_WINDOW
+                        max_envelopes = self.BATCH_MAX_ENVELOPES
+                        max_bytes = self.BATCH_MAX_BYTES
                     inflight: List[int] = []
                     staged = 0
                     while staged < len(outbox) or inflight:
-                        while (
-                            staged < len(outbox)
-                            and len(inflight) < self.PIPELINE_WINDOW
-                        ):
-                            batch = self._form_batch(outbox, staged)
+                        while staged < len(outbox) and len(inflight) < window:
+                            batch = self._form_batch(
+                                outbox, staged, max_envelopes, max_bytes
+                            )
                             if not batch:
                                 break
                             staged += len(batch)
-                            yield from self._send_batch(stream, batch)
+                            yield from self._send_batch(stream, batch, runtime_id)
                             inflight.append(len(batch))
                         # In-order ack barrier: everything sent so far is
                         # acknowledged together, then journaled per batch.
@@ -962,6 +1211,11 @@ class Transport:
                         staged = 0
                         attempts = 0
                         self._record_delivery_success(runtime_id)
+                        if adapt is not None:
+                            self._adapt_batching(runtime_id, adapt, len(outbox))
+                            window = adapt.window
+                            max_envelopes = adapt.max_envelopes
+                            max_bytes = adapt.max_bytes
                 except (SocketError, TransportError) as exc:
                     # In-flight entries were never popped; they are still
                     # the head of the outbox (and of the journal's FIFO),
@@ -1026,6 +1280,14 @@ class Transport:
         breaker = self._breakers.get(runtime_id)
         if breaker is not None:
             breaker.probe_now()
+        if self.codec and runtime_id not in self._hello_sent:
+            # Negotiate the codec at discovery time, so by the time the
+            # first application envelope is spooled the peer's welcome has
+            # usually landed and the stream is binary from byte one
+            # (instead of spending the first pipeline window on JSON while
+            # the handshake is in flight).
+            self._hello_sent.add(runtime_id)
+            self._send_control(runtime_id, {"kind": "codec-hello"})
 
     def _open_peer_stream(self, runtime_id: str) -> Generator:
         info = self.runtime.directory.runtime_info(runtime_id)
@@ -1041,6 +1303,12 @@ class Transport:
         except ConnectionRefused as exc:
             raise TransportError(f"peer {runtime_id} unreachable: {exc}") from exc
         self._peer_streams[runtime_id] = stream
+        encoder = self._encoders.get(runtime_id)
+        if encoder is not None:
+            # Fresh stream, fresh symbol table: the peer's decoder for the
+            # newly accepted stream starts empty, and inline definitions
+            # re-teach it everything it needs in FIFO order.
+            encoder.reset()
         return stream
 
     # -- ingress from peers ----------------------------------------------------------
@@ -1062,6 +1330,10 @@ class Transport:
         runtime = self.runtime
         kernel = runtime.kernel
         umiddle = runtime.calibration.umiddle
+        # Per-stream symbol table, mirroring the sender's per-stream
+        # encoder: definitions ride inline in FIFO order, so a reconnect
+        # (new stream, fresh encoder) pairs with a fresh decoder here.
+        decoder: Optional[WireDecoder] = None
         while True:
             try:
                 envelope, _wire_size = yield stream.recv()
@@ -1069,12 +1341,30 @@ class Transport:
                 if stream in self._accepted_streams:
                     self._accepted_streams.remove(stream)
                 return
+            binary = isinstance(envelope, BinaryFrame)
+            if binary:
+                if decoder is None:
+                    decoder = WireDecoder()
+                try:
+                    envelope = decoder.decode_frame(envelope)
+                except CodecError as exc:
+                    runtime.trace(
+                        "transport.protocol-error",
+                        f"undecodable binary frame: {exc}",
+                    )
+                    continue
             kind = envelope.get("kind")
             if kind == "batch":
                 # One unmarshal cost for the whole coalesced frame, then
                 # each inner envelope is deduped and dispatched normally.
+                # Binary frames charge their actual received bytes; JSON
+                # frames keep the declared-payload accounting.
                 inner_envelopes = envelope.get("envelopes", ())
-                total = sum(e.get("size", 0) for e in inner_envelopes)
+                total = (
+                    _wire_size
+                    if binary
+                    else sum(e.get("size", 0) for e in inner_envelopes)
+                )
                 yield kernel.timeout(
                     umiddle.envelope_fixed_s + umiddle.envelope_per_byte_s * total
                 )
@@ -1092,7 +1382,7 @@ class Transport:
             ):
                 continue
             if kind == "message":
-                size = envelope["size"]
+                size = _wire_size if binary else envelope["size"]
                 yield kernel.timeout(
                     umiddle.envelope_fixed_s + umiddle.envelope_per_byte_s * size
                 )
@@ -1126,6 +1416,28 @@ class Transport:
             path = self._paths_by_id.get(envelope["path_id"])
             if path is not None:
                 path.close()
+        elif kind == "codec-hello":
+            # The peer offers the binary codec (which also proves it can
+            # decode our frames).  Confirm with a welcome when we speak it
+            # too; otherwise stay silent -- the peer keeps sending JSON,
+            # which is the whole mixed-version story.
+            origin = envelope.get("origin")
+            if origin is None:
+                return
+            if self.codec:
+                self._codec_ready.add(origin)
+                self._send_control(origin, {"kind": "codec-welcome"})
+            else:
+                self.codec_fallbacks += 1
+                self.runtime.trace(
+                    "codec.fallback",
+                    f"peer {origin} offered the binary codec; "
+                    "declining (codec disabled here)",
+                )
+        elif kind == "codec-welcome":
+            origin = envelope.get("origin")
+            if origin is not None and self.codec:
+                self._codec_ready.add(origin)
         else:
             self.runtime.trace(
                 "transport.protocol-error", f"unknown envelope kind {kind!r}"

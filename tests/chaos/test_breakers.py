@@ -24,6 +24,11 @@ BATCHING = os.environ.get("CHAOS_BATCHING", "0") == "1"
 #: sharded directory in the loop.
 SHARDED = os.environ.get("CHAOS_SHARDED", "0") == "1"
 
+#: CHAOS_CODEC=1 re-runs every scenario with the binary wire codec +
+#: load-adaptive batching active on every runtime (binary envelopes,
+#: batch frames, gossip bodies, and WAL record bodies).
+CODEC = os.environ.get("CHAOS_CODEC", "0") == "1"
+
 
 def text(payload, size=100):
     return UMessage("text/plain", payload, size)
@@ -41,8 +46,8 @@ def drip(bed, out, count, interval=0.5):
 def crash_pair(restart_after):
     """Source on r1 query-bound to a sink on r2; r2 crashes at CRASH_AT."""
     bed = build_testbed(hosts=["h1", "h2"])
-    r1 = bed.add_runtime("h1", batching_enabled=BATCHING, sharding_enabled=SHARDED)
-    r2 = bed.add_runtime("h2", batching_enabled=BATCHING, sharding_enabled=SHARDED)
+    r1 = bed.add_runtime("h1", batching_enabled=BATCHING, sharding_enabled=SHARDED, codec_enabled=CODEC)
+    r2 = bed.add_runtime("h2", batching_enabled=BATCHING, sharding_enabled=SHARDED, codec_enabled=CODEC)
 
     received = []
     sink = Translator("display", role="display")
@@ -115,13 +120,13 @@ def failover_triple(health_enabled):
     matching sink.  r2 (the initially-bound target) crashes for good."""
     bed = build_testbed(hosts=["h1", "h2", "h3"])
     r1 = bed.add_runtime(
-        "h1", health_enabled=health_enabled, batching_enabled=BATCHING, sharding_enabled=SHARDED
+        "h1", health_enabled=health_enabled, batching_enabled=BATCHING, sharding_enabled=SHARDED, codec_enabled=CODEC
     )
     r2 = bed.add_runtime(
-        "h2", health_enabled=health_enabled, batching_enabled=BATCHING, sharding_enabled=SHARDED
+        "h2", health_enabled=health_enabled, batching_enabled=BATCHING, sharding_enabled=SHARDED, codec_enabled=CODEC
     )
     r3 = bed.add_runtime(
-        "h3", health_enabled=health_enabled, batching_enabled=BATCHING, sharding_enabled=SHARDED
+        "h3", health_enabled=health_enabled, batching_enabled=BATCHING, sharding_enabled=SHARDED, codec_enabled=CODEC
     )
 
     received = []

@@ -33,6 +33,11 @@ BATCHING = os.environ.get("CHAOS_BATCHING", "0") == "1"
 #: the same journal and must recover just as exactly.
 SHARDED = os.environ.get("CHAOS_SHARDED", "0") == "1"
 
+#: CHAOS_CODEC=1 re-runs every scenario with the binary wire codec +
+#: load-adaptive batching active on every runtime (binary envelopes,
+#: batch frames, gossip bodies, and WAL record bodies).
+CODEC = os.environ.get("CHAOS_CODEC", "0") == "1"
+
 ROLES = ["display", "storage", "printer", "sensor"]
 MIMES = ["text/plain", "image/jpeg", "audio/wav"]
 
@@ -76,9 +81,10 @@ class TestColdRestart:
     def build(self, **kwargs):
         kwargs.setdefault("batching_enabled", BATCHING)
         kwargs.setdefault("sharding_enabled", SHARDED)
+        kwargs.setdefault("codec_enabled", CODEC)
         bed = build_testbed(hosts=["h1", "h2"])
         r1 = bed.add_runtime("h1", **kwargs)
-        r2 = bed.add_runtime("h2", batching_enabled=BATCHING, sharding_enabled=SHARDED)
+        r2 = bed.add_runtime("h2", batching_enabled=BATCHING, sharding_enabled=SHARDED, codec_enabled=CODEC)
         received = []
         sink = Translator("display-0", role="display")
         sink.add_digital_input("data-in", "text/plain", received.append)
@@ -273,8 +279,8 @@ class TestSeededEquivalence:
     def build_population(self, seed):
         rng = random.Random(seed)
         bed = build_testbed(hosts=["h1", "h2"])
-        r1 = bed.add_runtime("h1", batching_enabled=BATCHING, sharding_enabled=SHARDED)
-        r2 = bed.add_runtime("h2", batching_enabled=BATCHING, sharding_enabled=SHARDED)
+        r1 = bed.add_runtime("h1", batching_enabled=BATCHING, sharding_enabled=SHARDED, codec_enabled=CODEC)
+        r2 = bed.add_runtime("h2", batching_enabled=BATCHING, sharding_enabled=SHARDED, codec_enabled=CODEC)
         for index in range(rng.randrange(4, 9)):
             translator = Translator(
                 f"svc-{seed}-{index}", role=rng.choice(ROLES)
@@ -325,8 +331,8 @@ class TestSeededEquivalence:
 class TestExactlyOnce:
     def build_pipeline(self):
         bed = build_testbed(hosts=["h1", "h2"])
-        r1 = bed.add_runtime("h1", batching_enabled=BATCHING, sharding_enabled=SHARDED)
-        r2 = bed.add_runtime("h2", batching_enabled=BATCHING, sharding_enabled=SHARDED)
+        r1 = bed.add_runtime("h1", batching_enabled=BATCHING, sharding_enabled=SHARDED, codec_enabled=CODEC)
+        r2 = bed.add_runtime("h2", batching_enabled=BATCHING, sharding_enabled=SHARDED, codec_enabled=CODEC)
         received = []
         sink = Translator("display-0", role="display")
         sink.add_digital_input("data-in", "text/plain", received.append)
@@ -375,9 +381,9 @@ class TestExactlyOnce:
         never be mistaken for duplicates of reused sequence numbers."""
         bed = build_testbed(hosts=["h1", "h2"])
         r1 = bed.add_runtime(
-            "h1", fsync_interval=5.0, batching_enabled=BATCHING, sharding_enabled=SHARDED
+            "h1", fsync_interval=5.0, batching_enabled=BATCHING, sharding_enabled=SHARDED, codec_enabled=CODEC
         )
-        r2 = bed.add_runtime("h2", batching_enabled=BATCHING, sharding_enabled=SHARDED)
+        r2 = bed.add_runtime("h2", batching_enabled=BATCHING, sharding_enabled=SHARDED, codec_enabled=CODEC)
         received = []
         sink = Translator("display-0", role="display")
         sink.add_digital_input("data-in", "text/plain", received.append)
@@ -443,9 +449,9 @@ class TestExactlyOnce:
         from stable storage."""
         bed = build_testbed(hosts=["h1", "h2"])
         r1 = bed.add_runtime(
-            "h1", journal_enabled=False, batching_enabled=BATCHING, sharding_enabled=SHARDED
+            "h1", journal_enabled=False, batching_enabled=BATCHING, sharding_enabled=SHARDED, codec_enabled=CODEC
         )
-        r2 = bed.add_runtime("h2", batching_enabled=BATCHING, sharding_enabled=SHARDED)
+        r2 = bed.add_runtime("h2", batching_enabled=BATCHING, sharding_enabled=SHARDED, codec_enabled=CODEC)
         received = []
         sink = Translator("display-0", role="display")
         sink.add_digital_input("data-in", "text/plain", received.append)
@@ -478,9 +484,9 @@ class TestExactlyOnce:
         but dedup keys on per-(sender, path) envelope sequences, so no
         cross-runtime message is ever mistaken for a duplicate."""
         bed = build_testbed(hosts=["h1", "h2", "h3"])
-        r1 = bed.add_runtime("h1", batching_enabled=BATCHING, sharding_enabled=SHARDED)
-        r2 = bed.add_runtime("h2", batching_enabled=BATCHING, sharding_enabled=SHARDED)
-        r3 = bed.add_runtime("h3", batching_enabled=BATCHING, sharding_enabled=SHARDED)
+        r1 = bed.add_runtime("h1", batching_enabled=BATCHING, sharding_enabled=SHARDED, codec_enabled=CODEC)
+        r2 = bed.add_runtime("h2", batching_enabled=BATCHING, sharding_enabled=SHARDED, codec_enabled=CODEC)
+        r3 = bed.add_runtime("h3", batching_enabled=BATCHING, sharding_enabled=SHARDED, codec_enabled=CODEC)
         received = []
         sink = Translator("display-0", role="display")
         sink.add_digital_input("data-in", "text/plain", received.append)

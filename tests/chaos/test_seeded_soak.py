@@ -30,6 +30,11 @@ BATCHING = os.environ.get("CHAOS_BATCHING", "0") == "1"
 #: sharded directory (routed lookups, interest-scoped gossip); every
 #: post-storm invariant must hold identically in both modes.
 SHARDED = os.environ.get("CHAOS_SHARDED", "0") == "1"
+
+#: CHAOS_CODEC=1 re-runs every scenario with the binary wire codec +
+#: load-adaptive batching active on every runtime (binary envelopes,
+#: batch frames, gossip bodies, and WAL record bodies).
+CODEC = os.environ.get("CHAOS_CODEC", "0") == "1"
 STORM_HORIZON = 60.0
 # Lease (15 s) + announce interval + breaker reopen max (60 s) with slack.
 CALM_DOWN = 90.0
@@ -38,9 +43,9 @@ CALM_DOWN = 90.0
 def build_soak():
     """Three runtimes, a failover binding, and a steady sender."""
     bed = build_testbed(hosts=["h1", "h2", "h3"])
-    r1 = bed.add_runtime("h1", batching_enabled=BATCHING, sharding_enabled=SHARDED)
-    r2 = bed.add_runtime("h2", batching_enabled=BATCHING, sharding_enabled=SHARDED)
-    r3 = bed.add_runtime("h3", batching_enabled=BATCHING, sharding_enabled=SHARDED)
+    r1 = bed.add_runtime("h1", batching_enabled=BATCHING, sharding_enabled=SHARDED, codec_enabled=CODEC)
+    r2 = bed.add_runtime("h2", batching_enabled=BATCHING, sharding_enabled=SHARDED, codec_enabled=CODEC)
+    r3 = bed.add_runtime("h3", batching_enabled=BATCHING, sharding_enabled=SHARDED, codec_enabled=CODEC)
 
     received = []
     for index, runtime in enumerate((r2, r3)):

@@ -1,0 +1,374 @@
+"""The binary wire codec: round-trip identity, corruption safety, and
+per-peer negotiation fallback.
+
+The codec replaces canonical JSON on three surfaces -- transport
+envelopes/batches, directory gossip datagrams, and journal record bodies
+-- so these tests pin the properties the rest of the system leans on:
+
+- encode -> decode is the identity for everything JSON could carry
+  (after JSON's own key coercion), over fuzzed structures;
+- a truncated or bit-flipped frame raises :class:`CodecError` (or, for
+  journal bodies, fails the record CRC) -- it never silently mis-decodes;
+- a federation where one peer never negotiates the codec keeps working:
+  frames to that peer stay JSON, frames to codec peers go binary.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.core.codec import (
+    BinaryFrame,
+    CodecError,
+    WireDecoder,
+    WireEncoder,
+    decode_gossip,
+    decode_journal_body,
+    encode_gossip,
+    encode_journal_body,
+    encoded_size,
+    is_binary_journal_body,
+    json_size,
+)
+from repro.core.errors import ShapeError
+from repro.core.journal import encode_record, replay_blob
+from repro.core.messages import UMessage
+from repro.core.profile import _canonical_digest
+from repro.core.qos import QosPolicy
+from repro.core.translator import Translator
+from repro.testbed import build_testbed
+
+# -- fuzzed structure generators -------------------------------------------
+
+
+def fuzz_value(rng, depth=0):
+    """A random JSON-representable value (the codec's input domain)."""
+    choices = ["none", "bool", "int", "float", "str", "symbolish"]
+    if depth < 3:
+        choices += ["list", "dict"]
+    kind = rng.choice(choices)
+    if kind == "none":
+        return None
+    if kind == "bool":
+        return rng.random() < 0.5
+    if kind == "int":
+        return rng.choice(
+            [0, -1, 1, 63, 64, -64, 2**31, -(2**31), 2**60, rng.randrange(-10**6, 10**6)]
+        )
+    if kind == "float":
+        return rng.choice([0.0, -1.5, 3.14159, 1e-9, 1e12, float(rng.randrange(1000))])
+    if kind == "str":
+        length = rng.randrange(0, 200)
+        return "".join(rng.choice("abcdeXYZ/:-.é中 ") for _ in range(length))
+    if kind == "symbolish":
+        # Short repeated strings: the interning sweet spot.
+        return rng.choice(["text/plain", "rt-h0", "sensor", "path:a:b", "healthy"])
+    if kind == "list":
+        return [fuzz_value(rng, depth + 1) for _ in range(rng.randrange(0, 5))]
+    return {
+        rng.choice(["id", "mime", "x", "long-key-" + str(rng.randrange(5))]): fuzz_value(
+            rng, depth + 1
+        )
+        for _ in range(rng.randrange(0, 5))
+    }
+
+
+def fuzz_envelope(rng, index):
+    return {
+        "kind": "message",
+        "mime": rng.choice(["text/plain", "image/jpeg", "application/json"]),
+        "payload": fuzz_value(rng),
+        "size": rng.randrange(0, 4096),
+        "source": "rt-h0/feed/data-out",
+        "headers": {"n": index} if rng.random() < 0.5 else {},
+        "dst": f"rt-p{rng.randrange(4)}/display/data-in",
+        "origin": "rt-h0",
+        "stream": f"path:{index % 3}:rt-p{rng.randrange(4)}",
+        "seq": index + 1,
+    }
+
+
+def canonical(value):
+    """What JSON transport would deliver: keys coerced, tuples listed."""
+    return json.loads(json.dumps(value))
+
+
+# -- round-trip identity ----------------------------------------------------
+
+
+class TestRoundTrip:
+    def test_fuzzed_envelopes_round_trip_over_one_stream(self):
+        rng = random.Random(7)
+        encoder, decoder = WireEncoder(), WireDecoder()
+        for index in range(300):
+            envelope = fuzz_envelope(rng, index)
+            frame = encoder.encode_envelope(envelope)
+            assert decoder.decode_frame(frame) == canonical(envelope)
+
+    def test_fuzzed_batches_round_trip(self):
+        rng = random.Random(23)
+        encoder, decoder = WireEncoder(), WireDecoder()
+        for _round in range(30):
+            envelopes = [
+                fuzz_envelope(rng, i) for i in range(rng.randrange(1, 12))
+            ]
+            frame = encoder.encode_batch(envelopes)
+            decoded = decoder.decode_frame(frame)
+            assert decoded["kind"] == "batch"
+            assert decoded["count"] == len(envelopes)
+            assert decoded["envelopes"] == [canonical(e) for e in envelopes]
+
+    def test_fuzzed_gossip_bodies_round_trip(self):
+        rng = random.Random(41)
+        for _round in range(60):
+            body = {
+                "kind": "umiddle-directory",
+                "profiles": [fuzz_value(rng) for _ in range(rng.randrange(0, 4))],
+                "version": rng.randrange(1000),
+                "extra": fuzz_value(rng),
+            }
+            assert decode_gossip(encode_gossip(body)) == canonical(body)
+
+    def test_fuzzed_journal_records_round_trip(self):
+        rng = random.Random(59)
+        for lsn in range(1, 120):
+            data = {"peer": "rt-p0", "entries": [[fuzz_value(rng), lsn]]}
+            body = encode_journal_body({"data": data, "kind": "spool-batch", "lsn": lsn})
+            assert is_binary_journal_body(body)
+            assert b"\n" not in body  # must coexist with line framing
+            assert decode_journal_body(body) == {
+                "data": canonical(data),
+                "kind": "spool-batch",
+                "lsn": lsn,
+            }
+
+    def test_non_string_map_keys_match_json_coercion(self):
+        # json.dumps coerces these silently; replayed journal state must be
+        # identical whichever body format wrote it.
+        value = {"outer": {1: "a", True: "b", None: "c", 2.5: "d"}}
+        encoder, decoder = WireEncoder(), WireDecoder()
+        frame = encoder.encode_envelope({"kind": "message", "payload": [value]})
+        assert decoder.decode_frame(frame)["payload"] == [canonical(value)]
+
+    def test_opaque_payload_rides_out_of_band_at_declared_size(self):
+        # Non-structured payloads are stand-ins for bytes the simulation
+        # never materializes: the frame carries the object out of band and
+        # charges the declared size.
+        envelope = {"kind": "message", "payload": "stand-in", "size": 4096, "seq": 1}
+        encoder, decoder = WireEncoder(), WireDecoder()
+        frame = encoder.encode_envelope(envelope)
+        assert frame.oob_bytes == 4096
+        assert frame.wire_size == len(frame.data) + 4096
+        assert decoder.decode_frame(frame)["payload"] == "stand-in"
+
+    def test_structured_payloads_shrink_below_json(self):
+        # The self-contained encoding wins through repetition: field names
+        # defined once and referenced by 2-byte symbol ids thereafter.
+        payload = {
+            "readings": [
+                {"sensor": f"s{i}", "value": i, "unit": "celsius", "ok": True}
+                for i in range(8)
+            ]
+        }
+        assert encoded_size(payload) < json_size(payload)
+
+    def test_interning_shrinks_warm_frames(self):
+        envelope = fuzz_envelope(random.Random(3), 0)
+        encoder = WireEncoder()
+        cold = len(encoder.encode_envelope(envelope).data)
+        warm = len(encoder.encode_envelope(envelope).data)
+        assert warm < cold  # dynamic symbols defined once, referenced after
+
+    def test_unencodable_value_raises_typeerror_and_rolls_back(self):
+        encoder, decoder = WireEncoder(), WireDecoder()
+        with pytest.raises(TypeError):
+            encoder.encode_envelope({"kind": "message", "payload": [{"x": object()}]})
+        # The failed encode must not have taught the encoder symbols the
+        # decoder never saw: a following good envelope still decodes.
+        good = {"kind": "message", "payload": [{"x": 1}], "seq": 2}
+        assert decoder.decode_frame(encoder.encode_envelope(good)) == good
+
+
+# -- corruption: raise cleanly, never mis-decode ---------------------------
+
+
+class TestCorruption:
+    def frame(self):
+        encoder = WireEncoder()
+        return encoder.encode_batch(
+            [fuzz_envelope(random.Random(11), i) for i in range(5)]
+        )
+
+    def test_truncation_at_every_offset_raises(self):
+        frame = self.frame()
+        for end in range(len(frame.data)):
+            with pytest.raises(CodecError):
+                WireDecoder().decode_frame(
+                    BinaryFrame(frame.data[:end], frame.objs, frame.oob_bytes)
+                )
+
+    def test_bit_flip_at_every_offset_raises_or_roundtrips_crc(self):
+        frame = self.frame()
+        reference = WireDecoder().decode_frame(frame)
+        for offset in range(len(frame.data)):
+            for bit in (0x01, 0x80):
+                mutated = bytearray(frame.data)
+                mutated[offset] ^= bit
+                try:
+                    decoded = WireDecoder().decode_frame(
+                        BinaryFrame(bytes(mutated), frame.objs, frame.oob_bytes)
+                    )
+                except CodecError:
+                    continue
+                # CRC-32 catches every single-bit flip; reaching here at
+                # all means the checksum did not cover that byte.
+                raise AssertionError(
+                    f"bit flip at offset {offset} decoded to {decoded!r}"
+                )
+
+    def test_trailing_garbage_raises(self):
+        frame = self.frame()
+        with pytest.raises(CodecError):
+            WireDecoder().decode_frame(
+                BinaryFrame(frame.data + b"\x00", frame.objs, frame.oob_bytes)
+            )
+
+    def test_gossip_corruption_raises(self):
+        frame = encode_gossip({"kind": "umiddle-directory", "version": 9})
+        for end in range(len(frame.data)):
+            with pytest.raises(CodecError):
+                decode_gossip(BinaryFrame(frame.data[:end]))
+
+    def test_corrupt_journal_body_fails_record_crc(self):
+        record = encode_record(1, "register", {"a": [1, 2, 3]}, binary=True)
+        blob = bytearray(record)
+        blob[12] ^= 0x10
+        records, _clean, discarded = replay_blob(bytes(blob))
+        assert records == []
+        assert discarded == len(blob)
+
+    def test_mixed_format_blob_replays(self):
+        # A journal written partly before and partly after the codec flag
+        # flipped: replay reads both body formats in one chain.
+        blob = encode_record(1, "register", {"id": "t1"}, binary=False)
+        blob += encode_record(2, "register", {"id": "t2"}, binary=True)
+        blob += encode_record(3, "path-open", {"path_id": "p1"}, binary=False)
+        records, clean, discarded = replay_blob(blob)
+        assert [r["lsn"] for r in records] == [1, 2, 3]
+        assert records[1]["data"] == {"id": "t2"}
+        assert discarded == 0
+
+
+# -- satellite regressions --------------------------------------------------
+
+
+class TestSizeAccounting:
+    def test_umessage_size_defaults_to_canonical_json_length(self):
+        payload = {"reading": 21.5, "unit": "celsius"}
+        message = UMessage("text/plain", payload)
+        assert message.size == json_size(payload)
+        assert message.size == len(
+            json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+        )
+
+    def test_umessage_rejects_sizeless_opaque_payload(self):
+        with pytest.raises(ShapeError):
+            UMessage("text/plain", object())
+
+    def registered_profile(self, name):
+        bed = build_testbed(hosts=["h0"])
+        runtime = bed.add_runtime("h0")
+        translator = Translator(name, role="sensor")
+        translator.add_digital_output("frames", "image/jpeg")
+        runtime.register_translator(translator)
+        return translator.profile
+
+    def test_profile_digest_reuses_cached_wire_bytes(self):
+        profile = self.registered_profile("cam")
+        # Regression: the digest must equal a from-scratch canonical
+        # recompute of the wire dict, even though it is now derived from
+        # the cached wire_bytes encoding.
+        assert profile.wire_digest == _canonical_digest(profile.to_dict())
+        assert profile.wire_bytes == json.dumps(
+            profile.to_dict(), sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+
+    def test_profile_encoded_size_is_real_and_smaller(self):
+        profile = self.registered_profile("cam2")
+        assert profile.encoded_size() == encoded_size(profile.to_dict())
+        assert profile.encoded_size() < json_size(profile.to_dict())
+
+
+# -- mixed-version federation ----------------------------------------------
+
+
+def build_fanout(sink_codec_flags, **producer_kwargs):
+    hosts = ["h0"] + [f"p{i}" for i in range(len(sink_codec_flags))]
+    bed = build_testbed(hosts=hosts)
+    producer = bed.add_runtime("h0", **producer_kwargs)
+    source = Translator("feed", role="sensor")
+    out = source.add_digital_output("data-out", "text/plain")
+    producer.register_translator(source)
+    sinks = []
+    translators = []
+    for index, flag in enumerate(sink_codec_flags):
+        runtime = bed.add_runtime(f"p{index}", codec_enabled=flag)
+        received = []
+        sink = Translator(f"display-{index}", role="display")
+        sink.add_digital_input("data-in", "text/plain", received.append)
+        runtime.register_translator(sink)
+        sinks.append((runtime, received))
+        translators.append(sink)
+    bed.settle(1.0)
+    qos = QosPolicy(buffer_capacity=256)
+    for sink in translators:
+        producer.connect(out, sink.profile.port_ref("data-in"), qos=qos)
+    bed.settle(0.5)
+    return bed, producer, out, sinks
+
+
+class TestMixedVersionFederation:
+    def send_burst(self, out, count=60):
+        for index in range(count):
+            out.send(UMessage("text/plain", f"m{index}", 120))
+
+    def test_json_only_peer_falls_back_per_peer(self):
+        bed, producer, out, sinks = build_fanout(
+            [True, False], codec_enabled=True, batching_enabled=True
+        )
+        self.send_burst(out)
+        bed.settle(30.0)
+        for _runtime, received in sinks:
+            assert [m.payload for m in received] == [f"m{i}" for i in range(60)]
+        transport = producer.transport
+        # Negotiation is per peer: the codec peer was welcomed, the
+        # JSON-only peer never answered the hello.
+        assert transport._codec_ready == {sinks[0][0].runtime_id}
+        assert transport.codec_frames_sent > 0
+        assert transport.codec_fallbacks > 0
+
+    def test_codec_off_everywhere_sends_no_binary_frames(self):
+        bed, producer, out, sinks = build_fanout([False], batching_enabled=True)
+        self.send_burst(out)
+        bed.settle(30.0)
+        assert producer.transport.codec_frames_sent == 0
+        assert producer.directory.codec_frames_sent == 0
+        assert producer.journal.binary is False
+
+    def test_codec_on_everywhere_goes_binary_including_gossip_and_journal(self):
+        bed, producer, out, sinks = build_fanout(
+            [True], codec_enabled=True, batching_enabled=True
+        )
+        self.send_burst(out)
+        bed.settle(30.0)
+        _runtime, received = sinks[0]
+        assert [m.payload for m in received] == [f"m{i}" for i in range(60)]
+        assert producer.transport.codec_frames_sent > 0
+        assert producer.directory.codec_frames_sent > 0
+        assert producer.journal.binary is True
+        # The binary journal replays to the same state a JSON journal
+        # would: every record decodes with its kind intact.
+        records, _clean, discarded = replay_blob(producer.journal.blob)
+        assert discarded == 0
+        assert any(r["kind"] == "spool-batch" or r["kind"] == "spool" for r in records)
