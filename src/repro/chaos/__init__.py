@@ -32,6 +32,7 @@ from repro.chaos.faults import (
     NetworkPartition,
     NodeChurn,
     RuntimeCrash,
+    SagaBoundaryCrash,
 )
 from repro.chaos.metrics import RecoveryReport, first_record_after, time_to_rebind
 
@@ -46,6 +47,7 @@ __all__ = [
     "NodeChurn",
     "DeviceChurn",
     "MapperStall",
+    "SagaBoundaryCrash",
     "FaultPlan",
     "ChaosController",
     "random_plan",

@@ -19,6 +19,10 @@ methods that flip the corresponding switch in the simulation:
 - :class:`DeviceChurn` -- power-cycle a platform device through arbitrary
   ``down``/``up`` callables (platform stacks expose different power APIs).
 - :class:`MapperStall` -- suspend a mapper's discovery loop.
+- :class:`SagaBoundaryCrash` -- crash a runtime exactly when a saga
+  crosses a named journal boundary (``step-start``, ``step-done``,
+  ``compensate``, ``applied``...), before or after the record is durable;
+  the precision tool behind the crash-at-every-boundary recovery proof.
 
 Faults never use wall-clock randomness themselves; combined with the
 deterministic sim kernel and seeded media loss, an identical
@@ -45,6 +49,7 @@ __all__ = [
     "NodeChurn",
     "DeviceChurn",
     "MapperStall",
+    "SagaBoundaryCrash",
 ]
 
 
@@ -343,3 +348,101 @@ class MapperStall(Fault):
 
     def heal(self) -> None:
         self.mapper.resume()
+
+
+class SagaBoundaryCrash(Fault):
+    """Crash a runtime at an exact saga journal boundary.
+
+    Arming (``inject``, at time ``at``) registers a boundary hook on a
+    saga manager; when a matching boundary fires the target runtime
+    crashes *inside that kernel event* -- phase ``"pre"`` lands before the
+    boundary's record is appended (the transition never became durable),
+    ``"post"`` lands after the append + force-sync (durable, but nothing
+    after it ran).  ``observe`` picks whose manager emits the boundary
+    when it is not the crash target (e.g. watch a participant's
+    ``applied`` boundary while crashing that same participant, or crash a
+    coordinator when some other runtime's saga moves).
+
+    ``boundary`` is one of ``begin``, ``step-start``, ``step-done``,
+    ``compensate``, ``cancel``, ``end`` (coordinator side) or ``applied``
+    (participant side); ``step``/``saga_id`` narrow the match and
+    ``occurrence`` picks the Nth match.  ``recover_after`` schedules the
+    heal that many seconds after the crash fires (``None`` = stays dead);
+    ``duration`` stays unset because the controller cannot know the crash
+    time in advance -- the fault self-heals.
+    """
+
+    def __init__(
+        self,
+        runtime: "UMiddleRuntime",
+        boundary: str,
+        at: float = 0.0,
+        phase: str = "post",
+        step: Optional[int] = None,
+        saga_id: Optional[str] = None,
+        occurrence: int = 1,
+        lose_state: bool = False,
+        recover_after: Optional[float] = None,
+        observe: Optional["UMiddleRuntime"] = None,
+    ):
+        if phase not in ("pre", "post"):
+            raise ChaosError(f"phase must be 'pre' or 'post', got {phase!r}")
+        if occurrence < 1:
+            raise ChaosError(f"occurrence must be >= 1, got {occurrence}")
+        if recover_after is not None and recover_after < 0:
+            raise ChaosError(
+                f"recover_after must be non-negative, got {recover_after}"
+            )
+        super().__init__(at, None)
+        self.runtime = runtime
+        self.boundary = boundary
+        self.phase = phase
+        self.step = step
+        self.saga_id = saga_id
+        self.occurrence = occurrence
+        self.lose_state = lose_state
+        self.recover_after = recover_after
+        self.observe = observe or runtime
+        self.fired_at: Optional[float] = None
+        self._remaining = occurrence
+
+    def describe(self) -> str:
+        cold = " cold" if self.lose_state else ""
+        where = f" step {self.step}" if self.step is not None else ""
+        return (
+            f"crash {self.runtime.runtime_id}{cold} at saga boundary "
+            f"{self.boundary}/{self.phase}{where}"
+        )
+
+    def inject(self) -> None:
+        self.observe.sagas.add_boundary_hook(self._on_boundary)
+
+    def _on_boundary(
+        self, saga_id: str, boundary: str, step: Optional[int], phase: str
+    ) -> None:
+        if boundary != self.boundary or phase != self.phase:
+            return
+        if self.step is not None and step != self.step:
+            return
+        if self.saga_id is not None and saga_id != self.saga_id:
+            return
+        if self.runtime.crashed:
+            return
+        self._remaining -= 1
+        if self._remaining > 0:
+            return
+        self.observe.sagas.remove_boundary_hook(self._on_boundary)
+        kernel = self.runtime.kernel
+        self.fired_at = kernel.now
+        self.runtime.crash(lose_state=self.lose_state)
+        if self.recover_after is not None:
+            kernel.call_later(self.recover_after, self.heal)
+
+    def heal(self) -> None:
+        self.observe.sagas.remove_boundary_hook(self._on_boundary)
+        if not self.runtime.crashed:
+            return
+        if self.lose_state:
+            self.runtime.recover()
+        else:
+            self.runtime.restart()

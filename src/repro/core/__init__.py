@@ -24,6 +24,8 @@ This package implements the intermediary semantic space of Section 3:
   cold-restart recovery (durability extension).
 - :mod:`repro.core.shard` -- sharded directory: rendezvous-hashed namespace
   partitions with interest-scoped gossip (federation-scale extension).
+- :mod:`repro.core.saga` -- journaled multi-translator invocation groups
+  with per-step compensation (transactional-composition extension).
 - :mod:`repro.core.runtime` -- the uMiddle runtime hosting all of the above
   on a simulated network node.
 """
@@ -31,7 +33,9 @@ This package implements the intermediary semantic space of Section 3:
 from repro.core.errors import (
     BindingError,
     DirectoryError,
+    InvokeError,
     PortError,
+    SagaError,
     ShapeError,
     TranslationError,
     TransportError,
@@ -60,6 +64,7 @@ from repro.core.ports import DigitalInputPort, DigitalOutputPort, PhysicalPort
 from repro.core.translator import GenericTranslator, NativeHandle, Translator
 from repro.core.mapper import Mapper
 from repro.core.qos import DropPolicy, QosPolicy, TokenBucket
+from repro.core.saga import Saga, SagaManager, SagaStep
 from repro.core.shard import ShardMap, ShardRouter, ShardStore, shard_fabric
 from repro.core.runtime import UMiddleRuntime
 
@@ -69,9 +74,11 @@ __all__ = [
     "PortError",
     "UsdlError",
     "TranslationError",
+    "InvokeError",
     "TransportError",
     "DirectoryError",
     "BindingError",
+    "SagaError",
     "Direction",
     "DigitalType",
     "PhysicalType",
@@ -103,6 +110,9 @@ __all__ = [
     "Journal",
     "RecoveredState",
     "durable_media",
+    "Saga",
+    "SagaManager",
+    "SagaStep",
     "ShardMap",
     "ShardRouter",
     "ShardStore",

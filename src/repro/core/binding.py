@@ -20,15 +20,72 @@ import itertools
 from typing import Dict, List, Optional, Union, TYPE_CHECKING
 
 from repro.core.directory import DirectoryListener
-from repro.core.errors import BindingError
+from repro.core.errors import BindingError, SagaError
+from repro.core.messages import UMessage
 from repro.core.ports import DigitalInputPort, DigitalOutputPort
-from repro.core.profile import TranslatorProfile
+from repro.core.profile import PortRef, TranslatorProfile
 from repro.core.query import Query
+from repro.core.saga import Saga, SagaStep
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.runtime import UMiddleRuntime
 
-__all__ = ["DynamicBinding"]
+__all__ = ["DynamicBinding", "connect_saga"]
+
+
+def connect_saga(
+    runtime: "UMiddleRuntime",
+    actions,
+    timeout_s: float = 5.0,
+    max_attempts: int = 3,
+) -> Saga:
+    """Composite-action front-end: normalize ``actions`` into
+    :class:`~repro.core.saga.SagaStep` objects and begin the saga.
+
+    Each action is a :class:`SagaStep`, or a ``(target, message)`` /
+    ``(target, message, compensation)`` tuple where ``target`` is a
+    :class:`~repro.core.query.Query` (directory-resolved per attempt, so
+    the step fails over like a ``failover=True`` binding) or a pinned
+    :class:`~repro.core.profile.PortRef`.  ``compensation`` is the message
+    that undoes the step; omit it for steps with nothing to undo.
+    """
+    steps = []
+    for action in actions:
+        if isinstance(action, SagaStep):
+            steps.append(action)
+            continue
+        if not isinstance(action, (tuple, list)) or not 2 <= len(action) <= 3:
+            raise SagaError(
+                f"saga action must be a SagaStep or a (target, message"
+                f"[, compensation]) tuple, got {action!r}"
+            )
+        target, message = action[0], action[1]
+        compensation = action[2] if len(action) == 3 else None
+        if not isinstance(message, UMessage) or (
+            compensation is not None and not isinstance(compensation, UMessage)
+        ):
+            raise SagaError(f"saga messages must be UMessage, got {action!r}")
+        query: Optional[Query] = None
+        ref: Optional[PortRef] = None
+        if isinstance(target, Query):
+            query = target
+        elif isinstance(target, PortRef):
+            ref = target
+        else:
+            raise SagaError(
+                f"saga target must be a Query or PortRef, got {target!r}"
+            )
+        steps.append(
+            SagaStep(
+                message=message,
+                compensation=compensation,
+                query=query,
+                target=ref,
+                timeout_s=timeout_s,
+                max_attempts=max_attempts,
+            )
+        )
+    return runtime.sagas.begin(steps)
 
 _binding_counter = itertools.count(1)
 

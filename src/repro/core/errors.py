@@ -8,10 +8,12 @@ __all__ = [
     "PortError",
     "UsdlError",
     "TranslationError",
+    "InvokeError",
     "TransportError",
     "DirectoryError",
     "BindingError",
     "CodecError",
+    "SagaError",
 ]
 
 
@@ -35,6 +37,45 @@ class TranslationError(UMiddleError):
     """A device-level translation failed (native invocation errors)."""
 
 
+class InvokeError(TranslationError):
+    """One failed translator invocation, in structured form.
+
+    Raised by :meth:`Translator.invoke` (and the generic translator's
+    native-invoke path) instead of letting bare platform exceptions
+    escape.  The saga coordinator reads ``retryable`` to decide between
+    re-driving the step and running compensations; other callers get a
+    stable exception surface carrying the failing translator.
+
+    Attributes:
+        translator_id: the translator whose invocation failed.
+        step: saga step index when invoked from a saga, else ``None``.
+        cause: the underlying platform exception, if any.
+        retryable: True when the failure is transient (breaker shed, or
+            the platform exception declared ``retryable = True``); a saga
+            burns retry budget on these and compensates on the rest.
+    """
+
+    def __init__(
+        self,
+        translator_id: str,
+        detail: str = "",
+        step=None,
+        cause: "Exception | None" = None,
+        retryable: bool = False,
+    ):
+        self.translator_id = translator_id
+        self.step = step
+        self.cause = cause
+        self.retryable = retryable
+        self.detail = detail or (str(cause) if cause is not None else "")
+        label = f"invoke failed on {translator_id!r}"
+        if step is not None:
+            label += f" (step {step})"
+        if self.detail:
+            label += f": {self.detail}"
+        super().__init__(label)
+
+
 class TransportError(UMiddleError):
     """Message-path failures: unknown ports, unreachable runtimes."""
 
@@ -49,3 +90,8 @@ class BindingError(UMiddleError):
 
 class CodecError(UMiddleError):
     """Malformed or truncated binary wire frames and journal bodies."""
+
+
+class SagaError(UMiddleError):
+    """Saga misuse: empty step lists, begin on a crashed or
+    saga-disabled runtime, malformed step actions."""

@@ -45,7 +45,28 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.profile import TranslatorProfile
     from repro.core.runtime import UMiddleRuntime
 
-__all__ = ["HealthState", "CircuitBreaker", "HealthMonitor", "Supervisor"]
+__all__ = [
+    "HealthState",
+    "CircuitBreaker",
+    "HealthMonitor",
+    "Supervisor",
+    "jittered_backoff",
+]
+
+
+def jittered_backoff(
+    key: str, attempt: int, base_s: float, max_s: float, jitter: float = 0.25
+) -> float:
+    """Deterministic exponential backoff with CRC-seeded jitter.
+
+    Shared by the saga retry loop (and usable by any budgeted retrier):
+    seeding from ``(key, attempt)`` keeps seeded chaos replays identical
+    while de-synchronizing concurrent retry loops -- the same reasoning
+    as :class:`CircuitBreaker`'s CRC-seeded reopen jitter.
+    """
+    rng = random.Random(zlib.crc32(f"{key}#{attempt}".encode("utf-8")))
+    delay = min(base_s * (2.0 ** max(attempt - 1, 0)), max_s)
+    return delay * (1.0 + jitter * (2.0 * rng.random() - 1.0))
 
 
 class HealthState(Enum):

@@ -231,6 +231,17 @@ class RecoveredState:
     shard_entries: Dict[str, dict] = field(default_factory=dict)
     #: shard ids this node owned at its last ownership transition.
     shard_owned: List[int] = field(default_factory=list)
+    #: saga_id -> folded saga progress (see ``_apply``'s saga-* kinds):
+    #: the coordinator-side state machine for every saga that has begun
+    #: but not yet journaled its ``saga-end``.
+    sagas: Dict[str, dict] = field(default_factory=dict)
+    #: participant-side reply cache: "origin|saga|step|leg" -> {"seq"} for
+    #: every saga invocation this runtime durably applied, so a re-driven
+    #: step after recovery re-replies instead of re-applying.
+    saga_applied: Dict[str, dict] = field(default_factory=dict)
+    #: peers whose binary-codec negotiation completed (``codec-ready``),
+    #: so a cold-restarted runtime resumes binary frames immediately.
+    codec_peers: List[str] = field(default_factory=list)
     applied_records: int = 0
     discarded_bytes: int = 0
 
@@ -463,6 +474,15 @@ class Journal:
             data["shard_entries"] = mirror.shard_entries
         if mirror.shard_owned:
             data["shard_owned"] = mirror.shard_owned
+        # Same discipline for saga and codec-negotiation state: the fields
+        # appear only once something wrote them, so saga-off (and
+        # codec-off) checkpoints stay byte-identical to PR 7.
+        if mirror.sagas:
+            data["sagas"] = mirror.sagas
+        if mirror.saga_applied:
+            data["saga_applied"] = mirror.saga_applied
+        if mirror.codec_peers:
+            data["codec_peers"] = mirror.codec_peers
         return data
 
     def _flush_timer(self) -> None:
@@ -581,6 +601,73 @@ class Journal:
                     del state.shard_entries[translator_id]
         elif kind == "shard-own":
             state.shard_owned = list(data["owned"])
+        elif kind == "saga-begin":
+            state.sagas[data["saga_id"]] = {
+                "steps": [dict(step) for step in data["steps"]],
+                "status": "running",
+                "step": 0,
+                "attempt": 0,
+                "inflight": False,
+                "targets": {},
+                "applied": [],
+                "compensated": [],
+                "cancels": [],
+            }
+        elif kind == "saga-step-start":
+            saga = state.sagas.get(data["saga_id"])
+            if saga is not None:
+                saga["step"] = data["step"]
+                saga["attempt"] = data["attempt"]
+                saga["inflight"] = True
+                saga["targets"][str(data["step"])] = data["target"]
+                rebound_from = data.get("rebound_from")
+                if rebound_from:
+                    # The previous target may have applied the step before
+                    # going dark; a cancel undoes it if it did.
+                    saga["cancels"].append(
+                        {"step": data["step"], "target": rebound_from}
+                    )
+        elif kind == "saga-step-done":
+            saga = state.sagas.get(data["saga_id"])
+            if saga is not None:
+                saga["inflight"] = False
+                saga["attempt"] = 0
+                if data["status"] == "applied":
+                    saga["applied"].append(data["step"])
+                    saga["step"] = data["step"] + 1
+                else:  # compensated
+                    saga["compensated"].append(data["step"])
+        elif kind == "saga-compensate":
+            saga = state.sagas.get(data["saga_id"])
+            if saga is not None:
+                saga["status"] = "compensating"
+                if data.get("phase") == "begin":
+                    saga["inflight"] = False
+                    saga["attempt"] = 0
+                    saga["cancels"].extend(
+                        dict(entry) for entry in data.get("cancels", ())
+                    )
+                else:  # one compensation attempt for one step
+                    saga["step"] = data["step"]
+                    saga["attempt"] = data["attempt"]
+                    saga["inflight"] = True
+        elif kind == "saga-cancel-done":
+            saga = state.sagas.get(data["saga_id"])
+            if saga is not None:
+                for index, entry in enumerate(saga["cancels"]):
+                    if (
+                        entry["step"] == data["step"]
+                        and entry["target"] == data["target"]
+                    ):
+                        del saga["cancels"][index]
+                        break
+        elif kind == "saga-end":
+            state.sagas.pop(data["saga_id"], None)
+        elif kind == "saga-applied":
+            state.saga_applied[data["key"]] = {"seq": data["seq"]}
+        elif kind == "codec-ready":
+            if data["peer"] not in state.codec_peers:
+                state.codec_peers.append(data["peer"])
         elif kind == "checkpoint":
             state.registered = {
                 key: dict(value) for key, value in data["registered"].items()
@@ -603,6 +690,20 @@ class Journal:
                 for key, value in data.get("shard_entries", {}).items()
             }
             state.shard_owned = list(data.get("shard_owned", ()))
+            state.sagas = {}
+            for key, value in data.get("sagas", {}).items():
+                saga = dict(value)
+                saga["steps"] = [dict(step) for step in value["steps"]]
+                saga["targets"] = dict(value["targets"])
+                saga["applied"] = list(value["applied"])
+                saga["compensated"] = list(value["compensated"])
+                saga["cancels"] = [dict(entry) for entry in value["cancels"]]
+                state.sagas[key] = saga
+            state.saga_applied = {
+                key: dict(value)
+                for key, value in data.get("saga_applied", {}).items()
+            }
+            state.codec_peers = list(data.get("codec_peers", ()))
         elif kind == "breaker":
             if data.get("state") == "closed":
                 state.breakers.pop(data["peer"], None)

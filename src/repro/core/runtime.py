@@ -15,7 +15,7 @@ import itertools
 from typing import Dict, List, Optional, Union
 
 from repro.calibration import Calibration, DEFAULT
-from repro.core.binding import DynamicBinding
+from repro.core.binding import DynamicBinding, connect_saga as _connect_saga
 from repro.core.directory import DIRECTORY_PORT, Directory
 from repro.core.errors import TransportError, UMiddleError
 from repro.core.health import HealthMonitor, HealthState, Supervisor
@@ -24,6 +24,7 @@ from repro.core.ports import DigitalInputPort, DigitalOutputPort
 from repro.core.profile import PortRef, TranslatorProfile
 from repro.core.qos import QosPolicy
 from repro.core.query import Query
+from repro.core.saga import Saga, SagaManager
 from repro.core.shard import DEFAULT_SHARD_COUNT, ShardRouter
 from repro.core.translator import Translator
 from repro.core.transport import MessagePath, RemotePathHandle, Transport
@@ -60,6 +61,7 @@ class UMiddleRuntime:
         sharding_enabled: bool = False,
         shard_count: int = DEFAULT_SHARD_COUNT,
         codec_enabled: bool = False,
+        saga_enabled: bool = False,
     ):
         self.node = node
         self.kernel: Kernel = node.network.kernel
@@ -111,6 +113,10 @@ class UMiddleRuntime:
         )
         self.directory = Directory(self, port=directory_port)
         self.transport = Transport(self, port=transport_port)
+        #: Journaled saga coordinator/participant (:mod:`repro.core.saga`).
+        #: Off by default -- a disabled manager refuses `connect_saga` and
+        #: keeps wire and journal bytes identical to a saga-free build.
+        self.sagas = SagaManager(self, enabled=saga_enabled)
         self.mappers: List = []
         self.translators: Dict[str, Translator] = {}
         self._bindings: List[DynamicBinding] = []
@@ -171,6 +177,7 @@ class UMiddleRuntime:
         self.directory.stop()
         self.directory.forget_remote()
         self.health.forget_peers()
+        self.sagas.deactivate()
         if lose_state and self.journal.enabled:
             self._cold_crashed = True
             for binding in list(self._bindings):
@@ -179,6 +186,7 @@ class UMiddleRuntime:
             self.directory.discard_local()
             self.transport.discard_state()
             self.shards.discard_state()
+            self.sagas.discard_state()
             self.trace("runtime.crash", "crashed (in-memory state lost)")
         else:
             self.trace("runtime.crash", "crashed")
@@ -204,6 +212,9 @@ class UMiddleRuntime:
             mapper.resume()
         for binding in list(self._bindings):
             binding.refresh()
+        # Unfinished sagas survive a warm crash in memory; respawn their
+        # drivers (a re-driven step is deduped by the participant cache).
+        self.sagas.resume()
         self.trace("runtime.restart", "restarted")
 
     def recover(self) -> None:
@@ -246,6 +257,7 @@ class UMiddleRuntime:
             self.directory.recover_local(TranslatorProfile.from_dict(data))
         self.transport.recover(state)
         self.shards.recover(state)
+        self.sagas.recover(state)
         self.journal.muted = False
         self.transport.start()
         self.directory.start()
@@ -276,13 +288,17 @@ class UMiddleRuntime:
         # rebuilt runtime (opaque spool markers the respool skipped are
         # gone from it), and the replayed prefix collapses to one record.
         self.journal.checkpoint()
+        # Re-drive unfinished sagas only after the checkpoint sealed the
+        # recovered view: their fresh records land in the new epoch.
+        self.sagas.resume()
         self.trace(
             "runtime.recover",
             f"cold restart from {state.applied_records} journal record(s): "
             f"{len(state.registered)} translator(s), "
             f"{len(state.bindings)} binding(s), {len(state.paths)} path(s), "
             f"{sum(len(v) for v in state.spool.values())} spooled envelope(s), "
-            f"{len(state.shard_entries)} shard-stored profile(s)",
+            f"{len(state.shard_entries)} shard-stored profile(s), "
+            f"{len(state.sagas)} unfinished saga(s)",
         )
 
     def _recover_port(
@@ -464,6 +480,27 @@ class UMiddleRuntime:
             },
         )
         return binding
+
+    def connect_saga(
+        self,
+        actions,
+        timeout_s: float = 5.0,
+        max_attempts: int = 3,
+    ) -> Saga:
+        """Composite action with transactional semantics: a journaled saga.
+
+        ``actions`` is an ordered list of ``(target, message)`` or
+        ``(target, message, compensation)`` tuples (or ready-made
+        :class:`~repro.core.saga.SagaStep` objects); each target is a
+        :class:`~repro.core.query.Query` (healthy-first resolution with
+        failover) or a pinned :class:`~repro.core.profile.PortRef`.  Either
+        every step's effect applies, or every applied effect is
+        compensated -- never half, across warm/cold crashes and owner
+        failover.  Requires ``saga_enabled=True``.
+        """
+        return _connect_saga(
+            self, actions, timeout_s=timeout_s, max_attempts=max_attempts
+        )
 
     def _forget_binding(self, binding: DynamicBinding) -> None:
         if binding in self._bindings:

@@ -23,7 +23,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Callable, Dict, Generator, List, Optional, TYPE_CHECKING
 
-from repro.core.errors import PortError, TranslationError
+from repro.core.errors import InvokeError, PortError, TranslationError
 from repro.core.health import CircuitBreaker
 from repro.core.messages import UMessage
 from repro.core.ports import DigitalInputPort, DigitalOutputPort, PhysicalPort, Port
@@ -149,6 +149,50 @@ class Translator:
             health=self.runtime.health.health_of(self.translator_id).value,
         )
 
+    # -- structured invocation ------------------------------------------------
+
+    def invoke(
+        self, port_name: str, message: UMessage, step: Optional[int] = None
+    ) -> Generator:
+        """Deliver ``message`` to the digital input ``port_name`` and run
+        the handler to completion, as a generator charging the handler's
+        simulated costs inline.
+
+        Unlike plain port delivery (fire-and-forget), failures surface as
+        a structured :class:`InvokeError` carrying the translator id, the
+        optional saga ``step``, the underlying cause and a ``retryable``
+        flag (an exception attribute of the same name on the cause, when
+        present).  The saga coordinator uses this to decide retry versus
+        compensate; any caller gets a stable exception surface instead of
+        bare platform exceptions.  Success and failure both feed the
+        runtime's health monitor.
+        """
+        port = self.input_port(port_name)
+        runtime = self.runtime
+        if runtime is None:
+            raise InvokeError(
+                self.translator_id, "translator is detached", step=step
+            )
+        try:
+            result = port.deliver(message)
+            if hasattr(result, "send") and hasattr(result, "throw"):
+                yield from result
+        except (Interrupt, ProcessKilled):
+            raise
+        except InvokeError:
+            runtime.health.record_failure(self.translator_id, kind="invoke")
+            raise
+        except Exception as exc:
+            runtime.health.record_failure(self.translator_id, kind="invoke")
+            raise InvokeError(
+                self.translator_id,
+                step=step,
+                cause=exc,
+                retryable=bool(getattr(exc, "retryable", False)),
+            ) from exc
+        else:
+            runtime.health.record_success(self.translator_id)
+
     # -- lifecycle -----------------------------------------------------------
 
     def attach(self, runtime: "UMiddleRuntime") -> None:
@@ -234,6 +278,9 @@ class GenericTranslator(Translator):
         self.invoke_failures = 0
         self.short_circuited = 0
         self._invoke_breaker: Optional[CircuitBreaker] = None
+        #: port name -> USDL binding for digital inputs, so the structured
+        #: :meth:`invoke` surface can reach the native device directly.
+        self._input_bindings: Dict[str, UsdlBinding] = {}
 
         for usdl_port in document.ports:
             if not usdl_port.is_digital:
@@ -250,6 +297,7 @@ class GenericTranslator(Translator):
                 self.add_digital_input(
                     usdl_port.name, usdl_port.digital_type.mime, handler
                 )
+                self._input_bindings[usdl_port.name] = binding
             else:
                 port = self.add_digital_output(
                     usdl_port.name, usdl_port.digital_type.mime
@@ -269,12 +317,33 @@ class GenericTranslator(Translator):
         runtime = self.runtime
         if runtime is None:
             raise TranslationError("message delivered to a detached translator")
+        yield from self._charge_translation(binding)
+        try:
+            yield from self._native_invoke(binding, message)
+        except InvokeError:
+            # Plain message-path delivery stays fire-and-forget: the
+            # failure was recorded (breaker, health, counters) inside
+            # _native_invoke and the message is dropped.
+            pass
+
+    def _charge_translation(self, binding: UsdlBinding) -> Generator:
+        runtime = self.runtime
         costs = runtime.calibration.umiddle
         if binding.kind == "action":
             # Device-level control translation (~10 ms in the paper).
             yield runtime.kernel.timeout(costs.message_translation_s)
         else:  # sink: stream data passes through with only dispatch cost
             yield runtime.kernel.timeout(costs.transport_dispatch_s)
+
+    def _native_invoke(
+        self,
+        binding: UsdlBinding,
+        message: UMessage,
+        step: Optional[int] = None,
+    ) -> Generator:
+        """Run one breaker-guarded native invocation; failures (including
+        breaker sheds) raise a structured :class:`InvokeError`."""
+        runtime = self.runtime
         breaker = self._invoke_breaker
         if breaker is not None and not breaker.allow():
             # Native endpoint conclusively failing: shed the invocation
@@ -284,7 +353,12 @@ class GenericTranslator(Translator):
                 "translator.short-circuit",
                 f"{self.translator_id}: native invoke shed (breaker open)",
             )
-            return
+            raise InvokeError(
+                self.translator_id,
+                "native invoke shed (breaker open)",
+                step=step,
+                retryable=True,
+            )
         try:
             yield from self.native.invoke(binding, message)
         except (Interrupt, ProcessKilled):
@@ -298,10 +372,33 @@ class GenericTranslator(Translator):
                 "translator.invoke-failed",
                 f"{self.translator_id}: native invoke failed: {exc}",
             )
+            raise InvokeError(
+                self.translator_id,
+                step=step,
+                cause=exc,
+                retryable=bool(getattr(exc, "retryable", False)),
+            ) from exc
         else:
             if breaker is not None:
                 breaker.record_success()
             runtime.health.record_success(self.translator_id)
+
+    def invoke(
+        self, port_name: str, message: UMessage, step: Optional[int] = None
+    ) -> Generator:
+        """Structured invocation through the native handle: same breaker
+        and translation-cost path as message delivery, but failures
+        surface as :class:`InvokeError` instead of being swallowed."""
+        binding = self._input_bindings.get(port_name)
+        if binding is None:
+            yield from super().invoke(port_name, message, step=step)
+            return
+        if self.runtime is None:
+            raise InvokeError(
+                self.translator_id, "translator is detached", step=step
+            )
+        yield from self._charge_translation(binding)
+        yield from self._native_invoke(binding, message, step=step)
 
     # -- outbound: native device -> common space -----------------------------------
 

@@ -463,9 +463,11 @@ class Transport:
         self._stream_seqs.clear()
         self._stream_reserved.clear()
         self._dedup.clear()
-        # Codec negotiation and adaptive batching state are in-memory
-        # only: a recovered sender re-offers the codec (and re-learns the
-        # load) on its next enqueue, speaking JSON until the new welcome.
+        # Adaptive batching state is in-memory only (a recovered sender
+        # re-learns the load).  Codec negotiation dies here too, but the
+        # journaled ``codec-ready`` records let :meth:`recover` restore
+        # it, so a cold-crashed runtime resumes binary frames without
+        # respooling JSON until re-welcomed.
         self._codec_ready.clear()
         self._hello_sent.clear()
         self._encoders.clear()
@@ -504,6 +506,13 @@ class Transport:
             entries[:] = kept
             if self.started and outbox and peer not in self._peer_senders:
                 self._spawn_sender(peer)
+        if self.codec:
+            # Journaled codec negotiations survive the cold crash: resume
+            # binary frames to every peer that welcomed (or offered) the
+            # codec, and suppress the redundant re-hello.
+            for peer in state.codec_peers:
+                self._codec_ready.add(peer)
+                self._hello_sent.add(peer)
         for peer, snapshot in state.breakers.items():
             breaker = CircuitBreaker(
                 self.runtime.kernel,
@@ -706,12 +715,28 @@ class Transport:
             runtime_id, envelope, 0, stream=f"ctl:{runtime_id}"
         )
 
+    def send_saga(self, runtime_id: str, envelope: dict, size: int = 0) -> None:
+        """Ship a saga invocation to a participant runtime.
+
+        Deliberately *streamless*: saga envelopes carry no
+        ``(stream, seq)`` stamp, so the receiver's in-memory dedup window
+        never sees them -- the saga layer's journaled reply cache owns
+        idempotency (it survives cold restarts; the window does not).
+        The spool record is forced opaque: the payload is already durable
+        in the coordinator's ``saga-begin`` record, and a recovered
+        coordinator re-*drives* the step rather than re-*spooling* the
+        envelope, so journaling the payload again would only double the
+        WAL bytes per step."""
+        envelope["origin"] = self.runtime.runtime_id
+        self._enqueue_envelope(runtime_id, envelope, size, journal_opaque=True)
+
     def _enqueue_envelope(
         self,
         runtime_id: str,
         envelope: dict,
         size: int,
         stream: Optional[str] = None,
+        journal_opaque: bool = False,
     ) -> None:
         breaker = self._breakers.get(runtime_id)
         if breaker is not None and not breaker.allow():
@@ -755,14 +780,16 @@ class Transport:
                     capacity=self.SPOOL_CAPACITY,
                 )
         outbox.append((runtime_id, envelope, size))
-        self._journal_spool(runtime_id, envelope, size)
+        self._journal_spool(runtime_id, envelope, size, force_opaque=journal_opaque)
         wakeup = self._peer_wakeups.get(runtime_id)
         if wakeup is not None and not wakeup.triggered:
             wakeup.succeed()
         if self.started and runtime_id not in self._peer_senders:
             self._spawn_sender(runtime_id)
 
-    def _journal_spool(self, peer: str, envelope: dict, size: int) -> None:
+    def _journal_spool(
+        self, peer: str, envelope: dict, size: int, force_opaque: bool = False
+    ) -> None:
         """Write-ahead-log one spooled envelope.
 
         The per-peer spool is FIFO, so replay alignment depends on *every*
@@ -777,6 +804,8 @@ class Transport:
         into one growing ``spool-batch`` record; the write-ahead point
         (before the envelope can leave the spool) is identical."""
         journal = self.runtime.journal
+        if force_opaque:
+            envelope = self._opaque_marker(envelope)
         if self.batching:
             try:
                 journal.append_spool(peer, envelope, size)
@@ -1425,7 +1454,7 @@ class Transport:
             if origin is None:
                 return
             if self.codec:
-                self._codec_ready.add(origin)
+                self._note_codec_peer(origin)
                 self._send_control(origin, {"kind": "codec-welcome"})
             else:
                 self.codec_fallbacks += 1
@@ -1437,11 +1466,24 @@ class Transport:
         elif kind == "codec-welcome":
             origin = envelope.get("origin")
             if origin is not None and self.codec:
-                self._codec_ready.add(origin)
+                self._note_codec_peer(origin)
+        elif kind == "saga-invoke":
+            self.runtime.sagas.handle_invoke(envelope)
+        elif kind == "saga-result":
+            self.runtime.sagas.handle_result(envelope)
         else:
             self.runtime.trace(
                 "transport.protocol-error", f"unknown envelope kind {kind!r}"
             )
+
+    def _note_codec_peer(self, origin: str) -> None:
+        """Mark a peer binary-capable and journal the fact (``codec-ready``),
+        so a cold restart resumes binary frames instead of falling back to
+        JSON until a fresh hello/welcome round-trip."""
+        if origin in self._codec_ready:
+            return
+        self._codec_ready.add(origin)
+        self.runtime.journal.append("codec-ready", {"peer": origin})
 
     def _is_duplicate(self, origin: str, stream: str, seq: int) -> bool:
         """Receiver-side exactly-once window.

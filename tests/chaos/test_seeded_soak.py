@@ -35,6 +35,12 @@ SHARDED = os.environ.get("CHAOS_SHARDED", "0") == "1"
 #: load-adaptive batching active on every runtime (binary envelopes,
 #: batch frames, gossip bodies, and WAL record bodies).
 CODEC = os.environ.get("CHAOS_CODEC", "0") == "1"
+
+#: CHAOS_SAGA=1 runs the identical storm with the saga manager enabled on
+#: every runtime (an idle manager journals nothing, so the base soak and
+#: its replay stay byte-identical); the saga-mix workload test below runs
+#: always, with crashes turned cold by CHAOS_LOSE_STATE as usual.
+SAGA = os.environ.get("CHAOS_SAGA", "0") == "1"
 STORM_HORIZON = 60.0
 # Lease (15 s) + announce interval + breaker reopen max (60 s) with slack.
 CALM_DOWN = 90.0
@@ -43,9 +49,15 @@ CALM_DOWN = 90.0
 def build_soak():
     """Three runtimes, a failover binding, and a steady sender."""
     bed = build_testbed(hosts=["h1", "h2", "h3"])
-    r1 = bed.add_runtime("h1", batching_enabled=BATCHING, sharding_enabled=SHARDED, codec_enabled=CODEC)
-    r2 = bed.add_runtime("h2", batching_enabled=BATCHING, sharding_enabled=SHARDED, codec_enabled=CODEC)
-    r3 = bed.add_runtime("h3", batching_enabled=BATCHING, sharding_enabled=SHARDED, codec_enabled=CODEC)
+    kwargs = dict(
+        batching_enabled=BATCHING,
+        sharding_enabled=SHARDED,
+        codec_enabled=CODEC,
+        saga_enabled=SAGA,
+    )
+    r1 = bed.add_runtime("h1", **kwargs)
+    r2 = bed.add_runtime("h2", **kwargs)
+    r3 = bed.add_runtime("h3", **kwargs)
 
     received = []
     for index, runtime in enumerate((r2, r3)):
@@ -115,8 +127,28 @@ class TestSeededSoak:
     def test_soak_replays_identically(self):
         """The seeded soak is a reproducible experiment: the same seed
         drives the identical fault schedule twice."""
+        import itertools
+
+        import repro.core.binding as binding_module
+        import repro.core.messages as messages_module
+        import repro.core.runtime as runtime_module
+        import repro.core.saga as saga_module
+        import repro.core.translator as translator_module
+        import repro.core.transport as transport_module
 
         def run_once():
+            # Several ids embed process-global counters (translator ids,
+            # message sequence numbers, path/binding/saga ids).  Pin them
+            # so both runs draw identical ids: the sharded directory
+            # rendezvous-hashes translator ids (placement shifts with the
+            # id) and the binary codec's frame size varies with id digit
+            # count (transmission time shifts by nanoseconds otherwise).
+            translator_module._instance_counter = itertools.count(10_000)
+            messages_module._sequence = itertools.count(10_000)
+            transport_module._path_counter = itertools.count(10_000)
+            runtime_module._runtime_counter = itertools.count(1_000)
+            binding_module._binding_counter = itertools.count(1_000)
+            saga_module._saga_counter = itertools.count(1_000)
             bed, runtimes, _binding, _received = build_soak()
             plan = random_plan(
                 seed=SEED,
@@ -136,3 +168,86 @@ class TestSeededSoak:
             ]
 
         assert run_once() == run_once()
+
+
+def token_device(translator_id, role, state):
+    sink = Translator(translator_id, role=role)
+
+    def handler(message):
+        payload = message.payload
+        if payload.startswith("+"):
+            state.append(payload[1:])
+        elif payload[1:] in state:
+            state.remove(payload[1:])
+
+    sink.add_digital_input("op-in", "text/plain", handler)
+    return sink
+
+
+class TestSagaSoak:
+    def test_saga_mix_storm_holds_all_or_compensated(self):
+        """A steady stream of 2-step sagas runs *through* the storm; the
+        participants crash (cold when CHAOS_LOSE_STATE=1), time out and
+        recover mid-saga.  Once everything settles, each saga's token is
+        on both devices (committed) or on neither (compensated) -- never
+        on exactly one -- and the directories are index-consistent."""
+        bed = build_testbed(hosts=["h1", "h2", "h3"])
+        kwargs = dict(
+            batching_enabled=BATCHING,
+            sharding_enabled=SHARDED,
+            codec_enabled=CODEC,
+            saga_enabled=True,
+        )
+        r1 = bed.add_runtime("h1", **kwargs)
+        r2 = bed.add_runtime("h2", **kwargs)
+        r3 = bed.add_runtime("h3", **kwargs)
+        lock_state, light_state = [], []
+        r2.register_translator(token_device("soak-lock", "lock", lock_state))
+        r3.register_translator(token_device("soak-light", "light", light_state))
+        bed.settle(1.0)
+
+        sagas = []
+
+        def msg(payload):
+            return UMessage("text/plain", payload, size=16)
+
+        def saga_feeder():
+            for index in range(int(STORM_HORIZON / 3.0)):
+                token = f"s{SEED}-{index}"
+                sagas.append(r1.connect_saga([
+                    (Query(role="lock"), msg(f"+{token}"), msg(f"-{token}")),
+                    (Query(role="light"), msg(f"+{token}"), msg(f"-{token}")),
+                ], timeout_s=2.0, max_attempts=6))
+                yield bed.kernel.timeout(3.0)
+
+        bed.kernel.process(saga_feeder(), name="saga-feeder")
+        plan = random_plan(
+            seed=SEED,
+            horizon=STORM_HORIZON,
+            media=[bed.lan],
+            runtimes=[r2, r3],
+            fault_count=8,
+            max_duration=10.0,
+            lose_state=LOSE_STATE,
+        )
+        bed.add_chaos(plan)
+        bed.settle(STORM_HORIZON + CALM_DOWN)
+        # Give stragglers (compensations against a late-healing peer)
+        # bounded extra time to drain.
+        for _ in range(5):
+            if r1.sagas.idle:
+                break
+            bed.settle(30.0)
+        assert r1.sagas.idle, f"{r1.sagas.active_count} saga(s) never finished"
+
+        # The invariant, by device-state inspection: a token is either on
+        # both devices or on neither.
+        assert sorted(lock_state) == sorted(light_state), (
+            f"half-applied sagas: lock={sorted(lock_state)} "
+            f"light={sorted(light_state)}"
+        )
+        # The storm must not have starved everything: some sagas committed.
+        assert r1.sagas.committed >= 1
+        assert r1.sagas.committed + r1.sagas.rolled_back == len(sagas)
+        for runtime in (r1, r2, r3):
+            runtime.directory.check_index_consistency()
