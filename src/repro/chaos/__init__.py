@@ -26,6 +26,7 @@ from repro.chaos.faults import (
     DeviceChurn,
     Fault,
     JournalCorruption,
+    LinkAsymmetry,
     LinkDegrade,
     LinkOutage,
     MapperStall,
@@ -41,6 +42,7 @@ __all__ = [
     "Fault",
     "LinkDegrade",
     "LinkOutage",
+    "LinkAsymmetry",
     "NetworkPartition",
     "RuntimeCrash",
     "JournalCorruption",

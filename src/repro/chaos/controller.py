@@ -23,6 +23,7 @@ from repro.chaos.faults import (
     DeviceChurn,
     Fault,
     JournalCorruption,
+    LinkAsymmetry,
     LinkDegrade,
     LinkOutage,
     MapperStall,
@@ -63,6 +64,11 @@ class FaultPlan:
 
     def link_outage(self, medium, at: float, duration: Optional[float] = None) -> LinkOutage:
         return self.add(LinkOutage(medium, at, duration))
+
+    def link_asymmetry(
+        self, medium, src: str, dst: str, at: float, duration: Optional[float] = None
+    ) -> LinkAsymmetry:
+        return self.add(LinkAsymmetry(medium, src, dst, at, duration))
 
     def network_partition(
         self, medium, groups, at: float, duration: Optional[float] = None
@@ -188,6 +194,7 @@ def random_plan(
     min_duration: float = 1.0,
     max_duration: float = 10.0,
     lose_state: bool = False,
+    asymmetry: bool = False,
 ) -> FaultPlan:
     """Derive a reproducible fault schedule from an integer seed.
 
@@ -198,7 +205,9 @@ def random_plan(
     seeded chaos run is exactly replayable.  ``lose_state=True`` makes
     every drawn runtime crash a cold one (healed via journal recovery)
     without disturbing the draw sequence, so the *schedule* is identical
-    to the warm plan for the same seed.
+    to the warm plan for the same seed.  ``asymmetry=True`` adds one-way
+    link blocks to the draw pool; it is opt-in because adding a kind
+    changes which faults a given seed produces.
     """
     if horizon <= 0:
         raise ChaosError("random_plan horizon must be positive")
@@ -211,6 +220,8 @@ def random_plan(
     kinds = []
     if media:
         kinds += ["outage", "degrade", "partition"]
+        if asymmetry:
+            kinds += ["asymmetry"]
     if runtimes:
         kinds += ["crash"]
     if nodes:
@@ -245,6 +256,14 @@ def random_plan(
             plan.network_partition(
                 medium, [names[:cut], names[cut:]], at=at, duration=duration
             )
+        elif kind == "asymmetry":
+            medium = rng.choice(media)
+            names = sorted(interface.node.name for interface in medium.interfaces)
+            if len(names) < 2:
+                plan.link_outage(medium, at=at, duration=duration)
+                continue
+            src, dst = rng.sample(names, 2)
+            plan.link_asymmetry(medium, src, dst, at=at, duration=duration)
         elif kind == "crash":
             plan.runtime_crash(
                 rng.choice(runtimes),

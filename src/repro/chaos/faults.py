@@ -8,6 +8,8 @@ methods that flip the corresponding switch in the simulation:
 - :class:`LinkDegrade` -- temporarily worsen a medium's loss/latency/
   bandwidth (and restore the originals on heal).
 - :class:`LinkOutage` -- take a medium down entirely.
+- :class:`LinkAsymmetry` -- block one direction between two nodes on a
+  segment (A hears B but not vice versa).
 - :class:`NetworkPartition` -- split one segment into isolated groups.
 - :class:`RuntimeCrash` -- crash a uMiddle runtime abruptly; ``duration``
   is the restart delay (``None`` = it stays dead); ``lose_state=True``
@@ -43,6 +45,7 @@ __all__ = [
     "Fault",
     "LinkDegrade",
     "LinkOutage",
+    "LinkAsymmetry",
     "NetworkPartition",
     "RuntimeCrash",
     "JournalCorruption",
@@ -193,6 +196,38 @@ class NetworkPartition(Fault):
 
     def heal(self) -> None:
         self.medium.heal()
+
+
+class LinkAsymmetry(Fault):
+    """Block one *direction* of a segment between two nodes: ``dst`` stops
+    hearing ``src`` while ``src`` still hears ``dst`` -- the one-way radio
+    fade partitions and outages cannot model, and the classic trigger for
+    split-brain suspicion (A declares B dead while B still sees A's
+    traffic)."""
+
+    def __init__(
+        self,
+        medium: "Medium",
+        src: str,
+        dst: str,
+        at: float,
+        duration: Optional[float] = None,
+    ):
+        if src == dst:
+            raise ChaosError("LinkAsymmetry needs two distinct nodes")
+        super().__init__(at, duration)
+        self.medium = medium
+        self.src = src
+        self.dst = dst
+
+    def describe(self) -> str:
+        return f"asymmetry {self.medium.name}: {self.src} -/-> {self.dst}"
+
+    def inject(self) -> None:
+        self.medium.block_direction(self.src, self.dst)
+
+    def heal(self) -> None:
+        self.medium.unblock_direction(self.src, self.dst)
 
 
 class RuntimeCrash(Fault):

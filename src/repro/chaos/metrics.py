@@ -59,12 +59,23 @@ class RecoveryReport:
     rebound_at: Optional[float]
     messages_sent: int
     messages_received: int
+    #: First post-heal instant at which the sharded directory's keyed
+    #: lookups agree with the flat oracle again (None = never probed or
+    #: never reconverged within the observation window).
+    reconverged_at: Optional[float] = None
 
     @property
     def time_to_rebind(self) -> Optional[float]:
         if self.rebound_at is None:
             return None
         return self.rebound_at - self.healed_at
+
+    @property
+    def time_to_reconverge(self) -> Optional[float]:
+        """Heal-to-oracle-agreement latency for sharded lookups."""
+        if self.reconverged_at is None:
+            return None
+        return self.reconverged_at - self.healed_at
 
     @property
     def messages_lost(self) -> int:

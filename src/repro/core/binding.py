@@ -20,7 +20,7 @@ import itertools
 from typing import Dict, List, Optional, Union, TYPE_CHECKING
 
 from repro.core.directory import DirectoryListener
-from repro.core.errors import BindingError, SagaError
+from repro.core.errors import BindingError, SagaError, ShardUnavailable
 from repro.core.messages import UMessage
 from repro.core.ports import DigitalInputPort, DigitalOutputPort
 from repro.core.profile import PortRef, TranslatorProfile
@@ -134,7 +134,13 @@ class DynamicBinding(DirectoryListener):
         if failover:
             self.reevaluate()
         else:
-            for profile in runtime.directory.lookup(query):
+            try:
+                matches = runtime.directory.lookup(query)
+            except ShardUnavailable:
+                # The shard owner is dark right now; the standing-query
+                # subscription delivers the matches once it resurfaces.
+                matches = []
+            for profile in matches:
                 self._bind_profile(profile)
 
     # -- DirectoryListener ---------------------------------------------------
@@ -212,7 +218,11 @@ class DynamicBinding(DirectoryListener):
         if self.failover:
             self.reevaluate()
             return
-        for profile in self.runtime.directory.lookup(self.query):
+        try:
+            matches = self.runtime.directory.lookup(self.query)
+        except ShardUnavailable:
+            return  # hold current bindings; the next refresh retries
+        for profile in matches:
             self._bind_profile(profile)
 
     def _prune_dead_paths(self) -> None:
@@ -245,7 +255,15 @@ class DynamicBinding(DirectoryListener):
         self._prune_dead_paths()
         own_id = self.port.translator.translator_id
         target = None
-        for profile in self.runtime.directory.lookup(self.query):
+        try:
+            matches = self.runtime.directory.lookup(self.query)
+        except ShardUnavailable:
+            # Holding the current binding beats failing the caller: the
+            # degraded-service rule below already covers "nothing
+            # eligible matches", and an unreachable shard owner is the
+            # same situation with a structured cause.
+            matches = []
+        for profile in matches:
             if profile.translator_id == own_id:
                 continue
             if self._compatible_ports(profile):

@@ -11,6 +11,7 @@ __all__ = [
     "InvokeError",
     "TransportError",
     "DirectoryError",
+    "ShardUnavailable",
     "BindingError",
     "CodecError",
     "SagaError",
@@ -82,6 +83,44 @@ class TransportError(UMiddleError):
 
 class DirectoryError(UMiddleError):
     """Directory failures: duplicate registrations, unknown translators."""
+
+
+class ShardUnavailable(DirectoryError):
+    """A keyed routed lookup could not reach any holder of a shard.
+
+    Raised by the sharded lookup surface instead of silently returning a
+    partial result when a sub-shard's primary is unreachable (crashed,
+    partitioned away, or quarantined) and no ranked replica or stale
+    cache entry can serve the bucket.  Callers that can tolerate an
+    incomplete view (standing-query bindings, saga resolution) catch it
+    and hold their current state; everyone else gets a stable structured
+    surface instead of a wrong answer.
+
+    Attributes:
+        shard: the virtual shard that could not be served.
+        owner: the shard's primary owner under the caller's map (``None``
+            before any membership view converged).
+        epoch: the caller's ownership epoch when the lookup failed.
+        retryable: True when the failure is transient (owner expected to
+            heal or hand off within a lease) -- currently always True.
+    """
+
+    def __init__(
+        self,
+        shard: int,
+        owner: "str | None" = None,
+        epoch: int = 0,
+        retryable: bool = True,
+    ):
+        self.shard = shard
+        self.owner = owner
+        self.epoch = epoch
+        self.retryable = retryable
+        label = f"shard {shard} unavailable"
+        if owner is not None:
+            label += f" (primary {owner!r} unreachable)"
+        label += f" [epoch {epoch}]"
+        super().__init__(label)
 
 
 class BindingError(UMiddleError):

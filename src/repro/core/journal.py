@@ -231,6 +231,12 @@ class RecoveredState:
     shard_entries: Dict[str, dict] = field(default_factory=dict)
     #: shard ids this node owned at its last ownership transition.
     shard_owned: List[int] = field(default_factory=list)
+    #: this node's monotonic ownership epoch (quorum-gated bumps,
+    #: replication only).
+    shard_epoch: int = 0
+    #: str(shard) -> {"epoch", "entries": {translator_id: profile dict}}
+    #: for the passive replica slices this node holds for its peers.
+    replica_slices: Dict[str, dict] = field(default_factory=dict)
     #: saga_id -> folded saga progress (see ``_apply``'s saga-* kinds):
     #: the coordinator-side state machine for every saga that has begun
     #: but not yet journaled its ``saga-end``.
@@ -474,6 +480,10 @@ class Journal:
             data["shard_entries"] = mirror.shard_entries
         if mirror.shard_owned:
             data["shard_owned"] = mirror.shard_owned
+        if mirror.shard_epoch:
+            data["shard_epoch"] = mirror.shard_epoch
+        if mirror.replica_slices:
+            data["replica_slices"] = mirror.replica_slices
         # Same discipline for saga and codec-negotiation state: the fields
         # appear only once something wrote them, so saga-off (and
         # codec-off) checkpoints stay byte-identical to PR 7.
@@ -601,6 +611,55 @@ class Journal:
                     del state.shard_entries[translator_id]
         elif kind == "shard-own":
             state.shard_owned = list(data["owned"])
+        elif kind == "shard-epoch":
+            state.shard_epoch = int(data["epoch"])
+        elif kind == "shard-replica":
+            slice_ = state.replica_slices.setdefault(
+                str(data["shard"]), {"epoch": 0, "entries": {}}
+            )
+            if data.get("full"):
+                slice_["entries"] = {}
+            for profile in data.get("profiles", ()):
+                slice_["entries"][profile["translator_id"]] = dict(profile)
+            for translator_id in data.get("removed", ()):
+                slice_["entries"].pop(translator_id, None)
+            slice_["epoch"] = max(
+                int(slice_["epoch"]), int(data.get("epoch", 0))
+            )
+        elif kind == "shard-promote":
+            # Warm-ingest promotion: the promoted profiles are already in
+            # the journal as shard-replica slice content, so the record
+            # only points at them (shard -> translator ids) instead of
+            # re-serializing every profile.
+            for shard_key, translator_ids in data["slices"].items():
+                slice_ = state.replica_slices.get(str(shard_key))
+                if not slice_:
+                    continue
+                for translator_id in translator_ids:
+                    profile = slice_["entries"].get(translator_id)
+                    if profile is None:
+                        continue
+                    entry = state.shard_entries.get(translator_id)
+                    if entry is None:
+                        state.shard_entries[translator_id] = {
+                            "profile": dict(profile),
+                            "shards": [int(shard_key)],
+                        }
+                    elif int(shard_key) not in entry["shards"]:
+                        entry["shards"] = sorted(
+                            set(entry["shards"]) | {int(shard_key)}
+                        )
+        elif kind == "shard-replica-drop":
+            for shard in data["shards"]:
+                state.replica_slices.pop(str(shard), None)
+        elif kind == "shard-replica-origin":
+            origin = data["origin"]
+            for slice_ in state.replica_slices.values():
+                slice_["entries"] = {
+                    translator_id: profile
+                    for translator_id, profile in slice_["entries"].items()
+                    if profile.get("runtime_id") != origin
+                }
         elif kind == "saga-begin":
             state.sagas[data["saga_id"]] = {
                 "steps": [dict(step) for step in data["steps"]],
@@ -690,6 +749,17 @@ class Journal:
                 for key, value in data.get("shard_entries", {}).items()
             }
             state.shard_owned = list(data.get("shard_owned", ()))
+            state.shard_epoch = int(data.get("shard_epoch", 0))
+            state.replica_slices = {
+                key: {
+                    "epoch": int(value.get("epoch", 0)),
+                    "entries": {
+                        translator_id: dict(profile)
+                        for translator_id, profile in value["entries"].items()
+                    },
+                }
+                for key, value in data.get("replica_slices", {}).items()
+            }
             state.sagas = {}
             for key, value in data.get("sagas", {}).items():
                 saga = dict(value)

@@ -60,6 +60,7 @@ class UMiddleRuntime:
         batching_enabled: bool = False,
         sharding_enabled: bool = False,
         shard_count: int = DEFAULT_SHARD_COUNT,
+        replication_factor: int = 1,
         codec_enabled: bool = False,
         saga_enabled: bool = False,
     ):
@@ -108,8 +109,17 @@ class UMiddleRuntime:
         #: by default -- the flat replica reproduces the pre-sharding
         #: directory byte for byte.  All runtimes of one federation must
         #: agree on the flag and on ``shard_count``.
+        #: ``replication_factor`` > 1 additionally places each virtual
+        #: shard on the top-R ranked owners: rank 0 stays the
+        #: authoritative primary, ranks 1..R-1 hold passive replica
+        #: slices serving epoch-fenced degraded reads and warm handoff
+        #: ingest (:mod:`repro.core.replica`).  The default (1)
+        #: reproduces the single-homed sharded directory byte for byte.
         self.shards = ShardRouter(
-            self, enabled=sharding_enabled, shard_count=shard_count
+            self,
+            enabled=sharding_enabled,
+            shard_count=shard_count,
+            replication_factor=replication_factor,
         )
         self.directory = Directory(self, port=directory_port)
         self.transport = Transport(self, port=transport_port)

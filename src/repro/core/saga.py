@@ -71,7 +71,13 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, List, Optional, Set, Tuple, TYPE_CHECKING
 
-from repro.core.errors import InvokeError, PortError, SagaError, TransportError
+from repro.core.errors import (
+    InvokeError,
+    PortError,
+    SagaError,
+    ShardUnavailable,
+    TransportError,
+)
 from repro.core.health import HealthState, jittered_backoff
 from repro.core.messages import UMessage
 from repro.core.profile import PortRef
@@ -569,7 +575,14 @@ class SagaManager:
         monitor = self.runtime.health
         prev = saga.targets.get(index)
         best = None
-        for profile in self.runtime.directory.lookup(step.query):
+        try:
+            matches = self.runtime.directory.lookup(step.query)
+        except ShardUnavailable:
+            # No reachable shard owner right now reads as "no eligible
+            # target": the caller already treats that as a retryable
+            # resolution failure and re-resolves after a backoff.
+            matches = []
+        for profile in matches:
             if (
                 monitor.enabled
                 and monitor.effective_health(profile) is HealthState.QUARANTINED

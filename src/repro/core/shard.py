@@ -40,10 +40,27 @@ journaled (``shard-store``/``shard-remove``/``shard-drop``/``shard-own``
 records), so :meth:`UMiddleRuntime.recover` rebuilds a crashed owner's
 shards byte-equivalently from the write-ahead log.
 
+Replication (:mod:`repro.core.replica`, PR 9): with
+``UMiddleRuntime(replication_factor=R)`` for R > 1, each shard is also
+held as a passive slice by the next ``R-1`` members of the rendezvous
+order.  The primary streams its slice mutations to those replicas
+(``umiddle-shard-replica`` frames, journaled as ``shard-replica``
+records), membership changes warm-ingest a newly-owned shard from the
+local replica slice instead of waiting for origin re-push, keyed lookups
+whose primary is unreachable or quarantined fail over to the replicas as
+explicitly-traced degraded reads with a bounded-staleness marker, and a
+lookup no holder can serve raises the structured
+:class:`~repro.core.errors.ShardUnavailable` instead of returning a
+silently-partial result.  Ownership carries a monotonic, quorum-gated
+epoch (``shard-epoch`` records); every replica-plane frame is fenced by
+it, so a primary deposed into a minority partition can never resurrect
+reaped state after heal.
+
 The whole layer is gated on ``UMiddleRuntime(sharding_enabled=...)``;
-off (the default) reproduces the flat-replica directory byte for byte.
-All runtimes of one federation must agree on the switch and on
-``shard_count``.
+off (the default) reproduces the flat-replica directory byte for byte,
+and ``replication_factor=1`` (the default) reproduces the single-homed
+sharded directory byte for byte.  All runtimes of one federation must
+agree on the switches and on ``shard_count``.
 """
 
 from __future__ import annotations
@@ -60,8 +77,16 @@ from typing import (
     TYPE_CHECKING,
 )
 
+from repro.core.errors import ShardUnavailable
+from repro.core.health import HealthState
 from repro.core.profile import TranslatorProfile
 from repro.core.query import Query
+from repro.core.replica import (
+    ReplicaStore,
+    has_quorum,
+    replicas_of,
+    slice_digest,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.directory import Directory
@@ -274,6 +299,13 @@ class ShardStore:
     def placements_of(self, translator_id: str) -> Tuple[int, ...]:
         return tuple(sorted(self._placements.get(translator_id, ())))
 
+    def profile_of(self, translator_id: str) -> Optional[TranslatorProfile]:
+        return self._profiles.get(translator_id)
+
+    def slice_of(self, shard: int) -> List[TranslatorProfile]:
+        """Every profile placed under one shard (the replica-sync unit)."""
+        return [self._profiles[tid] for tid in self._shards.get(shard, ())]
+
     def snapshot(self) -> Dict[str, dict]:
         """Canonical JSON-serializable content (recovery equivalence)."""
         return {
@@ -456,12 +488,33 @@ class ShardRouter:
         enabled: bool = False,
         shard_count: int = DEFAULT_SHARD_COUNT,
         cache_ttl: float = CACHE_TTL,
+        replication_factor: int = 1,
     ):
         self.runtime = runtime
         self.enabled = enabled
         self.map = ShardMap(shard_count)
         self.store = ShardStore()
         self.cache_ttl = cache_ttl
+        #: Shard copies kept across the federation: 1 (the default) is the
+        #: single-homed PR 6 directory, R > 1 adds R-1 passive replica
+        #: slices per shard for degraded-read availability.
+        self.replication_factor = max(1, int(replication_factor))
+        #: Passive slices this node holds for shards it does not own.
+        self.replicas = ReplicaStore()
+        #: This node's monotonic ownership epoch (quorum-gated bumps,
+        #: journaled as ``shard-epoch``); 0 until the first owned view.
+        self.epoch = 0
+        #: shard -> highest epoch accepted on the replica plane (fencing).
+        self._shard_epochs: Dict[int, int] = {}
+        #: owned shard -> replica peers last synced (route bookkeeping).
+        self._replica_routes: Dict[int, Tuple[str, ...]] = {}
+        #: origin -> {translator_id: promoted_at} for warm-ingested
+        #: entries awaiting confirmation by that origin's next complete
+        #: re-push.  A replica slice can hold a profile whose removal
+        #: raced the handoff (the origin's remove was addressed to the
+        #: unreachable old owner), so promotions are provisional until
+        #: the origin restates its live set -- or a full lease passes.
+        self._provisional: Dict[str, Dict[str, float]] = {}
         #: True between start() and deactivate(): the router is reachable
         #: through the fabric and reacts to membership changes.
         self.active = False
@@ -499,6 +552,17 @@ class ShardRouter:
         self.pushes_sent = 0
         self.direct_dispatches = 0
         self.rebalances = 0
+        # replication counters (all zero at replication_factor=1)
+        self.degraded_reads = 0
+        self.unavailable_lookups = 0
+        self.fenced_frames = 0
+        self.warm_ingests = 0
+        self.replica_pushes_sent = 0
+        self.replica_pushes_received = 0
+        self.digests_sent = 0
+        self.digest_replies = 0
+        self.replica_syncs = 0
+        self.stale_evictions = 0
 
     # -- wiring ------------------------------------------------------------
 
@@ -520,6 +584,28 @@ class ShardRouter:
     @property
     def runtime_id(self) -> str:
         return self.runtime.runtime_id
+
+    @property
+    def replicated(self) -> bool:
+        """True when the replica tier is active.  Every replica-plane
+        journal record, wire frame and epoch bump is gated on this, so
+        ``replication_factor=1`` stays byte-for-byte the PR 6 path."""
+        return self.replication_factor > 1
+
+    def _peer_router(self, fabric: ShardFabric, runtime_id: str):
+        """The peer's in-process router, but only when the simulated
+        network could actually carry the modeled RPC both ways: routed
+        lookups are synchronous in-process calls, so without this check a
+        partition (or one-way link block) would be invisible to them."""
+        router = fabric.get(runtime_id)
+        if router is None:
+            return None
+        peer_node = router.runtime.node
+        if peer_node is not self.runtime.node and not self.runtime.node.reachable(
+            peer_node
+        ):
+            return None
+        return router
 
     def shard_of(self, key: _IndexKey, salt: int = 0) -> int:
         cache_key = (key, salt)
@@ -573,16 +659,34 @@ class ShardRouter:
         self._owned = frozenset()
         self._foreign_since.clear()
         self._lost_origins.clear()
+        self.replicas.clear()
+        self._replica_routes.clear()
+        self._shard_epochs.clear()
+        self._provisional.clear()
+        self.epoch = 0
 
     def recover(self, state: "RecoveredState") -> None:
-        """Rebuild the owned shards from the replayed journal (called by
-        cold recovery with appends muted)."""
+        """Rebuild the owned shards (and any replica slices plus the
+        ownership epoch) from the replayed journal (called by cold
+        recovery with appends muted)."""
         if not self.enabled:
             return
         for entry in state.shard_entries.values():
             profile = TranslatorProfile.from_dict(entry["profile"])
             self.store.store(profile, entry["shards"])
         self._owned = frozenset(state.shard_owned)
+        self.epoch = state.shard_epoch
+        for shard_key, data in state.replica_slices.items():
+            shard = int(shard_key)
+            profiles = [
+                TranslatorProfile.from_dict(profile)
+                for profile in data["entries"].values()
+            ]
+            epoch = int(data.get("epoch", 0))
+            self.replicas.apply_store(shard, profiles, epoch, 0.0, full=True)
+            self._shard_epochs[shard] = max(
+                self._shard_epochs.get(shard, 0), epoch
+            )
 
     def seed_members(self, members: Iterable[str]) -> None:
         """Offline/bench hook: activate with an explicit membership view
@@ -604,6 +708,7 @@ class ShardRouter:
             return
         members = set(self.directory._runtimes)
         members.add(self.runtime_id)
+        previous_members = self.map.members
         changed = self.map.rebuild(members)
         if not changed and not force:
             return
@@ -614,6 +719,17 @@ class ShardRouter:
             self.runtime.journal.append(
                 "shard-own", {"owned": sorted(self._owned)}
             )
+            if self.replicated and has_quorum(
+                len(self.map.members), len(previous_members)
+            ):
+                # Quorum-gated epoch advance: the majority side of any
+                # split bumps and its replica-plane writes fence out the
+                # deposed minority's; a primary partitioned into a
+                # minority keeps its stale epoch.
+                self.epoch += 1
+                self.runtime.journal.append(
+                    "shard-epoch", {"epoch": self.epoch}
+                )
             # Shards we held and conclusively lost drop right away (their
             # new owner is being pushed the same profiles by every
             # origin); sender-directed placements we never owned are aged
@@ -623,6 +739,7 @@ class ShardRouter:
             if lost:
                 for shard in lost:
                     self.store.drop_shard(shard)
+                    self._replica_routes.pop(shard, None)
                 self.runtime.journal.append(
                     "shard-drop", {"shards": sorted(lost)}
                 )
@@ -637,9 +754,229 @@ class ShardRouter:
                     members=len(self.map.members),
                     owned=len(self._owned),
                 )
+            if self.replicated:
+                for shard in self._owned:
+                    self._shard_epochs[shard] = max(
+                        self._shard_epochs.get(shard, 0), self.epoch
+                    )
+                self._warm_ingest(self._owned - old_owned)
         self._cache.clear()
+        if self.replicated:
+            self._reconcile_replica_role()
         self._push_local_profiles()
         self._reroute_subscriptions()
+        if self.replicated:
+            self._sync_replicas()
+            self._request_replica_sync()
+
+    def _warm_ingest(self, gained: Iterable[int]) -> None:
+        """Promote local replica slices of newly-owned shards straight
+        into the authoritative store, instead of serving nothing until
+        every origin's membership-change re-push lands.  Promotion reuses
+        the in-memory profile objects (no wire dicts to re-parse), which
+        is what makes handoff ingest measurably faster than the PR 6 cold
+        path.  Tombstoned origins are filtered -- a promotion must never
+        resurrect reaped state -- and origin re-push remains the
+        authoritative repair behind it: promotions from remote origins
+        are recorded as *provisional* and evicted again if the origin's
+        next complete re-push no longer claims them (their removal may
+        have raced the handoff; the remove was addressed to the old
+        owner and died with it)."""
+        promoted = 0
+        dropped = []
+        promoted_slices: Dict[str, List[str]] = {}
+        local_ids = {
+            profile.translator_id
+            for profile in self.directory._local_profiles()
+        }
+        now = self.runtime.kernel.now
+        for shard in sorted(gained):
+            slice_ = self.replicas.get(shard)
+            if slice_ is None:
+                continue
+            added = []
+            stored_tids = []
+            replica_batch = []
+            for profile in slice_.entries.values():
+                if profile.runtime_id in self._lost_origins:
+                    continue
+                if (
+                    profile.runtime_id == self.runtime_id
+                    and profile.translator_id not in local_ids
+                ):
+                    # Our own registrations are authoritative locally: a
+                    # replicated copy of a profile we since unregistered
+                    # must not come back.
+                    continue
+                content_changed, placement_changed, previous = (
+                    self.store.store(profile, (shard,))
+                )
+                if (
+                    previous is None
+                    and profile.runtime_id != self.runtime_id
+                ):
+                    # Only promotions that *enter* the store are
+                    # provisional.  An entry already held is independently
+                    # justified (journal recovery or a direct origin
+                    # push), and any removal of it would have been
+                    # addressed straight to us -- whereas a profile we
+                    # only know from a replica slice may have been
+                    # removed via the old owner while it was unreachable.
+                    self._provisional.setdefault(profile.runtime_id, {})[
+                        profile.translator_id
+                    ] = now
+                if content_changed:
+                    added.append(profile)
+                if content_changed or placement_changed:
+                    stored_tids.append(profile.translator_id)
+                    replica_batch.append(profile)
+            if stored_tids:
+                promoted_slices[str(shard)] = sorted(stored_tids)
+                promoted += len(stored_tids)
+            if added:
+                self._emit_deltas(added=added, removed=())
+            if replica_batch and shard in self._owned:
+                self._replicate_store({shard: replica_batch})
+            self.replicas.drop(shard)
+            dropped.append(shard)
+        if promoted_slices:
+            # The promoted profiles are already journaled as slice
+            # content (``shard-replica`` records): this record is only a
+            # pointer, which is what keeps warm ingest free of the cold
+            # path's per-profile serialization.
+            self.runtime.journal.append(
+                "shard-promote", {"slices": promoted_slices}
+            )
+        if dropped:
+            self.runtime.journal.append(
+                "shard-replica-drop", {"shards": sorted(dropped)}
+            )
+        if promoted:
+            self.warm_ingests += promoted
+            if self.runtime.tracing:
+                self.runtime.trace(
+                    "shard.warm-ingest",
+                    f"{promoted} profile(s) promoted from {len(dropped)} "
+                    "replica slice(s) on ownership handoff",
+                    promoted=promoted,
+                    shards=len(dropped),
+                )
+
+    def _reap_stale_promotions(
+        self, origin: str, claimed: Set[str]
+    ) -> None:
+        """A complete re-push from ``origin`` just restated its full live
+        set: any provisional warm-ingest promotion from that origin it no
+        longer claims was a removal that raced the handoff -- evict it,
+        never letting a replica slice resurrect a withdrawn profile."""
+        pending = self._provisional.pop(origin, None)
+        if not pending:
+            return
+        for tid in sorted(pending):
+            if tid in claimed:
+                continue
+            held = self.store.profile_of(tid)
+            if held is None or held.runtime_id != origin:
+                continue
+            self.stale_evictions += 1
+            if self.runtime.tracing:
+                self.runtime.trace(
+                    "shard.stale-evict",
+                    f"{tid}: warm-ingested from a replica slice but no "
+                    f"longer claimed by origin {origin}",
+                    origin=origin,
+                )
+            self._evict(tid)
+
+    def _reconcile_replica_role(self) -> None:
+        """Drop replica slices for shards this node no longer replicates
+        under the current map (owned shards were already promoted by
+        :meth:`_warm_ingest`).  An over-eager drop under a transiently
+        divergent view is harmless: the true primary's next anti-entropy
+        digest re-syncs the slice."""
+        dropped = []
+        for shard in self.replicas.shards():
+            if shard in self._owned:
+                continue
+            if self.runtime_id not in replicas_of(
+                self.map, shard, self.replication_factor
+            ):
+                self.replicas.drop(shard)
+                dropped.append(shard)
+        if dropped:
+            self.runtime.journal.append(
+                "shard-replica-drop", {"shards": sorted(dropped)}
+            )
+
+    def _sync_replicas(self) -> None:
+        """Primary-side anti-entropy: send every replica of every owned
+        shard a ``(count, digest)`` summary stamped with our epoch.  A
+        replica answers with the shards whose slice digest mismatches
+        (a brand-new replica's empty slice always does) and
+        :meth:`_handle_digest_reply` full-syncs exactly those -- one
+        exchange covering bootstrap, partition-heal reconciliation and
+        divergence repair."""
+        per_peer: Dict[str, Dict[str, list]] = {}
+        for shard in self._owned:
+            peers = tuple(
+                replicas_of(self.map, shard, self.replication_factor)
+            )
+            self._replica_routes[shard] = peers
+            if not peers:
+                continue
+            slice_profiles = self.store.slice_of(shard)
+            digest = slice_digest(
+                {p.translator_id: p for p in slice_profiles}
+            )
+            for peer in peers:
+                per_peer.setdefault(peer, {})[str(shard)] = [
+                    len(slice_profiles),
+                    digest,
+                ]
+        for peer, shards in per_peer.items():
+            payload = {
+                "kind": "umiddle-shard-digest",
+                "origin": self.runtime_id,
+                "epoch": self.epoch,
+                "shards": shards,
+            }
+            self._send(payload, 64 + 56 * len(shards), peer)
+            self.digests_sent += 1
+
+    def _request_replica_sync(self) -> None:
+        """Replica-side anti-entropy: send each primary a summary of the
+        slices we should hold for its shards (an absent slice digests as
+        empty).  The primary's :meth:`_handle_digest` compares against
+        its authoritative slice and full-syncs mismatches.  Without this
+        pull direction a warm-restarted replica would stay empty forever:
+        its lease never expired at the primary, so no membership change
+        ever triggers the primary-side push digest."""
+        per_primary: Dict[str, Dict[str, list]] = {}
+        for shard in range(self.map.shard_count):
+            if shard in self._owned:
+                continue
+            if self.runtime_id not in replicas_of(
+                self.map, shard, self.replication_factor
+            ):
+                continue
+            owner = self.map.owner(shard)
+            if owner is None or owner == self.runtime_id:
+                continue
+            slice_ = self.replicas.get(shard)
+            entries = slice_.entries if slice_ is not None else {}
+            per_primary.setdefault(owner, {})[str(shard)] = [
+                len(entries),
+                slice_digest(entries),
+            ]
+        for primary, shards in per_primary.items():
+            payload = {
+                "kind": "umiddle-shard-digest",
+                "origin": self.runtime_id,
+                "epoch": self.epoch,
+                "shards": shards,
+            }
+            self._send(payload, 64 + 56 * len(shards), primary)
+            self.digests_sent += 1
 
     def origin_lost(self, runtime_id: str) -> None:
         """An origin runtime is conclusively gone (lease expiry or
@@ -650,7 +987,15 @@ class ShardRouter:
         if runtime_id == self.runtime_id:
             return
         self._lost_origins.add(runtime_id)
+        self._provisional.pop(runtime_id, None)
         self._interest_drop_subscriber(runtime_id)
+        if self.replicated and self.replicas.drop_origin(runtime_id):
+            # Replica slices reap lost origins too (the tombstone extends
+            # to the replica plane): a degraded read or a later warm
+            # ingest must never resurrect what the primary plane reaped.
+            self.runtime.journal.append(
+                "shard-replica-origin", {"origin": runtime_id}
+            )
         tids = self.store.tids_of_origin(runtime_id)
         if not tids:
             return
@@ -671,6 +1016,7 @@ class ShardRouter:
                     reaped=len(removed_profiles),
                 )
             self._emit_deltas(added=(), removed=removed_profiles)
+            self._replicate_removals(removed_profiles)
 
     def sweep(self) -> None:
         """Periodic lease-style cleanup (ridden by the directory sweeper):
@@ -705,11 +1051,44 @@ class ShardRouter:
             )
         # A tombstoned origin that reannounced is alive again.
         self._lost_origins -= set(self.directory._runtimes)
+        # Backstop for the reconcile: a provisional promotion whose origin
+        # never restated it within a full lease is stale.  A live origin
+        # rebalances (and completely re-pushes) within a lease of the
+        # membership change that triggered the promotion, and a push that
+        # would claim the entry always reaches us -- the entry's own
+        # shards map here -- so silence means the profile is gone.
+        if self.replicated and self._provisional:
+            for origin in list(self._provisional):
+                pending = self._provisional[origin]
+                expired = [
+                    tid
+                    for tid, since in pending.items()
+                    if now - since > LEASE
+                ]
+                for tid in expired:
+                    del pending[tid]
+                    held = self.store.profile_of(tid)
+                    if held is None or held.runtime_id != origin:
+                        continue
+                    self.stale_evictions += 1
+                    if self.runtime.tracing:
+                        self.runtime.trace(
+                            "shard.stale-evict",
+                            f"{tid}: warm-ingested promotion never "
+                            f"restated by origin {origin} within a lease",
+                            origin=origin,
+                        )
+                    self._evict(tid)
+                if not pending:
+                    del self._provisional[origin]
         if self.runtime.kernel.now - self._started_at < LEASE:
             return
         members = set(self.directory._runtimes)
         members.add(self.runtime_id)
-        for origin in self.store.origins() - members:
+        origins = self.store.origins()
+        if self.replicated:
+            origins = origins | self.replicas.origins()
+        for origin in origins - members:
             self.origin_lost(origin)
         for key, subscribers in list(self._interest.items()):
             subscribers &= members
@@ -745,9 +1124,14 @@ class ShardRouter:
     def _push_local_profiles(self) -> None:
         profiles = self.directory._local_profiles()
         if profiles:
-            self._place(profiles)
+            # A membership-change re-push is *complete*: it is the full
+            # statement of this origin's live profiles, so receivers can
+            # reconcile provisional warm-ingest promotions against it.
+            self._place(profiles, complete=True)
 
-    def _place(self, profiles: List[TranslatorProfile]) -> None:
+    def _place(
+        self, profiles: List[TranslatorProfile], complete: bool = False
+    ) -> None:
         """Group profiles by owning runtime and push one batched placement
         message per owner (self-owned shards store directly).
 
@@ -780,6 +1164,10 @@ class ShardRouter:
                     "digests": [p.wire_digest for p in batch],
                     "shards": shard_lists,
                 }
+                if complete and self.replicated:
+                    # Only stamped on the replica tier: the flat and
+                    # factor-1 wire formats stay byte-identical.
+                    payload["complete"] = True
                 size = 64 + sum(self._profile_wire_size(p) + 48 for p in batch)
                 self._send(payload, size, owner)
                 self.pushes_sent += 1
@@ -809,6 +1197,7 @@ class ShardRouter:
         must not be intersected away.  The next rebalance prunes shards we
         never actually own."""
         added = []
+        replica_adds: Dict[int, List[TranslatorProfile]] = {}
         for position, profile in enumerate(profiles):
             targets = self.shards_of_profile(profile) & self._owned
             if shard_lists is not None:
@@ -832,10 +1221,15 @@ class ShardRouter:
                         ),
                     },
                 )
+                if self.replicated:
+                    for shard in targets & self._owned:
+                        replica_adds.setdefault(shard, []).append(profile)
             if content_changed:
                 added.append(profile)
         if added:
             self._emit_deltas(added=added, removed=())
+        if replica_adds:
+            self._replicate_store(replica_adds)
 
     def _evict(self, translator_id: str) -> None:
         profile = self.store.remove(translator_id)
@@ -845,6 +1239,90 @@ class ShardRouter:
             "shard-remove", {"translator_id": translator_id}
         )
         self._emit_deltas(added=(), removed=[profile])
+        self._replicate_removals([profile])
+
+    # -- replica streaming --------------------------------------------------
+
+    def _replica_peers(self, shard: int) -> Tuple[str, ...]:
+        peers = self._replica_routes.get(shard)
+        if peers is None:
+            peers = tuple(
+                replicas_of(self.map, shard, self.replication_factor)
+            )
+            self._replica_routes[shard] = peers
+        return peers
+
+    def _replicate_store(
+        self,
+        per_shard: Dict[int, List[TranslatorProfile]],
+        full: bool = False,
+    ) -> None:
+        """Stream freshly-admitted profiles of owned shards to their
+        ranked replicas, stamped with the current ownership epoch.  The
+        push piggybacks on the existing unicast shard plane (same port,
+        same framing discipline as placement and delta traffic)."""
+        if not self.replicated or not per_shard:
+            return
+        per_peer: Dict[str, Dict[str, dict]] = {}
+        for shard, profiles in per_shard.items():
+            for peer in self._replica_peers(shard):
+                slices = per_peer.setdefault(peer, {})
+                entry = slices.setdefault(
+                    str(shard),
+                    {
+                        "profiles": [],
+                        "digests": [],
+                        "removed": [],
+                        "full": full,
+                    },
+                )
+                for profile in profiles:
+                    entry["profiles"].append(profile.to_dict())
+                    entry["digests"].append(profile.wire_digest)
+        self._send_replica_frames(per_peer)
+
+    def _replicate_removals(
+        self, profiles: Iterable[TranslatorProfile]
+    ) -> None:
+        """Stream removals (evictions and origin reaping) to the replicas
+        of every owned shard the profiles were placed under, so a slice
+        does not keep serving a profile its primary already dropped."""
+        if not self.replicated:
+            return
+        per_peer: Dict[str, Dict[str, dict]] = {}
+        for profile in profiles:
+            for shard in self.shards_of_profile(profile) & self._owned:
+                for peer in self._replica_peers(shard):
+                    slices = per_peer.setdefault(peer, {})
+                    entry = slices.setdefault(
+                        str(shard),
+                        {
+                            "profiles": [],
+                            "digests": [],
+                            "removed": [],
+                            "full": False,
+                        },
+                    )
+                    entry["removed"].append(profile.translator_id)
+        self._send_replica_frames(per_peer)
+
+    def _send_replica_frames(
+        self, per_peer: Dict[str, Dict[str, dict]]
+    ) -> None:
+        for peer, slices in per_peer.items():
+            payload = {
+                "kind": "umiddle-shard-replica",
+                "origin": self.runtime_id,
+                "epoch": self.epoch,
+                "slices": slices,
+            }
+            size = 64
+            for entry in slices.values():
+                size += 24
+                size += sum(len(d) + 48 for d in entry["profiles"])
+                size += sum(len(r) + 4 for r in entry["removed"])
+            self._send(payload, size, peer)
+            self.replica_pushes_sent += 1
 
     # -- interest-scoped deltas --------------------------------------------
 
@@ -984,14 +1462,16 @@ class ShardRouter:
             matched = self._fanout_scan(query)
         else:
             route_key = keys[0]
-            remote: Dict[str, int] = {}
+            remote: Dict[str, List[int]] = {}
             local = False
             for shard in self.read_shards(route_key):
                 owner = self.map.owner(shard)
                 if owner is None or owner == self.runtime_id:
                     local = True
                 else:
-                    remote.setdefault(owner, shard)
+                    shards = remote.setdefault(owner, [])
+                    if shard not in shards:
+                        shards.append(shard)
             matched = []
             if local:
                 self.local_lookups += 1
@@ -1015,12 +1495,38 @@ class ShardRouter:
             merged.setdefault(profile.translator_id, profile)
         return self._order(list(merged.values()), query)
 
+    def _quarantined_peer(self, runtime_id: str) -> bool:
+        """Owner suspicion feeding failover: a quarantined primary is
+        skipped in favor of its replicas -- but only once replicas exist
+        to fail over to, so the single-homed path never turns a
+        reachable-but-suspect owner into an unavailable shard."""
+        if not self.replicated:
+            return False
+        monitor = self.runtime.health
+        if not monitor.enabled:
+            return False
+        return monitor.peer_health(runtime_id) is HealthState.QUARANTINED
+
     def _routed_bucket(
-        self, route_key: _IndexKey, owner_shards: Dict[str, int]
+        self, route_key: _IndexKey, owner_shards: Dict[str, List[int]]
     ) -> Tuple[TranslatorProfile, ...]:
         """The merged remote bucket for one key: one RPC per distinct
-        sub-shard owner, ranked failover per shard, TTL-cached as a
-        unit."""
+        sub-shard owner, replica failover per shard, TTL-cached as a
+        unit.
+
+        A reachable, non-quarantined primary serves its whole key bucket
+        authoritatively.  An unreachable one fails over shard by shard:
+        every sub-shard of the key the dead owner held is read from its
+        ranked replicas as an explicitly-traced degraded read (never
+        cached) carrying the slice's bounded-staleness marker.  A
+        reachable replica holding no slice vouches the sub-shard empty
+        (a primary streams a slice the moment it holds an entry, and
+        slices are journaled, so absence at a live replica means absence
+        -- modulo the same sync lag every degraded read accepts).  Only
+        a sub-shard with no reachable replica at all falls through: a
+        stale cache entry backfills, and a route with none of the three
+        raises :class:`ShardUnavailable` instead of silently returning a
+        wrong partial answer served by a non-holder."""
         now = self.runtime.kernel.now
         cached = self._cache.get(route_key)
         if (
@@ -1032,43 +1538,81 @@ class ShardRouter:
             return cached[1]
         fabric = shard_fabric(self.runtime.network)
         merged: Dict[str, TranslatorProfile] = {}
-        complete = True
-        for owner, shard in owner_shards.items():
-            served = False
-            # The ranked failover list costs a full member sort -- only
-            # compute it once the primary owner is actually unreachable.
-            candidates = (owner,)
-            while True:
-                for candidate in candidates:
-                    router = fabric.get(candidate)
-                    if router is None:
+        authoritative = True
+        failed: Optional[Tuple[int, str]] = None
+        for owner, shards in owner_shards.items():
+            router = self._peer_router(fabric, owner)
+            if router is not None and not self._quarantined_peer(owner):
+                self.routed_lookups += 1
+                for profile in router.serve_bucket(route_key):
+                    merged.setdefault(profile.translator_id, profile)
+                continue
+            authoritative = False
+            if not self.replicated:
+                if failed is None:
+                    failed = (shards[0], owner)
+                continue
+            for shard in shards:
+                served = False
+                vouched_empty = False
+                for candidate in replicas_of(
+                    self.map, shard, self.replication_factor
+                ):
+                    if candidate == self.runtime_id:
+                        result = self.serve_replica_bucket(shard, route_key)
+                    else:
+                        replica_router = self._peer_router(fabric, candidate)
+                        if replica_router is None:
+                            continue
+                        self.routed_lookups += 1
+                        result = replica_router.serve_replica_bucket(
+                            shard, route_key
+                        )
+                    if result is None:
+                        vouched_empty = True
                         continue
-                    self.routed_lookups += 1
-                    for profile in router.serve_bucket(route_key):
+                    replica_bucket, synced_at = result
+                    for profile in replica_bucket:
                         merged.setdefault(profile.translator_id, profile)
                     served = True
+                    self.degraded_reads += 1
+                    if self.runtime.tracing:
+                        self.runtime.trace(
+                            "shard.degraded-read",
+                            f"shard {shard}: primary {owner} unreachable, "
+                            f"replica {candidate} served "
+                            f"{len(replica_bucket)} profile(s) "
+                            f"(staleness {max(0.0, now - synced_at):.3f}s)",
+                            shard=shard,
+                            staleness=max(0.0, now - synced_at),
+                        )
                     break
-                if served or len(candidates) > 1:
-                    break
-                candidates = tuple(
-                    member
-                    for member in self.map.owners_ranked(shard)
-                    if member != owner and member != self.runtime_id
-                )
-                if not candidates:
-                    break
-            if not served:
-                complete = False
-        if not complete:
-            # Mid-failover window with no live owner for some sub-shard:
-            # backfill from the stale cache if we have one, and don't
-            # let the partial result poison the cache.
+                if not served and not vouched_empty and failed is None:
+                    failed = (shard, owner)
+        if failed is not None:
+            # Mid-failover window with no live holder for some sub-shard:
+            # backfill from the stale cache if we have one; with no cache
+            # either the lookup surfaces a structured failure instead of
+            # a silently wrong partial answer.
             self.routed_failures += 1
-            if cached is not None:
-                for profile in cached[1]:
-                    merged.setdefault(profile.translator_id, profile)
+            if cached is None:
+                failed_shard, failed_owner = failed
+                self.unavailable_lookups += 1
+                if self.runtime.tracing:
+                    self.runtime.trace(
+                        "shard.unavailable",
+                        f"shard {failed_shard}: primary {failed_owner} "
+                        "unreachable and no replica or cached bucket "
+                        f"serves {route_key[0]}={route_key[1]}",
+                        shard=failed_shard,
+                    )
+                raise ShardUnavailable(
+                    failed_shard, failed_owner, self.epoch
+                )
+            for profile in cached[1]:
+                merged.setdefault(profile.translator_id, profile)
         bucket = tuple(merged.values())
-        if complete:
+        if authoritative:
             self._cache[route_key] = (now, bucket)
         if self.runtime.tracing:
             self.runtime.trace(
@@ -1089,7 +1633,7 @@ class ShardRouter:
             if member == self.runtime_id:
                 matches = self.store.scan(query)
             else:
-                router = fabric.get(member)
+                router = self._peer_router(fabric, member)
                 if router is None:
                     continue
                 self.routed_lookups += 1
@@ -1104,6 +1648,23 @@ class ShardRouter:
         self.bucket_serves += 1
         self.bucket_bytes_served += sum(self._profile_wire_size(p) for p in bucket)
         return bucket
+
+    def serve_replica_bucket(
+        self, shard: int, route_key: _IndexKey
+    ) -> Optional[Tuple[List[TranslatorProfile], float]]:
+        """Replica side of a degraded read: the bucket held in one replica
+        slice plus the slice's last-sync instant (the bounded-staleness
+        marker the reader traces), or ``None`` when this node holds no
+        slice for the shard."""
+        slice_ = self.replicas.get(shard)
+        if slice_ is None:
+            return None
+        bucket = self.replicas.bucket(shard, route_key)
+        self.bucket_serves += 1
+        self.bucket_bytes_served += sum(
+            self._profile_wire_size(p) for p in bucket
+        )
+        return bucket, slice_.synced_at
 
     def serve_scan(self, query: Query) -> List[TranslatorProfile]:
         self.scan_serves += 1
@@ -1139,13 +1700,19 @@ class ShardRouter:
         if kind == "umiddle-shard-store":
             self.stores_received += 1
             digests = payload.get("digests") or [None] * len(payload["profiles"])
-            self._admit(
-                [
-                    TranslatorProfile.from_dict(data, digest=digest)
-                    for data, digest in zip(payload["profiles"], digests)
-                ],
-                payload.get("shards"),
-            )
+            batch = [
+                TranslatorProfile.from_dict(data, digest=digest)
+                for data, digest in zip(payload["profiles"], digests)
+            ]
+            self._admit(batch, payload.get("shards"))
+            if self.replicated:
+                claimed = {p.translator_id for p in batch}
+                pending = self._provisional.get(origin)
+                if pending:
+                    for tid in claimed:
+                        pending.pop(tid, None)
+                if payload.get("complete"):
+                    self._reap_stale_promotions(origin, claimed)
         elif kind == "umiddle-shard-remove":
             self.removes_received += 1
             for translator_id in payload["ids"]:
@@ -1168,6 +1735,196 @@ class ShardRouter:
                 payload.get("digests"),
                 payload.get("removed", ()),
             )
+        elif kind == "umiddle-shard-replica":
+            if self.replicated:
+                self._handle_replica(origin, payload)
+        elif kind == "umiddle-shard-digest":
+            if self.replicated:
+                self._handle_digest(origin, payload)
+        elif kind == "umiddle-shard-digest-reply":
+            if self.replicated:
+                self._handle_digest_reply(origin, payload)
+
+    def _handle_replica(self, origin: str, payload: dict) -> None:
+        """Replica side of the primary's slice stream: apply each pushed
+        slice unless the sender is not the shard's current primary under
+        this receiver's membership view -- the fence that keeps a deposed
+        primary from resurrecting reaped state.
+
+        The fence is anchored on the map owner rather than on a bare
+        epoch comparison because epochs are per-node counters with
+        incomparable histories: a deposed primary may carry *more* bumps
+        than the replica's recorded fence (it saw more ownership churn
+        before the partition) and a legitimately elected late joiner may
+        carry fewer.  The membership view is the authority anchor used
+        everywhere else in the directory, so it is the authority anchor
+        here too; the stamped epoch is journaled with every accepted
+        slice, reported back in digest replies (the deposed primary's
+        stand-down signal) and surfaced in fencing traces."""
+        self.replica_pushes_received += 1
+        epoch = int(payload.get("epoch", 0))
+        now = self.runtime.kernel.now
+        for shard_key, entry in (payload.get("slices") or {}).items():
+            shard = int(shard_key)
+            if self.map.owner(shard) != origin:
+                fence = max(
+                    self._shard_epochs.get(shard, 0),
+                    self.replicas.epoch_of(shard),
+                )
+                self.fenced_frames += 1
+                if self.runtime.tracing:
+                    self.runtime.trace(
+                        "shard.fenced",
+                        f"push for shard {shard} from non-owner {origin} "
+                        f"rejected (epoch {epoch}, fence {fence})",
+                        shard=shard,
+                        epoch=epoch,
+                    )
+                continue
+            profile_dicts = entry.get("profiles") or []
+            digests = entry.get("digests") or [None] * len(profile_dicts)
+            profiles = [
+                TranslatorProfile.from_dict(data, digest=digest)
+                for data, digest in zip(profile_dicts, digests)
+            ]
+            removed = entry.get("removed") or []
+            full = bool(entry.get("full"))
+            self.replicas.apply_store(
+                shard, profiles, epoch, now, full=full, force=True
+            )
+            if removed:
+                self.replicas.apply_remove(
+                    shard, removed, epoch, now, force=True
+                )
+            self._shard_epochs[shard] = max(
+                self._shard_epochs.get(shard, 0), epoch
+            )
+            self.runtime.journal.append(
+                "shard-replica",
+                {
+                    "shard": shard,
+                    "profiles": profile_dicts,
+                    "removed": list(removed),
+                    "epoch": epoch,
+                    "full": full,
+                },
+            )
+
+    def _handle_digest(self, origin: str, payload: dict) -> None:
+        """Anti-entropy digest receiver, both directions.
+
+        As a *replica* (the digested shard is owned by the sender):
+        compare the primary's per-shard slice summaries with local slices
+        and answer with the shards whose content mismatches (plus the
+        fencing epochs a deposed sender should respect).
+
+        As the *primary* (we own the digested shard and the sender is one
+        of its replicas): compare the replica's summary against the
+        authoritative slice and full-sync mismatches directly.  This is
+        the pull path a rejoining replica needs -- its own restart never
+        changes the primary's membership view (the lease never expired),
+        so the primary-side push digest would never fire."""
+        epoch = int(payload.get("epoch", 0))
+        mismatched = []
+        stale_held = []
+        epochs: Dict[str, int] = {}
+        for shard_key, summary in (payload.get("shards") or {}).items():
+            shard = int(shard_key)
+            count, digest = int(summary[0]), summary[1]
+            if shard in self._owned:
+                # Primary side: resync a divergent replica on request.
+                if origin not in replicas_of(
+                    self.map, shard, self.replication_factor
+                ):
+                    continue
+                profiles = self.store.slice_of(shard)
+                mine = slice_digest(
+                    {p.translator_id: p for p in profiles}
+                )
+                if len(profiles) != count or mine != digest:
+                    stale_held.append(shard)
+                continue
+            # Replica side.  Same owner-anchored fence as
+            # _handle_replica: a digest from a sender that is not the
+            # current map owner is a deposed primary's.  Refuse the
+            # exchange and report the recorded fence epoch instead of
+            # inviting a stale sync.
+            if self.map.owner(shard) != origin:
+                self.fenced_frames += 1
+                epochs[str(shard)] = max(
+                    self._shard_epochs.get(shard, 0),
+                    self.replicas.epoch_of(shard),
+                )
+                continue
+            slice_ = self.replicas.get(shard)
+            if slice_ is None:
+                if count:
+                    mismatched.append(shard)
+                continue
+            if len(slice_.entries) != count or slice_.digest() != digest:
+                mismatched.append(shard)
+        if stale_held:
+            self._full_sync(origin, stale_held)
+        if not mismatched and not epochs:
+            return
+        self.digest_replies += 1
+        self._send(
+            {
+                "kind": "umiddle-shard-digest-reply",
+                "origin": self.runtime_id,
+                "shards": sorted(mismatched),
+                "epochs": epochs,
+            },
+            64 + 8 * len(mismatched) + 12 * len(epochs),
+            origin,
+        )
+
+    def _handle_digest_reply(self, origin: str, payload: dict) -> None:
+        """Primary side of anti-entropy: full-sync exactly the shards the
+        replica reported divergent -- unless the replica's recorded epoch
+        dominates ours, in which case we are the deposed primary and
+        stand down until the membership view (and a fresh quorum epoch)
+        catches up."""
+        epochs = payload.get("epochs") or {}
+        to_sync = []
+        for shard in payload.get("shards") or ():
+            shard = int(shard)
+            if shard not in self._owned:
+                continue
+            if int(epochs.get(str(shard), 0)) > self.epoch:
+                continue
+            to_sync.append(shard)
+        self._full_sync(origin, to_sync)
+
+    def _full_sync(self, peer: str, shards: List[int]) -> None:
+        """Push the full authoritative slice of each shard to one
+        replica -- the repair both anti-entropy directions converge on."""
+        slices: Dict[str, dict] = {}
+        size = 64
+        for shard in shards:
+            profiles = self.store.slice_of(shard)
+            entry = {
+                "profiles": [p.to_dict() for p in profiles],
+                "digests": [p.wire_digest for p in profiles],
+                "removed": [],
+                "full": True,
+            }
+            slices[str(shard)] = entry
+            size += 24 + sum(len(d) + 48 for d in entry["profiles"])
+        if not slices:
+            return
+        self.replica_syncs += len(slices)
+        self._send(
+            {
+                "kind": "umiddle-shard-replica",
+                "origin": self.runtime_id,
+                "epoch": self.epoch,
+                "slices": slices,
+            },
+            size,
+            peer,
+        )
+        self.replica_pushes_sent += 1
 
     def _handle_subscribe(self, origin: str, key) -> None:
         route_key = tuple(key) if key is not None else None

@@ -128,6 +128,10 @@ class Medium:
         #: exchange frames only when some set contains both their nodes;
         #: nodes absent from every set are isolated.  ``None`` = healthy.
         self._partition: Optional[List[Set[str]]] = None
+        #: Asymmetric link blocks: ``(src_node, dst_node)`` pairs whose
+        #: frames are dropped in that direction only -- A can hear B while
+        #: B no longer hears A (one-way radio fade, half-broken cable).
+        self._blocked: Set[Tuple[str, str]] = set()
         #: Cumulative bytes transmitted (wire bytes incl. overhead).
         self.bytes_transmitted = 0
         self.frames_transmitted = 0
@@ -209,6 +213,31 @@ class Medium:
     def partitioned(self) -> bool:
         return self._partition is not None
 
+    def block_direction(self, src: str, dst: str) -> None:
+        """Drop every frame ``src`` sends toward ``dst`` (by node name)
+        while letting the reverse direction through -- the asymmetric-link
+        fault partitions and outages cannot model."""
+        pair = (src, dst)
+        if pair in self._blocked:
+            return
+        self._blocked.add(pair)
+        self.network.trace.emit(
+            "net.asymmetry", f"{self.name}: {src} -/-> {dst}", src=src, dst=dst
+        )
+
+    def unblock_direction(self, src: str, dst: str) -> None:
+        """Restore the ``src`` -> ``dst`` direction."""
+        pair = (src, dst)
+        if pair not in self._blocked:
+            return
+        self._blocked.discard(pair)
+        self.network.trace.emit(
+            "net.asymmetry",
+            f"{self.name}: {src} -> {dst} restored",
+            src=src,
+            dst=dst,
+        )
+
     def _same_side(self, a: Interface, b: Interface) -> bool:
         """True when the partition (if any) lets ``a`` and ``b`` talk."""
         if self._partition is None:
@@ -217,6 +246,17 @@ class Medium:
             if a.node.name in group and b.node.name in group:
                 return True
         return False
+
+    def _delivers(self, src: Interface, dst: Interface) -> bool:
+        """True when a frame from ``src`` currently reaches ``dst``:
+        same partition side and the direction is not asymmetrically
+        blocked."""
+        if (
+            self._blocked
+            and (src.node.name, dst.node.name) in self._blocked
+        ):
+            return False
+        return self._same_side(src, dst)
 
     # -- transmission -----------------------------------------------------
 
@@ -274,7 +314,7 @@ class Medium:
             for interface in self.interfaces:
                 if interface is sender:
                     continue
-                if not self._same_side(sender, interface):
+                if not self._delivers(sender, interface):
                     continue
                 if frame.multicast_group in interface.multicast_groups:
                     interface.node._receive(frame.clone(), interface)
@@ -283,7 +323,7 @@ class Medium:
             # Broadcast: every other interface on the segment.
             for interface in self.interfaces:
                 if interface is not sender:
-                    if self._same_side(sender, interface):
+                    if self._delivers(sender, interface):
                         interface.node._receive(frame.clone(), interface)
             return
         target = self.interface_for(frame.dst)
@@ -295,13 +335,20 @@ class Medium:
                     f"{self.name}: partition blocks {frame.src}->{frame.dst}",
                 )
                 return
+            if not self._delivers(sender, target):
+                self.frames_dropped += 1
+                self.network.trace.emit(
+                    "net.asymmetry-drop",
+                    f"{self.name}: one-way block eats {frame.src}->{frame.dst}",
+                )
+                return
             target.node._receive(frame, target)
             return
         # Not local to this segment: hand to any forwarding node.
         for interface in self.interfaces:
             if interface is sender:
                 continue
-            if not self._same_side(sender, interface):
+            if not self._delivers(sender, interface):
                 continue
             if interface.node.forwards and interface.node.can_reach(frame.dst):
                 interface.node._forward(frame, interface)
@@ -423,6 +470,34 @@ class Node:
             if interface.medium is medium:
                 return interface
         return None
+
+    def reachable(self, other: "Node") -> bool:
+        """Best-effort check that a request/reply exchange with ``other``
+        could traverse the network right now: both hosts powered, and some
+        directly shared medium is up, unpartitioned between them and not
+        asymmetrically blocked in either direction.  Nodes sharing no
+        segment fall back to True (multi-hop routes are not modeled
+        here).  In-process shortcuts -- the shard fabric's synchronous
+        routed lookups -- consult this so a partition is not invisible to
+        calls that never put a frame on the wire."""
+        if self is other:
+            return True
+        if not self.up or not other.up:
+            return False
+        shared = False
+        for interface in self.interfaces:
+            medium = interface.medium
+            peer = other.interface_on(medium)
+            if peer is None:
+                continue
+            shared = True
+            if not medium.up:
+                continue
+            if medium._delivers(interface, peer) and medium._delivers(
+                peer, interface
+            ):
+                return True
+        return not shared
 
     # -- multicast -------------------------------------------------------
 

@@ -9,7 +9,8 @@ directory converges, breakers close again, and traffic flows.
 
 import os
 
-from repro.chaos import random_plan
+from repro.chaos import RecoveryReport, random_plan
+from repro.core.errors import ShardUnavailable
 from repro.core.health import HealthState
 from repro.core.messages import UMessage
 from repro.core.query import Query
@@ -41,6 +42,13 @@ CODEC = os.environ.get("CHAOS_CODEC", "0") == "1"
 #: its replay stay byte-identical); the saga-mix workload test below runs
 #: always, with crashes turned cold by CHAOS_LOSE_STATE as usual.
 SAGA = os.environ.get("CHAOS_SAGA", "0") == "1"
+
+#: CHAOS_REPLICATION=1 re-runs the storm with replicated shard slices
+#: (replication_factor=2 on every runtime): epoch-fenced replica pushes,
+#: degraded reads and warm handoff ingest ride the identical schedule,
+#: and every post-storm invariant must still hold.  Only meaningful
+#: together with CHAOS_SHARDED=1 (a flat directory ignores the factor).
+REPLICATION = os.environ.get("CHAOS_REPLICATION", "0") == "1"
 STORM_HORIZON = 60.0
 # Lease (15 s) + announce interval + breaker reopen max (60 s) with slack.
 CALM_DOWN = 90.0
@@ -54,6 +62,7 @@ def build_soak():
         sharding_enabled=SHARDED,
         codec_enabled=CODEC,
         saga_enabled=SAGA,
+        replication_factor=2 if REPLICATION else 1,
     )
     r1 = bed.add_runtime("h1", **kwargs)
     r2 = bed.add_runtime("h2", **kwargs)
@@ -82,6 +91,34 @@ def build_soak():
     return bed, (r1, r2, r3), binding, received
 
 
+def flat_oracle(runtimes):
+    """role -> translator ids from local registrations: the flat truth
+    sharded keyed lookups are judged against for reconvergence."""
+    table = {}
+    for runtime in runtimes:
+        for entry in runtime.directory._entries.values():
+            if entry.local:
+                table.setdefault(entry.profile.role, set()).add(
+                    entry.profile.translator_id
+                )
+    return table
+
+
+def lookups_agree(runtimes, oracle):
+    for runtime in runtimes:
+        for role, expected in oracle.items():
+            try:
+                got = {
+                    p.translator_id
+                    for p in runtime.lookup(Query(role=role))
+                }
+            except ShardUnavailable:
+                return False
+            if got != expected:
+                return False
+    return True
+
+
 class TestSeededSoak:
     def test_storm_then_convergence(self):
         bed, runtimes, binding, received = build_soak()
@@ -95,8 +132,45 @@ class TestSeededSoak:
             max_duration=10.0,
             lose_state=LOSE_STATE,
         )
+        oracle = flat_oracle(runtimes)
         bed.add_chaos(plan)
-        bed.settle(STORM_HORIZON + CALM_DOWN)
+        # Run the storm to its last heal, then walk the calm-down in
+        # steps, watching (in sharded mode) for the first instant every
+        # runtime's keyed lookups agree with the flat oracle again --
+        # the soak's time-to-reconverge-after-heal metric.
+        bed.settle(plan.horizon + 0.1)
+        healed_at = bed.kernel.now
+        reconverged_at = None
+        calm_end = (
+            bed.kernel.now
+            + STORM_HORIZON
+            + CALM_DOWN
+            - (plan.horizon + 0.1)
+        )
+        while bed.kernel.now < calm_end:
+            bed.settle(1.0)
+            if (
+                SHARDED
+                and reconverged_at is None
+                and lookups_agree(runtimes, oracle)
+            ):
+                reconverged_at = bed.kernel.now
+        if SHARDED:
+            report = RecoveryReport(
+                scenario="seeded-soak",
+                fault=f"storm-seed-{SEED}",
+                healed_at=healed_at,
+                rebound_at=None,
+                messages_sent=0,
+                messages_received=0,
+                reconverged_at=reconverged_at,
+            )
+            assert report.reconverged_at is not None, (
+                "sharded lookups never re-agreed with the flat oracle "
+                "after the storm"
+            )
+            assert report.time_to_reconverge is not None
+            assert report.time_to_reconverge >= 0.0
 
         # The storm is over and every runtime restarted (random_plan always
         # passes restart_after), so the directories must reconverge: each
@@ -197,6 +271,7 @@ class TestSagaSoak:
             sharding_enabled=SHARDED,
             codec_enabled=CODEC,
             saga_enabled=True,
+            replication_factor=2 if REPLICATION else 1,
         )
         r1 = bed.add_runtime("h1", **kwargs)
         r2 = bed.add_runtime("h2", **kwargs)

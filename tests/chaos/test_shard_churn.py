@@ -11,16 +11,27 @@ hash to -- so any node's routed lookup finds everything.
 """
 
 import json
+import os
 import random
 
+import pytest
+
 from repro.core.directory import LEASE, DirectoryListener
+from repro.core.errors import ShardUnavailable
 from repro.core.messages import UMessage
 from repro.core.profile import TranslatorProfile
 from repro.core.query import Query
+from repro.core.replica import slice_digest
 from repro.core.translator import Translator
 from repro.testbed import build_testbed
 
 from tests.core.test_directory_index import random_profile
+
+#: CHAOS_REPLICATION=1 runs the partition-oracle churn with replicated
+#: shard slices (replication_factor=2); the convergence invariants must
+#: hold either way -- replication only changes availability *during* the
+#: partition, never the converged outcome.
+REPLICATION = os.environ.get("CHAOS_REPLICATION", "0") == "1"
 
 
 def assert_placement_invariant(cluster):
@@ -281,3 +292,110 @@ class TestByteEquivalentRecovery:
         assert shard_state(subject) == before
         assert_placement_invariant(cluster)
         assert_all_visible(cluster, ids)
+
+
+class TestPartitionOracle:
+    """Randomized minority-partition + churn + heal, judged against the
+    flat oracle of surviving local registrations.  Runs flat
+    (replication_factor=1) and, under ``CHAOS_REPLICATION=1``, replicated
+    -- the converged outcome must be identical, and in the replicated
+    run no stale-epoch replica slice may survive the heal."""
+
+    @pytest.mark.parametrize("seed", [17, 43])
+    def test_partition_churn_heal_converges_to_oracle(self, seed):
+        hosts = ["h1", "h2", "h3", "h4", "h5"]
+        bed = build_testbed(hosts=hosts)
+        factor = 2 if REPLICATION else 1
+        cluster = [
+            bed.add_runtime(
+                h, sharding_enabled=True, replication_factor=factor
+            )
+            for h in hosts
+        ]
+        rng = random.Random(seed)
+        ids = populate(rng, cluster, 40)
+        bed.settle(LEASE + 5.0)
+        assert_placement_invariant(cluster)
+        assert_all_visible(cluster, ids)
+
+        origin_of = {}
+        for runtime in cluster:
+            for entry in runtime.directory._entries.values():
+                if entry.local:
+                    origin_of[entry.profile.translator_id] = runtime
+
+        minority, majority = cluster[0], cluster[1:]
+        bed.lan.partition([["h1"], ["h2", "h3", "h4", "h5"]])
+
+        # Churn on both sides of the split: registrations land on each
+        # side, and a few pre-partition majority profiles are withdrawn
+        # while the minority still holds stale copies of them.
+        new_majority = populate(rng, majority, 8, start=100)
+        new_minority = populate(rng, [minority], 4, start=200)
+        removable = sorted(
+            tid for tid in ids if origin_of[tid] in majority
+        )
+        unregistered = set(rng.sample(removable, 3))
+        for tid in unregistered:
+            origin_of[tid].directory.unregister(tid)
+
+        # Keyed lookups mid-partition must either answer or fail with the
+        # structured, retryable signal -- never a silent wrong answer
+        # about a key the reachable side authoritatively owns.  Lookup
+        # caches are cleared so a warm TTL cache cannot mask either path.
+        bed.settle(2.0)
+        for runtime in cluster:
+            runtime.shards._cache.clear()
+        for runtime in majority:
+            for role in ("display", "sensor", "printer"):
+                try:
+                    runtime.lookup(Query(role=role))
+                except ShardUnavailable as exc:
+                    assert exc.retryable
+
+        # A full lease inside the partition: each side reaps the other's
+        # origins, including every stale copy of the withdrawn profiles.
+        bed.settle(LEASE + 5.0)
+        bed.lan.heal()
+        bed.settle(LEASE + 10.0)
+
+        expected = (ids | new_majority | new_minority) - unregistered
+        assert_placement_invariant(cluster)
+        assert_all_visible(cluster, expected)
+        for runtime in cluster:
+            runtime.directory.check_index_consistency()
+
+        # Zero stale survivors: a profile withdrawn mid-partition must
+        # not linger in any authoritative store or any replica slice.
+        for runtime in cluster:
+            resurrected = (
+                set(runtime.shards.store.snapshot()) & unregistered
+            )
+            assert not resurrected, (
+                f"{runtime.runtime_id} store resurrects {resurrected}"
+            )
+            for shard in runtime.shards.replicas.shards():
+                slice_ = runtime.shards.replicas.get(shard)
+                stale = set(slice_.entries) & unregistered
+                assert not stale, (
+                    f"{runtime.runtime_id} replica slice {shard} "
+                    f"resurrects {stale}"
+                )
+        # No stale-epoch survivors: after the heal every replica slice
+        # anywhere matches its primary's authoritative slice content.
+        if REPLICATION:
+            by_id = {r.runtime_id: r for r in cluster}
+            for runtime in cluster:
+                for shard in runtime.shards.replicas.shards():
+                    slice_ = runtime.shards.replicas.get(shard)
+                    owner = by_id[runtime.shards.map.owner(shard)]
+                    authoritative = {
+                        p.translator_id: p
+                        for p in owner.shards.store.slice_of(shard)
+                    }
+                    assert slice_digest(slice_.entries) == slice_digest(
+                        authoritative
+                    ), (
+                        f"{runtime.runtime_id} replica of shard {shard} "
+                        f"diverges from {owner.runtime_id} after heal"
+                    )
