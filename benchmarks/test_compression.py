@@ -1,0 +1,433 @@
+"""Data-plane v3 benchmark: intra-batch delta encoding, compressed bulk
+transfers, and load-weighted shard placement (PR 10).
+
+Writes ``BENCH_compression.json`` at the repository root.  Four legs:
+
+- **Delta batches** -- a telemetry stream's batches re-encoded with
+  ``FRAME_BATCH_DELTA`` (first envelope full, the rest as header deltas
+  against their predecessor) versus the plain PR 7 batch frame, both
+  riding the same persistent per-peer symbol tables.  Gate: delta wire
+  bytes <= 0.8x plain for multi-envelope batches.
+- **Compressed full-state** -- a 25k-translator directory full-state
+  announcement through ``FRAME_GOSSIP_Z`` (zlib block compression)
+  versus the plain codec frame.  Gates: compressed bytes <= 0.5x plain,
+  and cold-ingest (decode + apply) <= 1.1x the uncompressed ingest.
+- **Load-weighted placement** -- a zipf-hot-key workload placed by the
+  plain rendezvous sweep versus the load-weighted sweep fed from the
+  same per-shard tier quantization the router announces.  Gate: the
+  fattest-node/mean state ratio drops >= 1.5x.
+- **Default-off** -- with ``compression_enabled=False`` the new layer
+  must be invisible: no delta frames, no compressed frames, no caps in
+  the codec hello, no load tiers, and no p99 latency regression > 1.05x
+  at 1-peer low load with compression on.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from repro.calibration import DEFAULT
+from repro.core.codec import WireDecoder, WireEncoder, decode_gossip, encode_gossip
+from repro.core.messages import UMessage
+from repro.core.profile import TranslatorProfile
+from repro.core.qos import QosPolicy
+from repro.core.shapes import Direction, PortSpec, Shape
+from repro.core.shard import (
+    KEY_SPLIT,
+    ShardMap,
+    WEIGHT_TIER_BASE,
+    shard_of_key,
+)
+from repro.core.translator import Translator
+from repro.core.runtime import UMiddleRuntime
+from repro.testbed import build_testbed
+
+OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_compression.json"
+
+FAST_LAN = DEFAULT.with_overrides(
+    network=replace(DEFAULT.network, ethernet_bandwidth_bps=1_000_000_000.0)
+)
+
+BATCHES = 8
+ENVELOPES_PER_BATCH = 16
+
+
+def message_envelope(seq: int) -> dict:
+    """One data-plane message envelope as the transport builds it: the
+    stream/origin/dst/mime header repeats verbatim across a batch while
+    only ``seq`` and the payload vary -- the delta frame's sweet spot."""
+    return {
+        "kind": "message",
+        "origin": "rt-h0",
+        "stream": "rt-h0/feed:data-out->rt-p0/display-0:data-in",
+        "seq": seq,
+        "src": "rt-h0/feed:data-out",
+        "dst": "rt-p0/display-0:data-in",
+        "mime": "text/plain",
+        "source": "rt-h0/feed:data-out",
+        "headers": {},
+        "payload": {
+            "kind": "sensor-reading",
+            "sensor": "temperature",
+            "site": "building-7/floor-3/room-12",
+            "unit": "celsius",
+            "value": seq % 40,
+            "seq": seq,
+        },
+        "size": 160,
+    }
+
+
+def bench_delta_batches() -> dict:
+    """Plain vs delta batch frames over one telemetry stream's burst,
+    with persistent (interning) encoder/decoder pairs per variant."""
+    plain_enc, delta_enc = WireEncoder(), WireEncoder()
+    delta_dec = WireDecoder()
+    plain_bytes = delta_bytes = 0
+    seq = 0
+    for _batch in range(BATCHES):
+        envelopes = [
+            message_envelope(seq + i) for i in range(ENVELOPES_PER_BATCH)
+        ]
+        seq += ENVELOPES_PER_BATCH
+        plain_bytes += plain_enc.encode_batch(envelopes).wire_size
+        frame = delta_enc.encode_batch_delta(envelopes)
+        delta_bytes += frame.wire_size
+        decoded = delta_dec.decode_frame(frame)
+        assert decoded["kind"] == "batch"
+        assert decoded["envelopes"] == envelopes  # lossless round-trip
+    return {
+        "batches": BATCHES,
+        "envelopes_per_batch": ENVELOPES_PER_BATCH,
+        "plain_wire_bytes": plain_bytes,
+        "delta_wire_bytes": delta_bytes,
+        "delta_ratio": round(delta_bytes / plain_bytes, 3),
+    }
+
+
+FULL_STATE_TRANSLATORS = 25_000
+
+PLATFORMS = ("upnp", "jini", "bluetooth", "motes", "webservices")
+ROLES = ("display", "sensor", "printer", "player", "storage")
+MIMES = ("text/plain", "image/jpeg", "audio/wav", "video/mpeg")
+
+
+def make_profile(index: int, runtime_id: str) -> TranslatorProfile:
+    shape = Shape(
+        [
+            PortSpec.digital("in", Direction.IN, MIMES[index % len(MIMES)]),
+            PortSpec.digital(
+                "out", Direction.OUT, MIMES[(index + 1) % len(MIMES)]
+            ),
+        ]
+    )
+    return TranslatorProfile(
+        translator_id=f"t-{index:06d}",
+        name=f"svc-{index:06d}",
+        platform=PLATFORMS[index % len(PLATFORMS)],
+        device_type=f"type-{index % 1250}",
+        role=ROLES[index % len(ROLES)],
+        runtime_id=runtime_id,
+        shape=shape,
+    )
+
+
+def offline_runtime(bed, host: str, **kwargs) -> UMiddleRuntime:
+    node = bed.add_host(host)
+    return UMiddleRuntime(
+        node, name=f"bench-{host}", auto_start=False, journal_enabled=False,
+        **kwargs,
+    )
+
+
+def ingest_seconds(frame, bed, host: str) -> float:
+    """Cold-ingest one full-state frame: decode plus flat apply."""
+    receiver = offline_runtime(bed, host)
+    start = time.perf_counter()
+    payload = decode_gossip(frame)
+    receiver.directory._apply_announcement(payload)
+    elapsed = time.perf_counter() - start
+    assert len(receiver.directory.profiles()) == FULL_STATE_TRANSLATORS
+    return elapsed
+
+
+def bench_full_state() -> dict:
+    """A 25k-translator full-state pull: plain codec gossip frame versus
+    the zlib block-compressed frame, bytes and cold-ingest wall clock."""
+    bed = build_testbed(hosts=[])
+    sender = offline_runtime(bed, "full-state-src")
+    for index in range(FULL_STATE_TRANSLATORS):
+        sender.directory._store_entry(
+            make_profile(index, sender.runtime_id),
+            local=True,
+            now=sender.kernel.now,
+        )
+    payload = sender.directory._announcement(
+        sender.directory._local_profiles(), [], True, False
+    )
+    plain = encode_gossip(payload)
+    packed = encode_gossip(payload, compress=True)
+    assert decode_gossip(packed) == decode_gossip(plain)
+
+    plain_s = ingest_seconds(plain, bed, "ingest-plain")
+    packed_s = ingest_seconds(packed, bed, "ingest-z")
+    return {
+        "translators": FULL_STATE_TRANSLATORS,
+        "plain_wire_bytes": plain.wire_size,
+        "compressed_wire_bytes": packed.wire_size,
+        "compressed_ratio": round(packed.wire_size / plain.wire_size, 3),
+        "plain_ingest_ms": round(plain_s * 1e3, 3),
+        "compressed_ingest_ms": round(packed_s * 1e3, 3),
+        "ingest_latency_ratio": round(packed_s / plain_s, 3),
+    }
+
+
+ZIPF_NODES = 80
+ZIPF_KEYS = 400
+ZIPF_EXPONENT = 1.2
+ZIPF_TOTAL = 200_000
+ZIPF_SHARDS = 1024
+
+
+def bench_zipf_placement() -> dict:
+    """Fattest-node/mean state ratio under a zipf-hot-key workload:
+    plain rendezvous versus the load-weighted sweep.  Hot keys spread
+    across their ``KEY_SPLIT`` salted sub-shards exactly as registered
+    profiles do; tiers use the router's log2 quantization, so this is
+    the placement the live reweight path converges to."""
+    weights = [1.0 / (rank + 1) ** ZIPF_EXPONENT for rank in range(ZIPF_KEYS)]
+    total_weight = sum(weights)
+    shard_load: dict = {}
+    for index, weight in enumerate(weights):
+        count = int(ZIPF_TOTAL * weight / total_weight)
+        if count <= 0:
+            continue
+        base, extra = divmod(count, KEY_SPLIT)
+        for salt in range(KEY_SPLIT):
+            per_salt = base + (1 if salt < extra else 0)
+            if per_salt == 0:
+                continue
+            shard = shard_of_key(
+                ("device_type", f"type-{index}"), ZIPF_SHARDS, salt
+            )
+            shard_load[shard] = shard_load.get(shard, 0) + per_salt
+    members = [f"node-{i:03d}" for i in range(ZIPF_NODES)]
+
+    def fattest_ratio(shard_map: ShardMap) -> float:
+        loads = {member: 0 for member in members}
+        for shard in range(ZIPF_SHARDS):
+            loads[shard_map.owner(shard)] += shard_load.get(shard, 0)
+        values = list(loads.values())
+        return max(values) / (sum(values) / len(values))
+
+    unweighted = ShardMap(ZIPF_SHARDS)
+    unweighted.rebuild(members)
+    unweighted_ratio = fattest_ratio(unweighted)
+
+    tiers = {
+        shard: (count // WEIGHT_TIER_BASE).bit_length()
+        for shard, count in shard_load.items()
+        if count >= WEIGHT_TIER_BASE
+    }
+    weighted = ShardMap(ZIPF_SHARDS)
+    weighted.rebuild(members)
+    weighted.set_load(tiers)
+    weighted_ratio = fattest_ratio(weighted)
+    return {
+        "nodes": ZIPF_NODES,
+        "shards": ZIPF_SHARDS,
+        "hot_keys": ZIPF_KEYS,
+        "zipf_exponent": ZIPF_EXPONENT,
+        "hot_shards": len(tiers),
+        "unweighted_fattest_ratio": round(unweighted_ratio, 3),
+        "weighted_fattest_ratio": round(weighted_ratio, 3),
+        "reduction": round(unweighted_ratio / weighted_ratio, 3),
+    }
+
+
+LATENCY_MESSAGES = 300
+LATENCY_SPACING_S = 0.02
+
+
+def percentile(samples, fraction: float) -> float:
+    ranked = sorted(samples)
+    index = min(len(ranked) - 1, int(round(fraction * (len(ranked) - 1))))
+    return ranked[index]
+
+
+def run_latency(compression: bool) -> dict:
+    """1-peer low load, codec on both legs: per-message delivery latency
+    with the compression layer off versus on.  At one spaced message per
+    batch the delta/z paths never engage -- the gate is that negotiating
+    and probing for them costs nothing on the quiet path."""
+    bed = build_testbed(calibration=FAST_LAN, hosts=["h0", "p0"])
+    bed.network.trace.enabled = False
+    kwargs = dict(
+        calibration=FAST_LAN,
+        batching_enabled=True,
+        codec_enabled=True,
+        compression_enabled=compression,
+    )
+    producer = bed.add_runtime("h0", **kwargs)
+    consumer = bed.add_runtime("p0", **kwargs)
+    source = Translator("feed", role="sensor")
+    out = source.add_digital_output("data-out", "text/plain")
+    producer.register_translator(source)
+    deliveries = []
+    sink = Translator("display-0", role="display")
+    sink.add_digital_input(
+        "data-in", "text/plain", lambda m: deliveries.append(bed.kernel.now)
+    )
+    consumer.register_translator(sink)
+    bed.settle(2.0)
+    producer.connect(out, sink.profile.port_ref("data-in"), qos=QosPolicy())
+    bed.settle(1.0)
+
+    latencies_ms = []
+    for index in range(LATENCY_MESSAGES):
+        sent_at = bed.kernel.now
+        out.send(UMessage("text/plain", f"reading-{index}", 120))
+        bed.settle(LATENCY_SPACING_S)
+        assert len(deliveries) == index + 1, (compression, index)
+        latencies_ms.append((deliveries[-1] - sent_at) * 1000.0)
+    if not compression:
+        # Default-off: the layer must be invisible end to end.
+        assert producer.transport.delta_batches_sent == 0
+        assert producer.shards.z_frames_sent == 0
+        assert "caps" not in producer.transport._codec_hello()
+        assert producer.shards.map.load_tiers == {}
+    return {
+        "compression": compression,
+        "messages": LATENCY_MESSAGES,
+        "p50_ms": round(percentile(latencies_ms, 0.50), 4),
+        "p99_ms": round(percentile(latencies_ms, 0.99), 4),
+    }
+
+
+def bench_latency_pair() -> dict:
+    off = run_latency(compression=False)
+    on = run_latency(compression=True)
+    return {
+        "off": off,
+        "on": on,
+        "p99_ratio": round(on["p99_ms"] / off["p99_ms"], 3),
+    }
+
+
+def bench_default_off_burst() -> dict:
+    """A batched codec burst with compression off: batches flow, but no
+    delta frame, no compressed frame and no load tier ever appears."""
+    bed = build_testbed(calibration=FAST_LAN, hosts=["h0", "p0"])
+    bed.network.trace.enabled = False
+    kwargs = dict(
+        calibration=FAST_LAN,
+        batching_enabled=True,
+        codec_enabled=True,
+        sharding_enabled=True,
+    )
+    producer = bed.add_runtime("h0", **kwargs)
+    consumer = bed.add_runtime("p0", **kwargs)
+    source = Translator("feed", role="sensor")
+    out = source.add_digital_output("data-out", "text/plain")
+    producer.register_translator(source)
+    received = []
+    sink = Translator("display-0", role="display")
+    sink.add_digital_input("data-in", "text/plain", received.append)
+    consumer.register_translator(sink)
+    bed.settle(2.0)
+    producer.connect(
+        out, sink.profile.port_ref("data-in"),
+        qos=QosPolicy(buffer_capacity=512),
+    )
+    bed.settle(1.0)
+    for index in range(200):
+        out.send(UMessage("text/plain", f"m{index}", 120))
+    bed.settle(10.0)
+    assert len(received) == 200
+    for runtime in (producer, consumer):
+        assert runtime.transport.delta_batches_sent == 0
+        assert runtime.shards.z_frames_sent == 0
+        assert runtime.shards.z_bytes_saved == 0
+        assert runtime.shards.weight_rebalances == 0
+        assert runtime.shards.map.load_tiers == {}
+        assert "caps" not in runtime.transport._codec_hello()
+    return {
+        "messages": 200,
+        "batches_sent": producer.transport.batches_sent,
+        "delta_batches_sent": producer.transport.delta_batches_sent,
+        "z_frames_sent": producer.shards.z_frames_sent,
+    }
+
+
+def test_compression(compare):
+    delta = bench_delta_batches()
+    full_state = bench_full_state()
+    placement = bench_zipf_placement()
+    latency = bench_latency_pair()
+    default_off = bench_default_off_burst()
+
+    results = {
+        "benchmark": "compression",
+        "schema": 1,
+        "delta_batches": delta,
+        "full_state": full_state,
+        "zipf_placement": placement,
+        "latency_1peer": latency,
+        "default_off": default_off,
+    }
+    OUTPUT.write_text(json.dumps(results, indent=2) + "\n")
+
+    compare(
+        "Intra-batch delta encoding (8 batches x 16 envelopes)",
+        ["variant", "wire bytes", "ratio"],
+        [
+            ["plain codec batch", delta["plain_wire_bytes"], "1.0"],
+            ["delta batch", delta["delta_wire_bytes"],
+             f"{delta['delta_ratio']}x"],
+        ],
+    )
+    compare(
+        "Full-state transfer at 25k translators",
+        ["variant", "wire bytes", "ingest ms"],
+        [
+            ["plain codec", full_state["plain_wire_bytes"],
+             full_state["plain_ingest_ms"]],
+            ["zlib block", full_state["compressed_wire_bytes"],
+             full_state["compressed_ingest_ms"]],
+        ],
+    )
+    compare(
+        "Load-weighted placement under zipf-hot-key load",
+        ["sweep", "fattest/mean"],
+        [
+            ["plain rendezvous", placement["unweighted_fattest_ratio"]],
+            ["load-weighted", placement["weighted_fattest_ratio"]],
+        ],
+    )
+    compare(
+        "Per-message delivery latency (1 peer, low load, simulated ms)",
+        ["compression", "p50 ms", "p99 ms"],
+        [
+            ["off", latency["off"]["p50_ms"], latency["off"]["p99_ms"]],
+            ["on", latency["on"]["p50_ms"], latency["on"]["p99_ms"]],
+        ],
+    )
+
+    # Acceptance: delta batches cut multi-envelope batch wire bytes to
+    # <= 0.8x the plain codec frame.
+    assert delta["delta_ratio"] <= 0.8, delta
+    # Acceptance: compressed full-state transfers move <= 0.5x the plain
+    # bytes at 25k translators, without taxing cold ingest > 1.1x.
+    assert full_state["compressed_ratio"] <= 0.5, full_state
+    assert full_state["ingest_latency_ratio"] <= 1.1, full_state
+    # Acceptance: load-weighted placement drops the fattest-node/mean
+    # state ratio >= 1.5x under the zipf-hot-key workload.
+    assert placement["reduction"] >= 1.5, placement
+    # Acceptance: compression on must not tax the quiet path.
+    assert latency["p99_ratio"] <= 1.05, latency
+    # Acceptance: default-off is invisible (counters asserted inline).
+    assert default_off["delta_batches_sent"] == 0
+    assert default_off["z_frames_sent"] == 0

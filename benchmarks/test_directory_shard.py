@@ -168,10 +168,14 @@ def bench_per_node_state(cluster, flat, population: int) -> dict:
         entry.profile.estimated_size()
         for entry in flat.directory._entries.values()
     )
+    mean_held = sum(held) / len(held)
     return {
         "nodes": len(cluster),
         "max_profiles_per_node": held[fattest],
-        "mean_profiles_per_node": round(sum(held) / len(held), 1),
+        "mean_profiles_per_node": round(mean_held, 1),
+        # Placement skew: how much fatter the fattest node is than the
+        # mean -- the figure load-weighted placement (PR 10) drives down.
+        "fattest_node_ratio": round(held[fattest] / mean_held, 3),
         "max_postings_per_node": store.posting_count,
         "max_bytes_per_node": store.estimated_bytes(),
         "flat_profiles_per_node": population,
@@ -264,7 +268,7 @@ def test_directory_shard_scale(compare):
         json.dumps(
             {
                 "benchmark": "directory_shard",
-                "schema": 1,
+                "schema": 2,
                 "shard_count": SHARD_COUNT,
                 "scales": results,
                 "sharding_off": sharding_off,

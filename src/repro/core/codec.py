@@ -82,11 +82,29 @@ _T_OBJ = 0x0B
 WIRE_MAGIC = 0xB1
 #: First byte of a binary journal record body (JSON bodies start with '{').
 JOURNAL_MAGIC = 0xB2
+#: First byte of a zlib-compressed binary journal record body.
+JOURNAL_MAGIC_Z = 0xB3
 
 #: Frame kinds (second byte of a wire frame).
 FRAME_ENVELOPE = 0x01
 FRAME_BATCH = 0x02
 FRAME_GOSSIP = 0x03
+#: Batch whose inner envelopes 2..n are field deltas against their
+#: predecessor (stream/origin/dst metadata repeats per envelope; only the
+#: fields that actually change ride the wire).  Sent only to peers that
+#: negotiated the ``z`` capability.
+FRAME_BATCH_DELTA = 0x04
+#: Self-contained gossip body, zlib-compressed (bulk/full-state transfers).
+#: Sent only to peers that negotiated the ``z`` capability.
+FRAME_GOSSIP_Z = 0x05
+
+#: zlib level for block compression: 6 is the stdlib default trade-off and
+#: deterministic for a given input, which the journal relies on.
+_Z_LEVEL = 6
+#: Upper bound accepted for a compressed body's declared raw length; a
+#: corrupt or hostile header cannot make the decoder allocate unbounded
+#: memory.
+_Z_MAX_RAW = 1 << 31
 
 #: Strings longer than this are never interned (one-shot blobs would only
 #: bloat the table); shorter recurring strings pay for their definition by
@@ -125,6 +143,10 @@ STATIC_SYMBOLS: Tuple[str, ...] = (
     "binding_id", "open", "closed",
     # common mime types
     "text/plain", "application/json", "application/octet-stream",
+    # data-plane v3 (delta/compression/weighted placement) protocol strings.
+    # Appended after PR 9 -- append-only keeps every older id stable.
+    "caps", "z", "shard_load", "tiers", "codec-z-ready", "shard-weights",
+    "codec_z_peers", "shard_weights",
 )
 _STATIC_IDS: Dict[str, int] = {s: i for i, s in enumerate(STATIC_SYMBOLS)}
 _DYNAMIC_BASE = len(STATIC_SYMBOLS)
@@ -335,6 +357,70 @@ class WireEncoder:
             raise
         return self._seal(buf, objs, oob)
 
+    def _write_envelope_delta(
+        self, buf: bytearray, envelope: dict, prev: dict, objs: List[Any]
+    ) -> int:
+        """Encode ``envelope`` as a field delta against ``prev``.
+
+        Wire form: varint changed-count, then (key, value) pairs, then
+        varint removed-count, then removed keys.  The ``payload`` field
+        gets the same out-of-band treatment as in :meth:`_write_envelope`
+        and is never delta-suppressed -- payload identity across envelopes
+        is not a wire-protocol assumption we want to make.
+        """
+        oob = 0
+        missing = object()
+        changed = [
+            (key, item)
+            for key, item in envelope.items()
+            if key == "payload" or prev.get(key, missing) != item
+        ]
+        removed = [key for key in prev if key not in envelope]
+        _write_varint(buf, len(changed))
+        for key, item in changed:
+            self._write_str(buf, _map_key(key))
+            if key == "payload" and not isinstance(item, (dict, list, tuple)):
+                declared = envelope.get("size")
+                declared = declared if isinstance(declared, int) and declared >= 0 else 0
+                buf.append(_T_OBJ)
+                _write_varint(buf, declared)
+                objs.append(item)
+                oob += declared
+            else:
+                self._write_value(buf, item)
+        _write_varint(buf, len(removed))
+        for key in removed:
+            self._write_str(buf, _map_key(key))
+        return oob
+
+    def encode_batch_delta(self, envelopes: List[dict]) -> BinaryFrame:
+        """One batch frame with envelopes 2..n delta-encoded.
+
+        The first envelope rides in full; every subsequent one carries
+        only the fields that differ from its predecessor (typically just
+        ``seq``, ``payload`` and ``size`` -- stream/origin/dst/path
+        metadata repeats across a batch).  Raises :class:`TypeError` with
+        the dynamic table rolled back when any field is not
+        representable, exactly like :meth:`encode_batch`.
+        """
+        snapshot = dict(self._symbols)
+        buf = bytearray((WIRE_MAGIC, FRAME_BATCH_DELTA))
+        _write_varint(buf, len(envelopes))
+        objs: List[Any] = []
+        oob = 0
+        prev: Optional[dict] = None
+        try:
+            for envelope in envelopes:
+                if prev is None:
+                    oob += self._write_envelope(buf, envelope, objs)
+                else:
+                    oob += self._write_envelope_delta(buf, envelope, prev, objs)
+                prev = envelope
+        except TypeError:
+            self._symbols = snapshot
+            raise
+        return self._seal(buf, objs, oob)
+
 
 class _Reader:
     """Bounds-checked cursor over a frame body; every overrun raises."""
@@ -482,6 +568,27 @@ class WireDecoder:
                 raise CodecError(f"implausible batch count {count}")
             envelopes = [self._read_value(reader, objs) for _ in range(count)]
             envelope = {"kind": "batch", "count": count, "envelopes": envelopes}
+        elif kind == FRAME_BATCH_DELTA:
+            count = reader.varint()
+            if count > reader.end - reader.pos:
+                raise CodecError(f"implausible batch count {count}")
+            envelopes = []
+            prev: Optional[dict] = None
+            for _ in range(count):
+                if prev is None:
+                    env = self._read_value(reader, objs)
+                    if not isinstance(env, dict):
+                        raise CodecError("delta batch base is not an envelope map")
+                else:
+                    env = dict(prev)
+                    for _ in range(reader.varint()):
+                        key = self._read_symbol(reader, reader.byte())
+                        env[key] = self._read_value(reader, objs)
+                    for _ in range(reader.varint()):
+                        env.pop(self._read_symbol(reader, reader.byte()), None)
+                envelopes.append(env)
+                prev = env
+            envelope = {"kind": "batch", "count": count, "envelopes": envelopes}
         else:
             raise CodecError(f"unexpected frame kind {kind:#x}")
         if not reader.exhausted:
@@ -494,25 +601,64 @@ class WireDecoder:
 # -- self-contained frames (gossip datagrams) ---------------------------------
 
 
-def encode_gossip(payload: dict) -> BinaryFrame:
+def encode_gossip(payload: dict, compress: bool = False) -> BinaryFrame:
     """Encode one directory announcement body, self-contained.
 
     Datagrams carry their whole symbol table inline (fresh per frame);
     the win is vectorization across the repeated per-profile field names
     within one announcement.  Raises :class:`TypeError` for bodies the
     codec cannot represent (the caller falls back to the JSON dict).
+
+    With ``compress=True`` the encoded body is zlib-deflated into a
+    ``FRAME_GOSSIP_Z`` frame (varint raw length + deflate stream) -- the
+    block-compression form for bulk/full-state transfers.  Callers must
+    only send it to peers that negotiated the ``z`` capability; the CRC
+    still covers the compressed bytes, so corruption is caught before
+    inflation.  Falls back to the plain frame when deflate does not
+    actually shrink the body (tiny payloads), keeping the compressed path
+    never worse than the plain one.
     """
     encoder = WireEncoder()
-    buf = bytearray((WIRE_MAGIC, FRAME_GOSSIP))
-    encoder._write_value(buf, payload)
+    body = bytearray()
+    encoder._write_value(body, payload)
+    if compress:
+        raw = bytes(body)
+        packed = zlib.compress(raw, _Z_LEVEL)
+        header = bytearray()
+        _write_varint(header, len(raw))
+        if len(packed) + len(header) < len(raw):
+            buf = bytearray((WIRE_MAGIC, FRAME_GOSSIP_Z)) + header + packed
+            buf += struct.pack(">I", zlib.crc32(bytes(buf[2:])) & 0xFFFFFFFF)
+            return BinaryFrame(bytes(buf))
+    buf = bytearray((WIRE_MAGIC, FRAME_GOSSIP)) + body
     buf += struct.pack(">I", zlib.crc32(bytes(buf[2:])) & 0xFFFFFFFF)
     return BinaryFrame(bytes(buf))
 
 
+def _inflate(packed: bytes, raw_len: int) -> bytes:
+    """Inflate a compressed body, bounded by its declared raw length."""
+    if raw_len > _Z_MAX_RAW:
+        raise CodecError(f"implausible compressed body length {raw_len}")
+    inflater = zlib.decompressobj()
+    try:
+        raw = inflater.decompress(packed, raw_len + 1)
+    except zlib.error as exc:
+        raise CodecError(f"corrupt compressed body: {exc}") from exc
+    if len(raw) != raw_len or not inflater.eof or inflater.unconsumed_tail:
+        raise CodecError("compressed body length mismatch")
+    return raw
+
+
 def decode_gossip(frame: BinaryFrame) -> dict:
-    """Decode a self-contained gossip body back into its dict form."""
+    """Decode a self-contained gossip body (plain or compressed)."""
     decoder = WireDecoder()
-    _kind, reader = decoder._open(frame, expect_kind=FRAME_GOSSIP)
+    kind, reader = decoder._open(frame)
+    if kind == FRAME_GOSSIP_Z:
+        raw_len = reader.varint()
+        raw = _inflate(reader.take(reader.end - reader.pos), raw_len)
+        reader = _Reader(raw, 0, len(raw))
+    elif kind != FRAME_GOSSIP:
+        raise CodecError(f"unexpected frame kind {kind:#x}")
     payload = decoder._read_value(reader, None)
     if not reader.exhausted:
         raise CodecError("trailing bytes after gossip body")
@@ -542,7 +688,7 @@ _NL_SUB = b"\x1bn"
 _ESC_SUB = b"\x1b\x1b"
 
 
-def encode_journal_body(record: dict) -> bytes:
+def encode_journal_body(record: dict, compress: bool = False) -> bytes:
     """Encode one journal record body (``{"data", "kind", "lsn"}``).
 
     The body must coexist with the journal's line framing: a leading
@@ -553,16 +699,30 @@ def encode_journal_body(record: dict) -> bytes:
     so replay and tail-repair semantics are untouched.  Raises
     :class:`TypeError` (before any state changes) for non-representable
     data, mirroring ``json.dumps``.
+
+    With ``compress=True`` the encoded value bytes are zlib-deflated
+    before escaping and the body leads with :data:`JOURNAL_MAGIC_Z`
+    instead -- used for checkpoint records, which are whole-state blobs.
+    Deflate is only kept when it actually shrinks the body, so small
+    checkpoints stay plain and the choice is deterministic for a given
+    record.
     """
     encoder = WireEncoder()
     buf = bytearray()
     encoder._write_value(buf, record)
-    escaped = bytes(buf).replace(_ESC_BYTE, _ESC_SUB).replace(b"\n", _NL_SUB)
-    return bytes((JOURNAL_MAGIC,)) + escaped
+    raw = bytes(buf)
+    magic = JOURNAL_MAGIC
+    if compress:
+        packed = zlib.compress(raw, _Z_LEVEL)
+        if len(packed) < len(raw):
+            raw = packed
+            magic = JOURNAL_MAGIC_Z
+    escaped = raw.replace(_ESC_BYTE, _ESC_SUB).replace(b"\n", _NL_SUB)
+    return bytes((magic,)) + escaped
 
 
 def is_binary_journal_body(body: bytes) -> bool:
-    return body[:1] == bytes((JOURNAL_MAGIC,))
+    return body[:1] in (bytes((JOURNAL_MAGIC,)), bytes((JOURNAL_MAGIC_Z,)))
 
 
 def decode_journal_body(body: bytes) -> dict:
@@ -589,8 +749,14 @@ def decode_journal_body(body: bytes) -> dict:
         else:
             unescaped.append(byte)
         i += 1
+    raw = bytes(unescaped)
+    if body[0] == JOURNAL_MAGIC_Z:
+        try:
+            raw = zlib.decompress(raw)
+        except zlib.error as exc:
+            raise CodecError(f"corrupt compressed journal body: {exc}") from exc
     decoder = WireDecoder()
-    reader = _Reader(bytes(unescaped), 0, len(unescaped))
+    reader = _Reader(raw, 0, len(raw))
     record = decoder._read_value(reader, None)
     if not reader.exhausted:
         raise CodecError("trailing bytes after journal body")

@@ -777,6 +777,13 @@ class Directory:
             # Health-only delta: receivers swap the entry in place and fire
             # `changed` instead of removed + added.
             payload["changed"] = [p.to_dict() for p in changed]
+        load = self.runtime.shards.load_report()
+        if load:
+            # Load-weighted placement: piggyback this owner's quantized
+            # per-shard load tiers on the announcements it already sends.
+            # Absent unless weighting is active *and* some shard is above
+            # baseline, so default-off announcements are byte-identical.
+            payload["shard_load"] = load
         return payload
 
     def _estimate_size(self, profiles, removed, changed=()) -> int:
@@ -795,6 +802,7 @@ class Directory:
         heartbeat: bool = False,
         to: Optional[List] = None,
         changed: Optional[List[TranslatorProfile]] = None,
+        compress_for: Optional[str] = None,
     ) -> None:
         if self._socket is None or self._socket.closed:
             return
@@ -818,8 +826,17 @@ class Directory:
             # table, so every receiver (multicast included) can decode it
             # without negotiation.  The charged size is the actual frame --
             # codec-honest bandwidth modeling, not the JSON estimate.
+            # ``compress_for`` names the single unicast target of a bulk
+            # transfer (full-state pull reply / newcomer push): when that
+            # peer negotiated the z capability the body ships
+            # zlib-compressed.  Multicast is never compressed -- receivers
+            # that did not negotiate z could not decode the frame kind.
+            compress = bool(
+                compress_for
+                and self.runtime.transport.compression_ready(compress_for)
+            )
             try:
-                frame = encode_gossip(payload)
+                frame = encode_gossip(payload, compress=compress)
             except TypeError:
                 self.codec_fallbacks += 1
                 self.runtime.trace(
@@ -926,6 +943,7 @@ class Directory:
                     self._announce(
                         full=True,
                         to=[(Address(origin["address"]), origin["directory_port"])],
+                        compress_for=origin["id"],
                     )
                 continue
             if isinstance(kind, str) and kind.startswith("umiddle-shard-"):
@@ -1007,10 +1025,15 @@ class Directory:
                 )
                 self._request_full_state(address, directory_port)
 
+        load = payload.get("shard_load")
+        if load is not None:
+            self.runtime.shards.note_peer_load(runtime_id, load)
         if newcomer and self.started:
             # Teach late joiners our state in one RTT instead of making
             # them wait for our next heartbeat + request round-trip.
-            self._announce(full=True, to=[(address, directory_port)])
+            self._announce(
+                full=True, to=[(address, directory_port)], compress_for=runtime_id
+            )
         if newcomer:
             # A membership change moves shard ownership: rebalance, re-push
             # local placements, re-route standing-query interest.

@@ -133,18 +133,22 @@ def durable_media(network: "Network") -> DurableMedia:
     return media
 
 
-def encode_record(lsn: int, kind: str, data: dict, binary: bool = False) -> bytes:
+def encode_record(
+    lsn: int, kind: str, data: dict, binary: bool = False, compress: bool = False
+) -> bytes:
     """One checksummed, line-framed journal record.
 
     With ``binary=True`` the body is the escaped binary codec encoding
     (magic byte ``0xB2``, see :mod:`repro.core.codec`) instead of
     canonical JSON; the line framing and CRC are identical either way,
     and mixed blobs replay fine -- each body declares its own format in
-    its first byte.
+    its first byte.  ``compress=True`` (binary only) additionally
+    zlib-deflates the body (magic ``0xB3``) when that shrinks it -- used
+    for checkpoint records, which serialize the whole mirror.
     """
     record = {"data": data, "kind": kind, "lsn": lsn}
     if binary:
-        body = encode_journal_body(record)
+        body = encode_journal_body(record, compress=compress)
     else:
         body = json.dumps(
             record, sort_keys=True, separators=(",", ":")
@@ -248,6 +252,15 @@ class RecoveredState:
     #: peers whose binary-codec negotiation completed (``codec-ready``),
     #: so a cold-restarted runtime resumes binary frames immediately.
     codec_peers: List[str] = field(default_factory=list)
+    #: peers whose ``z`` (compression) capability negotiation completed
+    #: (``codec-z-ready``), so a cold-restarted runtime resumes delta and
+    #: compressed frames immediately.
+    codec_z_peers: List[str] = field(default_factory=list)
+    #: last journaled load-weight placement state (``shard-weights``):
+    #: {"epoch": int, "tiers": {str(shard): tier}} -- restoring it before
+    #: placement keeps weighted shard assignment deterministic across
+    #: recovery.
+    shard_weights: Dict[str, object] = field(default_factory=dict)
     applied_records: int = 0
     discarded_bytes: int = 0
 
@@ -279,6 +292,7 @@ class Journal:
         enabled: bool = True,
         fsync_interval: float = 0.0,
         binary: bool = False,
+        compress: bool = False,
     ):
         self.runtime = runtime
         self.media = media
@@ -289,6 +303,10 @@ class Journal:
         #: flag across restarts (or recovering a JSON-era blob with the
         #: codec on) needs no migration.
         self.binary = binary
+        #: zlib-deflate checkpoint record bodies (binary codec only).
+        #: Also write-side only: replay discriminates by the body's magic
+        #: byte, so compressed and plain checkpoints coexist in one blob.
+        self.compress = compress and binary
         #: True while the runtime is crashed or replaying: appends dropped.
         self.muted = False
         self._pending = bytearray()
@@ -448,7 +466,10 @@ class Journal:
         immediately -- they never sit in the group-commit buffer."""
         if not self.enabled or self.muted:
             return
-        record = encode_record(1, "checkpoint", self._checkpoint_data(), self.binary)
+        record = encode_record(
+            1, "checkpoint", self._checkpoint_data(), self.binary,
+            compress=self.compress,
+        )
         blob = self.blob
         del blob[:]
         blob.extend(record)
@@ -493,6 +514,10 @@ class Journal:
             data["saga_applied"] = mirror.saga_applied
         if mirror.codec_peers:
             data["codec_peers"] = mirror.codec_peers
+        if mirror.codec_z_peers:
+            data["codec_z_peers"] = mirror.codec_z_peers
+        if mirror.shard_weights:
+            data["shard_weights"] = mirror.shard_weights
         return data
 
     def _flush_timer(self) -> None:
@@ -727,6 +752,14 @@ class Journal:
         elif kind == "codec-ready":
             if data["peer"] not in state.codec_peers:
                 state.codec_peers.append(data["peer"])
+        elif kind == "codec-z-ready":
+            if data["peer"] not in state.codec_z_peers:
+                state.codec_z_peers.append(data["peer"])
+        elif kind == "shard-weights":
+            state.shard_weights = {
+                "epoch": int(data.get("epoch", 0)),
+                "tiers": dict(data.get("tiers", {})),
+            }
         elif kind == "checkpoint":
             state.registered = {
                 key: dict(value) for key, value in data["registered"].items()
@@ -774,6 +807,8 @@ class Journal:
                 for key, value in data.get("saga_applied", {}).items()
             }
             state.codec_peers = list(data.get("codec_peers", ()))
+            state.codec_z_peers = list(data.get("codec_z_peers", ()))
+            state.shard_weights = dict(data.get("shard_weights", {}))
         elif kind == "breaker":
             if data.get("state") == "closed":
                 state.breakers.pop(data["peer"], None)

@@ -142,6 +142,16 @@ class ReplicaStore:
     def shards(self) -> List[int]:
         return list(self._slices)
 
+    def estimated_bytes(self) -> int:
+        """Modeled bytes of every replicated profile held here -- the
+        replica-tier share of a node's state footprint (the benchmark's
+        fattest-node accounting sums this with the primary store's)."""
+        return sum(
+            profile.estimated_size()
+            for slice_ in self._slices.values()
+            for profile in slice_.entries.values()
+        )
+
     def origins(self) -> "set[str]":
         """Every origin runtime with at least one replicated profile --
         swept against the membership view just like the primary store's

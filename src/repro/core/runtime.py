@@ -62,6 +62,7 @@ class UMiddleRuntime:
         shard_count: int = DEFAULT_SHARD_COUNT,
         replication_factor: int = 1,
         codec_enabled: bool = False,
+        compression_enabled: bool = False,
         saga_enabled: bool = False,
     ):
         self.node = node
@@ -77,7 +78,15 @@ class UMiddleRuntime:
         #: reproduce the pre-codec wire and journal bytes exactly.  Must be
         #: set before the journal/directory/transport constructors below,
         #: which all read it.
-        self.codec_enabled = codec_enabled
+        self.codec_enabled = codec_enabled or compression_enabled
+        #: Data-plane v3: intra-batch delta encoding, zlib block
+        #: compression for bulk/full-state transfers (negotiated per peer
+        #: via a ``codec-hello`` capability bit), compressed journal
+        #: checkpoints, and load-weighted shard placement.  Implies
+        #: ``codec_enabled`` -- the delta and compressed frames are binary
+        #: codec forms.  Off by default: wire bytes, journal bytes and
+        #: shard placement are byte-for-byte the pre-compression build.
+        self.compression_enabled = compression_enabled
         # The write-ahead journal must exist before the directory and
         # transport: both append records from their first state change.
         # The durable media lives on the network, so a journal constructed
@@ -87,7 +96,8 @@ class UMiddleRuntime:
             durable_media(node.network),
             enabled=journal_enabled,
             fsync_interval=fsync_interval,
-            binary=codec_enabled,
+            binary=self.codec_enabled,
+            compress=compression_enabled,
         )
         # Health machinery must exist before the directory and transport:
         # both consult it from their constructors onward.

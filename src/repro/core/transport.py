@@ -347,8 +347,17 @@ class Transport:
         #: rides the codec flag so the default-off data plane is PR 6
         #: byte for byte.
         self.adaptive = self.codec and self.batching
+        #: Data-plane v3: intra-batch delta encoding and zlib block
+        #: compression, negotiated per peer as a ``z`` capability bit on
+        #: the codec hello/welcome.  Implies the codec (the runtime
+        #: constructor enforces it); peers that never advertise ``z`` keep
+        #: receiving plain codec (or JSON) frames.
+        self.compression = bool(getattr(runtime, "compression_enabled", False))
         #: Peers confirmed (via hello/welcome) to decode binary frames.
         self._codec_ready: set = set()
+        #: Peers confirmed (via the ``z`` capability bit) to decode delta
+        #: batches and compressed bulk frames.
+        self._z_ready: set = set()
         #: Peers we already offered the codec to (one hello per peer).
         self._hello_sent: set = set()
         #: Per-peer symbol-interning encoders, reset with their stream.
@@ -358,6 +367,7 @@ class Transport:
         self.codec_frames_sent = 0
         self.codec_fallbacks = 0
         self.batch_adaptations = 0
+        self.delta_batches_sent = 0
         #: src ref -> immutable snapshot of bound paths, rebuilt on
         #: register/forget so per-message fan-out iterates allocation-free.
         self._paths_by_src: Dict[str, Tuple[MessagePath, ...]] = {}
@@ -469,6 +479,7 @@ class Transport:
         # it, so a cold-crashed runtime resumes binary frames without
         # respooling JSON until re-welcomed.
         self._codec_ready.clear()
+        self._z_ready.clear()
         self._hello_sent.clear()
         self._encoders.clear()
         self._adaptive.clear()
@@ -513,6 +524,11 @@ class Transport:
             for peer in state.codec_peers:
                 self._codec_ready.add(peer)
                 self._hello_sent.add(peer)
+        if self.compression:
+            # Same for the journaled z-capability handshakes: delta and
+            # compressed frames resume without a renegotiation round-trip.
+            for peer in state.codec_z_peers:
+                self._z_ready.add(peer)
         for peer, snapshot in state.breakers.items():
             breaker = CircuitBreaker(
                 self.runtime.kernel,
@@ -750,7 +766,7 @@ class Transport:
             # re-offer).  Until the peer's welcome arrives every frame
             # ships as canonical JSON -- the mixed-version fallback.
             self._hello_sent.add(runtime_id)
-            self._send_control(runtime_id, {"kind": "codec-hello"})
+            self._send_control(runtime_id, self._codec_hello())
         if stream is not None:
             seq = self._stream_seqs.get(stream, 0) + 1
             self._stream_seqs[stream] = seq
@@ -947,8 +963,16 @@ class Transport:
             if self.codec:
                 self.codec_fallbacks += 1
             return None
+        encoder = self._codec_encoder(runtime_id)
         try:
-            return self._codec_encoder(runtime_id).encode_batch(envelopes)
+            if len(envelopes) >= 2 and runtime_id in self._z_ready:
+                # Delta-encode the repeated per-envelope metadata against
+                # the previous header -- only to peers that negotiated the
+                # z capability; everyone else gets the plain batch frame.
+                frame = encoder.encode_batch_delta(envelopes)
+                self.delta_batches_sent += 1
+                return frame
+            return encoder.encode_batch(envelopes)
         except TypeError as exc:
             self.codec_fallbacks += 1
             if self.runtime.tracing:
@@ -1316,7 +1340,7 @@ class Transport:
             # (instead of spending the first pipeline window on JSON while
             # the handshake is in flight).
             self._hello_sent.add(runtime_id)
-            self._send_control(runtime_id, {"kind": "codec-hello"})
+            self._send_control(runtime_id, self._codec_hello())
 
     def _open_peer_stream(self, runtime_id: str) -> Generator:
         info = self.runtime.directory.runtime_info(runtime_id)
@@ -1455,7 +1479,14 @@ class Transport:
                 return
             if self.codec:
                 self._note_codec_peer(origin)
-                self._send_control(origin, {"kind": "codec-welcome"})
+                if self.compression and "z" in envelope.get("caps", ()):
+                    self._note_z_peer(origin)
+                welcome = {"kind": "codec-welcome"}
+                if self.compression:
+                    # Advertise our own capabilities back; a peer without
+                    # compression reads only the kind and ignores this.
+                    welcome["caps"] = ["z"]
+                self._send_control(origin, welcome)
             else:
                 self.codec_fallbacks += 1
                 self.runtime.trace(
@@ -1467,6 +1498,8 @@ class Transport:
             origin = envelope.get("origin")
             if origin is not None and self.codec:
                 self._note_codec_peer(origin)
+                if self.compression and "z" in envelope.get("caps", ()):
+                    self._note_z_peer(origin)
         elif kind == "saga-invoke":
             self.runtime.sagas.handle_invoke(envelope)
         elif kind == "saga-result":
@@ -1484,6 +1517,28 @@ class Transport:
             return
         self._codec_ready.add(origin)
         self.runtime.journal.append("codec-ready", {"peer": origin})
+
+    def _codec_hello(self) -> dict:
+        """The codec offer, carrying the z capability bit when this
+        runtime speaks delta/compressed frames.  Pre-capability peers read
+        only the kind, so the extra field degrades transparently."""
+        hello = {"kind": "codec-hello"}
+        if self.compression:
+            hello["caps"] = ["z"]
+        return hello
+
+    def _note_z_peer(self, origin: str) -> None:
+        """Mark a peer delta/compression-capable and journal the fact
+        (``codec-z-ready``), mirroring :meth:`_note_codec_peer`."""
+        if origin in self._z_ready:
+            return
+        self._z_ready.add(origin)
+        self.runtime.journal.append("codec-z-ready", {"peer": origin})
+
+    def compression_ready(self, runtime_id: str) -> bool:
+        """True when bulk transfers to this peer may use compressed
+        frames (the z capability handshake completed both ways)."""
+        return self.compression and runtime_id in self._z_ready
 
     def _is_duplicate(self, origin: str, stream: str, seq: int) -> bool:
         """Receiver-side exactly-once window.

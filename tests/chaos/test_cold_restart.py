@@ -38,6 +38,12 @@ SHARDED = os.environ.get("CHAOS_SHARDED", "0") == "1"
 #: batch frames, gossip bodies, and WAL record bodies).
 CODEC = os.environ.get("CHAOS_CODEC", "0") == "1"
 
+#: CHAOS_COMPRESSION=1 re-runs every scenario with the opt-in data-plane
+#: v3 layer (intra-batch delta frames, zlib bulk transfers and
+#: load-weighted shard placement); compression implies the codec, and
+#: every crash/recovery invariant must hold identically.
+COMPRESSION = os.environ.get("CHAOS_COMPRESSION", "0") == "1"
+
 ROLES = ["display", "storage", "printer", "sensor"]
 MIMES = ["text/plain", "image/jpeg", "audio/wav"]
 
@@ -82,9 +88,10 @@ class TestColdRestart:
         kwargs.setdefault("batching_enabled", BATCHING)
         kwargs.setdefault("sharding_enabled", SHARDED)
         kwargs.setdefault("codec_enabled", CODEC)
+        kwargs.setdefault("compression_enabled", COMPRESSION)
         bed = build_testbed(hosts=["h1", "h2"])
         r1 = bed.add_runtime("h1", **kwargs)
-        r2 = bed.add_runtime("h2", batching_enabled=BATCHING, sharding_enabled=SHARDED, codec_enabled=CODEC)
+        r2 = bed.add_runtime("h2", batching_enabled=BATCHING, sharding_enabled=SHARDED, codec_enabled=CODEC, compression_enabled=COMPRESSION)
         received = []
         sink = Translator("display-0", role="display")
         sink.add_digital_input("data-in", "text/plain", received.append)
@@ -279,8 +286,8 @@ class TestSeededEquivalence:
     def build_population(self, seed):
         rng = random.Random(seed)
         bed = build_testbed(hosts=["h1", "h2"])
-        r1 = bed.add_runtime("h1", batching_enabled=BATCHING, sharding_enabled=SHARDED, codec_enabled=CODEC)
-        r2 = bed.add_runtime("h2", batching_enabled=BATCHING, sharding_enabled=SHARDED, codec_enabled=CODEC)
+        r1 = bed.add_runtime("h1", batching_enabled=BATCHING, sharding_enabled=SHARDED, codec_enabled=CODEC, compression_enabled=COMPRESSION)
+        r2 = bed.add_runtime("h2", batching_enabled=BATCHING, sharding_enabled=SHARDED, codec_enabled=CODEC, compression_enabled=COMPRESSION)
         for index in range(rng.randrange(4, 9)):
             translator = Translator(
                 f"svc-{seed}-{index}", role=rng.choice(ROLES)
@@ -331,8 +338,8 @@ class TestSeededEquivalence:
 class TestExactlyOnce:
     def build_pipeline(self):
         bed = build_testbed(hosts=["h1", "h2"])
-        r1 = bed.add_runtime("h1", batching_enabled=BATCHING, sharding_enabled=SHARDED, codec_enabled=CODEC)
-        r2 = bed.add_runtime("h2", batching_enabled=BATCHING, sharding_enabled=SHARDED, codec_enabled=CODEC)
+        r1 = bed.add_runtime("h1", batching_enabled=BATCHING, sharding_enabled=SHARDED, codec_enabled=CODEC, compression_enabled=COMPRESSION)
+        r2 = bed.add_runtime("h2", batching_enabled=BATCHING, sharding_enabled=SHARDED, codec_enabled=CODEC, compression_enabled=COMPRESSION)
         received = []
         sink = Translator("display-0", role="display")
         sink.add_digital_input("data-in", "text/plain", received.append)
@@ -381,9 +388,9 @@ class TestExactlyOnce:
         never be mistaken for duplicates of reused sequence numbers."""
         bed = build_testbed(hosts=["h1", "h2"])
         r1 = bed.add_runtime(
-            "h1", fsync_interval=5.0, batching_enabled=BATCHING, sharding_enabled=SHARDED, codec_enabled=CODEC
+            "h1", fsync_interval=5.0, batching_enabled=BATCHING, sharding_enabled=SHARDED, codec_enabled=CODEC, compression_enabled=COMPRESSION
         )
-        r2 = bed.add_runtime("h2", batching_enabled=BATCHING, sharding_enabled=SHARDED, codec_enabled=CODEC)
+        r2 = bed.add_runtime("h2", batching_enabled=BATCHING, sharding_enabled=SHARDED, codec_enabled=CODEC, compression_enabled=COMPRESSION)
         received = []
         sink = Translator("display-0", role="display")
         sink.add_digital_input("data-in", "text/plain", received.append)
@@ -449,9 +456,9 @@ class TestExactlyOnce:
         from stable storage."""
         bed = build_testbed(hosts=["h1", "h2"])
         r1 = bed.add_runtime(
-            "h1", journal_enabled=False, batching_enabled=BATCHING, sharding_enabled=SHARDED, codec_enabled=CODEC
+            "h1", journal_enabled=False, batching_enabled=BATCHING, sharding_enabled=SHARDED, codec_enabled=CODEC, compression_enabled=COMPRESSION
         )
-        r2 = bed.add_runtime("h2", batching_enabled=BATCHING, sharding_enabled=SHARDED, codec_enabled=CODEC)
+        r2 = bed.add_runtime("h2", batching_enabled=BATCHING, sharding_enabled=SHARDED, codec_enabled=CODEC, compression_enabled=COMPRESSION)
         received = []
         sink = Translator("display-0", role="display")
         sink.add_digital_input("data-in", "text/plain", received.append)
@@ -484,9 +491,9 @@ class TestExactlyOnce:
         but dedup keys on per-(sender, path) envelope sequences, so no
         cross-runtime message is ever mistaken for a duplicate."""
         bed = build_testbed(hosts=["h1", "h2", "h3"])
-        r1 = bed.add_runtime("h1", batching_enabled=BATCHING, sharding_enabled=SHARDED, codec_enabled=CODEC)
-        r2 = bed.add_runtime("h2", batching_enabled=BATCHING, sharding_enabled=SHARDED, codec_enabled=CODEC)
-        r3 = bed.add_runtime("h3", batching_enabled=BATCHING, sharding_enabled=SHARDED, codec_enabled=CODEC)
+        r1 = bed.add_runtime("h1", batching_enabled=BATCHING, sharding_enabled=SHARDED, codec_enabled=CODEC, compression_enabled=COMPRESSION)
+        r2 = bed.add_runtime("h2", batching_enabled=BATCHING, sharding_enabled=SHARDED, codec_enabled=CODEC, compression_enabled=COMPRESSION)
+        r3 = bed.add_runtime("h3", batching_enabled=BATCHING, sharding_enabled=SHARDED, codec_enabled=CODEC, compression_enabled=COMPRESSION)
         received = []
         sink = Translator("display-0", role="display")
         sink.add_digital_input("data-in", "text/plain", received.append)

@@ -32,6 +32,12 @@ BATCHING = os.environ.get("CHAOS_BATCHING", "0") == "1"
 SHARDED = os.environ.get("CHAOS_SHARDED", "0") == "1"
 CODEC = os.environ.get("CHAOS_CODEC", "0") == "1"
 
+#: CHAOS_COMPRESSION=1 re-runs every scenario with the opt-in data-plane
+#: v3 layer (intra-batch delta frames, zlib bulk transfers and
+#: load-weighted shard placement); compression implies the codec, and
+#: every crash/recovery invariant must hold identically.
+COMPRESSION = os.environ.get("CHAOS_COMPRESSION", "0") == "1"
+
 ROLES = ["lock", "light", "camera"]
 
 
@@ -56,7 +62,7 @@ def build(extra_hosts=()):
         saga_enabled=True,
         batching_enabled=BATCHING,
         sharding_enabled=SHARDED,
-        codec_enabled=CODEC,
+        codec_enabled=CODEC, compression_enabled=COMPRESSION,
     )
     hosts = ["h1", "h2", "h3", "h4"] + list(extra_hosts)
     bed = build_testbed(hosts=hosts)

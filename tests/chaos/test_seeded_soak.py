@@ -37,6 +37,12 @@ SHARDED = os.environ.get("CHAOS_SHARDED", "0") == "1"
 #: batch frames, gossip bodies, and WAL record bodies).
 CODEC = os.environ.get("CHAOS_CODEC", "0") == "1"
 
+#: CHAOS_COMPRESSION=1 re-runs every scenario with the opt-in data-plane
+#: v3 layer (intra-batch delta frames, zlib bulk transfers and
+#: load-weighted shard placement); compression implies the codec, and
+#: every crash/recovery invariant must hold identically.
+COMPRESSION = os.environ.get("CHAOS_COMPRESSION", "0") == "1"
+
 #: CHAOS_SAGA=1 runs the identical storm with the saga manager enabled on
 #: every runtime (an idle manager journals nothing, so the base soak and
 #: its replay stay byte-identical); the saga-mix workload test below runs
@@ -60,7 +66,7 @@ def build_soak():
     kwargs = dict(
         batching_enabled=BATCHING,
         sharding_enabled=SHARDED,
-        codec_enabled=CODEC,
+        codec_enabled=CODEC, compression_enabled=COMPRESSION,
         saga_enabled=SAGA,
         replication_factor=2 if REPLICATION else 1,
     )
@@ -269,7 +275,7 @@ class TestSagaSoak:
         kwargs = dict(
             batching_enabled=BATCHING,
             sharding_enabled=SHARDED,
-            codec_enabled=CODEC,
+            codec_enabled=CODEC, compression_enabled=COMPRESSION,
             saga_enabled=True,
             replication_factor=2 if REPLICATION else 1,
         )

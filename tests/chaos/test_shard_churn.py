@@ -33,6 +33,12 @@ from tests.core.test_directory_index import random_profile
 #: partition, never the converged outcome.
 REPLICATION = os.environ.get("CHAOS_REPLICATION", "0") == "1"
 
+#: CHAOS_COMPRESSION=1 re-runs every scenario with the opt-in data-plane
+#: v3 layer (intra-batch delta frames, zlib bulk transfers and
+#: load-weighted shard placement); compression implies the codec, and
+#: every crash/recovery invariant must hold identically.
+COMPRESSION = os.environ.get("CHAOS_COMPRESSION", "0") == "1"
+
 
 def assert_placement_invariant(cluster):
     """All live runtimes agree on one shard map and each store holds
@@ -97,7 +103,7 @@ class TestOwnershipChurn:
     def test_join_then_leave_rebalances_without_loss(self):
         bed = build_testbed(hosts=["h1", "h2", "h3"])
         cluster = [
-            bed.add_runtime(h, sharding_enabled=True)
+            bed.add_runtime(h, sharding_enabled=True, compression_enabled=COMPRESSION)
             for h in ("h1", "h2", "h3")
         ]
         rng = random.Random(61)
@@ -112,7 +118,7 @@ class TestOwnershipChurn:
 
         # Join: a fourth owner takes over its rendezvous share; the three
         # incumbents each lose only the shards the newcomer now wins.
-        joined = bed.add_runtime("h4", sharding_enabled=True)
+        joined = bed.add_runtime("h4", sharding_enabled=True, compression_enabled=COMPRESSION)
         cluster.append(joined)
         bed.settle(LEASE + 5.0)
         assert all(r.shards.map.version > v for r, v in zip(cluster, versions))
@@ -139,7 +145,7 @@ class TestOwnershipChurn:
     def test_owner_crash_mid_registration_self_heals(self):
         bed = build_testbed(hosts=["h1", "h2", "h3"])
         r1, r2, r3 = (
-            bed.add_runtime(h, sharding_enabled=True)
+            bed.add_runtime(h, sharding_enabled=True, compression_enabled=COMPRESSION)
             for h in ("h1", "h2", "h3")
         )
         bed.settle(2.0)
@@ -180,7 +186,7 @@ class TestStandingQueryContinuity:
     def test_binding_and_subscription_survive_owner_crash(self):
         bed = build_testbed(hosts=["h1", "h2", "h3"])
         r1, r2, r3 = (
-            bed.add_runtime(h, sharding_enabled=True)
+            bed.add_runtime(h, sharding_enabled=True, compression_enabled=COMPRESSION)
             for h in ("h1", "h2", "h3")
         )
         bed.settle(2.0)
@@ -243,7 +249,7 @@ def shard_state(runtime):
 class TestByteEquivalentRecovery:
     def test_single_node_slice_restored_verbatim(self):
         bed = build_testbed(hosts=["h1"])
-        r1 = bed.add_runtime("h1", sharding_enabled=True)
+        r1 = bed.add_runtime("h1", sharding_enabled=True, compression_enabled=COMPRESSION)
         roles = ["display", "storage", "printer", "sensor"]
         mimes = ["text/plain", "image/jpeg", "audio/wav"]
         for index in range(8):
@@ -271,7 +277,7 @@ class TestByteEquivalentRecovery:
     def test_multi_node_slice_restored_after_reconvergence(self):
         bed = build_testbed(hosts=["h1", "h2", "h3"])
         cluster = [
-            bed.add_runtime(h, sharding_enabled=True)
+            bed.add_runtime(h, sharding_enabled=True, compression_enabled=COMPRESSION)
             for h in ("h1", "h2", "h3")
         ]
         rng = random.Random(63)
@@ -308,7 +314,7 @@ class TestPartitionOracle:
         factor = 2 if REPLICATION else 1
         cluster = [
             bed.add_runtime(
-                h, sharding_enabled=True, replication_factor=factor
+                h, sharding_enabled=True, compression_enabled=COMPRESSION, replication_factor=factor
             )
             for h in hosts
         ]

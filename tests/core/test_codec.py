@@ -260,6 +260,192 @@ class TestCorruption:
         assert discarded == 0
 
 
+# -- data-plane v3: delta batches and compressed frames ---------------------
+
+
+class TestDeltaBatches:
+    def test_fuzzed_delta_batches_round_trip(self):
+        rng = random.Random(29)
+        encoder, decoder = WireEncoder(), WireDecoder()
+        for _round in range(30):
+            envelopes = [
+                fuzz_envelope(rng, i) for i in range(rng.randrange(1, 12))
+            ]
+            frame = encoder.encode_batch_delta(envelopes)
+            decoded = decoder.decode_frame(frame)
+            assert decoded["kind"] == "batch"
+            assert decoded["count"] == len(envelopes)
+            assert decoded["envelopes"] == [canonical(e) for e in envelopes]
+
+    def test_delta_shrinks_repetitive_batches(self):
+        # A real stream's batch: identical header fields, varying seq and
+        # payload -- the delta frame's target shape.
+        envelopes = [
+            {
+                "kind": "message",
+                "origin": "rt-h0",
+                "stream": "path:0:rt-p0",
+                "dst": "rt-p0/display/data-in",
+                "mime": "text/plain",
+                "headers": {},
+                "seq": index,
+                "payload": {"value": index},
+                "size": 120,
+            }
+            for index in range(12)
+        ]
+        plain = WireEncoder().encode_batch(envelopes)
+        delta = WireEncoder().encode_batch_delta(envelopes)
+        assert delta.wire_size < plain.wire_size
+
+    def test_delta_removed_keys_do_not_leak_forward(self):
+        # A key present in envelope N but absent in N+1 must be removed,
+        # not inherited from the running previous-header state.
+        envelopes = [
+            {"kind": "message", "seq": 1, "headers": {"x": 1}, "payload": [1]},
+            {"kind": "message", "seq": 2, "payload": [2]},
+            {"kind": "message", "seq": 3, "headers": {"y": 2}, "payload": [3]},
+        ]
+        frame = WireEncoder().encode_batch_delta(envelopes)
+        assert WireDecoder().decode_frame(frame)["envelopes"] == envelopes
+
+    def test_opaque_payloads_ride_out_of_band_in_delta_frames(self):
+        envelopes = [
+            {"kind": "message", "seq": i, "payload": f"blob-{i}", "size": 2048}
+            for i in range(4)
+        ]
+        frame = WireEncoder().encode_batch_delta(envelopes)
+        assert frame.oob_bytes == 4 * 2048
+        assert frame.wire_size == len(frame.data) + frame.oob_bytes
+        decoded = WireDecoder().decode_frame(frame)
+        assert [e["payload"] for e in decoded["envelopes"]] == [
+            f"blob-{i}" for i in range(4)
+        ]
+
+    def delta_frame(self):
+        return WireEncoder().encode_batch_delta(
+            [fuzz_envelope(random.Random(17), i) for i in range(5)]
+        )
+
+    def test_delta_truncation_at_every_offset_raises(self):
+        frame = self.delta_frame()
+        for end in range(len(frame.data)):
+            with pytest.raises(CodecError):
+                WireDecoder().decode_frame(
+                    BinaryFrame(frame.data[:end], frame.objs, frame.oob_bytes)
+                )
+
+    def test_delta_bit_flip_at_every_offset_raises(self):
+        frame = self.delta_frame()
+        for offset in range(len(frame.data)):
+            for bit in (0x01, 0x80):
+                mutated = bytearray(frame.data)
+                mutated[offset] ^= bit
+                try:
+                    decoded = WireDecoder().decode_frame(
+                        BinaryFrame(bytes(mutated), frame.objs, frame.oob_bytes)
+                    )
+                except CodecError:
+                    continue
+                raise AssertionError(
+                    f"bit flip at offset {offset} decoded to {decoded!r}"
+                )
+
+
+class TestCompressedFrames:
+    def payload(self):
+        # Repetitive full-state-shaped body: the compression sweet spot.
+        return {
+            "kind": "umiddle-directory",
+            "full": True,
+            "profiles": [
+                {
+                    "translator_id": f"t-{i:04d}",
+                    "platform": "upnp",
+                    "role": "display",
+                    "device_type": f"type-{i % 5}",
+                }
+                for i in range(80)
+            ],
+        }
+
+    def test_compressed_gossip_round_trips_and_shrinks(self):
+        payload = self.payload()
+        plain = encode_gossip(payload)
+        packed = encode_gossip(payload, compress=True)
+        assert packed.wire_size < plain.wire_size
+        # Compressed frames carry no out-of-band bytes: the wire charge
+        # is exactly the encoded frame (the byte-accounting audit).
+        assert packed.wire_size == len(packed.data)
+        assert decode_gossip(packed) == canonical(payload)
+
+    def test_incompressible_gossip_falls_back_to_plain_frame(self):
+        # A tiny body where deflate cannot win must emit the plain frame
+        # byte for byte -- old decoders keep working, nothing is larger.
+        payload = {"kind": "umiddle-directory", "version": 3}
+        plain = encode_gossip(payload)
+        packed = encode_gossip(payload, compress=True)
+        assert packed.data == plain.data
+
+    def test_compressed_gossip_truncation_at_every_offset_raises(self):
+        frame = encode_gossip(self.payload(), compress=True)
+        for end in range(len(frame.data)):
+            with pytest.raises(CodecError):
+                decode_gossip(BinaryFrame(frame.data[:end]))
+
+    def test_compressed_gossip_bit_flip_at_every_offset_raises(self):
+        frame = encode_gossip(self.payload(), compress=True)
+        reference = decode_gossip(frame)
+        for offset in range(len(frame.data)):
+            for bit in (0x01, 0x80):
+                mutated = bytearray(frame.data)
+                mutated[offset] ^= bit
+                try:
+                    decoded = decode_gossip(BinaryFrame(bytes(mutated)))
+                except CodecError:
+                    continue
+                raise AssertionError(
+                    f"bit flip at offset {offset} decoded to {decoded!r}"
+                )
+        assert decode_gossip(frame) == reference  # frame itself unharmed
+
+    def test_compressed_journal_body_round_trips(self):
+        record = {
+            "lsn": 9,
+            "kind": "checkpoint",
+            "data": {"profiles": [{"id": f"t{i}", "role": "display"} for i in range(40)]},
+        }
+        plain = encode_journal_body(record)
+        packed = encode_journal_body(record, compress=True)
+        assert len(packed) < len(plain)
+        assert is_binary_journal_body(packed)
+        assert b"\n" not in packed
+        assert decode_journal_body(packed) == canonical(record)
+
+    def test_incompressible_journal_body_falls_back_to_plain(self):
+        record = {"lsn": 1, "kind": "path-open", "data": {"path_id": "p1"}}
+        assert encode_journal_body(record, compress=True) == encode_journal_body(record)
+
+    def test_compressed_journal_record_replays_in_mixed_blob(self):
+        big = {"profiles": [{"id": f"t{i}", "role": "display"} for i in range(40)]}
+        blob = encode_record(1, "register", {"id": "t1"}, binary=True)
+        blob += encode_record(2, "checkpoint", big, binary=True, compress=True)
+        blob += encode_record(3, "path-open", {"path_id": "p1"}, binary=False)
+        records, _clean, discarded = replay_blob(blob)
+        assert [r["lsn"] for r in records] == [1, 2, 3]
+        assert records[1]["data"] == big
+        assert discarded == 0
+
+    def test_corrupt_compressed_journal_body_fails_record_crc(self):
+        big = {"profiles": [{"id": f"t{i}", "role": "display"} for i in range(40)]}
+        record = encode_record(1, "checkpoint", big, binary=True, compress=True)
+        blob = bytearray(record)
+        blob[len(blob) // 2] ^= 0x10
+        records, _clean, discarded = replay_blob(bytes(blob))
+        assert records == []
+        assert discarded == len(blob)
+
+
 # -- satellite regressions --------------------------------------------------
 
 
@@ -372,3 +558,67 @@ class TestMixedVersionFederation:
         records, _clean, discarded = replay_blob(producer.journal.blob)
         assert discarded == 0
         assert any(r["kind"] == "spool-batch" or r["kind"] == "spool" for r in records)
+
+
+class TestCompressionFederation:
+    """Mixed-version fallback for the z capability (PR 10): a peer that
+    negotiated only the codec must never see a delta or compressed frame,
+    and traffic must flow either way."""
+
+    def burst(self, bed, out, count=120):
+        # Back-to-back sends so the batched sender accumulates
+        # multi-envelope batches (the delta frame's precondition).
+        for index in range(count):
+            out.send(UMessage("text/plain", f"m{index}", 120))
+        bed.settle(30.0)
+
+    def fanout_pair(self, peer_compression):
+        hosts = ["h0", "p0"]
+        bed = build_testbed(hosts=hosts)
+        producer = bed.add_runtime(
+            "h0", compression_enabled=True, batching_enabled=True
+        )
+        peer_kwargs = (
+            {"compression_enabled": True}
+            if peer_compression
+            else {"codec_enabled": True}
+        )
+        runtime = bed.add_runtime("p0", batching_enabled=True, **peer_kwargs)
+        source = Translator("feed", role="sensor")
+        out = source.add_digital_output("data-out", "text/plain")
+        producer.register_translator(source)
+        received = []
+        sink = Translator("display-0", role="display")
+        sink.add_digital_input("data-in", "text/plain", received.append)
+        runtime.register_translator(sink)
+        bed.settle(1.0)
+        producer.connect(
+            out,
+            sink.profile.port_ref("data-in"),
+            qos=QosPolicy(buffer_capacity=256),
+        )
+        bed.settle(0.5)
+        return bed, producer, runtime, out, received
+
+    def test_codec_only_peer_never_sees_z_frames(self):
+        bed, producer, peer, out, received = self.fanout_pair(
+            peer_compression=False
+        )
+        self.burst(bed, out)
+        assert [m.payload for m in received] == [f"m{i}" for i in range(120)]
+        # The codec negotiated, the z capability did not.
+        assert peer.runtime_id in producer.transport._codec_ready
+        assert not producer.transport.compression_ready(peer.runtime_id)
+        assert producer.transport.delta_batches_sent == 0
+        assert producer.shards.z_frames_sent == 0
+
+    def test_compression_everywhere_sends_delta_batches(self):
+        bed, producer, peer, out, received = self.fanout_pair(
+            peer_compression=True
+        )
+        self.burst(bed, out)
+        assert [m.payload for m in received] == [f"m{i}" for i in range(120)]
+        assert producer.transport.compression_ready(peer.runtime_id)
+        assert producer.transport.delta_batches_sent > 0
+        # Lossless: the peer received the identical message sequence, so
+        # delta frames reconstructed every header byte-for-byte.

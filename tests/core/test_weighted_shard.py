@@ -1,0 +1,217 @@
+"""Load-weighted shard placement (PR 10): deterministic biased
+rendezvous, hysteresis-gated live reweights, and journaled weight epochs
+that recover byte-identically.
+
+The weighted sweep only exists behind ``compression_enabled`` (the
+data-plane v3 opt-in); with empty load tiers -- or the flag off -- the
+owner table must be byte-for-byte the plain rendezvous argmax of PR 6.
+"""
+
+import random
+
+from repro.core.profile import TranslatorProfile
+from repro.core.query import Query
+from repro.core.shapes import Direction, PortSpec, Shape
+from repro.core.shard import (
+    KEY_SPLIT,
+    ShardMap,
+    WEIGHT_REBALANCE_INTERVAL,
+    WEIGHT_TIER_BASE,
+    placement_salt,
+    shard_of_key,
+)
+from repro.testbed import build_testbed
+
+MEMBERS = tuple(f"node-{i:02d}" for i in range(12))
+SHARDS = 256
+
+
+class TestWeightedShardMap:
+    def test_empty_tiers_keep_the_plain_table_byte_for_byte(self):
+        plain = ShardMap(SHARDS)
+        plain.rebuild(MEMBERS)
+        weighted = ShardMap(SHARDS)
+        weighted.rebuild(MEMBERS)
+        assert not weighted.set_load({})  # all-baseline: no change at all
+        assert weighted._table == plain._table
+        assert weighted.load_tiers == {}
+
+    def test_baseline_only_tiers_are_identical_to_no_report(self):
+        shard_map = ShardMap(SHARDS)
+        shard_map.rebuild(MEMBERS)
+        version = shard_map.version
+        assert not shard_map.set_load({3: 0, 7: 0, -1: 2, SHARDS: 2})
+        assert shard_map.version == version
+
+    def test_weighted_table_is_deterministic_across_instances(self):
+        tiers = {s: 1 + (s % 3) for s in range(0, SHARDS, 5)}
+        tables = []
+        for _ in range(2):
+            shard_map = ShardMap(SHARDS)
+            shard_map.rebuild(MEMBERS)
+            shard_map.set_load(dict(tiers))
+            tables.append(shard_map._table)
+        assert tables[0] == tables[1]
+        # Order of operations must not matter either: load before members.
+        late = ShardMap(SHARDS)
+        late.set_load(dict(tiers))
+        late.rebuild(MEMBERS)
+        assert late._table == tables[0]
+
+    def test_weighting_spreads_hot_shards_off_the_fattest_node(self):
+        rng = random.Random(5)
+        hot = {rng.randrange(SHARDS) for _ in range(48)}
+        tiers = {shard: 4 for shard in hot}
+
+        def fattest(shard_map):
+            loads = {member: 0 for member in MEMBERS}
+            for shard in range(SHARDS):
+                loads[shard_map.owner(shard)] += 1 + tiers.get(shard, 0) * 16
+            return max(loads.values()) / (sum(loads.values()) / len(MEMBERS))
+
+        plain = ShardMap(SHARDS)
+        plain.rebuild(MEMBERS)
+        weighted = ShardMap(SHARDS)
+        weighted.rebuild(MEMBERS)
+        weighted.set_load(tiers)
+        assert fattest(weighted) < fattest(plain)
+
+    def test_owners_ranked_leads_with_the_assigned_owner(self):
+        shard_map = ShardMap(SHARDS)
+        shard_map.rebuild(MEMBERS)
+        plain_ranked = {s: shard_map.owners_ranked(s) for s in range(SHARDS)}
+        shard_map.set_load({s: 2 for s in range(0, SHARDS, 3)})
+        moved = 0
+        for shard in range(SHARDS):
+            ranked = shard_map.owners_ranked(shard)
+            assert ranked[0] == shard_map.owner(shard)
+            assert sorted(ranked) == sorted(plain_ranked[shard])
+            if ranked != plain_ranked[shard]:
+                moved += 1
+        assert moved > 0  # weighting actually re-led some shards
+
+
+def hot_profiles(count: int, runtime_id: str):
+    """Profiles whose shared ``device_type`` key all lands on ONE salted
+    sub-shard: translator ids filtered to a single placement salt."""
+    profiles = []
+    index = 0
+    while len(profiles) < count:
+        tid = f"hot-{index:05d}"
+        index += 1
+        if placement_salt(tid) != 0:
+            continue
+        shape = Shape([PortSpec.digital("in", Direction.IN, "text/plain")])
+        profiles.append(
+            TranslatorProfile(
+                translator_id=tid,
+                name=tid,
+                platform="upnp",
+                device_type="hot-device",
+                role="display",
+                runtime_id=runtime_id,
+                shape=shape,
+            )
+        )
+    return profiles
+
+
+class TestLiveReweight:
+    def build_pair(self):
+        bed = build_testbed(hosts=["h1", "h2"])
+        kwargs = dict(
+            compression_enabled=True, sharding_enabled=True, shard_count=64
+        )
+        r1 = bed.add_runtime("h1", **kwargs)
+        r2 = bed.add_runtime("h2", **kwargs)
+        bed.settle(2.0)
+        return bed, r1, r2
+
+    def test_hot_shard_report_reweights_the_whole_federation(self):
+        bed, r1, r2 = self.build_pair()
+        count = WEIGHT_TIER_BASE + 8
+        for profile in hot_profiles(count, r1.runtime_id):
+            r1.directory.register(profile)
+        bed.settle(2 * WEIGHT_REBALANCE_INTERVAL + 10.0)
+
+        hot_shard = shard_of_key(("device", "hot-device"), 64, salt=0)
+        # The hot shard's owner observed the load and the report spread:
+        # every node converged on the same non-empty tier view and the
+        # same weighted table.
+        assert r1.shards.map.load_tiers == r2.shards.map.load_tiers
+        assert r1.shards.map.load_tiers.get(hot_shard, 0) >= 1
+        assert r1.shards.map._table == r2.shards.map._table
+        assert r1.shards.weight_rebalances + r2.shards.weight_rebalances > 0
+
+        # Rebalance rode the normal ownership machinery: all profiles
+        # remain reachable from both nodes afterwards.
+        for reader in (r1, r2):
+            found = reader.lookup(Query(device_type="hot-device"))
+            assert len(found) == count
+
+    def test_hysteresis_bounds_reweight_rate(self):
+        bed, r1, r2 = self.build_pair()
+        for profile in hot_profiles(WEIGHT_TIER_BASE + 8, r1.runtime_id):
+            r1.directory.register(profile)
+        bed.settle(2 * WEIGHT_REBALANCE_INTERVAL + 10.0)
+        elapsed = bed.kernel.now
+        for runtime in (r1, r2):
+            # Strictly fewer epoch bumps than elapsed/interval: the gate
+            # admits at most one adoption per interval per node.
+            assert runtime.shards.weight_epoch <= elapsed / WEIGHT_REBALANCE_INTERVAL
+
+    def test_weight_epochs_recover_from_the_journal(self):
+        bed, r1, r2 = self.build_pair()
+        for profile in hot_profiles(WEIGHT_TIER_BASE + 8, r1.runtime_id):
+            r1.directory.register(profile)
+        bed.settle(2 * WEIGHT_REBALANCE_INTERVAL + 10.0)
+        subject = max((r1, r2), key=lambda r: r.shards.weight_epoch)
+        assert subject.shards.weight_epoch > 0
+        epoch = subject.shards.weight_epoch
+        tiers = dict(subject.shards.map.load_tiers)
+        table = subject.shards.map._table
+
+        subject.crash(lose_state=True)
+        subject.recover()
+        # Restored from the journaled shard-weights record alone, before
+        # any new gossip: same epoch and tier view (membership is just
+        # itself until peers re-announce, so the table comes back once
+        # the view re-forms below).
+        assert subject.shards.weight_epoch == epoch
+        assert subject.shards.map.load_tiers == tiers
+        # Recovery also stamps the hysteresis clock, so re-discovery must
+        # not immediately re-reweight: once the membership view re-forms,
+        # the recovered node computes the identical weighted table.
+        bed.settle(5.0)
+        assert subject.shards.weight_epoch == epoch
+        assert subject.shards.map._table == table
+        other = r2 if subject is r1 else r1
+        assert subject.shards.map._table == other.shards.map._table
+
+    def test_apply_load_tiers_journals_and_recovers(self):
+        bed, r1, _r2 = self.build_pair()
+        assert r1.shards.apply_load_tiers({5: 2, 9: 1})
+        assert not r1.shards.apply_load_tiers({5: 2, 9: 1})  # idempotent
+        table = r1.shards.map._table
+        r1.crash(lose_state=True)
+        r1.recover()
+        assert r1.shards.weight_epoch == 1
+        assert r1.shards.map.load_tiers == {5: 2, 9: 1}
+        bed.settle(5.0)  # membership re-forms; hysteresis holds the epoch
+        assert r1.shards.weight_epoch == 1
+        assert r1.shards.map._table == table
+
+    def test_default_off_never_weights(self):
+        bed = build_testbed(hosts=["h1", "h2"])
+        kwargs = dict(codec_enabled=True, sharding_enabled=True, shard_count=64)
+        r1 = bed.add_runtime("h1", **kwargs)
+        r2 = bed.add_runtime("h2", **kwargs)
+        bed.settle(2.0)
+        for profile in hot_profiles(WEIGHT_TIER_BASE + 8, r1.runtime_id):
+            r1.directory.register(profile)
+        bed.settle(2 * WEIGHT_REBALANCE_INTERVAL + 10.0)
+        for runtime in (r1, r2):
+            assert not runtime.shards.weighted
+            assert runtime.shards.weight_rebalances == 0
+            assert runtime.shards.map.load_tiers == {}
+            assert runtime.shards.load_report() is None
